@@ -1,0 +1,99 @@
+// Command chirp is a CLI client for a Chirp proxy (see cmd/chirpd):
+// one subcommand per protocol operation, printing any error with its
+// code and scope exactly as it crossed the wire.
+//
+// Usage:
+//
+//	chirp -addr 127.0.0.1:9094 -cookie secret read /path
+//	chirp ... write /path 'content'
+//	chirp ... stat /path | unlink /path | rename /old /new
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/errscope/grid/internal/chirp"
+	"github.com/errscope/grid/internal/scope"
+)
+
+func fail(err error) {
+	if se, ok := scope.AsError(err); ok {
+		fmt.Fprintf(os.Stderr, "chirp: %s [%s, %s scope]: %s\n",
+			se.Code, se.Kind, se.Scope, se.Message)
+	} else {
+		fmt.Fprintf(os.Stderr, "chirp: %v\n", err)
+	}
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:9094", "proxy address")
+		cookie = flag.String("cookie", "", "shared-secret cookie (required)")
+	)
+	flag.Parse()
+	args := flag.Args()
+	if *cookie == "" || len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: chirp -addr A -cookie C <read|write|stat|unlink|rename> <path> [arg]")
+		os.Exit(2)
+	}
+	c, err := chirp.Dial(*addr, *cookie)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
+
+	op, path := args[0], args[1]
+	switch op {
+	case "read":
+		fd, err := c.Open(path, chirp.FlagRead)
+		if err != nil {
+			fail(err)
+		}
+		for {
+			data, err := c.Read(fd, 64<<10)
+			if err != nil {
+				if se, ok := scope.AsError(err); ok && se.Code == chirp.CodeEndOfFile {
+					break
+				}
+				fail(err)
+			}
+			os.Stdout.Write(data)
+		}
+	case "write":
+		if len(args) < 3 {
+			fmt.Fprintln(os.Stderr, "chirp: write needs content")
+			os.Exit(2)
+		}
+		fd, err := c.Open(path, chirp.FlagWrite|chirp.FlagCreate|chirp.FlagTruncate)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := c.Write(fd, []byte(args[2])); err != nil {
+			fail(err)
+		}
+	case "stat":
+		info, err := c.Stat(path)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%s %d bytes readonly=%v\n", info.Path, info.Size, info.ReadOnly)
+	case "unlink":
+		if err := c.Unlink(path); err != nil {
+			fail(err)
+		}
+	case "rename":
+		if len(args) < 3 {
+			fmt.Fprintln(os.Stderr, "chirp: rename needs a new path")
+			os.Exit(2)
+		}
+		if err := c.Rename(path, args[2]); err != nil {
+			fail(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "chirp: unknown operation %q\n", op)
+		os.Exit(2)
+	}
+}

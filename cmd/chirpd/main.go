@@ -1,0 +1,64 @@
+// Command chirpd runs a standalone Chirp proxy server over an
+// in-memory file system, for exercising the protocol stack by hand
+// (pair it with cmd/chirp).
+//
+// Usage:
+//
+//	chirpd -addr 127.0.0.1:9094 -cookie secret [-quota 1048576] [-stage name=content ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"github.com/errscope/grid/internal/chirp"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:9094", "listen address")
+		cookie = flag.String("cookie", "", "shared-secret cookie (required)")
+		quota  = flag.Int64("quota", 0, "byte quota (0 = unlimited)")
+	)
+	flag.Parse()
+	if *cookie == "" {
+		fmt.Fprintln(os.Stderr, "chirpd: -cookie is required")
+		os.Exit(2)
+	}
+	fs := vfs.New()
+	if *quota > 0 {
+		fs.SetQuota(*quota)
+	}
+	for _, arg := range flag.Args() {
+		name, content, ok := strings.Cut(arg, "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "chirpd: bad stage argument %q (want name=content)\n", arg)
+			os.Exit(2)
+		}
+		if err := fs.WriteFile(name, []byte(content)); err != nil {
+			fmt.Fprintf(os.Stderr, "chirpd: stage %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	srv := chirp.NewServer(&chirp.VFSBackend{FS: fs}, *cookie)
+	srv.ErrorLog = func(err error) {
+		fmt.Fprintf(os.Stderr, "chirpd: connection fault: %v\n", err)
+	}
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chirpd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("chirpd: serving on %s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Println("chirpd: shut down")
+}

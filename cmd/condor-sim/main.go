@@ -1,0 +1,121 @@
+// Command condor-sim runs a configurable pool simulation and prints
+// its metrics: a workbench for exploring error-scope policies beyond
+// the canned experiments.
+//
+// Usage:
+//
+//	condor-sim -machines 50 -jobs 500 -broken 0.2 -mode scoped \
+//	           -selftest -avoid 3 -mount soft -outage 30m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/pool"
+	"github.com/errscope/grid/internal/submit"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		machines  = flag.Int("machines", 20, "number of machines")
+		jobs      = flag.Int("jobs", 100, "number of jobs")
+		meanJob   = flag.Duration("job-length", 10*time.Minute, "mean job compute time")
+		broken    = flag.Float64("broken", 0, "fraction of machines with a broken java install")
+		breakKind = flag.String("break", "badpath", "how machines are broken: badpath|unstartable|tinyheap")
+		mode      = flag.String("mode", "scoped", "error propagation mode: scoped|naive")
+		selftest  = flag.Bool("selftest", false, "startds verify java before advertising it")
+		avoid     = flag.Int("avoid", 0, "schedd avoids machines after this many consecutive failures (0 = off)")
+		mount     = flag.String("mount", "soft", "shadow mount policy: hard|soft|perjob")
+		softT     = flag.Duration("soft-timeout", 5*time.Minute, "soft mount patience")
+		outage    = flag.Duration("outage", 0, "submit-side file system outage length (starts at t+5m)")
+		limit     = flag.Duration("limit", 7*24*time.Hour, "virtual time limit")
+		verbose   = flag.Bool("v", false, "print per-job outcomes")
+		submitF   = flag.String("submit", "", "submit description file (replaces the synthetic workload)")
+	)
+	flag.Parse()
+
+	params := daemon.DefaultParams()
+	switch *mode {
+	case "scoped":
+		params.Mode = daemon.ModeScoped
+	case "naive":
+		params.Mode = daemon.ModeNaive
+	default:
+		fmt.Fprintf(os.Stderr, "condor-sim: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	params.ChronicFailureThreshold = *avoid
+	switch *mount {
+	case "hard":
+		params.Mount = daemon.MountPolicy{Kind: daemon.MountHard, RetryInterval: 30 * time.Second}
+	case "soft":
+		params.Mount = daemon.MountPolicy{Kind: daemon.MountSoft, SoftTimeout: *softT, RetryInterval: 30 * time.Second}
+	case "perjob":
+		params.Mount = daemon.MountPolicy{Kind: daemon.MountPerJob, SoftTimeout: *softT, RetryInterval: 30 * time.Second}
+	default:
+		fmt.Fprintf(os.Stderr, "condor-sim: unknown mount policy %q\n", *mount)
+		os.Exit(2)
+	}
+	var kind pool.BreakKind
+	switch *breakKind {
+	case "badpath":
+		kind = pool.BreakBadLibraryPath
+	case "unstartable":
+		kind = pool.BreakUnstartable
+	case "tinyheap":
+		kind = pool.BreakTinyHeap
+	default:
+		fmt.Fprintf(os.Stderr, "condor-sim: unknown break kind %q\n", *breakKind)
+		os.Exit(2)
+	}
+
+	k := int(*broken * float64(*machines))
+	ms := pool.Misconfigure(pool.UniformMachines(*machines, 2048), k, kind, *selftest)
+	p := pool.New(pool.Config{Seed: *seed, Params: params, Machines: ms})
+	p.StageSharedInput()
+	if *submitF != "" {
+		src, err := os.ReadFile(*submitF)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "condor-sim: %v\n", err)
+			os.Exit(1)
+		}
+		file, err := submit.Parse(string(src))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "condor-sim: %v\n", err)
+			os.Exit(1)
+		}
+		for _, j := range file.Jobs {
+			if j.Executable != "" {
+				_ = p.Schedd.SubmitFS.WriteFile(j.Executable, []byte("class bytes"))
+			}
+			p.Schedd.Submit(j)
+		}
+		fmt.Printf("queued %d job(s) from %s\n", len(file.Jobs), *submitF)
+	} else {
+		p.SubmitJava(*jobs, pool.MixedWorkload(*seed, *meanJob))
+	}
+	if *outage > 0 {
+		p.Engine.After(5*time.Minute, func() { p.Schedd.SubmitFS.SetOffline(true) })
+		p.Engine.After(5*time.Minute+*outage, func() { p.Schedd.SubmitFS.SetOffline(false) })
+	}
+
+	elapsed := p.Run(*limit)
+	m := p.Metrics()
+	fmt.Printf("pool: %d machines (%d broken via %s), mode=%s selftest=%v avoid=%d mount=%s\n",
+		*machines, k, *breakKind, params.Mode, *selftest, *avoid, params.Mount.Kind)
+	fmt.Printf("virtual time elapsed: %s\n", elapsed)
+	fmt.Printf("%s\n", m)
+	fmt.Printf("mean turnaround: %s\n", m.MeanTurnaround().Truncate(time.Second))
+
+	if *verbose {
+		fmt.Println()
+		fmt.Print(p.StatusTable())
+		fmt.Println()
+		fmt.Print(p.QueueTable())
+	}
+}

@@ -1,0 +1,101 @@
+// Command experiments regenerates every figure and behavioural
+// experiment of the paper, printing the same rows the paper reports.
+//
+// Usage:
+//
+//	experiments -run figure4          # one experiment
+//	experiments -all                  # everything
+//	experiments -list                 # enumerate experiment ids
+//	experiments -all -seed 7 -jobs 200 -machines 40
+//
+// Experiment ids: figure1, figure2, figure3, figure4, naive,
+// blackhole, mounts, principles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/errscope/grid/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "", "experiment id to run")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiment ids")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		machines = flag.Int("machines", 20, "machines in pool experiments")
+		jobs     = flag.Int("jobs", 100, "jobs in pool experiments")
+	)
+	flag.Parse()
+
+	type entry struct {
+		id  string
+		fn  func() (*experiments.Report, error)
+		doc string
+	}
+	table := []entry{
+		{"figure1", func() (*experiments.Report, error) {
+			return experiments.Figure1(), nil
+		}, "the Condor kernel protocol chain"},
+		{"figure2", experiments.Figure2,
+			"the Java Universe data path over real TCP"},
+		{"figure3", func() (*experiments.Report, error) {
+			return experiments.Figure3(), nil
+		}, "error scopes and their handling programs"},
+		{"figure4", func() (*experiments.Report, error) {
+			r, _ := experiments.Figure4()
+			return r, nil
+		}, "JVM result codes with and without the wrapper"},
+		{"naive", func() (*experiments.Report, error) {
+			return experiments.NaiveVsScoped(*seed, *machines, *jobs,
+				[]float64{0, 0.1, 0.25, 0.5}), nil
+		}, "Section 2.3: incidental errors returned to users"},
+		{"blackhole", func() (*experiments.Report, error) {
+			return experiments.Blackhole(*seed, *machines, *jobs,
+				[]float64{0, 0.1, 0.2, 0.3, 0.5},
+				experiments.BlackholePolicies()), nil
+		}, "Section 5: misconfigured machines as black holes"},
+		{"mounts", func() (*experiments.Report, error) {
+			return experiments.Mounts(*seed, *machines/2, *jobs/2,
+				[]time.Duration{5 * time.Minute, 30 * time.Minute, 2 * time.Hour}), nil
+		}, "Section 5: hard/soft/per-job mount policies"},
+		{"migration", func() (*experiments.Report, error) {
+			return experiments.Migration(*seed, *machines/2, *jobs/2,
+				time.Hour, []float64{0, 0.25, 0.5}), nil
+		}, "opportunistic cycles: checkpointing under owner churn"},
+		{"crashes", func() (*experiments.Report, error) {
+			return experiments.Crashes(*seed, *machines, *jobs, 0.25,
+				[]time.Duration{30 * time.Minute, 2 * time.Hour, 12 * time.Hour}), nil
+		}, "Section 5: silent machine crashes discovered by time"},
+		{"principles", func() (*experiments.Report, error) {
+			return experiments.Principles(), nil
+		}, "the four principles, violated and obeyed"},
+	}
+
+	if *list {
+		for _, e := range table {
+			fmt.Printf("%-12s %s\n", e.id, e.doc)
+		}
+		return
+	}
+	ran := false
+	for _, e := range table {
+		if *all || e.id == *run {
+			r, err := e.fn()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+				os.Exit(1)
+			}
+			fmt.Println(r.Format())
+			ran = true
+		}
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "experiments: nothing to run; use -run <id>, -all, or -list")
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,43 @@
+// The Section 5 black-hole story: machines whose owners assert a
+// working Java they do not have attract a continuous stream of jobs.
+// The run compares no mitigation, the startd self-test, and the
+// schedd's chronic-failure avoidance on the same workload and seed.
+//
+//	go run ./examples/blackhole
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/pool"
+)
+
+func run(name string, selfTest bool, avoid int) {
+	params := daemon.DefaultParams()
+	params.ChronicFailureThreshold = avoid
+	params.MaxAttempts = 50
+	// 10 machines; 3 owners give an incorrect path to the standard
+	// libraries but keep advertising HasJava.
+	machines := pool.Misconfigure(pool.UniformMachines(10, 2048), 3,
+		pool.BreakBadLibraryPath, selfTest)
+	p := pool.New(pool.Config{Seed: 7, Params: params, Machines: machines})
+	p.SubmitJava(40, pool.UniformCompute(15*time.Minute))
+	p.Run(7 * 24 * time.Hour)
+	m := p.Metrics()
+	wasted := m.Attempts - m.Completed - m.FetchFailures
+	fmt.Printf("%-18s completed %2d/%2d  wasted attempts %3d  badput %-8s  held %d\n",
+		name, m.Completed, m.Jobs, wasted, m.Badput.Truncate(time.Second), m.Held)
+}
+
+func main() {
+	fmt.Println("3 of 10 machines are black holes (bad java library path):")
+	fmt.Println()
+	run("no mitigation", false, 0)
+	run("startd self-test", true, 0)
+	run("schedd avoidance", false, 3)
+	fmt.Println()
+	fmt.Println("the self-test removes the attraction before any job is wasted;")
+	fmt.Println("avoidance pays a few failures per machine while it learns.")
+}

@@ -1,0 +1,76 @@
+// The end-to-end principle in action (Section 5): a supervisor above
+// the grid validates job outputs, detects implicit errors that no
+// layer below can see, and resubmits or replicates around them.
+//
+//	go run ./examples/endtoend
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/endtoend"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/pool"
+)
+
+func program(content []byte) func(path string) *jvm.Program {
+	return func(path string) *jvm.Program {
+		return &jvm.Program{Class: "Main", Steps: []jvm.Step{
+			jvm.Compute{Duration: 10 * time.Minute},
+			jvm.IOWrite{Path: path, Data: content},
+		}}
+	}
+}
+
+func main() {
+	p := pool.New(pool.Config{
+		Seed:     3,
+		Params:   daemon.DefaultParams(),
+		Machines: pool.UniformMachines(4, 2048),
+	})
+	sup := endtoend.New(p)
+	defer sup.Close()
+
+	content := []byte("final state vector: [0.812, 0.033, 0.155] iterations: 21841")
+
+	// Job 1: clean run, checksum validation.
+	clean := sup.Submit(endtoend.Spec{
+		Name:       "clean",
+		Program:    program(content),
+		OutputPath: "/home/user/clean.out",
+		Validate:   endtoend.NewChecksumValidator(content),
+	})
+
+	// Job 2: the first read of its output is silently corrupted — an
+	// implicit error, invisible to every layer of the grid.  The
+	// supervisor's checksum catches it and resubmits.
+	flaky := sup.Submit(endtoend.Spec{
+		Name:       "flaky",
+		Program:    program(content),
+		OutputPath: "/home/user/flaky.out",
+		Validate:   endtoend.NewChecksumValidator(content),
+	})
+	p.Schedd.SubmitFS.CorruptNextReads("/home/user/flaky.out", 1)
+
+	// Job 3: replication — three copies, majority vote, one replica
+	// corrupted.  No resubmission needed at all.
+	voted := sup.Submit(endtoend.Spec{
+		Name:       "voted",
+		Program:    program(content),
+		OutputPath: "/home/user/voted.out",
+		Replicas:   3,
+	})
+	p.Schedd.SubmitFS.CorruptNextReads("/home/user/voted.out.rep0.round0", 1)
+
+	p.Run(48 * time.Hour)
+
+	for _, tr := range []*endtoend.Tracked{clean, flaky, voted} {
+		fmt.Printf("%-6s status=%-8s resubmits=%d implicit-errors-detected=%d\n",
+			tr.Spec.Name, tr.Status, tr.Resubmits, tr.ImplicitDetected)
+	}
+	fmt.Println()
+	fmt.Println("\"the ultimate responsibility for detecting such errors lies with a")
+	fmt.Println("higher level of software\" — and here it is, 70 lines above the grid.")
+}

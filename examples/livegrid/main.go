@@ -1,0 +1,80 @@
+// A pool running live: the identical kernel daemons that power the
+// simulation, dispatched on goroutines over the wall clock with
+// millisecond-scale protocol intervals.  Watch real time pass while
+// the matchmaking, claiming, and shadow/starter protocols run.
+//
+//	go run ./examples/livegrid
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/live"
+)
+
+func main() {
+	rt := live.New(200 * time.Microsecond)
+	defer rt.Close()
+
+	params := daemon.DefaultParams()
+	params.NegotiationInterval = 25 * time.Millisecond
+	params.AdInterval = 25 * time.Millisecond
+	params.StartupOverhead = 2 * time.Millisecond
+	params.ClaimTimeout = 100 * time.Millisecond
+	params.ResultTimeout = 5 * time.Second
+	params.MachineAdLifetime = 250 * time.Millisecond
+	params.RequeueBackoff = 20 * time.Millisecond
+	params.ChronicFailureThreshold = 1
+
+	daemon.NewMatchmaker(rt, params)
+	var schedd *daemon.Schedd
+	rt.Do(func() {
+		schedd = daemon.NewSchedd(rt, params, "schedd")
+		// Two healthy machines and one black hole.
+		daemon.NewStartd(rt, params, daemon.MachineConfig{
+			Name: "node1", Memory: 2048, AdvertiseJava: true})
+		daemon.NewStartd(rt, params, daemon.MachineConfig{
+			Name: "node2", Memory: 1024, AdvertiseJava: true})
+		daemon.NewStartd(rt, params, daemon.MachineConfig{
+			Name: "node3", Memory: 4096, AdvertiseJava: true,
+			JVM: jvm.Config{BadLibraryPath: true}})
+	})
+
+	var ids []daemon.JobID
+	rt.Do(func() {
+		schedd.SubmitFS.WriteFile("/main.class", []byte("bytes"))
+		for i := 0; i < 6; i++ {
+			ids = append(ids, schedd.Submit(&daemon.Job{
+				Owner:      "live-user",
+				Ad:         daemon.NewJavaJobAd("live-user", 128),
+				Program:    jvm.WellBehaved(time.Duration(20+10*i) * time.Millisecond),
+				Executable: "/main.class",
+			}))
+		}
+	})
+	start := time.Now()
+	fmt.Println("submitted 6 jobs to a 3-machine live pool (node3 is a black hole)")
+
+	done := false
+	for !done && time.Since(start) < 15*time.Second {
+		rt.Do(func() { done = schedd.AllTerminal() })
+		if !done {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	fmt.Printf("all jobs terminal after %v of wall time\n\n", time.Since(start).Truncate(time.Millisecond))
+
+	rt.Do(func() {
+		for _, id := range ids {
+			j := schedd.Job(id)
+			last := j.LastAttempt()
+			fmt.Printf("job %d: %-10s attempts=%d machine=%-6s cpu=%v\n",
+				j.ID, j.State, len(j.Attempts), last.Machine, last.CPU)
+		}
+		fmt.Println("\nevent log of job 1:")
+		fmt.Print(schedd.Job(ids[0]).EventLog())
+	})
+}

@@ -1,0 +1,57 @@
+// Quickstart: build a small pool, submit a handful of Java jobs —
+// one well-behaved, one with a program bug, one that can never run —
+// and read the schedd's dispositions.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	grid "github.com/errscope/grid"
+	"github.com/errscope/grid/internal/jvm"
+)
+
+func main() {
+	// Four healthy machines with 2 GiB of memory each.
+	p := grid.NewPool(grid.PoolConfig{
+		Seed:     1,
+		Params:   grid.DefaultParams(),
+		Machines: grid.UniformMachines(4, 2048),
+	})
+
+	// Stage an executable on the submit machine and queue three jobs.
+	p.Schedd.SubmitFS.WriteFile("/home/alice/Main.class", []byte("class bytes"))
+	submit := func(prog *grid.Program) grid.JobID {
+		return p.Schedd.Submit(&grid.Job{
+			Owner:      "alice",
+			Ad:         grid.NewJavaJobAd("alice", 128),
+			Program:    prog,
+			Executable: "/home/alice/Main.class",
+		})
+	}
+	clean := submit(jvm.WellBehaved(30 * time.Minute)) // computes and exits 0
+	buggy := submit(jvm.NullPointer())                 // the user's own bug
+	broken := submit(jvm.CorruptImage())               // can never run anywhere
+
+	// Drive the simulation until every job reaches a final state.
+	p.Run(24 * time.Hour)
+
+	for _, id := range []grid.JobID{clean, buggy, broken} {
+		j := p.Schedd.Job(id)
+		fmt.Printf("job %d: %-12s attempts=%d", j.ID, j.State, len(j.Attempts))
+		if att := j.LastAttempt(); att != nil && att.FetchError == nil {
+			fmt.Printf("  result: %s", att.Reported.Status)
+			if att.Reported.Exception != "" {
+				fmt.Printf(" (%s)", att.Reported.Exception)
+			}
+		}
+		if j.FinalErr != nil {
+			fmt.Printf("  error: %v", j.FinalErr)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println(p.Metrics())
+}

@@ -1,0 +1,73 @@
+// A DAGMan-style workflow over the grid: a diamond of four jobs with
+// a flaky node that succeeds on retry.  The workflow manager is the
+// paper's "process above Condor" consuming the schedd's dispositions.
+//
+//	go run ./examples/workflow
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/dag"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/pool"
+)
+
+func main() {
+	p := pool.New(pool.Config{
+		Seed:     8,
+		Params:   daemon.DefaultParams(),
+		Machines: pool.UniformMachines(3, 2048),
+	})
+
+	job := func(owner string, d time.Duration) func() *daemon.Job {
+		return func() *daemon.Job {
+			return &daemon.Job{
+				Owner:      owner,
+				Ad:         daemon.NewJavaJobAd(owner, 128),
+				Program:    jvm.WellBehaved(d),
+				Executable: "/wf/" + owner + ".class",
+			}
+		}
+	}
+
+	d := dag.New()
+	d.AddJob("prepare", job("prepare", 5*time.Minute))
+	// simulate is flaky: its first attempt ships a corrupt image and
+	// comes back unexecutable; RETRY covers it.
+	attempt := 0
+	sim, _ := d.AddJob("simulate", func() *daemon.Job {
+		attempt++
+		prog := jvm.WellBehaved(20 * time.Minute)
+		if attempt == 1 {
+			prog = jvm.CorruptImage()
+		}
+		return &daemon.Job{
+			Owner: "simulate", Ad: daemon.NewJavaJobAd("simulate", 128),
+			Program: prog, Executable: "/wf/simulate.class",
+		}
+	})
+	sim.Retries = 2
+	d.AddJob("analyze", job("analyze", 10*time.Minute))
+	d.AddJob("publish", job("publish", time.Minute))
+	d.AddDependency("prepare", "simulate")
+	d.AddDependency("prepare", "analyze")
+	d.AddDependency("simulate", "publish")
+	d.AddDependency("analyze", "publish")
+
+	r, err := dag.Start(d, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.Run(48 * time.Hour)
+
+	fmt.Println("workflow finished:")
+	for _, name := range d.Names() {
+		fmt.Printf("  %-9s %-6s attempts=%d\n", name, r.Status(name), r.Attempts(name))
+	}
+	fmt.Printf("\nfailed=%v — the flaky node's job-scope error was consumed by the\n", r.Failed())
+	fmt.Println("workflow layer's retry, never reaching the user as a spurious result.")
+}

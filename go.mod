@@ -1,0 +1,3 @@
+module github.com/errscope/grid
+
+go 1.22

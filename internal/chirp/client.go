@@ -1,0 +1,289 @@
+package chirp
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+// Client is the I/O-library side of the Chirp protocol.  All methods
+// return scoped errors: explicit protocol errors carry the code and
+// scope sent by the proxy; transport failures become escaping errors
+// of network scope, because a broken connection is inexpressible in
+// the file interface (Principle 2).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	dead error // sticky escaping error once the transport fails
+}
+
+// Dial connects to a Chirp proxy and authenticates with the cookie.
+func Dial(addr, cookie string) (*Client, error) {
+	return DialTimeout(addr, cookie, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connection timeout.
+func DialTimeout(addr, cookie string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+	if _, _, err := c.roundTrip(fmt.Sprintf("cookie %s\n", quoteArg(cookie)), 0); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close ends the session politely and closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	fmt.Fprint(c.w, "quit\n")
+	c.w.Flush()
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// fail records and returns a sticky transport error.
+func (c *Client) fail(err error) error {
+	esc := scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+	c.dead = esc
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return esc
+}
+
+// roundTrip sends one request line (plus optional payload) and reads
+// the response line; wantData is the number of payload bytes to read
+// after an "ok n" response (capped at n).  Callers hold no lock.
+func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (value string, data []byte, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return "", nil, c.dead
+	}
+	if c.conn == nil {
+		return "", nil, scope.New(scope.ScopeFunction, CodeBadRequest, "client closed")
+	}
+	if _, err := io.WriteString(c.w, request); err != nil {
+		return "", nil, c.fail(err)
+	}
+	for _, p := range payload {
+		if _, err := c.w.Write(p); err != nil {
+			return "", nil, c.fail(err)
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", nil, c.fail(err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", nil, c.fail(err)
+	}
+	line = strings.TrimRight(line, "\r\n")
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil, c.fail(fmt.Errorf("empty response"))
+	}
+	switch fields[0] {
+	case "ok":
+		value = strings.Join(fields[1:], " ")
+		if wantData > 0 {
+			n, convErr := strconv.Atoi(fields[1])
+			if convErr != nil || n < 0 || n > maxDataLen {
+				return "", nil, c.fail(fmt.Errorf("bad data length %q", line))
+			}
+			data = make([]byte, n)
+			if _, err := io.ReadFull(c.r, data); err != nil {
+				return "", nil, c.fail(err)
+			}
+		}
+		return value, data, nil
+	case "error":
+		se, decErr := decodeErrorLine(fields[1:])
+		if decErr != nil {
+			return "", nil, c.fail(decErr)
+		}
+		return "", nil, se
+	default:
+		return "", nil, c.fail(fmt.Errorf("bad response %q", line))
+	}
+}
+
+// Open opens a remote file and returns its descriptor.
+func (c *Client) Open(path string, flags OpenFlags) (int, error) {
+	v, _, err := c.roundTrip(fmt.Sprintf("open %s %s\n", quoteArg(path), flags), 0)
+	if err != nil {
+		return -1, err
+	}
+	fd, convErr := strconv.Atoi(v)
+	if convErr != nil {
+		return -1, c.fail(fmt.Errorf("bad open response %q", v))
+	}
+	return fd, nil
+}
+
+// CloseFD closes a remote descriptor.
+func (c *Client) CloseFD(fd int) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("close %d\n", fd), 0)
+	return err
+}
+
+// Read reads up to length bytes from the descriptor's current offset.
+func (c *Client) Read(fd, length int) ([]byte, error) {
+	_, data, err := c.roundTrip(fmt.Sprintf("read %d %d\n", fd, length), length)
+	return data, err
+}
+
+// PRead reads up to length bytes at the given offset.
+func (c *Client) PRead(fd, length int, offset int64) ([]byte, error) {
+	_, data, err := c.roundTrip(fmt.Sprintf("pread %d %d %d\n", fd, length, offset), length)
+	return data, err
+}
+
+// Write writes data at the descriptor's current offset.
+func (c *Client) Write(fd int, data []byte) (int, error) {
+	v, _, err := c.roundTrip(fmt.Sprintf("write %d %d\n", fd, len(data)), 0, data)
+	if err != nil {
+		return 0, err
+	}
+	n, convErr := strconv.Atoi(v)
+	if convErr != nil {
+		return 0, c.fail(fmt.Errorf("bad write response %q", v))
+	}
+	return n, nil
+}
+
+// PWrite writes data at the given offset.
+func (c *Client) PWrite(fd int, data []byte, offset int64) (int, error) {
+	v, _, err := c.roundTrip(fmt.Sprintf("pwrite %d %d %d\n", fd, len(data), offset), 0, data)
+	if err != nil {
+		return 0, err
+	}
+	n, convErr := strconv.Atoi(v)
+	if convErr != nil {
+		return 0, c.fail(fmt.Errorf("bad pwrite response %q", v))
+	}
+	return n, nil
+}
+
+// Seek repositions the descriptor and returns the new offset.
+func (c *Client) Seek(fd int, offset int64, whence int) (int64, error) {
+	v, _, err := c.roundTrip(fmt.Sprintf("lseek %d %d %d\n", fd, offset, whence), 0)
+	if err != nil {
+		return 0, err
+	}
+	pos, convErr := strconv.ParseInt(v, 10, 64)
+	if convErr != nil {
+		return 0, c.fail(fmt.Errorf("bad lseek response %q", v))
+	}
+	return pos, nil
+}
+
+// Unlink removes a remote file.
+func (c *Client) Unlink(path string) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("unlink %s\n", quoteArg(path)), 0)
+	return err
+}
+
+// Rename moves a remote file.
+func (c *Client) Rename(oldPath, newPath string) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("rename %s %s\n", quoteArg(oldPath), quoteArg(newPath)), 0)
+	return err
+}
+
+// List enumerates remote files under a prefix.
+func (c *Client) List(prefix string) ([]vfs.Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return nil, c.dead
+	}
+	if c.conn == nil {
+		return nil, scope.New(scope.ScopeFunction, CodeBadRequest, "client closed")
+	}
+	if _, err := fmt.Fprintf(c.w, "getdir %s\n", quoteArg(prefix)); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, c.fail(err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	fields := strings.Fields(strings.TrimRight(line, "\r\n"))
+	if len(fields) == 0 {
+		return nil, c.fail(fmt.Errorf("empty response"))
+	}
+	if fields[0] == "error" {
+		se, decErr := decodeErrorLine(fields[1:])
+		if decErr != nil {
+			return nil, c.fail(decErr)
+		}
+		return nil, se
+	}
+	if fields[0] != "ok" || len(fields) != 2 {
+		return nil, c.fail(fmt.Errorf("bad getdir response %q", line))
+	}
+	n, convErr := strconv.Atoi(fields[1])
+	if convErr != nil || n < 0 || n > 1<<20 {
+		return nil, c.fail(fmt.Errorf("bad getdir count %q", fields[1]))
+	}
+	out := make([]vfs.Info, 0, n)
+	for i := 0; i < n; i++ {
+		entry, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		ef := strings.Fields(strings.TrimRight(entry, "\r\n"))
+		if len(ef) < 3 {
+			return nil, c.fail(fmt.Errorf("bad getdir entry %q", entry))
+		}
+		size, e1 := strconv.ParseInt(ef[0], 10, 64)
+		ro, e2 := strconv.Atoi(ef[1])
+		p, e3 := unquoteArg(strings.Join(ef[2:], " "))
+		if e1 != nil || e2 != nil || e3 != nil {
+			return nil, c.fail(fmt.Errorf("bad getdir entry %q", entry))
+		}
+		out = append(out, vfs.Info{Path: p, Size: size, ReadOnly: ro != 0})
+	}
+	return out, nil
+}
+
+// Stat describes a remote file.
+func (c *Client) Stat(path string) (vfs.Info, error) {
+	v, _, err := c.roundTrip(fmt.Sprintf("stat %s\n", quoteArg(path)), 0)
+	if err != nil {
+		return vfs.Info{}, err
+	}
+	fields := strings.Fields(v)
+	if len(fields) < 3 {
+		return vfs.Info{}, c.fail(fmt.Errorf("bad stat response %q", v))
+	}
+	size, err1 := strconv.ParseInt(fields[0], 10, 64)
+	ro, err2 := strconv.Atoi(fields[1])
+	p, err3 := unquoteArg(strings.Join(fields[2:], " "))
+	if err1 != nil || err2 != nil || err3 != nil {
+		return vfs.Info{}, c.fail(fmt.Errorf("bad stat response %q", v))
+	}
+	return vfs.Info{Path: p, Size: size, ReadOnly: ro != 0}, nil
+}

@@ -1,0 +1,64 @@
+package chirp
+
+import (
+	"testing"
+
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+func TestGetdir(t *testing.T) {
+	fs, _, addr := startServer(t, "k")
+	fs.WriteFile("/data/a", []byte("aa"))
+	fs.WriteFile("/data/b", []byte("b"))
+	fs.WriteFile("/other", []byte("x"))
+	fs.SetReadOnly("/data/a", true)
+	c := dial(t, addr, "k")
+
+	infos, err := c.List("/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("infos = %+v", infos)
+	}
+	if infos[0].Path != "/data/a" || infos[0].Size != 2 || !infos[0].ReadOnly {
+		t.Errorf("info[0] = %+v", infos[0])
+	}
+	if infos[1].Path != "/data/b" || infos[1].ReadOnly {
+		t.Errorf("info[1] = %+v", infos[1])
+	}
+
+	all, err := c.List("")
+	if err != nil || len(all) != 3 {
+		t.Errorf("all = %+v, %v", all, err)
+	}
+	none, err := c.List("/empty")
+	if err != nil || len(none) != 0 {
+		t.Errorf("none = %+v, %v", none, err)
+	}
+
+	// Offline backend propagates scope through getdir.
+	fs.SetOffline(true)
+	_, err = c.List("/data")
+	se, _ := scope.AsError(err)
+	if se == nil || se.Code != vfs.CodeOffline || se.Scope != scope.ScopeLocalResource {
+		t.Errorf("offline getdir = %v", err)
+	}
+	fs.SetOffline(false)
+
+	// The session keeps working after list traffic.
+	if _, err := c.Stat("/other"); err != nil {
+		t.Errorf("after getdir: %v", err)
+	}
+}
+
+func TestGetdirPathWithSpaces(t *testing.T) {
+	fs, _, addr := startServer(t, "k")
+	fs.WriteFile("/dir/name with spaces", []byte("1"))
+	c := dial(t, addr, "k")
+	infos, err := c.List("/dir")
+	if err != nil || len(infos) != 1 || infos[0].Path != "/dir/name with spaces" {
+		t.Errorf("infos = %+v, %v", infos, err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package chirp implements the Chirp protocol of the Condor Java
+// Universe (Figure 2 of the paper): a simple remote I/O protocol
+// spoken between the job's I/O library and a proxy inside the starter,
+// over a TCP connection on the loopback interface.
+//
+// The library authenticates itself by presenting a shared secret (the
+// "cookie") revealed to it through the local file system, so the
+// connection is secure to the same degree as the local system.
+//
+// The wire format is line-oriented.  Requests are a verb with
+// space-separated arguments terminated by '\n'; bulk data follows a
+// length argument.  Responses are either
+//
+//	ok [value]\n [data]
+//	error <code> <scope> <quoted message>\n
+//
+// Note that the error response carries the error's *scope* across the
+// process boundary.  This is the paper's central mechanism: the two
+// sides cooperate by knowing the scope, rather than the detail, of the
+// errors they communicate (Section 7).
+//
+// The protocol's explicit error interface is concise and finite
+// (Principle 4); any condition outside it — a lost connection,
+// protocol garbage — is surfaced by the client as an *escaping* error
+// of network scope (Principle 2).
+package chirp
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/wire"
+)
+
+// Explicit error codes of the Chirp interface (Principle 4: concise
+// and finite).
+const (
+	CodeFileNotFound = "FileNotFound"
+	CodeAccessDenied = "AccessDenied"
+	CodeDiskFull     = "DiskFull"
+	CodeEndOfFile    = "EndOfFile"
+	CodeBadFD        = "BadFileDescriptor"
+	CodeBadRequest   = "BadRequest"
+	CodeNotAuthed    = "NotAuthenticated"
+	CodeBackend      = "BackendError"
+)
+
+// Escaping error codes produced by the client for conditions outside
+// the protocol's explicit interface.
+const (
+	CodeConnectionLost = "ConnectionLost"
+	CodeProtocolError  = "ProtocolError"
+)
+
+// Contract returns the explicit error interface of the Chirp protocol.
+// Errors outside it escape with network scope.
+func Contract() *scope.Contract {
+	return scope.NewContract("chirp", scope.ScopeNetwork, CodeProtocolError).
+		Declare(CodeFileNotFound, scope.ScopeFile).
+		Declare(CodeAccessDenied, scope.ScopeFile).
+		Declare(CodeDiskFull, scope.ScopeFile).
+		Declare(CodeEndOfFile, scope.ScopeFile).
+		Declare(CodeBadFD, scope.ScopeFunction).
+		Declare(CodeBadRequest, scope.ScopeFunction).
+		Declare(CodeNotAuthed, scope.ScopeProcess).
+		Declare(CodeBackend, scope.ScopeLocalResource)
+}
+
+// OpenFlags select the access mode of an open request.
+type OpenFlags int
+
+// Open flag bits.
+const (
+	FlagRead OpenFlags = 1 << iota
+	FlagWrite
+	FlagCreate
+	FlagTruncate
+	FlagAppend
+)
+
+// String renders flags in the wire encoding: a subset of "rwcta".
+func (f OpenFlags) String() string {
+	var sb strings.Builder
+	if f&FlagRead != 0 {
+		sb.WriteByte('r')
+	}
+	if f&FlagWrite != 0 {
+		sb.WriteByte('w')
+	}
+	if f&FlagCreate != 0 {
+		sb.WriteByte('c')
+	}
+	if f&FlagTruncate != 0 {
+		sb.WriteByte('t')
+	}
+	if f&FlagAppend != 0 {
+		sb.WriteByte('a')
+	}
+	if sb.Len() == 0 {
+		return "-"
+	}
+	return sb.String()
+}
+
+// ParseOpenFlags parses the wire encoding of open flags.
+func ParseOpenFlags(s string) (OpenFlags, error) {
+	var f OpenFlags
+	if s == "-" {
+		return 0, nil
+	}
+	for _, c := range s {
+		switch c {
+		case 'r':
+			f |= FlagRead
+		case 'w':
+			f |= FlagWrite
+		case 'c':
+			f |= FlagCreate
+		case 't':
+			f |= FlagTruncate
+		case 'a':
+			f |= FlagAppend
+		default:
+			return 0, fmt.Errorf("chirp: bad open flag %q", c)
+		}
+	}
+	return f, nil
+}
+
+// Whence values for lseek, as in POSIX.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// encodeError renders a scoped error as a wire error line.  Plain
+// errors are widened to BackendError at local-resource scope: the
+// proxy cannot explain them, but it can still state their scope.
+func encodeError(err error) string {
+	return wire.EncodeError(err, CodeBackend, scope.ScopeLocalResource)
+}
+
+// decodeErrorLine parses the fields after the "error" verb.
+func decodeErrorLine(fields []string) (*scope.Error, error) {
+	return wire.DecodeError(fields)
+}
+
+// quoteArg encodes a path or string argument for the wire (no spaces
+// or newlines may appear raw).
+func quoteArg(s string) string { return wire.Quote(s) }
+
+// unquoteArg decodes a quoted wire argument.
+func unquoteArg(s string) (string, error) { return wire.Unquote(s) }

@@ -1,0 +1,38 @@
+package chirp
+
+import (
+	"bufio"
+	"net"
+	"time"
+)
+
+// rawConn is a minimal hand-rolled protocol session for tests that
+// need to speak malformed or unauthenticated Chirp.
+type rawConn struct {
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+func dialRaw(addr string) (*rawConn, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	return &rawConn{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// send writes raw bytes and returns the next response line ("" on
+// connection close).
+func (r *rawConn) send(s string) string {
+	r.conn.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := r.conn.Write([]byte(s)); err != nil {
+		return ""
+	}
+	line, err := r.r.ReadString('\n')
+	if err != nil {
+		return ""
+	}
+	return line
+}
+
+func (r *rawConn) close() { r.conn.Close() }

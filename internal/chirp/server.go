@@ -1,0 +1,493 @@
+package chirp
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+// maxDataLen bounds a single read or write payload, protecting the
+// proxy from a runaway client.
+const maxDataLen = 16 << 20
+
+// Server is the Chirp proxy: it listens on a loopback TCP port,
+// authenticates clients by shared secret, and forwards file
+// operations to a Backend.
+type Server struct {
+	backend Backend
+	secret  string
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+
+	// ErrorLog, if non-nil, receives per-connection protocol faults
+	// the proxy consumed (the starter's view of escaping errors).
+	ErrorLog func(err error)
+}
+
+// NewServer creates a Chirp proxy over backend requiring the given
+// shared-secret cookie.
+func NewServer(backend Backend, secret string) *Server {
+	return &Server{
+		backend: backend,
+		secret:  secret,
+		conns:   make(map[net.Conn]struct{}),
+	}
+}
+
+// Listen starts the proxy on addr ("127.0.0.1:0" for an ephemeral
+// loopback port) and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("chirp: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serve(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close shuts the listener and all connections down and waits for
+// the connection handlers to finish.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) logErr(err error) {
+	if s.ErrorLog != nil {
+		s.ErrorLog(err)
+	}
+}
+
+// session holds per-connection state: authentication and the file
+// descriptor table.
+type session struct {
+	authed bool
+	files  map[int]File
+	pos    map[int]int64
+	nextFD int
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	sess := &session{files: make(map[int]File), pos: make(map[int]int64), nextFD: 3}
+	defer func() {
+		for _, f := range sess.files {
+			f.Close()
+		}
+	}()
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			if err != io.EOF {
+				s.logErr(scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err))
+			}
+			return
+		}
+		quit, err := s.handle(sess, strings.TrimRight(line, "\r\n"), r, w)
+		if err != nil {
+			s.logErr(err)
+			return
+		}
+		if err := w.Flush(); err != nil {
+			s.logErr(scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err))
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// handle processes one request line.  It returns quit=true when the
+// client ends the session, and a non-nil error only for conditions
+// that must tear the connection down (escaping errors at this layer).
+func (s *Server) handle(sess *session, line string, r *bufio.Reader, w *bufio.Writer) (quit bool, fatal error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "empty request")))
+		return false, nil
+	}
+	verb, args := fields[0], fields[1:]
+
+	if verb == "quit" {
+		fmt.Fprint(w, "ok\n")
+		return true, nil
+	}
+	if verb == "cookie" {
+		if len(args) != 1 {
+			fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "cookie wants 1 argument")))
+			return false, nil
+		}
+		secret, err := unquoteArg(args[0])
+		if err != nil || subtle.ConstantTimeCompare([]byte(secret), []byte(s.secret)) != 1 {
+			// A bad cookie invalidates the whole session: the
+			// client is not who the starter revealed the secret
+			// to.  Process scope, and the connection drops.
+			fmt.Fprint(w, encodeError(scope.New(scope.ScopeProcess, CodeNotAuthed, "bad cookie")))
+			w.Flush()
+			return true, nil
+		}
+		sess.authed = true
+		fmt.Fprint(w, "ok\n")
+		return false, nil
+	}
+	if !sess.authed {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeProcess, CodeNotAuthed, "authenticate first")))
+		w.Flush()
+		return true, nil
+	}
+
+	switch verb {
+	case "open":
+		s.handleOpen(sess, args, w)
+	case "close":
+		s.handleClose(sess, args, w)
+	case "read":
+		s.handleRead(sess, args, w, false)
+	case "pread":
+		s.handleRead(sess, args, w, true)
+	case "write":
+		return false, s.handleWrite(sess, args, r, w, false)
+	case "pwrite":
+		return false, s.handleWrite(sess, args, r, w, true)
+	case "lseek":
+		s.handleLseek(sess, args, w)
+	case "unlink":
+		s.handlePathOp(args, w, s.backend.Unlink)
+	case "rename":
+		s.handleRename(args, w)
+	case "stat":
+		s.handleStat(args, w)
+	case "getdir":
+		s.handleGetdir(args, w)
+	default:
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "unknown verb %q", verb)))
+	}
+	return false, nil
+}
+
+func (s *Server) handleOpen(sess *session, args []string, w *bufio.Writer) {
+	if len(args) != 2 {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "open wants 2 arguments")))
+		return
+	}
+	path, err := unquoteArg(args[0])
+	if err != nil {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad path encoding")))
+		return
+	}
+	flags, err := ParseOpenFlags(args[1])
+	if err != nil {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "%v", err)))
+		return
+	}
+	f, err := s.backend.Open(path, flags)
+	if err != nil {
+		fmt.Fprint(w, encodeError(err))
+		return
+	}
+	fd := sess.nextFD
+	sess.nextFD++
+	sess.files[fd] = f
+	if flags&FlagAppend != 0 {
+		if size, serr := f.Size(); serr == nil {
+			sess.pos[fd] = size
+		}
+	} else {
+		sess.pos[fd] = 0
+	}
+	fmt.Fprintf(w, "ok %d\n", fd)
+}
+
+func (s *Server) handleClose(sess *session, args []string, w *bufio.Writer) {
+	fd, f, ok := sess.lookupFD(args, w)
+	if !ok {
+		return
+	}
+	delete(sess.files, fd)
+	delete(sess.pos, fd)
+	if err := f.Close(); err != nil {
+		fmt.Fprint(w, encodeError(err))
+		return
+	}
+	fmt.Fprint(w, "ok\n")
+}
+
+func (sess *session) lookupFD(args []string, w *bufio.Writer) (int, File, bool) {
+	if len(args) < 1 {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "missing fd")))
+		return 0, nil, false
+	}
+	fd, err := strconv.Atoi(args[0])
+	if err != nil {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad fd %q", args[0])))
+		return 0, nil, false
+	}
+	f, ok := sess.files[fd]
+	if !ok {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadFD, "fd %d not open", fd)))
+		return 0, nil, false
+	}
+	return fd, f, true
+}
+
+func (s *Server) handleRead(sess *session, args []string, w *bufio.Writer, positional bool) {
+	want := 2
+	if positional {
+		want = 3
+	}
+	if len(args) != want {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "read wants %d arguments", want)))
+		return
+	}
+	fd, f, ok := sess.lookupFD(args, w)
+	if !ok {
+		return
+	}
+	length, err := strconv.Atoi(args[1])
+	if err != nil || length < 0 || length > maxDataLen {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad length %q", args[1])))
+		return
+	}
+	offset := sess.pos[fd]
+	if positional {
+		off, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad offset %q", args[2])))
+			return
+		}
+		offset = off
+	}
+	data, err := f.ReadAt(offset, length)
+	if err != nil {
+		fmt.Fprint(w, encodeError(err))
+		return
+	}
+	if !positional {
+		sess.pos[fd] = offset + int64(len(data))
+	}
+	fmt.Fprintf(w, "ok %d\n", len(data))
+	w.Write(data)
+}
+
+func (s *Server) handleWrite(sess *session, args []string, r *bufio.Reader, w *bufio.Writer, positional bool) error {
+	want := 2
+	if positional {
+		want = 3
+	}
+	if len(args) != want {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "write wants %d arguments", want)))
+		return nil
+	}
+	length, err := strconv.Atoi(args[1])
+	if err != nil || length < 0 || length > maxDataLen {
+		// The payload length is unusable; the stream is no longer
+		// framed and the connection must drop (escaping error).
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad length %q", args[1])))
+		w.Flush()
+		return scope.New(scope.ScopeNetwork, CodeProtocolError, "unframed write request")
+	}
+	data := make([]byte, length)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+	}
+	fd, f, ok := sess.lookupFD(args, w)
+	if !ok {
+		return nil
+	}
+	offset := sess.pos[fd]
+	if positional {
+		off, err := strconv.ParseInt(args[2], 10, 64)
+		if err != nil {
+			fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad offset %q", args[2])))
+			return nil
+		}
+		offset = off
+	}
+	n, err := f.WriteAt(offset, data)
+	if err != nil {
+		fmt.Fprint(w, encodeError(err))
+		return nil
+	}
+	if !positional {
+		sess.pos[fd] = offset + int64(n)
+	}
+	fmt.Fprintf(w, "ok %d\n", n)
+	return nil
+}
+
+func (s *Server) handleLseek(sess *session, args []string, w *bufio.Writer) {
+	if len(args) != 3 {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "lseek wants 3 arguments")))
+		return
+	}
+	fd, f, ok := sess.lookupFD(args, w)
+	if !ok {
+		return
+	}
+	off, err1 := strconv.ParseInt(args[1], 10, 64)
+	whence, err2 := strconv.Atoi(args[2])
+	if err1 != nil || err2 != nil {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad lseek arguments")))
+		return
+	}
+	var base int64
+	switch whence {
+	case SeekSet:
+		base = 0
+	case SeekCur:
+		base = sess.pos[fd]
+	case SeekEnd:
+		size, err := f.Size()
+		if err != nil {
+			fmt.Fprint(w, encodeError(err))
+			return
+		}
+		base = size
+	default:
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad whence %d", whence)))
+		return
+	}
+	pos := base + off
+	if pos < 0 {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "negative seek position")))
+		return
+	}
+	sess.pos[fd] = pos
+	fmt.Fprintf(w, "ok %d\n", pos)
+}
+
+func (s *Server) handlePathOp(args []string, w *bufio.Writer, op func(string) error) {
+	if len(args) != 1 {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "wants 1 argument")))
+		return
+	}
+	path, err := unquoteArg(args[0])
+	if err != nil {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad path encoding")))
+		return
+	}
+	if err := op(path); err != nil {
+		fmt.Fprint(w, encodeError(err))
+		return
+	}
+	fmt.Fprint(w, "ok\n")
+}
+
+func (s *Server) handleRename(args []string, w *bufio.Writer) {
+	if len(args) != 2 {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "rename wants 2 arguments")))
+		return
+	}
+	oldPath, err1 := unquoteArg(args[0])
+	newPath, err2 := unquoteArg(args[1])
+	if err1 != nil || err2 != nil {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad path encoding")))
+		return
+	}
+	if err := s.backend.Rename(oldPath, newPath); err != nil {
+		fmt.Fprint(w, encodeError(err))
+		return
+	}
+	fmt.Fprint(w, "ok\n")
+}
+
+// handleGetdir lists files under a prefix: "ok n" followed by n lines
+// of "size readonly quoted-path".
+func (s *Server) handleGetdir(args []string, w *bufio.Writer) {
+	if len(args) != 1 {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "getdir wants 1 argument")))
+		return
+	}
+	prefix, err := unquoteArg(args[0])
+	if err != nil {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad path encoding")))
+		return
+	}
+	infos, err := s.backend.List(prefix)
+	if err != nil {
+		fmt.Fprint(w, encodeError(err))
+		return
+	}
+	fmt.Fprintf(w, "ok %d\n", len(infos))
+	for _, info := range infos {
+		ro := 0
+		if info.ReadOnly {
+			ro = 1
+		}
+		fmt.Fprintf(w, "%d %d %s\n", info.Size, ro, quoteArg(info.Path))
+	}
+}
+
+func (s *Server) handleStat(args []string, w *bufio.Writer) {
+	if len(args) != 1 {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "stat wants 1 argument")))
+		return
+	}
+	path, err := unquoteArg(args[0])
+	if err != nil {
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad path encoding")))
+		return
+	}
+	info, err := s.backend.Stat(path)
+	if err != nil {
+		fmt.Fprint(w, encodeError(err))
+		return
+	}
+	ro := 0
+	if info.ReadOnly {
+		ro = 1
+	}
+	fmt.Fprintf(w, "ok %d %d %s\n", info.Size, ro, quoteArg(info.Path))
+}

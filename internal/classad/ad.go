@@ -1,0 +1,196 @@
+package classad
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ad is a ClassAd: an ordered set of named attribute expressions.
+// Attribute names are case-insensitive, as in Condor, but the ad
+// remembers the spelling used at first insertion.  The zero value is
+// not usable; call NewAd.
+//
+// An Ad is not safe for concurrent mutation; daemons own their ads
+// and exchange copies.
+type Ad struct {
+	names []string       // insertion order, original spelling
+	exprs []Expr         // parallel to names
+	index map[string]int // lower-case name -> slice position
+}
+
+// NewAd creates an empty ClassAd.
+func NewAd() *Ad {
+	return &Ad{index: make(map[string]int)}
+}
+
+// Len returns the number of attributes.
+func (a *Ad) Len() int { return len(a.names) }
+
+// Names returns the attribute names in insertion order.
+func (a *Ad) Names() []string {
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// Set binds name to the expression, replacing any previous binding
+// but keeping the original position and spelling.
+func (a *Ad) Set(name string, e Expr) {
+	key := strings.ToLower(name)
+	if i, ok := a.index[key]; ok {
+		a.exprs[i] = e
+		return
+	}
+	a.index[key] = len(a.names)
+	a.names = append(a.names, name)
+	a.exprs = append(a.exprs, e)
+}
+
+// SetValue binds name to a constant value.
+func (a *Ad) SetValue(name string, v Value) { a.Set(name, Lit(v)) }
+
+// SetInt binds name to an integer constant.
+func (a *Ad) SetInt(name string, i int64) { a.SetValue(name, Int(i)) }
+
+// SetReal binds name to a real constant.
+func (a *Ad) SetReal(name string, r float64) { a.SetValue(name, Real(r)) }
+
+// SetBool binds name to a boolean constant.
+func (a *Ad) SetBool(name string, b bool) { a.SetValue(name, Bool(b)) }
+
+// SetString binds name to a string constant.
+func (a *Ad) SetString(name, s string) { a.SetValue(name, Str(s)) }
+
+// SetExprString parses src as an expression and binds it to name.
+func (a *Ad) SetExprString(name, src string) error {
+	e, err := ParseExpr(src)
+	if err != nil {
+		return fmt.Errorf("classad: attribute %s: %w", name, err)
+	}
+	a.Set(name, e)
+	return nil
+}
+
+// MustSetExpr is SetExprString that panics on a parse error; intended
+// for statically known expressions in tests and configuration.
+func (a *Ad) MustSetExpr(name, src string) {
+	if err := a.SetExprString(name, src); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the expression bound to name (case-insensitive).
+func (a *Ad) Lookup(name string) (Expr, bool) {
+	if a == nil {
+		return nil, false
+	}
+	i, ok := a.index[strings.ToLower(name)]
+	if !ok {
+		return nil, false
+	}
+	return a.exprs[i], true
+}
+
+// Delete removes the binding for name, if present.
+func (a *Ad) Delete(name string) {
+	key := strings.ToLower(name)
+	i, ok := a.index[key]
+	if !ok {
+		return
+	}
+	a.names = append(a.names[:i], a.names[i+1:]...)
+	a.exprs = append(a.exprs[:i], a.exprs[i+1:]...)
+	delete(a.index, key)
+	for k, j := range a.index {
+		if j > i {
+			a.index[k] = j - 1
+		}
+	}
+}
+
+// Copy returns a deep copy of the ad structure.  Expressions are
+// immutable and therefore shared.
+func (a *Ad) Copy() *Ad {
+	cp := &Ad{
+		names: make([]string, len(a.names)),
+		exprs: make([]Expr, len(a.exprs)),
+		index: make(map[string]int, len(a.index)),
+	}
+	copy(cp.names, a.names)
+	copy(cp.exprs, a.exprs)
+	for k, v := range a.index {
+		cp.index[k] = v
+	}
+	return cp
+}
+
+// Merge sets every attribute of other into a, overwriting duplicates.
+func (a *Ad) Merge(other *Ad) {
+	if other == nil {
+		return
+	}
+	for i, name := range other.names {
+		a.Set(name, other.exprs[i])
+	}
+}
+
+// EvalAttr evaluates the named attribute with a as self and target as
+// the match candidate.  A missing attribute is UNDEFINED.
+func (a *Ad) EvalAttr(name string, target *Ad) Value {
+	e, ok := a.Lookup(name)
+	if !ok {
+		return Undefined()
+	}
+	return e.eval(&env{self: a, target: target})
+}
+
+// EvalString is a convenience that evaluates src in the context of a
+// (self) and target.
+func (a *Ad) EvalString(src string, target *Ad) (Value, error) {
+	e, err := ParseExpr(src)
+	if err != nil {
+		return ErrorValue(), err
+	}
+	return e.eval(&env{self: a, target: target}), nil
+}
+
+// String renders the ad in bracketed ClassAd syntax.
+func (a *Ad) String() string {
+	var sb strings.Builder
+	sb.WriteString("[ ")
+	for i, name := range a.names {
+		if i > 0 {
+			sb.WriteString("; ")
+		}
+		fmt.Fprintf(&sb, "%s = %s", name, a.exprs[i])
+	}
+	sb.WriteString(" ]")
+	return sb.String()
+}
+
+// equalTo compares two ads structurally: same attribute set (by
+// case-insensitive name) with strictly equal constant renderings.
+func (a *Ad) equalTo(b *Ad) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if len(a.names) != len(b.names) {
+		return false
+	}
+	akeys := make([]string, 0, len(a.index))
+	for k := range a.index {
+		akeys = append(akeys, k)
+	}
+	sort.Strings(akeys)
+	for _, k := range akeys {
+		bi, ok := b.index[k]
+		if !ok {
+			return false
+		}
+		if a.exprs[a.index[k]].String() != b.exprs[bi].String() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,119 @@
+package classad
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed ClassAd expression.  Expressions are immutable
+// after parsing and safe for concurrent evaluation.
+type Expr interface {
+	// String renders the expression in parseable ClassAd syntax.
+	String() string
+	eval(env *env) Value
+}
+
+// literalExpr is a constant.
+type literalExpr struct{ v Value }
+
+func (e *literalExpr) String() string { return e.v.String() }
+
+// attrRefExpr references an attribute, optionally qualified by a
+// resolution scope: "" (unqualified), "my", or "target".
+type attrRefExpr struct {
+	scope string
+	name  string
+}
+
+func (e *attrRefExpr) String() string {
+	if e.scope != "" {
+		return e.scope + "." + e.name
+	}
+	return e.name
+}
+
+// selectExpr selects an attribute from the ad value of base.
+type selectExpr struct {
+	base Expr
+	name string
+}
+
+func (e *selectExpr) String() string {
+	return fmt.Sprintf("%s.%s", e.base, e.name)
+}
+
+// unaryExpr applies ! or unary -.
+type unaryExpr struct {
+	op tokenKind
+	x  Expr
+}
+
+func (e *unaryExpr) String() string {
+	op := "!"
+	if e.op == tokMinus {
+		op = "-"
+	}
+	return op + e.x.String()
+}
+
+// binaryExpr applies a binary operator.
+type binaryExpr struct {
+	op   tokenKind
+	l, r Expr
+}
+
+var binaryOpText = map[tokenKind]string{
+	tokPlus: "+", tokMinus: "-", tokStar: "*", tokSlash: "/", tokPct: "%",
+	tokLT: "<", tokLE: "<=", tokGT: ">", tokGE: ">=",
+	tokEQ: "==", tokNE: "!=", tokMetaEQ: "=?=", tokMetaNE: "=!=",
+	tokAnd: "&&", tokOr: "||",
+}
+
+func (e *binaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.l, binaryOpText[e.op], e.r)
+}
+
+// condExpr is the ternary conditional.
+type condExpr struct {
+	cond, then, els Expr
+}
+
+func (e *condExpr) String() string {
+	return fmt.Sprintf("(%s ? %s : %s)", e.cond, e.then, e.els)
+}
+
+// callExpr is a builtin function call.
+type callExpr struct {
+	name string
+	args []Expr
+}
+
+func (e *callExpr) String() string {
+	parts := make([]string, len(e.args))
+	for i, a := range e.args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.name, strings.Join(parts, ", "))
+}
+
+// listExpr is a literal list.
+type listExpr struct{ elems []Expr }
+
+func (e *listExpr) String() string {
+	parts := make([]string, len(e.elems))
+	for i, a := range e.elems {
+		parts[i] = a.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// adExpr is a literal nested ClassAd.
+type adExpr struct{ ad *Ad }
+
+func (e *adExpr) String() string { return e.ad.String() }
+
+// Lit wraps a constant value as an expression.
+func Lit(v Value) Expr { return &literalExpr{v: v} }
+
+// AttrRef builds an unqualified attribute reference expression.
+func AttrRef(name string) Expr { return &attrRefExpr{name: name} }

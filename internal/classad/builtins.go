@@ -1,0 +1,423 @@
+package classad
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// builtinFunc evaluates a call given unevaluated argument expressions;
+// most builtins are strict and evaluate all their arguments, but
+// ifThenElse is lazy by design.
+type builtinFunc func(args []Expr, en *env) Value
+
+// builtins is the function library.  Names are lower-case; the parser
+// lower-cases call names, making builtins case-insensitive as in
+// Condor.
+var builtins map[string]builtinFunc
+
+func init() {
+	builtins = map[string]builtinFunc{
+		"strcat":      strictFn(biStrcat),
+		"substr":      strictFn(biSubstr),
+		"size":        strictFn(biSize),
+		"toupper":     strictFn(biToUpper),
+		"tolower":     strictFn(biToLower),
+		"int":         strictFn(biInt),
+		"real":        strictFn(biReal),
+		"string":      strictFn(biString),
+		"floor":       strictFn(biFloor),
+		"ceiling":     strictFn(biCeiling),
+		"round":       strictFn(biRound),
+		"abs":         strictFn(biAbs),
+		"min":         strictFn(biMin),
+		"max":         strictFn(biMax),
+		"member":      strictFn(biMember),
+		"regexp":      strictFn(biRegexp),
+		"isundefined": strictFn(typePredicate(UndefinedType)),
+		"iserror":     strictFn(typePredicate(ErrorType)),
+		"isboolean":   strictFn(typePredicate(BooleanType)),
+		"isinteger":   strictFn(typePredicate(IntegerType)),
+		"isreal":      strictFn(typePredicate(RealType)),
+		"isstring":    strictFn(typePredicate(StringType)),
+		"islist":      strictFn(typePredicate(ListType)),
+		"isclassad":   strictFn(typePredicate(AdType)),
+		"ifthenelse":  biIfThenElse,
+	}
+}
+
+// strictFn adapts a function over evaluated values.
+func strictFn(f func(vs []Value) Value) builtinFunc {
+	return func(args []Expr, en *env) Value {
+		vs := make([]Value, len(args))
+		for i, a := range args {
+			vs[i] = a.eval(en)
+		}
+		return f(vs)
+	}
+}
+
+// typePredicate builds isX(v) -> boolean.  Type predicates are total:
+// they return a definite boolean even for UNDEFINED and ERROR inputs,
+// which is their whole purpose.
+func typePredicate(t ValueType) func(vs []Value) Value {
+	return func(vs []Value) Value {
+		if len(vs) != 1 {
+			return ErrorValue()
+		}
+		return Bool(vs[0].Type() == t)
+	}
+}
+
+func biStrcat(vs []Value) Value {
+	var sb strings.Builder
+	for _, v := range vs {
+		switch v.Type() {
+		case UndefinedType, ErrorType:
+			return v
+		case StringType:
+			s, _ := v.StringValue()
+			sb.WriteString(s)
+		default:
+			sb.WriteString(v.String())
+		}
+	}
+	return Str(sb.String())
+}
+
+func biSubstr(vs []Value) Value {
+	if len(vs) < 2 || len(vs) > 3 {
+		return ErrorValue()
+	}
+	s, ok := vs[0].StringValue()
+	if !ok {
+		return propagateOrError(vs[0])
+	}
+	off, ok := vs[1].IntValue()
+	if !ok {
+		return propagateOrError(vs[1])
+	}
+	n := int64(len(s))
+	if off < 0 {
+		off += n
+	}
+	if off < 0 {
+		off = 0
+	}
+	if off > n {
+		off = n
+	}
+	end := n
+	if len(vs) == 3 {
+		length, ok := vs[2].IntValue()
+		if !ok {
+			return propagateOrError(vs[2])
+		}
+		if length < 0 {
+			end = n + length
+		} else {
+			end = off + length
+		}
+		if end < off {
+			end = off
+		}
+		if end > n {
+			end = n
+		}
+	}
+	return Str(s[off:end])
+}
+
+func biSize(vs []Value) Value {
+	if len(vs) != 1 {
+		return ErrorValue()
+	}
+	switch vs[0].Type() {
+	case StringType:
+		s, _ := vs[0].StringValue()
+		return Int(int64(len(s)))
+	case ListType:
+		l, _ := vs[0].ListValue()
+		return Int(int64(len(l)))
+	case AdType:
+		ad, _ := vs[0].AdContent()
+		return Int(int64(ad.Len()))
+	default:
+		return propagateOrError(vs[0])
+	}
+}
+
+func biToUpper(vs []Value) Value {
+	if len(vs) != 1 {
+		return ErrorValue()
+	}
+	s, ok := vs[0].StringValue()
+	if !ok {
+		return propagateOrError(vs[0])
+	}
+	return Str(strings.ToUpper(s))
+}
+
+func biToLower(vs []Value) Value {
+	if len(vs) != 1 {
+		return ErrorValue()
+	}
+	s, ok := vs[0].StringValue()
+	if !ok {
+		return propagateOrError(vs[0])
+	}
+	return Str(strings.ToLower(s))
+}
+
+func biInt(vs []Value) Value {
+	if len(vs) != 1 {
+		return ErrorValue()
+	}
+	switch vs[0].Type() {
+	case IntegerType:
+		return vs[0]
+	case RealType:
+		r, _ := vs[0].RealValue()
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return ErrorValue()
+		}
+		return Int(int64(r)) // truncation toward zero
+	case StringType:
+		s, _ := vs[0].StringValue()
+		n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		if err != nil {
+			return ErrorValue()
+		}
+		return Int(n)
+	case BooleanType:
+		b, _ := vs[0].BoolValue()
+		if b {
+			return Int(1)
+		}
+		return Int(0)
+	default:
+		return propagateOrError(vs[0])
+	}
+}
+
+func biReal(vs []Value) Value {
+	if len(vs) != 1 {
+		return ErrorValue()
+	}
+	switch vs[0].Type() {
+	case RealType:
+		return vs[0]
+	case IntegerType:
+		i, _ := vs[0].IntValue()
+		return Real(float64(i))
+	case StringType:
+		s, _ := vs[0].StringValue()
+		switch strings.ToUpper(strings.TrimSpace(s)) {
+		case "INF":
+			return Real(math.Inf(1))
+		case "-INF":
+			return Real(math.Inf(-1))
+		case "NAN":
+			return Real(math.NaN())
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return ErrorValue()
+		}
+		return Real(f)
+	case BooleanType:
+		b, _ := vs[0].BoolValue()
+		if b {
+			return Real(1)
+		}
+		return Real(0)
+	default:
+		return propagateOrError(vs[0])
+	}
+}
+
+func biString(vs []Value) Value {
+	if len(vs) != 1 {
+		return ErrorValue()
+	}
+	switch vs[0].Type() {
+	case StringType:
+		return vs[0]
+	case UndefinedType, ErrorType:
+		return vs[0]
+	default:
+		return Str(vs[0].String())
+	}
+}
+
+func realArg(v Value) (float64, Value, bool) {
+	if f, ok := v.RealValue(); ok {
+		return f, Value{}, true
+	}
+	return 0, propagateOrError(v), false
+}
+
+func biFloor(vs []Value) Value {
+	if len(vs) != 1 {
+		return ErrorValue()
+	}
+	f, bad, ok := realArg(vs[0])
+	if !ok {
+		return bad
+	}
+	return Int(int64(math.Floor(f)))
+}
+
+func biCeiling(vs []Value) Value {
+	if len(vs) != 1 {
+		return ErrorValue()
+	}
+	f, bad, ok := realArg(vs[0])
+	if !ok {
+		return bad
+	}
+	return Int(int64(math.Ceil(f)))
+}
+
+func biRound(vs []Value) Value {
+	if len(vs) != 1 {
+		return ErrorValue()
+	}
+	f, bad, ok := realArg(vs[0])
+	if !ok {
+		return bad
+	}
+	return Int(int64(math.Round(f)))
+}
+
+func biAbs(vs []Value) Value {
+	if len(vs) != 1 {
+		return ErrorValue()
+	}
+	switch vs[0].Type() {
+	case IntegerType:
+		i, _ := vs[0].IntValue()
+		if i < 0 {
+			i = -i
+		}
+		return Int(i)
+	case RealType:
+		r, _ := vs[0].RealValue()
+		return Real(math.Abs(r))
+	default:
+		return propagateOrError(vs[0])
+	}
+}
+
+func biMinMax(vs []Value, wantMin bool) Value {
+	if len(vs) == 0 {
+		return ErrorValue()
+	}
+	best := vs[0]
+	if !best.isNumber() {
+		return propagateOrError(best)
+	}
+	for _, v := range vs[1:] {
+		if !v.isNumber() {
+			return propagateOrError(v)
+		}
+		bf, _ := best.RealValue()
+		vf, _ := v.RealValue()
+		if (wantMin && vf < bf) || (!wantMin && vf > bf) {
+			best = v
+		}
+	}
+	return best
+}
+
+func biMin(vs []Value) Value { return biMinMax(vs, true) }
+func biMax(vs []Value) Value { return biMinMax(vs, false) }
+
+// biMember reports whether item is strictly present in list:
+// member(item, list).  Strings compare case-insensitively, matching
+// ClassAd equality.
+func biMember(vs []Value) Value {
+	if len(vs) != 2 {
+		return ErrorValue()
+	}
+	item := vs[0]
+	list, ok := vs[1].ListValue()
+	if !ok {
+		return propagateOrError(vs[1])
+	}
+	if item.IsUndefined() || item.IsError() {
+		return item
+	}
+	for _, e := range list {
+		if item.Type() == StringType && e.Type() == StringType {
+			a, _ := item.StringValue()
+			b, _ := e.StringValue()
+			if strings.EqualFold(a, b) {
+				return Bool(true)
+			}
+			continue
+		}
+		if item.isNumber() && e.isNumber() {
+			a, _ := item.RealValue()
+			b, _ := e.RealValue()
+			if a == b {
+				return Bool(true)
+			}
+			continue
+		}
+		if item.Equal(e) {
+			return Bool(true)
+		}
+	}
+	return Bool(false)
+}
+
+// biRegexp implements regexp(pattern, target) -> boolean.
+func biRegexp(vs []Value) Value {
+	if len(vs) != 2 {
+		return ErrorValue()
+	}
+	pat, ok := vs[0].StringValue()
+	if !ok {
+		return propagateOrError(vs[0])
+	}
+	target, ok := vs[1].StringValue()
+	if !ok {
+		return propagateOrError(vs[1])
+	}
+	re, err := regexp.Compile(pat)
+	if err != nil {
+		return ErrorValue()
+	}
+	return Bool(re.MatchString(target))
+}
+
+// biIfThenElse is lazy: only the selected branch is evaluated.
+func biIfThenElse(args []Expr, en *env) Value {
+	if len(args) != 3 {
+		return ErrorValue()
+	}
+	c := args[0].eval(en)
+	switch c.Type() {
+	case BooleanType:
+		b, _ := c.BoolValue()
+		if b {
+			return args[1].eval(en)
+		}
+		return args[2].eval(en)
+	case UndefinedType, ErrorType:
+		return c
+	default:
+		return ErrorValue()
+	}
+}
+
+// propagateOrError passes UNDEFINED/ERROR through and converts any
+// other unsuitable argument to ERROR.
+func propagateOrError(v Value) Value {
+	if v.IsUndefined() || v.IsError() {
+		return v
+	}
+	return ErrorValue()
+}

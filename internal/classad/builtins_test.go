@@ -1,0 +1,107 @@
+package classad
+
+import "testing"
+
+func TestBuiltinStrings(t *testing.T) {
+	wantVal(t, `strcat("foo", "bar")`, Str("foobar"))
+	wantVal(t, `strcat("n=", 3, " r=", 1.5)`, Str("n=3 r=1.5"))
+	wantVal(t, `strcat("a", nosuch)`, Undefined())
+	wantVal(t, `toUpper("MiXeD")`, Str("MIXED"))
+	wantVal(t, `toLower("MiXeD")`, Str("mixed"))
+	wantVal(t, `toUpper(3)`, ErrorValue())
+	wantVal(t, `substr("abcdef", 2)`, Str("cdef"))
+	wantVal(t, `substr("abcdef", 2, 3)`, Str("cde"))
+	wantVal(t, `substr("abcdef", -2)`, Str("ef"))
+	wantVal(t, `substr("abcdef", 2, -1)`, Str("cde"))
+	wantVal(t, `substr("abc", 10)`, Str(""))
+	wantVal(t, `substr("abc", 0, 100)`, Str("abc"))
+	wantVal(t, `size("hello")`, Int(5))
+	wantVal(t, `size({1,2})`, Int(2))
+	wantVal(t, `size([ a=1; b=2 ])`, Int(2))
+	wantVal(t, `size(3)`, ErrorValue())
+}
+
+func TestBuiltinConversions(t *testing.T) {
+	wantVal(t, `int(3.9)`, Int(3))
+	wantVal(t, `int(-3.9)`, Int(-3))
+	wantVal(t, `int("42")`, Int(42))
+	wantVal(t, `int(" 7 ")`, Int(7))
+	wantVal(t, `int("x")`, ErrorValue())
+	wantVal(t, `int(true)`, Int(1))
+	wantVal(t, `real(3)`, Real(3))
+	wantVal(t, `real("2.5")`, Real(2.5))
+	wantVal(t, `real(false)`, Real(0))
+	wantVal(t, `string(42)`, Str("42"))
+	wantVal(t, `string("x")`, Str("x"))
+	wantVal(t, `string(true)`, Str("true"))
+	wantVal(t, `floor(2.7)`, Int(2))
+	wantVal(t, `floor(-2.1)`, Int(-3))
+	wantVal(t, `ceiling(2.1)`, Int(3))
+	wantVal(t, `round(2.5)`, Int(3))
+	wantVal(t, `round(2.4)`, Int(2))
+	wantVal(t, `abs(-3)`, Int(3))
+	wantVal(t, `abs(-2.5)`, Real(2.5))
+	wantVal(t, `min(3, 1, 2)`, Int(1))
+	wantVal(t, `max(3, 1.5, 2)`, Int(3))
+	wantVal(t, `min(1, "x")`, ErrorValue())
+}
+
+func TestBuiltinMember(t *testing.T) {
+	wantVal(t, `member(2, {1, 2, 3})`, Bool(true))
+	wantVal(t, `member(4, {1, 2, 3})`, Bool(false))
+	wantVal(t, `member(2.0, {1, 2, 3})`, Bool(true))  // numeric promotion
+	wantVal(t, `member("B", {"a", "b"})`, Bool(true)) // case-insensitive
+	wantVal(t, `member("c", {"a", "b"})`, Bool(false))
+	wantVal(t, `member(1, 5)`, ErrorValue())
+	wantVal(t, `member(nosuch, {1})`, Undefined())
+	wantVal(t, `member({1}, {{1}, {2}})`, Bool(true)) // strict fallback
+}
+
+func TestBuiltinRegexp(t *testing.T) {
+	wantVal(t, `regexp("^node[0-9]+$", "node42")`, Bool(true))
+	wantVal(t, `regexp("^node[0-9]+$", "nodex")`, Bool(false))
+	wantVal(t, `regexp("(", "x")`, ErrorValue())
+	wantVal(t, `regexp(1, "x")`, ErrorValue())
+}
+
+func TestBuiltinTypePredicates(t *testing.T) {
+	wantVal(t, `isUndefined(nosuch)`, Bool(true))
+	wantVal(t, `isUndefined(1)`, Bool(false))
+	wantVal(t, `isError(1/0)`, Bool(true))
+	wantVal(t, `isError(1)`, Bool(false))
+	wantVal(t, `isInteger(1)`, Bool(true))
+	wantVal(t, `isReal(1.0)`, Bool(true))
+	wantVal(t, `isString("s")`, Bool(true))
+	wantVal(t, `isBoolean(true)`, Bool(true))
+	wantVal(t, `isList({})`, Bool(true))
+	wantVal(t, `isClassad([ a = 1 ])`, Bool(true))
+	wantVal(t, `isInteger(1.0)`, Bool(false))
+}
+
+func TestBuiltinIfThenElse(t *testing.T) {
+	wantVal(t, `ifThenElse(true, 1, 2)`, Int(1))
+	wantVal(t, `ifThenElse(false, 1, 2)`, Int(2))
+	wantVal(t, `ifThenElse(nosuch, 1, 2)`, Undefined())
+	wantVal(t, `ifThenElse(3, 1, 2)`, ErrorValue())
+	// Lazy: the untaken branch may be erroneous.
+	wantVal(t, `ifThenElse(true, 1, 1/0)`, Int(1))
+	wantVal(t, `ifThenElse(true, 1)`, ErrorValue()) // arity
+}
+
+func TestBuiltinUnknownFunction(t *testing.T) {
+	wantVal(t, `noSuchFunction(1)`, ErrorValue())
+}
+
+func TestBuiltinCaseInsensitiveNames(t *testing.T) {
+	wantVal(t, `STRCAT("a", "b")`, Str("ab"))
+	wantVal(t, `IsUndefined(nosuch)`, Bool(true))
+}
+
+func TestBuiltinArityErrors(t *testing.T) {
+	for _, src := range []string{
+		`size()`, `size(1, 2)`, `toUpper()`, `substr("x")`,
+		`int()`, `member({1})`, `regexp("x")`, `min()`,
+	} {
+		wantVal(t, src, ErrorValue())
+	}
+}

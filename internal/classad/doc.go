@@ -1,0 +1,29 @@
+// Package classad implements the ClassAd (classified advertisement)
+// language used by Condor to describe and match jobs and machines
+// (Raman, "Matchmaking Frameworks for Distributed Resource
+// Management", 2000; referenced as [38] in the paper).
+//
+// A ClassAd is a set of named attributes, each bound to an expression.
+// Expressions evaluate under a three-valued logic whose extra values,
+// UNDEFINED and ERROR, propagate through operators: referencing an
+// attribute absent from both ads of a match yields UNDEFINED rather
+// than a crash, which is itself an instance of the paper's Principle 1
+// — an unresolvable reference must not silently become a valid-looking
+// value.
+//
+// The package provides:
+//
+//   - the value model (Value): undefined, error, boolean, integer,
+//     real, string, list, and nested ClassAd values;
+//   - a lexer and recursive-descent parser for the ClassAd expression
+//     and record syntax ("[ a = 1; b = a + 1 ]");
+//   - an evaluator with the standard operator set, including the
+//     meta-equality operators =?= and =!= which never yield
+//     UNDEFINED;
+//   - the builtin function library (strcat, size, member,
+//     ifThenElse, isUndefined, ...);
+//   - two-way matchmaking: Match evaluates each ad's Requirements in
+//     the context of the other (MY/TARGET resolution), and Rank
+//     orders compatible partners, exactly as the matchmaker daemon
+//     needs.
+package classad

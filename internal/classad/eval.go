@@ -1,0 +1,357 @@
+package classad
+
+import (
+	"math"
+	"strings"
+)
+
+// maxEvalDepth bounds recursive attribute resolution; a reference
+// cycle (a = b; b = a) bottoms out as ERROR rather than hanging,
+// per Principle 1: the evaluator must not fabricate a value.
+const maxEvalDepth = 64
+
+// env carries the evaluation context: the ad owning the expression
+// (self), the candidate partner ad (target), and the recursion depth.
+type env struct {
+	self   *Ad
+	target *Ad
+	depth  int
+}
+
+func (e *env) deeper() (*env, bool) {
+	if e.depth+1 > maxEvalDepth {
+		return nil, false
+	}
+	return &env{self: e.self, target: e.target, depth: e.depth + 1}, true
+}
+
+func (e *literalExpr) eval(*env) Value { return e.v }
+
+func (e *attrRefExpr) eval(en *env) Value {
+	next, ok := en.deeper()
+	if !ok {
+		return ErrorValue()
+	}
+	switch e.scope {
+	case "my":
+		return lookupIn(en.self, e.name, next, en.target)
+	case "target":
+		return lookupIn(en.target, e.name, next, en.self)
+	default:
+		// Unqualified: resolve in self first, then target.
+		if en.self != nil {
+			if expr, ok := en.self.Lookup(e.name); ok {
+				return expr.eval(&env{self: en.self, target: en.target, depth: next.depth})
+			}
+		}
+		if en.target != nil {
+			if expr, ok := en.target.Lookup(e.name); ok {
+				// Inside the target ad, the roles reverse.
+				return expr.eval(&env{self: en.target, target: en.self, depth: next.depth})
+			}
+		}
+		return Undefined()
+	}
+}
+
+// lookupIn resolves name in ad, evaluating with ad as self.
+func lookupIn(ad *Ad, name string, next *env, other *Ad) Value {
+	if ad == nil {
+		return Undefined()
+	}
+	expr, ok := ad.Lookup(name)
+	if !ok {
+		return Undefined()
+	}
+	return expr.eval(&env{self: ad, target: other, depth: next.depth})
+}
+
+func (e *selectExpr) eval(en *env) Value {
+	next, ok := en.deeper()
+	if !ok {
+		return ErrorValue()
+	}
+	base := e.base.eval(next)
+	switch base.Type() {
+	case UndefinedType, ErrorType:
+		return base
+	case AdType:
+		ad, _ := base.AdContent()
+		return lookupIn(ad, e.name, next, en.target)
+	default:
+		return ErrorValue()
+	}
+}
+
+func (e *unaryExpr) eval(en *env) Value {
+	next, ok := en.deeper()
+	if !ok {
+		return ErrorValue()
+	}
+	x := e.x.eval(next)
+	switch e.op {
+	case tokNot:
+		switch x.Type() {
+		case BooleanType:
+			b, _ := x.BoolValue()
+			return Bool(!b)
+		case UndefinedType, ErrorType:
+			return x
+		default:
+			return ErrorValue()
+		}
+	case tokMinus:
+		switch x.Type() {
+		case IntegerType:
+			i, _ := x.IntValue()
+			return Int(-i)
+		case RealType:
+			r, _ := x.RealValue()
+			return Real(-r)
+		case UndefinedType, ErrorType:
+			return x
+		default:
+			return ErrorValue()
+		}
+	}
+	return ErrorValue()
+}
+
+func (e *condExpr) eval(en *env) Value {
+	next, ok := en.deeper()
+	if !ok {
+		return ErrorValue()
+	}
+	c := e.cond.eval(next)
+	switch c.Type() {
+	case BooleanType:
+		b, _ := c.BoolValue()
+		if b {
+			return e.then.eval(next)
+		}
+		return e.els.eval(next)
+	case UndefinedType, ErrorType:
+		return c
+	default:
+		return ErrorValue()
+	}
+}
+
+func (e *listExpr) eval(en *env) Value {
+	next, ok := en.deeper()
+	if !ok {
+		return ErrorValue()
+	}
+	vs := make([]Value, len(e.elems))
+	for i, el := range e.elems {
+		vs[i] = el.eval(next)
+	}
+	return List(vs...)
+}
+
+func (e *adExpr) eval(*env) Value { return AdValue(e.ad) }
+
+func (e *callExpr) eval(en *env) Value {
+	next, ok := en.deeper()
+	if !ok {
+		return ErrorValue()
+	}
+	fn, ok := builtins[e.name]
+	if !ok {
+		return ErrorValue()
+	}
+	return fn(e.args, next)
+}
+
+func (e *binaryExpr) eval(en *env) Value {
+	next, ok := en.deeper()
+	if !ok {
+		return ErrorValue()
+	}
+	switch e.op {
+	case tokAnd:
+		return evalAnd(e.l, e.r, next)
+	case tokOr:
+		return evalOr(e.l, e.r, next)
+	case tokMetaEQ:
+		return Bool(e.l.eval(next).Equal(e.r.eval(next)))
+	case tokMetaNE:
+		return Bool(!e.l.eval(next).Equal(e.r.eval(next)))
+	}
+
+	l := e.l.eval(next)
+	r := e.r.eval(next)
+	// ERROR dominates UNDEFINED; both propagate.
+	if l.IsError() || r.IsError() {
+		return ErrorValue()
+	}
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined()
+	}
+
+	switch e.op {
+	case tokPlus, tokMinus, tokStar, tokSlash, tokPct:
+		return evalArith(e.op, l, r)
+	case tokEQ, tokNE, tokLT, tokLE, tokGT, tokGE:
+		return evalCompare(e.op, l, r)
+	}
+	return ErrorValue()
+}
+
+// evalAnd implements ClassAd three-valued conjunction: a definite
+// false wins over UNDEFINED/ERROR on the other side.
+func evalAnd(le, re Expr, en *env) Value {
+	l := le.eval(en)
+	if b, ok := l.BoolValue(); ok && !b {
+		return Bool(false)
+	}
+	r := re.eval(en)
+	if b, ok := r.BoolValue(); ok && !b {
+		return Bool(false)
+	}
+	if l.IsError() || r.IsError() {
+		return ErrorValue()
+	}
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined()
+	}
+	lb, lok := l.BoolValue()
+	rb, rok := r.BoolValue()
+	if !lok || !rok {
+		return ErrorValue()
+	}
+	return Bool(lb && rb)
+}
+
+// evalOr implements three-valued disjunction: a definite true wins.
+func evalOr(le, re Expr, en *env) Value {
+	l := le.eval(en)
+	if b, ok := l.BoolValue(); ok && b {
+		return Bool(true)
+	}
+	r := re.eval(en)
+	if b, ok := r.BoolValue(); ok && b {
+		return Bool(true)
+	}
+	if l.IsError() || r.IsError() {
+		return ErrorValue()
+	}
+	if l.IsUndefined() || r.IsUndefined() {
+		return Undefined()
+	}
+	lb, lok := l.BoolValue()
+	rb, rok := r.BoolValue()
+	if !lok || !rok {
+		return ErrorValue()
+	}
+	return Bool(lb || rb)
+}
+
+func evalArith(op tokenKind, l, r Value) Value {
+	if !l.isNumber() || !r.isNumber() {
+		return ErrorValue()
+	}
+	if l.Type() == IntegerType && r.Type() == IntegerType {
+		li, _ := l.IntValue()
+		ri, _ := r.IntValue()
+		switch op {
+		case tokPlus:
+			return Int(li + ri)
+		case tokMinus:
+			return Int(li - ri)
+		case tokStar:
+			return Int(li * ri)
+		case tokSlash:
+			if ri == 0 {
+				return ErrorValue()
+			}
+			return Int(li / ri)
+		case tokPct:
+			if ri == 0 {
+				return ErrorValue()
+			}
+			return Int(li % ri)
+		}
+		return ErrorValue()
+	}
+	lf, _ := l.RealValue()
+	rf, _ := r.RealValue()
+	switch op {
+	case tokPlus:
+		return Real(lf + rf)
+	case tokMinus:
+		return Real(lf - rf)
+	case tokStar:
+		return Real(lf * rf)
+	case tokSlash:
+		if rf == 0 {
+			return ErrorValue()
+		}
+		return Real(lf / rf)
+	case tokPct:
+		if rf == 0 {
+			return ErrorValue()
+		}
+		return Real(math.Mod(lf, rf))
+	}
+	return ErrorValue()
+}
+
+func evalCompare(op tokenKind, l, r Value) Value {
+	var cmp int
+	switch {
+	case l.isNumber() && r.isNumber():
+		lf, _ := l.RealValue()
+		rf, _ := r.RealValue()
+		switch {
+		case lf < rf:
+			cmp = -1
+		case lf > rf:
+			cmp = 1
+		}
+	case l.Type() == StringType && r.Type() == StringType:
+		// ClassAd string comparison is case-insensitive.
+		ls, _ := l.StringValue()
+		rs, _ := r.StringValue()
+		cmp = strings.Compare(strings.ToLower(ls), strings.ToLower(rs))
+	case l.Type() == BooleanType && r.Type() == BooleanType:
+		lb, _ := l.BoolValue()
+		rb, _ := r.BoolValue()
+		if op != tokEQ && op != tokNE {
+			return ErrorValue()
+		}
+		if lb == rb {
+			cmp = 0
+		} else {
+			cmp = 1
+		}
+	default:
+		return ErrorValue()
+	}
+	switch op {
+	case tokEQ:
+		return Bool(cmp == 0)
+	case tokNE:
+		return Bool(cmp != 0)
+	case tokLT:
+		return Bool(cmp < 0)
+	case tokLE:
+		return Bool(cmp <= 0)
+	case tokGT:
+		return Bool(cmp > 0)
+	case tokGE:
+		return Bool(cmp >= 0)
+	}
+	return ErrorValue()
+}
+
+// Eval evaluates an expression with no ads in context; attribute
+// references yield UNDEFINED.
+func Eval(e Expr) Value {
+	return e.eval(&env{})
+}
+
+// EvalInContext evaluates an expression with self and target ads.
+func EvalInContext(e Expr, self, target *Ad) Value {
+	return e.eval(&env{self: self, target: target})
+}

@@ -1,0 +1,235 @@
+package classad
+
+import (
+	"testing"
+)
+
+// evalStr evaluates src with no ads in context.
+func evalStr(t *testing.T, src string) Value {
+	t.Helper()
+	e, err := ParseExpr(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return Eval(e)
+}
+
+func wantVal(t *testing.T, src string, want Value) {
+	t.Helper()
+	got := evalStr(t, src)
+	if !got.Equal(want) {
+		t.Errorf("eval(%q) = %s, want %s", src, got, want)
+	}
+}
+
+func TestEvalLiterals(t *testing.T) {
+	wantVal(t, "42", Int(42))
+	wantVal(t, "3.5", Real(3.5))
+	wantVal(t, `"hello"`, Str("hello"))
+	wantVal(t, "true", Bool(true))
+	wantVal(t, "FALSE", Bool(false))
+	wantVal(t, "undefined", Undefined())
+	wantVal(t, "error", ErrorValue())
+	wantVal(t, "{1, 2, 3}", List(Int(1), Int(2), Int(3)))
+	wantVal(t, "{}", List())
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	wantVal(t, "1 + 2 * 3", Int(7))
+	wantVal(t, "(1 + 2) * 3", Int(9))
+	wantVal(t, "10 / 3", Int(3))
+	wantVal(t, "10 % 3", Int(1))
+	wantVal(t, "10 / 4.0", Real(2.5))
+	wantVal(t, "1 + 2.5", Real(3.5))
+	wantVal(t, "-5", Int(-5))
+	wantVal(t, "-5.5", Real(-5.5))
+	wantVal(t, "+7", Int(7))
+	wantVal(t, "2 - 3 - 4", Int(-5)) // left associative
+	wantVal(t, "7.5 % 2.0", Real(1.5))
+}
+
+func TestEvalArithmeticErrors(t *testing.T) {
+	wantVal(t, "1 / 0", ErrorValue())
+	wantVal(t, "1 % 0", ErrorValue())
+	wantVal(t, "1.0 / 0", ErrorValue())
+	wantVal(t, `"a" + 1`, ErrorValue())
+	wantVal(t, "true + 1", ErrorValue())
+	wantVal(t, `-"x"`, ErrorValue())
+	wantVal(t, "!3", ErrorValue())
+}
+
+func TestEvalUndefinedPropagation(t *testing.T) {
+	wantVal(t, "nosuch + 1", Undefined())
+	wantVal(t, "nosuch < 5", Undefined())
+	wantVal(t, "-nosuch", Undefined())
+	wantVal(t, "!nosuch", Undefined())
+	// ERROR dominates UNDEFINED.
+	wantVal(t, "nosuch + (1/0)", ErrorValue())
+}
+
+func TestEvalComparisons(t *testing.T) {
+	wantVal(t, "1 < 2", Bool(true))
+	wantVal(t, "2 <= 2", Bool(true))
+	wantVal(t, "3 > 4", Bool(false))
+	wantVal(t, "3 >= 3", Bool(true))
+	wantVal(t, "1 == 1.0", Bool(true)) // numeric promotion
+	wantVal(t, "1 != 2", Bool(true))
+	wantVal(t, `"abc" == "ABC"`, Bool(true)) // case-insensitive
+	wantVal(t, `"abc" < "abd"`, Bool(true))
+	wantVal(t, `"B" < "a"`, Bool(false)) // case-folded: "b" > "a"
+	wantVal(t, `"A" < "b"`, Bool(true))  // case-folded: "a" < "b"
+	wantVal(t, "true == true", Bool(true))
+	wantVal(t, "true != false", Bool(true))
+	wantVal(t, `1 == "1"`, ErrorValue())     // mixed types
+	wantVal(t, "true < false", ErrorValue()) // no boolean ordering
+}
+
+func TestEvalMetaEquality(t *testing.T) {
+	// =?= and =!= never yield UNDEFINED.
+	wantVal(t, "undefined =?= undefined", Bool(true))
+	wantVal(t, "undefined =?= 1", Bool(false))
+	wantVal(t, "nosuch =?= undefined", Bool(true))
+	wantVal(t, "1 =?= 1", Bool(true))
+	wantVal(t, "1 =?= 1.0", Bool(false))   // strict: types differ
+	wantVal(t, `"a" =?= "A"`, Bool(false)) // strict: case matters
+	wantVal(t, "error =?= error", Bool(true))
+	wantVal(t, "1 =!= 2", Bool(true))
+	wantVal(t, "undefined =!= undefined", Bool(false))
+}
+
+func TestEvalBooleanLogic(t *testing.T) {
+	wantVal(t, "true && true", Bool(true))
+	wantVal(t, "true && false", Bool(false))
+	wantVal(t, "false || true", Bool(true))
+	wantVal(t, "!true", Bool(false))
+
+	// Three-valued logic: definite values dominate.
+	wantVal(t, "false && nosuch", Bool(false))
+	wantVal(t, "nosuch && false", Bool(false))
+	wantVal(t, "true || nosuch", Bool(true))
+	wantVal(t, "nosuch || true", Bool(true))
+	wantVal(t, "true && nosuch", Undefined())
+	wantVal(t, "nosuch || false", Undefined())
+	wantVal(t, "false && (1/0 == 1)", Bool(false))
+	wantVal(t, "true && (1/0 == 1)", ErrorValue())
+	wantVal(t, "1 && true", ErrorValue())
+}
+
+func TestEvalConditional(t *testing.T) {
+	wantVal(t, "true ? 1 : 2", Int(1))
+	wantVal(t, "false ? 1 : 2", Int(2))
+	wantVal(t, "nosuch ? 1 : 2", Undefined())
+	wantVal(t, "3 ? 1 : 2", ErrorValue())
+	// Laziness: untaken branch errors are not evaluated.
+	wantVal(t, "true ? 1 : (1/0)", Int(1))
+	// Nested/right-associative.
+	wantVal(t, "false ? 1 : true ? 2 : 3", Int(2))
+}
+
+func TestEvalAttrResolution(t *testing.T) {
+	ad, err := Parse(`[ a = 1; b = a + 1; c = b * 2 ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ad.EvalAttr("c", nil); !got.Equal(Int(4)) {
+		t.Errorf("c = %s", got)
+	}
+	if got := ad.EvalAttr("missing", nil); !got.IsUndefined() {
+		t.Errorf("missing = %s", got)
+	}
+}
+
+func TestEvalAttrCaseInsensitive(t *testing.T) {
+	ad, _ := Parse(`[ Memory = 512 ]`)
+	if got := ad.EvalAttr("mEmOrY", nil); !got.Equal(Int(512)) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestEvalCycleIsError(t *testing.T) {
+	ad, err := Parse(`[ a = b; b = a ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ad.EvalAttr("a", nil); !got.IsError() {
+		t.Errorf("cyclic attr = %s, want error", got)
+	}
+	ad2, _ := Parse(`[ a = a + 1 ]`)
+	if got := ad2.EvalAttr("a", nil); !got.IsError() {
+		t.Errorf("self-referential attr = %s, want error", got)
+	}
+}
+
+func TestEvalMyTarget(t *testing.T) {
+	job, _ := Parse(`[ ImageSize = 100; Requirements = target.Memory >= my.ImageSize ]`)
+	machine, _ := Parse(`[ Memory = 512 ]`)
+	small, _ := Parse(`[ Memory = 64 ]`)
+
+	if got := EvalInContext(mustLookup(t, job, "Requirements"), job, machine); !got.Equal(Bool(true)) {
+		t.Errorf("req vs big machine = %s", got)
+	}
+	if got := EvalInContext(mustLookup(t, job, "Requirements"), job, small); !got.Equal(Bool(false)) {
+		t.Errorf("req vs small machine = %s", got)
+	}
+	if got := EvalInContext(mustLookup(t, job, "Requirements"), job, nil); !got.IsUndefined() {
+		t.Errorf("req vs no target = %s", got)
+	}
+}
+
+func TestEvalUnqualifiedFallsThroughToTarget(t *testing.T) {
+	job, _ := Parse(`[ Requirements = Memory >= 128 ]`) // Memory lives in the machine ad
+	machine, _ := Parse(`[ Memory = 512 ]`)
+	if got := EvalInContext(mustLookup(t, job, "Requirements"), job, machine); !got.Equal(Bool(true)) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestEvalTargetRolesReverseInsideTarget(t *testing.T) {
+	// When resolution crosses into the target ad, my/target swap.
+	a, _ := Parse(`[ x = target.y ]`)
+	b, _ := Parse(`[ y = my.z; z = 9 ]`)
+	if got := a.EvalAttr("x", b); !got.Equal(Int(9)) {
+		t.Errorf("got %s", got)
+	}
+}
+
+func TestEvalNestedAdSelection(t *testing.T) {
+	ad, err := Parse(`[ inner = [ x = 5; y = x + 1 ]; use = inner.y ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ad.EvalAttr("use", nil); !got.Equal(Int(6)) {
+		t.Errorf("got %s", got)
+	}
+	if got := ad.EvalAttr("inner", nil); got.Type() != AdType {
+		t.Errorf("inner type = %s", got.Type())
+	}
+	// Selecting from a non-ad is an error; from undefined, undefined.
+	ad2, _ := Parse(`[ n = 3; bad = n.x; u = nothing.x ]`)
+	if got := ad2.EvalAttr("bad", nil); !got.IsError() {
+		t.Errorf("bad = %s", got)
+	}
+	if got := ad2.EvalAttr("u", nil); !got.IsUndefined() {
+		t.Errorf("u = %s", got)
+	}
+}
+
+func mustLookup(t *testing.T, ad *Ad, name string) Expr {
+	t.Helper()
+	e, ok := ad.Lookup(name)
+	if !ok {
+		t.Fatalf("attribute %s missing", name)
+	}
+	return e
+}
+
+func TestEvalStringHelper(t *testing.T) {
+	ad, _ := Parse(`[ Cpus = 4 ]`)
+	v, err := ad.EvalString("Cpus * 2", nil)
+	if err != nil || !v.Equal(Int(8)) {
+		t.Errorf("EvalString = %s, %v", v, err)
+	}
+	if _, err := ad.EvalString("1 +", nil); err == nil {
+		t.Error("bad expression should error")
+	}
+}

@@ -1,0 +1,60 @@
+package classad
+
+import "testing"
+
+// FuzzParseExpr ensures the expression parser and evaluator never
+// panic, and that anything they accept round-trips through String.
+func FuzzParseExpr(f *testing.F) {
+	seeds := []string{
+		"1 + 2 * 3",
+		`my.Memory >= target.ImageSize && regexp("^c[0-9]+$", Machine)`,
+		`x =?= undefined ? "a" : strcat("b", 1)`,
+		"{1, {2, [ a = 1 ].a}, \"s\"}",
+		"member(2, split(\"a,b\"))",
+		"((((((1))))))",
+		"-x + +y % 3 / 0",
+		"\"unterminated",
+		"1e99999999",
+		"a.b.c.d.e",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return
+		}
+		v1 := Eval(e)
+		// Accepted expressions must re-parse and evaluate equally.
+		e2, err := ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("String() of parsed expr does not re-parse: %q -> %q: %v",
+				src, e.String(), err)
+		}
+		if v2 := Eval(e2); !v1.Equal(v2) {
+			t.Fatalf("re-parse changed value: %q: %s vs %s", src, v1, v2)
+		}
+	})
+}
+
+// FuzzParseAd ensures the ad parser never panics on either syntax.
+func FuzzParseAd(f *testing.F) {
+	f.Add("[ a = 1; b = a + 1 ]")
+	f.Add("Machine = \"x\"\nMemory = 512\n")
+	f.Add("[ x = [ y = { 1, 2 } ] ]")
+	f.Add("= broken")
+	f.Fuzz(func(t *testing.T, src string) {
+		ad, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, name := range ad.Names() {
+			_ = ad.EvalAttr(name, nil)
+		}
+		if _, err := Parse(ad.String()); err != nil {
+			t.Fatalf("String() of parsed ad does not re-parse: %q -> %q: %v",
+				src, ad.String(), err)
+		}
+	})
+}

@@ -1,0 +1,281 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates the lexical classes of the ClassAd grammar.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokInteger
+	tokReal
+	tokString
+
+	tokLParen   // (
+	tokRParen   // )
+	tokLBracket // [
+	tokRBracket // ]
+	tokLBrace   // {
+	tokRBrace   // }
+	tokComma    // ,
+	tokSemi     // ;
+	tokDot      // .
+	tokAssign   // =
+
+	tokPlus  // +
+	tokMinus // -
+	tokStar  // *
+	tokSlash // /
+	tokPct   // %
+
+	tokLT // <
+	tokLE // <=
+	tokGT // >
+	tokGE // >=
+	tokEQ // ==
+	tokNE // !=
+
+	tokMetaEQ // =?=
+	tokMetaNE // =!=
+
+	tokAnd      // &&
+	tokOr       // ||
+	tokNot      // !
+	tokQuestion // ?
+	tokColon    // :
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF: "end of input", tokIdent: "identifier", tokInteger: "integer",
+	tokReal: "real", tokString: "string", tokLParen: "'('", tokRParen: "')'",
+	tokLBracket: "'['", tokRBracket: "']'", tokLBrace: "'{'", tokRBrace: "'}'",
+	tokComma: "','", tokSemi: "';'", tokDot: "'.'", tokAssign: "'='",
+	tokPlus: "'+'", tokMinus: "'-'", tokStar: "'*'", tokSlash: "'/'",
+	tokPct: "'%'", tokLT: "'<'", tokLE: "'<='", tokGT: "'>'", tokGE: "'>='",
+	tokEQ: "'=='", tokNE: "'!='", tokMetaEQ: "'=?='", tokMetaNE: "'=!='",
+	tokAnd: "'&&'", tokOr: "'||'", tokNot: "'!'", tokQuestion: "'?'",
+	tokColon: "':'",
+}
+
+func (k tokenKind) String() string {
+	if n, ok := tokenNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is one lexical unit with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer scans ClassAd source text into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// SyntaxError reports a lexical or parse failure with position.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("classad: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+func (l *lexer) errf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) skipSpaceAndComments() error {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				return l.errf(l.pos, "unterminated block comment")
+			}
+			l.pos += 2 + end + 2
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// next scans and returns the next token.
+func (l *lexer) next() (token, error) {
+	if err := l.skipSpaceAndComments(); err != nil {
+		return token{}, err
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	r, rsize := utf8.DecodeRuneInString(l.src[l.pos:])
+	switch {
+	case isIdentStart(r):
+		l.pos += rsize
+		for l.pos < len(l.src) {
+			rc, n := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !isIdentCont(rc) {
+				break
+			}
+			l.pos += n
+		}
+		return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+
+	case c >= '0' && c <= '9':
+		return l.scanNumber(start)
+
+	case c == '"':
+		return l.scanString(start)
+	}
+
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	three := ""
+	if l.pos+2 < len(l.src) {
+		three = l.src[l.pos : l.pos+3]
+	}
+	switch three {
+	case "=?=":
+		l.pos += 3
+		return token{kind: tokMetaEQ, text: three, pos: start}, nil
+	case "=!=":
+		l.pos += 3
+		return token{kind: tokMetaNE, text: three, pos: start}, nil
+	}
+	switch two {
+	case "==":
+		l.pos += 2
+		return token{kind: tokEQ, text: two, pos: start}, nil
+	case "!=":
+		l.pos += 2
+		return token{kind: tokNE, text: two, pos: start}, nil
+	case "<=":
+		l.pos += 2
+		return token{kind: tokLE, text: two, pos: start}, nil
+	case ">=":
+		l.pos += 2
+		return token{kind: tokGE, text: two, pos: start}, nil
+	case "&&":
+		l.pos += 2
+		return token{kind: tokAnd, text: two, pos: start}, nil
+	case "||":
+		l.pos += 2
+		return token{kind: tokOr, text: two, pos: start}, nil
+	}
+	l.pos++
+	single := map[byte]tokenKind{
+		'(': tokLParen, ')': tokRParen, '[': tokLBracket, ']': tokRBracket,
+		'{': tokLBrace, '}': tokRBrace, ',': tokComma, ';': tokSemi,
+		'.': tokDot, '=': tokAssign, '+': tokPlus, '-': tokMinus,
+		'*': tokStar, '/': tokSlash, '%': tokPct, '<': tokLT, '>': tokGT,
+		'!': tokNot, '?': tokQuestion, ':': tokColon,
+	}
+	if k, ok := single[c]; ok {
+		return token{kind: k, text: string(c), pos: start}, nil
+	}
+	return token{}, l.errf(start, "unexpected character %q", c)
+}
+
+func (l *lexer) scanNumber(start int) (token, error) {
+	isReal := false
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	// A '.' followed by a digit continues a real literal; a bare '.'
+	// is attribute selection and must be left alone.
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		isReal = true
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		save := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			isReal = true
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		} else {
+			l.pos = save // "1e" was really "1" followed by identifier "e..."
+		}
+	}
+	kind := tokInteger
+	if isReal {
+		kind = tokReal
+	}
+	return token{kind: kind, text: l.src[start:l.pos], pos: start}, nil
+}
+
+// scanString consumes a double-quoted literal.  The full Go escape
+// vocabulary is accepted (via strconv.Unquote), which guarantees that
+// whatever Value.String renders re-parses exactly.
+func (l *lexer) scanString(start int) (token, error) {
+	l.pos++ // opening quote
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			text, err := strconv.Unquote(l.src[start:l.pos])
+			if err != nil {
+				return token{}, l.errf(start, "bad string literal: %v", err)
+			}
+			return token{kind: tokString, text: text, pos: start}, nil
+		case '\\':
+			l.pos += 2 // skip the escaped character, whatever it is
+		case '\n':
+			return token{}, l.errf(start, "newline in string")
+		default:
+			l.pos++
+		}
+	}
+	return token{}, l.errf(start, "unterminated string")
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentCont(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

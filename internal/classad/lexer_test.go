@@ -1,0 +1,141 @@
+package classad
+
+import (
+	"strings"
+	"testing"
+)
+
+func lexAll(t *testing.T, src string) []token {
+	t.Helper()
+	l := newLexer(src)
+	var toks []token
+	for {
+		tok, err := l.next()
+		if err != nil {
+			t.Fatalf("lex %q: %v", src, err)
+		}
+		if tok.kind == tokEOF {
+			return toks
+		}
+		toks = append(toks, tok)
+	}
+}
+
+func kinds(toks []token) []tokenKind {
+	ks := make([]tokenKind, len(toks))
+	for i, t := range toks {
+		ks[i] = t.kind
+	}
+	return ks
+}
+
+func TestLexBasicTokens(t *testing.T) {
+	toks := lexAll(t, `foo 12 3.5 "hi" ( ) [ ] { } , ; = + - * / % < <= > >= == != =?= =!= && || ! ? : .`)
+	want := []tokenKind{
+		tokIdent, tokInteger, tokReal, tokString,
+		tokLParen, tokRParen, tokLBracket, tokRBracket, tokLBrace, tokRBrace,
+		tokComma, tokSemi, tokAssign, tokPlus, tokMinus, tokStar, tokSlash,
+		tokPct, tokLT, tokLE, tokGT, tokGE, tokEQ, tokNE, tokMetaEQ, tokMetaNE,
+		tokAnd, tokOr, tokNot, tokQuestion, tokColon, tokDot,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind tokenKind
+		text string
+	}{
+		{"0", tokInteger, "0"},
+		{"42", tokInteger, "42"},
+		{"3.14", tokReal, "3.14"},
+		{"1e3", tokReal, "1e3"},
+		{"1.5e-3", tokReal, "1.5e-3"},
+		{"2E+4", tokReal, "2E+4"},
+	}
+	for _, c := range cases {
+		toks := lexAll(t, c.src)
+		if len(toks) != 1 || toks[0].kind != c.kind || toks[0].text != c.text {
+			t.Errorf("lex(%q) = %+v, want %v %q", c.src, toks, c.kind, c.text)
+		}
+	}
+}
+
+func TestLexDotAfterNumberIsSelection(t *testing.T) {
+	// "2.attr" must lex as integer 2, dot, ident — not a real.
+	toks := lexAll(t, "2.attr")
+	got := kinds(toks)
+	want := []tokenKind{tokInteger, tokDot, tokIdent}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLexIncompleteExponent(t *testing.T) {
+	// "1e" is integer 1 followed by identifier e.
+	toks := lexAll(t, "1e")
+	if len(toks) != 2 || toks[0].kind != tokInteger || toks[1].kind != tokIdent {
+		t.Errorf("got %+v", toks)
+	}
+}
+
+func TestLexStringEscapes(t *testing.T) {
+	toks := lexAll(t, `"a\nb\t\"q\"\\"`)
+	if len(toks) != 1 {
+		t.Fatalf("got %+v", toks)
+	}
+	if toks[0].text != "a\nb\t\"q\"\\" {
+		t.Errorf("text = %q", toks[0].text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexAll(t, "a // line comment\n + /* block\ncomment */ b")
+	got := kinds(toks)
+	want := []tokenKind{tokIdent, tokPlus, tokIdent}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		`"unterminated`,
+		`"bad \x escape"`,
+		"\"newline\nin string\"",
+		"/* unterminated block",
+		"@",
+	}
+	for _, src := range cases {
+		l := newLexer(src)
+		var err error
+		for {
+			var tok token
+			tok, err = l.next()
+			if err != nil || tok.kind == tokEOF {
+				break
+			}
+		}
+		if err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		} else if !strings.Contains(err.Error(), "syntax error") {
+			t.Errorf("lex(%q) error %q should mention syntax error", src, err)
+		}
+	}
+}
+
+func TestLexUnicodeIdentifiers(t *testing.T) {
+	toks := lexAll(t, "machine_名前1")
+	if len(toks) != 1 || toks[0].kind != tokIdent {
+		t.Errorf("got %+v", toks)
+	}
+}

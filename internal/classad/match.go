@@ -1,0 +1,69 @@
+package classad
+
+// AttrRequirements and AttrRank are the attribute names the
+// matchmaker consults, as in Condor.
+const (
+	AttrRequirements = "Requirements"
+	AttrRank         = "Rank"
+)
+
+// RequirementsMet evaluates a's Requirements with a as self and b as
+// target.  Following Condor's matchmaker, only a definite true is a
+// pass: UNDEFINED or ERROR in a requirements expression must not
+// silently admit a match (Principle 1 applied to matchmaking).
+// An ad with no Requirements attribute accepts everything.
+func RequirementsMet(a, b *Ad) bool {
+	e, ok := a.Lookup(AttrRequirements)
+	if !ok {
+		return true
+	}
+	v := e.eval(&env{self: a, target: b})
+	got, isBool := v.BoolValue()
+	return isBool && got
+}
+
+// Match reports whether the two ads match: each ad's Requirements
+// must evaluate to true in the context of the other.  Match is
+// symmetric.
+func Match(a, b *Ad) bool {
+	return RequirementsMet(a, b) && RequirementsMet(b, a)
+}
+
+// Rank evaluates a's Rank expression against candidate b and returns
+// it as a real number.  A missing, UNDEFINED, ERROR, or non-numeric
+// Rank is 0.0, as in Condor: rank orders candidates but never vetoes
+// them.  Boolean ranks map to 1.0/0.0.
+func Rank(a, b *Ad) float64 {
+	e, ok := a.Lookup(AttrRank)
+	if !ok {
+		return 0
+	}
+	v := e.eval(&env{self: a, target: b})
+	if f, isNum := v.RealValue(); isNum {
+		return f
+	}
+	if bv, isBool := v.BoolValue(); isBool && bv {
+		return 1
+	}
+	return 0
+}
+
+// BestMatch returns the index of the candidate in cands that matches
+// ad with the highest rank (evaluated from ad's point of view), or -1
+// if none match.  Ties break toward the earliest candidate, keeping
+// matchmaking deterministic.
+func BestMatch(ad *Ad, cands []*Ad) int {
+	best := -1
+	bestRank := 0.0
+	for i, c := range cands {
+		if c == nil || !Match(ad, c) {
+			continue
+		}
+		r := Rank(ad, c)
+		if best == -1 || r > bestRank {
+			best = i
+			bestRank = r
+		}
+	}
+	return best
+}

@@ -1,0 +1,442 @@
+package classad
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parser is a recursive-descent, precedence-climbing parser for the
+// ClassAd expression and record grammar.
+type parser struct {
+	lex *lexer
+	tok token
+}
+
+func newParser(src string) (*parser, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) expect(k tokenKind) (token, error) {
+	if p.tok.kind != k {
+		return token{}, &SyntaxError{Pos: p.tok.pos,
+			Msg: fmt.Sprintf("expected %s, found %s", k, p.describeTok())}
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+func (p *parser) describeTok() string {
+	switch p.tok.kind {
+	case tokIdent, tokInteger, tokReal:
+		return fmt.Sprintf("%s %q", p.tok.kind, p.tok.text)
+	case tokString:
+		return fmt.Sprintf("string %q", p.tok.text)
+	default:
+		return p.tok.kind.String()
+	}
+}
+
+// ParseExpr parses a single ClassAd expression and requires that the
+// whole input is consumed.
+func ParseExpr(src string) (Expr, error) {
+	p, err := newParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, &SyntaxError{Pos: p.tok.pos,
+			Msg: fmt.Sprintf("unexpected %s after expression", p.describeTok())}
+	}
+	return e, nil
+}
+
+// Parse parses a complete ClassAd.  Two syntaxes are accepted, as in
+// Condor: the bracketed "new" form "[ a = 1; b = 2 ]", and the
+// line-oriented "old" form in which each non-empty line is
+// "name = expression".
+func Parse(src string) (*Ad, error) {
+	trimmed := strings.TrimSpace(src)
+	if strings.HasPrefix(trimmed, "[") {
+		p, err := newParser(trimmed)
+		if err != nil {
+			return nil, err
+		}
+		ad, err := p.parseAdLiteral()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokEOF {
+			return nil, &SyntaxError{Pos: p.tok.pos,
+				Msg: fmt.Sprintf("unexpected %s after classad", p.describeTok())}
+		}
+		return ad, nil
+	}
+	return parseOldAd(src)
+}
+
+// parseOldAd parses the line-oriented ClassAd form.
+func parseOldAd(src string) (*Ad, error) {
+	ad := NewAd()
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		name, rest, ok := cutAssignment(line)
+		if !ok {
+			return nil, fmt.Errorf("classad: line %d: expected 'name = expression' in %q", ln+1, line)
+		}
+		expr, err := ParseExpr(rest)
+		if err != nil {
+			return nil, fmt.Errorf("classad: line %d: %w", ln+1, err)
+		}
+		ad.Set(name, expr)
+	}
+	return ad, nil
+}
+
+// cutAssignment splits "name = expr" at the first top-level '=' that
+// is an assignment (not ==, =?=, =!=, <=, >=, !=).
+func cutAssignment(line string) (name, expr string, ok bool) {
+	for i := 0; i < len(line); i++ {
+		if line[i] != '=' {
+			continue
+		}
+		if i+1 < len(line) && (line[i+1] == '=' || line[i+1] == '?' || line[i+1] == '!') {
+			i++ // skip the compound operator's second char
+			continue
+		}
+		if i > 0 && (line[i-1] == '=' || line[i-1] == '!' || line[i-1] == '<' || line[i-1] == '>') {
+			continue
+		}
+		name = strings.TrimSpace(line[:i])
+		expr = strings.TrimSpace(line[i+1:])
+		if name == "" || expr == "" {
+			return "", "", false
+		}
+		for pos, r := range name {
+			if pos == 0 && !isIdentStart(r) {
+				return "", "", false
+			}
+			if !isIdentCont(r) {
+				return "", "", false
+			}
+		}
+		return name, expr, true
+	}
+	return "", "", false
+}
+
+// parseAdLiteral parses "[ name = expr ; ... ]" with the opening
+// bracket as the current token.
+func (p *parser) parseAdLiteral() (*Ad, error) {
+	if _, err := p.expect(tokLBracket); err != nil {
+		return nil, err
+	}
+	ad := NewAd()
+	for p.tok.kind != tokRBracket {
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokAssign); err != nil {
+			return nil, err
+		}
+		expr, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		ad.Set(nameTok.text, expr)
+		if p.tok.kind == tokSemi {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return nil, err
+	}
+	return ad, nil
+}
+
+// Precedence climbing.  Levels from loosest to tightest:
+//
+//	?:  ||  &&  (== != =?= =!= < <= > >=)  (+ -)  (* / %)  unary  postfix
+func (p *parser) parseExpr() (Expr, error) { return p.parseCond() }
+
+func (p *parser) parseCond() (Expr, error) {
+	cond, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokQuestion {
+		return cond, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	then, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	els, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	return &condExpr{cond: cond, then: then, els: els}, nil
+}
+
+func (p *parser) parseBinaryLevel(ops []tokenKind, sub func() (Expr, error)) (Expr, error) {
+	left, err := sub()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range ops {
+			if p.tok.kind == op {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				right, err := sub()
+				if err != nil {
+					return nil, err
+				}
+				left = &binaryExpr{op: op, l: left, r: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	return p.parseBinaryLevel([]tokenKind{tokOr}, p.parseAnd)
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	return p.parseBinaryLevel([]tokenKind{tokAnd}, p.parseCompare)
+}
+
+func (p *parser) parseCompare() (Expr, error) {
+	return p.parseBinaryLevel(
+		[]tokenKind{tokEQ, tokNE, tokMetaEQ, tokMetaNE, tokLT, tokLE, tokGT, tokGE},
+		p.parseAdditive)
+}
+
+func (p *parser) parseAdditive() (Expr, error) {
+	return p.parseBinaryLevel([]tokenKind{tokPlus, tokMinus}, p.parseMultiplicative)
+}
+
+func (p *parser) parseMultiplicative() (Expr, error) {
+	return p.parseBinaryLevel([]tokenKind{tokStar, tokSlash, tokPct}, p.parseUnary)
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	switch p.tok.kind {
+	case tokNot, tokMinus:
+		op := p.tok.kind
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &unaryExpr{op: op, x: x}, nil
+	case tokPlus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return p.parseUnary()
+	}
+	return p.parsePostfix()
+}
+
+// parsePostfix parses a primary followed by .attribute selections.
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.kind == tokDot {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		nameTok, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		// my.X and target.X are scoped attribute references, not
+		// ad selections.
+		if ref, ok := e.(*attrRefExpr); ok && ref.scope == "" {
+			switch strings.ToLower(ref.name) {
+			case "my":
+				e = &attrRefExpr{scope: "my", name: nameTok.text}
+				continue
+			case "target":
+				e = &attrRefExpr{scope: "target", name: nameTok.text}
+				continue
+			}
+		}
+		e = &selectExpr{base: e, name: nameTok.text}
+	}
+	return e, nil
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	switch p.tok.kind {
+	case tokInteger:
+		n, err := strconv.ParseInt(p.tok.text, 10, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: p.tok.pos, Msg: "integer overflow: " + p.tok.text}
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Lit(Int(n)), nil
+
+	case tokReal:
+		f, err := strconv.ParseFloat(p.tok.text, 64)
+		if err != nil {
+			return nil, &SyntaxError{Pos: p.tok.pos, Msg: "bad real: " + p.tok.text}
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Lit(Real(f)), nil
+
+	case tokString:
+		s := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Lit(Str(s)), nil
+
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch strings.ToLower(name) {
+		case "true":
+			return Lit(Bool(true)), nil
+		case "false":
+			return Lit(Bool(false)), nil
+		case "undefined":
+			return Lit(Undefined()), nil
+		case "error":
+			return Lit(ErrorValue()), nil
+		}
+		if p.tok.kind == tokLParen {
+			return p.parseCall(name)
+		}
+		return &attrRefExpr{name: name}, nil
+
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case tokLBrace:
+		return p.parseList()
+
+	case tokLBracket:
+		ad, err := p.parseAdLiteral()
+		if err != nil {
+			return nil, err
+		}
+		return &adExpr{ad: ad}, nil
+	}
+	return nil, &SyntaxError{Pos: p.tok.pos,
+		Msg: fmt.Sprintf("expected expression, found %s", p.describeTok())}
+}
+
+func (p *parser) parseCall(name string) (Expr, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	if p.tok.kind != tokRParen {
+		for {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return &callExpr{name: strings.ToLower(name), args: args}, nil
+}
+
+func (p *parser) parseList() (Expr, error) {
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	var elems []Expr
+	if p.tok.kind != tokRBrace {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			elems = append(elems, e)
+			if p.tok.kind != tokComma {
+				break
+			}
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return &listExpr{elems: elems}, nil
+}

@@ -1,0 +1,249 @@
+package classad
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseExprRoundTrip(t *testing.T) {
+	// String() of a parsed expression must re-parse to an expression
+	// with identical evaluation.
+	exprs := []string{
+		"1 + 2 * 3",
+		"(1 + 2) * 3",
+		"a && b || !c",
+		`x == "str" ? y + 1 : z - 1`,
+		"my.Memory >= target.ImageSize",
+		"member(2, {1, 2, 3})",
+		"strcat(\"a\", \"b\", 1)",
+		"size({1, {2, 3}})",
+		"[ a = 1; b = a ].b",
+		"x =?= undefined",
+		"a.b.c",
+		"-x + +y",
+		"1 <= 2 && 3 >= 2 && 1 != 2 && 1 =!= 2",
+	}
+	for _, src := range exprs {
+		e1, err := ParseExpr(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		e2, err := ParseExpr(e1.String())
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", e1.String(), src, err)
+		}
+		v1, v2 := Eval(e1), Eval(e2)
+		if !v1.Equal(v2) {
+			t.Errorf("%q: eval %s vs re-parsed %s", src, v1, v2)
+		}
+	}
+}
+
+func TestParseAdNewSyntax(t *testing.T) {
+	ad, err := Parse(`[ Machine = "node01"; Memory = 512; Cpus = 4; Requirements = true ]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Len() != 4 {
+		t.Errorf("Len = %d", ad.Len())
+	}
+	if got := ad.EvalAttr("Machine", nil); !got.Equal(Str("node01")) {
+		t.Errorf("Machine = %s", got)
+	}
+	// Trailing semicolon is fine.
+	if _, err := Parse(`[ a = 1; ]`); err != nil {
+		t.Errorf("trailing semi: %v", err)
+	}
+	// Empty ad is fine.
+	empty, err := Parse(`[]`)
+	if err != nil || empty.Len() != 0 {
+		t.Errorf("empty ad: %v, %d", err, empty.Len())
+	}
+}
+
+func TestParseAdOldSyntax(t *testing.T) {
+	src := `
+# a comment
+Machine = "node01"
+Memory = 512
+// another comment
+Requirements = Memory >= 128 && Arch == "X86_64"
+Rank = Memory
+Arch = "X86_64"
+`
+	ad, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ad.Len() != 5 {
+		t.Errorf("Len = %d, names %v", ad.Len(), ad.Names())
+	}
+	if got := ad.EvalAttr("Requirements", nil); !got.Equal(Bool(true)) {
+		t.Errorf("Requirements = %s", got)
+	}
+}
+
+func TestParseOldSyntaxComparisonsInExpr(t *testing.T) {
+	// The '=' cutter must not split at ==, !=, <=, >=, =?=, =!=.
+	ad, err := Parse(`ok = 1 == 1 && 2 != 3 && 1 <= 2 && 3 >= 2 && x =?= undefined && 1 =!= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ad.EvalAttr("ok", nil); !got.Equal(Bool(true)) {
+		t.Errorf("ok = %s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"[ a = ]",
+		"[ a 1 ]",
+		"[ = 1 ]",
+		"[ a = 1",
+		"1 +",
+		"(1",
+		"{1, }",
+		"f(1,)",
+		"a ? b",
+		"a ? b :",
+		"[ a = 1 ] extra",
+		"1 2",
+		"my.",
+	}
+	for _, src := range bad {
+		if _, err := ParseExpr(src); err == nil {
+			if _, err2 := Parse(src); err2 == nil {
+				t.Errorf("parse(%q) should fail", src)
+			}
+		}
+	}
+	if _, err := Parse("not an assignment line"); err == nil {
+		t.Error("old-syntax junk should fail")
+	}
+	if _, err := Parse("a = "); err == nil {
+		t.Error("old-syntax empty rhs should fail")
+	}
+}
+
+func TestParseAdStringRoundTrip(t *testing.T) {
+	src := `[ Name = "x"; N = 3; E = N * 2 + 1; L = {1, "two", true}; Inner = [ q = 1 ] ]`
+	ad, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad2, err := Parse(ad.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", ad.String(), err)
+	}
+	for _, name := range ad.Names() {
+		v1 := ad.EvalAttr(name, nil)
+		v2 := ad2.EvalAttr(name, nil)
+		if !v1.Equal(v2) {
+			t.Errorf("attr %s: %s vs %s", name, v1, v2)
+		}
+	}
+}
+
+func TestAdSetLookupDelete(t *testing.T) {
+	ad := NewAd()
+	ad.SetInt("A", 1)
+	ad.SetString("B", "two")
+	ad.SetBool("C", true)
+	ad.SetReal("D", 2.5)
+	if ad.Len() != 4 {
+		t.Fatalf("Len = %d", ad.Len())
+	}
+	// Replacement keeps position and original spelling.
+	ad.SetInt("a", 10)
+	if ad.Len() != 4 || ad.Names()[0] != "A" {
+		t.Errorf("replace changed structure: %v", ad.Names())
+	}
+	if got := ad.EvalAttr("A", nil); !got.Equal(Int(10)) {
+		t.Errorf("A = %s", got)
+	}
+	ad.Delete("b")
+	if ad.Len() != 3 {
+		t.Errorf("Len after delete = %d", ad.Len())
+	}
+	if _, ok := ad.Lookup("B"); ok {
+		t.Error("B should be gone")
+	}
+	// Delete of absent key is a no-op.
+	ad.Delete("zzz")
+	// Remaining attributes still resolve.
+	if got := ad.EvalAttr("D", nil); !got.Equal(Real(2.5)) {
+		t.Errorf("D = %s", got)
+	}
+	if got := ad.EvalAttr("C", nil); !got.Equal(Bool(true)) {
+		t.Errorf("C = %s", got)
+	}
+}
+
+func TestAdCopyIsolation(t *testing.T) {
+	ad := NewAd()
+	ad.SetInt("x", 1)
+	cp := ad.Copy()
+	cp.SetInt("x", 2)
+	cp.SetInt("y", 3)
+	if got := ad.EvalAttr("x", nil); !got.Equal(Int(1)) {
+		t.Errorf("copy mutated original: x = %s", got)
+	}
+	if _, ok := ad.Lookup("y"); ok {
+		t.Error("copy mutated original: y exists")
+	}
+}
+
+func TestAdMerge(t *testing.T) {
+	a, _ := Parse(`[ x = 1; y = 2 ]`)
+	b, _ := Parse(`[ y = 20; z = 30 ]`)
+	a.Merge(b)
+	if got := a.EvalAttr("y", nil); !got.Equal(Int(20)) {
+		t.Errorf("y = %s", got)
+	}
+	if got := a.EvalAttr("z", nil); !got.Equal(Int(30)) {
+		t.Errorf("z = %s", got)
+	}
+	a.Merge(nil) // no-op
+	if a.Len() != 3 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}
+
+func TestSetExprString(t *testing.T) {
+	ad := NewAd()
+	if err := ad.SetExprString("R", "x > 1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ad.SetExprString("Bad", "1 +"); err == nil {
+		t.Error("bad expr should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustSetExpr should panic on bad input")
+		}
+	}()
+	ad.MustSetExpr("Bad", ")")
+}
+
+// TestParsePropertyNoCrash feeds arbitrary strings to the parser; it
+// must return cleanly (value or error) and never panic.
+func TestParsePropertyNoCrash(t *testing.T) {
+	alphabet := []byte("ab1.<>=!&|?:()[]{};,\"\\ +-*/%")
+	prop := func(raw []byte) bool {
+		var sb strings.Builder
+		for _, b := range raw {
+			sb.WriteByte(alphabet[int(b)%len(alphabet)])
+		}
+		src := sb.String()
+		e, err := ParseExpr(src)
+		if err == nil {
+			_ = Eval(e) // evaluation must not panic either
+		}
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,147 @@
+package classad
+
+import "strings"
+
+// Condor expresses many machine properties as delimited string lists
+// ("INTEL,X86_64"); these builtins are the standard library for them.
+
+func init() {
+	builtins["stringlistmember"] = strictFn(biStringListMember)
+	builtins["stringlistsize"] = strictFn(biStringListSize)
+	builtins["stringlistimember"] = strictFn(biStringListIMember)
+	builtins["split"] = strictFn(biSplit)
+	builtins["join"] = strictFn(biJoin)
+}
+
+// listArgs extracts (item, list, delimiters) for the stringList*
+// family; delimiters default to " ,".
+func listArgs(vs []Value, withItem bool) (item, list, delims string, bad Value, ok bool) {
+	want := 1
+	if withItem {
+		want = 2
+	}
+	if len(vs) < want || len(vs) > want+1 {
+		return "", "", "", ErrorValue(), false
+	}
+	idx := 0
+	if withItem {
+		var k bool
+		item, k = vs[0].StringValue()
+		if !k {
+			return "", "", "", propagateOrError(vs[0]), false
+		}
+		idx = 1
+	}
+	var k bool
+	list, k = vs[idx].StringValue()
+	if !k {
+		return "", "", "", propagateOrError(vs[idx]), false
+	}
+	delims = " ,"
+	if len(vs) == want+1 {
+		delims, k = vs[want].StringValue()
+		if !k {
+			return "", "", "", propagateOrError(vs[want]), false
+		}
+	}
+	return item, list, delims, Value{}, true
+}
+
+// splitList tokenizes a delimited list, dropping empty fields.
+func splitList(list, delims string) []string {
+	fields := strings.FieldsFunc(list, func(r rune) bool {
+		return strings.ContainsRune(delims, r)
+	})
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// biStringListMember implements
+// stringListMember(item, list [, delimiters]) with case-sensitive
+// comparison, as in Condor.
+func biStringListMember(vs []Value) Value {
+	item, list, delims, bad, ok := listArgs(vs, true)
+	if !ok {
+		return bad
+	}
+	for _, f := range splitList(list, delims) {
+		if f == item {
+			return Bool(true)
+		}
+	}
+	return Bool(false)
+}
+
+// biStringListIMember is the case-insensitive variant.
+func biStringListIMember(vs []Value) Value {
+	item, list, delims, bad, ok := listArgs(vs, true)
+	if !ok {
+		return bad
+	}
+	for _, f := range splitList(list, delims) {
+		if strings.EqualFold(f, item) {
+			return Bool(true)
+		}
+	}
+	return Bool(false)
+}
+
+// biStringListSize implements stringListSize(list [, delimiters]).
+func biStringListSize(vs []Value) Value {
+	_, list, delims, bad, ok := listArgs(vs, false)
+	if !ok {
+		return bad
+	}
+	return Int(int64(len(splitList(list, delims))))
+}
+
+// biSplit converts a delimited string into a ClassAd list of strings.
+func biSplit(vs []Value) Value {
+	_, list, delims, bad, ok := listArgs(vs, false)
+	if !ok {
+		return bad
+	}
+	fields := splitList(list, delims)
+	out := make([]Value, len(fields))
+	for i, f := range fields {
+		out[i] = Str(f)
+	}
+	return List(out...)
+}
+
+// biJoin implements join(separator, list-or-strings...): joins a
+// ClassAd list (or the remaining string arguments) with the separator.
+func biJoin(vs []Value) Value {
+	if len(vs) < 2 {
+		return ErrorValue()
+	}
+	sep, ok := vs[0].StringValue()
+	if !ok {
+		return propagateOrError(vs[0])
+	}
+	var parts []string
+	if list, isList := vs[1].ListValue(); isList && len(vs) == 2 {
+		for _, e := range list {
+			s, isStr := e.StringValue()
+			if !isStr {
+				return propagateOrError(e)
+			}
+			parts = append(parts, s)
+		}
+	} else {
+		for _, v := range vs[1:] {
+			s, isStr := v.StringValue()
+			if !isStr {
+				return propagateOrError(v)
+			}
+			parts = append(parts, s)
+		}
+	}
+	return Str(strings.Join(parts, sep))
+}

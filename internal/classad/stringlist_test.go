@@ -1,0 +1,54 @@
+package classad
+
+import "testing"
+
+func TestStringListMember(t *testing.T) {
+	wantVal(t, `stringListMember("X86_64", "INTEL,X86_64")`, Bool(true))
+	wantVal(t, `stringListMember("SPARC", "INTEL,X86_64")`, Bool(false))
+	wantVal(t, `stringListMember("x86_64", "INTEL,X86_64")`, Bool(false)) // case-sensitive
+	wantVal(t, `stringListIMember("x86_64", "INTEL,X86_64")`, Bool(true))
+	wantVal(t, `stringListMember("a", "a; b; c", ";")`, Bool(true))
+	wantVal(t, `stringListMember("b", "a b c")`, Bool(true)) // space delimiter
+	wantVal(t, `stringListMember("a", nosuch)`, Undefined())
+	wantVal(t, `stringListMember(1, "a")`, ErrorValue())
+	wantVal(t, `stringListMember("a")`, ErrorValue())
+}
+
+func TestStringListSize(t *testing.T) {
+	wantVal(t, `stringListSize("a, b, c")`, Int(3))
+	wantVal(t, `stringListSize("")`, Int(0))
+	wantVal(t, `stringListSize("a;;b", ";")`, Int(2))
+	wantVal(t, `stringListSize("  a  ,  ,  b ")`, Int(2))
+	wantVal(t, `stringListSize(3)`, ErrorValue())
+}
+
+func TestSplitAndJoin(t *testing.T) {
+	wantVal(t, `split("a, b, c")`, List(Str("a"), Str("b"), Str("c")))
+	wantVal(t, `split("a:b", ":")`, List(Str("a"), Str("b")))
+	wantVal(t, `size(split("x y z"))`, Int(3))
+	wantVal(t, `join("-", "a", "b", "c")`, Str("a-b-c"))
+	wantVal(t, `join(",", split("a b c"))`, Str("a,b,c"))
+	wantVal(t, `join("-")`, ErrorValue())
+	wantVal(t, `join("-", 1, 2)`, ErrorValue())
+	wantVal(t, `join(1, "a")`, ErrorValue())
+}
+
+func TestStringListInMachineAd(t *testing.T) {
+	// The idiom Condor pools actually use.
+	machine, _ := Parse(`[
+		Machine = "c01";
+		SupportedUniverses = "vanilla,java,standard";
+	]`)
+	job, _ := Parse(`[
+		Universe = "java";
+		Requirements = stringListMember(my.Universe, target.SupportedUniverses);
+	]`)
+	if !Match(job, machine) {
+		t.Error("java job should match a machine listing the java universe")
+	}
+	nojava := machine.Copy()
+	nojava.SetString("SupportedUniverses", "vanilla,standard")
+	if Match(job, nojava) {
+		t.Error("java job must not match without the universe")
+	}
+}

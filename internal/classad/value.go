@@ -1,0 +1,223 @@
+package classad
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ValueType enumerates the dynamic types of the ClassAd value model.
+type ValueType int
+
+// The ClassAd value types.
+const (
+	UndefinedType ValueType = iota
+	ErrorType
+	BooleanType
+	IntegerType
+	RealType
+	StringType
+	ListType
+	AdType
+)
+
+var valueTypeNames = [...]string{
+	UndefinedType: "undefined",
+	ErrorType:     "error",
+	BooleanType:   "boolean",
+	IntegerType:   "integer",
+	RealType:      "real",
+	StringType:    "string",
+	ListType:      "list",
+	AdType:        "classad",
+}
+
+// String returns the canonical name of the type.
+func (t ValueType) String() string {
+	if t < 0 || int(t) >= len(valueTypeNames) {
+		return fmt.Sprintf("valuetype(%d)", int(t))
+	}
+	return valueTypeNames[t]
+}
+
+// Value is a ClassAd runtime value.  The zero Value is UNDEFINED.
+type Value struct {
+	typ  ValueType
+	b    bool
+	i    int64
+	r    float64
+	s    string
+	list []Value
+	ad   *Ad
+}
+
+// Undefined returns the UNDEFINED value.
+func Undefined() Value { return Value{typ: UndefinedType} }
+
+// ErrorValue returns the ERROR value.  ClassAd ERROR carries no
+// message; diagnostic detail belongs to the evaluator's trace.
+func ErrorValue() Value { return Value{typ: ErrorType} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{typ: BooleanType, b: b} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{typ: IntegerType, i: i} }
+
+// Real returns a real value.
+func Real(r float64) Value { return Value{typ: RealType, r: r} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{typ: StringType, s: s} }
+
+// List returns a list value.
+func List(vs ...Value) Value { return Value{typ: ListType, list: vs} }
+
+// AdValue returns a nested-ClassAd value.
+func AdValue(ad *Ad) Value { return Value{typ: AdType, ad: ad} }
+
+// Type returns the dynamic type of v.
+func (v Value) Type() ValueType { return v.typ }
+
+// IsUndefined reports whether v is UNDEFINED.
+func (v Value) IsUndefined() bool { return v.typ == UndefinedType }
+
+// IsError reports whether v is ERROR.
+func (v Value) IsError() bool { return v.typ == ErrorType }
+
+// BoolValue returns the boolean content of v.
+func (v Value) BoolValue() (bool, bool) {
+	if v.typ != BooleanType {
+		return false, false
+	}
+	return v.b, true
+}
+
+// IntValue returns the integer content of v.
+func (v Value) IntValue() (int64, bool) {
+	if v.typ != IntegerType {
+		return 0, false
+	}
+	return v.i, true
+}
+
+// RealValue returns the real content of v, converting integers.
+func (v Value) RealValue() (float64, bool) {
+	switch v.typ {
+	case RealType:
+		return v.r, true
+	case IntegerType:
+		return float64(v.i), true
+	}
+	return 0, false
+}
+
+// StringValue returns the string content of v.
+func (v Value) StringValue() (string, bool) {
+	if v.typ != StringType {
+		return "", false
+	}
+	return v.s, true
+}
+
+// ListValue returns the list content of v.
+func (v Value) ListValue() ([]Value, bool) {
+	if v.typ != ListType {
+		return nil, false
+	}
+	return v.list, true
+}
+
+// AdContent returns the nested ad content of v.
+func (v Value) AdContent() (*Ad, bool) {
+	if v.typ != AdType {
+		return nil, false
+	}
+	return v.ad, true
+}
+
+// isNumber reports whether v is an integer or real.
+func (v Value) isNumber() bool {
+	return v.typ == IntegerType || v.typ == RealType
+}
+
+// String renders the value in ClassAd source syntax.
+func (v Value) String() string {
+	switch v.typ {
+	case UndefinedType:
+		return "undefined"
+	case ErrorType:
+		return "error"
+	case BooleanType:
+		if v.b {
+			return "true"
+		}
+		return "false"
+	case IntegerType:
+		return strconv.FormatInt(v.i, 10)
+	case RealType:
+		if math.IsInf(v.r, 1) {
+			return "real(\"INF\")"
+		}
+		if math.IsInf(v.r, -1) {
+			return "real(\"-INF\")"
+		}
+		if math.IsNaN(v.r) {
+			return "real(\"NaN\")"
+		}
+		s := strconv.FormatFloat(v.r, 'g', -1, 64)
+		// Guarantee the rendering re-parses as a real, not an int.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s
+	case StringType:
+		return strconv.Quote(v.s)
+	case ListType:
+		parts := make([]string, len(v.list))
+		for i, e := range v.list {
+			parts[i] = e.String()
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case AdType:
+		return v.ad.String()
+	default:
+		return "error"
+	}
+}
+
+// Equal reports strict (same-type, same-content) equality, used by
+// the =?= meta operator and by tests.  Numeric values of different
+// types (3 vs 3.0) are not strictly equal; lists and ads compare
+// element-wise.
+func (v Value) Equal(u Value) bool {
+	if v.typ != u.typ {
+		return false
+	}
+	switch v.typ {
+	case UndefinedType, ErrorType:
+		return true
+	case BooleanType:
+		return v.b == u.b
+	case IntegerType:
+		return v.i == u.i
+	case RealType:
+		return v.r == u.r || (math.IsNaN(v.r) && math.IsNaN(u.r))
+	case StringType:
+		return v.s == u.s
+	case ListType:
+		if len(v.list) != len(u.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(u.list[i]) {
+				return false
+			}
+		}
+		return true
+	case AdType:
+		return v.ad.equalTo(u.ad)
+	}
+	return false
+}

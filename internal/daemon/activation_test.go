@@ -1,0 +1,68 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/jvm"
+)
+
+// TestCrashBetweenGrantAndActivation kills the machine in the narrow
+// window after the claim is granted but before the activation (and
+// the starter's first contact) arrives.  Without the shadow's
+// activation timeout the job would stay "running" forever.
+func TestCrashBetweenGrantAndActivation(t *testing.T) {
+	params := DefaultParams()
+	params.ResultTimeout = 30 * time.Minute
+	params.ChronicFailureThreshold = 0
+	doomed := MachineConfig{Name: "doomed", Memory: 4096, AdvertiseJava: true}
+	backup := MachineConfig{Name: "backup", Memory: 1024, AdvertiseJava: true}
+	eng, _, schedd, _, startds := testPool(t, params, doomed, backup)
+
+	id := submitJavaJob(schedd, jvm.WellBehaved(10*time.Minute))
+	// Timeline with 5ms bus latency: claim-request ~60.010s, grant
+	// ~60.015s, activation delivered ~60.020s.  Crash at 60.017s:
+	// after the grant reached the schedd (shadow exists), before the
+	// activation reaches the startd.
+	eng.At(0, func() {}) // anchor
+	eng.After(60*time.Second+17*time.Millisecond, func() { startds[0].Crash() })
+	runUntilDone(t, eng, schedd, 24*time.Hour)
+
+	j := schedd.Job(id)
+	if j.State != JobCompleted {
+		t.Fatalf("state = %v, err = %v", j.State, j.FinalErr)
+	}
+	if j.LastAttempt().Machine != "backup" {
+		t.Errorf("finished on %s", j.LastAttempt().Machine)
+	}
+	// The first attempt ended in lost contact via the activation
+	// timeout.
+	first := j.Attempts[0]
+	if first.Machine != "doomed" || first.LostContact == nil {
+		t.Errorf("first attempt = %+v", first)
+	}
+}
+
+// TestEvictionDuringClaimWindow evicts (owner returns) in the same
+// window; the shadow's activation timeout recovers here too, because
+// the startd silently dropped the claim.
+func TestEvictionDuringClaimWindow(t *testing.T) {
+	params := DefaultParams()
+	params.ResultTimeout = 30 * time.Minute
+	doomed := MachineConfig{Name: "doomed", Memory: 4096, AdvertiseJava: true}
+	backup := MachineConfig{Name: "backup", Memory: 1024, AdvertiseJava: true}
+	eng, _, schedd, _, startds := testPool(t, params, doomed, backup)
+
+	id := submitJavaJob(schedd, jvm.WellBehaved(10*time.Minute))
+	eng.After(60*time.Second+17*time.Millisecond, func() { startds[0].Evict() })
+	eng.After(2*time.Hour, func() { startds[0].OwnerLeft() })
+	runUntilDone(t, eng, schedd, 24*time.Hour)
+
+	j := schedd.Job(id)
+	if j.State != JobCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+	if len(j.Attempts) < 2 {
+		t.Errorf("attempts = %d", len(j.Attempts))
+	}
+}

@@ -1,0 +1,159 @@
+// Package daemon implements the Condor kernel of Figure 1 as actors
+// on a deterministic discrete-event simulation: the matchmaker that
+// collects ClassAds and notifies compatible parties, the schedd that
+// owns the persistent job queue and the final disposition policy, the
+// startd that enforces the machine owner's policy, and the per-job
+// shadow and starter that cooperate to run one job.
+//
+// Every inter-daemon failure travels as a scoped error, and each
+// daemon handles exactly the scopes it manages (Figure 3):
+//
+//	starter  — virtual-machine and remote-resource scope
+//	shadow   — local-resource scope
+//	schedd   — job scope, and program scope on behalf of the user
+//
+// The schedd's last line of defense is scope.Dispose: program scope
+// completes, job scope is unexecutable, anything in between is logged
+// and requeued for a new site.
+package daemon
+
+import (
+	"time"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+// Mode selects the error-propagation discipline of the whole pool.
+type Mode int
+
+const (
+	// ModeScoped is the corrected system of Section 4: the wrapper
+	// writes result files, the I/O library escapes environmental
+	// errors, and the schedd disposes by scope.
+	ModeScoped Mode = iota
+	// ModeNaive is the original system of Section 2.3: the starter
+	// relies on the JVM exit code, the I/O library converts
+	// everything into generic IOExceptions, and every termination
+	// returns to the user as a program result.
+	ModeNaive
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	if m == ModeNaive {
+		return "naive"
+	}
+	return "scoped"
+}
+
+// MountPolicyKind selects how the shadow treats an unavailable
+// submit-side file system (Section 5's hard/soft mount discussion).
+type MountPolicyKind int
+
+const (
+	// MountSoft retries for SoftTimeout and then exposes the error.
+	MountSoft MountPolicyKind = iota
+	// MountHard retries forever, hiding the error and consuming the
+	// claim — NFS "hard mount" behaviour.
+	MountHard
+	// MountPerJob takes the patience from the job ad's
+	// OutageTolerance attribute (in seconds), falling back to
+	// SoftTimeout: a single program chooses its own failure
+	// criteria, the option NFS never offered.
+	MountPerJob
+)
+
+// String returns the policy name.
+func (k MountPolicyKind) String() string {
+	switch k {
+	case MountHard:
+		return "hard"
+	case MountPerJob:
+		return "per-job"
+	default:
+		return "soft"
+	}
+}
+
+// MountPolicy configures the shadow's response to local-resource
+// outages.
+type MountPolicy struct {
+	Kind          MountPolicyKind
+	SoftTimeout   time.Duration
+	RetryInterval time.Duration
+}
+
+// DefaultMountPolicy is a soft mount with a five-minute patience.
+func DefaultMountPolicy() MountPolicy {
+	return MountPolicy{Kind: MountSoft, SoftTimeout: 5 * time.Minute, RetryInterval: 30 * time.Second}
+}
+
+// Params are the pool-wide protocol parameters.
+type Params struct {
+	// Mode is the error-propagation discipline.
+	Mode Mode
+	// NegotiationInterval is the matchmaker's cycle period.
+	NegotiationInterval time.Duration
+	// AdInterval is how often daemons refresh their ads.
+	AdInterval time.Duration
+	// StartupOverhead is the per-attempt cost of claiming, transfer,
+	// and JVM start, charged before any program CPU.
+	StartupOverhead time.Duration
+	// MaxAttempts bounds requeues per job; a job that exhausts its
+	// attempts is held with its last error.
+	MaxAttempts int
+	// Mount is the shadow's outage policy.
+	Mount MountPolicy
+	// ChronicFailureThreshold, when positive, enables the schedd's
+	// complementary fix from Section 5: after this many consecutive
+	// failures at one machine, the schedd declines further matches
+	// to it.
+	ChronicFailureThreshold int
+	// ClaimTimeout bounds how long the schedd waits for a claim
+	// reply before treating the silence as an error wider than the
+	// network (Section 5: time distinguishes a refused connection
+	// from a dead service).
+	ClaimTimeout time.Duration
+	// ResultTimeout bounds how long a shadow waits for a result
+	// after shipping the job.  A starter silent past this point has
+	// vanished: the network-scope silence is widened to
+	// remote-resource scope and the job is requeued.
+	ResultTimeout time.Duration
+	// MachineAdLifetime is how long the matchmaker trusts a machine
+	// ad without refresh; a crashed machine disappears from
+	// matchmaking when its last ad expires.
+	MachineAdLifetime time.Duration
+	// RequeueBackoff spaces retries of a requeued job.
+	RequeueBackoff time.Duration
+	// CheckpointInterval is how often a Standard Universe starter
+	// ships a checkpoint to the shadow; 0 disables checkpointing.
+	CheckpointInterval time.Duration
+}
+
+// DefaultParams returns the parameters used throughout the paper's
+// experiments.
+func DefaultParams() Params {
+	return Params{
+		Mode:                ModeScoped,
+		NegotiationInterval: 60 * time.Second,
+		AdInterval:          60 * time.Second,
+		StartupOverhead:     2 * time.Second,
+		MaxAttempts:         20,
+		Mount:               DefaultMountPolicy(),
+		ClaimTimeout:        2 * time.Minute,
+		ResultTimeout:       12 * time.Hour,
+		MachineAdLifetime:   150 * time.Second,
+		RequeueBackoff:      10 * time.Second,
+		CheckpointInterval:  10 * time.Minute,
+	}
+}
+
+// Well-known actor names.
+const (
+	MatchmakerName = "matchmaker"
+)
+
+// holdErr builds the error recorded when a job exhausts MaxAttempts.
+func holdErr(last error) error {
+	return scope.Escape(scope.ScopePool, "AttemptsExhausted", last)
+}

@@ -1,0 +1,100 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/sim"
+)
+
+// TestFairShareAcrossOwners: a greedy user floods the queue before a
+// second user submits; the fair-share ordering still serves the late
+// user promptly instead of draining the flood first.
+func TestFairShareAcrossOwners(t *testing.T) {
+	params := DefaultParams()
+	eng := sim.New(5)
+	bus := sim.NewBus(eng, 5*time.Millisecond)
+	mm := NewMatchmaker(bus, params)
+	_ = mm
+	schedd := NewSchedd(bus, params, "schedd")
+	NewStartd(bus, params, goodMachine("m1"))
+	NewStartd(bus, params, MachineConfig{Name: "m2", Memory: 2048, AdvertiseJava: true})
+
+	schedd.SubmitFS.WriteFile("/x.class", []byte("b"))
+	submitAs := func(owner string) JobID {
+		return schedd.Submit(&Job{
+			Owner: owner, Ad: NewJavaJobAd(owner, 128),
+			Program: jvm.WellBehaved(30 * time.Minute), Executable: "/x.class",
+		})
+	}
+	// greedy floods 12 jobs.
+	var greedy []JobID
+	for i := 0; i < 12; i++ {
+		greedy = append(greedy, submitAs("greedy"))
+	}
+	// polite submits 2 jobs a bit later.
+	var polite []JobID
+	eng.After(5*time.Minute, func() {
+		polite = append(polite, submitAs("polite"), submitAs("polite"))
+	})
+
+	// Run three hours: with 2 machines and 30-minute jobs only ~12
+	// slots exist; fair share must fit polite's 2 jobs in early.
+	eng.RunFor(3 * time.Hour)
+	politeDone := 0
+	for _, id := range polite {
+		if schedd.Job(id).State == JobCompleted {
+			politeDone++
+		}
+	}
+	if politeDone != 2 {
+		t.Fatalf("polite completed %d/2 — starved by the flood", politeDone)
+	}
+	// The flood still progressed.
+	greedyDone := 0
+	for _, id := range greedy {
+		if schedd.Job(id).State == JobCompleted {
+			greedyDone++
+		}
+	}
+	if greedyDone == 0 {
+		t.Error("greedy made no progress")
+	}
+	if eng.Now() < sim.Time(3*time.Hour) {
+		t.Errorf("clock = %v", eng.Now())
+	}
+}
+
+// TestFairShareUsagePersists: usage accumulated in earlier cycles
+// biases later ones toward the lighter user.
+func TestFairShareUsagePersists(t *testing.T) {
+	params := DefaultParams()
+	eng := sim.New(6)
+	bus := sim.NewBus(eng, 5*time.Millisecond)
+	NewMatchmaker(bus, params)
+	schedd := NewSchedd(bus, params, "schedd")
+	NewStartd(bus, params, goodMachine("m1"))
+	schedd.SubmitFS.WriteFile("/x.class", []byte("b"))
+
+	submitAs := func(owner string, d time.Duration) JobID {
+		return schedd.Submit(&Job{
+			Owner: owner, Ad: NewJavaJobAd(owner, 128),
+			Program: jvm.WellBehaved(d), Executable: "/x.class",
+		})
+	}
+	// heavy runs three jobs first, alone in the pool.
+	for i := 0; i < 3; i++ {
+		submitAs("heavy", 10*time.Minute)
+	}
+	eng.RunFor(2 * time.Hour)
+	// Now both users submit one job; the single machine should go to
+	// light first, despite heavy's job having a smaller id ordering.
+	h := submitAs("heavy", 10*time.Minute)
+	l := submitAs("light", 10*time.Minute)
+	eng.RunFor(15 * time.Minute)
+	if schedd.Job(l).State != JobRunning && schedd.Job(l).State != JobCompleted {
+		t.Errorf("light job state = %v; heavy = %v",
+			schedd.Job(l).State, schedd.Job(h).State)
+	}
+}

@@ -1,0 +1,65 @@
+package daemon
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/errscope/grid/internal/sim"
+)
+
+// EventKind labels one entry in a job's event log, in the spirit of
+// the Condor user log.  The log is the user-facing trace of the
+// schedd's decisions: it records *that* a site failed and was
+// abandoned without burdening the user with detail they cannot act on
+// — the scope is logged, the postmortem is not required.
+type EventKind string
+
+// Job event kinds.
+const (
+	EventSubmitted    EventKind = "submitted"
+	EventMatched      EventKind = "matched"
+	EventClaimDenied  EventKind = "claim-denied"
+	EventClaimTimeout EventKind = "claim-timeout"
+	EventExecuting    EventKind = "executing"
+	EventFetchFailed  EventKind = "fetch-failed"
+	EventLostContact  EventKind = "lost-contact"
+	EventEvicted      EventKind = "evicted"
+	EventRequeued     EventKind = "requeued"
+	EventCompleted    EventKind = "completed"
+	EventUnexecutable EventKind = "unexecutable"
+	EventHeld         EventKind = "held"
+)
+
+// JobEvent is one entry of a job's event log.
+type JobEvent struct {
+	At     sim.Time
+	Kind   EventKind
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e JobEvent) String() string {
+	if e.Detail == "" {
+		return fmt.Sprintf("%-12s %s", e.At, e.Kind)
+	}
+	return fmt.Sprintf("%-12s %-13s %s", e.At, e.Kind, e.Detail)
+}
+
+// EventLog renders a job's whole event log.
+func (j *Job) EventLog() string {
+	var sb strings.Builder
+	for _, e := range j.Events {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// logEvent appends to the job's event log.
+func (s *Schedd) logEvent(j *Job, kind EventKind, format string, args ...any) {
+	j.Events = append(j.Events, JobEvent{
+		At:     s.bus.Now(),
+		Kind:   kind,
+		Detail: fmt.Sprintf(format, args...),
+	})
+}

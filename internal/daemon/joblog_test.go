@@ -1,0 +1,113 @@
+package daemon
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/jvm"
+)
+
+func eventKinds(j *Job) []EventKind {
+	out := make([]EventKind, len(j.Events))
+	for i, e := range j.Events {
+		out[i] = e.Kind
+	}
+	return out
+}
+
+func containsSeq(got []EventKind, want ...EventKind) bool {
+	i := 0
+	for _, k := range got {
+		if i < len(want) && k == want[i] {
+			i++
+		}
+	}
+	return i == len(want)
+}
+
+func TestEventLogHappyPath(t *testing.T) {
+	eng, _, schedd, _, _ := testPool(t, DefaultParams(), goodMachine("m1"))
+	id := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	runUntilDone(t, eng, schedd, 2*time.Hour)
+	j := schedd.Job(id)
+	if !containsSeq(eventKinds(j), EventSubmitted, EventMatched, EventExecuting, EventCompleted) {
+		t.Errorf("events = %v", eventKinds(j))
+	}
+	log := j.EventLog()
+	for _, want := range []string{"submitted", "matched", "machine m1", "executing", "completed"} {
+		if !strings.Contains(log, want) {
+			t.Errorf("log missing %q:\n%s", want, log)
+		}
+	}
+}
+
+func TestEventLogRequeuePath(t *testing.T) {
+	params := DefaultParams()
+	params.ChronicFailureThreshold = 1
+	bad := MachineConfig{Name: "bad", Memory: 4096, AdvertiseJava: true,
+		JVM: jvm.Config{BadLibraryPath: true}}
+	eng, _, schedd, _, _ := testPool(t, params, bad, goodMachine("good"))
+	id := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	runUntilDone(t, eng, schedd, 6*time.Hour)
+	j := schedd.Job(id)
+	if !containsSeq(eventKinds(j),
+		EventSubmitted, EventMatched, EventExecuting, EventRequeued,
+		EventMatched, EventExecuting, EventCompleted) {
+		t.Errorf("events = %v", eventKinds(j))
+	}
+	if !strings.Contains(j.EventLog(), "remote-resource scope error at bad") {
+		t.Errorf("log:\n%s", j.EventLog())
+	}
+}
+
+func TestEventLogUnexecutable(t *testing.T) {
+	eng, _, schedd, _, _ := testPool(t, DefaultParams(), goodMachine("m1"))
+	id := submitJavaJob(schedd, jvm.CorruptImage())
+	runUntilDone(t, eng, schedd, 2*time.Hour)
+	j := schedd.Job(id)
+	if !containsSeq(eventKinds(j), EventSubmitted, EventUnexecutable) {
+		t.Errorf("events = %v", eventKinds(j))
+	}
+}
+
+func TestEventLogLostContact(t *testing.T) {
+	params := DefaultParams()
+	params.ResultTimeout = 30 * time.Minute
+	eng, _, schedd, _, startds := testPool(t, params, goodMachine("m1"), goodMachine("m2"))
+	id := submitJavaJob(schedd, jvm.WellBehaved(10*time.Minute))
+	eng.After(3*time.Minute, func() { startds[0].Crash() })
+	// m1 and m2 rank equally; the first match lands on m1
+	// (alphabetical tie-break).
+	runUntilDone(t, eng, schedd, 24*time.Hour)
+	j := schedd.Job(id)
+	kinds := eventKinds(j)
+	if !containsSeq(kinds, EventSubmitted, EventLostContact, EventCompleted) {
+		t.Errorf("events = %v\n%s", kinds, j.EventLog())
+	}
+}
+
+func TestEventLogHeld(t *testing.T) {
+	params := DefaultParams()
+	params.MaxAttempts = 2
+	bad := MachineConfig{Name: "bad", Memory: 2048, AdvertiseJava: true,
+		JVM: jvm.Config{BadLibraryPath: true}}
+	eng, _, schedd, _, _ := testPool(t, params, bad)
+	id := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	runUntilDone(t, eng, schedd, 12*time.Hour)
+	j := schedd.Job(id)
+	if !containsSeq(eventKinds(j), EventSubmitted, EventRequeued, EventHeld) {
+		t.Errorf("events = %v", eventKinds(j))
+	}
+}
+
+func TestJobEventString(t *testing.T) {
+	e := JobEvent{At: 0, Kind: EventSubmitted}
+	if !strings.Contains(e.String(), "submitted") {
+		t.Errorf("got %q", e.String())
+	}
+	e2 := JobEvent{At: 0, Kind: EventMatched, Detail: "machine x"}
+	if !strings.Contains(e2.String(), "machine x") {
+		t.Errorf("got %q", e2.String())
+	}
+}

@@ -1,0 +1,200 @@
+package daemon
+
+import (
+	"sort"
+	"time"
+
+	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/sim"
+)
+
+// Matchmaker collects ClassAds from all participants and notifies
+// schedds and startds of compatible partners.  Matched processes are
+// then individually responsible for claiming one another — the
+// matchmaker's word is advisory, exactly as in Condor.
+type Matchmaker struct {
+	bus    Runtime
+	params Params
+
+	machines map[string]*machineEntry
+	jobs     map[jobKey]*jobEntry
+	// usage counts matches handed to each owner, the basis of the
+	// fair-share ordering.
+	usage map[string]int
+
+	// Cycles counts negotiation cycles, for metrics.
+	Cycles int
+	// MatchesMade counts notifications sent.
+	MatchesMade int
+	// AdsExpired counts machine ads dropped for silence.
+	AdsExpired int
+}
+
+type machineEntry struct {
+	name    string
+	ad      *classad.Ad
+	matched bool     // provisionally handed out this cycle
+	expires sim.Time // ad lifetime; a silent machine vanishes
+}
+
+type jobKey struct {
+	schedd string
+	job    JobID
+}
+
+type jobEntry struct {
+	key jobKey
+	ad  *classad.Ad
+}
+
+// owner extracts the requesting user from the job ad, falling back to
+// the schedd name so anonymous requests still get a fair-share bucket.
+func (j *jobEntry) owner() string {
+	if v := j.ad.EvalAttr("Owner", nil); v.Type() == classad.StringType {
+		s, _ := v.StringValue()
+		return s
+	}
+	return j.key.schedd
+}
+
+// NewMatchmaker creates and registers the matchmaker on the bus and
+// starts its negotiation cycle.
+func NewMatchmaker(bus Runtime, params Params) *Matchmaker {
+	m := &Matchmaker{
+		bus:      bus,
+		params:   params,
+		machines: make(map[string]*machineEntry),
+		jobs:     make(map[jobKey]*jobEntry),
+		usage:    make(map[string]int),
+	}
+	bus.Register(MatchmakerName, m)
+	bus.Every(params.NegotiationInterval, m.negotiate)
+	return m
+}
+
+// Receive implements sim.Actor.
+func (m *Matchmaker) Receive(msg sim.Message) {
+	ad, ok := msg.Body.(advertiseMsg)
+	if !ok {
+		return // unknown traffic is not the matchmaker's to interpret
+	}
+	switch ad.Kind {
+	case "machine":
+		lifetime := m.params.MachineAdLifetime
+		if lifetime <= 0 {
+			lifetime = 150 * time.Second
+		}
+		m.machines[ad.Name] = &machineEntry{
+			name:    ad.Name,
+			ad:      ad.Ad,
+			expires: m.bus.Now().Add(lifetime),
+		}
+	case "job":
+		key := jobKey{schedd: ad.Schedd, job: ad.Job}
+		if ad.Ad == nil {
+			delete(m.jobs, key) // schedd withdraws the request
+			return
+		}
+		m.jobs[key] = &jobEntry{key: key, ad: ad.Ad}
+	}
+}
+
+// negotiate runs one matchmaking cycle: for each waiting job, in a
+// deterministic order, find the best compatible unclaimed machine and
+// notify the schedd.
+func (m *Matchmaker) negotiate() {
+	m.Cycles++
+	// Expire ads from machines that have gone silent.  At the
+	// matchmaker, a machine's prolonged silence is the point where a
+	// network-scope condition has aged into machine scope
+	// (Section 5: "time becomes a factor in error propagation").
+	now := m.bus.Now()
+	for name, entry := range m.machines {
+		if now > entry.expires {
+			delete(m.machines, name)
+			m.AdsExpired++
+		}
+	}
+	// Fair share: requests are grouped per owner and owners are
+	// served in ascending order of accumulated matches, interleaved
+	// round-robin, so neither a busy submit point nor a greedy user
+	// can starve the rest.  Within an owner, jobs keep submission
+	// order.  The whole arrangement stays deterministic.
+	byOwner := make(map[string][]*jobEntry)
+	for _, j := range m.jobs {
+		o := j.owner()
+		byOwner[o] = append(byOwner[o], j)
+	}
+	owners := make([]string, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+		sort.Slice(byOwner[o], func(i, k int) bool {
+			a, b := byOwner[o][i].key, byOwner[o][k].key
+			if a.schedd != b.schedd {
+				return a.schedd < b.schedd
+			}
+			return a.job < b.job
+		})
+	}
+	sort.Slice(owners, func(i, k int) bool {
+		if m.usage[owners[i]] != m.usage[owners[k]] {
+			return m.usage[owners[i]] < m.usage[owners[k]]
+		}
+		return owners[i] < owners[k]
+	})
+	jobs := make([]*jobEntry, 0, len(m.jobs))
+	for round := 0; len(jobs) < len(m.jobs); round++ {
+		for _, o := range owners {
+			if q := byOwner[o]; round < len(q) {
+				jobs = append(jobs, q[round])
+			}
+		}
+	}
+
+	names := make([]string, 0, len(m.machines))
+	for name := range m.machines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, j := range jobs {
+		best := ""
+		bestRank := 0.0
+		for _, name := range names {
+			entry := m.machines[name]
+			if entry.matched {
+				continue
+			}
+			if !classad.Match(j.ad, entry.ad) {
+				continue
+			}
+			r := classad.Rank(j.ad, entry.ad)
+			if best == "" || r > bestRank {
+				best = name
+				bestRank = r
+			}
+		}
+		if best == "" {
+			continue
+		}
+		entry := m.machines[best]
+		entry.matched = true
+		m.MatchesMade++
+		m.usage[j.owner()]++
+		delete(m.jobs, j.key)
+		m.bus.Send(MatchmakerName, j.key.schedd, kindMatchNotify, matchNotifyMsg{
+			Job:       j.key.job,
+			Machine:   best,
+			MachineAd: entry.ad.Copy(),
+		})
+	}
+	// Provisional matches expire when the startd re-advertises; a
+	// machine that was matched but never claimed becomes visible
+	// again on its next ad.
+}
+
+// MachineCount reports the machines currently advertised, for tests.
+func (m *Matchmaker) MachineCount() int { return len(m.machines) }
+
+// PendingJobs reports the job requests currently queued, for tests.
+func (m *Matchmaker) PendingJobs() int { return len(m.jobs) }

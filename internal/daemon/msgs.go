@@ -1,0 +1,142 @@
+package daemon
+
+import (
+	"time"
+
+	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/scope"
+)
+
+// Message kinds exchanged on the bus.  Each kind's body type is the
+// struct of the same base name.
+const (
+	kindAdvertise    = "advertise"     // startd/schedd -> matchmaker
+	kindMatchNotify  = "match-notify"  // matchmaker -> schedd
+	kindClaimRequest = "claim-request" // schedd -> startd
+	kindClaimReply   = "claim-reply"   // startd -> schedd
+	kindActivate     = "activate"      // schedd -> startd (names the shadow)
+	kindFetchJob     = "fetch-job"     // starter -> shadow
+	kindJobDetails   = "job-details"   // shadow -> starter
+	kindFetchAbort   = "fetch-abort"   // shadow -> starter (shadow gave up)
+	kindJobResult    = "job-result"    // starter -> shadow
+	kindJobFinal     = "job-final"     // shadow -> schedd
+	kindReleaseClaim = "release-claim" // schedd/shadow -> startd
+	kindCheckpoint   = "checkpoint"    // starter -> shadow
+	kindJobEvicted   = "job-evicted"   // starter -> shadow
+)
+
+// advertiseMsg refreshes an ad at the matchmaker.
+type advertiseMsg struct {
+	// Kind is "machine" or "job".
+	Kind string
+	// Name keys the ad: machine name, or schedd/job for jobs.
+	Name string
+	// Schedd and Job identify the job advertisement's origin.
+	Schedd string
+	Job    JobID
+	Ad     *classad.Ad
+}
+
+// matchNotifyMsg tells a schedd about a compatible machine.
+type matchNotifyMsg struct {
+	Job       JobID
+	Machine   string // startd actor name
+	MachineAd *classad.Ad
+}
+
+// claimRequestMsg asks a startd for the claim on its machine.
+type claimRequestMsg struct {
+	Job    JobID
+	Schedd string
+	JobAd  *classad.Ad
+}
+
+// claimReplyMsg grants or denies a claim.
+type claimReplyMsg struct {
+	Job     JobID
+	Granted bool
+	Reason  string
+}
+
+// activateMsg starts execution under an existing claim; the startd
+// spawns a starter that will contact the named shadow.
+type activateMsg struct {
+	Job    JobID
+	Shadow string
+}
+
+// fetchJobMsg is the starter asking its shadow for the job details.
+type fetchJobMsg struct {
+	Starter string
+}
+
+// jobDetailsMsg carries the program to the execution site.
+type jobDetailsMsg struct {
+	Job JobID
+	// Universe selects the execution environment on the machine.
+	Universe string
+	// ResumeCPU is the checkpointed progress a Standard Universe job
+	// restarts from.
+	ResumeCPU time.Duration
+	Program   *jvm.Program
+	// IO is the I/O service the job will use, built by the shadow
+	// over the submit-side file system.
+	IO jvm.FileOps
+	// Generic records that IO is the flawed generic-IOException
+	// library (ModeNaive).
+	Generic bool
+}
+
+// fetchAbortMsg tells the starter the shadow could not provide the
+// job (the shadow already informed the schedd).
+type fetchAbortMsg struct{ Job JobID }
+
+// jobResultMsg reports an attempt's outcome to the shadow.
+type jobResultMsg struct {
+	Job JobID
+	// Reported is what this mode's starter propagates.
+	Reported scope.Result
+	// True is the wrapper's ground-truth classification.
+	True scope.Result
+	CPU  time.Duration
+}
+
+// jobFinalMsg is the shadow's report to the schedd for one attempt.
+type jobFinalMsg struct {
+	Job     JobID
+	Machine string
+	// Err is nil for a program result; otherwise the scoped error
+	// the schedd must dispose of.
+	Reported scope.Result
+	True     scope.Result
+	CPU      time.Duration
+	// FetchError, when non-nil, means the attempt never ran.
+	FetchError error
+	// LostContact, when non-nil, means the execution site went
+	// silent mid-attempt; the error carries the widened scope.
+	LostContact error
+	// Evicted marks an owner-reclaimed machine: requeue with no
+	// blame attached to anyone.
+	Evicted bool
+	// CheckpointCPU is the progress preserved across the failure or
+	// eviction, to resume from at the next site.
+	CheckpointCPU time.Duration
+}
+
+// releaseClaimMsg returns a machine to the unclaimed state.
+type releaseClaimMsg struct{ Job JobID }
+
+// checkpointMsg ships a Standard Universe job's progress to the
+// shadow, where it survives the execution machine.
+type checkpointMsg struct {
+	Job JobID
+	CPU time.Duration
+}
+
+// jobEvictedMsg reports an eviction to the shadow, carrying the
+// freshest checkpoint (zero for non-checkpointing universes).
+type jobEvictedMsg struct {
+	Job           JobID
+	CheckpointCPU time.Duration
+}

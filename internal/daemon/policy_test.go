@@ -1,0 +1,122 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/sim"
+)
+
+// TestOwnerPolicyDeniesClaims: the startd enforces the machine
+// owner's policy at claim time, independent of the matchmaker's
+// opinion.
+func TestOwnerPolicyDeniesClaim(t *testing.T) {
+	params := DefaultParams()
+	picky := MachineConfig{
+		Name: "picky", Memory: 2048, AdvertiseJava: true,
+		OwnerRequirements: `target.Owner == "boss"`,
+	}
+	open := MachineConfig{Name: "open", Memory: 1024, AdvertiseJava: true}
+	eng, _, schedd, _, startds := testPool(t, params, picky, open)
+
+	// alice's job ranks the picky machine first, but its owner only
+	// accepts jobs from boss.
+	id := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	runUntilDone(t, eng, schedd, 12*time.Hour)
+
+	j := schedd.Job(id)
+	if j.State != JobCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+	if j.LastAttempt().Machine != "open" {
+		t.Errorf("ran on %s", j.LastAttempt().Machine)
+	}
+	if startds[0].JobsRun != 0 {
+		t.Error("picky machine must not run alice's job")
+	}
+	// Note: the matchmaker already respects the owner ad, so the
+	// picky machine is never even proposed — Figure 1's two-sided
+	// verification in action.
+}
+
+// TestClaimRaceDenied: two schedds race for one machine; exactly one
+// claim is granted and the loser's job completes elsewhere later.
+func TestClaimRaceDenied(t *testing.T) {
+	params := DefaultParams()
+	eng := sim.New(3)
+	bus := sim.NewBus(eng, 5*time.Millisecond)
+	NewMatchmaker(bus, params)
+	s1 := NewSchedd(bus, params, "s1")
+	s2 := NewSchedd(bus, params, "s2")
+	sd := NewStartd(bus, params, goodMachine("m1"))
+	_ = sd
+
+	submit := func(s *Schedd) JobID {
+		s.SubmitFS.WriteFile("/x.class", []byte("b"))
+		return s.Submit(&Job{
+			Owner: "u", Ad: NewJavaJobAd("u", 128),
+			Program: jvm.WellBehaved(10 * time.Minute), Executable: "/x.class",
+		})
+	}
+	id1, id2 := submit(s1), submit(s2)
+	for eng.Now() < sim.Time(12*time.Hour) && !(s1.AllTerminal() && s2.AllTerminal()) {
+		eng.RunFor(time.Minute)
+	}
+	j1, j2 := s1.Job(id1), s2.Job(id2)
+	if j1.State != JobCompleted || j2.State != JobCompleted {
+		t.Fatalf("states = %v, %v", j1.State, j2.State)
+	}
+	// They cannot have run concurrently on the single machine.
+	if overlap(j1.Attempts[len(j1.Attempts)-1], j2.Attempts[len(j2.Attempts)-1]) {
+		t.Error("two jobs overlapped on one machine")
+	}
+}
+
+func overlap(a, b Attempt) bool {
+	return a.Start < b.End && b.Start < a.End
+}
+
+// TestMatchmakerAccessors covers the introspection used by tools.
+func TestMatchmakerAccessors(t *testing.T) {
+	params := DefaultParams()
+	eng := sim.New(1)
+	bus := sim.NewBus(eng, time.Millisecond)
+	mm := NewMatchmaker(bus, params)
+	NewStartd(bus, params, goodMachine("m1"))
+	schedd := NewSchedd(bus, params, "schedd")
+	schedd.SubmitFS.WriteFile("/x.class", []byte("b"))
+	// A job no machine can satisfy stays pending.
+	ad := NewJavaJobAd("u", 128)
+	ad.MustSetExpr("Requirements", "target.Memory >= 999999")
+	schedd.Submit(&Job{Owner: "u", Ad: ad,
+		Program: jvm.WellBehaved(time.Minute), Executable: "/x.class"})
+	eng.RunFor(5 * time.Minute)
+	if mm.MachineCount() != 1 {
+		t.Errorf("machines = %d", mm.MachineCount())
+	}
+	if mm.PendingJobs() != 1 {
+		t.Errorf("pending = %d", mm.PendingJobs())
+	}
+	if mm.MatchesMade != 0 {
+		t.Errorf("matches = %d", mm.MatchesMade)
+	}
+}
+
+// TestStaleActivationIgnored: an activation for a job whose claim was
+// already released must not start anything.
+func TestStaleActivationIgnored(t *testing.T) {
+	params := DefaultParams()
+	eng := sim.New(1)
+	bus := sim.NewBus(eng, time.Millisecond)
+	sd := NewStartd(bus, params, goodMachine("m1"))
+	// Activate without any claim.
+	bus.Send("nobody", "m1", kindActivate, activateMsg{Job: 42, Shadow: "ghost"})
+	eng.RunFor(time.Minute)
+	if sd.State() != StartdUnclaimed {
+		t.Errorf("state = %v", sd.State())
+	}
+	if sd.JobsRun != 0 {
+		t.Error("stale activation ran a job")
+	}
+}

@@ -1,0 +1,37 @@
+package daemon
+
+import (
+	"time"
+
+	"github.com/errscope/grid/internal/sim"
+)
+
+// Runtime is the execution substrate the kernel daemons run on: named
+// actors, message delivery, and timers.  Two implementations exist:
+//
+//   - *sim.Bus runs the daemons on the deterministic discrete-event
+//     engine, for experiments and tests;
+//   - *live.Runtime (package internal/live) runs the identical daemon
+//     code on goroutines over the wall clock, for a pool that
+//     actually passes real time.
+//
+// Daemons never block; they react to messages and timers, so the same
+// state machines are correct on both substrates.
+type Runtime interface {
+	// Send queues a message for delivery to the named actor.
+	Send(from, to, kind string, body any)
+	// Register attaches an actor under a unique name.
+	Register(name string, a sim.Actor)
+	// Unregister detaches an actor; in-flight messages to it drop.
+	Unregister(name string)
+	// Now returns the current time on this substrate.
+	Now() sim.Time
+	// After schedules fn once after d; the returned function cancels
+	// it if it has not fired.
+	After(d time.Duration, fn func()) (cancel func())
+	// Every schedules fn at the period; the returned function stops
+	// the series.
+	Every(period time.Duration, fn func()) (stop func())
+}
+
+var _ Runtime = (*sim.Bus)(nil)

@@ -1,0 +1,379 @@
+package daemon
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/sim"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+// UserReport is what a user finally sees for a job: the schedd's
+// disposition and the result or error that accompanied it.
+type UserReport struct {
+	Job         JobID
+	Disposition scope.Disposition
+	// Result is the program result for completed jobs.
+	Result scope.Result
+	// Err is the error for unexecutable or held jobs.
+	Err error
+	// IncidentalLeak marks a completed job whose ground-truth
+	// condition was environmental (wider than program scope): the
+	// user received an accidental property of the execution site as
+	// if it were a program result.  This is the frustration of
+	// Section 2.3, measurable only because the simulation knows the
+	// truth.
+	IncidentalLeak bool
+}
+
+// Schedd owns the persistent job queue: it advertises idle jobs,
+// claims matched machines, spawns a shadow per running job, and is
+// the last line of defense for error disposition (Section 4).
+type Schedd struct {
+	bus    Runtime
+	params Params
+	name   string
+
+	// SubmitFS is the submit machine's file system, served to
+	// running jobs by their shadows.
+	SubmitFS *vfs.FileSystem
+
+	jobs   map[JobID]*Job
+	order  []JobID
+	nextID JobID
+
+	shadowSeq int
+	// machineFailures counts consecutive failures per machine for
+	// the chronic-failure avoidance policy.
+	machineFailures map[string]int
+
+	// Reports collects what users were shown, in completion order.
+	Reports []UserReport
+
+	// Metrics.
+	MatchesReceived int
+	MatchesDeclined int
+	ClaimsFailed    int
+	Requeues        int
+}
+
+// NewSchedd creates, registers, and starts a schedd with its own
+// submit-side file system.
+func NewSchedd(bus Runtime, params Params, name string) *Schedd {
+	s := &Schedd{
+		bus:             bus,
+		params:          params,
+		name:            name,
+		SubmitFS:        vfs.New(),
+		jobs:            make(map[JobID]*Job),
+		machineFailures: make(map[string]int),
+	}
+	bus.Register(name, s)
+	bus.Every(params.AdInterval, s.advertiseIdle)
+	return s
+}
+
+// Name returns the schedd's actor name.
+func (s *Schedd) Name() string { return s.name }
+
+// Submit queues a job; the job's Ad and Program must be set.  It
+// returns the assigned id.
+func (s *Schedd) Submit(job *Job) JobID {
+	s.nextID++
+	job.ID = s.nextID
+	job.State = JobIdle
+	job.Submitted = s.bus.Now()
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	s.logEvent(job, EventSubmitted, "owner %s", job.Owner)
+	s.advertiseJob(job)
+	return job.ID
+}
+
+// Job returns the job with the given id.
+func (s *Schedd) Job(id JobID) *Job { return s.jobs[id] }
+
+// Jobs returns all jobs in submission order.
+func (s *Schedd) Jobs() []*Job {
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// AllTerminal reports whether every job reached a final state.
+func (s *Schedd) AllTerminal() bool {
+	for _, j := range s.jobs {
+		if !j.State.Terminal() {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Schedd) advertiseIdle() {
+	for _, id := range s.order {
+		if j := s.jobs[id]; j.State == JobIdle {
+			s.advertiseJob(j)
+		}
+	}
+}
+
+func (s *Schedd) advertiseJob(j *Job) {
+	s.bus.Send(s.name, MatchmakerName, kindAdvertise, advertiseMsg{
+		Kind:   "job",
+		Name:   fmt.Sprintf("%s#%d", s.name, j.ID),
+		Schedd: s.name,
+		Job:    j.ID,
+		Ad:     s.effectiveAd(j),
+	})
+}
+
+// withdrawJob removes the job's request from the matchmaker so stale
+// advertisements cannot produce matches for jobs no longer idle.
+func (s *Schedd) withdrawJob(j *Job) {
+	s.bus.Send(s.name, MatchmakerName, kindAdvertise, advertiseMsg{
+		Kind:   "job",
+		Name:   fmt.Sprintf("%s#%d", s.name, j.ID),
+		Schedd: s.name,
+		Job:    j.ID,
+		Ad:     nil,
+	})
+}
+
+// effectiveAd returns the ad the schedd actually advertises: the
+// job's own ad, strengthened — when chronic-failure avoidance is on —
+// with a requirement steering the matchmaker away from machines with
+// repeated failures.  Extending Requirements is the ClassAd idiom for
+// schedd-side policy.
+func (s *Schedd) effectiveAd(j *Job) *classad.Ad {
+	ad := j.Ad.Copy()
+	if s.params.ChronicFailureThreshold <= 0 {
+		return ad
+	}
+	var avoided []string
+	for machine, n := range s.machineFailures {
+		if n >= s.params.ChronicFailureThreshold {
+			avoided = append(avoided, machine)
+		}
+	}
+	if len(avoided) == 0 {
+		return ad
+	}
+	sort.Strings(avoided)
+	var list strings.Builder
+	list.WriteString("{")
+	for i, m := range avoided {
+		if i > 0 {
+			list.WriteString(", ")
+		}
+		list.WriteString(strconv.Quote(m))
+	}
+	list.WriteString("}")
+	req := "true"
+	if e, ok := ad.Lookup(classad.AttrRequirements); ok {
+		req = e.String()
+	}
+	ad.MustSetExpr(classad.AttrRequirements,
+		fmt.Sprintf("(%s) && !member(target.Machine, %s)", req, list.String()))
+	return ad
+}
+
+// Receive implements sim.Actor.
+func (s *Schedd) Receive(msg sim.Message) {
+	switch body := msg.Body.(type) {
+	case matchNotifyMsg:
+		s.handleMatch(body)
+	case claimReplyMsg:
+		s.receiveClaim(msg.From, body)
+	case jobFinalMsg:
+		s.handleFinal(body)
+	}
+}
+
+// handleMatch claims the machine the matchmaker proposed, unless the
+// chronic-failure policy vetoes it.
+func (s *Schedd) handleMatch(m matchNotifyMsg) {
+	s.MatchesReceived++
+	j, ok := s.jobs[m.Job]
+	if !ok || j.State != JobIdle {
+		return
+	}
+	if s.params.ChronicFailureThreshold > 0 &&
+		s.machineFailures[m.Machine] >= s.params.ChronicFailureThreshold {
+		// "A complementary approach would be to enhance the schedd
+		// with logic to detect and avoid hosts with chronic
+		// failures."  Stay idle; the strengthened ad steers the
+		// next cycle elsewhere.
+		s.MatchesDeclined++
+		s.advertiseJob(j)
+		return
+	}
+	j.State = JobMatched
+	j.claimSeq++
+	seq := j.claimSeq
+	s.logEvent(j, EventMatched, "machine %s", m.Machine)
+	s.withdrawJob(j)
+	s.bus.Send(s.name, m.Machine, kindClaimRequest, claimRequestMsg{
+		Job:    j.ID,
+		Schedd: s.name,
+		JobAd:  j.Ad.Copy(),
+	})
+	// Claim timeout: a startd that never answers — dead, partitioned
+	// — must not strand the job in the matched state.  The silence
+	// is discovered by time, not by a message (Section 5).
+	if s.params.ClaimTimeout > 0 {
+		s.bus.After(s.params.ClaimTimeout, func() {
+			if j.State == JobMatched && j.claimSeq == seq {
+				s.ClaimsFailed++
+				j.State = JobIdle
+				s.logEvent(j, EventClaimTimeout, "no reply from %s within %v",
+					m.Machine, s.params.ClaimTimeout)
+				s.advertiseJob(j)
+			}
+		})
+	}
+}
+
+// receiveClaim activates a granted claim by spawning the shadow; the
+// sender's name identifies the machine.
+func (s *Schedd) receiveClaim(from string, r claimReplyMsg) {
+	j, ok := s.jobs[r.Job]
+	if !ok || j.State != JobMatched {
+		return
+	}
+	j.claimSeq++ // the reply arrived; disarm the claim timeout
+	if !r.Granted {
+		s.ClaimsFailed++
+		j.State = JobIdle
+		s.logEvent(j, EventClaimDenied, "%s: %s", from, r.Reason)
+		s.advertiseJob(j)
+		return
+	}
+	j.State = JobRunning
+	s.logEvent(j, EventExecuting, "machine %s", from)
+	j.Attempts = append(j.Attempts, Attempt{
+		Machine: from,
+		Start:   s.bus.Now(),
+	})
+	s.shadowSeq++
+	shadowName := fmt.Sprintf("shadow:%s:%d", s.name, s.shadowSeq)
+	newShadow(s.bus, s.params, shadowName, s.name, j, s.SubmitFS, from)
+	s.bus.Send(s.name, from, kindActivate, activateMsg{Job: j.ID, Shadow: shadowName})
+}
+
+// handleFinal applies the schedd's last-line-of-defense policy.
+func (s *Schedd) handleFinal(f jobFinalMsg) {
+	j, ok := s.jobs[f.Job]
+	if !ok || j.State != JobRunning {
+		return
+	}
+	att := j.LastAttempt()
+	if att != nil {
+		att.End = s.bus.Now()
+		att.Reported = f.Reported
+		att.True = f.True
+		att.CPU = f.CPU
+		att.FetchError = f.FetchError
+		att.LostContact = f.LostContact
+		att.Evicted = f.Evicted
+	}
+
+	if f.CheckpointCPU > j.CheckpointCPU {
+		j.CheckpointCPU = f.CheckpointCPU
+	}
+
+	var err error
+	switch {
+	case f.Evicted:
+		// Eviction is policy, not error: the owner reclaimed the
+		// machine.  Requeue with no blame attached.
+		err = scope.New(scope.ScopeRemoteResource, "Evicted",
+			"the machine owner reclaimed %s", f.Machine)
+	case f.FetchError != nil:
+		err = f.FetchError
+	case f.LostContact != nil:
+		err = f.LostContact
+	default:
+		err = f.Reported.Err()
+	}
+
+	disp := scope.DisposeError(err)
+	switch disp {
+	case scope.DispositionComplete:
+		j.State = JobCompleted
+		j.Finished = s.bus.Now()
+		s.logEvent(j, EventCompleted, "%s on %s", f.Reported.Status, f.Machine)
+		s.machineFailures[f.Machine] = 0
+		leak := false
+		if trueErr := f.True.Err(); trueErr != nil &&
+			scope.ScopeOf(trueErr) > scope.ScopeProgram {
+			leak = true
+		}
+		s.Reports = append(s.Reports, UserReport{
+			Job:            j.ID,
+			Disposition:    disp,
+			Result:         f.Reported,
+			IncidentalLeak: leak,
+		})
+
+	case scope.DispositionUnexecutable:
+		j.State = JobUnexecutable
+		j.Finished = s.bus.Now()
+		j.FinalErr = err
+		s.logEvent(j, EventUnexecutable, "%v", err)
+		s.Reports = append(s.Reports, UserReport{
+			Job:         j.ID,
+			Disposition: disp,
+			Err:         err,
+		})
+
+	default: // requeue
+		s.Requeues++
+		switch {
+		case f.Evicted:
+			s.logEvent(j, EventEvicted, "owner reclaimed %s (checkpoint %v)",
+				f.Machine, j.CheckpointCPU)
+		case f.FetchError != nil:
+			s.logEvent(j, EventFetchFailed, "%v", err)
+		case f.LostContact != nil:
+			s.logEvent(j, EventLostContact, "%v", err)
+		default:
+			s.logEvent(j, EventRequeued, "%s scope error at %s",
+				scope.ScopeOf(err), f.Machine)
+		}
+		// Blame the machine for its own failures — including going
+		// silent — but not for submit-side fetch problems or for its
+		// owner's legitimate return.
+		if f.FetchError == nil && !f.Evicted && f.Machine != "" {
+			s.machineFailures[f.Machine]++
+		}
+		if len(j.Attempts) >= s.params.MaxAttempts {
+			j.State = JobHeld
+			j.Finished = s.bus.Now()
+			j.FinalErr = holdErr(err)
+			s.logEvent(j, EventHeld, "%v", j.FinalErr)
+			s.Reports = append(s.Reports, UserReport{
+				Job:         j.ID,
+				Disposition: disp,
+				Err:         j.FinalErr,
+			})
+			return
+		}
+		// Log and attempt to execute the program at a new site.
+		s.bus.After(s.params.RequeueBackoff, func() {
+			if j.State == JobRunning {
+				j.State = JobIdle
+				s.advertiseJob(j)
+			}
+		})
+	}
+}
+
+// FailureCount exposes the chronic-failure table, for tests.
+func (s *Schedd) FailureCount(machine string) int { return s.machineFailures[machine] }

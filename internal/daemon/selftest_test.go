@@ -1,0 +1,100 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/jvm"
+)
+
+// TestDegradationWithoutPeriodicTestMakesABlackHole degrades a
+// machine's Java installation at runtime.  With only the startup
+// self-test, the startd keeps advertising a capability it no longer
+// has and jobs start failing there.
+func TestDegradationWithoutPeriodicTest(t *testing.T) {
+	params := DefaultParams()
+	params.ChronicFailureThreshold = 1 // let jobs escape the black hole
+	m1 := MachineConfig{Name: "m1", Memory: 4096, AdvertiseJava: true, SelfTest: true}
+	m2 := MachineConfig{Name: "m2", Memory: 1024, AdvertiseJava: true}
+	eng, _, schedd, _, startds := testPool(t, params, m1, m2)
+
+	// The installation rots five minutes in.
+	eng.After(5*time.Minute, func() {
+		startds[0].SetJVMConfig(jvm.Config{BadLibraryPath: true})
+	})
+	// Submit after the degradation.
+	eng.After(10*time.Minute, func() {
+		submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	})
+	// Advance past the deferred submission, then drive to completion
+	// (AllTerminal is vacuously true while the queue is empty).
+	eng.RunFor(15 * time.Minute)
+	runUntilDone(t, eng, schedd, 12*time.Hour)
+
+	j := schedd.Jobs()[0]
+	if j.State != JobCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+	// The degraded machine attracted and failed the first attempt.
+	if j.Attempts[0].Machine != "m1" || len(j.Attempts) < 2 {
+		t.Errorf("attempts = %+v", j.Attempts)
+	}
+}
+
+// TestDegradationWithPeriodicTestIsCaught: with the periodic
+// self-test the degradation is discovered at the next ad refresh and
+// the machine stops advertising Java before any job is wasted.
+func TestDegradationWithPeriodicTest(t *testing.T) {
+	params := DefaultParams()
+	m1 := MachineConfig{Name: "m1", Memory: 4096, AdvertiseJava: true,
+		SelfTest: true, PeriodicSelfTest: true}
+	m2 := MachineConfig{Name: "m2", Memory: 1024, AdvertiseJava: true}
+	eng, _, schedd, _, startds := testPool(t, params, m1, m2)
+
+	eng.After(5*time.Minute, func() {
+		startds[0].SetJVMConfig(jvm.Config{BadLibraryPath: true})
+	})
+	// Submit well after the next ad refresh (ads are per minute).
+	eng.After(10*time.Minute, func() {
+		submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	})
+	// Advance past the deferred submission, then drive to completion
+	// (AllTerminal is vacuously true while the queue is empty).
+	eng.RunFor(15 * time.Minute)
+	runUntilDone(t, eng, schedd, 12*time.Hour)
+
+	j := schedd.Jobs()[0]
+	if j.State != JobCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+	if len(j.Attempts) != 1 || j.Attempts[0].Machine != "m2" {
+		t.Errorf("attempts = %+v", j.Attempts)
+	}
+	if startds[0].JobsRun != 0 {
+		t.Error("degraded machine ran a job")
+	}
+}
+
+// TestRecoveryWithPeriodicTest: a repaired installation is
+// re-advertised automatically.
+func TestRecoveryWithPeriodicTest(t *testing.T) {
+	params := DefaultParams()
+	m1 := MachineConfig{Name: "only", Memory: 2048, AdvertiseJava: true,
+		SelfTest: true, PeriodicSelfTest: true, JVM: jvm.Config{Broken: true}}
+	eng, _, schedd, _, startds := testPool(t, params, m1)
+
+	id := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	// The owner fixes the installation after two hours.
+	eng.After(2*time.Hour, func() {
+		startds[0].SetJVMConfig(jvm.Config{})
+	})
+	runUntilDone(t, eng, schedd, 12*time.Hour)
+
+	j := schedd.Job(id)
+	if j.State != JobCompleted {
+		t.Fatalf("state = %v", j.State)
+	}
+	if j.Finished < 7.2e12 { // ~2h in nanoseconds
+		t.Errorf("finished at %v, before the repair", j.Finished)
+	}
+}

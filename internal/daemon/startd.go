@@ -1,0 +1,348 @@
+package daemon
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/sim"
+)
+
+// MachineConfig describes one execution machine: its resources, the
+// owner's policy, and — crucially — the owner's *assertions* about
+// the Java installation, which may be wrong.
+type MachineConfig struct {
+	Name   string
+	Memory int64 // MiB
+	Arch   string
+	OpSys  string
+	// JVM is the actual Java installation on the machine.
+	JVM jvm.Config
+	// AdvertiseJava is the owner's assertion that Java works here.
+	AdvertiseJava bool
+	// SelfTest makes the startd verify the installation at startup
+	// instead of trusting the assertion (the Autoconf lesson of
+	// Section 5).  If the test fails, the startd simply declines to
+	// advertise its Java capability.
+	SelfTest bool
+	// PeriodicSelfTest re-runs the verification before every ad
+	// refresh, so an installation that degrades *after* startup is
+	// also caught — the natural extension of the paper's startup
+	// test.
+	PeriodicSelfTest bool
+	// OwnerRequirements is the owner's policy expression; empty
+	// means accept any job.
+	OwnerRequirements string
+}
+
+// StartdState is the claim state of a machine.
+type StartdState int
+
+// Startd claim states.
+const (
+	StartdUnclaimed StartdState = iota
+	StartdClaimed
+	StartdRunning
+	// StartdOwner: the machine's owner is using it; visiting jobs
+	// are evicted and no ads are published — the opportunistic-cycles
+	// discipline Condor was built on.
+	StartdOwner
+)
+
+// Startd manages one execution machine: it enforces the owner's
+// policy regarding when and how visiting jobs may be executed, and it
+// creates a starter to oversee each job.
+type Startd struct {
+	bus    Runtime
+	params Params
+	cfg    MachineConfig
+
+	machine *jvm.Machine
+	// hasJava is what the startd actually advertises, after the
+	// optional self-test.
+	hasJava bool
+
+	state      StartdState
+	claimedBy  string
+	claimedJob JobID
+	starterSeq int
+	starter    string
+	starterObj *Starter
+	crashed    bool
+
+	// Metrics.
+	ClaimsGranted int
+	ClaimsDenied  int
+	JobsRun       int
+	CPUDelivered  time.Duration
+	SelfTestFail  bool
+	Evictions     int
+}
+
+// NewStartd creates, registers, and starts the startd for a machine.
+// Its actor name is the machine name.
+func NewStartd(bus Runtime, params Params, cfg MachineConfig) *Startd {
+	if cfg.Arch == "" {
+		cfg.Arch = "X86_64"
+	}
+	if cfg.OpSys == "" {
+		cfg.OpSys = "LINUX"
+	}
+	if cfg.Memory == 0 {
+		cfg.Memory = 1024
+	}
+	s := &Startd{
+		bus:     bus,
+		params:  params,
+		cfg:     cfg,
+		machine: jvm.New(cfg.JVM),
+	}
+	s.hasJava = cfg.AdvertiseJava
+	if cfg.SelfTest && s.hasJava {
+		if err := s.machine.SelfTest(); err != nil {
+			// "If found lacking, then the startd simply declines
+			// to advertise its Java capability."
+			s.hasJava = false
+			s.SelfTestFail = true
+		}
+	}
+	bus.Register(cfg.Name, s)
+	s.advertise()
+	bus.Every(params.AdInterval, s.advertise)
+	return s
+}
+
+// Name returns the startd's actor name.
+func (s *Startd) Name() string { return s.cfg.Name }
+
+// Machine returns the JVM installation, for tests.
+func (s *Startd) Machine() *jvm.Machine { return s.machine }
+
+// State returns the claim state, for tests.
+func (s *Startd) State() StartdState { return s.state }
+
+// buildAd constructs the machine's ClassAd.
+func (s *Startd) buildAd() *classad.Ad {
+	ad := classad.NewAd()
+	ad.SetString("Machine", s.cfg.Name)
+	ad.SetString("Arch", s.cfg.Arch)
+	ad.SetString("OpSys", s.cfg.OpSys)
+	ad.SetInt("Memory", s.cfg.Memory)
+	ad.SetBool("HasJava", s.hasJava)
+	ad.SetString("JavaVersion", s.machine.Config().Version)
+	state := "Unclaimed"
+	if s.state != StartdUnclaimed {
+		state = "Claimed"
+	}
+	ad.SetString("State", state)
+	if s.cfg.OwnerRequirements != "" {
+		ad.MustSetExpr("Requirements", s.cfg.OwnerRequirements)
+	}
+	return ad
+}
+
+// Evict reclaims the machine for its owner: any running job is told
+// to stop (a Standard Universe job checkpoints first), the claim ends,
+// and the machine stops advertising until OwnerLeft.
+func (s *Startd) Evict() {
+	if s.crashed || s.state == StartdOwner {
+		return
+	}
+	if s.state == StartdRunning && s.starterObj != nil {
+		// Synchronous: the startd signals its own child process.
+		s.starterObj.evict()
+		s.bus.Unregister(s.starter)
+		s.starter = ""
+		s.starterObj = nil
+	}
+	s.Evictions++
+	s.state = StartdOwner
+	s.claimedBy = ""
+	s.claimedJob = 0
+}
+
+// OwnerLeft returns the machine to the pool after owner use.
+func (s *Startd) OwnerLeft() {
+	if s.crashed || s.state != StartdOwner {
+		return
+	}
+	s.state = StartdUnclaimed
+	s.advertise()
+}
+
+// Crash takes the machine down abruptly: the startd and any starter
+// vanish from the network mid-protocol.  Nobody is told — the rest of
+// the system must discover the silence through timeouts and ad
+// expiry, exactly as with a real machine failure.
+func (s *Startd) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.bus.Unregister(s.cfg.Name)
+	if s.starter != "" {
+		s.bus.Unregister(s.starter)
+		s.starter = ""
+	}
+}
+
+// Crashed reports whether the machine is down.
+func (s *Startd) Crashed() bool { return s.crashed }
+
+// Restart brings a crashed machine back as unclaimed; any previous
+// claim is forgotten, as after a reboot.
+func (s *Startd) Restart() {
+	if !s.crashed {
+		return
+	}
+	s.crashed = false
+	s.state = StartdUnclaimed
+	s.claimedBy = ""
+	s.claimedJob = 0
+	s.bus.Register(s.cfg.Name, s)
+	s.advertise()
+}
+
+// SetJVMConfig replaces the machine's Java installation at runtime —
+// the owner reconfigures it, or it silently rots.  The startd's view
+// of its capability follows its self-test policy: with PeriodicSelfTest
+// the change is discovered at the next ad refresh; with only the
+// startup test, a degradation goes unnoticed and the machine becomes
+// a black hole.
+func (s *Startd) SetJVMConfig(cfg jvm.Config) {
+	s.machine = jvm.New(cfg)
+	if s.cfg.SelfTest && !s.cfg.PeriodicSelfTest {
+		// Only the startup test was configured; the owner's change
+		// is trusted blindly, as the paper's pool did.
+		s.hasJava = s.cfg.AdvertiseJava
+	}
+}
+
+// runSelfTest updates hasJava from a fresh probe of the installation.
+func (s *Startd) runSelfTest() {
+	if !s.cfg.AdvertiseJava {
+		s.hasJava = false
+		return
+	}
+	if err := s.machine.SelfTest(); err != nil {
+		s.hasJava = false
+		s.SelfTestFail = true
+	} else {
+		s.hasJava = true
+	}
+}
+
+// advertise refreshes the machine ad at the matchmaker; only
+// unclaimed machines are offered.
+func (s *Startd) advertise() {
+	if s.crashed || s.state != StartdUnclaimed {
+		return
+	}
+	if s.cfg.PeriodicSelfTest {
+		s.runSelfTest()
+	}
+	s.bus.Send(s.cfg.Name, MatchmakerName, kindAdvertise, advertiseMsg{
+		Kind: "machine",
+		Name: s.cfg.Name,
+		Ad:   s.buildAd(),
+	})
+}
+
+// Receive implements sim.Actor.
+func (s *Startd) Receive(msg sim.Message) {
+	switch body := msg.Body.(type) {
+	case claimRequestMsg:
+		s.handleClaim(body)
+	case activateMsg:
+		s.handleActivate(body)
+	case releaseClaimMsg:
+		s.handleRelease(body)
+	case starterDoneMsg:
+		s.handleStarterDone(body)
+	}
+}
+
+// handleClaim verifies the owner's policy and the machine's own
+// requirements before granting.  Matched parties verify one another
+// (Figure 1's claiming protocol); the matchmaker's notification alone
+// proves nothing.
+func (s *Startd) handleClaim(req claimRequestMsg) {
+	deny := func(reason string) {
+		s.ClaimsDenied++
+		s.bus.Send(s.cfg.Name, req.Schedd, kindClaimReply,
+			claimReplyMsg{Job: req.Job, Granted: false, Reason: reason})
+	}
+	if s.state != StartdUnclaimed {
+		deny("machine already claimed")
+		return
+	}
+	if !classad.Match(s.buildAd(), req.JobAd) {
+		deny("requirements not met at claim time")
+		return
+	}
+	s.state = StartdClaimed
+	s.claimedBy = req.Schedd
+	s.claimedJob = req.Job
+	s.ClaimsGranted++
+	s.bus.Send(s.cfg.Name, req.Schedd, kindClaimReply,
+		claimReplyMsg{Job: req.Job, Granted: true})
+}
+
+// handleActivate spawns a starter for the claimed job.
+func (s *Startd) handleActivate(act activateMsg) {
+	if s.state != StartdClaimed || act.Job != s.claimedJob {
+		// A stale activation: the claim is gone.  Ignore; the
+		// shadow's timeout policy covers the schedd.
+		return
+	}
+	s.state = StartdRunning
+	s.starterSeq++
+	name := fmt.Sprintf("starter:%s:%d", s.cfg.Name, s.starterSeq)
+	s.starter = name
+	st := newStarter(s.bus, s.params, name, s, act.Job, act.Shadow)
+	s.starterObj = st
+	s.bus.Register(name, st)
+	st.begin()
+}
+
+// handleRelease returns the machine to service.
+func (s *Startd) handleRelease(rel releaseClaimMsg) {
+	if rel.Job != s.claimedJob {
+		return
+	}
+	s.teardown()
+}
+
+// starterDoneMsg is the starter's private completion notice.
+type starterDoneMsg struct {
+	Job JobID
+	CPU time.Duration
+	Ran bool
+}
+
+func (s *Startd) handleStarterDone(done starterDoneMsg) {
+	if done.Job != s.claimedJob {
+		return
+	}
+	if done.Ran {
+		s.JobsRun++
+		s.CPUDelivered += done.CPU
+	}
+	s.teardown()
+}
+
+func (s *Startd) teardown() {
+	if s.starter != "" {
+		s.bus.Unregister(s.starter)
+		s.starter = ""
+	}
+	s.starterObj = nil
+	s.state = StartdUnclaimed
+	s.claimedBy = ""
+	s.claimedJob = 0
+	// Re-advertise immediately: an idle machine returns to the pool
+	// without waiting for the next ad interval.  (For a black-hole
+	// machine this is exactly what makes it so hungry.)
+	s.advertise()
+}

@@ -1,0 +1,175 @@
+package daemon
+
+import (
+	"time"
+
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/sim"
+	"github.com/errscope/grid/internal/vfs"
+	"github.com/errscope/grid/internal/wrapper"
+)
+
+// Starter oversees the execution environment for one job: it creates
+// the scratch directory, obtains the job from the shadow, invokes the
+// JVM on the wrapper, and reports the result file's contents — or,
+// under ModeNaive, the raw JVM exit code — back to the shadow.
+//
+// The starter is the manager of virtual-machine and remote-resource
+// scope (Figure 3): errors of those scopes terminate the attempt on
+// this host and are reported upward, never presented as program
+// results (in scoped mode).
+//
+// For Standard Universe jobs the starter also drives transparent
+// checkpointing: progress ships to the shadow periodically, and an
+// evicted or crashed attempt resumes elsewhere from the last
+// checkpoint rather than from scratch.
+type Starter struct {
+	bus    Runtime
+	params Params
+	name   string
+	startd *Startd
+	job    JobID
+	shadow string
+
+	scratch *vfs.FileSystem
+	done    bool
+
+	// Execution bookkeeping for checkpoints and eviction.
+	universe   string
+	resume     time.Duration
+	execCPU    time.Duration
+	startedAt  sim.Time
+	stopTicker func()
+}
+
+func newStarter(bus Runtime, params Params, name string, startd *Startd, job JobID, shadow string) *Starter {
+	return &Starter{
+		bus:     bus,
+		params:  params,
+		name:    name,
+		startd:  startd,
+		job:     job,
+		shadow:  shadow,
+		scratch: vfs.New(),
+	}
+}
+
+// begin asks the shadow for the job details.
+func (st *Starter) begin() {
+	st.bus.Send(st.name, st.shadow, kindFetchJob, fetchJobMsg{Starter: st.name})
+}
+
+// Receive implements sim.Actor.
+func (st *Starter) Receive(msg sim.Message) {
+	switch body := msg.Body.(type) {
+	case jobDetailsMsg:
+		st.execute(body)
+	case fetchAbortMsg:
+		// The shadow gave up; the startd learns via release-claim.
+		st.finish()
+	}
+}
+
+// execute runs the job and schedules the result report after the
+// virtual time the attempt consumes.
+func (st *Starter) execute(det jobDetailsMsg) {
+	if st.done {
+		return
+	}
+	// Select the execution environment.  A Java Universe job runs on
+	// the machine's actual JVM installation behind the wrapper; the
+	// Vanilla and Standard Universes run ordinary binaries directly
+	// on the operating system, immune to the owner's Java
+	// configuration.
+	machine := st.startd.Machine()
+	if det.Universe == "vanilla" || det.Universe == "standard" {
+		machine = jvm.New(jvm.Config{HeapLimit: 1 << 40, Version: "native"})
+	}
+	st.universe = det.Universe
+	st.resume = det.ResumeCPU
+	st.startedAt = st.bus.Now()
+
+	w := &wrapper.Wrapper{}
+	exec := w.RunFrom(machine, det.Program, det.IO, st.scratch, det.ResumeCPU)
+	st.execCPU = exec.CPU
+
+	// Ground truth: the wrapper's result file (or its absence).
+	trueRes := wrapper.ReadResult(st.scratch, "")
+	reported := trueRes
+	if st.params.Mode == ModeNaive {
+		// The original design: the starter relies entirely on the
+		// exit code of the JVM as an indicator of program success.
+		reported = wrapper.RawExitInterpretation(exec)
+	}
+
+	// Standard Universe: ship periodic checkpoints to the shadow.
+	if st.universe == "standard" && st.params.CheckpointInterval > 0 {
+		st.stopTicker = st.bus.Every(st.params.CheckpointInterval, func() {
+			if st.done || st.startd.crashed {
+				return
+			}
+			st.bus.Send(st.name, st.shadow, kindCheckpoint, checkpointMsg{
+				Job: st.job,
+				CPU: st.resume + st.progressed(),
+			})
+		})
+	}
+
+	elapsed := st.params.StartupOverhead + exec.CPU
+	st.bus.After(elapsed, func() {
+		if st.done || st.startd.crashed {
+			// A crashed machine reports nothing; the shadow's
+			// result timeout discovers the silence.
+			return
+		}
+		st.finish()
+		st.bus.Send(st.name, st.shadow, kindJobResult, jobResultMsg{
+			Job:      st.job,
+			Reported: reported,
+			True:     trueRes,
+			CPU:      exec.CPU,
+		})
+		st.bus.Send(st.name, st.startd.Name(), "starter-done-internal",
+			starterDoneMsg{Job: st.job, CPU: exec.CPU, Ran: true})
+	})
+}
+
+// progressed returns the CPU this attempt has delivered so far.
+func (st *Starter) progressed() time.Duration {
+	elapsed := st.bus.Now().Sub(st.startedAt) - st.params.StartupOverhead
+	if elapsed < 0 {
+		return 0
+	}
+	if elapsed > st.execCPU {
+		return st.execCPU
+	}
+	return elapsed
+}
+
+// evict is called synchronously by the startd when the machine owner
+// returns — parent and child share the machine, no network is
+// involved.  A Standard Universe job takes a final checkpoint on its
+// way out; the shadow is informed so the schedd can requeue.
+func (st *Starter) evict() {
+	if st.done {
+		return
+	}
+	var checkpoint time.Duration
+	if st.universe == "standard" {
+		checkpoint = st.resume + st.progressed()
+	}
+	st.finish()
+	st.bus.Send(st.name, st.shadow, kindJobEvicted, jobEvictedMsg{
+		Job:           st.job,
+		CheckpointCPU: checkpoint,
+	})
+}
+
+// finish marks the starter done and stops its checkpoint ticker.
+func (st *Starter) finish() {
+	st.done = true
+	if st.stopTicker != nil {
+		st.stopTicker()
+		st.stopTicker = nil
+	}
+}

@@ -1,0 +1,113 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/scope"
+)
+
+// TestVanillaRunsOnBrokenJavaMachine: a Vanilla Universe job is an
+// ordinary binary; the owner's broken Java installation is invisible
+// to it.
+func TestVanillaRunsOnBrokenJavaMachine(t *testing.T) {
+	params := DefaultParams()
+	broken := MachineConfig{Name: "broken", Memory: 2048, AdvertiseJava: true,
+		JVM: jvm.Config{Broken: true}}
+	eng, _, schedd, _, _ := testPool(t, params, broken)
+
+	schedd.SubmitFS.WriteFile("/home/u/a.out", []byte("ELF bytes"))
+	id := schedd.Submit(&Job{
+		Owner:      "u",
+		Universe:   "vanilla",
+		Ad:         NewVanillaJobAd("u", 128),
+		Program:    jvm.WellBehaved(10 * time.Minute),
+		Executable: "/home/u/a.out",
+	})
+	runUntilDone(t, eng, schedd, 4*time.Hour)
+	j := schedd.Job(id)
+	if j.State != JobCompleted {
+		t.Fatalf("state = %v, err = %v", j.State, j.FinalErr)
+	}
+	if len(j.Attempts) != 1 || j.Attempts[0].CPU != 10*time.Minute {
+		t.Errorf("attempts = %+v", j.Attempts)
+	}
+	// The same machine fails a Java job immediately.
+	jid := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	runUntilDone(t, eng, schedd, 48*time.Hour)
+	if schedd.Job(jid).State == JobCompleted {
+		t.Error("java job must not complete on the broken installation")
+	}
+}
+
+// TestVanillaStillSubjectToWiderScopes: vanilla escapes the virtual
+// machine's failure modes, not the environment's — a corrupt image
+// stays job scope, and program exceptions stay program results.
+func TestVanillaScopesPreserved(t *testing.T) {
+	params := DefaultParams()
+	eng, _, schedd, _, _ := testPool(t, params, goodMachine("m1"))
+	schedd.SubmitFS.WriteFile("/home/u/a.out", []byte("bytes"))
+
+	corrupt := schedd.Submit(&Job{
+		Owner: "u", Universe: "vanilla", Ad: NewVanillaJobAd("u", 128),
+		Program: jvm.CorruptImage(), Executable: "/home/u/a.out",
+	})
+	bug := schedd.Submit(&Job{
+		Owner: "u", Universe: "vanilla", Ad: NewVanillaJobAd("u", 128),
+		Program: jvm.NullPointer(), Executable: "/home/u/a.out",
+	})
+	runUntilDone(t, eng, schedd, 12*time.Hour)
+
+	if j := schedd.Job(corrupt); j.State != JobUnexecutable {
+		t.Errorf("corrupt vanilla image: %v", j.State)
+	} else if scope.ScopeOf(j.FinalErr) != scope.ScopeJob {
+		t.Errorf("scope = %v", scope.ScopeOf(j.FinalErr))
+	}
+	if j := schedd.Job(bug); j.State != JobCompleted {
+		t.Errorf("vanilla program bug: %v", j.State)
+	}
+}
+
+// TestMixedUniversePoolSoaksBlackHoles: with broken-Java machines in
+// the pool, vanilla jobs use them productively while java jobs route
+// around them.
+func TestMixedUniversePool(t *testing.T) {
+	params := DefaultParams()
+	params.ChronicFailureThreshold = 1
+	brokenA := MachineConfig{Name: "ba", Memory: 4096, AdvertiseJava: true,
+		JVM: jvm.Config{BadLibraryPath: true}}
+	good := MachineConfig{Name: "good", Memory: 1024, AdvertiseJava: true}
+	eng, _, schedd, _, startds := testPool(t, params, brokenA, good)
+	schedd.SubmitFS.WriteFile("/home/u/a.out", []byte("bytes"))
+	schedd.SubmitFS.WriteFile("/home/u/Main.class", []byte("bytes"))
+
+	var vanilla, java []JobID
+	for i := 0; i < 3; i++ {
+		vanilla = append(vanilla, schedd.Submit(&Job{
+			Owner: "u", Universe: "vanilla", Ad: NewVanillaJobAd("u", 128),
+			Program: jvm.WellBehaved(10 * time.Minute), Executable: "/home/u/a.out",
+		}))
+		java = append(java, schedd.Submit(&Job{
+			Owner: "u", Ad: NewJavaJobAd("u", 128),
+			Program: jvm.WellBehaved(10 * time.Minute), Executable: "/home/u/Main.class",
+		}))
+	}
+	runUntilDone(t, eng, schedd, 48*time.Hour)
+
+	for _, id := range append(vanilla, java...) {
+		if st := schedd.Job(id).State; st != JobCompleted {
+			t.Errorf("job %d = %v", id, st)
+		}
+	}
+	// The broken machine did real work (for vanilla jobs).
+	if startds[0].JobsRun == 0 {
+		t.Error("broken-java machine should have served vanilla jobs")
+	}
+	// And every java job finished on the good machine.
+	for _, id := range java {
+		if last := schedd.Job(id).LastAttempt(); last.Machine != "good" {
+			t.Errorf("java job %d finished on %s", id, last.Machine)
+		}
+	}
+}

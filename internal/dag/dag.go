@@ -1,0 +1,139 @@
+// Package dag implements a DAGMan-style workflow manager: a directed
+// acyclic graph of jobs whose edges are dependencies, executed over a
+// pool's schedd.  DAGMan is the archetype of the paper's "process
+// above Condor [that] may work on behalf of the user to ... resubmit
+// jobs" (Section 5): it consumes the schedd's dispositions — complete,
+// unexecutable, held — and applies its own retry policy per node.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/errscope/grid/internal/daemon"
+)
+
+// Node is one vertex of the workflow.
+type Node struct {
+	Name string
+	// Build creates a fresh job for each attempt of this node.
+	Build func() *daemon.Job
+	// Retries is how many times a failed node is resubmitted before
+	// the DAG gives up on it.
+	Retries int
+
+	parents  []*Node
+	children []*Node
+}
+
+// Parents returns the node's dependency names, sorted.
+func (n *Node) Parents() []string { return names(n.parents) }
+
+// Children returns the node's dependent names, sorted.
+func (n *Node) Children() []string { return names(n.children) }
+
+func names(nodes []*Node) []string {
+	out := make([]string, len(nodes))
+	for i, n := range nodes {
+		out[i] = n.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DAG is a workflow under construction.
+type DAG struct {
+	nodes map[string]*Node
+	order []string
+}
+
+// New creates an empty DAG.
+func New() *DAG {
+	return &DAG{nodes: make(map[string]*Node)}
+}
+
+// AddJob adds a named node; the builder is invoked once per attempt.
+func (d *DAG) AddJob(name string, build func() *daemon.Job) (*Node, error) {
+	if name == "" {
+		return nil, fmt.Errorf("dag: empty node name")
+	}
+	if _, ok := d.nodes[name]; ok {
+		return nil, fmt.Errorf("dag: duplicate node %q", name)
+	}
+	n := &Node{Name: name, Build: build}
+	d.nodes[name] = n
+	d.order = append(d.order, name)
+	return n, nil
+}
+
+// Node returns the named node.
+func (d *DAG) Node(name string) (*Node, bool) {
+	n, ok := d.nodes[name]
+	return n, ok
+}
+
+// Names returns node names in insertion order.
+func (d *DAG) Names() []string {
+	out := make([]string, len(d.order))
+	copy(out, d.order)
+	return out
+}
+
+// AddDependency makes child wait for parent.
+func (d *DAG) AddDependency(parent, child string) error {
+	p, ok := d.nodes[parent]
+	if !ok {
+		return fmt.Errorf("dag: unknown parent %q", parent)
+	}
+	c, ok := d.nodes[child]
+	if !ok {
+		return fmt.Errorf("dag: unknown child %q", child)
+	}
+	if p == c {
+		return fmt.Errorf("dag: %q cannot depend on itself", parent)
+	}
+	for _, existing := range p.children {
+		if existing == c {
+			return nil // idempotent
+		}
+	}
+	p.children = append(p.children, c)
+	c.parents = append(c.parents, p)
+	return nil
+}
+
+// Validate checks the graph is acyclic and every node has a builder.
+func (d *DAG) Validate() error {
+	for _, name := range d.order {
+		if d.nodes[name].Build == nil {
+			return fmt.Errorf("dag: node %q has no job", name)
+		}
+	}
+	// Kahn's algorithm detects cycles.
+	indeg := make(map[string]int, len(d.nodes))
+	for name, n := range d.nodes {
+		indeg[name] = len(n.parents)
+	}
+	var queue []string
+	for _, name := range d.order {
+		if indeg[name] == 0 {
+			queue = append(queue, name)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		seen++
+		for _, c := range d.nodes[name].children {
+			indeg[c.Name]--
+			if indeg[c.Name] == 0 {
+				queue = append(queue, c.Name)
+			}
+		}
+	}
+	if seen != len(d.nodes) {
+		return fmt.Errorf("dag: cycle detected (%d of %d nodes reachable)", seen, len(d.nodes))
+	}
+	return nil
+}

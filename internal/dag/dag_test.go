@@ -1,0 +1,274 @@
+package dag
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/pool"
+)
+
+func jobBuilder(owner string, d time.Duration) func() *daemon.Job {
+	return func() *daemon.Job {
+		return &daemon.Job{
+			Owner:      owner,
+			Ad:         daemon.NewJavaJobAd(owner, 128),
+			Program:    jvm.WellBehaved(d),
+			Executable: "/dag/" + owner + ".class",
+		}
+	}
+}
+
+func newPool(t *testing.T) *pool.Pool {
+	t.Helper()
+	return pool.New(pool.Config{Seed: 1, Params: daemon.DefaultParams(),
+		Machines: pool.UniformMachines(3, 2048)})
+}
+
+func TestDAGConstructionAndValidation(t *testing.T) {
+	d := New()
+	if _, err := d.AddJob("", nil); err == nil {
+		t.Error("empty name should fail")
+	}
+	a, err := d.AddJob("A", jobBuilder("u", time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.AddJob("A", jobBuilder("u", time.Minute)); err == nil {
+		t.Error("duplicate should fail")
+	}
+	b, _ := d.AddJob("B", jobBuilder("u", time.Minute))
+	if err := d.AddDependency("A", "B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddDependency("A", "B"); err != nil {
+		t.Errorf("idempotent dependency: %v", err)
+	}
+	if err := d.AddDependency("A", "A"); err == nil {
+		t.Error("self dependency should fail")
+	}
+	if err := d.AddDependency("X", "B"); err == nil {
+		t.Error("unknown parent should fail")
+	}
+	if err := d.AddDependency("A", "Y"); err == nil {
+		t.Error("unknown child should fail")
+	}
+	if got := a.Children(); len(got) != 1 || got[0] != "B" {
+		t.Errorf("children = %v", got)
+	}
+	if got := b.Parents(); len(got) != 1 || got[0] != "A" {
+		t.Errorf("parents = %v", got)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("valid dag rejected: %v", err)
+	}
+	// A cycle is rejected.
+	if err := d.AddDependency("B", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err == nil {
+		t.Error("cycle should be rejected")
+	}
+	// A missing builder is rejected.
+	d2 := New()
+	d2.AddJob("N", nil)
+	if err := d2.Validate(); err == nil {
+		t.Error("nil builder should be rejected")
+	}
+}
+
+// TestDiamondDAG runs the classic diamond: A -> (B, C) -> D, checking
+// ordering via node completion times.
+func TestDiamondDAG(t *testing.T) {
+	p := newPool(t)
+	d := New()
+	d.AddJob("A", jobBuilder("a", 10*time.Minute))
+	d.AddJob("B", jobBuilder("b", 10*time.Minute))
+	d.AddJob("C", jobBuilder("c", 10*time.Minute))
+	d.AddJob("D", jobBuilder("d", 10*time.Minute))
+	d.AddDependency("A", "B")
+	d.AddDependency("A", "C")
+	d.AddDependency("B", "D")
+	d.AddDependency("C", "D")
+
+	r, err := Start(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(24 * time.Hour)
+	if !r.Done() || r.Failed() {
+		t.Fatalf("dag done=%v failed=%v", r.Done(), r.Failed())
+	}
+	for _, name := range []string{"A", "B", "C", "D"} {
+		if r.Status(name) != NodeDone {
+			t.Errorf("%s = %v", name, r.Status(name))
+		}
+		if r.Attempts(name) != 1 {
+			t.Errorf("%s attempts = %d", name, r.Attempts(name))
+		}
+	}
+	// Ordering: every job's submission follows its parents'
+	// completion.
+	finish := map[string]int64{}
+	start := map[string]int64{}
+	for _, s := range p.Schedds {
+		for _, j := range s.Jobs() {
+			start[j.Owner] = int64(j.Submitted)
+			finish[j.Owner] = int64(j.Finished)
+		}
+	}
+	for _, dep := range [][2]string{{"a", "b"}, {"a", "c"}, {"b", "d"}, {"c", "d"}} {
+		if start[dep[1]] < finish[dep[0]] {
+			t.Errorf("%s started before %s finished", dep[1], dep[0])
+		}
+	}
+}
+
+// TestDAGRetryRecoversTransientFailure: a node whose first attempt is
+// unexecutable succeeds on retry.
+func TestDAGRetry(t *testing.T) {
+	p := newPool(t)
+	d := New()
+	attempt := 0
+	n, _ := d.AddJob("flaky", func() *daemon.Job {
+		attempt++
+		prog := jvm.WellBehaved(time.Minute)
+		if attempt == 1 {
+			prog = jvm.CorruptImage()
+		}
+		return &daemon.Job{
+			Owner: "u", Ad: daemon.NewJavaJobAd("u", 128),
+			Program: prog, Executable: "/dag/u.class",
+		}
+	})
+	n.Retries = 2
+	down, _ := d.AddJob("down", jobBuilder("v", time.Minute))
+	_ = down
+	d.AddDependency("flaky", "down")
+
+	r, err := Start(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(24 * time.Hour)
+	if r.Status("flaky") != NodeDone || r.Attempts("flaky") != 2 {
+		t.Errorf("flaky = %v attempts=%d", r.Status("flaky"), r.Attempts("flaky"))
+	}
+	if r.Status("down") != NodeDone {
+		t.Errorf("down = %v", r.Status("down"))
+	}
+}
+
+// TestDAGUpstreamFailurePropagates: a node that exhausts retries fails
+// its descendants without running them, while independent branches
+// complete.
+func TestDAGUpstreamFailure(t *testing.T) {
+	p := newPool(t)
+	d := New()
+	d.AddJob("bad", func() *daemon.Job {
+		return &daemon.Job{
+			Owner: "u", Ad: daemon.NewJavaJobAd("u", 128),
+			Program: jvm.CorruptImage(), Executable: "/dag/u.class",
+		}
+	})
+	d.AddJob("after", jobBuilder("v", time.Minute))
+	d.AddJob("independent", jobBuilder("w", time.Minute))
+	d.AddDependency("bad", "after")
+
+	r, err := Start(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(24 * time.Hour)
+	if !r.Done() || !r.Failed() {
+		t.Fatalf("done=%v failed=%v", r.Done(), r.Failed())
+	}
+	if r.Status("bad") != NodeFailed || r.Err("bad") == nil {
+		t.Errorf("bad = %v, err = %v", r.Status("bad"), r.Err("bad"))
+	}
+	if r.Status("after") != NodeFailed {
+		t.Errorf("after = %v", r.Status("after"))
+	}
+	if r.Attempts("after") != 0 {
+		t.Errorf("after ran %d times", r.Attempts("after"))
+	}
+	if r.Status("independent") != NodeDone {
+		t.Errorf("independent = %v", r.Status("independent"))
+	}
+}
+
+func TestParseDAGFile(t *testing.T) {
+	subs := map[string]string{
+		"a.sub": "owner = alice\nsim_compute = 5m\nqueue\n",
+		"b.sub": "owner = bob\nsim_compute = 5m\nqueue\n",
+		"c.sub": "owner = carol\nsim_compute = 5m\nqueue\n",
+	}
+	lookup := func(file string) (string, error) {
+		s, ok := subs[file]
+		if !ok {
+			return "", fmt.Errorf("no such file %s", file)
+		}
+		return s, nil
+	}
+	d, err := Parse(`
+# a tiny pipeline
+JOB A a.sub
+JOB B b.sub
+JOB C c.sub
+PARENT A CHILD B C
+RETRY B 3
+`, lookup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Names(); len(got) != 3 {
+		t.Fatalf("names = %v", got)
+	}
+	b, _ := d.Node("B")
+	if b.Retries != 3 {
+		t.Errorf("retries = %d", b.Retries)
+	}
+	if got := b.Parents(); len(got) != 1 || got[0] != "A" {
+		t.Errorf("parents = %v", got)
+	}
+	// End to end.
+	p := newPool(t)
+	r, err := Start(d, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(24 * time.Hour)
+	if !r.Done() || r.Failed() {
+		t.Errorf("done=%v failed=%v", r.Done(), r.Failed())
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	lookup := func(file string) (string, error) {
+		if file == "ok.sub" {
+			return "queue\n", nil
+		}
+		return "", fmt.Errorf("missing")
+	}
+	cases := []string{
+		"",                               // no jobs
+		"JOB A",                          // arity
+		"JOB A missing.sub",              // lookup failure
+		"JOB A ok.sub\nPARENT A",         // no CHILD
+		"JOB A ok.sub\nPARENT CHILD A",   // empty parents
+		"JOB A ok.sub\nPARENT A CHILD",   // empty children
+		"JOB A ok.sub\nPARENT A CHILD X", // unknown child
+		"JOB A ok.sub\nRETRY A x",        // bad count
+		"JOB A ok.sub\nRETRY X 1",        // unknown node
+		"FROB A",                         // unknown keyword
+		"JOB A ok.sub\nJOB A ok.sub",     // duplicate
+		"JOB A ok.sub\nJOB B ok.sub\nPARENT A CHILD B\nPARENT B CHILD A", // cycle
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, lookup); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package dag
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/submit"
+)
+
+// Parse reads a DAGMan-style workflow description:
+//
+//	JOB A a.sub
+//	JOB B b.sub
+//	JOB C c.sub
+//	PARENT A CHILD B C
+//	RETRY B 3
+//
+// Each JOB line names a submit description file; lookup resolves the
+// file name to its contents (a workflow stored on the submit file
+// system passes a reader over it).  A submit file that queues several
+// jobs contributes its first job as the node's template.
+func Parse(src string, lookup func(file string) (string, error)) (*DAG, error) {
+	d := New()
+	type pendingRetry struct {
+		node  string
+		count int
+		line  int
+	}
+	var retries []pendingRetry
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lineNo := ln + 1
+		fields := strings.Fields(line)
+		switch strings.ToUpper(fields[0]) {
+		case "JOB":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dag: line %d: JOB wants 'JOB name file'", lineNo)
+			}
+			name, file := fields[1], fields[2]
+			text, err := lookup(file)
+			if err != nil {
+				return nil, fmt.Errorf("dag: line %d: %s: %w", lineNo, file, err)
+			}
+			parsed, err := submit.Parse(text)
+			if err != nil {
+				return nil, fmt.Errorf("dag: line %d: %s: %w", lineNo, file, err)
+			}
+			template := parsed.Jobs[0]
+			if _, err := d.AddJob(name, func() *daemon.Job {
+				// A fresh Job per attempt: the schedd owns submitted
+				// jobs, so the template is re-instantiated.
+				cp := *template
+				cp.ID = 0
+				cp.State = 0
+				cp.Attempts = nil
+				cp.Events = nil
+				cp.Ad = template.Ad.Copy()
+				return &cp
+			}); err != nil {
+				return nil, fmt.Errorf("dag: line %d: %w", lineNo, err)
+			}
+
+		case "PARENT":
+			childIdx := -1
+			for i, f := range fields {
+				if strings.EqualFold(f, "CHILD") {
+					childIdx = i
+					break
+				}
+			}
+			if childIdx < 2 || childIdx == len(fields)-1 {
+				return nil, fmt.Errorf("dag: line %d: PARENT wants 'PARENT p... CHILD c...'", lineNo)
+			}
+			for _, p := range fields[1:childIdx] {
+				for _, c := range fields[childIdx+1:] {
+					if err := d.AddDependency(p, c); err != nil {
+						return nil, fmt.Errorf("dag: line %d: %w", lineNo, err)
+					}
+				}
+			}
+
+		case "RETRY":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("dag: line %d: RETRY wants 'RETRY node n'", lineNo)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dag: line %d: bad retry count %q", lineNo, fields[2])
+			}
+			retries = append(retries, pendingRetry{node: fields[1], count: n, line: lineNo})
+
+		default:
+			return nil, fmt.Errorf("dag: line %d: unknown keyword %q", lineNo, fields[0])
+		}
+	}
+	for _, pr := range retries {
+		n, ok := d.Node(pr.node)
+		if !ok {
+			return nil, fmt.Errorf("dag: line %d: RETRY for unknown node %q", pr.line, pr.node)
+		}
+		n.Retries = pr.count
+	}
+	if len(d.order) == 0 {
+		return nil, fmt.Errorf("dag: no JOB statements")
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,203 @@
+package dag
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/pool"
+	"github.com/errscope/grid/internal/scope"
+)
+
+// NodeStatus is one node's lifecycle state under the runner.
+type NodeStatus int
+
+// Node lifecycle.
+const (
+	NodeWaiting NodeStatus = iota // dependencies outstanding
+	NodeRunning                   // submitted to the schedd
+	NodeDone
+	NodeFailed // retries exhausted, or upstream failure
+)
+
+var nodeStatusNames = [...]string{
+	NodeWaiting: "waiting",
+	NodeRunning: "running",
+	NodeDone:    "done",
+	NodeFailed:  "failed",
+}
+
+// String returns the status name.
+func (s NodeStatus) String() string {
+	if s < 0 || int(s) >= len(nodeStatusNames) {
+		return fmt.Sprintf("nodestatus(%d)", int(s))
+	}
+	return nodeStatusNames[s]
+}
+
+// Runner executes a DAG over a pool, polling the schedd once per
+// virtual minute.
+type Runner struct {
+	dag  *DAG
+	pool *pool.Pool
+
+	status   map[string]NodeStatus
+	attempts map[string]int
+	jobs     map[string]daemon.JobID
+	errs     map[string]error
+	stop     func()
+	finished bool
+}
+
+// Start validates the DAG, hooks the runner into the pool's clock,
+// and submits every dependency-free node.
+func Start(d *DAG, p *pool.Pool) (*Runner, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		dag:      d,
+		pool:     p,
+		status:   make(map[string]NodeStatus),
+		attempts: make(map[string]int),
+		jobs:     make(map[string]daemon.JobID),
+		errs:     make(map[string]error),
+	}
+	for _, name := range d.order {
+		r.status[name] = NodeWaiting
+	}
+	r.submitReady()
+	r.stop = p.Engine.Every(time.Minute, r.poll)
+	return r, nil
+}
+
+// Status returns a node's current state.
+func (r *Runner) Status(name string) NodeStatus { return r.status[name] }
+
+// Attempts returns how many times a node was submitted.
+func (r *Runner) Attempts(name string) int { return r.attempts[name] }
+
+// Err returns the error a failed node recorded.
+func (r *Runner) Err(name string) error { return r.errs[name] }
+
+// Done reports whether every node reached a final state.
+func (r *Runner) Done() bool {
+	for _, st := range r.status {
+		if st == NodeWaiting || st == NodeRunning {
+			return false
+		}
+	}
+	return true
+}
+
+// Failed reports whether any node failed.
+func (r *Runner) Failed() bool {
+	for _, st := range r.status {
+		if st == NodeFailed {
+			return true
+		}
+	}
+	return false
+}
+
+// Close detaches the runner from the clock.
+func (r *Runner) Close() {
+	if r.stop != nil {
+		r.stop()
+		r.stop = nil
+	}
+}
+
+// ready reports whether every parent of the node is done.
+func (r *Runner) ready(n *Node) bool {
+	for _, p := range n.parents {
+		if r.status[p.Name] != NodeDone {
+			return false
+		}
+	}
+	return true
+}
+
+// submitReady submits every waiting node whose dependencies are done,
+// unless an ancestor failed (then the node fails too: the DAG does not
+// run work whose inputs never materialized).
+func (r *Runner) submitReady() {
+	for _, name := range r.dag.order {
+		n := r.dag.nodes[name]
+		if r.status[name] != NodeWaiting {
+			continue
+		}
+		if r.upstreamFailed(n) {
+			r.status[name] = NodeFailed
+			r.errs[name] = scope.New(scope.ScopePool, "UpstreamFailed",
+				"a dependency of %s failed", name)
+			continue
+		}
+		if !r.ready(n) {
+			continue
+		}
+		r.submit(n)
+	}
+}
+
+func (r *Runner) upstreamFailed(n *Node) bool {
+	for _, p := range n.parents {
+		if r.status[p.Name] == NodeFailed {
+			return true
+		}
+	}
+	return false
+}
+
+func (r *Runner) submit(n *Node) {
+	job := n.Build()
+	if job.Executable != "" {
+		// Stage the executable if the workflow has not already.
+		if _, err := r.pool.Schedd.SubmitFS.Stat(job.Executable); err != nil {
+			_ = r.pool.Schedd.SubmitFS.WriteFile(job.Executable, []byte("class bytes"))
+		}
+	}
+	id := r.pool.Schedd.Submit(job)
+	r.jobs[n.Name] = id
+	r.attempts[n.Name]++
+	r.status[n.Name] = NodeRunning
+}
+
+// poll advances node states from the schedd's dispositions.
+func (r *Runner) poll() {
+	if r.finished {
+		return
+	}
+	progressed := false
+	for _, name := range r.dag.order {
+		if r.status[name] != NodeRunning {
+			continue
+		}
+		j := r.pool.Schedd.Job(r.jobs[name])
+		if j == nil || !j.State.Terminal() {
+			continue
+		}
+		switch j.State {
+		case daemon.JobCompleted:
+			r.status[name] = NodeDone
+			progressed = true
+		default: // unexecutable or held
+			n := r.dag.nodes[name]
+			if r.attempts[name] <= n.Retries {
+				// DAGMan's RETRY: resubmit the node.
+				r.submit(n)
+				continue
+			}
+			r.status[name] = NodeFailed
+			r.errs[name] = j.FinalErr
+			progressed = true
+		}
+	}
+	if progressed {
+		r.submitReady()
+	}
+	if r.Done() {
+		r.finished = true
+		r.Close()
+	}
+}

@@ -1,0 +1,305 @@
+// Package endtoend implements the layer Section 5 of the paper calls
+// for above the grid: "The end-to-end principle tells us that the
+// ultimate responsibility for detecting such [implicit] errors lies
+// with a higher level of software.  A process above Condor may work
+// on behalf of the user to analyze outputs and replicate or resubmit
+// jobs that fail due to implicit errors or failures in Condor itself."
+//
+// A Supervisor submits work to a pool's schedd, and when a job
+// completes it validates the output.  An output that fails validation
+// is an implicit error made explicit: the supervisor resubmits the
+// job, up to a bound.  For work whose correct output cannot be known
+// in advance, replication runs independent copies and votes on the
+// result.
+package endtoend
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/pool"
+	"github.com/errscope/grid/internal/scope"
+)
+
+// Validator decides whether a job output is genuine.  A non-nil
+// return is the detection of an implicit error: the output looked
+// like a valid result but is determined to be false.
+type Validator interface {
+	Validate(output []byte) error
+}
+
+// ChecksumValidator accepts only outputs with a known SHA-256 sum —
+// the strongest validation, available when the correct output is
+// known (e.g. re-running a reference computation).
+type ChecksumValidator struct {
+	Sum [sha256.Size]byte
+}
+
+// NewChecksumValidator builds a validator from the expected output.
+func NewChecksumValidator(expected []byte) *ChecksumValidator {
+	return &ChecksumValidator{Sum: sha256.Sum256(expected)}
+}
+
+// Validate implements Validator.
+func (v *ChecksumValidator) Validate(output []byte) error {
+	if sha256.Sum256(output) != v.Sum {
+		e := scope.New(scope.ScopeProcess, "ImplicitOutputError",
+			"output checksum mismatch")
+		e.Kind = scope.KindImplicit
+		return e
+	}
+	return nil
+}
+
+// PropertyValidator checks a domain property of the output — the
+// paper's "unless it knows a priori the structure of a job or its
+// valid inputs and outputs".
+type PropertyValidator struct {
+	Desc  string
+	Check func(output []byte) bool
+}
+
+// Validate implements Validator.
+func (v *PropertyValidator) Validate(output []byte) error {
+	if !v.Check(output) {
+		e := scope.New(scope.ScopeProcess, "ImplicitOutputError",
+			"output violates property: %s", v.Desc)
+		e.Kind = scope.KindImplicit
+		return e
+	}
+	return nil
+}
+
+// Spec describes one unit of supervised work.
+type Spec struct {
+	// Name labels the work.
+	Name string
+	// Program is the job to run; it must write its output to
+	// OutputPath on the submit-side file system.  When Replicas > 1
+	// the program builder receives the replica's distinct output
+	// path.
+	Program func(outputPath string) *jvm.Program
+	// OutputPath is where the (primary) output lands.
+	OutputPath string
+	// Validate checks the output; nil accepts anything non-empty.
+	Validate Validator
+	// Replicas runs this many independent copies and votes; values
+	// below 2 disable replication.
+	Replicas int
+	// MaxResubmits bounds recovery attempts after validation
+	// failures (default 3).
+	MaxResubmits int
+}
+
+// Status of one supervised unit.
+type Status int
+
+// Supervision outcomes.
+const (
+	StatusPending Status = iota
+	StatusValid
+	StatusInvalid  // exhausted resubmissions, output still bad
+	StatusJobError // the grid returned the job unexecutable/held
+)
+
+var statusNames = [...]string{
+	StatusPending:  "pending",
+	StatusValid:    "valid",
+	StatusInvalid:  "invalid",
+	StatusJobError: "job-error",
+}
+
+// String returns the status name.
+func (s Status) String() string {
+	if s < 0 || int(s) >= len(statusNames) {
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+	return statusNames[s]
+}
+
+// Tracked is the supervisor's view of one Spec.
+type Tracked struct {
+	Spec   Spec
+	Status Status
+	// Output is the accepted output when Status is StatusValid.
+	Output []byte
+	// Resubmits counts recovery rounds performed.
+	Resubmits int
+	// ImplicitDetected counts outputs rejected by validation.
+	ImplicitDetected int
+	// Err carries the final error for Invalid/JobError.
+	Err error
+
+	jobs  []daemon.JobID
+	paths []string
+	round int
+}
+
+// Supervisor drives supervised work over a pool.
+type Supervisor struct {
+	pool    *pool.Pool
+	tracked []*Tracked
+	stop    func()
+}
+
+// New creates a supervisor and hooks its supervision loop into the
+// pool's virtual clock (checking once per virtual minute).
+func New(p *pool.Pool) *Supervisor {
+	s := &Supervisor{pool: p}
+	s.stop = p.Engine.Every(time.Minute, s.poll)
+	return s
+}
+
+// Submit starts supervising a spec.
+func (s *Supervisor) Submit(spec Spec) *Tracked {
+	if spec.MaxResubmits == 0 {
+		spec.MaxResubmits = 3
+	}
+	if spec.Replicas < 2 {
+		spec.Replicas = 1
+	}
+	tr := &Tracked{Spec: spec}
+	s.tracked = append(s.tracked, tr)
+	s.launch(tr)
+	return tr
+}
+
+// Tracked returns all supervised units.
+func (s *Supervisor) Tracked() []*Tracked { return s.tracked }
+
+// Close stops the supervision loop.
+func (s *Supervisor) Close() {
+	if s.stop != nil {
+		s.stop()
+		s.stop = nil
+	}
+}
+
+// launch submits the spec's jobs for one round.
+func (s *Supervisor) launch(tr *Tracked) {
+	tr.jobs = tr.jobs[:0]
+	tr.paths = tr.paths[:0]
+	fs := s.pool.Schedd.SubmitFS
+	for r := 0; r < tr.Spec.Replicas; r++ {
+		path := tr.Spec.OutputPath
+		if tr.Spec.Replicas > 1 {
+			path = fmt.Sprintf("%s.rep%d.round%d", tr.Spec.OutputPath, r, tr.round)
+		}
+		exe := fmt.Sprintf("/supervised/%s.round%d.rep%d.class", tr.Spec.Name, tr.round, r)
+		_ = fs.WriteFile(exe, []byte("class bytes"))
+		id := s.pool.Schedd.Submit(&daemon.Job{
+			Owner:      "supervisor",
+			Ad:         daemon.NewJavaJobAd("supervisor", 128),
+			Program:    tr.Spec.Program(path),
+			Executable: exe,
+		})
+		tr.jobs = append(tr.jobs, id)
+		tr.paths = append(tr.paths, path)
+	}
+	tr.round++
+}
+
+// poll advances every pending unit whose jobs have all terminated.
+func (s *Supervisor) poll() {
+	for _, tr := range s.tracked {
+		if tr.Status != StatusPending {
+			continue
+		}
+		done := true
+		failed := false
+		var lastErr error
+		for _, id := range tr.jobs {
+			j := s.pool.Schedd.Job(id)
+			if !j.State.Terminal() {
+				done = false
+				break
+			}
+			if j.State != daemon.JobCompleted {
+				failed = true
+				lastErr = j.FinalErr
+			}
+		}
+		if !done {
+			continue
+		}
+		if failed {
+			// The grid itself could not run the work; the
+			// supervisor resubmits this too — "jobs that fail due
+			// to ... failures in Condor itself".
+			s.recover(tr, scope.Escape(scope.ScopePool, "GridFailure", lastErr))
+			continue
+		}
+		s.evaluate(tr)
+	}
+}
+
+// evaluate validates (and, with replication, votes on) the outputs.
+func (s *Supervisor) evaluate(tr *Tracked) {
+	fs := s.pool.Schedd.SubmitFS
+	outputs := make([][]byte, 0, len(tr.paths))
+	for _, path := range tr.paths {
+		data, err := fs.ReadFile(path)
+		if err != nil {
+			s.recover(tr, err)
+			return
+		}
+		outputs = append(outputs, data)
+	}
+	var chosen []byte
+	if len(outputs) > 1 {
+		chosen = vote(outputs)
+		if chosen == nil {
+			tr.ImplicitDetected++
+			s.recover(tr, scope.New(scope.ScopeProcess, "ReplicaDisagreement",
+				"no majority among %d replicas", len(outputs)))
+			return
+		}
+	} else {
+		chosen = outputs[0]
+	}
+	if tr.Spec.Validate != nil {
+		if err := tr.Spec.Validate.Validate(chosen); err != nil {
+			tr.ImplicitDetected++
+			s.recover(tr, err)
+			return
+		}
+	}
+	tr.Status = StatusValid
+	tr.Output = chosen
+}
+
+// recover resubmits the unit, or gives up past the bound.
+func (s *Supervisor) recover(tr *Tracked, cause error) {
+	if tr.Resubmits >= tr.Spec.MaxResubmits {
+		if scope.KindOf(cause) == scope.KindImplicit {
+			tr.Status = StatusInvalid
+		} else {
+			tr.Status = StatusJobError
+		}
+		tr.Err = cause
+		return
+	}
+	tr.Resubmits++
+	s.launch(tr)
+}
+
+// vote returns the content agreed on by a strict majority of
+// replicas, or nil when there is none.
+func vote(outputs [][]byte) []byte {
+	for _, candidate := range outputs {
+		agree := 0
+		for _, other := range outputs {
+			if bytes.Equal(candidate, other) {
+				agree++
+			}
+		}
+		if agree*2 > len(outputs) {
+			return candidate
+		}
+	}
+	return nil
+}

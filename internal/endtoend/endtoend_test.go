@@ -1,0 +1,227 @@
+package endtoend
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/pool"
+	"github.com/errscope/grid/internal/scope"
+)
+
+// outputProgram builds a program that computes and writes content to
+// the given path on the submit machine.
+func outputProgram(content []byte) func(path string) *jvm.Program {
+	return func(path string) *jvm.Program {
+		return &jvm.Program{Class: "Main", Steps: []jvm.Step{
+			jvm.Compute{Duration: 5 * time.Minute},
+			jvm.IOWrite{Path: path, Data: content},
+		}}
+	}
+}
+
+func newPool(t *testing.T) *pool.Pool {
+	t.Helper()
+	return pool.New(pool.Config{
+		Seed:     1,
+		Params:   daemon.DefaultParams(),
+		Machines: pool.UniformMachines(4, 2048),
+	})
+}
+
+func TestValidOutputAccepted(t *testing.T) {
+	p := newPool(t)
+	s := New(p)
+	defer s.Close()
+	content := []byte("the answer is 42")
+	tr := s.Submit(Spec{
+		Name:       "calc",
+		Program:    outputProgram(content),
+		OutputPath: "/home/user/calc.out",
+		Validate:   NewChecksumValidator(content),
+	})
+	p.Run(12 * time.Hour)
+	if tr.Status != StatusValid {
+		t.Fatalf("status = %v, err = %v", tr.Status, tr.Err)
+	}
+	if !bytes.Equal(tr.Output, content) {
+		t.Errorf("output = %q", tr.Output)
+	}
+	if tr.Resubmits != 0 || tr.ImplicitDetected != 0 {
+		t.Errorf("tr = %+v", tr)
+	}
+}
+
+func TestImplicitErrorDetectedAndRecovered(t *testing.T) {
+	p := newPool(t)
+	s := New(p)
+	defer s.Close()
+	content := []byte("results: 3.14159265358979 converged ok padded to sixty-five.")
+	tr := s.Submit(Spec{
+		Name:       "sim",
+		Program:    outputProgram(content),
+		OutputPath: "/home/user/sim.out",
+		Validate:   NewChecksumValidator(content),
+	})
+	// Corrupt the first read of the output: the job completes
+	// normally, but the supervisor's analysis sees garbage — an
+	// implicit error nothing below this layer can detect.
+	p.Schedd.SubmitFS.CorruptNextReads("/home/user/sim.out", 1)
+	p.Run(24 * time.Hour)
+	if tr.Status != StatusValid {
+		t.Fatalf("status = %v, err = %v", tr.Status, tr.Err)
+	}
+	if tr.ImplicitDetected != 1 {
+		t.Errorf("implicit detected = %d", tr.ImplicitDetected)
+	}
+	if tr.Resubmits != 1 {
+		t.Errorf("resubmits = %d", tr.Resubmits)
+	}
+	if !bytes.Equal(tr.Output, content) {
+		t.Errorf("final output corrupt")
+	}
+}
+
+func TestPersistentImplicitErrorGivesUp(t *testing.T) {
+	p := newPool(t)
+	s := New(p)
+	defer s.Close()
+	content := []byte("data data data data data data data data data data data data data")
+	tr := s.Submit(Spec{
+		Name:         "cursed",
+		Program:      outputProgram(content),
+		OutputPath:   "/home/user/cursed.out",
+		Validate:     NewChecksumValidator(content),
+		MaxResubmits: 2,
+	})
+	// Every read of every round is corrupted.
+	corruptAll := func(path string) { p.Schedd.SubmitFS.CorruptNextReads(path, 1000) }
+	corruptAll("/home/user/cursed.out")
+	p.Run(48 * time.Hour)
+	if tr.Status != StatusInvalid {
+		t.Fatalf("status = %v", tr.Status)
+	}
+	if tr.Resubmits != 2 {
+		t.Errorf("resubmits = %d", tr.Resubmits)
+	}
+	se, _ := scope.AsError(tr.Err)
+	if se == nil || se.Kind != scope.KindImplicit {
+		t.Errorf("final err = %v", tr.Err)
+	}
+}
+
+func TestPropertyValidator(t *testing.T) {
+	p := newPool(t)
+	s := New(p)
+	defer s.Close()
+	tr := s.Submit(Spec{
+		Name:       "prop",
+		Program:    outputProgram([]byte("value=17")),
+		OutputPath: "/home/user/prop.out",
+		Validate: &PropertyValidator{
+			Desc:  "output names a value",
+			Check: func(out []byte) bool { return bytes.HasPrefix(out, []byte("value=")) },
+		},
+	})
+	p.Run(12 * time.Hour)
+	if tr.Status != StatusValid {
+		t.Fatalf("status = %v, err = %v", tr.Status, tr.Err)
+	}
+	// And a property that never holds.
+	tr2 := s.Submit(Spec{
+		Name:         "never",
+		Program:      outputProgram([]byte("value=17")),
+		OutputPath:   "/home/user/never.out",
+		MaxResubmits: 1,
+		Validate: &PropertyValidator{
+			Desc:  "impossible",
+			Check: func([]byte) bool { return false },
+		},
+	})
+	p.Run(24 * time.Hour)
+	if tr2.Status != StatusInvalid {
+		t.Fatalf("status = %v", tr2.Status)
+	}
+}
+
+func TestReplicationVotesOutCorruptReplica(t *testing.T) {
+	p := newPool(t)
+	s := New(p)
+	defer s.Close()
+	content := []byte("replicated result 0123456789 0123456789 0123456789 0123456789!!")
+	tr := s.Submit(Spec{
+		Name:       "rep",
+		Program:    outputProgram(content),
+		OutputPath: "/home/user/rep.out",
+		Replicas:   3,
+	})
+	// One replica's output read is silently corrupted; the majority
+	// carries the vote with no resubmission at all.
+	p.Schedd.SubmitFS.CorruptNextReads("/home/user/rep.out.rep1.round0", 1)
+	p.Run(24 * time.Hour)
+	if tr.Status != StatusValid {
+		t.Fatalf("status = %v, err = %v", tr.Status, tr.Err)
+	}
+	if tr.Resubmits != 0 {
+		t.Errorf("resubmits = %d, replication should have masked the fault", tr.Resubmits)
+	}
+	if !bytes.Equal(tr.Output, content) {
+		t.Error("voted output wrong")
+	}
+}
+
+func TestGridFailureResubmitted(t *testing.T) {
+	// A job-scope failure (corrupt image) is returned by the grid as
+	// unexecutable; the supervisor resubmits — and since the spec
+	// builds a fresh program each round, a transient job-scope
+	// condition clears.
+	p := newPool(t)
+	s := New(p)
+	defer s.Close()
+	round := 0
+	tr := s.Submit(Spec{
+		Name: "flaky-image",
+		Program: func(path string) *jvm.Program {
+			round++
+			if round == 1 {
+				return jvm.CorruptImage()
+			}
+			return outputProgram([]byte("ok"))(path)
+		},
+		OutputPath: "/home/user/flaky.out",
+	})
+	p.Run(24 * time.Hour)
+	if tr.Status != StatusValid {
+		t.Fatalf("status = %v, err = %v", tr.Status, tr.Err)
+	}
+	if tr.Resubmits != 1 {
+		t.Errorf("resubmits = %d", tr.Resubmits)
+	}
+}
+
+func TestVote(t *testing.T) {
+	a, b := []byte("a"), []byte("b")
+	if got := vote([][]byte{a, a, b}); !bytes.Equal(got, a) {
+		t.Errorf("vote = %q", got)
+	}
+	if got := vote([][]byte{a, b}); got != nil {
+		t.Errorf("no-majority vote = %q", got)
+	}
+	if got := vote([][]byte{a}); !bytes.Equal(got, a) {
+		t.Errorf("single vote = %q", got)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	for s, want := range map[Status]string{
+		StatusPending: "pending", StatusValid: "valid",
+		StatusInvalid: "invalid", StatusJobError: "job-error",
+		Status(9): "status(9)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d = %q, want %q", int(s), got, want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCrashesShape(t *testing.T) {
+	r := Crashes(17, 8, 24, 0.25, []time.Duration{20 * time.Minute, 4 * time.Hour})
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d\n%s", len(r.Rows), r.Format())
+	}
+	parseTurnaround := func(s string) time.Duration {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad turnaround %q", s)
+		}
+		return d
+	}
+	short, long := r.Rows[0], r.Rows[1]
+	// Everything completes under both timeouts.
+	for _, row := range r.Rows {
+		if !strings.HasPrefix(row[1], "24/") {
+			t.Errorf("completed = %s\n%s", row[1], r.Format())
+		}
+		lost, err := strconv.Atoi(row[2])
+		if err != nil || lost == 0 {
+			t.Errorf("lost contacts = %s", row[2])
+		}
+		expired, err := strconv.Atoi(row[4])
+		if err != nil || expired == 0 {
+			t.Errorf("expired ads = %s", row[4])
+		}
+	}
+	// The short timeout recovers faster: lower mean turnaround.
+	if parseTurnaround(short[3]) >= parseTurnaround(long[3]) {
+		t.Errorf("short timeout %s should beat long %s\n%s", short[3], long[3], r.Format())
+	}
+}

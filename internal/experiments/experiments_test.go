@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+func TestReportFormat(t *testing.T) {
+	r := &Report{ID: "x", Title: "T", Headers: []string{"a", "bb"}}
+	r.AddRow("1", "2")
+	r.AddRow("333", "4")
+	r.AddNote("n=%d", 5)
+	out := r.Format()
+	for _, want := range []string{"== x: T ==", "a    bb", "333  4", "note: n=5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure1ProtocolOrder(t *testing.T) {
+	r := Figure1()
+	if len(r.Rows) < 6 {
+		t.Fatalf("too few protocol steps: %d\n%s", len(r.Rows), r.Format())
+	}
+	// The protocol phases must appear in causal order.
+	var seq []string
+	for _, row := range r.Rows {
+		seq = append(seq, row[1])
+	}
+	joined := strings.Join(seq, " | ")
+	order := []string{"advertise", "match-notify", "claim-request", "claim-reply",
+		"activate", "fetch-job", "job-details", "job-result", "job-final"}
+	last := -1
+	for _, step := range order {
+		idx := strings.Index(joined, step)
+		if idx < 0 {
+			t.Errorf("protocol step %q missing:\n%s", step, r.Format())
+			continue
+		}
+		if idx < last {
+			t.Errorf("protocol step %q out of order:\n%s", step, r.Format())
+		}
+		last = idx
+	}
+	if len(r.Notes) == 0 || !strings.Contains(r.Notes[0], "completed") {
+		t.Errorf("notes = %v", r.Notes)
+	}
+}
+
+func TestFigure2ScopesSurvivesBothHops(t *testing.T) {
+	r, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d\n%s", len(r.Rows), r.Format())
+	}
+	expect := map[string]string{
+		"read a missing file":          "explicit",
+		"submit file system offline":   "local-resource scope",
+		"shadow credentials expired":   "local-resource scope",
+		"shadow channel lost":          "scope", // widened: any non-program scope
+		"read input through both hops": "-",
+	}
+	for _, row := range r.Rows {
+		if want, ok := expect[row[0]]; ok {
+			if !strings.Contains(row[2], want) {
+				t.Errorf("%s: got %q, want contains %q", row[0], row[2], want)
+			}
+		}
+	}
+}
+
+func TestFigure3EveryTierHandled(t *testing.T) {
+	r := Figure3()
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d\n%s", len(r.Rows), r.Format())
+	}
+	wantHandled := map[string]string{
+		"program":         string(scope.HandlerUser),
+		"virtual-machine": string(scope.HandlerStarter),
+		"remote-resource": string(scope.HandlerStarter),
+		"local-resource":  string(scope.HandlerShadow),
+		"job":             string(scope.HandlerSchedd),
+	}
+	seen := map[string]bool{}
+	for _, row := range r.Rows {
+		sc, handler, disp := row[1], row[2], row[3]
+		seen[sc] = true
+		if want := wantHandled[sc]; want != "" && handler != want {
+			t.Errorf("scope %s handled by %s, want %s", sc, handler, want)
+		}
+		switch sc {
+		case "program":
+			if disp != "complete" {
+				t.Errorf("program scope disposition = %s", disp)
+			}
+		case "job":
+			if disp != "unexecutable" {
+				t.Errorf("job scope disposition = %s", disp)
+			}
+		default:
+			if disp != "complete" {
+				t.Errorf("scope %s should eventually complete elsewhere, got %s", sc, disp)
+			}
+		}
+	}
+	for sc := range wantHandled {
+		if !seen[sc] {
+			t.Errorf("scope %s never exercised:\n%s", sc, r.Format())
+		}
+	}
+}
+
+func TestFigure4Table(t *testing.T) {
+	r, rows := Figure4()
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d\n%s", len(rows), r.Format())
+	}
+	// The paper's exact result codes.
+	wantCodes := []int{0, 3, 1, 1, 1, 1, 1}
+	for i, row := range rows {
+		if row.JVMExitCode != wantCodes[i] {
+			t.Errorf("%s: code = %d, want %d", row.Detail, row.JVMExitCode, wantCodes[i])
+		}
+	}
+	// Exit code 1 covers five scopes; the wrapper recovers each.
+	scopesUnder1 := map[scope.Scope]bool{}
+	for _, row := range rows {
+		if row.JVMExitCode == 1 {
+			scopesUnder1[row.TrueScope] = true
+			if row.WrapperScope != row.TrueScope {
+				t.Errorf("%s: wrapper scope %v, want %v", row.Detail, row.WrapperScope, row.TrueScope)
+			}
+		}
+	}
+	if len(scopesUnder1) != 5 {
+		t.Errorf("scopes under exit 1 = %d, want 5", len(scopesUnder1))
+	}
+}
+
+func TestNaiveVsScopedShape(t *testing.T) {
+	r := NaiveVsScoped(7, 8, 24, []float64{0, 0.25})
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d\n%s", len(r.Rows), r.Format())
+	}
+	find := func(frac, mode string) []string {
+		for _, row := range r.Rows {
+			if row[0] == frac && row[1] == mode {
+				return row
+			}
+		}
+		t.Fatalf("row %s/%s missing\n%s", frac, mode, r.Format())
+		return nil
+	}
+	// At 0% both modes leak nothing.
+	if row := find("0%", "naive"); row[3] != "0" {
+		t.Errorf("0%% naive leaks = %s", row[3])
+	}
+	// At 25% the naive mode leaks, the scoped mode does not.
+	naive := find("25%", "naive")
+	scoped := find("25%", "scoped")
+	if naive[3] == "0" {
+		t.Errorf("25%% naive should leak:\n%s", r.Format())
+	}
+	if scoped[3] != "0" {
+		t.Errorf("25%% scoped leaked %s:\n%s", scoped[3], r.Format())
+	}
+	// Scoped mode completes all jobs.
+	if !strings.HasPrefix(scoped[2], "24/") {
+		t.Errorf("scoped completed = %s", scoped[2])
+	}
+}
+
+func TestBlackholeShape(t *testing.T) {
+	r := Blackhole(11, 10, 30, []float64{0.3}, BlackholePolicies())
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d\n%s", len(r.Rows), r.Format())
+	}
+	wasted := map[string]string{}
+	for _, row := range r.Rows {
+		wasted[row[1]] = row[3]
+	}
+	// Self-test eliminates wasted attempts entirely; no policy wastes
+	// plenty; avoidance sits in between.
+	if wasted["startd-selftest"] != "0" {
+		t.Errorf("selftest wasted = %s\n%s", wasted["startd-selftest"], r.Format())
+	}
+	if wasted["none"] == "0" {
+		t.Errorf("no-policy should waste attempts\n%s", r.Format())
+	}
+	if wasted["both"] != "0" {
+		t.Errorf("both wasted = %s", wasted["both"])
+	}
+}
+
+func TestMountsShape(t *testing.T) {
+	r := Mounts(13, 4, 8, []time.Duration{30 * time.Minute})
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d\n%s", len(r.Rows), r.Format())
+	}
+	byPolicy := map[string][]string{}
+	for _, row := range r.Rows {
+		byPolicy[row[1]] = row
+	}
+	// Every policy eventually completes the workload once the outage
+	// ends (the simulation runs long enough).
+	for name, row := range byPolicy {
+		if !strings.HasPrefix(row[2], "8/") {
+			t.Errorf("%s completed = %s\n%s", name, row[2], r.Format())
+		}
+	}
+	// The short soft mount surfaces more fetch failures than the
+	// long one.
+	if byPolicy["soft 2m"][3] <= byPolicy["soft 1h"][3] &&
+		byPolicy["soft 2m"][3] != byPolicy["soft 1h"][3] {
+		t.Errorf("soft 2m failures %s vs soft 1h %s", byPolicy["soft 2m"][3], byPolicy["soft 1h"][3])
+	}
+	// Hard mount reports no fetch failures at all: it hides them.
+	if byPolicy["hard"][3] != "0" {
+		t.Errorf("hard mount fetch failures = %s", byPolicy["hard"][3])
+	}
+}
+
+func TestPrinciplesReport(t *testing.T) {
+	r := Principles()
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	out := r.Format()
+	for _, want := range []string{
+		"no implicit from explicit",
+		"escape to a higher level",
+		"route to the scope manager",
+		"concise and finite interfaces",
+		"preserves the original cause",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/pool"
+)
+
+// Migration reproduces the opportunistic-computing story the paper's
+// introduction rests on: "Condor was originally designed to manage
+// jobs on idle cycles culled from a collection of personal
+// workstations ... uniquely prepared to deal with an unfriendly
+// execution environment by using tools such as process migration and
+// transparent remote I/O."
+//
+// Machine owners come and go on a cycle; every return evicts the
+// visiting job.  Standard Universe jobs checkpoint and migrate —
+// resuming elsewhere from their last checkpoint — while vanilla jobs
+// restart from scratch.  The sweep varies the owner-busy fraction.
+func Migration(seed int64, machines, jobs int, jobLength time.Duration, busyFracs []float64) *Report {
+	r := &Report{
+		ID:    "migration",
+		Title: "Opportunistic cycles: checkpointing under owner churn",
+		Headers: []string{"owner busy", "universe", "completed", "evictions",
+			"CPU consumed", "useful CPU", "mean turnaround"},
+	}
+	const cycle = 2 * time.Hour
+	for _, busy := range busyFracs {
+		for _, universe := range []string{"standard", "vanilla"} {
+			params := daemon.DefaultParams()
+			params.CheckpointInterval = 10 * time.Minute
+			params.MaxAttempts = 100
+			p := pool.New(pool.Config{Seed: seed, Params: params,
+				Machines: pool.UniformMachines(machines, 2048)})
+
+			// Owner activity: each machine's owner works for
+			// busy*cycle then leaves for the rest, staggered so the
+			// pool never empties at once.
+			if busy > 0 {
+				busyLen := time.Duration(busy * float64(cycle))
+				for i, sd := range p.Startds {
+					sd := sd
+					offset := time.Duration(i) * cycle / time.Duration(machines)
+					var schedule func(at time.Duration)
+					schedule = func(at time.Duration) {
+						p.Engine.After(at, func() {
+							sd.Evict()
+							p.Engine.After(busyLen, sd.OwnerLeft)
+							schedule(cycle)
+						})
+					}
+					schedule(offset)
+				}
+			}
+
+			// The workload.
+			for i := 0; i < jobs; i++ {
+				exe := fmt.Sprintf("/home/u/j%d", i)
+				p.Schedd.SubmitFS.WriteFile(exe, []byte("image"))
+				var ad = daemon.NewStandardJobAd("u", 128)
+				if universe == "vanilla" {
+					ad = daemon.NewVanillaJobAd("u", 128)
+				}
+				p.Schedd.Submit(&daemon.Job{
+					Owner: "u", Universe: universe, Ad: ad,
+					Program: jvm.WellBehaved(jobLength), Executable: exe,
+				})
+			}
+			p.Run(14 * 24 * time.Hour)
+			m := p.Metrics()
+
+			// CPU consumed: total machine occupancy across attempts;
+			// useful CPU: what the completed jobs actually needed.
+			var consumed time.Duration
+			for _, j := range p.Schedd.Jobs() {
+				for _, att := range j.Attempts {
+					if att.FetchError == nil && att.End > att.Start {
+						consumed += att.End.Sub(att.Start)
+					}
+				}
+			}
+			useful := time.Duration(m.Completed) * jobLength
+			r.AddRow(
+				fmt.Sprintf("%.0f%%", busy*100),
+				universe,
+				fmt.Sprintf("%d/%d", m.Completed, m.Jobs),
+				fmt.Sprintf("%d", m.Evictions),
+				consumed.Truncate(time.Minute).String(),
+				useful.String(),
+				m.MeanTurnaround().Truncate(time.Minute).String(),
+			)
+		}
+	}
+	r.AddNote("standard-universe jobs checkpoint every 10m and migrate on eviction;")
+	r.AddNote("vanilla jobs restart from scratch, so owner churn multiplies their CPU bill")
+	return r
+}

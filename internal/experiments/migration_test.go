@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMigrationShape(t *testing.T) {
+	r := Migration(21, 6, 12, time.Hour, []float64{0, 0.25})
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d\n%s", len(r.Rows), r.Format())
+	}
+	find := func(busy, universe string) []string {
+		for _, row := range r.Rows {
+			if row[0] == busy && row[1] == universe {
+				return row
+			}
+		}
+		t.Fatalf("row %s/%s missing\n%s", busy, universe, r.Format())
+		return nil
+	}
+	parseCPU := func(s string) time.Duration {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad duration %q", s)
+		}
+		return d
+	}
+	// With idle owners both universes are identical.
+	if find("0%", "standard")[4] != find("0%", "vanilla")[4] {
+		t.Errorf("idle-owner rows differ\n%s", r.Format())
+	}
+	// Under churn, both complete but vanilla burns strictly more CPU.
+	std := find("25%", "standard")
+	van := find("25%", "vanilla")
+	if !strings.HasPrefix(std[2], "12/") || !strings.HasPrefix(van[2], "12/") {
+		t.Fatalf("completions: std=%s van=%s", std[2], van[2])
+	}
+	if parseCPU(van[4]) <= parseCPU(std[4]) {
+		t.Errorf("vanilla CPU %s should exceed standard %s", van[4], std[4])
+	}
+	// Standard's consumed CPU stays close to the useful CPU: the
+	// checkpoints preserved nearly all work.
+	if parseCPU(std[4]) > parseCPU(std[5])+time.Hour {
+		t.Errorf("standard wasted too much: consumed %s vs useful %s", std[4], std[5])
+	}
+	// Evictions occurred in both churn arms.
+	for _, row := range [][]string{std, van} {
+		if n, err := strconv.Atoi(row[3]); err != nil || n == 0 {
+			t.Errorf("evictions = %s", row[3])
+		}
+	}
+}

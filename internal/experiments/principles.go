@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+// Principles demonstrates the four design principles as micro
+// scenarios, each showing the violation and the disciplined
+// behaviour.
+func Principles() *Report {
+	r := &Report{
+		ID:      "principles",
+		Title:   "The four principles, violated and obeyed",
+		Headers: []string{"principle", "scenario", "violation yields", "discipline yields"},
+	}
+
+	describe := func(err error) string {
+		if err == nil {
+			return "valid-looking result (undetectable)"
+		}
+		se, ok := scope.AsError(err)
+		if !ok {
+			return err.Error()
+		}
+		return fmt.Sprintf("%s (%s, %s scope)", se.Code, se.Kind, se.Scope)
+	}
+
+	// Principle 1: the virtual-memory load with a damaged backing
+	// store.
+	backing := scope.New(scope.ScopeFile, "BackingStoreDamaged", "bad sectors")
+	violation1 := error(nil) // the lie: a default value presented as data
+	discipline1 := scope.Escape(scope.ScopeProcess, "SegmentationFault", backing)
+	r.AddRow("1: no implicit from explicit",
+		"VM load() with damaged backing store",
+		describe(violation1), describe(discipline1))
+
+	// Principle 2: a condition inexpressible in the interface.
+	timeout := scope.New(scope.ScopeNetwork, "ConnectionLost", "60s silence")
+	violation2 := scope.Explicit(scope.ScopeProgram, "IOException", timeout)
+	discipline2 := scope.Escape(scope.ScopeLocalResource, "ConnectionTimedOutException", timeout)
+	r.AddRow("2: escape to a higher level",
+		"connection lost during write()",
+		describe(violation2), describe(discipline2))
+
+	// Principle 3: routing to the scope's manager.
+	oom := scope.New(scope.ScopeVirtualMachine, "OutOfMemoryError", "heap")
+	r.AddRow("3: route to the scope manager",
+		"OutOfMemoryError inside the JVM",
+		fmt.Sprintf("returned to %s as a program result", scope.HandlerUser),
+		fmt.Sprintf("delivered to %s, job requeued", scope.Route(oom)))
+
+	// Principle 4: concise, finite interfaces.
+	generic := scope.NewContract("write (generic IOException)", scope.ScopeProcess, "")
+	generic.Declare("IOException", scope.ScopeFile)
+	finite := scope.NewContract("write", scope.ScopeProcess, "EnvironmentError").
+		Declare("DiskFull", scope.ScopeFile)
+	vendor := scope.New(scope.ScopeFile, "DiskFull", "0 bytes left")
+	throughGeneric := generic.Apply(scope.New(scope.ScopeFile, "FullDisk", "0 bytes left"))
+	throughFinite := finite.Apply(vendor)
+	r.AddRow("4: concise and finite interfaces",
+		"is a full disk DiskFull or FullDisk?",
+		describe(throughGeneric)+" — callers must guess",
+		describe(throughFinite)+" — both parties know")
+
+	// Confirm the error chains preserve provenance.
+	if !errors.Is(discipline1, backing) || !errors.Is(discipline2, timeout) {
+		r.AddNote("WARNING: provenance chain broken")
+	} else {
+		r.AddNote("every disciplined conversion preserves the original cause in its chain")
+	}
+	return r
+}

@@ -1,0 +1,74 @@
+// Package experiments regenerates every figure and behavioural claim
+// of the paper's evaluation: the kernel protocol walk (Figure 1), the
+// Java Universe data path over real sockets (Figure 2), the error
+// scope routing table (Figure 3), the JVM result code table
+// (Figure 4), the naive-vs-scoped propagation experiment of
+// Section 2.3, and the Section 5 black-hole and mount-policy
+// experiments.  Each experiment returns a Report whose rows are the
+// same shape the paper presents.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one experiment's output: a table plus commentary.
+type Report struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a commentary line.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Format renders the report as an aligned text table.
+func (r *Report) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	writeRow(r.Headers)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteString("\n")
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}

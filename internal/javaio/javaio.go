@@ -1,0 +1,169 @@
+// Package javaio simulates the Java Universe I/O library of Figure 2:
+// the code linked into the user's program that presents files through
+// standard Java stream abstractions while speaking Chirp to the proxy
+// in the starter.
+//
+// The library is where the paper's redesign happened (Section 4):
+//
+//   - Explicit errors that fit a program's reasonable expectations of
+//     an I/O interface — FileNotFound, AccessDenied, DiskFull, end of
+//     file — are converted into the corresponding Java exceptions at
+//     program scope.  Users want to see these.
+//
+//   - Errors that violate those expectations — a connection timeout,
+//     expired credentials, an offline home file system — are sent as
+//     *escaping* errors (a Java Error) so the program wrapper can
+//     communicate their scope to the starter (Principle 2).  They are
+//     never dressed up as IOExceptions.
+//
+// The original, incorrect design — "we blindly converted all possible
+// explicit errors from the proxy directly into corresponding Java
+// exceptions", extending the generic IOException — is preserved as
+// GenericMode for the before/after experiment (Principle 4 ablation).
+package javaio
+
+import (
+	"github.com/errscope/grid/internal/scope"
+)
+
+// Java exception names produced by the library for explicit errors.
+const (
+	ExcFileNotFound = "FileNotFoundException"
+	ExcAccessDenied = "AccessDeniedException"
+	ExcDiskFull     = "DiskFullException"
+	ExcEOF          = "EOFException"
+	ExcIOException  = "IOException" // generic mode only
+)
+
+// Java error names produced for escaping conditions.
+const (
+	ErrHomeFSOffline      = "HomeFileSystemOfflineError"
+	ErrConnectionTimedOut = "ConnectionTimedOutException"
+	ErrCredentialsExpired = "CredentialsExpiredError"
+	ErrChirpProxy         = "ChirpProxyError"
+	ErrShadowUnavailable  = "ShadowUnavailableError"
+	ErrEnvironment        = "EnvironmentError"
+)
+
+// Transport is the storage service beneath the library: a Chirp
+// session to the starter's proxy in production, or a direct file
+// system in tests.
+type Transport interface {
+	Read(path string, offset int64, length int) ([]byte, error)
+	Write(path string, offset int64, data []byte) (int, error)
+}
+
+// Library adapts a Transport to the program's I/O interface
+// (jvm.FileOps), performing the error conversion described above.
+type Library struct {
+	transport Transport
+	// Generic selects the original flawed behaviour: every explicit
+	// error, whatever its scope, becomes an explicit IOException at
+	// program scope.  Used by the before/after experiment.
+	Generic bool
+}
+
+// New creates a library over the transport with the corrected
+// (scope-aware) behaviour.
+func New(t Transport) *Library { return &Library{transport: t} }
+
+// NewGeneric creates a library with the original generic-IOException
+// behaviour, for ablation.
+func NewGeneric(t Transport) *Library { return &Library{transport: t, Generic: true} }
+
+// explicitNames maps transport error codes that fit the I/O
+// interface's reasonable expectations to their Java exception names.
+var explicitNames = map[string]string{
+	"FileNotFound": ExcFileNotFound,
+	"AccessDenied": ExcAccessDenied,
+	"DiskFull":     ExcDiskFull,
+	"EndOfFile":    ExcEOF,
+	"FileExists":   ExcFileNotFound, // create-exclusive collision presents as a name error
+}
+
+// escapeNames maps wider-scope error codes to the Java Error names the
+// wrapper will classify.
+var escapeNames = map[string]string{
+	"FileSystemOffline":       ErrHomeFSOffline,
+	"ConnectionLost":          ErrConnectionTimedOut,
+	"ProtocolError":           ErrChirpProxy,
+	"NotAuthenticated":        ErrChirpProxy,
+	"BackendError":            ErrEnvironment,
+	"ShadowError":             ErrEnvironment,
+	"CredentialsExpiredError": ErrCredentialsExpired,
+	"ShadowUnavailableError":  ErrShadowUnavailable,
+	"AuthenticationFailed":    ErrCredentialsExpired,
+}
+
+// Convert translates a transport error into what the program observes.
+// Exported so the experiments can count conversions.
+func (l *Library) Convert(err error) error {
+	if err == nil {
+		return nil
+	}
+	se, ok := scope.AsError(err)
+	if !ok {
+		se = scope.New(scope.ScopeProcess, "UnknownError", "%v", err)
+		se.Kind = scope.KindEscaping
+	}
+
+	if l.Generic {
+		// The original sin: flatten everything into the generic
+		// explicit exception.  The scope information is destroyed
+		// and the environmental failure becomes a program result.
+		name := ExcIOException
+		if mapped, known := explicitNames[se.Code]; known {
+			name = mapped
+		}
+		return scope.Explicit(scope.ScopeProgram, name, se)
+	}
+
+	// Corrected behaviour.  Errors of file scope that the interface
+	// declares become program-visible exceptions.
+	if se.Kind == scope.KindExplicit && se.Scope <= scope.ScopeProgram {
+		if name, known := explicitNames[se.Code]; known {
+			return scope.Explicit(scope.ScopeProgram, name, se)
+		}
+		// An explicit error the interface does not speak: it must
+		// escape rather than masquerade (Principle 4).  Scope at
+		// least process: the I/O mechanism is suspect.
+		esc := scope.Escape(scope.ScopeProcess, l.escapeName(se.Code), se)
+		return esc
+	}
+
+	// Everything else violates the program's reasonable expectations
+	// of an I/O interface and escapes with its scope preserved or
+	// widened (Principle 2).
+	esc := scope.Escape(se.Scope, l.escapeName(se.Code), se)
+	if esc.Scope <= scope.ScopeProgram {
+		// A narrow escaping transport fault still invalidates at
+		// least the I/O mechanism of this process.
+		esc = scope.Escape(scope.ScopeProcess, l.escapeName(se.Code), se)
+	}
+	return esc
+}
+
+func (l *Library) escapeName(code string) string {
+	if name, ok := escapeNames[code]; ok {
+		return name
+	}
+	return code
+}
+
+// Read implements jvm.FileOps.
+func (l *Library) Read(path string, offset int64, length int) ([]byte, error) {
+	data, err := l.transport.Read(path, offset, length)
+	if err != nil {
+		return nil, l.Convert(err)
+	}
+	return data, nil
+}
+
+// Write implements jvm.FileOps.
+func (l *Library) Write(path string, offset int64, data []byte) (int, error) {
+	n, err := l.transport.Write(path, offset, data)
+	if err != nil {
+		return 0, l.Convert(err)
+	}
+	return n, nil
+}

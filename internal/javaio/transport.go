@@ -1,0 +1,122 @@
+package javaio
+
+import (
+	"sync"
+
+	"github.com/errscope/grid/internal/chirp"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+// ChirpTransport adapts a Chirp client session to the Transport
+// interface, opening each path once on first use and caching the
+// descriptor — the stream model of the Java library.
+type ChirpTransport struct {
+	Client *chirp.Client
+
+	mu  sync.Mutex
+	fds map[string]int
+}
+
+// NewChirpTransport wraps an authenticated Chirp session.
+func NewChirpTransport(c *chirp.Client) *ChirpTransport {
+	return &ChirpTransport{Client: c, fds: make(map[string]int)}
+}
+
+func (t *ChirpTransport) fd(path string, forWrite bool) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if fd, ok := t.fds[path]; ok {
+		return fd, nil
+	}
+	flags := chirp.FlagRead | chirp.FlagWrite | chirp.FlagCreate
+	if !forWrite {
+		flags = chirp.FlagRead
+	}
+	fd, err := t.Client.Open(path, flags)
+	if err != nil {
+		return 0, err
+	}
+	t.fds[path] = fd
+	return fd, nil
+}
+
+// Read implements Transport.
+func (t *ChirpTransport) Read(path string, offset int64, length int) ([]byte, error) {
+	fd, err := t.fd(path, false)
+	if err != nil {
+		return nil, err
+	}
+	return t.Client.PRead(fd, length, offset)
+}
+
+// Write implements Transport.
+func (t *ChirpTransport) Write(path string, offset int64, data []byte) (int, error) {
+	fd, err := t.fd(path, true)
+	if err != nil {
+		return 0, err
+	}
+	return t.Client.PWrite(fd, data, offset)
+}
+
+// Close releases all cached descriptors.
+func (t *ChirpTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, fd := range t.fds {
+		_ = t.Client.CloseFD(fd)
+	}
+	t.fds = make(map[string]int)
+}
+
+// VFSTransport is a Transport directly over a local file system,
+// used in simulation mode and tests where no real sockets exist.
+type VFSTransport struct {
+	FS *vfs.FileSystem
+	// AutoCreate makes writes create missing files, mirroring the
+	// create-on-open behaviour of the Chirp path.
+	AutoCreate bool
+}
+
+// Read implements Transport.
+func (t *VFSTransport) Read(path string, offset int64, length int) ([]byte, error) {
+	return t.FS.ReadAt(path, offset, length)
+}
+
+// Write implements Transport.
+func (t *VFSTransport) Write(path string, offset int64, data []byte) (int, error) {
+	n, err := t.FS.WriteAt(path, offset, data)
+	if err != nil && t.AutoCreate {
+		if se, ok := errAsFileNotFound(err); ok {
+			_ = se
+			if cerr := t.FS.Create(path); cerr == nil {
+				return t.FS.WriteAt(path, offset, data)
+			}
+		}
+	}
+	return n, err
+}
+
+func errAsFileNotFound(err error) (error, bool) {
+	se, ok := errScoped(err)
+	if !ok {
+		return err, false
+	}
+	return err, se == vfs.CodeFileNotFound
+}
+
+// TransportFunc builds a Transport from two functions, for tests and
+// fault injection.
+type TransportFunc struct {
+	ReadFn  func(path string, offset int64, length int) ([]byte, error)
+	WriteFn func(path string, offset int64, data []byte) (int, error)
+}
+
+// Read implements Transport.
+func (t TransportFunc) Read(path string, offset int64, length int) ([]byte, error) {
+	return t.ReadFn(path, offset, length)
+}
+
+// Write implements Transport.
+func (t TransportFunc) Write(path string, offset int64, data []byte) (int, error) {
+	return t.WriteFn(path, offset, data)
+}

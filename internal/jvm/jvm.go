@@ -1,0 +1,265 @@
+// Package jvm simulates the Java Virtual Machine of the Condor Java
+// Universe.  The simulation reproduces the JVM's *error surface* — the
+// exceptions it throws and, critically, the exit codes it reports —
+// rather than executing bytecode: programs are specifications of
+// steps (compute, allocate, I/O, throw, exit).
+//
+// The package faithfully reproduces the behaviour of Figure 4 of the
+// paper: the JVM result code does not distinguish error scopes.  A
+// result of 1 may mean the program dereferenced a null pointer, ran
+// out of memory, found the Java installation misconfigured, lost its
+// home file system, or was given a corrupt class file.  Recovering
+// the scope requires the program wrapper of package wrapper.
+package jvm
+
+import (
+	"time"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+// Config describes a Java installation as the machine owner set it
+// up.  The owner's configuration is exactly the kind of unverified
+// assertion Section 5 of the paper warns about.
+type Config struct {
+	// Version is the advertised JVM version string.
+	Version string
+	// HeapLimit is the maximum heap in bytes; 0 means 64 MiB.
+	HeapLimit int64
+	// Broken marks an installation so damaged the JVM cannot start
+	// at all: no program (and no wrapper) runs, and the process
+	// exits 1 with no further information.
+	Broken bool
+	// BadLibraryPath marks an installation whose standard library
+	// path is wrong: the JVM starts, but loading any class fails
+	// with NoClassDefFoundError.
+	BadLibraryPath bool
+}
+
+// DefaultHeap is the heap limit used when Config.HeapLimit is zero.
+const DefaultHeap = 64 << 20
+
+// Machine is a simulated JVM installation on one execution host.
+type Machine struct {
+	cfg Config
+}
+
+// New creates a Machine from the owner's configuration.
+func New(cfg Config) *Machine {
+	if cfg.HeapLimit == 0 {
+		cfg.HeapLimit = DefaultHeap
+	}
+	if cfg.Version == "" {
+		cfg.Version = "1.3.1"
+	}
+	return &Machine{cfg: cfg}
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// SelfTest verifies the installation the way the modified startd of
+// Section 5 does at startup — in the spirit of Autoconf, it tests
+// rather than trusts the owner's assertion.  It returns nil when the
+// installation can actually run a trivial program.
+func (m *Machine) SelfTest() error {
+	probe := &Program{
+		Class: "CondorJavaProbe",
+		Steps: []Step{Compute{Duration: time.Millisecond}},
+	}
+	exec := m.Execute(probe, nil)
+	if exec.Thrown != nil {
+		return scope.New(scope.ScopeRemoteResource, exec.Thrown.Name,
+			"java self-test failed: %s", exec.Thrown.Message)
+	}
+	if exec.ExitCode != 0 {
+		return scope.New(scope.ScopeRemoteResource, "SelfTestFailed",
+			"java self-test exited %d", exec.ExitCode)
+	}
+	return nil
+}
+
+// FileOps is the I/O service available to a program's I/O steps —
+// in the real system, the Java I/O library speaking Chirp to the
+// starter's proxy (package javaio provides implementations).
+type FileOps interface {
+	Read(path string, offset int64, length int) ([]byte, error)
+	Write(path string, offset int64, data []byte) (int, error)
+}
+
+// Thrown describes an exception or error that terminated execution.
+type Thrown struct {
+	// Name is the Java class name, e.g. "NullPointerException".
+	Name string
+	// Message is the exception detail.
+	Message string
+	// Scope is the error's scope as known at throw time.  Program
+	// exceptions carry ScopeProgram; environmental errors carry the
+	// scope assigned by the layer that discovered them.
+	Scope scope.Scope
+	// Escaping records whether the error arrived via an escaping
+	// channel (a Java Error rather than a Java Exception).
+	Escaping bool
+}
+
+// Execution is the observable outcome of one JVM invocation.
+type Execution struct {
+	// ExitCode is what the JVM process reports to its parent.  Per
+	// Figure 4 this is 0 for normal completion, x for
+	// System.exit(x), and 1 for EVERY abnormal termination — it
+	// does not distinguish error scopes.
+	ExitCode int
+	// Thrown is the exception that ended execution, nil on a clean
+	// exit.  Only code running *inside* the JVM (the wrapper) can
+	// see it; the starter sees just ExitCode.
+	Thrown *Thrown
+	// CPU is the virtual CPU time consumed before termination.
+	CPU time.Duration
+	// PeakHeap is the high-water heap mark in bytes.
+	PeakHeap int64
+	// Completed reports whether main ran to completion (including
+	// System.exit, which is a deliberate program act).
+	Completed bool
+}
+
+// Execute runs the program on this installation with the given I/O
+// service.  It never returns a Go error: every outcome, good or bad,
+// is an Execution — exactly as a real starter only ever observes a
+// process exit.
+func (m *Machine) Execute(prog *Program, io FileOps) *Execution {
+	return m.ExecuteFrom(prog, io, 0)
+}
+
+// ExecuteFrom resumes a program from a checkpoint taken after the
+// given amount of CPU progress: Compute steps consume the resume
+// budget before charging new CPU.  This models the Standard
+// Universe's transparent checkpointing — the process image carries
+// its computation state, so only the remaining work runs.  Non-compute
+// steps replay (the checkpointed image is assumed to have been taken
+// at a compute boundary, the usual Condor discipline).
+func (m *Machine) ExecuteFrom(prog *Program, io FileOps, resume time.Duration) *Execution {
+	exec := &Execution{}
+	skip := resume
+
+	// A broken installation cannot start the JVM at all.
+	if m.cfg.Broken {
+		exec.ExitCode = 1
+		exec.Thrown = &Thrown{
+			Name:     "JVMStartError",
+			Message:  "the java installation could not start",
+			Scope:    scope.ScopeRemoteResource,
+			Escaping: true,
+		}
+		return exec
+	}
+	// A bad library path breaks class loading for every program.
+	if m.cfg.BadLibraryPath {
+		exec.fail("NoClassDefFoundError",
+			"java.lang.Object: standard library not found on configured path",
+			scope.ScopeRemoteResource, true)
+		return exec
+	}
+	if prog == nil || prog.Class == "" {
+		exec.fail("MissingInputFileError", "no program image supplied", scope.ScopeJob, true)
+		return exec
+	}
+	if prog.ImageCorrupt {
+		exec.fail("ClassFormatError",
+			prog.Class+": bad magic number in class file", scope.ScopeJob, true)
+		return exec
+	}
+
+	var heap int64
+	for _, st := range prog.Steps {
+		switch s := st.(type) {
+		case Compute:
+			d := s.Duration
+			if skip > 0 {
+				if skip >= d {
+					skip -= d
+					continue
+				}
+				d -= skip
+				skip = 0
+			}
+			exec.CPU += d
+
+		case Allocate:
+			heap += s.Bytes
+			if heap > exec.PeakHeap {
+				exec.PeakHeap = heap
+			}
+			if heap > m.cfg.HeapLimit {
+				exec.fail("OutOfMemoryError",
+					"java heap space", scope.ScopeVirtualMachine, true)
+				return exec
+			}
+
+		case Free:
+			heap -= s.Bytes
+			if heap < 0 {
+				heap = 0
+			}
+
+		case Throw:
+			sc := s.Scope
+			if sc == scope.ScopeNone {
+				sc = scope.ScopeProgram
+			}
+			exec.fail(s.Exception, s.Message, sc, sc != scope.ScopeProgram)
+			return exec
+
+		case Exit:
+			exec.ExitCode = s.Code
+			exec.Completed = true
+			return exec
+
+		case IORead:
+			if err := execIO(exec, io, func(ops FileOps) error {
+				_, err := ops.Read(s.Path, s.Offset, s.Length)
+				return err
+			}); err {
+				return exec
+			}
+
+		case IOWrite:
+			if err := execIO(exec, io, func(ops FileOps) error {
+				_, err := ops.Write(s.Path, s.Offset, s.Data)
+				return err
+			}); err {
+				return exec
+			}
+		}
+	}
+	exec.ExitCode = 0
+	exec.Completed = true
+	return exec
+}
+
+// fail records an abnormal termination.  The exit code is always 1 —
+// this is the Figure 4 information loss.
+func (e *Execution) fail(name, msg string, sc scope.Scope, escaping bool) {
+	e.ExitCode = 1
+	e.Thrown = &Thrown{Name: name, Message: msg, Scope: sc, Escaping: escaping}
+}
+
+// execIO runs one I/O step and converts a failure into the thrown
+// exception or error the Java I/O library would raise.  It reports
+// whether execution must stop.
+func execIO(exec *Execution, ops FileOps, op func(FileOps) error) (stop bool) {
+	if ops == nil {
+		exec.fail("NullPointerException", "no I/O system attached", scope.ScopeProgram, false)
+		return true
+	}
+	err := op(ops)
+	if err == nil {
+		return false
+	}
+	se, ok := scope.AsError(err)
+	if !ok {
+		se = scope.New(scope.ScopeProcess, "UnknownError", "%v", err)
+		se.Kind = scope.KindEscaping
+	}
+	exec.fail(se.Code, se.Error(), se.Scope, se.Kind == scope.KindEscaping)
+	return true
+}

@@ -1,0 +1,306 @@
+package jvm
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+func TestCleanExit(t *testing.T) {
+	m := New(Config{})
+	exec := m.Execute(WellBehaved(10*time.Millisecond), nil)
+	if exec.ExitCode != 0 || exec.Thrown != nil || !exec.Completed {
+		t.Fatalf("exec = %+v", exec)
+	}
+	if exec.CPU != 10*time.Millisecond {
+		t.Errorf("cpu = %v", exec.CPU)
+	}
+}
+
+func TestSystemExit(t *testing.T) {
+	m := New(Config{})
+	exec := m.Execute(ExitWith(42, time.Millisecond), nil)
+	if exec.ExitCode != 42 || exec.Thrown != nil || !exec.Completed {
+		t.Fatalf("exec = %+v", exec)
+	}
+	// Steps after Exit never run.
+	prog := &Program{Class: "Main", Steps: []Step{Exit{Code: 7}, Compute{Duration: time.Hour}}}
+	exec = m.Execute(prog, nil)
+	if exec.CPU != 0 || exec.ExitCode != 7 {
+		t.Errorf("exec = %+v", exec)
+	}
+}
+
+func TestProgramException(t *testing.T) {
+	m := New(Config{})
+	exec := m.Execute(NullPointer(), nil)
+	if exec.ExitCode != 1 || exec.Completed {
+		t.Fatalf("exec = %+v", exec)
+	}
+	if exec.Thrown == nil || exec.Thrown.Name != "NullPointerException" {
+		t.Fatalf("thrown = %+v", exec.Thrown)
+	}
+	if exec.Thrown.Scope != scope.ScopeProgram || exec.Thrown.Escaping {
+		t.Errorf("program exception misclassified: %+v", exec.Thrown)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	m := New(Config{HeapLimit: 1 << 20})
+	exec := m.Execute(MemoryHog(2<<20), nil)
+	if exec.Thrown == nil || exec.Thrown.Name != "OutOfMemoryError" {
+		t.Fatalf("thrown = %+v", exec.Thrown)
+	}
+	if exec.Thrown.Scope != scope.ScopeVirtualMachine || !exec.Thrown.Escaping {
+		t.Errorf("OOM misclassified: %+v", exec.Thrown)
+	}
+	if exec.ExitCode != 1 {
+		t.Errorf("exit = %d", exec.ExitCode)
+	}
+	// Allocation within the limit is fine; Free releases.
+	prog := &Program{Class: "M", Steps: []Step{
+		Allocate{Bytes: 900 << 10},
+		Free{Bytes: 800 << 10},
+		Allocate{Bytes: 800 << 10},
+	}}
+	exec = m.Execute(prog, nil)
+	if exec.Thrown != nil {
+		t.Errorf("alloc/free cycle should fit: %+v", exec.Thrown)
+	}
+	if exec.PeakHeap != 900<<10 {
+		t.Errorf("peak = %d", exec.PeakHeap)
+	}
+}
+
+func TestFreeNeverGoesNegative(t *testing.T) {
+	m := New(Config{HeapLimit: 100})
+	prog := &Program{Class: "M", Steps: []Step{
+		Free{Bytes: 1000},
+		Allocate{Bytes: 90},
+	}}
+	exec := m.Execute(prog, nil)
+	if exec.Thrown != nil {
+		t.Errorf("exec = %+v", exec.Thrown)
+	}
+}
+
+func TestDefaultHeap(t *testing.T) {
+	m := New(Config{})
+	if m.Config().HeapLimit != DefaultHeap {
+		t.Errorf("heap = %d", m.Config().HeapLimit)
+	}
+	exec := m.Execute(MemoryHog(DefaultHeap+1), nil)
+	if exec.Thrown == nil || exec.Thrown.Name != "OutOfMemoryError" {
+		t.Errorf("thrown = %+v", exec.Thrown)
+	}
+}
+
+func TestBrokenInstallation(t *testing.T) {
+	m := New(Config{Broken: true})
+	exec := m.Execute(WellBehaved(time.Second), nil)
+	if exec.ExitCode != 1 || exec.CPU != 0 {
+		t.Fatalf("exec = %+v", exec)
+	}
+	if exec.Thrown.Name != "JVMStartError" || exec.Thrown.Scope != scope.ScopeRemoteResource {
+		t.Errorf("thrown = %+v", exec.Thrown)
+	}
+}
+
+func TestBadLibraryPath(t *testing.T) {
+	m := New(Config{BadLibraryPath: true})
+	exec := m.Execute(WellBehaved(time.Second), nil)
+	if exec.Thrown == nil || exec.Thrown.Name != "NoClassDefFoundError" {
+		t.Fatalf("thrown = %+v", exec.Thrown)
+	}
+	if exec.Thrown.Scope != scope.ScopeRemoteResource || !exec.Thrown.Escaping {
+		t.Errorf("misconfiguration misclassified: %+v", exec.Thrown)
+	}
+}
+
+func TestCorruptImage(t *testing.T) {
+	m := New(Config{})
+	exec := m.Execute(CorruptImage(), nil)
+	if exec.Thrown == nil || exec.Thrown.Name != "ClassFormatError" {
+		t.Fatalf("thrown = %+v", exec.Thrown)
+	}
+	if exec.Thrown.Scope != scope.ScopeJob {
+		t.Errorf("corrupt image should be job scope: %+v", exec.Thrown)
+	}
+}
+
+func TestMissingProgram(t *testing.T) {
+	m := New(Config{})
+	for _, prog := range []*Program{nil, {Class: ""}} {
+		exec := m.Execute(prog, nil)
+		if exec.Thrown == nil || exec.Thrown.Scope != scope.ScopeJob {
+			t.Errorf("missing program: %+v", exec.Thrown)
+		}
+	}
+}
+
+// fakeIO lets tests inject I/O outcomes.
+type fakeIO struct {
+	readErr  error
+	writeErr error
+	data     []byte
+}
+
+func (f *fakeIO) Read(path string, off int64, n int) ([]byte, error) {
+	if f.readErr != nil {
+		return nil, f.readErr
+	}
+	return f.data, nil
+}
+
+func (f *fakeIO) Write(path string, off int64, data []byte) (int, error) {
+	if f.writeErr != nil {
+		return 0, f.writeErr
+	}
+	return len(data), nil
+}
+
+func TestIOSuccess(t *testing.T) {
+	m := New(Config{})
+	io := &fakeIO{data: []byte("x")}
+	prog := &Program{Class: "M", Steps: []Step{
+		IORead{Path: "/in", Length: 1},
+		IOWrite{Path: "/out", Data: []byte("y")},
+	}}
+	exec := m.Execute(prog, io)
+	if exec.Thrown != nil || exec.ExitCode != 0 {
+		t.Fatalf("exec = %+v thrown=%+v", exec, exec.Thrown)
+	}
+}
+
+func TestIOExplicitFileErrorIsProgramVisible(t *testing.T) {
+	// A FileNotFound explicit error from the I/O library arrives as
+	// an exception the program (and the user) should see.
+	m := New(Config{})
+	io := &fakeIO{readErr: scope.New(scope.ScopeProgram, "FileNotFoundException", "/in")}
+	exec := m.Execute(ReadsInput("/in", 10), io)
+	if exec.Thrown == nil || exec.Thrown.Name != "FileNotFoundException" {
+		t.Fatalf("thrown = %+v", exec.Thrown)
+	}
+	if exec.Thrown.Scope != scope.ScopeProgram || exec.Thrown.Escaping {
+		t.Errorf("file error misclassified: %+v", exec.Thrown)
+	}
+}
+
+func TestIOEscapingErrorStopsExecution(t *testing.T) {
+	// A connection timeout escaping from the I/O library must carry
+	// its wider scope through the VM.
+	m := New(Config{})
+	esc := scope.New(scope.ScopeLocalResource, "ConnectionTimedOutException", "shadow gone")
+	esc.Kind = scope.KindEscaping
+	io := &fakeIO{writeErr: esc}
+	prog := &Program{Class: "M", Steps: []Step{IOWrite{Path: "/out", Data: []byte("z")}}}
+	exec := m.Execute(prog, io)
+	if exec.Thrown == nil || !exec.Thrown.Escaping {
+		t.Fatalf("thrown = %+v", exec.Thrown)
+	}
+	if exec.Thrown.Scope != scope.ScopeLocalResource {
+		t.Errorf("scope = %v", exec.Thrown.Scope)
+	}
+	if exec.ExitCode != 1 {
+		t.Errorf("exit = %d", exec.ExitCode)
+	}
+}
+
+func TestIOPlainErrorEscapes(t *testing.T) {
+	m := New(Config{})
+	io := &fakeIO{readErr: errPlain{}}
+	exec := m.Execute(ReadsInput("/in", 1), io)
+	if exec.Thrown == nil || !exec.Thrown.Escaping || exec.Thrown.Scope != scope.ScopeProcess {
+		t.Fatalf("thrown = %+v", exec.Thrown)
+	}
+}
+
+type errPlain struct{}
+
+func (errPlain) Error() string { return "anonymous failure" }
+
+func TestIOWithoutSystemIsNullPointer(t *testing.T) {
+	m := New(Config{})
+	exec := m.Execute(ReadsInput("/in", 1), nil)
+	if exec.Thrown == nil || exec.Thrown.Name != "NullPointerException" {
+		t.Fatalf("thrown = %+v", exec.Thrown)
+	}
+}
+
+func TestSelfTest(t *testing.T) {
+	if err := New(Config{}).SelfTest(); err != nil {
+		t.Errorf("healthy install: %v", err)
+	}
+	for _, cfg := range []Config{{Broken: true}, {BadLibraryPath: true}} {
+		err := New(cfg).SelfTest()
+		if err == nil {
+			t.Errorf("self-test of %+v should fail", cfg)
+			continue
+		}
+		if scope.ScopeOf(err) != scope.ScopeRemoteResource {
+			t.Errorf("self-test error scope = %v", scope.ScopeOf(err))
+		}
+	}
+}
+
+// TestFigure4ResultCodes reproduces the Figure 4 table: the execution
+// details, their true error scopes, and the JVM result code — which
+// collapses everything abnormal to 1.
+func TestFigure4ResultCodes(t *testing.T) {
+	offlineErr := scope.New(scope.ScopeLocalResource, "ConnectionTimedOutException", "home file system offline")
+	offlineErr.Kind = scope.KindEscaping
+
+	rows := []struct {
+		detail    string
+		m         *Machine
+		prog      *Program
+		io        FileOps
+		wantScope scope.Scope // the true scope (ScopeNone for clean exits)
+		wantCode  int
+	}{
+		{"completed main", New(Config{}), WellBehaved(time.Millisecond), nil, scope.ScopeNone, 0},
+		{"System.exit(x)", New(Config{}), ExitWith(5, 0), nil, scope.ScopeNone, 5},
+		{"null pointer", New(Config{}), NullPointer(), nil, scope.ScopeProgram, 1},
+		{"not enough memory", New(Config{HeapLimit: 1024}), MemoryHog(1 << 20), nil, scope.ScopeVirtualMachine, 1},
+		{"misconfigured installation", New(Config{BadLibraryPath: true}), WellBehaved(0), nil, scope.ScopeRemoteResource, 1},
+		{"home file system offline", New(Config{}), ReadsInput("/in", 8), &fakeIO{readErr: offlineErr}, scope.ScopeLocalResource, 1},
+		{"corrupt program image", New(Config{}), CorruptImage(), nil, scope.ScopeJob, 1},
+	}
+	seenExit1 := 0
+	for _, row := range rows {
+		exec := row.m.Execute(row.prog, row.io)
+		if exec.ExitCode != row.wantCode {
+			t.Errorf("%s: exit = %d, want %d", row.detail, exec.ExitCode, row.wantCode)
+		}
+		if row.wantScope == scope.ScopeNone {
+			if exec.Thrown != nil {
+				t.Errorf("%s: unexpected exception %+v", row.detail, exec.Thrown)
+			}
+			continue
+		}
+		if exec.Thrown == nil {
+			t.Errorf("%s: expected exception", row.detail)
+			continue
+		}
+		if exec.Thrown.Scope != row.wantScope {
+			t.Errorf("%s: scope = %v, want %v", row.detail, exec.Thrown.Scope, row.wantScope)
+		}
+		if exec.ExitCode == 1 {
+			seenExit1++
+		}
+	}
+	// The information loss: five distinct scopes, one exit code.
+	if seenExit1 != 5 {
+		t.Errorf("exit code 1 appeared %d times, want 5 — the table's point", seenExit1)
+	}
+}
+
+func TestThrownNameContainsDetail(t *testing.T) {
+	m := New(Config{BadLibraryPath: true})
+	exec := m.Execute(WellBehaved(0), nil)
+	if !strings.Contains(exec.Thrown.Message, "standard library") {
+		t.Errorf("message = %q", exec.Thrown.Message)
+	}
+}

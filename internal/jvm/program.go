@@ -1,0 +1,108 @@
+package jvm
+
+import (
+	"time"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+// Program is a simulated Java program: a main class plus the sequence
+// of steps main performs.  Programs are immutable descriptions and
+// safe to share between executions.
+type Program struct {
+	// Class is the main class name.
+	Class string
+	// ImageCorrupt marks a damaged class file: loading it throws
+	// ClassFormatError, an error of job scope (the job can never
+	// run anywhere).
+	ImageCorrupt bool
+	// Steps are executed in order until one terminates execution.
+	Steps []Step
+}
+
+// Step is one action of a simulated program.
+type Step interface{ isStep() }
+
+// Compute consumes virtual CPU time.
+type Compute struct{ Duration time.Duration }
+
+// Allocate grows the heap; exceeding the installation's limit throws
+// OutOfMemoryError (virtual-machine scope).
+type Allocate struct{ Bytes int64 }
+
+// Free shrinks the heap.
+type Free struct{ Bytes int64 }
+
+// Throw raises an exception.  Scope defaults to program scope — a
+// program-generated exception is a program result the user wants to
+// see.  A non-program scope models an environmental error surfacing
+// inside the VM.
+type Throw struct {
+	Exception string
+	Message   string
+	Scope     scope.Scope
+}
+
+// Exit calls System.exit(Code).
+type Exit struct{ Code int }
+
+// IORead reads from the attached I/O system.
+type IORead struct {
+	Path   string
+	Offset int64
+	Length int
+}
+
+// IOWrite writes to the attached I/O system.
+type IOWrite struct {
+	Path   string
+	Offset int64
+	Data   []byte
+}
+
+func (Compute) isStep()  {}
+func (Allocate) isStep() {}
+func (Free) isStep()     {}
+func (Throw) isStep()    {}
+func (Exit) isStep()     {}
+func (IORead) isStep()   {}
+func (IOWrite) isStep()  {}
+
+// Convenience program builders used across tests, benchmarks, and the
+// Figure 4 experiment.
+
+// WellBehaved returns a program that computes for d and exits 0.
+func WellBehaved(d time.Duration) *Program {
+	return &Program{Class: "Main", Steps: []Step{Compute{Duration: d}}}
+}
+
+// ExitWith returns a program that calls System.exit(code).
+func ExitWith(code int, d time.Duration) *Program {
+	return &Program{Class: "Main", Steps: []Step{Compute{Duration: d}, Exit{Code: code}}}
+}
+
+// NullPointer returns a program that dereferences a null pointer.
+func NullPointer() *Program {
+	return &Program{Class: "Main", Steps: []Step{
+		Compute{Duration: time.Millisecond},
+		Throw{Exception: "NullPointerException", Message: "at Main.run(Main.java:17)"},
+	}}
+}
+
+// MemoryHog returns a program that allocates bytes of heap.
+func MemoryHog(bytes int64) *Program {
+	return &Program{Class: "Main", Steps: []Step{Allocate{Bytes: bytes}}}
+}
+
+// CorruptImage returns a program whose class file is damaged.
+func CorruptImage() *Program {
+	return &Program{Class: "Main", ImageCorrupt: true}
+}
+
+// ReadsInput returns a program that reads length bytes of path.
+func ReadsInput(path string, length int) *Program {
+	return &Program{Class: "Main", Steps: []Step{
+		IORead{Path: path, Length: length},
+		Compute{Duration: time.Millisecond},
+	}}
+}

@@ -1,0 +1,202 @@
+// Package live runs the Condor kernel daemons of package daemon on
+// the wall clock: goroutine-backed timers and a serialized dispatch
+// loop replace the discrete-event engine, with no change to the
+// daemon state machines themselves.
+//
+// The runtime is an event loop: every actor callback — message
+// delivery, timer firing, periodic tick — executes on one dispatch
+// goroutine, so the daemons keep the single-threaded discipline the
+// simulation gave them while real time passes and real sockets can be
+// used alongside.  Use Do to inspect daemon state safely from other
+// goroutines.
+package live
+
+import (
+	"sync"
+	"time"
+
+	"github.com/errscope/grid/internal/sim"
+)
+
+// Runtime is a wall-clock implementation of daemon.Runtime.
+type Runtime struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []func()
+	actors  map[string]sim.Actor
+	start   time.Time
+	latency time.Duration
+	closed  bool
+	done    chan struct{}
+
+	sent uint64
+	lost uint64
+}
+
+// New creates and starts a runtime whose message deliveries take
+// latency of wall-clock time.
+func New(latency time.Duration) *Runtime {
+	r := &Runtime{
+		actors:  make(map[string]sim.Actor),
+		start:   time.Now(),
+		latency: latency,
+		done:    make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	go r.loop()
+	return r
+}
+
+func (r *Runtime) loop() {
+	defer close(r.done)
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if len(r.queue) == 0 && r.closed {
+			r.mu.Unlock()
+			return
+		}
+		fn := r.queue[0]
+		r.queue = r.queue[1:]
+		r.mu.Unlock()
+		fn()
+	}
+}
+
+// enqueue schedules fn on the dispatch loop.
+func (r *Runtime) enqueue(fn func()) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.queue = append(r.queue, fn)
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
+// Close stops the runtime after draining queued work.  Timers that
+// fire afterwards are discarded.
+func (r *Runtime) Close() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Signal()
+	<-r.done
+}
+
+// Do runs fn on the dispatch loop and waits for it: the only safe way
+// to read or mutate daemon state from outside.  Calling Do from
+// inside a daemon callback would deadlock; daemons never need it.
+func (r *Runtime) Do(fn func()) {
+	doneCh := make(chan struct{})
+	r.enqueue(func() {
+		fn()
+		close(doneCh)
+	})
+	select {
+	case <-doneCh:
+	case <-r.done:
+	}
+}
+
+// Now implements daemon.Runtime: nanoseconds of wall time since the
+// runtime started.
+func (r *Runtime) Now() sim.Time { return sim.Time(time.Since(r.start)) }
+
+// Register implements daemon.Runtime.
+func (r *Runtime) Register(name string, a sim.Actor) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.actors[name]; ok {
+		panic("live: duplicate actor " + name)
+	}
+	r.actors[name] = a
+}
+
+// Unregister implements daemon.Runtime.
+func (r *Runtime) Unregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.actors, name)
+}
+
+// Send implements daemon.Runtime: delivery happens on the dispatch
+// loop after the configured latency.  A message to a dead actor is
+// silently lost, as on a real network.
+func (r *Runtime) Send(from, to, kind string, body any) {
+	r.mu.Lock()
+	r.sent++
+	r.mu.Unlock()
+	m := sim.Message{From: from, To: to, Kind: kind, Body: body}
+	deliver := func() {
+		r.mu.Lock()
+		a, ok := r.actors[to]
+		if !ok {
+			r.lost++
+		}
+		r.mu.Unlock()
+		if ok {
+			a.Receive(m)
+		}
+	}
+	if r.latency <= 0 {
+		r.enqueue(deliver)
+		return
+	}
+	time.AfterFunc(r.latency, func() { r.enqueue(deliver) })
+}
+
+// After implements daemon.Runtime.
+func (r *Runtime) After(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	t := time.AfterFunc(d, func() { r.enqueue(fn) })
+	return func() { t.Stop() }
+}
+
+// Every implements daemon.Runtime.
+func (r *Runtime) Every(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("live: Every requires a positive period")
+	}
+	ticker := time.NewTicker(period)
+	stopCh := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ticker.C:
+				r.enqueue(fn)
+			case <-stopCh:
+				ticker.Stop()
+				return
+			case <-r.done:
+				ticker.Stop()
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(stopCh) }) }
+}
+
+// Sent reports messages sent, for metrics.
+func (r *Runtime) Sent() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sent
+}
+
+// Lost reports messages that addressed dead actors.
+func (r *Runtime) Lost() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lost
+}

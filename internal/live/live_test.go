@@ -1,0 +1,222 @@
+package live
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/sim"
+)
+
+func TestMessageDelivery(t *testing.T) {
+	r := New(0)
+	defer r.Close()
+	var got atomic.Int32
+	r.Register("x", sim.ActorFunc(func(m sim.Message) {
+		if m.Kind == "ping" {
+			got.Add(1)
+		}
+	}))
+	for i := 0; i < 10; i++ {
+		r.Send("a", "x", "ping", i)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() != 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 10 {
+		t.Fatalf("delivered %d/10", got.Load())
+	}
+	if r.Sent() != 10 {
+		t.Errorf("sent = %d", r.Sent())
+	}
+}
+
+func TestDeadActorLoses(t *testing.T) {
+	r := New(0)
+	defer r.Close()
+	r.Send("a", "ghost", "ping", nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Lost() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if r.Lost() != 1 {
+		t.Errorf("lost = %d", r.Lost())
+	}
+}
+
+func TestAfterAndCancel(t *testing.T) {
+	r := New(0)
+	defer r.Close()
+	var fired atomic.Bool
+	r.After(10*time.Millisecond, func() { fired.Store(true) })
+	cancel := r.After(10*time.Millisecond, func() { t.Error("cancelled timer fired") })
+	cancel()
+	time.Sleep(50 * time.Millisecond)
+	if !fired.Load() {
+		t.Error("timer did not fire")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	r := New(0)
+	defer r.Close()
+	var ticks atomic.Int32
+	stop := r.Every(5*time.Millisecond, func() { ticks.Add(1) })
+	time.Sleep(60 * time.Millisecond)
+	stop()
+	n := ticks.Load()
+	if n < 3 {
+		t.Errorf("ticks = %d", n)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if ticks.Load() > n+1 { // at most one in-flight tick lands after stop
+		t.Errorf("ticker kept firing after stop: %d -> %d", n, ticks.Load())
+	}
+}
+
+func TestDoSerializesWithHandlers(t *testing.T) {
+	r := New(0)
+	defer r.Close()
+	counter := 0 // guarded by the dispatch loop only
+	r.Register("c", sim.ActorFunc(func(sim.Message) { counter++ }))
+	for i := 0; i < 100; i++ {
+		r.Send("a", "c", "inc", nil)
+	}
+	var snapshot int
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		r.Do(func() { snapshot = counter })
+		if snapshot == 100 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if snapshot != 100 {
+		t.Fatalf("counter = %d", snapshot)
+	}
+}
+
+// TestLiveKernelEndToEnd runs the full Condor kernel — the same
+// daemon code the simulation uses — on goroutines over the wall
+// clock, with millisecond-scale protocol intervals.
+func TestLiveKernelEndToEnd(t *testing.T) {
+	r := New(100 * time.Microsecond)
+	defer r.Close()
+
+	params := daemon.DefaultParams()
+	params.NegotiationInterval = 10 * time.Millisecond
+	params.AdInterval = 10 * time.Millisecond
+	params.StartupOverhead = time.Millisecond
+	params.ClaimTimeout = 50 * time.Millisecond
+	params.ResultTimeout = 2 * time.Second
+	params.MachineAdLifetime = 100 * time.Millisecond
+	params.RequeueBackoff = 10 * time.Millisecond
+
+	daemon.NewMatchmaker(r, params)
+	var schedd *daemon.Schedd
+	r.Do(func() {
+		schedd = daemon.NewSchedd(r, params, "schedd")
+		daemon.NewStartd(r, params, daemon.MachineConfig{
+			Name: "live1", Memory: 2048, AdvertiseJava: true,
+		})
+		daemon.NewStartd(r, params, daemon.MachineConfig{
+			Name: "live2", Memory: 1024, AdvertiseJava: true,
+		})
+	})
+
+	var ids []daemon.JobID
+	r.Do(func() {
+		schedd.SubmitFS.WriteFile("/main.class", []byte("bytes"))
+		for i := 0; i < 4; i++ {
+			ids = append(ids, schedd.Submit(&daemon.Job{
+				Owner:      "live-user",
+				Ad:         daemon.NewJavaJobAd("live-user", 128),
+				Program:    jvm.WellBehaved(20 * time.Millisecond),
+				Executable: "/main.class",
+			}))
+		}
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	done := false
+	for !done && time.Now().Before(deadline) {
+		r.Do(func() { done = schedd.AllTerminal() })
+		if !done {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if !done {
+		t.Fatal("live kernel did not finish in 10s of wall time")
+	}
+	r.Do(func() {
+		for _, id := range ids {
+			j := schedd.Job(id)
+			if j.State != daemon.JobCompleted {
+				t.Errorf("job %d state = %v, err = %v", id, j.State, j.FinalErr)
+			}
+			if att := j.LastAttempt(); att == nil || att.CPU != 20*time.Millisecond {
+				t.Errorf("job %d attempt = %+v", id, att)
+			}
+		}
+	})
+}
+
+// TestLiveKernelScopePropagation runs the naive-vs-scoped contrast on
+// the live runtime: a broken machine's error must requeue, not
+// complete.
+func TestLiveKernelScopePropagation(t *testing.T) {
+	r := New(100 * time.Microsecond)
+	defer r.Close()
+	params := daemon.DefaultParams()
+	params.NegotiationInterval = 10 * time.Millisecond
+	params.AdInterval = 10 * time.Millisecond
+	params.StartupOverhead = time.Millisecond
+	params.ChronicFailureThreshold = 1
+	params.ResultTimeout = 2 * time.Second
+	params.RequeueBackoff = 10 * time.Millisecond
+
+	daemon.NewMatchmaker(r, params)
+	var schedd *daemon.Schedd
+	var id daemon.JobID
+	r.Do(func() {
+		schedd = daemon.NewSchedd(r, params, "schedd")
+		daemon.NewStartd(r, params, daemon.MachineConfig{
+			Name: "bad", Memory: 4096, AdvertiseJava: true,
+			JVM: jvm.Config{BadLibraryPath: true},
+		})
+		daemon.NewStartd(r, params, daemon.MachineConfig{
+			Name: "good", Memory: 1024, AdvertiseJava: true,
+		})
+		schedd.SubmitFS.WriteFile("/main.class", []byte("bytes"))
+		id = schedd.Submit(&daemon.Job{
+			Owner:      "u",
+			Ad:         daemon.NewJavaJobAd("u", 128),
+			Program:    jvm.WellBehaved(10 * time.Millisecond),
+			Executable: "/main.class",
+		})
+	})
+
+	deadline := time.Now().Add(10 * time.Second)
+	done := false
+	for !done && time.Now().Before(deadline) {
+		r.Do(func() { done = schedd.AllTerminal() })
+		if !done {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	r.Do(func() {
+		j := schedd.Job(id)
+		if j.State != daemon.JobCompleted {
+			t.Fatalf("state = %v", j.State)
+		}
+		if j.LastAttempt().Machine != "good" {
+			t.Errorf("completed on %s", j.LastAttempt().Machine)
+		}
+		if len(j.Attempts) < 2 {
+			t.Errorf("attempts = %d; the bad machine's error should requeue", len(j.Attempts))
+		}
+	})
+}

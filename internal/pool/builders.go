@@ -1,0 +1,103 @@
+package pool
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+)
+
+// UniformMachines builds n healthy machines named c000..c(n-1), all
+// advertising working Java.
+func UniformMachines(n int, memoryMB int64) []daemon.MachineConfig {
+	out := make([]daemon.MachineConfig, n)
+	for i := range out {
+		out[i] = daemon.MachineConfig{
+			Name:          fmt.Sprintf("c%03d", i),
+			Memory:        memoryMB,
+			AdvertiseJava: true,
+		}
+	}
+	return out
+}
+
+// BreakKind selects how a misconfigured machine is broken.
+type BreakKind int
+
+// The ways a machine owner can get the Java installation wrong.
+const (
+	// BreakBadLibraryPath: the owner gave an incorrect path to the
+	// standard libraries — the paper's canonical example.
+	BreakBadLibraryPath BreakKind = iota
+	// BreakUnstartable: the installation cannot start at all.
+	BreakUnstartable
+	// BreakTinyHeap: the owner configured a heap too small for real
+	// jobs (fails only jobs that allocate).
+	BreakTinyHeap
+)
+
+// Misconfigure breaks the first k machines in the given way while
+// their owners keep asserting HasJava, and sets the self-test flag on
+// every machine according to selfTest.  It returns the modified
+// slice.
+func Misconfigure(machines []daemon.MachineConfig, k int, kind BreakKind, selfTest bool) []daemon.MachineConfig {
+	for i := range machines {
+		machines[i].SelfTest = selfTest
+	}
+	for i := 0; i < k && i < len(machines); i++ {
+		switch kind {
+		case BreakUnstartable:
+			machines[i].JVM.Broken = true
+		case BreakTinyHeap:
+			machines[i].JVM.HeapLimit = 1 << 10
+		default:
+			machines[i].JVM.BadLibraryPath = true
+		}
+	}
+	return machines
+}
+
+// Workload builders.
+
+// UniformCompute returns a builder of jobs that compute for d.
+func UniformCompute(d time.Duration) func(int) *jvm.Program {
+	return func(int) *jvm.Program { return jvm.WellBehaved(d) }
+}
+
+// MixedWorkload returns a builder resembling a real queue: mostly
+// clean compute jobs, a few with program bugs, a few memory hogs, and
+// a few that perform remote I/O.  The mix is deterministic in seed.
+func MixedWorkload(seed int64, meanCompute time.Duration) func(int) *jvm.Program {
+	rng := rand.New(rand.NewSource(seed))
+	return func(i int) *jvm.Program {
+		d := meanCompute/2 + time.Duration(rng.Int63n(int64(meanCompute)))
+		switch rng.Intn(10) {
+		case 0: // program bug: the user should see this
+			return &jvm.Program{Class: "Main", Steps: []jvm.Step{
+				jvm.Compute{Duration: d / 2},
+				jvm.Throw{Exception: "ArrayIndexOutOfBoundsException", Message: "index 12"},
+			}}
+		case 1: // allocates a lot (fails on tiny-heap machines)
+			return &jvm.Program{Class: "Main", Steps: []jvm.Step{
+				jvm.Allocate{Bytes: 32 << 20},
+				jvm.Compute{Duration: d},
+			}}
+		case 2: // remote I/O against the submit machine
+			return &jvm.Program{Class: "Main", Steps: []jvm.Step{
+				jvm.IORead{Path: "/home/user/shared.dat", Length: 1024},
+				jvm.Compute{Duration: d},
+				jvm.IOWrite{Path: fmt.Sprintf("/home/user/out%d.dat", i), Data: []byte("result")},
+			}}
+		default:
+			return jvm.WellBehaved(d)
+		}
+	}
+}
+
+// StageSharedInput writes the shared input file MixedWorkload's I/O
+// jobs read.
+func (p *Pool) StageSharedInput() {
+	_ = p.Schedd.SubmitFS.WriteFile("/home/user/shared.dat", make([]byte, 4096))
+}

@@ -1,0 +1,60 @@
+package pool
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+)
+
+// TestMatchmakerFairnessUnderContention: two schedds contend for two
+// machines with long job queues; neither may be starved while the
+// other drains.
+func TestMatchmakerFairnessUnderContention(t *testing.T) {
+	p := New(Config{
+		Seed:     9,
+		Params:   daemon.DefaultParams(),
+		Machines: UniformMachines(2, 2048),
+		Schedds:  2,
+	})
+	for si, s := range p.Schedds {
+		for i := 0; i < 10; i++ {
+			exe := fmt.Sprintf("/home/u%d/j%d.class", si, i)
+			s.SubmitFS.WriteFile(exe, []byte("b"))
+			s.Submit(&daemon.Job{
+				Owner:      fmt.Sprintf("user%d", si),
+				Ad:         daemon.NewJavaJobAd(fmt.Sprintf("user%d", si), 128),
+				Program:    jvm.WellBehaved(30 * time.Minute),
+				Executable: exe,
+			})
+		}
+	}
+	// Run only half the time the full workload needs, then compare
+	// progress: fairness means both schedds completed similar counts.
+	p.Run(5 * time.Hour)
+	done := [2]int{}
+	for si, s := range p.Schedds {
+		for _, j := range s.Jobs() {
+			if j.State == daemon.JobCompleted {
+				done[si]++
+			}
+		}
+	}
+	if done[0] == 0 || done[1] == 0 {
+		t.Fatalf("starvation: completions = %v", done)
+	}
+	diff := done[0] - done[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 2 {
+		t.Errorf("unfair progress: %v", done)
+	}
+	// And the whole workload finishes eventually.
+	p.Run(48 * time.Hour)
+	if m := p.Metrics(); m.Completed != 20 {
+		t.Errorf("metrics = %s", m)
+	}
+}

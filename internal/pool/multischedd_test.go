@@ -1,0 +1,94 @@
+package pool
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+)
+
+func TestMultiScheddPool(t *testing.T) {
+	p := New(Config{
+		Seed:     5,
+		Params:   daemon.DefaultParams(),
+		Machines: UniformMachines(6, 2048),
+		Schedds:  3,
+	})
+	if len(p.Schedds) != 3 || p.Schedd != p.Schedds[0] {
+		t.Fatalf("schedds = %d", len(p.Schedds))
+	}
+	// Each schedd submits its own jobs against the shared machines.
+	for si, s := range p.Schedds {
+		for i := 0; i < 8; i++ {
+			exe := fmt.Sprintf("/home/u%d/job%d.class", si, i)
+			s.SubmitFS.WriteFile(exe, []byte("bytes"))
+			s.Submit(&daemon.Job{
+				Owner:      fmt.Sprintf("user%d", si),
+				Ad:         daemon.NewJavaJobAd(fmt.Sprintf("user%d", si), 128),
+				Program:    jvm.WellBehaved(10 * time.Minute),
+				Executable: exe,
+			})
+		}
+	}
+	p.Run(48 * time.Hour)
+	m := p.Metrics()
+	if m.Jobs != 24 || m.Completed != 24 {
+		t.Fatalf("metrics = %s", m)
+	}
+	// Every schedd made progress — no submit point was starved.
+	for si, s := range p.Schedds {
+		done := 0
+		for _, j := range s.Jobs() {
+			if j.State == daemon.JobCompleted {
+				done++
+			}
+		}
+		if done != 8 {
+			t.Errorf("schedd %d completed %d/8", si, done)
+		}
+	}
+}
+
+func TestMultiScheddIsolatedSubmitFS(t *testing.T) {
+	// One schedd's file-system outage must not affect the other's
+	// jobs: local-resource scope is local to the submit point.
+	params := daemon.DefaultParams()
+	params.Mount = daemon.MountPolicy{Kind: daemon.MountSoft,
+		SoftTimeout: 2 * time.Minute, RetryInterval: 30 * time.Second}
+	// A 3-hour outage burns many soft-mount attempts; keep the job
+	// alive through all of them.
+	params.MaxAttempts = 500
+	p := New(Config{Seed: 6, Params: params,
+		Machines: UniformMachines(4, 2048), Schedds: 2})
+
+	for si, s := range p.Schedds {
+		exe := fmt.Sprintf("/home/u%d/main.class", si)
+		s.SubmitFS.WriteFile(exe, []byte("bytes"))
+		s.Submit(&daemon.Job{
+			Owner:      fmt.Sprintf("user%d", si),
+			Ad:         daemon.NewJavaJobAd(fmt.Sprintf("user%d", si), 128),
+			Program:    jvm.WellBehaved(10 * time.Minute),
+			Executable: exe,
+		})
+	}
+	// Schedd 0's file system is down for 3 hours.
+	p.Schedds[0].SubmitFS.SetOffline(true)
+	p.Engine.After(3*time.Hour, func() { p.Schedds[0].SubmitFS.SetOffline(false) })
+	p.Run(48 * time.Hour)
+
+	j0 := p.Schedds[0].Jobs()[0]
+	j1 := p.Schedds[1].Jobs()[0]
+	if j0.State != daemon.JobCompleted || j1.State != daemon.JobCompleted {
+		t.Fatalf("states = %v, %v", j0.State, j1.State)
+	}
+	// Schedd 1's job finished quickly; schedd 0's waited out the
+	// outage.
+	if j1.Finished.Sub(j1.Submitted) > time.Hour {
+		t.Errorf("healthy schedd's job took %v", j1.Finished.Sub(j1.Submitted))
+	}
+	if j0.Finished.Sub(j0.Submitted) < 3*time.Hour {
+		t.Errorf("outage schedd's job took only %v", j0.Finished.Sub(j0.Submitted))
+	}
+}

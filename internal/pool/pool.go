@@ -1,0 +1,246 @@
+// Package pool assembles complete Condor pools on the simulation
+// engine — matchmaker, schedd, machines — generates workloads, and
+// collects the metrics the paper's experiments report: goodput,
+// badput, requeues, and the number of incidental errors leaked to
+// users.
+package pool
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/sim"
+)
+
+// Config describes a pool to build.
+type Config struct {
+	// Seed drives all randomness; equal seeds give equal traces.
+	Seed int64
+	// Params are the kernel protocol parameters.
+	Params daemon.Params
+	// Machines are the execution machines.
+	Machines []daemon.MachineConfig
+	// Schedds is the number of submit points (default 1).  Multiple
+	// schedds share the matchmaker and compete for machines, as in a
+	// real multi-user pool.
+	Schedds int
+	// MsgLatency is the one-way bus latency (default 5ms).
+	MsgLatency time.Duration
+}
+
+// Pool is an assembled simulation.
+type Pool struct {
+	Engine     *sim.Engine
+	Bus        *sim.Bus
+	Matchmaker *daemon.Matchmaker
+	// Schedd is the first (often only) submit point.
+	Schedd *daemon.Schedd
+	// Schedds lists every submit point.
+	Schedds []*daemon.Schedd
+	Startds []*daemon.Startd
+}
+
+// New builds the pool.
+func New(cfg Config) *Pool {
+	if cfg.MsgLatency == 0 {
+		cfg.MsgLatency = 5 * time.Millisecond
+	}
+	eng := sim.New(cfg.Seed)
+	bus := sim.NewBus(eng, cfg.MsgLatency)
+	p := &Pool{
+		Engine:     eng,
+		Bus:        bus,
+		Matchmaker: daemon.NewMatchmaker(bus, cfg.Params),
+	}
+	n := cfg.Schedds
+	if n <= 0 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		name := "schedd"
+		if i > 0 {
+			name = fmt.Sprintf("schedd%d", i)
+		}
+		p.Schedds = append(p.Schedds, daemon.NewSchedd(bus, cfg.Params, name))
+	}
+	p.Schedd = p.Schedds[0]
+	for _, mc := range cfg.Machines {
+		p.Startds = append(p.Startds, daemon.NewStartd(bus, cfg.Params, mc))
+	}
+	return p
+}
+
+// AllTerminal reports whether every job at every schedd is final.
+func (p *Pool) AllTerminal() bool {
+	for _, s := range p.Schedds {
+		if !s.AllTerminal() {
+			return false
+		}
+	}
+	return true
+}
+
+// SubmitJava queues n Java jobs whose programs come from the builder,
+// staging each executable on the submit-side file system.
+func (p *Pool) SubmitJava(n int, build func(i int) *jvm.Program) []daemon.JobID {
+	ids := make([]daemon.JobID, 0, n)
+	for i := 0; i < n; i++ {
+		exe := fmt.Sprintf("/home/user/job%d.class", i)
+		if err := p.Schedd.SubmitFS.WriteFile(exe, []byte("class bytes")); err != nil {
+			// The submit file system may be offline by design in an
+			// experiment; stage nothing and let the shadow discover
+			// the condition.
+			exe = ""
+		}
+		job := &daemon.Job{
+			Owner:      "user",
+			Ad:         daemon.NewJavaJobAd("user", 128),
+			Program:    build(i),
+			Executable: exe,
+		}
+		ids = append(ids, p.Schedd.Submit(job))
+	}
+	return ids
+}
+
+// Run drives the simulation until every job is terminal or the
+// virtual time limit elapses, and returns the elapsed virtual time.
+func (p *Pool) Run(limit time.Duration) time.Duration {
+	start := p.Engine.Now()
+	deadline := start.Add(limit)
+	for p.Engine.Now() < deadline && !p.AllTerminal() {
+		step := time.Minute
+		if remaining := deadline.Sub(p.Engine.Now()); remaining < step {
+			step = remaining
+		}
+		p.Engine.RunFor(step)
+	}
+	return p.Engine.Now().Sub(start)
+}
+
+// Metrics summarizes one run.
+type Metrics struct {
+	Jobs         int
+	Completed    int
+	Unexecutable int
+	Held         int
+	Unfinished   int
+
+	// IncidentalLeaks counts completed jobs whose ground truth was
+	// an environmental error — the postmortems the paper's users
+	// were forced into (Section 2.3).
+	IncidentalLeaks int
+
+	Attempts      int
+	FetchFailures int
+	// LostContacts counts attempts whose execution site went silent
+	// (machine crash discovered by the shadow's result timeout).
+	LostContacts int
+	// Evictions counts attempts ended by a machine owner's return.
+	Evictions int
+	Requeues  int
+
+	// Goodput is CPU consumed by attempts that yielded a program
+	// result; Badput is CPU burned by attempts that did not.
+	Goodput time.Duration
+	Badput  time.Duration
+
+	// TurnaroundTotal sums queue residency of completed jobs.
+	TurnaroundTotal time.Duration
+
+	// MessagesSent/Lost report bus traffic.
+	MessagesSent uint64
+	MessagesLost uint64
+}
+
+// GoodputFraction returns Goodput/(Goodput+Badput), or 1 with no CPU
+// consumed.
+func (m Metrics) GoodputFraction() float64 {
+	total := m.Goodput + m.Badput
+	if total == 0 {
+		return 1
+	}
+	return float64(m.Goodput) / float64(total)
+}
+
+// MeanTurnaround returns the average queue residency of completed
+// jobs.
+func (m Metrics) MeanTurnaround() time.Duration {
+	if m.Completed == 0 {
+		return 0
+	}
+	return m.TurnaroundTotal / time.Duration(m.Completed)
+}
+
+// Metrics collects the summary for the current state.
+func (p *Pool) Metrics() Metrics {
+	var m Metrics
+	m.MessagesSent = p.Bus.Sent()
+	m.MessagesLost = p.Bus.Lost()
+	var jobs []*daemon.Job
+	for _, s := range p.Schedds {
+		m.Requeues += s.Requeues
+		jobs = append(jobs, s.Jobs()...)
+		for _, rep := range s.Reports {
+			if rep.IncidentalLeak {
+				m.IncidentalLeaks++
+			}
+		}
+	}
+	for _, j := range jobs {
+		m.Jobs++
+		switch j.State {
+		case daemon.JobCompleted:
+			m.Completed++
+			m.TurnaroundTotal += j.Finished.Sub(j.Submitted)
+		case daemon.JobUnexecutable:
+			m.Unexecutable++
+		case daemon.JobHeld:
+			m.Held++
+		default:
+			m.Unfinished++
+		}
+		for _, att := range j.Attempts {
+			m.Attempts++
+			if att.FetchError != nil {
+				m.FetchFailures++
+				continue
+			}
+			if att.LostContact != nil {
+				m.LostContacts++
+				continue
+			}
+			if att.Evicted {
+				// The owner's return ends the attempt; whether the
+				// occupancy was wasted depends on the universe
+				// (checkpointing preserves it), so it is reported
+				// separately rather than as badput.
+				m.Evictions++
+				continue
+			}
+			trueErr := att.True.Err()
+			if trueErr == nil || scope.ScopeOf(trueErr) == scope.ScopeProgram {
+				m.Goodput += att.CPU
+			} else {
+				// A failed attempt wastes the machine for its whole
+				// occupancy — claim, transfer, startup — not just
+				// the program CPU it burned (Section 5: "continuous
+				// waste of CPU and network capacity").
+				m.Badput += att.End.Sub(att.Start)
+			}
+		}
+	}
+	return m
+}
+
+// String renders the metrics as a one-line experiment row.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"jobs=%d done=%d unexec=%d held=%d unfinished=%d leaks=%d attempts=%d fetchfail=%d requeues=%d goodput=%s badput=%s gf=%.2f",
+		m.Jobs, m.Completed, m.Unexecutable, m.Held, m.Unfinished,
+		m.IncidentalLeaks, m.Attempts, m.FetchFailures, m.Requeues,
+		m.Goodput, m.Badput, m.GoodputFraction())
+}

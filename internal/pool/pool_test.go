@@ -1,0 +1,120 @@
+package pool
+
+import (
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+)
+
+func TestHealthyPoolCompletesEverything(t *testing.T) {
+	p := New(Config{
+		Seed:     1,
+		Params:   daemon.DefaultParams(),
+		Machines: UniformMachines(8, 2048),
+	})
+	p.StageSharedInput()
+	p.SubmitJava(32, MixedWorkload(1, 10*time.Minute))
+	p.Run(48 * time.Hour)
+	m := p.Metrics()
+	if m.Unfinished != 0 {
+		t.Fatalf("unfinished jobs: %s", m)
+	}
+	if m.Completed != 32 {
+		t.Errorf("completed = %d: %s", m.Completed, m)
+	}
+	if m.IncidentalLeaks != 0 {
+		t.Errorf("healthy pool leaked incidental errors: %s", m)
+	}
+	if m.GoodputFraction() < 0.99 {
+		t.Errorf("goodput fraction = %.2f", m.GoodputFraction())
+	}
+	if m.MeanTurnaround() <= 0 {
+		t.Error("turnaround should be positive")
+	}
+}
+
+func TestMetricsCountStates(t *testing.T) {
+	p := New(Config{
+		Seed:     2,
+		Params:   daemon.DefaultParams(),
+		Machines: UniformMachines(2, 2048),
+	})
+	// One clean job, one program bug, one corrupt image.
+	progs := []*jvm.Program{
+		jvm.WellBehaved(time.Minute),
+		jvm.NullPointer(),
+		jvm.CorruptImage(),
+	}
+	p.SubmitJava(3, func(i int) *jvm.Program { return progs[i] })
+	p.Run(12 * time.Hour)
+	m := p.Metrics()
+	if m.Completed != 2 { // clean + program bug both complete
+		t.Errorf("completed = %d: %s", m.Completed, m)
+	}
+	if m.Unexecutable != 1 {
+		t.Errorf("unexecutable = %d: %s", m.Unexecutable, m)
+	}
+	if m.IncidentalLeaks != 0 {
+		t.Errorf("leaks = %d", m.IncidentalLeaks)
+	}
+}
+
+func TestMisconfigureBuilders(t *testing.T) {
+	ms := Misconfigure(UniformMachines(10, 1024), 3, BreakBadLibraryPath, true)
+	broken := 0
+	for _, mc := range ms {
+		if !mc.SelfTest {
+			t.Error("self-test flag not applied")
+		}
+		if mc.JVM.BadLibraryPath {
+			broken++
+		}
+	}
+	if broken != 3 {
+		t.Errorf("broken = %d", broken)
+	}
+	ms2 := Misconfigure(UniformMachines(2, 1024), 5, BreakUnstartable, false)
+	if !ms2[0].JVM.Broken || !ms2[1].JVM.Broken {
+		t.Error("over-count should break all machines")
+	}
+	ms3 := Misconfigure(UniformMachines(1, 1024), 1, BreakTinyHeap, false)
+	if ms3[0].JVM.HeapLimit != 1<<10 {
+		t.Error("tiny heap not applied")
+	}
+}
+
+func TestDeterministicPoolMetrics(t *testing.T) {
+	run := func() Metrics {
+		p := New(Config{Seed: 42, Params: daemon.DefaultParams(),
+			Machines: Misconfigure(UniformMachines(6, 2048), 2, BreakBadLibraryPath, false)})
+		p.StageSharedInput()
+		p.SubmitJava(20, MixedWorkload(42, 5*time.Minute))
+		p.Run(48 * time.Hour)
+		return p.Metrics()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("metrics differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestOfflineSubmitFSStallsThenRecovers(t *testing.T) {
+	params := daemon.DefaultParams()
+	params.Mount = daemon.MountPolicy{
+		Kind: daemon.MountSoft, SoftTimeout: 2 * time.Minute, RetryInterval: 20 * time.Second,
+	}
+	p := New(Config{Seed: 3, Params: params, Machines: UniformMachines(4, 2048)})
+	p.SubmitJava(8, UniformCompute(5*time.Minute))
+	p.Schedd.SubmitFS.SetOffline(true)
+	p.Engine.After(time.Hour, func() { p.Schedd.SubmitFS.SetOffline(false) })
+	p.Run(24 * time.Hour)
+	m := p.Metrics()
+	if m.Completed != 8 {
+		t.Fatalf("completed = %d: %s", m.Completed, m)
+	}
+	if m.FetchFailures == 0 {
+		t.Error("expected fetch failures during the outage")
+	}
+}

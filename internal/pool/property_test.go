@@ -1,0 +1,59 @@
+package pool
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+)
+
+// TestPoolInvariantsProperty runs randomized pools and checks the
+// accounting invariants that must hold for any configuration:
+//
+//   - job states partition the queue,
+//   - attempts cover at least the completed jobs,
+//   - the scoped discipline never leaks incidental errors,
+//   - no bus message is lost in a crash-free pool.
+func TestPoolInvariantsProperty(t *testing.T) {
+	prop := func(seed int64, machineSeed, brokenSeed, jobSeed uint8) bool {
+		machines := 2 + int(machineSeed)%6   // 2..7
+		broken := int(brokenSeed) % machines // 0..machines-1
+		jobs := 4 + int(jobSeed)%12          // 4..15
+		params := daemon.DefaultParams()
+		params.ChronicFailureThreshold = 2
+		params.MaxAttempts = 100
+		ms := Misconfigure(UniformMachines(machines, 2048), broken,
+			BreakBadLibraryPath, false)
+		p := New(Config{Seed: seed, Params: params, Machines: ms})
+		p.StageSharedInput()
+		p.SubmitJava(jobs, MixedWorkload(seed, 5*time.Minute))
+		p.Run(7 * 24 * time.Hour)
+		m := p.Metrics()
+
+		if m.Jobs != jobs {
+			return false
+		}
+		if m.Completed+m.Unexecutable+m.Held+m.Unfinished != m.Jobs {
+			return false
+		}
+		if m.Attempts < m.Completed {
+			return false
+		}
+		if m.IncidentalLeaks != 0 { // scoped mode never leaks
+			return false
+		}
+		if m.MessagesLost != 0 { // nothing crashed
+			return false
+		}
+		// With at least one healthy machine, nothing stays
+		// unfinished in a week.
+		if broken < machines && m.Unfinished != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,69 @@
+package pool
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/errscope/grid/internal/daemon"
+)
+
+// StatusTable renders the machine view, in the spirit of
+// condor_status.
+func (p *Pool) StatusTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %-10s %-6s %-9s %-8s %s\n",
+		"MACHINE", "STATE", "JOBS", "CPU", "JAVA", "NOTES")
+	for _, sd := range p.Startds {
+		state := "unclaimed"
+		switch sd.State() {
+		case daemon.StartdClaimed:
+			state = "claimed"
+		case daemon.StartdRunning:
+			state = "running"
+		}
+		if sd.Crashed() {
+			state = "down"
+		}
+		java := "yes"
+		notes := ""
+		if sd.SelfTestFail {
+			java = "no"
+			notes = "self-test failed"
+		}
+		fmt.Fprintf(&sb, "%-10s %-10s %-6d %-9s %-8s %s\n",
+			sd.Name(), state, sd.JobsRun,
+			sd.CPUDelivered.Truncate(1e9).String(), java, notes)
+	}
+	return sb.String()
+}
+
+// QueueTable renders the job view, in the spirit of condor_q.
+func (p *Pool) QueueTable() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-4s %-10s %-10s %-13s %-8s %s\n",
+		"ID", "OWNER", "UNIVERSE", "STATE", "ATTEMPTS", "LAST")
+	for _, s := range p.Schedds {
+		for _, j := range s.Jobs() {
+			universe := j.Universe
+			if universe == "" {
+				universe = "java"
+			}
+			last := "-"
+			if att := j.LastAttempt(); att != nil {
+				switch {
+				case att.FetchError != nil:
+					last = "fetch failed"
+				case att.LostContact != nil:
+					last = "lost contact"
+				case att.Reported.Exception != "":
+					last = att.Reported.Exception
+				default:
+					last = fmt.Sprintf("exit %d on %s", att.Reported.ExitCode, att.Machine)
+				}
+			}
+			fmt.Fprintf(&sb, "%-4d %-10s %-10s %-13s %-8d %s\n",
+				j.ID, j.Owner, universe, j.State, len(j.Attempts), last)
+		}
+	}
+	return sb.String()
+}

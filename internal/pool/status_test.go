@@ -1,0 +1,35 @@
+package pool
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+)
+
+func TestStatusAndQueueTables(t *testing.T) {
+	machines := Misconfigure(UniformMachines(3, 2048), 1, BreakUnstartable, true)
+	p := New(Config{Seed: 4, Params: daemon.DefaultParams(), Machines: machines})
+	progs := []*jvm.Program{
+		jvm.WellBehaved(10 * time.Minute),
+		jvm.NullPointer(),
+	}
+	p.SubmitJava(2, func(i int) *jvm.Program { return progs[i] })
+	p.Run(12 * time.Hour)
+	p.Startds[2].Crash()
+
+	status := p.StatusTable()
+	for _, want := range []string{"MACHINE", "c000", "self-test failed", "down"} {
+		if !strings.Contains(status, want) {
+			t.Errorf("status missing %q:\n%s", want, status)
+		}
+	}
+	queue := p.QueueTable()
+	for _, want := range []string{"ID", "completed", "NullPointerException", "exit 0", "java"} {
+		if !strings.Contains(queue, want) {
+			t.Errorf("queue missing %q:\n%s", want, queue)
+		}
+	}
+}

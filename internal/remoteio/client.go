@@ -1,0 +1,265 @@
+package remoteio
+
+import (
+	"bufio"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/vfs"
+	"github.com/errscope/grid/internal/wire"
+)
+
+// Client speaks the shadow remote I/O protocol.  Transport failures
+// surface as escaping errors of network scope; the caller (the
+// starter's proxy) widens them to local-resource scope, because a
+// shadow that cannot be reached means the submit side is unavailable.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+	dead error
+}
+
+// Dial connects and authenticates with the shared key.
+func Dial(addr string, key []byte) (*Client, error) {
+	return DialTimeout(addr, key, 10*time.Second)
+}
+
+// DialTimeout is Dial with a connection timeout.
+func DialTimeout(addr string, key []byte, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+	}
+	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
+
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return nil, scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 2 || fields[0] != "challenge" {
+		conn.Close()
+		return nil, scope.Escape(scope.ScopeNetwork, CodeConnectionLost,
+			fmt.Errorf("bad challenge %q", line))
+	}
+	nonce, err := hex.DecodeString(fields[1])
+	if err != nil {
+		conn.Close()
+		return nil, scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+	}
+	mac := authenticate(key, nonce)
+	if _, _, err := c.roundTrip(fmt.Sprintf("auth %s\n", hex.EncodeToString(mac)), 0); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close ends the session.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	fmt.Fprint(c.w, "quit\n")
+	c.w.Flush()
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+func (c *Client) fail(err error) error {
+	esc := scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+	c.dead = esc
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return esc
+}
+
+func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (string, []byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return "", nil, c.dead
+	}
+	if c.conn == nil {
+		return "", nil, scope.New(scope.ScopeFunction, CodeBadRequest, "client closed")
+	}
+	if _, err := io.WriteString(c.w, request); err != nil {
+		return "", nil, c.fail(err)
+	}
+	for _, p := range payload {
+		if _, err := c.w.Write(p); err != nil {
+			return "", nil, c.fail(err)
+		}
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", nil, c.fail(err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", nil, c.fail(err)
+	}
+	fields := strings.Fields(strings.TrimRight(line, "\r\n"))
+	if len(fields) == 0 {
+		return "", nil, c.fail(fmt.Errorf("empty response"))
+	}
+	switch fields[0] {
+	case "ok":
+		value := strings.Join(fields[1:], " ")
+		var data []byte
+		if wantData > 0 {
+			n, convErr := strconv.Atoi(fields[1])
+			if convErr != nil || n < 0 || n > maxDataLen {
+				return "", nil, c.fail(fmt.Errorf("bad data length %q", line))
+			}
+			data = make([]byte, n)
+			if _, err := io.ReadFull(c.r, data); err != nil {
+				return "", nil, c.fail(err)
+			}
+		}
+		return value, data, nil
+	case "error":
+		se, decErr := wire.DecodeError(fields[1:])
+		if decErr != nil {
+			return "", nil, c.fail(decErr)
+		}
+		return "", nil, se
+	default:
+		return "", nil, c.fail(fmt.Errorf("bad response %q", line))
+	}
+}
+
+// Read reads up to length bytes of path at offset.
+func (c *Client) Read(path string, offset int64, length int) ([]byte, error) {
+	_, data, err := c.roundTrip(fmt.Sprintf("read %s %d %d\n", wire.Quote(path), offset, length), length)
+	return data, err
+}
+
+// Write writes data to path at offset.
+func (c *Client) Write(path string, offset int64, data []byte) (int, error) {
+	v, _, err := c.roundTrip(fmt.Sprintf("write %s %d %d\n", wire.Quote(path), offset, len(data)), 0, data)
+	if err != nil {
+		return 0, err
+	}
+	n, convErr := strconv.Atoi(v)
+	if convErr != nil {
+		return 0, c.fail(fmt.Errorf("bad write response %q", v))
+	}
+	return n, nil
+}
+
+// Create makes an empty file.
+func (c *Client) Create(path string) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("create %s\n", wire.Quote(path)), 0)
+	return err
+}
+
+// Truncate empties a file.
+func (c *Client) Truncate(path string) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("trunc %s\n", wire.Quote(path)), 0)
+	return err
+}
+
+// Unlink removes a file.
+func (c *Client) Unlink(path string) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("unlink %s\n", wire.Quote(path)), 0)
+	return err
+}
+
+// Rename moves a file.
+func (c *Client) Rename(oldPath, newPath string) error {
+	_, _, err := c.roundTrip(fmt.Sprintf("rename %s %s\n", wire.Quote(oldPath), wire.Quote(newPath)), 0)
+	return err
+}
+
+// List enumerates files under a prefix.
+func (c *Client) List(prefix string) ([]vfs.Info, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return nil, c.dead
+	}
+	if c.conn == nil {
+		return nil, scope.New(scope.ScopeFunction, CodeBadRequest, "client closed")
+	}
+	if _, err := fmt.Fprintf(c.w, "list %s\n", wire.Quote(prefix)); err != nil {
+		return nil, c.fail(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, c.fail(err)
+	}
+	line, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	fields := strings.Fields(strings.TrimRight(line, "\r\n"))
+	if len(fields) == 0 {
+		return nil, c.fail(fmt.Errorf("empty response"))
+	}
+	if fields[0] == "error" {
+		se, decErr := wire.DecodeError(fields[1:])
+		if decErr != nil {
+			return nil, c.fail(decErr)
+		}
+		return nil, se
+	}
+	if fields[0] != "ok" || len(fields) != 2 {
+		return nil, c.fail(fmt.Errorf("bad list response %q", line))
+	}
+	n, convErr := strconv.Atoi(fields[1])
+	if convErr != nil || n < 0 || n > 1<<20 {
+		return nil, c.fail(fmt.Errorf("bad list count %q", fields[1]))
+	}
+	out := make([]vfs.Info, 0, n)
+	for i := 0; i < n; i++ {
+		entry, err := c.r.ReadString('\n')
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		ef := strings.Fields(strings.TrimRight(entry, "\r\n"))
+		if len(ef) < 3 {
+			return nil, c.fail(fmt.Errorf("bad list entry %q", entry))
+		}
+		size, e1 := strconv.ParseInt(ef[0], 10, 64)
+		ro, e2 := strconv.Atoi(ef[1])
+		p, e3 := wire.Unquote(strings.Join(ef[2:], " "))
+		if e1 != nil || e2 != nil || e3 != nil {
+			return nil, c.fail(fmt.Errorf("bad list entry %q", entry))
+		}
+		out = append(out, vfs.Info{Path: p, Size: size, ReadOnly: ro != 0})
+	}
+	return out, nil
+}
+
+// Stat describes a file.
+func (c *Client) Stat(path string) (vfs.Info, error) {
+	v, _, err := c.roundTrip(fmt.Sprintf("stat %s\n", wire.Quote(path)), 0)
+	if err != nil {
+		return vfs.Info{}, err
+	}
+	fields := strings.Fields(v)
+	if len(fields) < 3 {
+		return vfs.Info{}, c.fail(fmt.Errorf("bad stat response %q", v))
+	}
+	size, err1 := strconv.ParseInt(fields[0], 10, 64)
+	ro, err2 := strconv.Atoi(fields[1])
+	p, err3 := wire.Unquote(strings.Join(fields[2:], " "))
+	if err1 != nil || err2 != nil || err3 != nil {
+		return vfs.Info{}, c.fail(fmt.Errorf("bad stat response %q", v))
+	}
+	return vfs.Info{Path: p, Size: size, ReadOnly: ro != 0}, nil
+}

@@ -1,0 +1,59 @@
+package remoteio
+
+import (
+	"testing"
+
+	"github.com/errscope/grid/internal/chirp"
+)
+
+func TestListRPC(t *testing.T) {
+	fs, _, addr := startShadow(t)
+	fs.WriteFile("/home/a.txt", []byte("12345"))
+	fs.WriteFile("/home/b.txt", []byte("1"))
+	fs.WriteFile("/tmp/x", []byte("1"))
+	c := shadowClient(t, addr)
+
+	infos, err := c.List("/home")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Path != "/home/a.txt" || infos[0].Size != 5 {
+		t.Errorf("infos = %+v", infos)
+	}
+	// The session survives list traffic.
+	if _, err := c.Stat("/tmp/x"); err != nil {
+		t.Errorf("after list: %v", err)
+	}
+}
+
+func TestListThroughBothHops(t *testing.T) {
+	// getdir at the job's Chirp session forwards as list over the
+	// shadow channel.
+	fs, _, shadowAddr := startShadow(t)
+	fs.WriteFile("/home/user/one", []byte("1"))
+	fs.WriteFile("/home/user/two", []byte("22"))
+	shadowChan, err := Dial(shadowAddr, testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shadowChan.Close()
+	proxy := chirp.NewServer(&ChirpBackend{Client: shadowChan}, "ck")
+	proxyAddr, err := proxy.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	job, err := chirp.Dial(proxyAddr, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer job.Close()
+
+	infos, err := job.List("/home/user")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[1].Path != "/home/user/two" || infos[1].Size != 2 {
+		t.Errorf("infos = %+v", infos)
+	}
+}

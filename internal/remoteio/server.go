@@ -1,0 +1,408 @@
+// Package remoteio implements the standard Condor remote I/O channel
+// between the starter's proxy and the shadow (Figure 2 of the paper):
+// UNIX-like file access in the form of remote procedure calls over
+// TCP.
+//
+// The paper secures this channel with GSI or Kerberos; those stacks
+// are out of scope here, so the substitution (documented in DESIGN.md)
+// is an HMAC-SHA256 challenge/response over a shared key, which
+// reproduces the error behaviour that matters to the theory: failed
+// authentication and expired credentials are errors of local-resource
+// scope (the submit side's security state is unavailable), while a
+// lost channel escapes with network scope.
+//
+// Unlike Chirp, the RPC interface is stateless: every call names the
+// path and offset explicitly, so a shadow restart invalidates no
+// client state.
+package remoteio
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/vfs"
+	"github.com/errscope/grid/internal/wire"
+)
+
+// Error codes of the remote I/O interface (Principle 4).  File-level
+// codes are shared with package vfs; these are the channel's own.
+const (
+	CodeAuthFailed         = "AuthenticationFailed"
+	CodeCredentialsExpired = "CredentialsExpiredError"
+	CodeBadRequest         = "BadRequest"
+	CodeShadowError        = "ShadowError"
+	CodeConnectionLost     = "ConnectionLost"
+)
+
+// maxDataLen bounds one RPC payload.
+const maxDataLen = 16 << 20
+
+// Contract returns the explicit error interface of the channel.
+func Contract() *scope.Contract {
+	return scope.NewContract("remoteio", scope.ScopeNetwork, CodeConnectionLost).
+		Declare(vfs.CodeFileNotFound, scope.ScopeFile).
+		Declare(vfs.CodeAccessDenied, scope.ScopeFile).
+		Declare(vfs.CodeDiskFull, scope.ScopeFile).
+		Declare(vfs.CodeEndOfFile, scope.ScopeFile).
+		Declare(vfs.CodeFileExists, scope.ScopeFile).
+		Declare(vfs.CodeBadArgument, scope.ScopeFunction).
+		Declare(CodeBadRequest, scope.ScopeFunction).
+		Declare(vfs.CodeOffline, scope.ScopeLocalResource).
+		Declare(CodeAuthFailed, scope.ScopeLocalResource).
+		Declare(CodeCredentialsExpired, scope.ScopeLocalResource).
+		Declare(CodeShadowError, scope.ScopeLocalResource)
+}
+
+// Server is the shadow's file service: it exposes the submit
+// machine's file system (a vfs.FileSystem) over authenticated RPC.
+type Server struct {
+	fs  *vfs.FileSystem
+	key []byte
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	expired  bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates a shadow file service over fs, authenticated by
+// the shared key.
+func NewServer(fs *vfs.FileSystem, key []byte) *Server {
+	return &Server{fs: fs, key: append([]byte(nil), key...), conns: make(map[net.Conn]struct{})}
+}
+
+// ExpireCredentials simulates security-credential expiry: every
+// subsequent RPC fails with CredentialsExpiredError at local-resource
+// scope until RenewCredentials is called.
+func (s *Server) ExpireCredentials() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expired = true
+}
+
+// RenewCredentials restores the channel's credentials.
+func (s *Server) RenewCredentials() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expired = false
+}
+
+func (s *Server) credentialsExpired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expired
+}
+
+// Listen starts the service and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("remoteio: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serve(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the service and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func errLine(w *bufio.Writer, err error) {
+	fmt.Fprint(w, wire.EncodeError(err, CodeShadowError, scope.ScopeLocalResource))
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	// Challenge/response authentication.
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return
+	}
+	fmt.Fprintf(w, "challenge %s\n", hex.EncodeToString(nonce))
+	if w.Flush() != nil {
+		return
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 2 || fields[0] != "auth" || !s.verify(nonce, fields[1]) {
+		errLine(w, scope.New(scope.ScopeLocalResource, CodeAuthFailed, "bad authenticator"))
+		w.Flush()
+		return
+	}
+	fmt.Fprint(w, "ok\n")
+	if w.Flush() != nil {
+		return
+	}
+
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		if !s.handle(strings.TrimSpace(line), r, w) {
+			w.Flush()
+			return
+		}
+		if w.Flush() != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) verify(nonce []byte, mac string) bool {
+	want := authenticate(s.key, nonce)
+	got, err := hex.DecodeString(mac)
+	if err != nil {
+		return false
+	}
+	return hmac.Equal(got, want)
+}
+
+// authenticate computes the HMAC response for a nonce.
+func authenticate(key, nonce []byte) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(nonce)
+	return m.Sum(nil)
+}
+
+// handle processes one RPC; it reports whether the session continues.
+func (s *Server) handle(line string, r *bufio.Reader, w *bufio.Writer) bool {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "empty request"))
+		return true
+	}
+	verb, args := fields[0], fields[1:]
+	if verb == "quit" {
+		fmt.Fprint(w, "ok\n")
+		return false
+	}
+	// Write payloads must be drained even when the RPC is refused,
+	// or the stream loses framing.
+	var payload []byte
+	if verb == "write" {
+		if len(args) != 3 {
+			errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "write wants 3 arguments"))
+			return false // framing unknown: drop the connection
+		}
+		n, err := strconv.Atoi(args[2])
+		if err != nil || n < 0 || n > maxDataLen {
+			errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "bad length %q", args[2]))
+			return false
+		}
+		payload = make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return false
+		}
+	}
+	if s.credentialsExpired() {
+		errLine(w, scope.New(scope.ScopeLocalResource, CodeCredentialsExpired,
+			"the channel's security credentials have expired"))
+		return true
+	}
+
+	switch verb {
+	case "read":
+		s.rpcRead(args, w)
+	case "write":
+		s.rpcWrite(args, payload, w)
+	case "create":
+		s.rpcPath1(args, w, s.fs.Create)
+	case "trunc":
+		s.rpcPath1(args, w, func(p string) error { return s.fs.WriteFile(p, nil) })
+	case "unlink":
+		s.rpcPath1(args, w, s.fs.Unlink)
+	case "stat":
+		s.rpcStat(args, w)
+	case "list":
+		s.rpcList(args, w)
+	case "rename":
+		s.rpcRename(args, w)
+	default:
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "unknown verb %q", verb))
+	}
+	return true
+}
+
+func (s *Server) rpcRead(args []string, w *bufio.Writer) {
+	if len(args) != 3 {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "read wants 3 arguments"))
+		return
+	}
+	path, err := wire.Unquote(args[0])
+	if err != nil {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "bad path"))
+		return
+	}
+	off, err1 := strconv.ParseInt(args[1], 10, 64)
+	length, err2 := strconv.Atoi(args[2])
+	if err1 != nil || err2 != nil || length < 0 || length > maxDataLen {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "bad read arguments"))
+		return
+	}
+	data, err := s.fs.ReadAt(path, off, length)
+	if err != nil {
+		errLine(w, err)
+		return
+	}
+	fmt.Fprintf(w, "ok %d\n", len(data))
+	w.Write(data)
+}
+
+func (s *Server) rpcWrite(args []string, payload []byte, w *bufio.Writer) {
+	path, err := wire.Unquote(args[0])
+	if err != nil {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "bad path"))
+		return
+	}
+	off, err := strconv.ParseInt(args[1], 10, 64)
+	if err != nil {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "bad offset"))
+		return
+	}
+	n, err := s.fs.WriteAt(path, off, payload)
+	if err != nil {
+		errLine(w, err)
+		return
+	}
+	fmt.Fprintf(w, "ok %d\n", n)
+}
+
+func (s *Server) rpcPath1(args []string, w *bufio.Writer, op func(string) error) {
+	if len(args) != 1 {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "wants 1 argument"))
+		return
+	}
+	path, err := wire.Unquote(args[0])
+	if err != nil {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "bad path"))
+		return
+	}
+	if err := op(path); err != nil {
+		errLine(w, err)
+		return
+	}
+	fmt.Fprint(w, "ok\n")
+}
+
+func (s *Server) rpcStat(args []string, w *bufio.Writer) {
+	if len(args) != 1 {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "stat wants 1 argument"))
+		return
+	}
+	path, err := wire.Unquote(args[0])
+	if err != nil {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "bad path"))
+		return
+	}
+	info, err := s.fs.Stat(path)
+	if err != nil {
+		errLine(w, err)
+		return
+	}
+	ro := 0
+	if info.ReadOnly {
+		ro = 1
+	}
+	fmt.Fprintf(w, "ok %d %d %s\n", info.Size, ro, wire.Quote(info.Path))
+}
+
+// rpcList enumerates files under a prefix: "ok n" then n entry lines.
+func (s *Server) rpcList(args []string, w *bufio.Writer) {
+	if len(args) != 1 {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "list wants 1 argument"))
+		return
+	}
+	prefix, err := wire.Unquote(args[0])
+	if err != nil {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "bad path"))
+		return
+	}
+	infos, err := s.fs.List(prefix)
+	if err != nil {
+		errLine(w, err)
+		return
+	}
+	fmt.Fprintf(w, "ok %d\n", len(infos))
+	for _, info := range infos {
+		ro := 0
+		if info.ReadOnly {
+			ro = 1
+		}
+		fmt.Fprintf(w, "%d %d %s\n", info.Size, ro, wire.Quote(info.Path))
+	}
+}
+
+func (s *Server) rpcRename(args []string, w *bufio.Writer) {
+	if len(args) != 2 {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "rename wants 2 arguments"))
+		return
+	}
+	oldPath, err1 := wire.Unquote(args[0])
+	newPath, err2 := wire.Unquote(args[1])
+	if err1 != nil || err2 != nil {
+		errLine(w, scope.New(scope.ScopeFunction, CodeBadRequest, "bad path"))
+		return
+	}
+	if err := s.fs.Rename(oldPath, newPath); err != nil {
+		errLine(w, err)
+		return
+	}
+	fmt.Fprint(w, "ok\n")
+}

@@ -1,0 +1,68 @@
+package scope
+
+import "fmt"
+
+// Disposition is the schedd's final decision about a job after an
+// execution attempt, derived from the scope of the attempt's error
+// (Section 4: "The last line of defense is the schedd...").
+type Disposition int
+
+const (
+	// DispositionComplete: the job ran and produced a program
+	// result — normal exit, System.exit, or a program-generated
+	// exception.  The result, error or otherwise, is returned to
+	// the user.
+	DispositionComplete Disposition = iota
+
+	// DispositionUnexecutable: the error has job scope — the job
+	// itself is invalid (corrupt image, missing input) and can never
+	// run.  It is returned to the user marked unexecutable.
+	DispositionUnexecutable
+
+	// DispositionRequeue: the error lies between program and job
+	// scope — an accidental property of the execution site or of the
+	// moment.  The schedd logs the error and attempts to execute the
+	// job at a new site.  The user never sees it as a result.
+	DispositionRequeue
+)
+
+var dispositionNames = [...]string{
+	DispositionComplete:     "complete",
+	DispositionUnexecutable: "unexecutable",
+	DispositionRequeue:      "requeue",
+}
+
+// String returns the canonical name of the disposition.
+func (d Disposition) String() string {
+	if d < 0 || int(d) >= len(dispositionNames) {
+		return fmt.Sprintf("disposition(%d)", int(d))
+	}
+	return dispositionNames[d]
+}
+
+// Dispose implements the schedd policy of Section 4: program scope is
+// complete, job scope (or wider: the job is not separable from a
+// broken pool) is unexecutable, and everything in between — virtual
+// machine, remote resource, local resource — is requeued.  Scopes
+// narrower than program (file, function, process, network) reaching
+// the schedd indicate a mechanism failure below the program; they are
+// incidental to the job and are requeued as well.
+func Dispose(s Scope) Disposition {
+	switch {
+	case s == ScopeProgram:
+		return DispositionComplete
+	case s == ScopeJob:
+		return DispositionUnexecutable
+	default:
+		return DispositionRequeue
+	}
+}
+
+// DisposeError applies Dispose to the scope of err.  A nil error is a
+// successful program result and is Complete.
+func DisposeError(err error) Disposition {
+	if err == nil {
+		return DispositionComplete
+	}
+	return Dispose(ScopeOf(err))
+}

@@ -1,0 +1,34 @@
+// Package scope implements the theory of error propagation from
+// Thain & Livny, "Error Scope on a Computational Grid: Theory and
+// Practice" (HPDC 2002).
+//
+// The central abstraction is the Scope of an error: the portion of a
+// system which the error invalidates.  A FileNotFound invalidates only
+// one file; a failed remote procedure call invalidates a whole process;
+// a misconfigured virtual machine installation invalidates a whole
+// execution machine.  Cooperating components that do not understand the
+// detail of one another's errors can still cooperate by communicating
+// an error's scope.
+//
+// The package encodes the paper's four design principles:
+//
+//  1. A program must not generate an implicit error as a result of
+//     receiving an explicit error.  (See Error.Kind and the tests in
+//     principles_test.go; the package never manufactures valid-looking
+//     results from failures.)
+//
+//  2. An escaping error must be used to convert a potential implicit
+//     error into an explicit error at a higher level.  (See Escape.)
+//
+//  3. An error must be propagated to the program that manages its
+//     scope.  (See Scope.Handler and Route.)
+//
+//  4. Error interfaces must be concise and finite.  (See Contract:
+//     a finite set of explicit error codes an interface admits; any
+//     other error presented at the interface is converted to an
+//     escaping error rather than smuggled through as explicit.)
+//
+// The package also provides the result-file encoding used by the
+// program wrapper of Section 4 of the paper to carry an error's scope
+// from inside the JVM out to the starter through an indirect channel.
+package scope

@@ -1,0 +1,191 @@
+package scope
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestErrorFormatting(t *testing.T) {
+	e := New(ScopeFile, "FileNotFound", "no such file %q", "data.in")
+	msg := e.Error()
+	for _, want := range []string{"FileNotFound", "explicit", "file scope", `"data.in"`} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() = %q, missing %q", msg, want)
+		}
+	}
+	e2 := e.WithOrigin("shadow")
+	if !strings.HasPrefix(e2.Error(), "shadow: ") {
+		t.Errorf("WithOrigin: %q", e2.Error())
+	}
+	// WithOrigin must not clobber an existing origin.
+	e3 := e2.WithOrigin("starter")
+	if e3.Origin != "shadow" {
+		t.Errorf("WithOrigin overwrote origin: %q", e3.Origin)
+	}
+}
+
+func TestErrorMessageFallsBackToCause(t *testing.T) {
+	cause := errors.New("underlying detail")
+	e := Explicit(ScopeNetwork, "ConnectionLost", cause)
+	if !strings.Contains(e.Error(), "underlying detail") {
+		t.Errorf("Error() = %q should include cause text", e.Error())
+	}
+}
+
+func TestUnwrapAndErrorsIs(t *testing.T) {
+	root := errors.New("disk exploded")
+	e := Explicit(ScopeFile, "DiskFull", root)
+	if !errors.Is(e, root) {
+		t.Error("errors.Is should find the root cause")
+	}
+	sentinel := &Error{Code: "DiskFull"}
+	if !errors.Is(e, sentinel) {
+		t.Error("errors.Is should match by code with ScopeNone sentinel")
+	}
+	scoped := &Error{Code: "DiskFull", Scope: ScopeJob}
+	if errors.Is(e, scoped) {
+		t.Error("errors.Is should not match a different scope")
+	}
+}
+
+func TestEscapeWidensOnly(t *testing.T) {
+	inner := New(ScopeRemoteResource, "MisconfiguredJVMError", "bad path")
+	esc := Escape(ScopeProcess, "WrapperEscape", inner)
+	if esc.Scope != ScopeRemoteResource {
+		t.Errorf("Escape narrowed scope to %v", esc.Scope)
+	}
+	if esc.Kind != KindEscaping {
+		t.Errorf("Escape kind = %v", esc.Kind)
+	}
+	esc2 := Escape(ScopeJob, "WrapperEscape", inner)
+	if esc2.Scope != ScopeJob {
+		t.Errorf("Escape should widen to job, got %v", esc2.Scope)
+	}
+	if !errors.Is(esc2, inner) {
+		t.Error("escaped error should wrap the original")
+	}
+}
+
+func TestEscapePreservesCodeWhenEmpty(t *testing.T) {
+	inner := New(ScopeNetwork, "ConnectionLost", "peer vanished")
+	esc := Escape(ScopeProcess, "", inner)
+	if esc.Code != "ConnectionLost" {
+		t.Errorf("Escape code = %q, want ConnectionLost", esc.Code)
+	}
+}
+
+func TestEscapePlainError(t *testing.T) {
+	esc := Escape(ScopeProcess, "RPCFailure", errors.New("boom"))
+	if esc.Scope != ScopeProcess || esc.Kind != KindEscaping {
+		t.Errorf("Escape(plain) = %+v", esc)
+	}
+}
+
+func TestWidenNeverNarrows(t *testing.T) {
+	prop := func(a, b uint8) bool {
+		s := Scope(int(a)%len(scopeNames)-1) + 1 // valid scope
+		if !s.Valid() {
+			s = ScopeFile
+		}
+		u := Scope(int(b)%len(scopeNames)-1) + 1
+		if !u.Valid() {
+			u = ScopeFile
+		}
+		e := New(s, "X", "x")
+		w := e.Widen(u, "Y")
+		return w.Scope.Contains(s) && w.Scope.Contains(e.Scope)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWidenSameOrNarrowerIsIdentity(t *testing.T) {
+	e := New(ScopeJob, "X", "x")
+	if got := e.Widen(ScopeFile, "Y"); got != e {
+		t.Error("widening to a narrower scope should return the error unchanged")
+	}
+	if got := e.Widen(ScopeJob, "Y"); got != e {
+		t.Error("widening to the same scope should return the error unchanged")
+	}
+}
+
+func TestWidenWrapsOriginal(t *testing.T) {
+	e := New(ScopeNetwork, "ConnectionLost", "tcp reset")
+	w := e.Widen(ScopeProcess, "RPCFailure")
+	if w.Code != "RPCFailure" || w.Scope != ScopeProcess {
+		t.Errorf("Widen result: %+v", w)
+	}
+	if !errors.Is(w, e) {
+		t.Error("widened error should wrap the original")
+	}
+	if w.Message != e.Message {
+		t.Error("widened error should keep the message")
+	}
+}
+
+func TestScopeOfAndKindOf(t *testing.T) {
+	if ScopeOf(nil) != ScopeNone {
+		t.Error("ScopeOf(nil)")
+	}
+	if ScopeOf(errors.New("plain")) != ScopeProcess {
+		t.Error("plain errors should default to process scope")
+	}
+	e := New(ScopeJob, "X", "x")
+	if ScopeOf(fmt.Errorf("wrapped: %w", e)) != ScopeJob {
+		t.Error("ScopeOf should see through wrapping")
+	}
+	if KindOf(errors.New("plain")) != KindExplicit {
+		t.Error("KindOf(plain)")
+	}
+	esc := Escape(ScopeProcess, "E", errors.New("x"))
+	if KindOf(esc) != KindEscaping {
+		t.Error("KindOf(escaping)")
+	}
+}
+
+func TestRoute(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Handler
+	}{
+		{New(ScopeProgram, "NullPointerException", ""), HandlerUser},
+		{New(ScopeVirtualMachine, "OutOfMemoryError", ""), HandlerStarter},
+		{New(ScopeLocalResource, "HomeFileSystemOfflineError", ""), HandlerShadow},
+		{New(ScopeJob, "CorruptProgramImageError", ""), HandlerSchedd},
+		{errors.New("anonymous failure"), HandlerCreator},
+	}
+	for _, c := range cases {
+		if got := Route(c.err); got != c.want {
+			t.Errorf("Route(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindImplicit: "implicit",
+		KindExplicit: "explicit",
+		KindEscaping: "escaping",
+		Kind(7):      "kind(7)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestParseKind(t *testing.T) {
+	for _, k := range []Kind{KindImplicit, KindExplicit, KindEscaping} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) should fail")
+	}
+}

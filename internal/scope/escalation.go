@@ -1,0 +1,110 @@
+package scope
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Escalation encodes the time dimension of error scope (Section 5 of
+// the paper): "A failure to communicate for one second may be of
+// network scope, but a failure to communicate for a year likely has
+// larger scope."  An Escalation is an ordered schedule of widenings;
+// given how long a condition has persisted, it yields the scope the
+// condition has grown into.
+//
+// The schedule is the "guidance in the form of timeouts or other
+// resource constraints from the user or administrator" the paper
+// calls for, made explicit and reusable: the shadow's mount policy,
+// the schedd's claim timeout, and the matchmaker's ad expiry are all
+// single-step instances of this idea.
+type Escalation struct {
+	base     Scope
+	baseCode string
+	steps    []EscalationStep
+}
+
+// EscalationStep widens the condition to Scope once it has persisted
+// for at least After.
+type EscalationStep struct {
+	After time.Duration
+	Scope Scope
+	Code  string
+}
+
+// NewEscalation creates a schedule whose initial interpretation is
+// the given scope and code.
+func NewEscalation(base Scope, baseCode string) *Escalation {
+	if !base.Valid() {
+		panic("scope: escalation requires a valid base scope")
+	}
+	return &Escalation{base: base, baseCode: baseCode}
+}
+
+// Step adds a widening and returns the escalation for chaining.  A
+// step that would narrow the scope relative to the base or to an
+// earlier-or-equal deadline panics: reinterpretation over time may
+// only widen (Section 3.3).
+func (e *Escalation) Step(after time.Duration, s Scope, code string) *Escalation {
+	if after <= 0 {
+		panic("scope: escalation step needs a positive duration")
+	}
+	if !s.Contains(e.base) {
+		panic(fmt.Sprintf("scope: escalation step narrows %v to %v", e.base, s))
+	}
+	for _, prev := range e.steps {
+		if after >= prev.After && !s.Contains(prev.Scope) {
+			panic(fmt.Sprintf("scope: escalation step at %v narrows %v to %v",
+				after, prev.Scope, s))
+		}
+	}
+	e.steps = append(e.steps, EscalationStep{After: after, Scope: s, Code: code})
+	sort.SliceStable(e.steps, func(i, j int) bool { return e.steps[i].After < e.steps[j].After })
+	return e
+}
+
+// ScopeAt returns the scope and code the condition carries after
+// persisting for elapsed.
+func (e *Escalation) ScopeAt(elapsed time.Duration) (Scope, string) {
+	s, code := e.base, e.baseCode
+	for _, step := range e.steps {
+		if elapsed >= step.After {
+			s, code = step.Scope, step.Code
+		}
+	}
+	return s, code
+}
+
+// At builds the scoped error for a condition that has persisted for
+// elapsed, wrapping cause.  The error is escaping: a condition whose
+// scope depends on time is by definition outside any single
+// interface's vocabulary.
+func (e *Escalation) At(elapsed time.Duration, cause error) *Error {
+	s, code := e.ScopeAt(elapsed)
+	err := Escape(s, code, cause)
+	if err.Message == "" {
+		err.Message = fmt.Sprintf("condition persisted for %v", elapsed)
+	}
+	return err
+}
+
+// Horizon returns the deadline of the last step — the point past
+// which the interpretation no longer changes.
+func (e *Escalation) Horizon() time.Duration {
+	if len(e.steps) == 0 {
+		return 0
+	}
+	return e.steps[len(e.steps)-1].After
+}
+
+// NetworkEscalation is the schedule the paper's examples suggest for
+// a refused or silent connection: network scope at first, process
+// scope after a minute (the RPC mechanism is invalid), remote-resource
+// scope after ten (the machine is gone), pool scope after a day (the
+// pool itself is suspect).
+func NetworkEscalation() *Escalation {
+	return NewEscalation(ScopeNetwork, "ConnectionLost").
+		Step(time.Minute, ScopeProcess, "RPCFailure").
+		Step(10*time.Minute, ScopeRemoteResource, "MachineUnreachable").
+		Step(24*time.Hour, ScopePool, "PoolUnreachable")
+}

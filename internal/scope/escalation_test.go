@@ -1,0 +1,117 @@
+package scope
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEscalationSchedule(t *testing.T) {
+	e := NetworkEscalation()
+	cases := []struct {
+		elapsed  time.Duration
+		wantS    Scope
+		wantCode string
+	}{
+		{0, ScopeNetwork, "ConnectionLost"},
+		{time.Second, ScopeNetwork, "ConnectionLost"},
+		{time.Minute, ScopeProcess, "RPCFailure"},
+		{5 * time.Minute, ScopeProcess, "RPCFailure"},
+		{10 * time.Minute, ScopeRemoteResource, "MachineUnreachable"},
+		{23 * time.Hour, ScopeRemoteResource, "MachineUnreachable"},
+		{24 * time.Hour, ScopePool, "PoolUnreachable"},
+		{365 * 24 * time.Hour, ScopePool, "PoolUnreachable"},
+	}
+	for _, c := range cases {
+		s, code := e.ScopeAt(c.elapsed)
+		if s != c.wantS || code != c.wantCode {
+			t.Errorf("ScopeAt(%v) = %v/%s, want %v/%s", c.elapsed, s, code, c.wantS, c.wantCode)
+		}
+	}
+	if e.Horizon() != 24*time.Hour {
+		t.Errorf("Horizon = %v", e.Horizon())
+	}
+}
+
+func TestEscalationAt(t *testing.T) {
+	cause := errors.New("connect: refused")
+	e := NetworkEscalation()
+	err := e.At(30*time.Minute, cause)
+	if err.Kind != KindEscaping {
+		t.Errorf("kind = %v", err.Kind)
+	}
+	if err.Scope != ScopeRemoteResource || err.Code != "MachineUnreachable" {
+		t.Errorf("err = %+v", err)
+	}
+	if !errors.Is(err, cause) {
+		t.Error("cause lost")
+	}
+}
+
+func TestEscalationMonotoneProperty(t *testing.T) {
+	e := NetworkEscalation()
+	prop := func(a, b uint32) bool {
+		da := time.Duration(a) * time.Millisecond
+		db := time.Duration(b) * time.Millisecond
+		if da > db {
+			da, db = db, da
+		}
+		sa, _ := e.ScopeAt(da)
+		sb, _ := e.ScopeAt(db)
+		return sb.Contains(sa)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEscalationValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("invalid base", func() { NewEscalation(ScopeNone, "x") })
+	mustPanic("zero duration", func() {
+		NewEscalation(ScopeNetwork, "x").Step(0, ScopeProcess, "y")
+	})
+	mustPanic("narrowing vs base", func() {
+		NewEscalation(ScopeProcess, "x").Step(time.Minute, ScopeNetwork, "y")
+	})
+	mustPanic("narrowing vs earlier step", func() {
+		NewEscalation(ScopeNetwork, "x").
+			Step(time.Minute, ScopeJob, "y").
+			Step(time.Hour, ScopeProcess, "z")
+	})
+}
+
+func TestEscalationStepsOutOfOrderInsert(t *testing.T) {
+	e := NewEscalation(ScopeNetwork, "a").
+		Step(time.Hour, ScopeRemoteResource, "c").
+		Step(time.Minute, ScopeProcess, "b")
+	if s, code := e.ScopeAt(2 * time.Minute); s != ScopeProcess || code != "b" {
+		t.Errorf("got %v/%s", s, code)
+	}
+	if s, _ := e.ScopeAt(2 * time.Hour); s != ScopeRemoteResource {
+		t.Errorf("got %v", s)
+	}
+}
+
+func TestEscalationNoSteps(t *testing.T) {
+	e := NewEscalation(ScopeNetwork, "x")
+	if s, code := e.ScopeAt(time.Hour); s != ScopeNetwork || code != "x" {
+		t.Errorf("got %v/%s", s, code)
+	}
+	if e.Horizon() != 0 {
+		t.Error("horizon of stepless escalation")
+	}
+	err := e.At(time.Second, nil)
+	if err.Message == "" {
+		t.Error("At should synthesize a message")
+	}
+}

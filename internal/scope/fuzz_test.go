@@ -1,0 +1,26 @@
+package scope
+
+import "testing"
+
+// FuzzDecodeResult ensures the result-file decoder never panics and
+// that accepted inputs re-encode/decode stably.
+func FuzzDecodeResult(f *testing.F) {
+	f.Add("status = exited\nexit_code = 0\n")
+	f.Add("status = escape\nexception = OutOfMemoryError\nscope = virtual-machine\nmessage = \"heap\"\n")
+	f.Add("status = no-result\n")
+	f.Add("# comment\n\nstatus = exception\nexception = E\nscope = program\nmessage = raw words\n")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, src string) {
+		r, err := DecodeResultString(src)
+		if err != nil {
+			return
+		}
+		r2, err := DecodeResultString(r.EncodeString())
+		if err != nil {
+			t.Fatalf("re-decode failed: %q -> %q: %v", src, r.EncodeString(), err)
+		}
+		if r2 != r {
+			t.Fatalf("unstable round trip: %+v vs %+v", r, r2)
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package scope
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestMergeTakesWidestScope(t *testing.T) {
+	a := New(ScopeFile, "FileNotFound", "x")
+	b := New(ScopeLocalResource, "FileSystemOffline", "y")
+	c := New(ScopeNetwork, "ConnectionLost", "z")
+	merged := Merge("CleanupFailed", a, b, c)
+	se, _ := AsError(merged)
+	if se.Scope != ScopeLocalResource {
+		t.Errorf("scope = %v", se.Scope)
+	}
+	if se.Code != "CleanupFailed" {
+		t.Errorf("code = %q", se.Code)
+	}
+	if !strings.Contains(se.Message, "and 2 more") {
+		t.Errorf("message = %q", se.Message)
+	}
+	if !errors.Is(merged, b) {
+		t.Error("widest cause must be in the chain")
+	}
+}
+
+func TestMergeSkipsNils(t *testing.T) {
+	if Merge("X") != nil || Merge("X", nil, nil) != nil {
+		t.Error("all-nil merge should be nil")
+	}
+	a := New(ScopeJob, "Bad", "x")
+	merged := Merge("", nil, a, nil)
+	se, _ := AsError(merged)
+	if se != a {
+		t.Errorf("single error should pass through, got %+v", se)
+	}
+}
+
+func TestMergeSingleWithCode(t *testing.T) {
+	a := New(ScopeJob, "Bad", "x")
+	merged := Merge("Wrapped", a)
+	se, _ := AsError(merged)
+	if se.Code != "Wrapped" || se.Scope != ScopeJob {
+		t.Errorf("got %+v", se)
+	}
+	if !errors.Is(merged, a) {
+		t.Error("cause lost")
+	}
+}
+
+func TestMergePlainErrors(t *testing.T) {
+	plain := errors.New("anon")
+	merged := Merge("Agg", plain, New(ScopeFile, "F", "f"))
+	se, _ := AsError(merged)
+	// Plain errors count as escaping process scope, wider than file.
+	if se.Scope != ScopeProcess || se.Kind != KindEscaping {
+		t.Errorf("got %+v", se)
+	}
+	if !errors.Is(merged, plain) {
+		t.Error("plain cause lost")
+	}
+}
+
+func TestMergeNeverNarrows(t *testing.T) {
+	for _, s := range Scopes() {
+		in := New(s, "X", "x")
+		out := Merge("Y", in, New(ScopeFile, "F", "f"))
+		if ScopeOf(out) < s {
+			t.Errorf("merge narrowed %v to %v", s, ScopeOf(out))
+		}
+	}
+}

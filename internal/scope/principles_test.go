@@ -1,0 +1,164 @@
+package scope
+
+import (
+	"errors"
+	"testing"
+)
+
+// These tests demonstrate the four principles of the paper as
+// executable statements, each contrasting the violation with the
+// disciplined behaviour.
+
+// Principle 1: A program must not generate an implicit error as a
+// result of receiving an explicit error.
+//
+// Modelled on the paper's virtual-memory example: a load operation has
+// no return value that can signify an error.  Returning a default
+// value would create an implicit error; the disciplined system issues
+// an escaping error instead.
+func TestPrinciple1NoImplicitFromExplicit(t *testing.T) {
+	backingStoreErr := New(ScopeFile, "BackingStoreDamaged", "bad sectors")
+
+	// Violation: convert the explicit error into a valid-looking
+	// result.  Detecting this requires external knowledge — exactly
+	// why it is forbidden.
+	violatingLoad := func() (value int, err error) {
+		if backingStoreErr != nil {
+			return 0, nil // the lie: 0 presented as valid data
+		}
+		return 7, nil
+	}
+	v, err := violatingLoad()
+	if err == nil && v == 0 {
+		// The caller cannot tell this apart from a true 0; the
+		// only way to label it is as an implicit error.
+		imp := &Error{Scope: ScopeProcess, Kind: KindImplicit, Code: "CorruptLoad"}
+		if imp.Kind != KindImplicit {
+			t.Fatal("unreachable")
+		}
+	}
+
+	// Discipline: the system escapes rather than fabricate data.
+	disciplinedLoad := func() (int, error) {
+		if backingStoreErr != nil {
+			return 0, Escape(ScopeProcess, "SegmentationFault", backingStoreErr)
+		}
+		return 7, nil
+	}
+	_, err = disciplinedLoad()
+	se, ok := AsError(err)
+	if !ok || se.Kind != KindEscaping {
+		t.Fatalf("disciplined load must escape, got %v", err)
+	}
+	if !errors.Is(err, backingStoreErr) {
+		t.Error("the escaping error must carry the explicit cause")
+	}
+}
+
+// Principle 2: An escaping error must be used to convert a potential
+// implicit error into an explicit error at a higher level.
+//
+// The escape kills the client process (here: aborts the routine), and
+// what arrives at the creator of the process is a perfectly explicit
+// error at that higher level.
+func TestPrinciple2EscapeBecomesExplicitAbove(t *testing.T) {
+	inner := Escape(ScopeProcess, "SegmentationFault", errors.New("backing store gone"))
+
+	// The process creator manages process scope; on receipt it may
+	// re-present the event as an explicit error of its own interface.
+	creatorContract := NewContract("JobMonitor.wait", ScopeRemoteResource, "ExecutionEnvironmentError").
+		Declare("ProcessDied", ScopeProcess)
+
+	// The creator understands the escape and converts it.
+	received := New(ScopeProcess, "ProcessDied", "child killed: %v", inner)
+	out := creatorContract.Apply(received)
+	se, _ := AsError(out)
+	if se.Kind != KindExplicit || se.Code != "ProcessDied" {
+		t.Fatalf("at the higher level the error must be explicit: %+v", se)
+	}
+}
+
+// Principle 3: An error must be propagated to the program that manages
+// its scope.
+func TestPrinciple3RouteToScopeManager(t *testing.T) {
+	// One error per tier of Figure 3, each must route to its manager.
+	routes := []struct {
+		err     *Error
+		handler Handler
+	}{
+		{New(ScopeProgram, "ArrayIndexOutOfBoundsException", ""), HandlerUser},
+		{New(ScopeVirtualMachine, "OutOfMemoryError", ""), HandlerStarter},
+		{New(ScopeRemoteResource, "MisconfiguredJVMError", ""), HandlerStarter},
+		{New(ScopeLocalResource, "HomeFileSystemOfflineError", ""), HandlerShadow},
+		{New(ScopeJob, "CorruptProgramImageError", ""), HandlerSchedd},
+	}
+	for _, r := range routes {
+		if got := Route(r.err); got != r.handler {
+			t.Errorf("%s must be handled by %s, routed to %s", r.err.Code, r.handler, got)
+		}
+	}
+}
+
+// Principle 3, scope expansion: a lost connection is network scope at
+// the transport layer, but in the context of RPC it becomes process
+// scope, and in the context of a cluster framework, wider still.
+func TestPrinciple3ScopeExpansion(t *testing.T) {
+	transport := New(ScopeNetwork, "ConnectionLost", "reset by peer")
+	rpc := transport.Widen(ScopeProcess, "RPCFailure")
+	cluster := rpc.Widen(ScopeRemoteResource, "NodeFailure")
+	if Route(transport) != HandlerPeer {
+		t.Error("transport layer routes to peer")
+	}
+	if Route(rpc) != HandlerCreator {
+		t.Error("rpc layer routes to process creator")
+	}
+	if Route(cluster) != HandlerStarter {
+		t.Error("cluster layer routes to starter")
+	}
+	if !errors.Is(cluster, transport) {
+		t.Error("the chain must preserve provenance")
+	}
+}
+
+// Principle 4: Error interfaces must be concise and finite.
+//
+// The generic IOException admits anything and therefore guarantees
+// nothing; the revised contract admits exactly its declared codes and
+// escapes the rest.
+func TestPrinciple4FiniteInterfaces(t *testing.T) {
+	// The "generic error" anti-pattern: a contract that pretends to
+	// admit everything by admitting each code as it shows up.  We
+	// model the caller's confusion: DiskFull and FullDisk are both
+	// plausible, so neither side can rely on the other.
+	generic := NewContract("FileWriter.write(generic IOException)", ScopeProcess, "").
+		Declare("IOException", ScopeFile)
+	vendorA := New(ScopeFile, "DiskFull", "no space")
+	vendorB := New(ScopeFile, "FullDisk", "no space")
+	outA := generic.Apply(vendorA)
+	outB := generic.Apply(vendorB)
+	seA, _ := AsError(outA)
+	seB, _ := AsError(outB)
+	// Under the generic interface both vendors' errors fail to match
+	// the single declared code, so both escape — the interface's
+	// "flexibility" bought nothing.
+	if seA.Kind != KindEscaping || seB.Kind != KindEscaping {
+		t.Fatal("generic interface gives no usable explicit errors")
+	}
+
+	// The revised, finite interface: write throws DiskFull, and both
+	// parties know it.
+	revised := NewContract("FileWriter.write", ScopeProcess, "EnvironmentError").
+		Declare("DiskFull", ScopeFile)
+	out := revised.Apply(New(ScopeFile, "DiskFull", "no space"))
+	se, _ := AsError(out)
+	if se.Kind != KindExplicit || se.Code != "DiskFull" {
+		t.Fatalf("finite interface must admit its declared code: %+v", se)
+	}
+	// And an error outside the interface — ConnectionLost during a
+	// write — escapes per Principle 2 rather than masquerading.
+	out = revised.Apply(New(ScopeNetwork, "ConnectionLost", "reset"))
+	se, _ = AsError(out)
+	if se.Kind != KindEscaping {
+		t.Fatal("out-of-interface errors must escape")
+	}
+}

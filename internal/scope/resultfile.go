@@ -1,0 +1,221 @@
+package scope
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Result is the program wrapper's report of one execution attempt,
+// carried from inside the virtual machine to the starter through an
+// indirect channel — a result file (Section 4 of the paper).  The
+// starter examines this result and ignores the JVM exit code entirely,
+// because the exit code cannot distinguish error scopes (Figure 4).
+type Result struct {
+	// Status describes how the attempt concluded.
+	Status ResultStatus
+	// ExitCode is the program's own exit code when Status is
+	// StatusExited (main completed or System.exit was called).
+	ExitCode int
+	// Exception is the name of the thrown exception or error when
+	// Status is StatusException or StatusEscape.
+	Exception string
+	// Scope is the wrapper's classification of the error, when any.
+	Scope Scope
+	// Message is a human-readable elaboration.
+	Message string
+}
+
+// ResultStatus is the coarse outcome of an execution attempt.
+type ResultStatus int
+
+const (
+	// StatusExited: the program exited by completing main or by
+	// calling System.exit.  A program result of Program scope.
+	StatusExited ResultStatus = iota
+	// StatusException: the program threw an exception that the
+	// wrapper caught and classified as a program result (Program
+	// scope) — e.g. ArrayIndexOutOfBoundsException.
+	StatusException
+	// StatusEscape: the wrapper caught an error that violates the
+	// program's reasonable expectations of its environment — an
+	// escaping error of wider-than-program scope.
+	StatusEscape
+	// StatusNoResult: no result file was produced at all.  The
+	// starter must treat the attempt as an escaping error of
+	// remote-resource scope: the execution environment could not
+	// even run the wrapper.
+	StatusNoResult
+)
+
+var resultStatusNames = [...]string{
+	StatusExited:    "exited",
+	StatusException: "exception",
+	StatusEscape:    "escape",
+	StatusNoResult:  "no-result",
+}
+
+// String returns the canonical name of the status.
+func (s ResultStatus) String() string {
+	if s < 0 || int(s) >= len(resultStatusNames) {
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+	return resultStatusNames[s]
+}
+
+// ParseResultStatus converts a canonical status name into a
+// ResultStatus.
+func ParseResultStatus(name string) (ResultStatus, error) {
+	for i, n := range resultStatusNames {
+		if n == name {
+			return ResultStatus(i), nil
+		}
+	}
+	return StatusNoResult, fmt.Errorf("scope: unknown result status %q", name)
+}
+
+// Err converts the result into the scoped error it represents, or nil
+// for a successful exit.  A nonzero exit code is still a *program*
+// result: it is an explicit error of Program scope, because the user
+// wants to see it.
+func (r *Result) Err() error {
+	switch r.Status {
+	case StatusExited:
+		if r.ExitCode == 0 {
+			return nil
+		}
+		return New(ScopeProgram, "NonZeroExit", "program exited with code %d", r.ExitCode)
+	case StatusException:
+		e := New(ScopeProgram, r.Exception, "%s", r.Message)
+		return e
+	case StatusEscape:
+		e := New(r.Scope, r.Exception, "%s", r.Message)
+		e.Kind = KindEscaping
+		return e
+	default:
+		e := New(ScopeRemoteResource, "NoResultFile", "the execution environment produced no result file")
+		e.Kind = KindEscaping
+		return e
+	}
+}
+
+// ResultFromError builds the Result the wrapper writes for an error it
+// caught (or nil error for success with the given exit code).
+func ResultFromError(exitCode int, err error) Result {
+	if err == nil {
+		return Result{Status: StatusExited, ExitCode: exitCode}
+	}
+	se, ok := AsError(err)
+	if !ok {
+		return Result{
+			Status:    StatusEscape,
+			Exception: "UnknownError",
+			Scope:     ScopeProcess,
+			Message:   err.Error(),
+		}
+	}
+	if se.Scope == ScopeProgram {
+		if se.Code == "NonZeroExit" {
+			return Result{Status: StatusExited, ExitCode: exitCode}
+		}
+		return Result{Status: StatusException, Exception: se.Code, Scope: ScopeProgram, Message: se.Message}
+	}
+	return Result{Status: StatusEscape, Exception: se.Code, Scope: se.Scope, Message: se.Message}
+}
+
+// The result file is a line-oriented key = value document, in the
+// spirit of the ClassAd-adjacent formats Condor uses for its
+// persistent state.  It is deliberately trivial to parse so that even
+// a crippled environment can produce one.
+
+// Encode writes the result file representation of r to w.
+func (r *Result) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "status = %s\n", r.Status)
+	fmt.Fprintf(bw, "exit_code = %d\n", r.ExitCode)
+	if r.Exception != "" {
+		fmt.Fprintf(bw, "exception = %s\n", r.Exception)
+	}
+	if r.Scope != ScopeNone {
+		fmt.Fprintf(bw, "scope = %s\n", r.Scope)
+	}
+	if r.Message != "" {
+		fmt.Fprintf(bw, "message = %s\n", strconv.Quote(r.Message))
+	}
+	return bw.Flush()
+}
+
+// EncodeString returns the result file contents as a string.
+func (r *Result) EncodeString() string {
+	var sb strings.Builder
+	_ = r.Encode(&sb)
+	return sb.String()
+}
+
+// DecodeResult parses a result file.  Unknown keys are ignored for
+// forward compatibility; missing keys take zero values.  A file that
+// cannot be parsed at all yields an error — the starter then treats
+// the attempt as StatusNoResult.
+func DecodeResult(rd io.Reader) (Result, error) {
+	var r Result
+	sc := bufio.NewScanner(rd)
+	line := 0
+	seenStatus := false
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		key, value, ok := strings.Cut(text, "=")
+		if !ok {
+			return r, fmt.Errorf("scope: result file line %d: no '=' in %q", line, text)
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		switch key {
+		case "status":
+			st, err := ParseResultStatus(value)
+			if err != nil {
+				return r, fmt.Errorf("scope: result file line %d: %w", line, err)
+			}
+			r.Status = st
+			seenStatus = true
+		case "exit_code":
+			n, err := strconv.Atoi(value)
+			if err != nil {
+				return r, fmt.Errorf("scope: result file line %d: bad exit_code %q", line, value)
+			}
+			r.ExitCode = n
+		case "exception":
+			r.Exception = value
+		case "scope":
+			s, err := ParseScope(value)
+			if err != nil {
+				return r, fmt.Errorf("scope: result file line %d: %w", line, err)
+			}
+			r.Scope = s
+		case "message":
+			msg, err := strconv.Unquote(value)
+			if err != nil {
+				// Accept unquoted messages written by hand.
+				msg = value
+			}
+			r.Message = msg
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return r, fmt.Errorf("scope: reading result file: %w", err)
+	}
+	if !seenStatus {
+		return r, fmt.Errorf("scope: result file missing status")
+	}
+	return r, nil
+}
+
+// DecodeResultString parses a result file held in a string.
+func DecodeResultString(s string) (Result, error) {
+	return DecodeResult(strings.NewReader(s))
+}

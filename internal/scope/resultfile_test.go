@@ -1,0 +1,171 @@
+package scope
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestResultRoundTrip(t *testing.T) {
+	cases := []Result{
+		{Status: StatusExited, ExitCode: 0},
+		{Status: StatusExited, ExitCode: 42},
+		{Status: StatusException, Exception: "NullPointerException", Scope: ScopeProgram, Message: "at Main.java:17"},
+		{Status: StatusEscape, Exception: "OutOfMemoryError", Scope: ScopeVirtualMachine, Message: "heap 64MB < request 128MB"},
+		{Status: StatusEscape, Exception: "MisconfiguredJVMError", Scope: ScopeRemoteResource, Message: `bad path "C:\jvm"` + "\nwith newline"},
+		{Status: StatusNoResult},
+	}
+	for _, r := range cases {
+		enc := r.EncodeString()
+		got, err := DecodeResultString(enc)
+		if err != nil {
+			t.Fatalf("decode %q: %v", enc, err)
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Errorf("round trip:\n in: %+v\nenc: %q\nout: %+v", r, enc, got)
+		}
+	}
+}
+
+func TestResultRoundTripProperty(t *testing.T) {
+	statuses := []ResultStatus{StatusExited, StatusException, StatusEscape, StatusNoResult}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		r := Result{
+			Status:   statuses[rng.Intn(len(statuses))],
+			ExitCode: rng.Intn(256),
+		}
+		if rng.Intn(2) == 0 {
+			r.Exception = "E" + strings.Repeat("x", rng.Intn(5))
+			r.Scope = Scopes()[rng.Intn(len(Scopes()))]
+			// Random printable-ish message including tricky chars.
+			chars := []rune("abc \t\n\"=#\\日本")
+			var sb strings.Builder
+			for i := 0; i < rng.Intn(20); i++ {
+				sb.WriteRune(chars[rng.Intn(len(chars))])
+			}
+			r.Message = sb.String()
+		}
+		got, err := DecodeResultString(r.EncodeString())
+		return err == nil && reflect.DeepEqual(got, r)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeTolerance(t *testing.T) {
+	in := "# a comment\n\nstatus = exited\nexit_code = 3\nfuture_key = whatever\n"
+	r, err := DecodeResultString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusExited || r.ExitCode != 3 {
+		t.Errorf("got %+v", r)
+	}
+}
+
+func TestDecodeUnquotedMessage(t *testing.T) {
+	r, err := DecodeResultString("status = escape\nexception = X\nscope = job\nmessage = plain words\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Message != "plain words" {
+		t.Errorf("message = %q", r.Message)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",                               // missing status
+		"exit_code = 1\n",                // missing status
+		"status = bogus\n",               // bad status
+		"status exited\n",                // no '='
+		"status = exited\nexit_code=x\n", // bad exit code
+		"status = exited\nscope = mars\n",
+	}
+	for _, in := range cases {
+		if _, err := DecodeResultString(in); err == nil {
+			t.Errorf("DecodeResultString(%q) should fail", in)
+		}
+	}
+}
+
+func TestResultErr(t *testing.T) {
+	if err := (&Result{Status: StatusExited}).Err(); err != nil {
+		t.Errorf("clean exit: %v", err)
+	}
+
+	err := (&Result{Status: StatusExited, ExitCode: 5}).Err()
+	se, _ := AsError(err)
+	if se.Scope != ScopeProgram || se.Code != "NonZeroExit" {
+		t.Errorf("nonzero exit: %+v", se)
+	}
+
+	err = (&Result{Status: StatusException, Exception: "NullPointerException"}).Err()
+	se, _ = AsError(err)
+	if se.Scope != ScopeProgram || se.Kind != KindExplicit {
+		t.Errorf("exception: %+v", se)
+	}
+
+	err = (&Result{Status: StatusEscape, Exception: "OutOfMemoryError", Scope: ScopeVirtualMachine}).Err()
+	se, _ = AsError(err)
+	if se.Scope != ScopeVirtualMachine || se.Kind != KindEscaping {
+		t.Errorf("escape: %+v", se)
+	}
+
+	err = (&Result{Status: StatusNoResult}).Err()
+	se, _ = AsError(err)
+	if se.Scope != ScopeRemoteResource || se.Kind != KindEscaping {
+		t.Errorf("no result: %+v", se)
+	}
+}
+
+func TestResultFromError(t *testing.T) {
+	r := ResultFromError(0, nil)
+	if r.Status != StatusExited || r.ExitCode != 0 {
+		t.Errorf("nil: %+v", r)
+	}
+
+	r = ResultFromError(0, New(ScopeProgram, "ArithmeticException", "/ by zero"))
+	if r.Status != StatusException || r.Exception != "ArithmeticException" {
+		t.Errorf("program exception: %+v", r)
+	}
+
+	r = ResultFromError(0, New(ScopeVirtualMachine, "OutOfMemoryError", "heap"))
+	if r.Status != StatusEscape || r.Scope != ScopeVirtualMachine {
+		t.Errorf("vm error: %+v", r)
+	}
+
+	r = ResultFromError(0, errors.New("mystery"))
+	if r.Status != StatusEscape || r.Scope != ScopeProcess || r.Exception != "UnknownError" {
+		t.Errorf("plain error: %+v", r)
+	}
+}
+
+func TestResultErrResultFromErrorInverse(t *testing.T) {
+	// For wrapper-produced results, Err and ResultFromError are
+	// mutual inverses on the (status, exception, scope) triple.
+	for _, r := range []Result{
+		{Status: StatusExited, ExitCode: 0},
+		{Status: StatusException, Exception: "NullPointerException", Scope: ScopeProgram, Message: "m"},
+		{Status: StatusEscape, Exception: "OutOfMemoryError", Scope: ScopeVirtualMachine, Message: "m"},
+	} {
+		back := ResultFromError(r.ExitCode, r.Err())
+		if back.Status != r.Status || back.Exception != r.Exception {
+			t.Errorf("inverse failed: %+v -> %+v", r, back)
+		}
+	}
+}
+
+func TestResultStatusString(t *testing.T) {
+	if got := ResultStatus(42).String(); got != "status(42)" {
+		t.Errorf("got %q", got)
+	}
+	if _, err := ParseResultStatus("nope"); err == nil {
+		t.Error("ParseResultStatus(nope) should fail")
+	}
+}

@@ -1,0 +1,181 @@
+package scope
+
+import "fmt"
+
+// Scope identifies the portion of a grid system that an error
+// invalidates.  Scopes are ordered by containment: a larger value
+// invalidates a strictly larger portion of the system.  The ordering
+// follows Figure 3 of the paper, from the innermost (a single file or
+// function) out to the entire pool.
+//
+// The schedd's last-line-of-defense policy (Section 4) is defined in
+// terms of this order: an error of Program scope means the job is
+// complete; an error of Job scope means the job is unexecutable;
+// anything in between causes the job to be logged and tried again at
+// a new site.
+type Scope int
+
+const (
+	// ScopeNone is the zero Scope and indicates the absence of an
+	// error classification.  It is not a valid scope for an Error.
+	ScopeNone Scope = iota
+
+	// ScopeFile invalidates a single named file: FileNotFound,
+	// AccessDenied, EndOfFile.  Handled by the caller that named
+	// the file.
+	ScopeFile
+
+	// ScopeFunction invalidates a single function invocation.
+	// Handled by the calling function.
+	ScopeFunction
+
+	// ScopeNetwork invalidates a communication channel between two
+	// processes: a lost or refused connection.  Its ultimate
+	// significance is often indeterminate until time passes
+	// (Section 5); layers above widen it as warranted — in the
+	// context of RPC it expands to process scope.
+	ScopeNetwork
+
+	// ScopeProcess invalidates the mechanism of function call within
+	// one process, e.g. a failed remote procedure call.  Handled by
+	// the creator of the process.
+	ScopeProcess
+
+	// ScopeProgram is the scope of a genuine program result: normal
+	// completion, System.exit, or a program-generated exception such
+	// as ArrayIndexOutOfBounds.  The user wants to see these.
+	// Handled by the user; the schedd declares the job complete.
+	ScopeProgram
+
+	// ScopeVirtualMachine invalidates the current virtual machine
+	// instance: out of memory, internal VM error.  The job cannot
+	// run in the current conditions.  Handled by the JVM's creator,
+	// the starter.
+	ScopeVirtualMachine
+
+	// ScopeRemoteResource invalidates the execution machine: a
+	// misconfigured Java installation, a broken scratch disk.  The
+	// job cannot run on the given host.  Handled by the starter,
+	// which informs the shadow.
+	ScopeRemoteResource
+
+	// ScopeLocalResource invalidates a submit-side resource: the
+	// home file system is offline.  The job cannot run right now.
+	// Handled by the shadow, which informs the schedd.
+	ScopeLocalResource
+
+	// ScopeJob invalidates the job itself: a corrupted program
+	// image, a missing input file.  The job can never run.  Handled
+	// by the schedd, which informs the user the job is unexecutable.
+	ScopeJob
+
+	// ScopePool invalidates the entire pool: the matchmaker is
+	// unreachable, the pool is misconfigured.  Handled by the pool
+	// administrator.
+	ScopePool
+)
+
+var scopeNames = [...]string{
+	ScopeNone:           "none",
+	ScopeFile:           "file",
+	ScopeFunction:       "function",
+	ScopeNetwork:        "network",
+	ScopeProcess:        "process",
+	ScopeProgram:        "program",
+	ScopeVirtualMachine: "virtual-machine",
+	ScopeRemoteResource: "remote-resource",
+	ScopeLocalResource:  "local-resource",
+	ScopeJob:            "job",
+	ScopePool:           "pool",
+}
+
+// String returns the canonical lower-case name of the scope.
+func (s Scope) String() string {
+	if s < 0 || int(s) >= len(scopeNames) {
+		return fmt.Sprintf("scope(%d)", int(s))
+	}
+	return scopeNames[s]
+}
+
+// Valid reports whether s is one of the defined scopes (not ScopeNone).
+func (s Scope) Valid() bool {
+	return s > ScopeNone && int(s) < len(scopeNames)
+}
+
+// Contains reports whether an error of scope s invalidates everything
+// an error of scope t invalidates; that is, s is at least as wide as t.
+func (s Scope) Contains(t Scope) bool { return s >= t }
+
+// Widen returns the wider of s and t.  Widening is the only legal
+// direction of reinterpretation as an error travels up through layers
+// of software (Section 3.3: an error "may gain significance, or expand
+// its scope, as it travels up").
+func (s Scope) Widen(t Scope) Scope {
+	if t > s {
+		return t
+	}
+	return s
+}
+
+// ParseScope converts a canonical scope name (as produced by String)
+// back into a Scope.  It is used when decoding result files.
+func ParseScope(name string) (Scope, error) {
+	for i, n := range scopeNames {
+		if n == name && Scope(i) != ScopeNone {
+			return Scope(i), nil
+		}
+	}
+	return ScopeNone, fmt.Errorf("scope: unknown scope name %q", name)
+}
+
+// Handler names the program responsible for managing errors of a given
+// scope in the Condor Java Universe (Figure 3 of the paper).
+type Handler string
+
+// The handling programs of the Java Universe.
+const (
+	HandlerCaller     Handler = "caller"     // file/function scope
+	HandlerCreator    Handler = "creator"    // process scope
+	HandlerPeer       Handler = "peer"       // network scope
+	HandlerUser       Handler = "user"       // program scope: the result is for the user
+	HandlerStarter    Handler = "starter"    // virtual-machine and remote-resource scope
+	HandlerShadow     Handler = "shadow"     // local-resource scope
+	HandlerSchedd     Handler = "schedd"     // job scope
+	HandlerMatchmaker Handler = "matchmaker" // pool scope
+)
+
+// Handler returns the program that manages errors of scope s,
+// per Principle 3: an error must be propagated to the program that
+// manages its scope.
+func (s Scope) Handler() Handler {
+	switch s {
+	case ScopeFile, ScopeFunction:
+		return HandlerCaller
+	case ScopeProcess:
+		return HandlerCreator
+	case ScopeNetwork:
+		return HandlerPeer
+	case ScopeProgram:
+		return HandlerUser
+	case ScopeVirtualMachine, ScopeRemoteResource:
+		return HandlerStarter
+	case ScopeLocalResource:
+		return HandlerShadow
+	case ScopeJob:
+		return HandlerSchedd
+	case ScopePool:
+		return HandlerMatchmaker
+	default:
+		return HandlerCaller
+	}
+}
+
+// Scopes returns every valid scope in containment order, innermost
+// first.  Useful for exhaustive tests and experiment sweeps.
+func Scopes() []Scope {
+	out := make([]Scope, 0, len(scopeNames)-1)
+	for i := int(ScopeNone) + 1; i < len(scopeNames); i++ {
+		out = append(out, Scope(i))
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package scope
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScopeStringRoundTrip(t *testing.T) {
+	for _, s := range Scopes() {
+		got, err := ParseScope(s.String())
+		if err != nil {
+			t.Fatalf("ParseScope(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %q -> %v", s, s.String(), got)
+		}
+	}
+}
+
+func TestParseScopeRejectsUnknown(t *testing.T) {
+	for _, bad := range []string{"", "none", "galaxy", "PROGRAM", "job "} {
+		if _, err := ParseScope(bad); err == nil {
+			t.Errorf("ParseScope(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestScopeOrdering(t *testing.T) {
+	// The containment chain of Figure 3, innermost to outermost.
+	chain := []Scope{
+		ScopeFile, ScopeFunction, ScopeNetwork, ScopeProcess,
+		ScopeProgram, ScopeVirtualMachine, ScopeRemoteResource,
+		ScopeLocalResource, ScopeJob, ScopePool,
+	}
+	for i := 1; i < len(chain); i++ {
+		if !chain[i].Contains(chain[i-1]) {
+			t.Errorf("%v should contain %v", chain[i], chain[i-1])
+		}
+		if chain[i-1].Contains(chain[i]) {
+			t.Errorf("%v should not contain %v", chain[i-1], chain[i])
+		}
+	}
+}
+
+func TestScopeWidenIsMax(t *testing.T) {
+	prop := func(a, b uint8) bool {
+		s := Scope(int(a) % len(scopeNames))
+		u := Scope(int(b) % len(scopeNames))
+		w := s.Widen(u)
+		return w.Contains(s) && w.Contains(u) && (w == s || w == u)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScopeValid(t *testing.T) {
+	if ScopeNone.Valid() {
+		t.Error("ScopeNone should not be valid")
+	}
+	for _, s := range Scopes() {
+		if !s.Valid() {
+			t.Errorf("%v should be valid", s)
+		}
+	}
+	if Scope(99).Valid() {
+		t.Error("Scope(99) should not be valid")
+	}
+	if got := Scope(99).String(); got != "scope(99)" {
+		t.Errorf("Scope(99).String() = %q", got)
+	}
+}
+
+func TestHandlers(t *testing.T) {
+	// Figure 3: scope -> handling program.
+	want := map[Scope]Handler{
+		ScopeFile:           HandlerCaller,
+		ScopeFunction:       HandlerCaller,
+		ScopeProcess:        HandlerCreator,
+		ScopeNetwork:        HandlerPeer,
+		ScopeProgram:        HandlerUser,
+		ScopeVirtualMachine: HandlerStarter,
+		ScopeRemoteResource: HandlerStarter,
+		ScopeLocalResource:  HandlerShadow,
+		ScopeJob:            HandlerSchedd,
+		ScopePool:           HandlerMatchmaker,
+	}
+	for s, h := range want {
+		if got := s.Handler(); got != h {
+			t.Errorf("%v.Handler() = %v, want %v", s, got, h)
+		}
+	}
+}
+
+func TestScopesEnumerationCoversAllNames(t *testing.T) {
+	if got, want := len(Scopes()), len(scopeNames)-1; got != want {
+		t.Errorf("len(Scopes()) = %d, want %d", got, want)
+	}
+}
+
+func TestDispose(t *testing.T) {
+	cases := []struct {
+		s    Scope
+		want Disposition
+	}{
+		{ScopeProgram, DispositionComplete},
+		{ScopeJob, DispositionUnexecutable},
+		{ScopeVirtualMachine, DispositionRequeue},
+		{ScopeRemoteResource, DispositionRequeue},
+		{ScopeLocalResource, DispositionRequeue},
+		{ScopeNetwork, DispositionRequeue},
+		{ScopeProcess, DispositionRequeue},
+		{ScopeFile, DispositionRequeue},
+		{ScopePool, DispositionRequeue},
+	}
+	for _, c := range cases {
+		if got := Dispose(c.s); got != c.want {
+			t.Errorf("Dispose(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestDisposeError(t *testing.T) {
+	if got := DisposeError(nil); got != DispositionComplete {
+		t.Errorf("DisposeError(nil) = %v", got)
+	}
+	err := New(ScopeJob, "CorruptProgramImageError", "bad magic")
+	if got := DisposeError(err); got != DispositionUnexecutable {
+		t.Errorf("DisposeError(job) = %v", got)
+	}
+}
+
+func TestDispositionString(t *testing.T) {
+	for d, want := range map[Disposition]string{
+		DispositionComplete:     "complete",
+		DispositionUnexecutable: "unexecutable",
+		DispositionRequeue:      "requeue",
+		Disposition(9):          "disposition(9)",
+	} {
+		if got := d.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(d), got, want)
+		}
+	}
+}

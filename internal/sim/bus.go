@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Message is one unit of communication between actors on the Bus.
+type Message struct {
+	From string
+	To   string
+	Kind string
+	Body any
+}
+
+// String renders the message for traces.
+func (m Message) String() string {
+	return fmt.Sprintf("%s->%s %s", m.From, m.To, m.Kind)
+}
+
+// Actor receives messages delivered by the bus.
+type Actor interface {
+	Receive(m Message)
+}
+
+// ActorFunc adapts a function to the Actor interface.
+type ActorFunc func(m Message)
+
+// Receive calls f(m).
+func (f ActorFunc) Receive(m Message) { f(m) }
+
+// LatencyFunc models one-way delivery latency between two actors.
+type LatencyFunc func(from, to string) time.Duration
+
+// DropFunc decides whether a message is silently lost in transit.
+// Losing a message models a network fault; the sender learns nothing,
+// exactly as on a real network — detection is the business of
+// higher-layer timeouts (Section 5: the scope of a communication
+// failure is indeterminate until time passes).
+type DropFunc func(m Message) bool
+
+// Bus delivers messages between named actors through the engine's
+// event queue, applying the latency and loss models.
+type Bus struct {
+	eng     *Engine
+	actors  map[string]Actor
+	latency LatencyFunc
+	drop    DropFunc
+	// Trace, if non-nil, observes every message at send time along
+	// with its fate.
+	Trace func(m Message, delivered bool)
+	sent  uint64
+	lost  uint64
+}
+
+// NewBus creates a bus on the engine with constant latency.
+func NewBus(eng *Engine, latency time.Duration) *Bus {
+	return &Bus{
+		eng:     eng,
+		actors:  make(map[string]Actor),
+		latency: func(_, _ string) time.Duration { return latency },
+	}
+}
+
+// SetLatencyFunc replaces the latency model.
+func (b *Bus) SetLatencyFunc(f LatencyFunc) { b.latency = f }
+
+// SetDropFunc installs a loss model; nil restores lossless delivery.
+func (b *Bus) SetDropFunc(f DropFunc) { b.drop = f }
+
+// Register attaches an actor under a unique name.  Registering a
+// duplicate name panics — silent replacement of a live daemon would
+// make traces lie.
+func (b *Bus) Register(name string, a Actor) {
+	if _, ok := b.actors[name]; ok {
+		panic(fmt.Sprintf("sim: duplicate actor %q", name))
+	}
+	b.actors[name] = a
+}
+
+// Unregister detaches the named actor; in-flight messages to it are
+// dropped at delivery time, like packets to a dead host.
+func (b *Bus) Unregister(name string) { delete(b.actors, name) }
+
+// Lookup returns the registered actor, if any.
+func (b *Bus) Lookup(name string) (Actor, bool) {
+	a, ok := b.actors[name]
+	return a, ok
+}
+
+// Sent and Lost report message counters for metrics.
+func (b *Bus) Sent() uint64 { return b.sent }
+
+// Lost reports the number of messages the loss model discarded or
+// that addressed a dead actor.
+func (b *Bus) Lost() uint64 { return b.lost }
+
+// Send queues a message for delivery.  Delivery occurs after the
+// modeled latency; a dropped message or an unknown destination is
+// counted as lost and the sender is not informed.
+func (b *Bus) Send(from, to, kind string, body any) {
+	m := Message{From: from, To: to, Kind: kind, Body: body}
+	b.sent++
+	if b.drop != nil && b.drop(m) {
+		b.lost++
+		if b.Trace != nil {
+			b.Trace(m, false)
+		}
+		return
+	}
+	d := b.latency(from, to)
+	b.eng.After(d, func() {
+		a, ok := b.actors[to]
+		if !ok {
+			b.lost++
+			if b.Trace != nil {
+				b.Trace(m, false)
+			}
+			return
+		}
+		if b.Trace != nil {
+			b.Trace(m, true)
+		}
+		a.Receive(m)
+	})
+}
+
+// Engine returns the engine the bus schedules on.
+func (b *Bus) Engine() *Engine { return b.eng }
+
+// The following delegates make *Bus satisfy the daemon package's
+// Runtime interface, so the same daemon code can run on this
+// simulated bus or on a live, wall-clock runtime.
+
+// Now returns the current virtual time.
+func (b *Bus) Now() Time { return b.eng.Now() }
+
+// After schedules fn after d and returns a cancel function.
+func (b *Bus) After(d time.Duration, fn func()) (cancel func()) {
+	t := b.eng.After(d, fn)
+	return func() { t.Cancel() }
+}
+
+// Every schedules fn at the period and returns a stop function.
+func (b *Bus) Every(period time.Duration, fn func()) (stop func()) {
+	return b.eng.Every(period, fn)
+}

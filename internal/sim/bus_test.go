@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBusDelivery(t *testing.T) {
+	e := New(1)
+	b := NewBus(e, 10*time.Millisecond)
+	var got []Message
+	var at []Time
+	b.Register("b", ActorFunc(func(m Message) {
+		got = append(got, m)
+		at = append(at, e.Now())
+	}))
+	b.Send("a", "b", "ping", 42)
+	e.Run()
+	if len(got) != 1 || got[0].Kind != "ping" || got[0].Body.(int) != 42 {
+		t.Fatalf("got %v", got)
+	}
+	if at[0] != Time(10*time.Millisecond) {
+		t.Errorf("delivered at %v", at[0])
+	}
+	if b.Sent() != 1 || b.Lost() != 0 {
+		t.Errorf("sent=%d lost=%d", b.Sent(), b.Lost())
+	}
+}
+
+func TestBusUnknownDestinationIsLost(t *testing.T) {
+	e := New(1)
+	b := NewBus(e, time.Millisecond)
+	b.Send("a", "ghost", "ping", nil)
+	e.Run()
+	if b.Lost() != 1 {
+		t.Errorf("lost = %d", b.Lost())
+	}
+}
+
+func TestBusUnregisterDropsInFlight(t *testing.T) {
+	e := New(1)
+	b := NewBus(e, time.Second)
+	delivered := false
+	b.Register("b", ActorFunc(func(Message) { delivered = true }))
+	b.Send("a", "b", "ping", nil)
+	b.Unregister("b")
+	e.Run()
+	if delivered {
+		t.Error("message delivered to unregistered actor")
+	}
+	if b.Lost() != 1 {
+		t.Errorf("lost = %d", b.Lost())
+	}
+}
+
+func TestBusDropModel(t *testing.T) {
+	e := New(1)
+	b := NewBus(e, time.Millisecond)
+	count := 0
+	b.Register("b", ActorFunc(func(Message) { count++ }))
+	b.SetDropFunc(func(m Message) bool { return m.Kind == "lossy" })
+	b.Send("a", "b", "lossy", nil)
+	b.Send("a", "b", "solid", nil)
+	e.Run()
+	if count != 1 {
+		t.Errorf("count = %d", count)
+	}
+	if b.Lost() != 1 || b.Sent() != 2 {
+		t.Errorf("sent=%d lost=%d", b.Sent(), b.Lost())
+	}
+	b.SetDropFunc(nil)
+	b.Send("a", "b", "lossy", nil)
+	e.Run()
+	if count != 2 {
+		t.Errorf("count after reset = %d", count)
+	}
+}
+
+func TestBusLatencyFunc(t *testing.T) {
+	e := New(1)
+	b := NewBus(e, 0)
+	b.SetLatencyFunc(func(from, to string) time.Duration {
+		if from == "far" {
+			return time.Second
+		}
+		return time.Millisecond
+	})
+	var at []Time
+	b.Register("b", ActorFunc(func(Message) { at = append(at, e.Now()) }))
+	b.Send("near", "b", "x", nil)
+	b.Send("far", "b", "x", nil)
+	e.Run()
+	if len(at) != 2 || at[0] != Time(time.Millisecond) || at[1] != Time(time.Second) {
+		t.Errorf("at = %v", at)
+	}
+}
+
+func TestBusDuplicateRegisterPanics(t *testing.T) {
+	e := New(1)
+	b := NewBus(e, 0)
+	b.Register("x", ActorFunc(func(Message) {}))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate register should panic")
+		}
+	}()
+	b.Register("x", ActorFunc(func(Message) {}))
+}
+
+func TestBusTrace(t *testing.T) {
+	e := New(1)
+	b := NewBus(e, 0)
+	b.Register("b", ActorFunc(func(Message) {}))
+	var traced []bool
+	b.Trace = func(m Message, delivered bool) { traced = append(traced, delivered) }
+	b.SetDropFunc(func(m Message) bool { return m.Kind == "drop" })
+	b.Send("a", "b", "ok", nil)
+	b.Send("a", "b", "drop", nil)
+	b.Send("a", "ghost", "ok", nil)
+	e.Run()
+	if len(traced) != 3 {
+		t.Fatalf("traced = %v", traced)
+	}
+	// Order: drop is traced at send, others at delivery.
+	okCount := 0
+	for _, d := range traced {
+		if d {
+			okCount++
+		}
+	}
+	if okCount != 1 {
+		t.Errorf("traced = %v", traced)
+	}
+}
+
+func TestBusLookupAndMessageString(t *testing.T) {
+	e := New(1)
+	b := NewBus(e, 0)
+	b.Register("x", ActorFunc(func(Message) {}))
+	if _, ok := b.Lookup("x"); !ok {
+		t.Error("Lookup x")
+	}
+	if _, ok := b.Lookup("y"); ok {
+		t.Error("Lookup y")
+	}
+	m := Message{From: "a", To: "b", Kind: "claim"}
+	if m.String() != "a->b claim" {
+		t.Errorf("String = %q", m.String())
+	}
+	if b.Engine() != e {
+		t.Error("Engine()")
+	}
+}

@@ -1,0 +1,233 @@
+// Package sim provides a deterministic discrete-event simulation
+// engine: a virtual clock, an event queue with stable ordering, a
+// seeded random source, and a message bus with a configurable latency
+// and loss model.
+//
+// The Condor kernel daemons of this repository are actors driven by
+// this engine, which makes every pool experiment reproducible: the
+// same seed yields the identical event trace.  Determinism is itself
+// a fault-tolerance tool — Section 5 of the paper observes that the
+// significance of an error may depend on time, and only a controlled
+// clock lets tests assert those time-dependent behaviours exactly.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual instant, measured in nanoseconds from the start
+// of the simulation.
+type Time int64
+
+// String renders the time as a duration from simulation start.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between two times.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// event is one scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64 // insertion order; breaks ties deterministically
+	fn    func()
+	index int // heap index, -1 when removed
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator.  It is not safe for
+// concurrent use: a simulation is a single logical thread of control,
+// and all concurrency in the simulated system is expressed as
+// interleaved events.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+	// processed counts executed events, for tests and metrics.
+	processed uint64
+}
+
+// New creates an engine whose random source is seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending returns the number of events still scheduled.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Timer is a handle to a scheduled event; Cancel prevents a pending
+// event from firing.
+type Timer struct {
+	eng *Engine
+	ev  *event
+}
+
+// Cancel removes the event if it has not yet fired.  It reports
+// whether the event was still pending.
+func (t *Timer) Cancel() bool {
+	if t == nil || t.ev == nil || t.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&t.eng.events, t.ev.index)
+	t.ev.fn = nil
+	return true
+}
+
+// At schedules fn to run at virtual time at.  Scheduling into the
+// past panics: it would violate causality and silently reorder the
+// trace.
+func (e *Engine) At(at Time, fn func()) *Timer {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{eng: e, ev: ev}
+}
+
+// After schedules fn to run d from now.  Negative d means now.
+func (e *Engine) After(d time.Duration, fn func()) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Every schedules fn to run every period, starting one period from
+// now, until the returned Timer chain is cancelled via the returned
+// stop function or the engine stops.
+func (e *Engine) Every(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	stopped := false
+	var schedule func()
+	var current *Timer
+	schedule = func() {
+		current = e.After(period, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() {
+		stopped = true
+		if current != nil {
+			current.Cancel()
+		}
+	}
+}
+
+// Step executes the next pending event, advancing the clock to its
+// time.  It reports whether an event was executed.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.fn == nil { // cancelled
+			continue
+		}
+		e.now = ev.at
+		fn := ev.fn
+		ev.fn = nil
+		e.processed++
+		fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, then sets the clock
+// to the deadline (if it is later than the last event).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.events) == 0 {
+			break
+		}
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.at > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation d from the current time.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Stop halts Run/RunUntil after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+func (e *Engine) peek() *event {
+	for len(e.events) > 0 {
+		if e.events[0].fn == nil {
+			heap.Pop(&e.events)
+			continue
+		}
+		return e.events[0]
+	}
+	return nil
+}

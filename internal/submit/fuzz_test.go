@@ -1,0 +1,30 @@
+package submit
+
+import "testing"
+
+// FuzzParse ensures the submit-file parser never panics and that
+// accepted files produce well-formed jobs.
+func FuzzParse(f *testing.F) {
+	f.Add("queue")
+	f.Add("universe = java\nowner = a\nsim_compute = 5m\nqueue 3\n")
+	f.Add("+X = 1\nrequirements = target.HasJava\nqueue\nqueue 2\n")
+	f.Add("sim_alloc = 64MB\nsim_throw = E msg\nqueue")
+	f.Add("= = =\nqueue -1")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(file.Jobs) == 0 {
+			t.Fatal("accepted file with no jobs")
+		}
+		for _, j := range file.Jobs {
+			if j.Ad == nil || j.Program == nil {
+				t.Fatalf("malformed job: %+v", j)
+			}
+			if len(j.Program.Steps) == 0 {
+				t.Fatal("job with no steps")
+			}
+		}
+	})
+}

@@ -1,0 +1,292 @@
+// Package submit parses Condor submit description files into jobs for
+// the simulated grid, in the style of condor_submit:
+//
+//	universe     = java
+//	executable   = /home/alice/Sim.class
+//	owner        = alice
+//	image_size   = 128
+//	requirements = target.Memory >= 512 && target.HasJava
+//	rank         = target.Memory
+//	+Department  = "CS"
+//
+//	sim_compute  = 10m
+//	sim_read     = /home/alice/input.dat 4096
+//	sim_write    = /home/alice/output.dat results
+//	queue 5
+//
+// Standard directives map onto the job ClassAd; `+Attr = expr` adds a
+// custom attribute verbatim, as in Condor.  Because the JVM here is a
+// simulation, program *behaviour* is declared with sim_* directives
+// (in order): sim_compute, sim_alloc, sim_free, sim_read, sim_write,
+// sim_throw, sim_exit, sim_corrupt_image.  Each `queue N` statement
+// emits N copies of the job described so far.
+package submit
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/scope"
+)
+
+// File is a parsed submit description: the jobs it queues, in order.
+type File struct {
+	Jobs []*daemon.Job
+}
+
+// state accumulates directives until a queue statement.
+type state struct {
+	owner        string
+	universe     string
+	executable   string
+	imageSize    int64
+	requirements string
+	rank         string
+	extra        []extraAttr
+	steps        []jvm.Step
+	corruptImage bool
+	class        string
+}
+
+type extraAttr struct {
+	name string
+	expr string
+}
+
+func newState() *state {
+	return &state{owner: "nobody", universe: "java", imageSize: 128, class: "Main"}
+}
+
+// Parse reads a submit description file.
+func Parse(src string) (*File, error) {
+	f := &File{}
+	st := newState()
+	for ln, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lineNo := ln + 1
+
+		if name, ok := cutKeyword(line, "queue"); ok {
+			n := 1
+			if name != "" {
+				v, err := strconv.Atoi(name)
+				if err != nil || v < 1 {
+					return nil, fmt.Errorf("submit: line %d: bad queue count %q", lineNo, name)
+				}
+				n = v
+			}
+			for i := 0; i < n; i++ {
+				job, err := st.build()
+				if err != nil {
+					return nil, fmt.Errorf("submit: line %d: %w", lineNo, err)
+				}
+				f.Jobs = append(f.Jobs, job)
+			}
+			continue
+		}
+
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return nil, fmt.Errorf("submit: line %d: expected 'key = value' or 'queue [n]', got %q", lineNo, line)
+		}
+		rawKey := strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		if strings.HasPrefix(rawKey, "+") {
+			// Custom attribute: preserve the user's spelling.
+			if err := st.applyCustom(rawKey[1:], value); err != nil {
+				return nil, fmt.Errorf("submit: line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := st.apply(strings.ToLower(rawKey), value); err != nil {
+			return nil, fmt.Errorf("submit: line %d: %w", lineNo, err)
+		}
+	}
+	if len(f.Jobs) == 0 {
+		return nil, fmt.Errorf("submit: no queue statement")
+	}
+	return f, nil
+}
+
+// cutKeyword matches "queue" / "queue N" case-insensitively.
+func cutKeyword(line, kw string) (rest string, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 || strings.ToLower(fields[0]) != kw {
+		return "", false
+	}
+	if len(fields) == 1 {
+		return "", true
+	}
+	if len(fields) == 2 {
+		return fields[1], true
+	}
+	return "", false
+}
+
+func (st *state) apply(key, value string) error {
+	switch key {
+	case "universe":
+		u := strings.ToLower(value)
+		if u != "java" && u != "vanilla" {
+			return fmt.Errorf("unsupported universe %q (java or vanilla)", value)
+		}
+		st.universe = u
+	case "executable":
+		st.executable = value
+	case "owner":
+		st.owner = value
+	case "class":
+		st.class = value
+	case "image_size":
+		n, err := strconv.ParseInt(value, 10, 64)
+		if err != nil || n <= 0 {
+			return fmt.Errorf("bad image_size %q", value)
+		}
+		st.imageSize = n
+	case "requirements":
+		if _, err := classad.ParseExpr(value); err != nil {
+			return fmt.Errorf("bad requirements: %w", err)
+		}
+		st.requirements = value
+	case "rank":
+		if _, err := classad.ParseExpr(value); err != nil {
+			return fmt.Errorf("bad rank: %w", err)
+		}
+		st.rank = value
+	case "sim_compute":
+		d, err := time.ParseDuration(value)
+		if err != nil || d < 0 {
+			return fmt.Errorf("bad sim_compute %q", value)
+		}
+		st.steps = append(st.steps, jvm.Compute{Duration: d})
+	case "sim_alloc", "sim_free":
+		n, err := parseBytes(value)
+		if err != nil {
+			return err
+		}
+		if key == "sim_alloc" {
+			st.steps = append(st.steps, jvm.Allocate{Bytes: n})
+		} else {
+			st.steps = append(st.steps, jvm.Free{Bytes: n})
+		}
+	case "sim_read":
+		fields := strings.Fields(value)
+		if len(fields) != 2 {
+			return fmt.Errorf("sim_read wants 'path length', got %q", value)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad sim_read length %q", fields[1])
+		}
+		st.steps = append(st.steps, jvm.IORead{Path: fields[0], Length: n})
+	case "sim_write":
+		path, data, ok := strings.Cut(value, " ")
+		if !ok {
+			return fmt.Errorf("sim_write wants 'path content', got %q", value)
+		}
+		st.steps = append(st.steps, jvm.IOWrite{Path: path, Data: []byte(strings.TrimSpace(data))})
+	case "sim_throw":
+		exc, msg, _ := strings.Cut(value, " ")
+		st.steps = append(st.steps, jvm.Throw{
+			Exception: exc,
+			Message:   strings.TrimSpace(msg),
+			Scope:     scope.ScopeProgram,
+		})
+	case "sim_exit":
+		code, err := strconv.Atoi(value)
+		if err != nil {
+			return fmt.Errorf("bad sim_exit %q", value)
+		}
+		st.steps = append(st.steps, jvm.Exit{Code: code})
+	case "sim_corrupt_image":
+		b, err := strconv.ParseBool(value)
+		if err != nil {
+			return fmt.Errorf("bad sim_corrupt_image %q", value)
+		}
+		st.corruptImage = b
+	default:
+		return fmt.Errorf("unknown directive %q", key)
+	}
+	return nil
+}
+
+// applyCustom records a +Attr = expr custom attribute.
+func (st *state) applyCustom(name, value string) error {
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return fmt.Errorf("empty custom attribute name")
+	}
+	if _, err := classad.ParseExpr(value); err != nil {
+		return fmt.Errorf("bad custom attribute %s: %w", name, err)
+	}
+	st.extra = append(st.extra, extraAttr{name: name, expr: value})
+	return nil
+}
+
+// parseBytes accepts "N", "NKB", "NMB", "NGB".
+func parseBytes(s string) (int64, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "GB")
+	case strings.HasSuffix(s, "MB"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "MB")
+	case strings.HasSuffix(s, "KB"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "KB")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad byte count %q", s)
+	}
+	return n * mult, nil
+}
+
+// build materializes the job described so far.  The state is reused
+// for subsequent queue statements, as in condor_submit.
+func (st *state) build() (*daemon.Job, error) {
+	var ad *classad.Ad
+	if st.universe == "vanilla" {
+		ad = daemon.NewVanillaJobAd(st.owner, st.imageSize)
+	} else {
+		ad = daemon.NewJavaJobAd(st.owner, st.imageSize)
+	}
+	if st.requirements != "" {
+		if err := ad.SetExprString(classad.AttrRequirements, st.requirements); err != nil {
+			return nil, err
+		}
+	}
+	if st.rank != "" {
+		if err := ad.SetExprString(classad.AttrRank, st.rank); err != nil {
+			return nil, err
+		}
+	}
+	for _, ex := range st.extra {
+		if err := ad.SetExprString(ex.name, ex.expr); err != nil {
+			return nil, err
+		}
+	}
+	steps := make([]jvm.Step, len(st.steps))
+	copy(steps, st.steps)
+	if len(steps) == 0 {
+		steps = []jvm.Step{jvm.Compute{Duration: time.Minute}}
+	}
+	return &daemon.Job{
+		Owner:      st.owner,
+		Universe:   st.universe,
+		Ad:         ad,
+		Executable: st.executable,
+		Program: &jvm.Program{
+			Class:        st.class,
+			ImageCorrupt: st.corruptImage,
+			Steps:        steps,
+		},
+	}, nil
+}

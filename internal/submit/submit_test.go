@@ -1,0 +1,223 @@
+package submit
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/pool"
+)
+
+const sample = `
+# A typical Java Universe submit file.
+universe     = java
+executable   = /home/alice/Sim.class
+owner        = alice
+image_size   = 256
+requirements = target.Memory >= 512 && target.HasJava
+rank         = target.Memory
++Department  = "CS"
++NiceUser    = true
+
+sim_compute  = 10m
+sim_read     = /home/alice/input.dat 4096
+sim_write    = /home/alice/output.dat results go here
+queue 3
+`
+
+func TestParseSample(t *testing.T) {
+	f, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(f.Jobs))
+	}
+	j := f.Jobs[0]
+	if j.Owner != "alice" || j.Executable != "/home/alice/Sim.class" {
+		t.Errorf("job = %+v", j)
+	}
+	if v := j.Ad.EvalAttr("ImageSize", nil); !v.Equal(classad.Int(256)) {
+		t.Errorf("ImageSize = %s", v)
+	}
+	if v := j.Ad.EvalAttr("Department", nil); !v.Equal(classad.Str("CS")) {
+		t.Errorf("Department = %s", v)
+	}
+	if v := j.Ad.EvalAttr("NiceUser", nil); !v.Equal(classad.Bool(true)) {
+		t.Errorf("NiceUser = %s", v)
+	}
+	if len(j.Program.Steps) != 3 {
+		t.Fatalf("steps = %d", len(j.Program.Steps))
+	}
+	if c, ok := j.Program.Steps[0].(jvm.Compute); !ok || c.Duration != 10*time.Minute {
+		t.Errorf("step 0 = %+v", j.Program.Steps[0])
+	}
+	if r, ok := j.Program.Steps[1].(jvm.IORead); !ok || r.Path != "/home/alice/input.dat" || r.Length != 4096 {
+		t.Errorf("step 1 = %+v", j.Program.Steps[1])
+	}
+	if w, ok := j.Program.Steps[2].(jvm.IOWrite); !ok || string(w.Data) != "results go here" {
+		t.Errorf("step 2 = %+v", j.Program.Steps[2])
+	}
+	// Requirements must actually match a suitable machine ad.
+	machine, _ := classad.Parse(`[ Machine = "m"; Memory = 2048; HasJava = true ]`)
+	if !classad.Match(j.Ad, machine) {
+		t.Error("parsed requirements should match")
+	}
+}
+
+func TestMultipleQueueStatements(t *testing.T) {
+	src := `
+owner = bob
+sim_compute = 1m
+queue
+sim_throw = NullPointerException at line 3
+queue 2
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Jobs) != 3 {
+		t.Fatalf("jobs = %d", len(f.Jobs))
+	}
+	// The first job has one step; later jobs inherit accumulated
+	// state (condor_submit semantics).
+	if len(f.Jobs[0].Program.Steps) != 1 {
+		t.Errorf("job 0 steps = %d", len(f.Jobs[0].Program.Steps))
+	}
+	if len(f.Jobs[1].Program.Steps) != 2 {
+		t.Errorf("job 1 steps = %d", len(f.Jobs[1].Program.Steps))
+	}
+	th, ok := f.Jobs[2].Program.Steps[1].(jvm.Throw)
+	if !ok || th.Exception != "NullPointerException" || th.Message != "at line 3" {
+		t.Errorf("throw step = %+v", f.Jobs[2].Program.Steps[1])
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	f, err := Parse("queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := f.Jobs[0]
+	if j.Owner != "nobody" {
+		t.Errorf("owner = %q", j.Owner)
+	}
+	if len(j.Program.Steps) != 1 {
+		t.Errorf("steps = %d", len(j.Program.Steps))
+	}
+}
+
+func TestAllocFreeExitCorrupt(t *testing.T) {
+	src := `
+sim_alloc = 64MB
+sim_free = 32MB
+sim_exit = 7
+sim_corrupt_image = true
+queue
+`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := f.Jobs[0]
+	if !j.Program.ImageCorrupt {
+		t.Error("ImageCorrupt")
+	}
+	if a, ok := j.Program.Steps[0].(jvm.Allocate); !ok || a.Bytes != 64<<20 {
+		t.Errorf("alloc = %+v", j.Program.Steps[0])
+	}
+	if fr, ok := j.Program.Steps[1].(jvm.Free); !ok || fr.Bytes != 32<<20 {
+		t.Errorf("free = %+v", j.Program.Steps[1])
+	}
+	if e, ok := j.Program.Steps[2].(jvm.Exit); !ok || e.Code != 7 {
+		t.Errorf("exit = %+v", j.Program.Steps[2])
+	}
+}
+
+func TestParseBytes(t *testing.T) {
+	cases := map[string]int64{
+		"1024": 1024, "4KB": 4 << 10, "64MB": 64 << 20, "2GB": 2 << 30,
+		" 8 mb ": 8 << 20,
+	}
+	for in, want := range cases {
+		got, err := parseBytes(in)
+		if err != nil || got != want {
+			t.Errorf("parseBytes(%q) = %d, %v", in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "x", "-1", "1TBB"} {
+		if _, err := parseBytes(bad); err == nil {
+			t.Errorf("parseBytes(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                             // no queue
+		"junk line\nqueue",             // no '='
+		"universe = standard\nqueue",   // unsupported universe
+		"image_size = x\nqueue",        // bad number
+		"image_size = -5\nqueue",       // negative
+		"requirements = 1 +\nqueue",    // bad expr
+		"rank = )\nqueue",              // bad expr
+		"+ = 1\nqueue",                 // empty custom name
+		"+Attr = ]\nqueue",             // bad custom expr
+		"sim_compute = fast\nqueue",    // bad duration
+		"sim_read = /x\nqueue",         // missing length
+		"sim_read = /x y\nqueue",       // bad length
+		"sim_write = noval\nqueue",     // missing content
+		"sim_exit = x\nqueue",          // bad code
+		"sim_corrupt_image = z\nqueue", // bad bool
+		"sim_alloc = z\nqueue",         // bad bytes
+		"bogus = 1\nqueue",             // unknown directive
+		"queue -3",                     // bad count
+		"queue 1 2",                    // malformed queue
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// TestSubmitFileEndToEnd runs a parsed submit file through a real
+// pool.
+func TestSubmitFileEndToEnd(t *testing.T) {
+	f, err := Parse(`
+owner = alice
+executable = /home/alice/Sim.class
+sim_compute = 5m
+sim_write = /home/alice/out.dat done
+queue 4
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := pool.New(pool.Config{Seed: 1, Params: daemon.DefaultParams(),
+		Machines: pool.UniformMachines(2, 2048)})
+	p.Schedd.SubmitFS.WriteFile("/home/alice/Sim.class", []byte("bytes"))
+	for _, j := range f.Jobs {
+		p.Schedd.Submit(j)
+	}
+	p.Run(24 * time.Hour)
+	m := p.Metrics()
+	if m.Completed != 4 {
+		t.Fatalf("metrics = %s", m)
+	}
+	out, err := p.Schedd.SubmitFS.ReadFile("/home/alice/out.dat")
+	if err != nil || string(out) != "done" {
+		t.Errorf("output = %q, %v", out, err)
+	}
+}
+
+func TestUnknownDirectiveMessage(t *testing.T) {
+	_, err := Parse("whatzit = 3\nqueue")
+	if err == nil || !strings.Contains(err.Error(), "whatzit") {
+		t.Errorf("err = %v", err)
+	}
+}

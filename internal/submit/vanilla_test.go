@@ -1,0 +1,32 @@
+package submit
+
+import (
+	"testing"
+
+	"github.com/errscope/grid/internal/classad"
+)
+
+func TestVanillaUniverse(t *testing.T) {
+	f, err := Parse(`
+universe = vanilla
+owner = bob
+executable = /home/bob/a.out
+sim_compute = 2m
+queue
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := f.Jobs[0]
+	if j.Universe != "vanilla" {
+		t.Errorf("universe = %q", j.Universe)
+	}
+	if v := j.Ad.EvalAttr("Universe", nil); !v.Equal(classad.Str("vanilla")) {
+		t.Errorf("ad universe = %s", v)
+	}
+	// Vanilla requirements do not demand Java.
+	nojava, _ := classad.Parse(`[ Machine = "m"; Memory = 2048; HasJava = false ]`)
+	if !classad.Match(j.Ad, nojava) {
+		t.Error("vanilla job should match a machine without java")
+	}
+}

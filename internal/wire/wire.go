@@ -1,0 +1,59 @@
+// Package wire provides the shared line-protocol encoding used by the
+// Chirp proxy protocol and the shadow remote I/O channel: quoted
+// string arguments, and error responses that carry an error's code,
+// scope, and message across a process boundary.
+//
+// Transmitting the scope is the point: per Section 7 of the paper,
+// two processes that do not understand the detail of one another's
+// errors can still cooperate by communicating the scope.
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+// EncodeError renders an error as a wire line:
+//
+//	error <code> <scope> <quoted message>\n
+//
+// A plain (unscoped) error is presented at the given fallback code and
+// scope: the sender cannot explain it, but it can still state a scope.
+func EncodeError(err error, fallbackCode string, fallbackScope scope.Scope) string {
+	se, ok := scope.AsError(err)
+	if !ok {
+		se = scope.New(fallbackScope, fallbackCode, "%v", err)
+	}
+	msg := se.Message
+	if msg == "" && se.Cause != nil {
+		msg = se.Cause.Error()
+	}
+	return fmt.Sprintf("error %s %s %s\n", se.Code, se.Scope, strconv.Quote(msg))
+}
+
+// DecodeError parses the fields following the "error" verb of a wire
+// line into a scoped error.
+func DecodeError(fields []string) (*scope.Error, error) {
+	if len(fields) < 3 {
+		return nil, fmt.Errorf("wire: malformed error response %q", strings.Join(fields, " "))
+	}
+	code := fields[0]
+	sc, err := scope.ParseScope(fields[1])
+	if err != nil {
+		return nil, fmt.Errorf("wire: bad scope in error response: %w", err)
+	}
+	msg, err := strconv.Unquote(strings.Join(fields[2:], " "))
+	if err != nil {
+		return nil, fmt.Errorf("wire: bad message in error response: %w", err)
+	}
+	return scope.New(sc, code, "%s", msg), nil
+}
+
+// Quote encodes a string argument for the wire.
+func Quote(s string) string { return strconv.Quote(s) }
+
+// Unquote decodes a quoted wire argument.
+func Unquote(s string) (string, error) { return strconv.Unquote(s) }

@@ -1,0 +1,92 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+func TestEncodeDecodeScopedError(t *testing.T) {
+	in := scope.New(scope.ScopeLocalResource, "CredentialsExpiredError", "ticket lapsed at 03:00")
+	line := EncodeError(in, "Fallback", scope.ScopeProcess)
+	if !strings.HasPrefix(line, "error ") || !strings.HasSuffix(line, "\n") {
+		t.Fatalf("line = %q", line)
+	}
+	fields := strings.Fields(strings.TrimSpace(line))[1:]
+	out, err := DecodeError(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != in.Code || out.Scope != in.Scope || out.Message != in.Message {
+		t.Errorf("round trip: %+v vs %+v", out, in)
+	}
+}
+
+func TestEncodePlainErrorUsesFallback(t *testing.T) {
+	line := EncodeError(errors.New("boom"), "BackendError", scope.ScopeLocalResource)
+	fields := strings.Fields(strings.TrimSpace(line))[1:]
+	out, err := DecodeError(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Code != "BackendError" || out.Scope != scope.ScopeLocalResource {
+		t.Errorf("out = %+v", out)
+	}
+	if out.Message != "boom" {
+		t.Errorf("message = %q", out.Message)
+	}
+}
+
+func TestEncodeUsesCauseTextWhenMessageEmpty(t *testing.T) {
+	in := scope.Explicit(scope.ScopeFile, "DiskFull", errors.New("0 bytes free"))
+	line := EncodeError(in, "X", scope.ScopeProcess)
+	if !strings.Contains(line, "0 bytes free") {
+		t.Errorf("line = %q", line)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"Code"},
+		{"Code", "file"},
+		{"Code", "galaxy", `"msg"`},
+		{"Code", "file", `unquoted`},
+	}
+	for _, fields := range cases {
+		if _, err := DecodeError(fields); err == nil {
+			t.Errorf("DecodeError(%v) should fail", fields)
+		}
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	scopes := scope.Scopes()
+	prop := func(msg string, codeSeed uint8, scopeSeed uint8) bool {
+		sc := scopes[int(scopeSeed)%len(scopes)]
+		code := "C" + strings.Repeat("x", int(codeSeed)%8)
+		in := scope.New(sc, code, "%s", msg)
+		fields := strings.Fields(strings.TrimSpace(EncodeError(in, "F", scope.ScopeProcess)))[1:]
+		out, err := DecodeError(fields)
+		return err == nil && out.Code == code && out.Scope == sc && out.Message == msg
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuoteUnquote(t *testing.T) {
+	for _, s := range []string{"", "plain", "with space", "tab\tand\nnewline", `"quoted"`, "日本"} {
+		q := Quote(s)
+		if strings.ContainsAny(q, "\n") {
+			t.Errorf("Quote(%q) contains newline", s)
+		}
+		got, err := Unquote(q)
+		if err != nil || got != s {
+			t.Errorf("round trip %q -> %q: %v", s, got, err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package wrapper implements the program wrapper of Section 4 of the
+// paper.  The starter causes the JVM to invoke the wrapper with the
+// actual program as an argument.  The wrapper locates the program,
+// attempts to execute it, and catches any exceptions it may throw.
+// It examines the exception type and then produces a result file
+// describing the program result and the scope of any errors
+// discovered.  The starter examines this result file and ignores the
+// JVM exit code entirely.
+//
+// Without the wrapper, the JVM exit code is the starter's only
+// signal, and Figure 4 shows that it cannot distinguish a null
+// pointer (program scope) from an offline file system (local-resource
+// scope): both are exit code 1.  RawExitInterpretation preserves that
+// flawed reading for the before/after experiments.
+package wrapper
+
+import (
+	"time"
+
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+// DefaultResultPath is where the wrapper leaves its result file in
+// the starter's scratch directory.
+const DefaultResultPath = "/scratch/.condor_java_result"
+
+// Wrapper runs a program inside a JVM and reports through a result
+// file.
+type Wrapper struct {
+	// Classifier maps exception names to scopes; nil selects the
+	// Java Universe classification.
+	Classifier *scope.Classifier
+	// ResultPath overrides DefaultResultPath when non-empty.
+	ResultPath string
+}
+
+func (w *Wrapper) classifier() *scope.Classifier {
+	if w.Classifier != nil {
+		return w.Classifier
+	}
+	return scope.JavaUniverseClassifier()
+}
+
+func (w *Wrapper) resultPath() string {
+	if w.ResultPath != "" {
+		return w.ResultPath
+	}
+	return DefaultResultPath
+}
+
+// Run executes prog on machine m with the I/O service io, writing the
+// wrapper's result file into scratch.  The returned Execution is what
+// the starter observes of the JVM process (exit code, CPU).
+//
+// When the JVM cannot start at all, the wrapper never runs and no
+// result file is written; the starter must interpret the absence of a
+// result as an escaping error of remote-resource scope (see
+// ReadResult).
+func (w *Wrapper) Run(m *jvm.Machine, prog *jvm.Program, io jvm.FileOps, scratch *vfs.FileSystem) *jvm.Execution {
+	return w.RunFrom(m, prog, io, scratch, 0)
+}
+
+// RunFrom is Run resuming from a checkpoint: the program restarts
+// with resume worth of computation already done (Standard Universe
+// migration; see jvm.ExecuteFrom).
+func (w *Wrapper) RunFrom(m *jvm.Machine, prog *jvm.Program, io jvm.FileOps, scratch *vfs.FileSystem, resume time.Duration) *jvm.Execution {
+	exec := m.ExecuteFrom(prog, io, resume)
+
+	if exec.Thrown != nil && exec.Thrown.Name == "JVMStartError" {
+		// The wrapper never got control: no result file.
+		return exec
+	}
+
+	res := w.Classify(exec)
+	// Write the result file.  Failure to write it is itself an
+	// environmental failure; the wrapper can do nothing but exit,
+	// and the starter will see the absent/partial file as NoResult.
+	_ = scratch.WriteFile(w.resultPath(), []byte(res.EncodeString()))
+	return exec
+}
+
+// Classify converts an execution into the wrapper's result, applying
+// the exception classification.  Exported for the Figure 4 experiment
+// and the simulation layer, which execute without a scratch file
+// system.
+func (w *Wrapper) Classify(exec *jvm.Execution) scope.Result {
+	if exec.Thrown == nil {
+		return scope.Result{Status: scope.StatusExited, ExitCode: exec.ExitCode}
+	}
+	th := exec.Thrown
+	sc := w.classifier().Classify(th.Name)
+	// The thrown error may already carry a wider scope than the
+	// name alone implies; scope may only widen (Section 3.3).
+	sc = sc.Widen(th.Scope)
+	if sc == scope.ScopeProgram && !th.Escaping {
+		return scope.Result{
+			Status:    scope.StatusException,
+			Exception: th.Name,
+			Scope:     scope.ScopeProgram,
+			Message:   th.Message,
+		}
+	}
+	if sc == scope.ScopeProgram {
+		// An escaping error that classifies as program scope still
+		// cannot be a program result; it invalidates at least the
+		// process.
+		sc = scope.ScopeProcess
+	}
+	return scope.Result{
+		Status:    scope.StatusEscape,
+		Exception: th.Name,
+		Scope:     sc,
+		Message:   th.Message,
+	}
+}
+
+// ReadResult is the starter's side of the indirect channel: it reads
+// and decodes the wrapper's result file from scratch.  A missing or
+// unparseable file yields StatusNoResult — the execution environment
+// failed before the wrapper could report, an error of remote-resource
+// scope.
+func ReadResult(scratch *vfs.FileSystem, path string) scope.Result {
+	if path == "" {
+		path = DefaultResultPath
+	}
+	data, err := scratch.ReadFile(path)
+	if err != nil {
+		return scope.Result{Status: scope.StatusNoResult}
+	}
+	res, err := scope.DecodeResultString(string(data))
+	if err != nil {
+		return scope.Result{Status: scope.StatusNoResult}
+	}
+	return res
+}
+
+// RawExitInterpretation is the original, pre-wrapper behaviour: the
+// starter relies entirely on the JVM exit code as an indicator of
+// program success.  Every termination is presented as a program
+// result, converting environmental failures into implicit errors in
+// the layer above (a violation of Principle 1 that the experiments
+// quantify).
+func RawExitInterpretation(exec *jvm.Execution) scope.Result {
+	return scope.Result{Status: scope.StatusExited, ExitCode: exec.ExitCode}
+}
