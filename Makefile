@@ -1,0 +1,32 @@
+GO ?= go
+
+# Packages whose protocols run on real goroutines and sockets; they
+# get the race detector.
+RACE_PKGS = ./internal/chirp/... ./internal/remoteio/... ./internal/live/...
+
+.PHONY: check vet build test race bench bench-matchmaker
+
+## check: the full gate — vet, build, race-test the concurrent
+## packages, then the whole suite.
+check: vet build race test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+## bench: the Go benchmark suite with allocation reporting.
+bench:
+	$(GO) test -bench=. -benchmem .
+
+## bench-matchmaker: the negotiation fast-path harness; writes
+## BENCH_matchmaker.json.
+bench-matchmaker:
+	$(GO) run ./cmd/experiments -run bench-matchmaker

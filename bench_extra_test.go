@@ -16,6 +16,7 @@ import (
 )
 
 func BenchmarkCrashesExperiment(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Crashes(1, 8, 24, 0.25,
 			[]time.Duration{30 * time.Minute})
@@ -26,6 +27,7 @@ func BenchmarkCrashesExperiment(b *testing.B) {
 }
 
 func BenchmarkEscalationScopeAt(b *testing.B) {
+	b.ReportAllocs()
 	e := scope.NetworkEscalation()
 	for i := 0; i < b.N; i++ {
 		e.ScopeAt(time.Duration(i%90000) * time.Second)
@@ -33,6 +35,7 @@ func BenchmarkEscalationScopeAt(b *testing.B) {
 }
 
 func BenchmarkVFSReadWrite(b *testing.B) {
+	b.ReportAllocs()
 	fs := vfs.New()
 	data := make([]byte, 4096)
 	fs.WriteFile("/f", data)
@@ -49,15 +52,18 @@ func BenchmarkVFSReadWrite(b *testing.B) {
 }
 
 func BenchmarkJavaIOConvert(b *testing.B) {
+	b.ReportAllocs()
 	lib := javaio.New(javaio.TransportFunc{})
 	explicit := scope.New(scope.ScopeFile, "FileNotFound", "/x")
 	offline := scope.New(scope.ScopeLocalResource, "FileSystemOffline", "down")
 	b.Run("explicit", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			lib.Convert(explicit)
 		}
 	})
 	b.Run("escape", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			lib.Convert(offline)
 		}
@@ -65,6 +71,7 @@ func BenchmarkJavaIOConvert(b *testing.B) {
 }
 
 func BenchmarkSubmitParse(b *testing.B) {
+	b.ReportAllocs()
 	src := `
 universe     = java
 executable   = /home/alice/Sim.class
@@ -87,6 +94,7 @@ queue 10
 }
 
 func BenchmarkJVMExecute(b *testing.B) {
+	b.ReportAllocs()
 	m := jvm.New(jvm.Config{})
 	prog := &jvm.Program{Class: "M", Steps: []jvm.Step{
 		jvm.Allocate{Bytes: 1 << 20},
@@ -106,9 +114,11 @@ func BenchmarkJVMExecute(b *testing.B) {
 // the wrapper's result-file round trip (classify, encode to the
 // scratch file system, decode on the starter side).
 func BenchmarkWrapperAblation(b *testing.B) {
+	b.ReportAllocs()
 	m := jvm.New(jvm.Config{HeapLimit: 1 << 20})
 	prog := jvm.MemoryHog(8 << 20)
 	b.Run("raw-exit", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			exec := m.Execute(prog, nil)
 			res := wrapper.RawExitInterpretation(exec)
@@ -118,6 +128,7 @@ func BenchmarkWrapperAblation(b *testing.B) {
 		}
 	})
 	b.Run("wrapper-resultfile", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			scratch := vfs.New()
 			w := &wrapper.Wrapper{}
@@ -134,6 +145,7 @@ func BenchmarkWrapperAblation(b *testing.B) {
 // wall-clock runtime (dominated by real protocol intervals; reported
 // per job).
 func BenchmarkLiveKernelJob(b *testing.B) {
+	b.ReportAllocs()
 	r := live.New(50 * time.Microsecond)
 	defer r.Close()
 	params := daemon.DefaultParams()

@@ -37,6 +37,7 @@ import (
 // --- Figure benchmarks ---
 
 func BenchmarkFigure1KernelJob(b *testing.B) {
+	b.ReportAllocs()
 	params := daemon.DefaultParams()
 	for i := 0; i < b.N; i++ {
 		eng := sim.New(1)
@@ -61,6 +62,7 @@ func BenchmarkFigure1KernelJob(b *testing.B) {
 }
 
 func BenchmarkFigure2DataPath(b *testing.B) {
+	b.ReportAllocs()
 	key := []byte("k")
 	submitFS := vfs.New()
 	submitFS.WriteFile("/in", make([]byte, 4096))
@@ -97,6 +99,7 @@ func BenchmarkFigure2DataPath(b *testing.B) {
 }
 
 func BenchmarkFigure3ScopeSweep(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r := experiments.Figure3()
 		if len(r.Rows) != 6 {
@@ -106,6 +109,7 @@ func BenchmarkFigure3ScopeSweep(b *testing.B) {
 }
 
 func BenchmarkFigure4(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		_, rows := experiments.Figure4()
 		if len(rows) != 7 {
@@ -115,8 +119,10 @@ func BenchmarkFigure4(b *testing.B) {
 }
 
 func BenchmarkNaiveVsScoped(b *testing.B) {
+	b.ReportAllocs()
 	for _, mode := range []daemon.Mode{daemon.ModeNaive, daemon.ModeScoped} {
 		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				params := daemon.DefaultParams()
 				params.Mode = mode
@@ -135,8 +141,10 @@ func BenchmarkNaiveVsScoped(b *testing.B) {
 }
 
 func BenchmarkBlackhole(b *testing.B) {
+	b.ReportAllocs()
 	for _, pol := range experiments.BlackholePolicies() {
 		b.Run(pol.Name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				params := daemon.DefaultParams()
 				params.ChronicFailureThreshold = pol.Threshold
@@ -152,6 +160,7 @@ func BenchmarkBlackhole(b *testing.B) {
 }
 
 func BenchmarkMountPolicies(b *testing.B) {
+	b.ReportAllocs()
 	arms := []struct {
 		name  string
 		mount daemon.MountPolicy
@@ -162,6 +171,7 @@ func BenchmarkMountPolicies(b *testing.B) {
 	}
 	for _, arm := range arms {
 		b.Run(arm.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				params := daemon.DefaultParams()
 				params.Mount = arm.mount
@@ -179,6 +189,7 @@ func BenchmarkMountPolicies(b *testing.B) {
 // --- Substrate micro-benchmarks ---
 
 func BenchmarkClassAdParse(b *testing.B) {
+	b.ReportAllocs()
 	src := `[ Machine = "c01"; Memory = 2048; HasJava = true;
 		Requirements = LoadAvg < 0.3 && target.ImageSize <= Memory;
 		Rank = target.Department == "CS" ? 10 : 0; LoadAvg = 0.05 ]`
@@ -190,6 +201,7 @@ func BenchmarkClassAdParse(b *testing.B) {
 }
 
 func BenchmarkClassAdMatch(b *testing.B) {
+	b.ReportAllocs()
 	job, _ := classad.Parse(`[ ImageSize = 128; Department = "CS";
 		Requirements = target.HasJava && target.Memory >= my.ImageSize;
 		Rank = target.Memory ]`)
@@ -205,10 +217,11 @@ func BenchmarkClassAdMatch(b *testing.B) {
 }
 
 func BenchmarkClassAdBestMatchN(b *testing.B) {
+	b.ReportAllocs()
 	job, _ := classad.Parse(`[ ImageSize = 128;
 		Requirements = target.HasJava && target.Memory >= my.ImageSize;
 		Rank = target.Memory ]`)
-	for _, n := range []int{10, 100, 1000} {
+	for _, n := range []int{16, 128, 1024} {
 		cands := make([]*classad.Ad, n)
 		for i := range cands {
 			cands[i], _ = classad.Parse(fmt.Sprintf(
@@ -224,6 +237,7 @@ func BenchmarkClassAdBestMatchN(b *testing.B) {
 }
 
 func BenchmarkChirpRPC(b *testing.B) {
+	b.ReportAllocs()
 	fs := vfs.New()
 	fs.WriteFile("/f", make([]byte, 4096))
 	srv := chirp.NewServer(&chirp.VFSBackend{FS: fs}, "k")
@@ -251,6 +265,7 @@ func BenchmarkChirpRPC(b *testing.B) {
 }
 
 func BenchmarkRemoteIORPC(b *testing.B) {
+	b.ReportAllocs()
 	fs := vfs.New()
 	fs.WriteFile("/f", make([]byte, 4096))
 	srv := remoteio.NewServer(fs, []byte("key"))
@@ -274,6 +289,7 @@ func BenchmarkRemoteIORPC(b *testing.B) {
 }
 
 func BenchmarkResultFileRoundTrip(b *testing.B) {
+	b.ReportAllocs()
 	res := scope.Result{
 		Status:    scope.StatusEscape,
 		Exception: "OutOfMemoryError",
@@ -289,17 +305,20 @@ func BenchmarkResultFileRoundTrip(b *testing.B) {
 }
 
 func BenchmarkContractApply(b *testing.B) {
+	b.ReportAllocs()
 	contract := scope.NewContract("write", scope.ScopeProcess, "EnvironmentError").
 		Declare("DiskFull", scope.ScopeFile).
 		Declare("AccessDenied", scope.ScopeFile)
 	explicit := scope.New(scope.ScopeFile, "DiskFull", "full")
 	foreign := scope.New(scope.ScopeNetwork, "ConnectionLost", "reset")
 	b.Run("admitted", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			contract.Apply(explicit)
 		}
 	})
 	b.Run("escaped", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			contract.Apply(foreign)
 		}
@@ -307,6 +326,7 @@ func BenchmarkContractApply(b *testing.B) {
 }
 
 func BenchmarkWrapperClassify(b *testing.B) {
+	b.ReportAllocs()
 	w := &wrapper.Wrapper{}
 	exec := jvm.New(jvm.Config{HeapLimit: 1 << 20}).Execute(jvm.MemoryHog(8<<20), nil)
 	b.ResetTimer()
@@ -316,6 +336,7 @@ func BenchmarkWrapperClassify(b *testing.B) {
 }
 
 func BenchmarkSimEngineEvents(b *testing.B) {
+	b.ReportAllocs()
 	eng := sim.New(1)
 	var fn func()
 	count := 0
@@ -334,15 +355,23 @@ func BenchmarkSimEngineEvents(b *testing.B) {
 }
 
 func BenchmarkPoolThroughput(b *testing.B) {
-	// End-to-end scheduling throughput: 64 machines, 256 jobs.
-	for i := 0; i < b.N; i++ {
-		p := pool.New(pool.Config{Seed: 1, Params: daemon.DefaultParams(),
-			Machines: pool.UniformMachines(64, 2048)})
-		p.StageSharedInput()
-		p.SubmitJava(256, pool.MixedWorkload(1, 10*time.Minute))
-		p.Run(72 * time.Hour)
-		if m := p.Metrics(); m.Unfinished != 0 {
-			b.Fatalf("unfinished: %s", m)
-		}
+	// End-to-end scheduling throughput.  The small shape is dominated
+	// by the protocol simulation; the 1024-machine shape is where the
+	// negotiation cycle itself carries the run.
+	shapes := []struct{ machines, jobs int }{{64, 256}, {1024, 1024}}
+	for _, sh := range shapes {
+		b.Run(fmt.Sprintf("m%d_j%d", sh.machines, sh.jobs), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p := pool.New(pool.Config{Seed: 1, Params: daemon.DefaultParams(),
+					Machines: pool.UniformMachines(sh.machines, 2048)})
+				p.StageSharedInput()
+				p.SubmitJava(sh.jobs, pool.MixedWorkload(1, 10*time.Minute))
+				p.Run(72 * time.Hour)
+				if m := p.Metrics(); m.Unfinished != 0 {
+					b.Fatalf("unfinished: %s", m)
+				}
+			}
+		})
 	}
 }

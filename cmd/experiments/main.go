@@ -9,10 +9,12 @@
 //	experiments -all -seed 7 -jobs 200 -machines 40
 //
 // Experiment ids: figure1, figure2, figure3, figure4, naive,
-// blackhole, mounts, principles.
+// blackhole, mounts, migration, crashes, principles,
+// bench-matchmaker.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		machines = flag.Int("machines", 20, "machines in pool experiments")
 		jobs     = flag.Int("jobs", 100, "jobs in pool experiments")
+		benchOut = flag.String("bench-out", "BENCH_matchmaker.json",
+			"output path for bench-matchmaker rows")
 	)
 	flag.Parse()
 
@@ -74,6 +78,18 @@ func main() {
 		{"principles", func() (*experiments.Report, error) {
 			return experiments.Principles(), nil
 		}, "the four principles, violated and obeyed"},
+		{"bench-matchmaker", func() (*experiments.Report, error) {
+			rows, rep := experiments.BenchMatchmaker([]int{16, 128, 1024})
+			data, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			rep.AddNote("wrote %s", *benchOut)
+			return rep, nil
+		}, "matchmaker fast-path micro-benchmarks (writes BENCH_matchmaker.json)"},
 	}
 
 	if *list {

@@ -2,7 +2,7 @@ package classad
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -12,11 +12,25 @@ import (
 // not usable; call NewAd.
 //
 // An Ad is not safe for concurrent mutation; daemons own their ads
-// and exchange copies.
+// and exchange copies.  The match fast path (Requirements/Rank
+// compilation, the constant-attribute table) is cached lazily on
+// first use and invalidated by any Set or Delete; call Precompile to
+// build the caches eagerly, which also makes subsequent concurrent
+// read-only evaluation safe.
 type Ad struct {
 	names []string       // insertion order, original spelling
 	exprs []Expr         // parallel to names
 	index map[string]int // lower-case name -> slice position
+
+	// version counts mutations; the memo caches below carry the
+	// version they were built at and are ignored once stale.
+	version uint64
+	reqVer  uint64
+	req     *Compiled // compiled Requirements; nil = attribute absent
+	rankVer uint64
+	rank    *Compiled // compiled Rank; nil = attribute absent
+	tblVer  uint64
+	tbl     *AttrTable
 }
 
 // NewAd creates an empty ClassAd.
@@ -37,6 +51,7 @@ func (a *Ad) Names() []string {
 // Set binds name to the expression, replacing any previous binding
 // but keeping the original position and spelling.
 func (a *Ad) Set(name string, e Expr) {
+	a.version++
 	key := strings.ToLower(name)
 	if i, ok := a.index[key]; ok {
 		a.exprs[i] = e
@@ -92,8 +107,23 @@ func (a *Ad) Lookup(name string) (Expr, bool) {
 	return a.exprs[i], true
 }
 
+// lookupLower is Lookup for an already lower-cased name; the
+// evaluator and compiled expressions intern lowered names so the hot
+// path never folds case.
+func (a *Ad) lookupLower(lower string) (Expr, bool) {
+	if a == nil {
+		return nil, false
+	}
+	i, ok := a.index[lower]
+	if !ok {
+		return nil, false
+	}
+	return a.exprs[i], true
+}
+
 // Delete removes the binding for name, if present.
 func (a *Ad) Delete(name string) {
+	a.version++
 	key := strings.ToLower(name)
 	i, ok := a.index[key]
 	if !ok {
@@ -110,12 +140,21 @@ func (a *Ad) Delete(name string) {
 }
 
 // Copy returns a deep copy of the ad structure.  Expressions are
-// immutable and therefore shared.
+// immutable and therefore shared, and so are the compiled-match
+// caches, which close over expressions only.
 func (a *Ad) Copy() *Ad {
 	cp := &Ad{
 		names: make([]string, len(a.names)),
 		exprs: make([]Expr, len(a.exprs)),
 		index: make(map[string]int, len(a.index)),
+
+		version: a.version,
+		reqVer:  a.reqVer,
+		req:     a.req,
+		rankVer: a.rankVer,
+		rank:    a.rank,
+		tblVer:  a.tblVer,
+		tbl:     a.tbl,
 	}
 	copy(cp.names, a.names)
 	copy(cp.exprs, a.exprs)
@@ -142,7 +181,7 @@ func (a *Ad) EvalAttr(name string, target *Ad) Value {
 	if !ok {
 		return Undefined()
 	}
-	return e.eval(&env{self: a, target: target})
+	return e.eval(env{self: a, target: target})
 }
 
 // EvalString is a convenience that evaluates src in the context of a
@@ -152,7 +191,51 @@ func (a *Ad) EvalString(src string, target *Ad) (Value, error) {
 	if err != nil {
 		return ErrorValue(), err
 	}
-	return e.eval(&env{self: a, target: target}), nil
+	return e.eval(env{self: a, target: target}), nil
+}
+
+// Precompile eagerly builds the match fast-path caches: the compiled
+// Requirements and Rank handles and the constant-attribute table.
+// After Precompile, Match/Rank/BestMatch over the ad are read-only
+// and safe for concurrent use until the next mutation.
+func (a *Ad) Precompile() {
+	a.requirementsCompiled()
+	a.rankCompiled()
+	a.Table()
+}
+
+// requirementsCompiled returns the memoized compiled Requirements
+// expression.  The second result is false when the ad has no
+// Requirements attribute.
+func (a *Ad) requirementsCompiled() (*Compiled, bool) {
+	if a == nil {
+		return nil, false
+	}
+	if a.reqVer != a.version+1 {
+		if e, ok := a.lookupLower(attrRequirementsLower); ok {
+			a.req = Compile(e)
+		} else {
+			a.req = nil
+		}
+		a.reqVer = a.version + 1
+	}
+	return a.req, a.req != nil
+}
+
+// rankCompiled returns the memoized compiled Rank expression.
+func (a *Ad) rankCompiled() (*Compiled, bool) {
+	if a == nil {
+		return nil, false
+	}
+	if a.rankVer != a.version+1 {
+		if e, ok := a.lookupLower(attrRankLower); ok {
+			a.rank = Compile(e)
+		} else {
+			a.rank = nil
+		}
+		a.rankVer = a.version + 1
+	}
+	return a.rank, a.rank != nil
 }
 
 // String renders the ad in bracketed ClassAd syntax.
@@ -182,7 +265,7 @@ func (a *Ad) equalTo(b *Ad) bool {
 	for k := range a.index {
 		akeys = append(akeys, k)
 	}
-	sort.Strings(akeys)
+	slices.Sort(akeys)
 	for _, k := range akeys {
 		bi, ok := b.index[k]
 		if !ok {

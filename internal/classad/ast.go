@@ -10,7 +10,7 @@ import (
 type Expr interface {
 	// String renders the expression in parseable ClassAd syntax.
 	String() string
-	eval(env *env) Value
+	eval(en env) Value
 }
 
 // literalExpr is a constant.
@@ -19,10 +19,18 @@ type literalExpr struct{ v Value }
 func (e *literalExpr) String() string { return e.v.String() }
 
 // attrRefExpr references an attribute, optionally qualified by a
-// resolution scope: "" (unqualified), "my", or "target".
+// resolution scope: "" (unqualified), "my", or "target".  The
+// lower-cased name is interned at construction so evaluation never
+// re-folds case on the hot path.
 type attrRefExpr struct {
 	scope string
 	name  string
+	lower string
+}
+
+// newAttrRef interns the lowered attribute name at parse time.
+func newAttrRef(scope, name string) *attrRefExpr {
+	return &attrRefExpr{scope: scope, name: name, lower: strings.ToLower(name)}
 }
 
 func (e *attrRefExpr) String() string {
@@ -34,8 +42,14 @@ func (e *attrRefExpr) String() string {
 
 // selectExpr selects an attribute from the ad value of base.
 type selectExpr struct {
-	base Expr
-	name string
+	base  Expr
+	name  string
+	lower string
+}
+
+// newSelect interns the lowered attribute name at parse time.
+func newSelect(base Expr, name string) *selectExpr {
+	return &selectExpr{base: base, name: name, lower: strings.ToLower(name)}
 }
 
 func (e *selectExpr) String() string {
@@ -82,10 +96,19 @@ func (e *condExpr) String() string {
 	return fmt.Sprintf("(%s ? %s : %s)", e.cond, e.then, e.els)
 }
 
-// callExpr is a builtin function call.
+// callExpr is a builtin function call.  The builtin implementation is
+// resolved once at parse time; an unknown name leaves fn nil and the
+// call evaluates to ERROR.
 type callExpr struct {
 	name string
 	args []Expr
+	fn   builtinFunc
+}
+
+// newCall resolves the builtin at parse time.  name must already be
+// lower-cased by the parser.
+func newCall(name string, args []Expr) *callExpr {
+	return &callExpr{name: name, args: args, fn: builtins[name]}
 }
 
 func (e *callExpr) String() string {
@@ -116,4 +139,4 @@ func (e *adExpr) String() string { return e.ad.String() }
 func Lit(v Value) Expr { return &literalExpr{v: v} }
 
 // AttrRef builds an unqualified attribute reference expression.
-func AttrRef(name string) Expr { return &attrRefExpr{name: name} }
+func AttrRef(name string) Expr { return newAttrRef("", name) }

@@ -10,7 +10,7 @@ import (
 // builtinFunc evaluates a call given unevaluated argument expressions;
 // most builtins are strict and evaluate all their arguments, but
 // ifThenElse is lazy by design.
-type builtinFunc func(args []Expr, en *env) Value
+type builtinFunc func(args []Expr, en env) Value
 
 // builtins is the function library.  Names are lower-case; the parser
 // lower-cases call names, making builtins case-insensitive as in
@@ -49,7 +49,7 @@ func init() {
 
 // strictFn adapts a function over evaluated values.
 func strictFn(f func(vs []Value) Value) builtinFunc {
-	return func(args []Expr, en *env) Value {
+	return func(args []Expr, en env) Value {
 		vs := make([]Value, len(args))
 		for i, a := range args {
 			vs[i] = a.eval(en)
@@ -394,7 +394,7 @@ func biRegexp(vs []Value) Value {
 }
 
 // biIfThenElse is lazy: only the selected branch is evaluated.
-func biIfThenElse(args []Expr, en *env) Value {
+func biIfThenElse(args []Expr, en env) Value {
 	if len(args) != 3 {
 		return ErrorValue()
 	}

@@ -12,61 +12,67 @@ const maxEvalDepth = 64
 
 // env carries the evaluation context: the ad owning the expression
 // (self), the candidate partner ad (target), and the recursion depth.
+// It is passed by value so that recursive evaluation never touches
+// the heap.
 type env struct {
 	self   *Ad
 	target *Ad
 	depth  int
 }
 
-func (e *env) deeper() (*env, bool) {
+func (e env) deeper() (env, bool) {
 	if e.depth+1 > maxEvalDepth {
-		return nil, false
+		return e, false
 	}
-	return &env{self: e.self, target: e.target, depth: e.depth + 1}, true
+	return env{self: e.self, target: e.target, depth: e.depth + 1}, true
 }
 
-func (e *literalExpr) eval(*env) Value { return e.v }
+func (e *literalExpr) eval(env) Value { return e.v }
 
-func (e *attrRefExpr) eval(en *env) Value {
+func (e *attrRefExpr) eval(en env) Value {
 	next, ok := en.deeper()
 	if !ok {
 		return ErrorValue()
 	}
 	switch e.scope {
 	case "my":
-		return lookupIn(en.self, e.name, next, en.target)
+		return lookupIn(en.self, e.lower, next.depth, en.target)
 	case "target":
-		return lookupIn(en.target, e.name, next, en.self)
+		return lookupIn(en.target, e.lower, next.depth, en.self)
 	default:
 		// Unqualified: resolve in self first, then target.
 		if en.self != nil {
-			if expr, ok := en.self.Lookup(e.name); ok {
-				return expr.eval(&env{self: en.self, target: en.target, depth: next.depth})
+			if expr, ok := en.self.lookupLower(e.lower); ok {
+				return expr.eval(env{self: en.self, target: en.target, depth: next.depth})
 			}
 		}
 		if en.target != nil {
-			if expr, ok := en.target.Lookup(e.name); ok {
+			if expr, ok := en.target.lookupLower(e.lower); ok {
 				// Inside the target ad, the roles reverse.
-				return expr.eval(&env{self: en.target, target: en.self, depth: next.depth})
+				return expr.eval(env{self: en.target, target: en.self, depth: next.depth})
 			}
 		}
 		return Undefined()
 	}
 }
 
-// lookupIn resolves name in ad, evaluating with ad as self.
-func lookupIn(ad *Ad, name string, next *env, other *Ad) Value {
+// lookupIn resolves the already-lowered name in ad, evaluating with ad
+// as self.
+func lookupIn(ad *Ad, lower string, depth int, other *Ad) Value {
 	if ad == nil {
 		return Undefined()
 	}
-	expr, ok := ad.Lookup(name)
+	expr, ok := ad.lookupLower(lower)
 	if !ok {
 		return Undefined()
 	}
-	return expr.eval(&env{self: ad, target: other, depth: next.depth})
+	if lit, isLit := expr.(*literalExpr); isLit {
+		return lit.v
+	}
+	return expr.eval(env{self: ad, target: other, depth: depth})
 }
 
-func (e *selectExpr) eval(en *env) Value {
+func (e *selectExpr) eval(en env) Value {
 	next, ok := en.deeper()
 	if !ok {
 		return ErrorValue()
@@ -77,47 +83,21 @@ func (e *selectExpr) eval(en *env) Value {
 		return base
 	case AdType:
 		ad, _ := base.AdContent()
-		return lookupIn(ad, e.name, next, en.target)
+		return lookupIn(ad, e.lower, next.depth, en.target)
 	default:
 		return ErrorValue()
 	}
 }
 
-func (e *unaryExpr) eval(en *env) Value {
+func (e *unaryExpr) eval(en env) Value {
 	next, ok := en.deeper()
 	if !ok {
 		return ErrorValue()
 	}
-	x := e.x.eval(next)
-	switch e.op {
-	case tokNot:
-		switch x.Type() {
-		case BooleanType:
-			b, _ := x.BoolValue()
-			return Bool(!b)
-		case UndefinedType, ErrorType:
-			return x
-		default:
-			return ErrorValue()
-		}
-	case tokMinus:
-		switch x.Type() {
-		case IntegerType:
-			i, _ := x.IntValue()
-			return Int(-i)
-		case RealType:
-			r, _ := x.RealValue()
-			return Real(-r)
-		case UndefinedType, ErrorType:
-			return x
-		default:
-			return ErrorValue()
-		}
-	}
-	return ErrorValue()
+	return applyUnary(e.op, e.x.eval(next))
 }
 
-func (e *condExpr) eval(en *env) Value {
+func (e *condExpr) eval(en env) Value {
 	next, ok := en.deeper()
 	if !ok {
 		return ErrorValue()
@@ -137,7 +117,7 @@ func (e *condExpr) eval(en *env) Value {
 	}
 }
 
-func (e *listExpr) eval(en *env) Value {
+func (e *listExpr) eval(en env) Value {
 	next, ok := en.deeper()
 	if !ok {
 		return ErrorValue()
@@ -149,21 +129,20 @@ func (e *listExpr) eval(en *env) Value {
 	return List(vs...)
 }
 
-func (e *adExpr) eval(*env) Value { return AdValue(e.ad) }
+func (e *adExpr) eval(env) Value { return AdValue(e.ad) }
 
-func (e *callExpr) eval(en *env) Value {
+func (e *callExpr) eval(en env) Value {
 	next, ok := en.deeper()
 	if !ok {
 		return ErrorValue()
 	}
-	fn, ok := builtins[e.name]
-	if !ok {
+	if e.fn == nil {
 		return ErrorValue()
 	}
-	return fn(e.args, next)
+	return e.fn(e.args, next)
 }
 
-func (e *binaryExpr) eval(en *env) Value {
+func (e *binaryExpr) eval(en env) Value {
 	next, ok := en.deeper()
 	if !ok {
 		return ErrorValue()
@@ -200,7 +179,7 @@ func (e *binaryExpr) eval(en *env) Value {
 
 // evalAnd implements ClassAd three-valued conjunction: a definite
 // false wins over UNDEFINED/ERROR on the other side.
-func evalAnd(le, re Expr, en *env) Value {
+func evalAnd(le, re Expr, en env) Value {
 	l := le.eval(en)
 	if b, ok := l.BoolValue(); ok && !b {
 		return Bool(false)
@@ -224,7 +203,7 @@ func evalAnd(le, re Expr, en *env) Value {
 }
 
 // evalOr implements three-valued disjunction: a definite true wins.
-func evalOr(le, re Expr, en *env) Value {
+func evalOr(le, re Expr, en env) Value {
 	l := le.eval(en)
 	if b, ok := l.BoolValue(); ok && b {
 		return Bool(true)
@@ -313,7 +292,7 @@ func evalCompare(op tokenKind, l, r Value) Value {
 		// ClassAd string comparison is case-insensitive.
 		ls, _ := l.StringValue()
 		rs, _ := r.StringValue()
-		cmp = strings.Compare(strings.ToLower(ls), strings.ToLower(rs))
+		cmp = foldCompare(ls, rs)
 	case l.Type() == BooleanType && r.Type() == BooleanType:
 		lb, _ := l.BoolValue()
 		rb, _ := r.BoolValue()
@@ -345,13 +324,49 @@ func evalCompare(op tokenKind, l, r Value) Value {
 	return ErrorValue()
 }
 
+// foldCompare orders two strings case-insensitively without
+// allocating.  The fast path folds ASCII byte-wise; any non-ASCII
+// byte falls back to the full Unicode lowering, which matches the
+// previous behaviour exactly.
+func foldCompare(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		ca, cb := a[i], b[i]
+		if ca >= 0x80 || cb >= 0x80 {
+			return strings.Compare(strings.ToLower(a[i:]), strings.ToLower(b[i:]))
+		}
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
 // Eval evaluates an expression with no ads in context; attribute
 // references yield UNDEFINED.
 func Eval(e Expr) Value {
-	return e.eval(&env{})
+	return e.eval(env{})
 }
 
 // EvalInContext evaluates an expression with self and target ads.
 func EvalInContext(e Expr, self, target *Ad) Value {
-	return e.eval(&env{self: self, target: target})
+	return e.eval(env{self: self, target: target})
 }

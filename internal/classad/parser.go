@@ -301,14 +301,14 @@ func (p *parser) parsePostfix() (Expr, error) {
 		if ref, ok := e.(*attrRefExpr); ok && ref.scope == "" {
 			switch strings.ToLower(ref.name) {
 			case "my":
-				e = &attrRefExpr{scope: "my", name: nameTok.text}
+				e = newAttrRef("my", nameTok.text)
 				continue
 			case "target":
-				e = &attrRefExpr{scope: "target", name: nameTok.text}
+				e = newAttrRef("target", nameTok.text)
 				continue
 			}
 		}
-		e = &selectExpr{base: e, name: nameTok.text}
+		e = newSelect(e, nameTok.text)
 	}
 	return e, nil
 }
@@ -360,7 +360,7 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if p.tok.kind == tokLParen {
 			return p.parseCall(name)
 		}
-		return &attrRefExpr{name: name}, nil
+		return newAttrRef("", name), nil
 
 	case tokLParen:
 		if err := p.advance(); err != nil {
@@ -412,7 +412,7 @@ func (p *parser) parseCall(name string) (Expr, error) {
 	if _, err := p.expect(tokRParen); err != nil {
 		return nil, err
 	}
-	return &callExpr{name: strings.ToLower(name), args: args}, nil
+	return newCall(strings.ToLower(name), args), nil
 }
 
 func (p *parser) parseList() (Expr, error) {

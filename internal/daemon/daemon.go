@@ -128,6 +128,12 @@ type Params struct {
 	// CheckpointInterval is how often a Standard Universe starter
 	// ships a checkpoint to the shadow; 0 disables checkpointing.
 	CheckpointInterval time.Duration
+	// DisableMatchFastPath makes the matchmaker negotiate with the
+	// uncompiled reference evaluator and no candidate index — the
+	// original scheduler shape.  Same-seed runs must produce
+	// identical traces either way; the determinism regression tests
+	// compare the two.
+	DisableMatchFastPath bool
 }
 
 // DefaultParams returns the parameters used throughout the paper's

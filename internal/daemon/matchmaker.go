@@ -1,7 +1,8 @@
 package daemon
 
 import (
-	"sort"
+	"slices"
+	"strings"
 	"time"
 
 	"github.com/errscope/grid/internal/classad"
@@ -12,15 +13,33 @@ import (
 // schedds and startds of compatible partners.  Matched processes are
 // then individually responsible for claiming one another — the
 // matchmaker's word is advisory, exactly as in Condor.
+//
+// The negotiation fast path keeps every per-cycle structure
+// incremental: machines live in a name-sorted list and an
+// attribute-value index maintained on advertise/expire; jobs live in
+// per-owner buckets kept in submission order at insert time.  A
+// steady-state cycle (nothing matchable) allocates nothing.
 type Matchmaker struct {
 	bus    Runtime
 	params Params
 
-	machines map[string]*machineEntry
-	jobs     map[jobKey]*jobEntry
+	machines     map[string]*machineEntry
+	machineNames []string  // sorted; the deterministic scan order
+	index        attrIndex // constant-attribute value index
+
+	jobs        map[jobKey]*jobEntry
+	ownerQueues map[string][]*jobEntry // per owner, sorted by (schedd, job)
+	ownerNames  []string               // owners with non-empty queues, name-sorted
+
 	// usage counts matches handed to each owner, the basis of the
 	// fair-share ordering.
 	usage map[string]int
+
+	// Scratch storage reused across cycles.
+	ownerScratch []string
+	jobScratch   []*jobEntry
+	candScratch  []*machineEntry
+	nameScratch  []string
 
 	// Cycles counts negotiation cycles, for metrics.
 	Cycles int
@@ -28,13 +47,17 @@ type Matchmaker struct {
 	MatchesMade int
 	// AdsExpired counts machine ads dropped for silence.
 	AdsExpired int
+	// PrefilterSkips counts (job, machine) pairs rejected by the
+	// constant pre-filter without full Requirements evaluation.
+	PrefilterSkips int
 }
 
 type machineEntry struct {
 	name    string
 	ad      *classad.Ad
-	matched bool     // provisionally handed out this cycle
-	expires sim.Time // ad lifetime; a silent machine vanishes
+	table   *classad.AttrTable // snapshot backing the index entries
+	matched bool               // provisionally handed out this cycle
+	expires sim.Time           // ad lifetime; a silent machine vanishes
 }
 
 type jobKey struct {
@@ -43,29 +66,34 @@ type jobKey struct {
 }
 
 type jobEntry struct {
-	key jobKey
-	ad  *classad.Ad
+	key   jobKey
+	ad    *classad.Ad
+	owner string
+	pre   []classad.Constraint // constant conjuncts of the job's Requirements
 }
 
-// owner extracts the requesting user from the job ad, falling back to
-// the schedd name so anonymous requests still get a fair-share bucket.
-func (j *jobEntry) owner() string {
-	if v := j.ad.EvalAttr("Owner", nil); v.Type() == classad.StringType {
+// jobOwner extracts the requesting user from the job ad, falling back
+// to the schedd name so anonymous requests still get a fair-share
+// bucket.  Evaluated once at advertise time.
+func jobOwner(key jobKey, ad *classad.Ad) string {
+	if v := ad.EvalAttr("Owner", nil); v.Type() == classad.StringType {
 		s, _ := v.StringValue()
 		return s
 	}
-	return j.key.schedd
+	return key.schedd
 }
 
 // NewMatchmaker creates and registers the matchmaker on the bus and
 // starts its negotiation cycle.
 func NewMatchmaker(bus Runtime, params Params) *Matchmaker {
 	m := &Matchmaker{
-		bus:      bus,
-		params:   params,
-		machines: make(map[string]*machineEntry),
-		jobs:     make(map[jobKey]*jobEntry),
-		usage:    make(map[string]int),
+		bus:         bus,
+		params:      params,
+		machines:    make(map[string]*machineEntry),
+		index:       newAttrIndex(),
+		jobs:        make(map[jobKey]*jobEntry),
+		ownerQueues: make(map[string][]*jobEntry),
+		usage:       make(map[string]int),
 	}
 	bus.Register(MatchmakerName, m)
 	bus.Every(params.NegotiationInterval, m.negotiate)
@@ -84,18 +112,118 @@ func (m *Matchmaker) Receive(msg sim.Message) {
 		if lifetime <= 0 {
 			lifetime = 150 * time.Second
 		}
-		m.machines[ad.Name] = &machineEntry{
-			name:    ad.Name,
-			ad:      ad.Ad,
-			expires: m.bus.Now().Add(lifetime),
-		}
+		m.upsertMachine(ad.Name, ad.Ad, m.bus.Now().Add(lifetime))
 	case "job":
 		key := jobKey{schedd: ad.Schedd, job: ad.Job}
 		if ad.Ad == nil {
-			delete(m.jobs, key) // schedd withdraws the request
+			m.removeJob(key) // schedd withdraws the request
 			return
 		}
-		m.jobs[key] = &jobEntry{key: key, ad: ad.Ad}
+		m.upsertJob(key, ad.Ad)
+	}
+}
+
+// upsertMachine installs or refreshes a machine ad, keeping the
+// sorted name list and the attribute index current.  A re-advertise
+// clears the provisional matched flag: the machine is visible again.
+func (m *Matchmaker) upsertMachine(name string, ad *classad.Ad, expires sim.Time) {
+	if entry, ok := m.machines[name]; ok {
+		entry.expires = expires
+		entry.matched = false
+		if entry.ad == ad {
+			// The startd re-sent the identical ad object (they cache
+			// theirs per state); nothing to re-index.
+			return
+		}
+		ad.Precompile()
+		m.index.remove(entry)
+		entry.ad = ad
+		entry.table = ad.Table()
+		m.index.add(entry)
+		return
+	}
+	ad.Precompile()
+	table := ad.Table()
+	entry := &machineEntry{name: name, ad: ad, table: table, expires: expires}
+	m.machines[name] = entry
+	pos, _ := slices.BinarySearch(m.machineNames, name)
+	m.machineNames = slices.Insert(m.machineNames, pos, name)
+	m.index.add(entry)
+}
+
+// removeMachine drops a machine from the map, the sorted list, and
+// the attribute index.
+func (m *Matchmaker) removeMachine(name string) {
+	entry, ok := m.machines[name]
+	if !ok {
+		return
+	}
+	delete(m.machines, name)
+	if pos, found := slices.BinarySearch(m.machineNames, name); found {
+		m.machineNames = slices.Delete(m.machineNames, pos, pos+1)
+	}
+	m.index.remove(entry)
+}
+
+// compareJobEntries orders jobs within an owner bucket by submission
+// identity.
+func compareJobEntries(a, b *jobEntry) int {
+	if c := strings.Compare(a.key.schedd, b.key.schedd); c != 0 {
+		return c
+	}
+	switch {
+	case a.key.job < b.key.job:
+		return -1
+	case a.key.job > b.key.job:
+		return 1
+	}
+	return 0
+}
+
+// upsertJob installs or refreshes a job request in its owner bucket.
+// Jobs are always the self side of a match, so only their compiled
+// Requirements and pre-filter are needed — no attribute table.
+func (m *Matchmaker) upsertJob(key jobKey, ad *classad.Ad) {
+	if old, ok := m.jobs[key]; ok {
+		// Refresh in place; owner may change if the ad changed.
+		if newOwner := jobOwner(key, ad); newOwner != old.owner {
+			m.removeJob(key)
+		} else {
+			old.ad = ad
+			old.pre = classad.RequirementsPrefilter(ad)
+			return
+		}
+	}
+	j := &jobEntry{key: key, ad: ad, owner: jobOwner(key, ad),
+		pre: classad.RequirementsPrefilter(ad)}
+	m.jobs[key] = j
+	q := m.ownerQueues[j.owner]
+	if len(q) == 0 {
+		pos, _ := slices.BinarySearch(m.ownerNames, j.owner)
+		m.ownerNames = slices.Insert(m.ownerNames, pos, j.owner)
+	}
+	pos, _ := slices.BinarySearchFunc(q, j, compareJobEntries)
+	m.ownerQueues[j.owner] = slices.Insert(q, pos, j)
+}
+
+// removeJob withdraws a job request, dropping empty owner buckets.
+func (m *Matchmaker) removeJob(key jobKey) {
+	j, ok := m.jobs[key]
+	if !ok {
+		return
+	}
+	delete(m.jobs, key)
+	q := m.ownerQueues[j.owner]
+	if pos, found := slices.BinarySearchFunc(q, j, compareJobEntries); found {
+		q = slices.Delete(q, pos, pos+1)
+	}
+	if len(q) == 0 {
+		delete(m.ownerQueues, j.owner)
+		if pos, found := slices.BinarySearch(m.ownerNames, j.owner); found {
+			m.ownerNames = slices.Delete(m.ownerNames, pos, pos+1)
+		}
+	} else {
+		m.ownerQueues[j.owner] = q
 	}
 }
 
@@ -104,88 +232,46 @@ func (m *Matchmaker) Receive(msg sim.Message) {
 // notify the schedd.
 func (m *Matchmaker) negotiate() {
 	m.Cycles++
-	// Expire ads from machines that have gone silent.  At the
-	// matchmaker, a machine's prolonged silence is the point where a
-	// network-scope condition has aged into machine scope
-	// (Section 5: "time becomes a factor in error propagation").
-	now := m.bus.Now()
-	for name, entry := range m.machines {
-		if now > entry.expires {
-			delete(m.machines, name)
-			m.AdsExpired++
+	m.expireMachines()
+
+	// Fair share: owners are served in ascending order of accumulated
+	// matches, interleaved round-robin, so neither a busy submit
+	// point nor a greedy user can starve the rest.  Within an owner,
+	// jobs keep submission order — the buckets are maintained sorted
+	// at insert time, so the cycle only re-orders the (few) owners.
+	owners := append(m.ownerScratch[:0], m.ownerNames...)
+	slices.SortFunc(owners, func(a, b string) int {
+		if m.usage[a] != m.usage[b] {
+			return m.usage[a] - m.usage[b]
 		}
-	}
-	// Fair share: requests are grouped per owner and owners are
-	// served in ascending order of accumulated matches, interleaved
-	// round-robin, so neither a busy submit point nor a greedy user
-	// can starve the rest.  Within an owner, jobs keep submission
-	// order.  The whole arrangement stays deterministic.
-	byOwner := make(map[string][]*jobEntry)
-	for _, j := range m.jobs {
-		o := j.owner()
-		byOwner[o] = append(byOwner[o], j)
-	}
-	owners := make([]string, 0, len(byOwner))
-	for o := range byOwner {
-		owners = append(owners, o)
-		sort.Slice(byOwner[o], func(i, k int) bool {
-			a, b := byOwner[o][i].key, byOwner[o][k].key
-			if a.schedd != b.schedd {
-				return a.schedd < b.schedd
-			}
-			return a.job < b.job
-		})
-	}
-	sort.Slice(owners, func(i, k int) bool {
-		if m.usage[owners[i]] != m.usage[owners[k]] {
-			return m.usage[owners[i]] < m.usage[owners[k]]
-		}
-		return owners[i] < owners[k]
+		return strings.Compare(a, b)
 	})
-	jobs := make([]*jobEntry, 0, len(m.jobs))
+	m.ownerScratch = owners
+
+	jobs := m.jobScratch[:0]
 	for round := 0; len(jobs) < len(m.jobs); round++ {
 		for _, o := range owners {
-			if q := byOwner[o]; round < len(q) {
+			if q := m.ownerQueues[o]; round < len(q) {
 				jobs = append(jobs, q[round])
 			}
 		}
 	}
+	m.jobScratch = jobs
 
-	names := make([]string, 0, len(m.machines))
-	for name := range m.machines {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-
+	fast := !m.params.DisableMatchFastPath
 	for _, j := range jobs {
-		best := ""
-		bestRank := 0.0
-		for _, name := range names {
-			entry := m.machines[name]
-			if entry.matched {
-				continue
-			}
-			if !classad.Match(j.ad, entry.ad) {
-				continue
-			}
-			r := classad.Rank(j.ad, entry.ad)
-			if best == "" || r > bestRank {
-				best = name
-				bestRank = r
-			}
-		}
-		if best == "" {
+		best := m.findBest(j, fast)
+		if best == nil {
 			continue
 		}
-		entry := m.machines[best]
-		entry.matched = true
+		best.matched = true
 		m.MatchesMade++
-		m.usage[j.owner()]++
-		delete(m.jobs, j.key)
+		m.usage[j.owner]++
+		m.removeJob(j.key)
 		m.bus.Send(MatchmakerName, j.key.schedd, kindMatchNotify, matchNotifyMsg{
 			Job:       j.key.job,
-			Machine:   best,
-			MachineAd: entry.ad.Copy(),
+			Machine:   best.name,
+			MachineAd: best.ad.Copy(),
 		})
 	}
 	// Provisional matches expire when the startd re-advertises; a
@@ -193,8 +279,255 @@ func (m *Matchmaker) negotiate() {
 	// again on its next ad.
 }
 
+// expireMachines drops ads from machines that have gone silent.  At
+// the matchmaker, a machine's prolonged silence is the point where a
+// network-scope condition has aged into machine scope (Section 5:
+// "time becomes a factor in error propagation").
+func (m *Matchmaker) expireMachines() {
+	now := m.bus.Now()
+	expired := m.nameScratch[:0]
+	for _, name := range m.machineNames {
+		if now > m.machines[name].expires {
+			expired = append(expired, name)
+		}
+	}
+	for _, name := range expired {
+		m.removeMachine(name)
+		m.AdsExpired++
+	}
+	m.nameScratch = expired[:0]
+}
+
+// findBest returns the best unmatched machine for the job, or nil.
+// The fast path narrows candidates through the equality index, skips
+// constant-incompatible pairs via the pre-filter, and evaluates
+// Requirements through the compiled handles; the slow path is the
+// reference full scan with AST evaluation, kept for equivalence and
+// determinism regression tests.
+func (m *Matchmaker) findBest(j *jobEntry, fast bool) *machineEntry {
+	var best *machineEntry
+	bestRank := 0.0
+	if !fast {
+		for _, name := range m.machineNames {
+			entry := m.machines[name]
+			if entry.matched || !classad.MatchSlow(j.ad, entry.ad) {
+				continue
+			}
+			r := classad.RankSlow(j.ad, entry.ad)
+			if best == nil || r > bestRank {
+				best = entry
+				bestRank = r
+			}
+		}
+		return best
+	}
+	for _, entry := range m.candidates(j) {
+		if entry.matched {
+			continue
+		}
+		if !classad.AdmitsAll(j.pre, entry.table) {
+			m.PrefilterSkips++
+			continue
+		}
+		if !classad.Match(j.ad, entry.ad) {
+			continue
+		}
+		r := classad.Rank(j.ad, entry.ad)
+		if best == nil || r > bestRank {
+			best = entry
+			bestRank = r
+		}
+	}
+	return best
+}
+
+// candidates selects the machines worth considering for the job: the
+// smallest equality bucket named by the job's pre-filter, merged with
+// the machines whose binding for that attribute is dynamic, in name
+// order; or every machine when no constraint is indexable.  The
+// selection only ever narrows — soundness rests on the same argument
+// as Constraint.Admits: a machine outside the bucket has a constant
+// binding (or none) that full evaluation would reject.
+func (m *Matchmaker) candidates(j *jobEntry) []*machineEntry {
+	var bucket, dynamic []*machineEntry
+	found := false
+	for _, c := range j.pre {
+		key, ok := c.IndexKey()
+		if !ok {
+			continue
+		}
+		b, d := m.index.bucket(c.Attr, key)
+		if !found || len(b)+len(d) < len(bucket)+len(dynamic) {
+			bucket, dynamic = b, d
+			found = true
+		}
+	}
+	if !found {
+		out := m.candScratch[:0]
+		for _, name := range m.machineNames {
+			out = append(out, m.machines[name])
+		}
+		m.candScratch = out
+		return out
+	}
+	// Merge the two name-sorted lists, preserving the global order.
+	out := m.candScratch[:0]
+	i, k := 0, 0
+	for i < len(bucket) && k < len(dynamic) {
+		if bucket[i].name <= dynamic[k].name {
+			out = append(out, bucket[i])
+			i++
+		} else {
+			out = append(out, dynamic[k])
+			k++
+		}
+	}
+	out = append(out, bucket[i:]...)
+	out = append(out, dynamic[k:]...)
+	m.candScratch = out
+	return out
+}
+
+// AdvertiseMachine installs or refreshes a machine ad directly, for
+// benchmarks and tests that drive the matchmaker without the bus.
+func (m *Matchmaker) AdvertiseMachine(name string, ad *classad.Ad) {
+	lifetime := m.params.MachineAdLifetime
+	if lifetime <= 0 {
+		lifetime = 150 * time.Second
+	}
+	m.upsertMachine(name, ad, m.bus.Now().Add(lifetime))
+}
+
+// AdvertiseJob installs or refreshes a job request directly, for
+// benchmarks and tests that drive the matchmaker without the bus.
+func (m *Matchmaker) AdvertiseJob(schedd string, job JobID, ad *classad.Ad) {
+	m.upsertJob(jobKey{schedd: schedd, job: job}, ad)
+}
+
 // MachineCount reports the machines currently advertised, for tests.
 func (m *Matchmaker) MachineCount() int { return len(m.machines) }
 
 // PendingJobs reports the job requests currently queued, for tests.
 func (m *Matchmaker) PendingJobs() int { return len(m.jobs) }
+
+// Negotiate runs one negotiation cycle immediately, for benchmarks
+// and tests that drive the matchmaker without the bus timer.
+func (m *Matchmaker) Negotiate() { m.negotiate() }
+
+// IndexedMachines reports how many (attribute, value) entries the
+// constant index currently holds, for tests.
+func (m *Matchmaker) IndexedMachines() int { return m.index.size() }
+
+// attrIndex buckets machines by the constant values of their
+// advertised attributes, so equality constraints in job Requirements
+// select a candidate bucket instead of scanning the pool.  Machines
+// whose binding for an attribute is dynamic (a non-literal
+// expression) are listed separately: the pre-filter never prejudges
+// them, so they join every bucket of that attribute at merge time.
+// All lists are name-sorted for deterministic iteration.
+type attrIndex struct {
+	byValue map[string]map[string][]*machineEntry // attr -> value key -> entries
+	dynamic map[string][]*machineEntry            // attr -> dynamic entries
+}
+
+func newAttrIndex() attrIndex {
+	return attrIndex{
+		byValue: make(map[string]map[string][]*machineEntry),
+		dynamic: make(map[string][]*machineEntry),
+	}
+}
+
+func compareEntryName(e *machineEntry, name string) int {
+	return strings.Compare(e.name, name)
+}
+
+func insertEntry(list []*machineEntry, e *machineEntry) []*machineEntry {
+	pos, _ := slices.BinarySearchFunc(list, e.name, compareEntryName)
+	return slices.Insert(list, pos, e)
+}
+
+func deleteEntry(list []*machineEntry, e *machineEntry) []*machineEntry {
+	if pos, found := slices.BinarySearchFunc(list, e.name, compareEntryName); found {
+		return slices.Delete(list, pos, pos+1)
+	}
+	return list
+}
+
+// add indexes the entry's snapshot table.
+func (x *attrIndex) add(e *machineEntry) {
+	if e.table == nil {
+		return
+	}
+	for attr, v := range e.table.Consts {
+		key, ok := classad.ValueIndexKey(v)
+		if !ok {
+			continue
+		}
+		vals := x.byValue[attr]
+		if vals == nil {
+			vals = make(map[string][]*machineEntry)
+			x.byValue[attr] = vals
+		}
+		vals[key] = insertEntry(vals[key], e)
+	}
+	for attr := range e.table.Dynamic {
+		x.dynamic[attr] = insertEntry(x.dynamic[attr], e)
+	}
+}
+
+// remove unindexes the entry using the same snapshot it was added
+// with.
+func (x *attrIndex) remove(e *machineEntry) {
+	if e.table == nil {
+		return
+	}
+	for attr, v := range e.table.Consts {
+		key, ok := classad.ValueIndexKey(v)
+		if !ok {
+			continue
+		}
+		vals := x.byValue[attr]
+		if vals == nil {
+			continue
+		}
+		if list := deleteEntry(vals[key], e); len(list) > 0 {
+			vals[key] = list
+		} else {
+			delete(vals, key)
+		}
+		if len(vals) == 0 {
+			delete(x.byValue, attr)
+		}
+	}
+	for attr := range e.table.Dynamic {
+		if list := deleteEntry(x.dynamic[attr], e); len(list) > 0 {
+			x.dynamic[attr] = list
+		} else {
+			delete(x.dynamic, attr)
+		}
+	}
+}
+
+// bucket returns the constant-value bucket and the dynamic list for
+// an attribute.
+func (x *attrIndex) bucket(attr, key string) (constant, dynamic []*machineEntry) {
+	if vals := x.byValue[attr]; vals != nil {
+		constant = vals[key]
+	}
+	return constant, x.dynamic[attr]
+}
+
+// size counts indexed (attribute, value, machine) entries plus
+// dynamic listings, for tests.
+func (x *attrIndex) size() int {
+	n := 0
+	for _, vals := range x.byValue {
+		for _, list := range vals {
+			n += len(list)
+		}
+	}
+	for _, list := range x.dynamic {
+		n += len(list)
+	}
+	return n
+}

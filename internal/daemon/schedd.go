@@ -2,7 +2,7 @@ package daemon
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -87,6 +87,9 @@ func (s *Schedd) Submit(job *Job) JobID {
 	job.ID = s.nextID
 	job.State = JobIdle
 	job.Submitted = s.bus.Now()
+	// Compile Requirements/Rank once up front: every periodic
+	// advertise copies this ad, and copies inherit the caches.
+	job.Ad.Precompile()
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.logEvent(job, EventSubmitted, "owner %s", job.Owner)
@@ -165,7 +168,7 @@ func (s *Schedd) effectiveAd(j *Job) *classad.Ad {
 	if len(avoided) == 0 {
 		return ad
 	}
-	sort.Strings(avoided)
+	slices.Sort(avoided)
 	var list strings.Builder
 	list.WriteString("{")
 	for i, m := range avoided {

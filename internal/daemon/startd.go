@@ -71,6 +71,12 @@ type Startd struct {
 	starterObj *Starter
 	crashed    bool
 
+	// adCache holds the machine ad per (claimed, hasJava) shape —
+	// the only dynamic inputs of buildAd.  Re-advertising the same
+	// immutable ad object lets the matchmaker skip re-indexing and
+	// keeps the compiled-Requirements caches warm.
+	adCache [4]*classad.Ad
+
 	// Metrics.
 	ClaimsGranted int
 	ClaimsDenied  int
@@ -122,8 +128,20 @@ func (s *Startd) Machine() *jvm.Machine { return s.machine }
 // State returns the claim state, for tests.
 func (s *Startd) State() StartdState { return s.state }
 
-// buildAd constructs the machine's ClassAd.
+// buildAd returns the machine's ClassAd, cached per (claimed,
+// hasJava) state.  The returned ad is shared and must not be mutated
+// by callers.
 func (s *Startd) buildAd() *classad.Ad {
+	key := 0
+	if s.state != StartdUnclaimed {
+		key |= 1
+	}
+	if s.hasJava {
+		key |= 2
+	}
+	if ad := s.adCache[key]; ad != nil {
+		return ad
+	}
 	ad := classad.NewAd()
 	ad.SetString("Machine", s.cfg.Name)
 	ad.SetString("Arch", s.cfg.Arch)
@@ -139,6 +157,8 @@ func (s *Startd) buildAd() *classad.Ad {
 	if s.cfg.OwnerRequirements != "" {
 		ad.MustSetExpr("Requirements", s.cfg.OwnerRequirements)
 	}
+	ad.Precompile()
+	s.adCache[key] = ad
 	return ad
 }
 

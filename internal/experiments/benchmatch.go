@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/sim"
+)
+
+// BenchMatchRow is one measured matchmaker configuration, the unit of
+// BENCH_matchmaker.json.
+type BenchMatchRow struct {
+	// Scenario is "match" (every job finds a machine; each op is one
+	// arrival wave plus a full negotiation cycle) or "steady" (the
+	// queue waits on constraints no machine satisfies; each op is one
+	// idle negotiation cycle, which must not allocate).
+	Scenario string `json:"scenario"`
+	// PoolSize is the number of machines; the match scenario queues
+	// the same number of jobs.
+	PoolSize int `json:"pool_size"`
+	// NsPerOp is the measured time per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp are the heap costs per operation.
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// MatchesPerSec is the match notification rate implied by the
+	// match scenario (zero for steady).
+	MatchesPerSec float64 `json:"matches_per_sec"`
+}
+
+// benchSink swallows the matchmaker's notifications; the benchmark
+// measures negotiation, not the schedd.
+type benchSink struct{}
+
+func (benchSink) Receive(sim.Message) {}
+
+// benchPool builds an engine, bus, and matchmaker with the periodic
+// cycle pushed out of the measurement window, plus machine ads for a
+// pool of the given size (every eighth machine lacks Java, as in the
+// BestMatchN micro-benchmark).
+func benchPool(size int, disableFastPath bool) (*sim.Engine, *daemon.Matchmaker, []*classad.Ad) {
+	eng := sim.New(1)
+	bus := sim.NewBus(eng, 0)
+	params := daemon.DefaultParams()
+	params.NegotiationInterval = 1000 * time.Hour
+	params.MachineAdLifetime = 10000 * time.Hour
+	params.DisableMatchFastPath = disableFastPath
+	m := daemon.NewMatchmaker(bus, params)
+	bus.Register("schedd", benchSink{})
+	machineAds := make([]*classad.Ad, size)
+	for i := range machineAds {
+		ad := classad.NewAd()
+		ad.SetString("Machine", fmt.Sprintf("m%04d", i))
+		ad.SetString("Arch", "X86_64")
+		ad.SetString("OpSys", "LINUX")
+		ad.SetInt("Memory", int64(512+i))
+		ad.SetBool("HasJava", i%8 != 0)
+		ad.SetString("State", "Unclaimed")
+		ad.Precompile()
+		machineAds[i] = ad
+		m.AdvertiseMachine(fmt.Sprintf("m%04d", i), ad)
+	}
+	return eng, m, machineAds
+}
+
+// BenchMatchmaker measures the negotiation fast path at the given pool
+// sizes and returns the rows plus a human-readable report.  The match
+// scenario re-advertises the whole pool and a matching job wave each
+// op (match-ref repeats it with DisableMatchFastPath, the reference
+// AST evaluator over a full scan); the steady scenario holds an
+// unsatisfiable queue and measures the idle cycle, whose allocation
+// count is the fast path's core claim.
+func BenchMatchmaker(sizes []int) ([]BenchMatchRow, *Report) {
+	rep := &Report{
+		ID:    "bench-matchmaker",
+		Title: "negotiation fast path: compiled ClassAds + constant index",
+		Headers: []string{"scenario", "pool", "ns/op", "B/op",
+			"allocs/op", "matches/s"},
+	}
+	var rows []BenchMatchRow
+	for _, size := range sizes {
+		size := size
+		for _, arm := range []struct {
+			scenario string
+			slow     bool
+		}{{"match", false}, {"match-ref", true}} {
+			arm := arm
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				eng, m, machineAds := benchPool(size, arm.slow)
+				jobAds := make([]*classad.Ad, size)
+				for i := range jobAds {
+					jobAds[i] = daemon.NewJavaJobAd(fmt.Sprintf("u%d", i%4), 128)
+					jobAds[i].Precompile()
+				}
+				b.ResetTimer()
+				for n := 0; n < b.N; n++ {
+					for i, ad := range machineAds {
+						m.AdvertiseMachine(fmt.Sprintf("m%04d", i), ad)
+					}
+					for i, ad := range jobAds {
+						m.AdvertiseJob("schedd", daemon.JobID(i+1), ad)
+					}
+					m.Negotiate()
+					eng.RunUntil(eng.Now()) // drain the notifications
+				}
+				b.StopTimer()
+				if m.MatchesMade == 0 {
+					b.Fatal("no matches made")
+				}
+			})
+			rows = append(rows, benchRow(arm.scenario, size, res, size))
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			_, m, _ := benchPool(size, false)
+			// Jobs whose Requirements no machine can meet: the queue
+			// sits, and every cycle walks it without matching.
+			for i := 0; i < size; i++ {
+				ad := daemon.NewJavaJobAd(fmt.Sprintf("u%d", i%4), 1<<40)
+				m.AdvertiseJob("schedd", daemon.JobID(i+1), ad)
+			}
+			m.Negotiate() // warm the scratch slices
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				m.Negotiate()
+			}
+			b.StopTimer()
+			if m.MatchesMade != 0 || m.PendingJobs() != size {
+				b.Fatal("steady state matched")
+			}
+		})
+		rows = append(rows, benchRow("steady", size, res, 0))
+	}
+	for _, r := range rows {
+		mps := "-"
+		if r.MatchesPerSec > 0 {
+			mps = fmt.Sprintf("%.0f", r.MatchesPerSec)
+		}
+		rep.AddRow(r.Scenario, fmt.Sprintf("%d", r.PoolSize),
+			fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%d", r.BytesPerOp),
+			fmt.Sprintf("%d", r.AllocsPerOp), mps)
+	}
+	rep.AddNote("match: one arrival wave (pool ads + job ads) plus one full cycle per op")
+	rep.AddNote("match-ref: the same wave with DisableMatchFastPath (AST evaluation, full scan)")
+	rep.AddNote("steady: one idle cycle per op over an unsatisfiable queue; allocs/op ~0 is the claim")
+	return rows, rep
+}
+
+// benchRow converts a testing.BenchmarkResult into a JSON row.
+func benchRow(scenario string, size int, res testing.BenchmarkResult, matchesPerOp int) BenchMatchRow {
+	ns := float64(res.NsPerOp())
+	row := BenchMatchRow{
+		Scenario:    scenario,
+		PoolSize:    size,
+		NsPerOp:     ns,
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if matchesPerOp > 0 && ns > 0 {
+		row.MatchesPerSec = float64(matchesPerOp) / ns * 1e9
+	}
+	return row
+}

@@ -1,0 +1,76 @@
+package pool
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+)
+
+// dispositionTrace renders every job's full event log at every submit
+// point, in a fixed order: the byte-exact record of what the pool
+// decided and when.
+func dispositionTrace(p *Pool) string {
+	var sb strings.Builder
+	for _, s := range p.Schedds {
+		for _, j := range s.Jobs() {
+			fmt.Fprintf(&sb, "== %s job %d %s\n", s.Name(), j.ID, j.State)
+			sb.WriteString(j.EventLog())
+		}
+	}
+	return sb.String()
+}
+
+// runTracedPool assembles a failure-rich pool — misconfigured
+// machines, chronic-failure avoidance, several owners competing — and
+// returns its disposition trace.
+func runTracedPool(seed int64, disableFastPath bool) string {
+	params := daemon.DefaultParams()
+	params.ChronicFailureThreshold = 3
+	params.MaxAttempts = 10
+	params.DisableMatchFastPath = disableFastPath
+	ms := Misconfigure(UniformMachines(10, 2048), 3, BreakBadLibraryPath, false)
+	p := New(Config{Seed: seed, Params: params, Machines: ms, Schedds: 2})
+	p.StageSharedInput()
+	p.SubmitJava(30, MixedWorkload(seed, 10*time.Minute))
+	p.Run(48 * time.Hour)
+	return dispositionTrace(p)
+}
+
+// TestDeterminismSameSeedSameTrace is the regression gate for the
+// matchmaking fast path: with one seed, the pool must produce
+// byte-identical job-disposition traces run-to-run.
+func TestDeterminismSameSeedSameTrace(t *testing.T) {
+	a := runTracedPool(11, false)
+	b := runTracedPool(11, false)
+	if a != b {
+		t.Fatalf("same seed, different traces:\n--- run A ---\n%s\n--- run B ---\n%s", a, b)
+	}
+	if runTracedPool(12, false) == a {
+		t.Error("different seeds produced identical traces; the trace is not discriminating")
+	}
+}
+
+// TestDeterminismFastPathMatchesReference compares the compiled,
+// indexed negotiation against the original scheduler shape
+// (DisableMatchFastPath): the optimization must change no decision,
+// so the traces are byte-identical.
+func TestDeterminismFastPathMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		fast := runTracedPool(seed, false)
+		slow := runTracedPool(seed, true)
+		if fast != slow {
+			t.Errorf("seed %d: fast path diverged from the reference scheduler", seed)
+			// Show the first differing line to make the report usable.
+			fl, sl := strings.Split(fast, "\n"), strings.Split(slow, "\n")
+			for i := range fl {
+				if i >= len(sl) || fl[i] != sl[i] {
+					t.Fatalf("first divergence at line %d:\nfast: %s\nslow: %s",
+						i, fl[i], sl[min(i, len(sl)-1)])
+				}
+			}
+		}
+	}
+}

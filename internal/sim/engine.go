@@ -31,12 +31,17 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 // Sub returns the duration between two times.
 func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 
-// event is one scheduled callback.
+// event is one scheduled callback.  Events are pooled on a free list:
+// once fired or cancelled, the struct is recycled for a later
+// schedule, so a steady-state simulation allocates no event memory.
+// gen distinguishes incarnations so a stale Timer cannot cancel the
+// recycled event.
 type event struct {
 	at    Time
 	seq   uint64 // insertion order; breaks ties deterministically
 	fn    func()
-	index int // heap index, -1 when removed
+	index int    // heap index, -1 when removed
+	gen   uint64 // incarnation counter for Timer validity
 }
 
 type eventHeap []*event
@@ -78,6 +83,9 @@ type Engine struct {
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	// free is the event free list; fired and cancelled events are
+	// recycled here instead of returning to the garbage collector.
+	free []*event
 	// processed counts executed events, for tests and metrics.
 	processed uint64
 }
@@ -100,38 +108,61 @@ func (e *Engine) Processed() uint64 { return e.processed }
 func (e *Engine) Pending() int { return len(e.events) }
 
 // Timer is a handle to a scheduled event; Cancel prevents a pending
-// event from firing.
+// event from firing.  The handle carries the event's incarnation so
+// that it expires the moment its event fires or is cancelled —
+// pooled event structs are reused for later schedules, and a stale
+// handle must never touch its successor.
 type Timer struct {
 	eng *Engine
 	ev  *event
+	gen uint64
 }
 
 // Cancel removes the event if it has not yet fired.  It reports
 // whether the event was still pending.
 func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.index < 0 {
+	if t == nil || t.ev == nil || t.gen != t.ev.gen || t.ev.index < 0 {
 		return false
 	}
 	heap.Remove(&t.eng.events, t.ev.index)
-	t.ev.fn = nil
+	t.eng.recycle(t.ev)
 	return true
 }
 
-// At schedules fn to run at virtual time at.  Scheduling into the
-// past panics: it would violate causality and silently reorder the
-// trace.
-func (e *Engine) At(at Time, fn func()) *Timer {
+// recycle returns a removed event to the free list under a new
+// incarnation.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
+// At schedules fn to run at virtual time at, returning a cancel
+// handle by value — the handle, the event, and the schedule are all
+// allocation-free in steady state.  Scheduling into the past panics:
+// it would violate causality and silently reorder the trace.
+func (e *Engine) At(at Time, fn func()) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
-	ev := &event{at: at, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.at = at
+		ev.seq = e.seq
+		ev.fn = fn
+	} else {
+		ev = &event{at: at, seq: e.seq, fn: fn}
+	}
 	e.seq++
 	heap.Push(&e.events, ev)
-	return &Timer{eng: e, ev: ev}
+	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d from now.  Negative d means now.
-func (e *Engine) After(d time.Duration, fn func()) *Timer {
+func (e *Engine) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -147,7 +178,7 @@ func (e *Engine) Every(period time.Duration, fn func()) (stop func()) {
 	}
 	stopped := false
 	var schedule func()
-	var current *Timer
+	var current Timer
 	schedule = func() {
 		current = e.After(period, func() {
 			if stopped {
@@ -162,28 +193,26 @@ func (e *Engine) Every(period time.Duration, fn func()) (stop func()) {
 	schedule()
 	return func() {
 		stopped = true
-		if current != nil {
-			current.Cancel()
-		}
+		current.Cancel()
 	}
 }
 
 // Step executes the next pending event, advancing the clock to its
-// time.  It reports whether an event was executed.
+// time.  It reports whether an event was executed.  Cancelled events
+// are removed from the heap eagerly, so every pop is a live event;
+// the struct is recycled before the callback runs, letting callbacks
+// that schedule reuse it immediately.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.fn == nil { // cancelled
-			continue
-		}
-		e.now = ev.at
-		fn := ev.fn
-		ev.fn = nil
-		e.processed++
-		fn()
-		return true
+	if len(e.events) == 0 {
+		return false
 	}
-	return false
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	fn := ev.fn
+	e.recycle(ev)
+	e.processed++
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called.
@@ -222,12 +251,8 @@ func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
 func (e *Engine) Stop() { e.stopped = true }
 
 func (e *Engine) peek() *event {
-	for len(e.events) > 0 {
-		if e.events[0].fn == nil {
-			heap.Pop(&e.events)
-			continue
-		}
-		return e.events[0]
+	if len(e.events) == 0 {
+		return nil
 	}
-	return nil
+	return e.events[0]
 }
