@@ -2,13 +2,13 @@ GO ?= go
 
 # Packages whose protocols run on real goroutines and sockets; they
 # get the race detector.
-RACE_PKGS = ./internal/chirp/... ./internal/remoteio/... ./internal/live/...
+RACE_PKGS = ./internal/chirp/... ./internal/remoteio/... ./internal/live/... ./internal/faultinject/...
 
-.PHONY: check vet build test race bench bench-matchmaker
+.PHONY: check vet build test race fault-smoke fault-sweep bench bench-matchmaker
 
 ## check: the full gate — vet, build, race-test the concurrent
-## packages, then the whole suite.
-check: vet build race test
+## packages, the whole suite, then the fault-injection smoke matrix.
+check: vet build race test fault-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +21,16 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+## fault-smoke: one fault-injection cell per error class; exits
+## non-zero on any misclassification.
+fault-smoke:
+	$(GO) run ./cmd/experiments -run fault-smoke
+
+## fault-sweep: the full conformance matrix — every error class at
+## every injection site.
+fault-sweep:
+	$(GO) run ./cmd/experiments -run fault-sweep
 
 ## bench: the Go benchmark suite with allocation reporting.
 bench:

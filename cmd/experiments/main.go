@@ -10,7 +10,7 @@
 //
 // Experiment ids: figure1, figure2, figure3, figure4, naive,
 // blackhole, mounts, migration, crashes, principles,
-// bench-matchmaker.
+// bench-matchmaker, fault-sweep, fault-smoke.
 package main
 
 import (
@@ -90,6 +90,12 @@ func main() {
 			rep.AddNote("wrote %s", *benchOut)
 			return rep, nil
 		}, "matchmaker fast-path micro-benchmarks (writes BENCH_matchmaker.json)"},
+		{"fault-sweep", func() (*experiments.Report, error) {
+			return experiments.FaultSweep(*seed)
+		}, "fault-injection conformance: every error class at >= 3 sites"},
+		{"fault-smoke", func() (*experiments.Report, error) {
+			return experiments.FaultSweepSmoke(*seed)
+		}, "fault-injection smoke subset (one site per class)"},
 	}
 
 	if *list {
@@ -102,11 +108,15 @@ func main() {
 	for _, e := range table {
 		if *all || e.id == *run {
 			r, err := e.fn()
+			if r != nil {
+				// A conformance run reports its cells even when some
+				// fail; show them before deciding the exit status.
+				fmt.Println(r.Format())
+			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
 				os.Exit(1)
 			}
-			fmt.Println(r.Format())
 			ran = true
 		}
 	}

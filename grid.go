@@ -70,6 +70,7 @@ const (
 	DispositionComplete     = scope.DispositionComplete
 	DispositionUnexecutable = scope.DispositionUnexecutable
 	DispositionRequeue      = scope.DispositionRequeue
+	DispositionHold         = scope.DispositionHold
 )
 
 // NewError constructs an explicit scoped error.

@@ -1,6 +1,7 @@
 package chirp
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -59,6 +60,76 @@ func TestServerErrorPaths(t *testing.T) {
 	// Quit ends politely.
 	if resp := raw.send("quit\n"); !strings.HasPrefix(resp, "ok") {
 		t.Errorf("quit: %q", resp)
+	}
+}
+
+// TestServerWriteFramingSurvivesBadFD is the regression for the
+// protocol-desync bug: a write naming an fd that is not open still
+// carries its declared payload on the wire.  The server must consume
+// those bytes before replying, or the next request line would be
+// parsed out of the middle of the payload.
+func TestServerWriteFramingSurvivesBadFD(t *testing.T) {
+	fs, _, addr := startServer(t, "k")
+	fs.WriteFile("/f", []byte("x"))
+	raw, err := dialRaw(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.close()
+	if resp := raw.send("cookie \"k\"\n"); !strings.HasPrefix(resp, "ok") {
+		t.Fatalf("auth: %q", resp)
+	}
+	// The payload "stat" is chosen adversarially: if the server fails
+	// to consume it, the next parse would see a valid-looking verb.
+	for _, req := range []string{
+		"write 99 4\nstat",
+		"pwrite 99 4 0\nstat",
+		"pwrite 3 4 notanoffset\nstat", // payload read, then offset rejected
+	} {
+		resp := raw.send(req)
+		if !strings.HasPrefix(resp, "error ") {
+			t.Fatalf("%q -> %q, want an error line", req, resp)
+		}
+		// The session must still be framed: the next command parses
+		// and succeeds.
+		if resp := raw.send("stat \"/f\"\n"); !strings.HasPrefix(resp, "ok ") {
+			t.Fatalf("session desynchronized after %q: stat -> %q", req, resp)
+		}
+	}
+}
+
+// TestServerWriteOversizedLengthKeepsSession: a parseable length past
+// the payload limit is a refusal, not a teardown — the framing is
+// intact, so the server discards exactly the declared bytes and keeps
+// serving.
+func TestServerWriteOversizedLengthKeepsSession(t *testing.T) {
+	fs, _, addr := startServer(t, "k")
+	fs.WriteFile("/f", []byte("x"))
+	raw, err := dialRaw(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.close()
+	if resp := raw.send("cookie \"k\"\n"); !strings.HasPrefix(resp, "ok") {
+		t.Fatalf("auth: %q", resp)
+	}
+	over := maxDataLen + 3
+	payload := strings.Repeat("a", over)
+	resp := raw.send("write 3 " + strconv.Itoa(over) + "\n" + payload)
+	if !strings.HasPrefix(resp, "error ") || !strings.Contains(resp, CodeBadRequest) {
+		t.Fatalf("oversized write -> %q, want %s", resp, CodeBadRequest)
+	}
+	if resp := raw.send("stat \"/f\"\n"); !strings.HasPrefix(resp, "ok ") {
+		t.Fatalf("session dead after oversized write: %q", resp)
+	}
+	// An unparseable length, by contrast, still tears the session
+	// down: there is no way to know how many bytes follow.
+	resp = raw.send("write 3 notanumber\n")
+	if !strings.Contains(resp, CodeBadRequest) {
+		t.Fatalf("unparseable length -> %q", resp)
+	}
+	if resp := raw.send("stat \"/f\"\n"); resp != "" {
+		t.Fatalf("connection should be closed after unframed write, got %q", resp)
 	}
 }
 

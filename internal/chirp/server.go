@@ -331,13 +331,30 @@ func (s *Server) handleWrite(sess *session, args []string, r *bufio.Reader, w *b
 		return nil
 	}
 	length, err := strconv.Atoi(args[1])
-	if err != nil || length < 0 || length > maxDataLen {
+	if err != nil || length < 0 {
 		// The payload length is unusable; the stream is no longer
 		// framed and the connection must drop (escaping error).
 		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest, "bad length %q", args[1])))
 		w.Flush()
 		return scope.New(scope.ScopeNetwork, CodeProtocolError, "unframed write request")
 	}
+	if length > maxDataLen {
+		// The length parsed, so the framing is intact: the declared
+		// payload follows on the wire whether we want it or not.
+		// Consume and discard it, refuse the request, and keep the
+		// session — tearing the connection down here would turn a
+		// function-scope refusal into a network-scope failure.
+		if _, err := io.CopyN(io.Discard, r, int64(length)); err != nil {
+			return scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+		}
+		fmt.Fprint(w, encodeError(scope.New(scope.ScopeFunction, CodeBadRequest,
+			"length %d exceeds limit %d", length, maxDataLen)))
+		return nil
+	}
+	// Read the payload before validating the fd or offset: even a
+	// doomed request must have its bytes consumed, or the next
+	// request line would parse from the middle of this payload and
+	// desynchronize the protocol.
 	data := make([]byte, length)
 	if _, err := io.ReadFull(r, data); err != nil {
 		return scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)

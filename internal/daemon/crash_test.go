@@ -106,3 +106,74 @@ func TestRestartAfterCrash(t *testing.T) {
 		t.Errorf("attempts = %d", len(j.Attempts))
 	}
 }
+
+// TestFetchRetriesEscalateToHold is the regression for the unbounded
+// shadow fetch retry: a persistent submit-side outage under a hard
+// mount used to spin forever.  With MaxFetchRetries set, the shadow
+// escalates after its budget and the schedd parks the job on hold
+// with the execution-environment error — not requeued, not spun.
+func TestFetchRetriesEscalateToHold(t *testing.T) {
+	params := DefaultParams()
+	params.Mount.Kind = MountHard
+	params.Mount.RetryInterval = 30 * time.Second
+	params.MaxFetchRetries = 5
+	eng, _, schedd, _, _ := testPool(t, params, goodMachine("m1"))
+
+	id := submitJavaJob(schedd, jvm.WellBehaved(5*time.Minute))
+	// Take the submit file system down before the shadow's first
+	// fetch and never bring it back.
+	schedd.SubmitFS.SetOffline(true)
+	runUntilDone(t, eng, schedd, 48*time.Hour)
+
+	j := schedd.Job(id)
+	if j.State != JobHeld {
+		t.Fatalf("state = %v, err = %v", j.State, j.FinalErr)
+	}
+	se, ok := scope.AsError(j.FinalErr)
+	if !ok || se.Code != "FetchRetriesExhausted" {
+		t.Fatalf("final error = %v", j.FinalErr)
+	}
+	if se.Scope != scope.ScopeLocalResource || se.Kind != scope.KindEscaping {
+		t.Errorf("escalated error = %+v", se)
+	}
+	if len(schedd.Reports) != 1 || schedd.Reports[0].Disposition != scope.DispositionHold {
+		t.Errorf("reports = %+v", schedd.Reports)
+	}
+	// One attempt, one escalation: the job never bounced around the
+	// pool repeating the same submit-side failure.
+	if len(j.Attempts) != 1 {
+		t.Errorf("attempts = %d", len(j.Attempts))
+	}
+}
+
+// TestFetchRetryBackoff verifies the capped exponential backoff: a
+// four-hour outage under a hard mount costs logarithmically many
+// probes, where the old constant interval would have burned hundreds.
+func TestFetchRetryBackoff(t *testing.T) {
+	params := DefaultParams()
+	params.Mount.Kind = MountHard
+	params.Mount.RetryInterval = time.Minute
+	params.ResultTimeout = 0 // isolate the fetch path
+	eng, _, schedd, _, _ := testPool(t, params, goodMachine("m1"))
+
+	id := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	schedd.SubmitFS.SetOffline(true)
+	eng.After(4*time.Hour, func() { schedd.SubmitFS.SetOffline(false) })
+
+	runUntilDone(t, eng, schedd, 20*time.Hour)
+
+	j := schedd.Job(id)
+	if j.State != JobCompleted {
+		t.Fatalf("state = %v, err = %v", j.State, j.FinalErr)
+	}
+	// Probes during the outage: 1m, 2m, 4m, ... capped at 64m.  A
+	// 4h outage fits in well under 12 probes; the constant-interval
+	// bug needed ~240.
+	probes := int(schedd.SubmitFS.OpCount("read"))
+	if probes > 12 {
+		t.Errorf("submit FS probed %d times across a 4h outage; backoff is not engaging", probes)
+	}
+	if probes < 3 {
+		t.Errorf("submit FS probed only %d times; retries are not happening", probes)
+	}
+}

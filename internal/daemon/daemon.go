@@ -78,9 +78,16 @@ func (k MountPolicyKind) String() string {
 // MountPolicy configures the shadow's response to local-resource
 // outages.
 type MountPolicy struct {
-	Kind          MountPolicyKind
-	SoftTimeout   time.Duration
+	Kind        MountPolicyKind
+	SoftTimeout time.Duration
+	// RetryInterval is the delay before the first fetch retry.  Each
+	// further retry doubles the delay (capped), so a persistent
+	// outage costs logarithmically many probes instead of hammering
+	// the dead file server at a constant rate.
 	RetryInterval time.Duration
+	// MaxRetryInterval caps the exponential backoff; 0 selects
+	// 64 × RetryInterval.
+	MaxRetryInterval time.Duration
 }
 
 // DefaultMountPolicy is a soft mount with a five-minute patience.
@@ -109,6 +116,16 @@ type Params struct {
 	// failures at one machine, the schedd declines further matches
 	// to it.
 	ChronicFailureThreshold int
+	// ChronicRelaxAfter bounds how long chronic-failure avoidance
+	// may starve a job: when a job has been idle at least this long
+	// and the matchmaker reports *zero* compatible machines (not
+	// merely none free) while the avoidance constraint is in force,
+	// the schedd advertises the job without it.  Avoidance is a
+	// preference, not a death sentence — when every machine in the
+	// pool looks chronic, the job must still run (and, failing,
+	// exhaust MaxAttempts and be held) rather than sit idle forever.
+	// Zero disables relaxation.
+	ChronicRelaxAfter time.Duration
 	// ClaimTimeout bounds how long the schedd waits for a claim
 	// reply before treating the silence as an error wider than the
 	// network (Section 5: time distinguishes a refused connection
@@ -125,6 +142,13 @@ type Params struct {
 	MachineAdLifetime time.Duration
 	// RequeueBackoff spaces retries of a requeued job.
 	RequeueBackoff time.Duration
+	// MaxFetchRetries bounds the shadow's fetch retries within one
+	// attempt.  A submit-side outage that survives this many probes
+	// is no longer a transient: the shadow escalates and the schedd
+	// holds the job with the escalated error instead of spinning
+	// forever.  0 disables the bound (retry forever, the historic
+	// hard-mount behaviour).
+	MaxFetchRetries int
 	// CheckpointInterval is how often a Standard Universe starter
 	// ships a checkpoint to the shadow; 0 disables checkpointing.
 	CheckpointInterval time.Duration
@@ -146,11 +170,16 @@ func DefaultParams() Params {
 		StartupOverhead:     2 * time.Second,
 		MaxAttempts:         20,
 		Mount:               DefaultMountPolicy(),
+		ChronicRelaxAfter:   2 * time.Hour,
 		ClaimTimeout:        2 * time.Minute,
 		ResultTimeout:       12 * time.Hour,
 		MachineAdLifetime:   150 * time.Second,
 		RequeueBackoff:      10 * time.Second,
 		CheckpointInterval:  10 * time.Minute,
+		// Generous enough that no sane outage hits it (with backoff,
+		// a thousand probes spans weeks of virtual time), but finite:
+		// "forever" is never the default.
+		MaxFetchRetries: 1000,
 	}
 }
 

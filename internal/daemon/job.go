@@ -101,6 +101,11 @@ type Job struct {
 	CheckpointCPU time.Duration
 	// claimSeq invalidates stale claim timeouts.
 	claimSeq int
+	// avoidanceRelaxed marks a job whose chronic-failure avoidance
+	// constraint was dropped after starving it (idle past
+	// Params.ChronicRelaxAfter with zero compatible machines); the
+	// next attempt re-arms the constraint.
+	avoidanceRelaxed bool
 	// FinalErr is the error (if any) accompanying a terminal state.
 	FinalErr error
 	// Submitted and Finished bracket the job's queue residency.

@@ -25,6 +25,11 @@ const (
 	EventLostContact  EventKind = "lost-contact"
 	EventEvicted      EventKind = "evicted"
 	EventRequeued     EventKind = "requeued"
+	// EventAvoidanceRelaxed records the schedd dropping the
+	// chronic-failure constraint for a job that the constraint had
+	// left unmatchable: a chronically failing machine is a better
+	// bet than starvation.
+	EventAvoidanceRelaxed EventKind = "avoidance-relaxed"
 	EventCompleted    EventKind = "completed"
 	EventUnexecutable EventKind = "unexecutable"
 	EventHeld         EventKind = "held"

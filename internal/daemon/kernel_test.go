@@ -345,6 +345,43 @@ func TestChronicFailureAvoidance(t *testing.T) {
 	}
 }
 
+// TestAvoidanceRelaxesUnderStarvation: when every machine in the pool
+// is chronically failing, avoidance must not starve the job forever —
+// after ChronicRelaxCycles unmatchable negotiation cycles the schedd
+// drops the constraint, the job retries chronic machines, exhausts
+// MaxAttempts, and is held where the user can see it.
+func TestAvoidanceRelaxesUnderStarvation(t *testing.T) {
+	params := DefaultParams()
+	params.ChronicFailureThreshold = 1
+	params.MaxAttempts = 3
+	broken := jvm.Config{BadLibraryPath: true}
+	eng, _, schedd, _, _ := testPool(t, params,
+		MachineConfig{Name: "m1", Memory: 2048, AdvertiseJava: true, JVM: broken},
+		MachineConfig{Name: "m2", Memory: 1024, AdvertiseJava: true, JVM: broken})
+	id := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	runUntilDone(t, eng, schedd, 24*time.Hour)
+	j := schedd.Job(id)
+	if j.State != JobHeld {
+		t.Fatalf("state = %v after %d attempts, want held; avoidance starved the job", j.State, len(j.Attempts))
+	}
+	if len(j.Attempts) != params.MaxAttempts {
+		t.Errorf("attempts = %d, want %d", len(j.Attempts), params.MaxAttempts)
+	}
+	relaxed := false
+	for _, e := range j.Events {
+		if e.Kind == EventAvoidanceRelaxed {
+			relaxed = true
+		}
+	}
+	if !relaxed {
+		t.Errorf("no %s event in the job log:\n%s", EventAvoidanceRelaxed, j.EventLog())
+	}
+	se, _ := scope.AsError(j.FinalErr)
+	if se == nil || se.Scope != scope.ScopePool || se.Code != "AttemptsExhausted" {
+		t.Errorf("final err = %v, want pool-scope AttemptsExhausted", j.FinalErr)
+	}
+}
+
 // TestHardMountBlocksForever verifies the NFS hard-mount behaviour:
 // the shadow hides the outage and the job simply waits.
 func TestHardMountBlocksForever(t *testing.T) {

@@ -50,6 +50,9 @@ type Matchmaker struct {
 	// PrefilterSkips counts (job, machine) pairs rejected by the
 	// constant pre-filter without full Requirements evaluation.
 	PrefilterSkips int
+	// NoMatches counts no-match notifications sent for jobs
+	// compatible with zero advertised machines.
+	NoMatches int
 }
 
 type machineEntry struct {
@@ -70,6 +73,10 @@ type jobEntry struct {
 	ad    *classad.Ad
 	owner string
 	pre   []classad.Constraint // constant conjuncts of the job's Requirements
+	// noMatchSent limits no-match notifications to one per
+	// advertisement, keeping a steady-state cycle allocation-free;
+	// each schedd re-advertise re-arms it.
+	noMatchSent bool
 }
 
 // jobOwner extracts the requesting user from the job ad, falling back
@@ -191,6 +198,7 @@ func (m *Matchmaker) upsertJob(key jobKey, ad *classad.Ad) {
 		} else {
 			old.ad = ad
 			old.pre = classad.RequirementsPrefilter(ad)
+			old.noMatchSent = false
 			return
 		}
 	}
@@ -262,6 +270,16 @@ func (m *Matchmaker) negotiate() {
 	for _, j := range jobs {
 		best := m.findBest(j, fast)
 		if best == nil {
+			if !j.noMatchSent && !m.anyCompatible(j, fast) {
+				// Not outbid — unmatchable: no ad in the pool
+				// satisfies the job at all.  Tell the schedd, which
+				// alone knows whether its own avoidance constraint
+				// caused this.  One notification per advertisement.
+				j.noMatchSent = true
+				m.NoMatches++
+				m.bus.Send(MatchmakerName, j.key.schedd, kindNoMatch,
+					noMatchMsg{Job: j.key.job})
+			}
 			continue
 		}
 		best.matched = true
@@ -339,6 +357,30 @@ func (m *Matchmaker) findBest(j *jobEntry, fast bool) *machineEntry {
 		}
 	}
 	return best
+}
+
+// anyCompatible reports whether any advertised machine — including
+// ones provisionally matched this cycle — satisfies the job.  Both
+// paths agree by the pre-filter soundness argument: narrowing only
+// ever discards machines full evaluation would reject.
+func (m *Matchmaker) anyCompatible(j *jobEntry, fast bool) bool {
+	if !fast {
+		for _, name := range m.machineNames {
+			if classad.MatchSlow(j.ad, m.machines[name].ad) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, entry := range m.candidates(j) {
+		if !classad.AdmitsAll(j.pre, entry.table) {
+			continue
+		}
+		if classad.Match(j.ad, entry.ad) {
+			return true
+		}
+	}
+	return false
 }
 
 // candidates selects the machines worth considering for the job: the

@@ -13,6 +13,7 @@ import (
 const (
 	kindAdvertise    = "advertise"     // startd/schedd -> matchmaker
 	kindMatchNotify  = "match-notify"  // matchmaker -> schedd
+	kindNoMatch      = "no-match"      // matchmaker -> schedd (zero compatible ads)
 	kindClaimRequest = "claim-request" // schedd -> startd
 	kindClaimReply   = "claim-reply"   // startd -> schedd
 	kindActivate     = "activate"      // schedd -> startd (names the shadow)
@@ -43,6 +44,14 @@ type matchNotifyMsg struct {
 	Job       JobID
 	Machine   string // startd actor name
 	MachineAd *classad.Ad
+}
+
+// noMatchMsg tells a schedd that a job it advertised is compatible
+// with no machine currently known to the matchmaker — not merely
+// outbid this cycle, but unmatchable.  The schedd uses a run of these
+// to detect a job starved by its own avoidance constraint.
+type noMatchMsg struct {
+	Job JobID
 }
 
 // claimRequestMsg asks a startd for the claim on its machine.
@@ -113,6 +122,10 @@ type jobFinalMsg struct {
 	CPU      time.Duration
 	// FetchError, when non-nil, means the attempt never ran.
 	FetchError error
+	// Hold asks the schedd to park the job with FetchError instead
+	// of requeueing: the shadow exhausted its fetch-retry budget, so
+	// another site would only repeat the same submit-side failure.
+	Hold bool
 	// LostContact, when non-nil, means the execution site went
 	// silent mid-attempt; the error carries the widened scope.
 	LostContact error

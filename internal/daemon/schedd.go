@@ -5,6 +5,7 @@ import (
 	"slices"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/errscope/grid/internal/classad"
 	"github.com/errscope/grid/internal/scope"
@@ -127,6 +128,36 @@ func (s *Schedd) advertiseIdle() {
 	}
 }
 
+// avoidedMachines lists the machines the chronic-failure policy
+// currently excludes, sorted for deterministic ads.
+func (s *Schedd) avoidedMachines() []string {
+	if s.params.ChronicFailureThreshold <= 0 {
+		return nil
+	}
+	var avoided []string
+	for machine, n := range s.machineFailures {
+		if n >= s.params.ChronicFailureThreshold {
+			avoided = append(avoided, machine)
+		}
+	}
+	slices.Sort(avoided)
+	return avoided
+}
+
+// relaxed reports whether the avoidance constraint is currently
+// dropped for the job.
+func (s *Schedd) relaxed(j *Job) bool { return j.avoidanceRelaxed }
+
+// idleFor returns how long the job has gone without an attempt: the
+// time since its last attempt ended, or since submission.
+func (s *Schedd) idleFor(j *Job) time.Duration {
+	since := j.Submitted
+	if att := j.LastAttempt(); att != nil && att.End > since {
+		since = att.End
+	}
+	return s.bus.Now().Sub(since)
+}
+
 func (s *Schedd) advertiseJob(j *Job) {
 	s.bus.Send(s.name, MatchmakerName, kindAdvertise, advertiseMsg{
 		Kind:   "job",
@@ -156,19 +187,15 @@ func (s *Schedd) withdrawJob(j *Job) {
 // schedd-side policy.
 func (s *Schedd) effectiveAd(j *Job) *classad.Ad {
 	ad := j.Ad.Copy()
-	if s.params.ChronicFailureThreshold <= 0 {
+	if s.relaxed(j) {
+		// The constraint starved this job; a chronic machine is
+		// better than no machine.
 		return ad
 	}
-	var avoided []string
-	for machine, n := range s.machineFailures {
-		if n >= s.params.ChronicFailureThreshold {
-			avoided = append(avoided, machine)
-		}
-	}
+	avoided := s.avoidedMachines()
 	if len(avoided) == 0 {
 		return ad
 	}
-	slices.Sort(avoided)
 	var list strings.Builder
 	list.WriteString("{")
 	for i, m := range avoided {
@@ -192,11 +219,43 @@ func (s *Schedd) Receive(msg sim.Message) {
 	switch body := msg.Body.(type) {
 	case matchNotifyMsg:
 		s.handleMatch(body)
+	case noMatchMsg:
+		s.handleNoMatch(body)
 	case claimReplyMsg:
 		s.receiveClaim(msg.From, body)
 	case jobFinalMsg:
 		s.handleFinal(body)
 	}
+}
+
+// handleNoMatch reacts to the matchmaker finding zero compatible
+// machines for an idle job.  When the schedd's own avoidance
+// constraint is in force and the job has already waited out
+// ChronicRelaxAfter, avoidance is starving the job — every machine
+// it could use looks chronic — and the constraint is dropped: a
+// chronically failing machine is a better bet than starvation, and
+// failing there still moves the job toward the MaxAttempts hold the
+// user must eventually see.  An idle spell in a busy-but-healthy
+// pool never trips this: contention resolves in minutes, and freed
+// machines re-advertise compatible ads long before the deadline.
+func (s *Schedd) handleNoMatch(m noMatchMsg) {
+	j, ok := s.jobs[m.Job]
+	if !ok || j.State != JobIdle || s.relaxed(j) {
+		return
+	}
+	if s.params.ChronicRelaxAfter <= 0 || s.idleFor(j) < s.params.ChronicRelaxAfter {
+		return
+	}
+	if len(s.avoidedMachines()) == 0 {
+		// The job is unmatchable on its own terms; nothing of ours
+		// to relax.
+		return
+	}
+	j.avoidanceRelaxed = true
+	s.logEvent(j, EventAvoidanceRelaxed,
+		"idle %v with no compatible machine; matching chronic machines again",
+		s.idleFor(j))
+	s.advertiseJob(j)
 }
 
 // handleMatch claims the machine the matchmaker proposed, unless the
@@ -208,7 +267,8 @@ func (s *Schedd) handleMatch(m matchNotifyMsg) {
 		return
 	}
 	if s.params.ChronicFailureThreshold > 0 &&
-		s.machineFailures[m.Machine] >= s.params.ChronicFailureThreshold {
+		s.machineFailures[m.Machine] >= s.params.ChronicFailureThreshold &&
+		!s.relaxed(j) {
 		// "A complementary approach would be to enhance the schedd
 		// with logic to detect and avoid hosts with chronic
 		// failures."  Stay idle; the strengthened ad steers the
@@ -259,6 +319,7 @@ func (s *Schedd) receiveClaim(from string, r claimReplyMsg) {
 		return
 	}
 	j.State = JobRunning
+	j.avoidanceRelaxed = false // the next idle spell re-arms avoidance
 	s.logEvent(j, EventExecuting, "machine %s", from)
 	j.Attempts = append(j.Attempts, Attempt{
 		Machine: from,
@@ -356,14 +417,20 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 		if f.FetchError == nil && !f.Evicted && f.Machine != "" {
 			s.machineFailures[f.Machine]++
 		}
-		if len(j.Attempts) >= s.params.MaxAttempts {
+		if f.Hold || len(j.Attempts) >= s.params.MaxAttempts {
 			j.State = JobHeld
 			j.Finished = s.bus.Now()
-			j.FinalErr = holdErr(err)
+			if f.Hold {
+				// The shadow already escalated; its error names the
+				// exhausted execution environment.
+				j.FinalErr = err
+			} else {
+				j.FinalErr = holdErr(err)
+			}
 			s.logEvent(j, EventHeld, "%v", j.FinalErr)
 			s.Reports = append(s.Reports, UserReport{
 				Job:         j.ID,
-				Disposition: disp,
+				Disposition: scope.DispositionHold,
 				Err:         j.FinalErr,
 			})
 			return

@@ -207,9 +207,47 @@ func (sh *Shadow) fetchError(err error) {
 		})
 		return
 	}
-	// Keep waiting (hard mount, or patience remaining).
+	// A persistent outage eventually stops being "right now": after
+	// MaxFetchRetries probes the shadow escalates instead of spinning
+	// forever, and the schedd parks the job on hold with the
+	// escalated execution-environment error.
+	if max := sh.params.MaxFetchRetries; max > 0 && sh.Retries >= max {
+		exhausted := scope.Escape(scope.ScopeLocalResource, "FetchRetriesExhausted", se)
+		sh.finish(jobFinalMsg{
+			Job:        sh.job,
+			Machine:    sh.machine,
+			FetchError: exhausted.WithOrigin("shadow"),
+			Hold:       true,
+		})
+		return
+	}
+	// Keep waiting (hard mount, or patience remaining), backing off
+	// exponentially up to the cap.
 	sh.Retries++
-	sh.bus.After(sh.params.Mount.RetryInterval, sh.tryFetch)
+	sh.bus.After(sh.retryDelay(), sh.tryFetch)
+}
+
+// retryDelay computes the capped exponential backoff for the current
+// retry count: base, 2·base, 4·base, ... up to MaxRetryInterval.
+func (sh *Shadow) retryDelay() time.Duration {
+	base := sh.params.Mount.RetryInterval
+	if base <= 0 {
+		// A zero interval would reschedule at the same virtual
+		// instant and spin the simulation forever.
+		base = time.Second
+	}
+	limit := sh.params.Mount.MaxRetryInterval
+	if limit <= 0 {
+		limit = 64 * base
+	}
+	d := base
+	for i := 1; i < sh.Retries && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	return d
 }
 
 // handleEvicted requeues an owner-reclaimed attempt, carrying the

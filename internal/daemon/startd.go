@@ -7,6 +7,7 @@ import (
 	"github.com/errscope/grid/internal/classad"
 	"github.com/errscope/grid/internal/jvm"
 	"github.com/errscope/grid/internal/sim"
+	"github.com/errscope/grid/internal/vfs"
 )
 
 // MachineConfig describes one execution machine: its resources, the
@@ -34,6 +35,12 @@ type MachineConfig struct {
 	// OwnerRequirements is the owner's policy expression; empty
 	// means accept any job.
 	OwnerRequirements string
+	// ScratchPrep, when non-nil, is applied to each starter's fresh
+	// scratch file system before the job runs.  It models execution
+	// sandboxes that are already degraded — a nearly full disk, a
+	// read-only result path — and is the fault-injection point for
+	// remote-resource-scope scratch failures.
+	ScratchPrep func(fs *vfs.FileSystem)
 }
 
 // StartdState is the claim state of a machine.

@@ -43,6 +43,10 @@ type Starter struct {
 }
 
 func newStarter(bus Runtime, params Params, name string, startd *Startd, job JobID, shadow string) *Starter {
+	scratch := vfs.New()
+	if startd.cfg.ScratchPrep != nil {
+		startd.cfg.ScratchPrep(scratch)
+	}
 	return &Starter{
 		bus:     bus,
 		params:  params,
@@ -50,7 +54,7 @@ func newStarter(bus Runtime, params Params, name string, startd *Startd, job Job
 		startd:  startd,
 		job:     job,
 		shadow:  shadow,
-		scratch: vfs.New(),
+		scratch: scratch,
 	}
 }
 

@@ -1,0 +1,768 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"github.com/errscope/grid/internal/chirp"
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/faultinject"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/pool"
+	"github.com/errscope/grid/internal/remoteio"
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/vfs"
+	"github.com/errscope/grid/internal/wrapper"
+)
+
+// The fault-sweep conformance harness: every fault class of the
+// injection engine, each at three or more injection sites, with the
+// scope classification and disposition the paper mandates asserted
+// per cell.  Each cell runs twice and its whole trace — injector log
+// plus outcome line — must be byte-identical, so the sweep doubles as
+// the determinism regression for the fault-injection engine itself.
+
+// sweepExpect is what a cell must produce to conform.
+type sweepExpect struct {
+	state daemon.JobState
+	disp  scope.Disposition
+	// minAttempts (and maxAttempts, when non-zero) bound the retry
+	// behavior: requeue-elsewhere cells demand ≥2, single-shot
+	// cells exactly 1.
+	minAttempts int
+	maxAttempts int
+	// firstScope/firstKind classify the first attempt's error;
+	// ScopeNone means the first attempt must have no error at all.
+	firstScope scope.Scope
+	firstKind  scope.Kind
+	// finalOn, when set, is the machine the job must finish on —
+	// the "elsewhere" of retry-elsewhere.
+	finalOn string
+}
+
+func (e sweepExpect) String() string {
+	s := fmt.Sprintf("%s/%s", e.state, e.disp)
+	if e.firstScope != scope.ScopeNone {
+		s += fmt.Sprintf(" first=%s/%s", e.firstScope, e.firstKind)
+	}
+	return s
+}
+
+// simCell is one simulation-side sweep cell.
+type simCell struct {
+	class    faultinject.Class
+	site     string
+	faults   string // scenario fault lines, without the seed header
+	machines func() []daemon.MachineConfig
+	tune     func(*daemon.Params)
+	setup    func(p *pool.Pool)
+	prog     func(i int) *jvm.Program
+	limit    time.Duration
+	expect   sweepExpect
+}
+
+// attemptErr extracts the error that classified one attempt.
+func attemptErr(a daemon.Attempt) error {
+	if a.FetchError != nil {
+		return a.FetchError
+	}
+	if a.LostContact != nil {
+		return a.LostContact
+	}
+	return a.True.Err()
+}
+
+func errSig(err error) string {
+	if err == nil {
+		return "none"
+	}
+	se, ok := scope.AsError(err)
+	if !ok {
+		return "unscoped"
+	}
+	return fmt.Sprintf("%s/%s/%s", se.Scope, se.Kind, se.Code)
+}
+
+// runSim executes one cell and returns its canonical trace: the
+// injector log followed by a single outcome line.  Identical traces
+// across runs are the determinism contract.
+func (c simCell) runSim(seed int64) (string, error) {
+	params := daemon.DefaultParams()
+	params.ResultTimeout = 30 * time.Minute
+	params.ChronicFailureThreshold = 1
+	if c.tune != nil {
+		c.tune(&params)
+	}
+	p := pool.New(pool.Config{Seed: seed, Params: params, Machines: c.machines()})
+	in := faultinject.New(faultinject.PoolTargets(p))
+	sc, err := faultinject.Parse(fmt.Sprintf("seed = %d\n%s", seed, c.faults))
+	if err != nil {
+		return "", fmt.Errorf("scenario: %v", err)
+	}
+	if err := in.Apply(sc); err != nil {
+		return "", fmt.Errorf("apply: %v", err)
+	}
+	if c.setup != nil {
+		c.setup(p)
+	}
+	prog := c.prog
+	if prog == nil {
+		prog = func(int) *jvm.Program { return jvm.WellBehaved(time.Minute) }
+	}
+	limit := c.limit
+	if limit == 0 {
+		limit = 24 * time.Hour
+	}
+	ids := p.SubmitJava(1, prog)
+	p.Run(limit)
+
+	j := p.Schedd.Job(ids[0])
+	first := "none"
+	lastMachine := ""
+	if len(j.Attempts) > 0 {
+		first = errSig(attemptErr(j.Attempts[0]))
+		lastMachine = j.LastAttempt().Machine
+	}
+	disp := "none"
+	if n := len(p.Schedd.Reports); n > 0 {
+		disp = p.Schedd.Reports[n-1].Disposition.String()
+	}
+	lines := append([]string(nil), in.Log()...)
+	lines = append(lines, fmt.Sprintf(
+		"t=%s state=%s attempts=%d first=%s final=%s on=%s disp=%s reports=%d",
+		p.Engine.Now(), j.State, len(j.Attempts), first, errSig(j.FinalErr),
+		lastMachine, disp, len(p.Schedd.Reports)))
+	return strings.Join(lines, "\n"), c.verify(p, j)
+}
+
+// verify checks the cell's expectation against the finished pool.
+func (c simCell) verify(p *pool.Pool, j *daemon.Job) error {
+	e := c.expect
+	if j.State != e.state {
+		return fmt.Errorf("state = %v (err %v), want %v", j.State, j.FinalErr, e.state)
+	}
+	if n := len(j.Attempts); n < e.minAttempts {
+		return fmt.Errorf("attempts = %d, want >= %d", n, e.minAttempts)
+	} else if e.maxAttempts > 0 && n > e.maxAttempts {
+		return fmt.Errorf("attempts = %d, want <= %d", n, e.maxAttempts)
+	}
+	if len(p.Schedd.Reports) != 1 {
+		return fmt.Errorf("reports = %d, want exactly 1", len(p.Schedd.Reports))
+	}
+	if got := p.Schedd.Reports[0].Disposition; got != e.disp {
+		return fmt.Errorf("disposition = %v, want %v", got, e.disp)
+	}
+	if e.firstScope == scope.ScopeNone {
+		if len(j.Attempts) > 0 {
+			if err := attemptErr(j.Attempts[0]); err != nil {
+				return fmt.Errorf("first attempt error = %v, want none", err)
+			}
+		}
+	} else {
+		if len(j.Attempts) == 0 {
+			return fmt.Errorf("no attempts to classify")
+		}
+		err := attemptErr(j.Attempts[0])
+		se, ok := scope.AsError(err)
+		if !ok {
+			return fmt.Errorf("first attempt error = %v, want scope %s", err, e.firstScope)
+		}
+		if se.Scope != e.firstScope || se.Kind != e.firstKind {
+			return fmt.Errorf("first attempt error = %s/%s (%s), want %s/%s",
+				se.Scope, se.Kind, se.Code, e.firstScope, e.firstKind)
+		}
+	}
+	if e.finalOn != "" && j.LastAttempt().Machine != e.finalOn {
+		return fmt.Errorf("finished on %s, want %s", j.LastAttempt().Machine, e.finalOn)
+	}
+	return nil
+}
+
+// bigSmall is the standard two-machine pool: jobs rank onto "big"
+// first, and "small" is the healthy elsewhere for retry cells.
+func bigSmall() []daemon.MachineConfig {
+	return []daemon.MachineConfig{
+		{Name: "big", Memory: 4096, AdvertiseJava: true},
+		{Name: "small", Memory: 1024, AdvertiseJava: true},
+	}
+}
+
+// brokenScratch returns bigSmall with a ScratchPrep fault on the
+// named machines.
+func brokenScratch(prep func(fs *vfs.FileSystem), names ...string) func() []daemon.MachineConfig {
+	return func() []daemon.MachineConfig {
+		ms := bigSmall()
+		out := ms[:0]
+		for i := range ms {
+			for _, n := range names {
+				if ms[i].Name == n {
+					ms[i].ScratchPrep = prep
+				}
+			}
+			out = append(out, ms[i])
+		}
+		return out
+	}
+}
+
+// onlyMachine restricts a machine set to one machine.
+func only(name string, machines func() []daemon.MachineConfig) func() []daemon.MachineConfig {
+	return func() []daemon.MachineConfig {
+		for _, m := range machines() {
+			if m.Name == name {
+				return []daemon.MachineConfig{m}
+			}
+		}
+		return nil
+	}
+}
+
+func capAttempts(n int) func(*daemon.Params) {
+	return func(p *daemon.Params) { p.MaxAttempts = n }
+}
+
+func hardMount(p *daemon.Params) {
+	p.Mount.Kind = daemon.MountHard
+	p.Mount.RetryInterval = time.Minute
+	p.ResultTimeout = 0
+}
+
+// simCells is the simulation half of the sweep matrix: every
+// non-connection fault class at three or more injection sites.
+func simCells() []simCell {
+	writeOut := func(int) *jvm.Program {
+		return &jvm.Program{Class: "Main", Steps: []jvm.Step{
+			jvm.Compute{Duration: 30 * time.Second},
+			jvm.IOWrite{Path: "/home/user/out", Data: bytes.Repeat([]byte("r"), 4096)},
+			jvm.Compute{Duration: 30 * time.Second},
+		}}
+	}
+	completed := func(first scope.Scope, kind scope.Kind, min int, on string) sweepExpect {
+		return sweepExpect{state: daemon.JobCompleted, disp: scope.DispositionComplete,
+			minAttempts: min, firstScope: first, firstKind: kind, finalOn: on}
+	}
+	held := func(first scope.Scope, kind scope.Kind) sweepExpect {
+		return sweepExpect{state: daemon.JobHeld, disp: scope.DispositionHold,
+			minAttempts: 1, firstScope: first, firstKind: kind}
+	}
+	rr := scope.ScopeRemoteResource
+
+	return []simCell{
+		// --- crash: a machine, the matchmaker, the schedd ---------
+		{
+			class: faultinject.ClassCrash, site: "machine:big",
+			faults:   "fault class=crash site=machine:big at=5m0s for=2h0m0s\n",
+			machines: bigSmall,
+			prog:     func(int) *jvm.Program { return jvm.WellBehaved(20 * time.Minute) },
+			expect:   completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassCrash, site: "actor:matchmaker",
+			faults:   "fault class=crash site=actor:matchmaker at=1ms for=30m0s\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		{
+			class: faultinject.ClassCrash, site: "actor:schedd",
+			faults:   "fault class=crash site=actor:schedd at=1ms for=30m0s\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		// --- message drop: claim path, result path, ad path -------
+		{
+			class: faultinject.ClassMsgDrop, site: "kind:claim-request",
+			faults:   "fault class=msg-drop site=kind:claim-request count=1\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		{
+			class: faultinject.ClassMsgDrop, site: "kind:job-result",
+			faults:   "fault class=msg-drop site=kind:job-result count=1\n",
+			machines: bigSmall,
+			expect:   completed(rr, scope.KindEscaping, 2, ""),
+		},
+		{
+			class: faultinject.ClassMsgDrop, site: "kind:advertise",
+			faults:   "fault class=msg-drop site=kind:advertise count=3\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		// --- message delay: absorbed by every protocol timeout ----
+		{
+			class: faultinject.ClassMsgDelay, site: "kind:advertise",
+			faults:   "fault class=msg-delay site=kind:advertise param=2000\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		{
+			class: faultinject.ClassMsgDelay, site: "kind:match-notify",
+			faults:   "fault class=msg-delay site=kind:match-notify param=5000\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		{
+			class: faultinject.ClassMsgDelay, site: "kind:claim-reply",
+			faults:   "fault class=msg-delay site=kind:claim-reply param=5000\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		// --- message duplication: receivers must be idempotent ----
+		{
+			class: faultinject.ClassMsgDup, site: "kind:advertise",
+			faults:   "fault class=msg-dup site=kind:advertise param=2\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		{
+			class: faultinject.ClassMsgDup, site: "kind:match-notify",
+			faults:   "fault class=msg-dup site=kind:match-notify param=1\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		{
+			class: faultinject.ClassMsgDup, site: "kind:claim-reply",
+			faults:   "fault class=msg-dup site=kind:claim-reply param=1\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		{
+			class: faultinject.ClassMsgDup, site: "kind:job-result",
+			faults:   "fault class=msg-dup site=kind:job-result param=2\n",
+			machines: bigSmall,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		// --- fs-offline: outage survived, budget exhausted, soft --
+		{
+			class: faultinject.ClassFSOffline, site: "submit (hard mount, outage ends)",
+			faults:   "fault class=fs-offline site=submit at=1ms for=2h0m0s\n",
+			machines: bigSmall,
+			tune:     hardMount,
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+		},
+		{
+			class: faultinject.ClassFSOffline, site: "submit (hard mount, retries exhausted)",
+			faults:   "fault class=fs-offline site=submit at=1ms\n",
+			machines: bigSmall,
+			tune: func(p *daemon.Params) {
+				hardMount(p)
+				p.Mount.RetryInterval = 30 * time.Second
+				p.MaxFetchRetries = 5
+			},
+			limit:  48 * time.Hour,
+			expect: held(scope.ScopeLocalResource, scope.KindEscaping),
+		},
+		{
+			class: faultinject.ClassFSOffline, site: "submit (soft mount)",
+			faults:   "fault class=fs-offline site=submit at=1ms\n",
+			machines: bigSmall,
+			tune:     capAttempts(3),
+			// A soft mount returns the outage to its caller after the
+			// timeout — an *explicit* local-resource error, the NFS
+			// soft-mount EIO of Section 3.
+			expect: held(scope.ScopeLocalResource, scope.KindExplicit),
+		},
+		// --- disk-full: scratch sandbox, job output, every scratch
+		{
+			class: faultinject.ClassDiskFull, site: "scratch:big",
+			machines: brokenScratch(func(fs *vfs.FileSystem) { fs.SetQuota(1) }, "big"),
+			expect:   completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassDiskFull, site: "submit (job output)",
+			faults:   "fault class=disk-full site=submit\n",
+			machines: bigSmall,
+			prog:     writeOut,
+			expect:   completed(scope.ScopeProgram, scope.KindExplicit, 1, ""),
+		},
+		{
+			class: faultinject.ClassDiskFull, site: "scratch:small (no healthy elsewhere)",
+			machines: only("small", brokenScratch(func(fs *vfs.FileSystem) { fs.SetQuota(1) }, "small")),
+			tune:     capAttempts(3),
+			expect:   held(rr, scope.KindEscaping),
+		},
+		// --- permission: result file, job output, every scratch ---
+		{
+			class: faultinject.ClassPermission, site: "scratch:big " + wrapper.DefaultResultPath,
+			machines: brokenScratch(func(fs *vfs.FileSystem) {
+				_ = fs.WriteFile(wrapper.DefaultResultPath, nil)
+				_ = fs.SetReadOnly(wrapper.DefaultResultPath, true)
+			}, "big"),
+			expect: completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassPermission, site: "submit /home/user/out",
+			faults:   "fault class=permission site=submit path=\"/home/user/out\"\n",
+			machines: bigSmall,
+			setup: func(p *pool.Pool) {
+				_ = p.Schedd.SubmitFS.WriteFile("/home/user/out", []byte("old"))
+			},
+			prog:   writeOut,
+			expect: completed(scope.ScopeProgram, scope.KindExplicit, 1, ""),
+		},
+		{
+			class: faultinject.ClassPermission, site: "scratch:small (no healthy elsewhere)",
+			machines: only("small", brokenScratch(func(fs *vfs.FileSystem) {
+				_ = fs.WriteFile(wrapper.DefaultResultPath, nil)
+				_ = fs.SetReadOnly(wrapper.DefaultResultPath, true)
+			}, "small")),
+			tune:   capAttempts(3),
+			expect: held(rr, scope.KindEscaping),
+		},
+		// --- corrupt-data: executable image, program input, result
+		// file.  The first two complete silently: implicit errors
+		// are invisible unless the program checks (Principle 1).
+		// The corrupted executable *image* is the exception — the
+		// JVM's class-file verification converts it into an explicit
+		// job-scope error, and the job is correctly aborted as
+		// unexecutable rather than retried.
+		{
+			class: faultinject.ClassCorruptData, site: "submit /home/user/job0.class (image)",
+			faults:   "fault class=corrupt-data site=submit path=\"/home/user/job0.class\"\n",
+			machines: bigSmall,
+			prog:     func(int) *jvm.Program { return jvm.CorruptImage() },
+			expect: sweepExpect{state: daemon.JobUnexecutable, disp: scope.DispositionUnexecutable,
+				minAttempts: 1, maxAttempts: 1, firstScope: scope.ScopeJob, firstKind: scope.KindEscaping},
+		},
+		{
+			class: faultinject.ClassCorruptData, site: "submit /data/in (program input)",
+			faults:   "fault class=corrupt-data site=submit path=\"/data/in\"\n",
+			machines: bigSmall,
+			setup: func(p *pool.Pool) {
+				_ = p.Schedd.SubmitFS.WriteFile("/data/in", bytes.Repeat([]byte("d"), 256))
+			},
+			prog: func(int) *jvm.Program { return jvm.ReadsInput("/data/in", 256) },
+			expect: completed(scope.ScopeNone, 0, 1, ""),
+		},
+		{
+			class: faultinject.ClassCorruptData, site: "scratch:big " + wrapper.DefaultResultPath,
+			machines: brokenScratch(func(fs *vfs.FileSystem) {
+				_ = fs.CorruptNextReads(wrapper.DefaultResultPath, 1)
+			}, "big"),
+			expect: completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		// --- heap exhaustion: one machine, all machines, recovery -
+		{
+			class: faultinject.ClassHeapExhaustion, site: "machine:big",
+			faults:   "fault class=heap-exhaustion site=machine:big param=1048576\n",
+			machines: bigSmall,
+			prog:     func(int) *jvm.Program { return jvm.MemoryHog(32 << 20) },
+			expect:   completed(scope.ScopeVirtualMachine, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassHeapExhaustion, site: "machine:big+machine:small (whole pool)",
+			faults: "fault class=heap-exhaustion site=machine:big param=1048576\n" +
+				"fault class=heap-exhaustion site=machine:small param=1048576\n",
+			machines: bigSmall,
+			tune:     capAttempts(3),
+			prog:     func(int) *jvm.Program { return jvm.MemoryHog(32 << 20) },
+			expect:   held(scope.ScopeVirtualMachine, scope.KindEscaping),
+		},
+		{
+			class: faultinject.ClassHeapExhaustion, site: "machine:big (degradation window)",
+			faults:   "fault class=heap-exhaustion site=machine:big at=1ms for=10m0s param=1048576\n",
+			machines: only("big", bigSmall),
+			tune: func(p *daemon.Params) {
+				p.MaxAttempts = 100
+				p.ChronicFailureThreshold = 0
+			},
+			prog:   func(int) *jvm.Program { return jvm.MemoryHog(32 << 20) },
+			expect: completed(scope.ScopeVirtualMachine, scope.KindEscaping, 2, "big"),
+		},
+		// --- missing installation: same three shapes --------------
+		{
+			class: faultinject.ClassMissingInstall, site: "machine:big",
+			faults:   "fault class=missing-installation site=machine:big\n",
+			machines: bigSmall,
+			expect:   completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassMissingInstall, site: "machine:big+machine:small (whole pool)",
+			faults: "fault class=missing-installation site=machine:big\n" +
+				"fault class=missing-installation site=machine:small\n",
+			machines: bigSmall,
+			tune:     capAttempts(3),
+			expect:   held(rr, scope.KindEscaping),
+		},
+		{
+			class: faultinject.ClassMissingInstall, site: "machine:big (reinstalled mid-queue)",
+			faults:   "fault class=missing-installation site=machine:big at=1ms for=10m0s\n",
+			machines: only("big", bigSmall),
+			tune: func(p *daemon.Params) {
+				p.MaxAttempts = 100
+				p.ChronicFailureThreshold = 0
+			},
+			expect: completed(rr, scope.KindEscaping, 2, "big"),
+		},
+		// --- bad library path: same three shapes ------------------
+		{
+			class: faultinject.ClassBadLibraryPath, site: "machine:big",
+			faults:   "fault class=bad-library-path site=machine:big\n",
+			machines: bigSmall,
+			expect:   completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassBadLibraryPath, site: "machine:big+machine:small (whole pool)",
+			faults: "fault class=bad-library-path site=machine:big\n" +
+				"fault class=bad-library-path site=machine:small\n",
+			machines: bigSmall,
+			tune:     capAttempts(3),
+			expect:   held(rr, scope.KindEscaping),
+		},
+		{
+			class: faultinject.ClassBadLibraryPath, site: "machine:big (repaired mid-queue)",
+			faults:   "fault class=bad-library-path site=machine:big at=1ms for=10m0s\n",
+			machines: only("big", bigSmall),
+			tune: func(p *daemon.Params) {
+				p.MaxAttempts = 100
+				p.ChronicFailureThreshold = 0
+			},
+			expect: completed(rr, scope.KindEscaping, 2, "big"),
+		},
+	}
+}
+
+// connCell is one live-stack sweep cell: a real client/server pair
+// with a fault proxy between them.  The conformance demand is always
+// the same — the transport failure surfaces as an escaping
+// network-scope ConnectionLost, the indeterminate-scope signal that
+// forces the caller to widen (Section 5) — and its disposition under
+// Dispose is retry (requeue), never a program result.
+type connCell struct {
+	class faultinject.Class
+	site  string
+	run   func() error // returns the observed transport error
+}
+
+// runConn executes a connection cell, asserting classification and
+// returning the canonical trace line.
+func (c connCell) runConn() (string, error) {
+	err := c.run()
+	sig := errSig(err)
+	trace := fmt.Sprintf("%s %s -> %s", c.class, c.site, sig)
+	if err == nil {
+		return trace, fmt.Errorf("operation over the cut connection succeeded")
+	}
+	se, ok := scope.AsError(err)
+	if !ok {
+		return trace, fmt.Errorf("unscoped transport error: %v", err)
+	}
+	if se.Scope != scope.ScopeNetwork || se.Kind != scope.KindEscaping || se.Code != "ConnectionLost" {
+		return trace, fmt.Errorf("classified %s/%s/%s, want network/escaping/ConnectionLost",
+			se.Scope, se.Kind, se.Code)
+	}
+	if d := scope.DisposeError(se); d != scope.DispositionRequeue {
+		return trace, fmt.Errorf("disposition %v, want %v (retry elsewhere)", d, scope.DispositionRequeue)
+	}
+	return trace, nil
+}
+
+// chirpThrough runs op over a chirp session dialed through a fault
+// proxy and returns the first transport error observed.
+func chirpThrough(fault faultinject.ConnFault, op func(c *chirp.Client) error) error {
+	fs := vfs.New()
+	if err := fs.WriteFile("/data", bytes.Repeat([]byte("x"), 4096)); err != nil {
+		return err
+	}
+	srv := chirp.NewServer(&chirp.VFSBackend{FS: fs}, "ck")
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	px, err := faultinject.NewProxy(addr, fault)
+	if err != nil {
+		return err
+	}
+	defer px.Close()
+	c, err := chirp.Dial(px.Addr(), "ck")
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return op(c)
+}
+
+// connCells is the live half of the sweep matrix.
+func connCells() []connCell {
+	readLoop := func(c *chirp.Client) error {
+		fd, err := c.Open("/data", chirp.FlagRead)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 16; i++ {
+			if _, err := c.Read(fd, 4096); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	writeLoop := func(c *chirp.Client) error {
+		fd, err := c.Open("/out", chirp.FlagWrite|chirp.FlagCreate)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 16; i++ {
+			if _, err := c.Write(fd, bytes.Repeat([]byte("w"), 256)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	remoteioRead := func(fault faultinject.ConnFault) error {
+		fs := vfs.New()
+		if err := fs.WriteFile("/in", bytes.Repeat([]byte("y"), 4096)); err != nil {
+			return err
+		}
+		srv := remoteio.NewServer(fs, []byte("key"))
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		px, err := faultinject.NewProxy(addr, fault)
+		if err != nil {
+			return err
+		}
+		defer px.Close()
+		c, err := remoteio.Dial(px.Addr(), []byte("key"))
+		if err != nil {
+			return err
+		}
+		defer c.Close()
+		for i := 0; i < 16; i++ {
+			if _, err := c.Read("/in", 0, 4096); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return []connCell{
+		{faultinject.ClassConnTruncate, "chirp (response stream)", func() error {
+			return chirpThrough(faultinject.ConnFault{CutToClient: 64}, readLoop)
+		}},
+		{faultinject.ClassConnTruncate, "chirp (handshake)", func() error {
+			return chirpThrough(faultinject.ConnFault{CutToClient: 3}, readLoop)
+		}},
+		{faultinject.ClassConnTruncate, "remoteio (response stream)", func() error {
+			return remoteioRead(faultinject.ConnFault{CutToClient: 80})
+		}},
+		{faultinject.ClassConnReset, "chirp (response stream)", func() error {
+			return chirpThrough(faultinject.ConnFault{CutToClient: 64, Reset: true}, readLoop)
+		}},
+		{faultinject.ClassConnReset, "chirp (request stream)", func() error {
+			return chirpThrough(faultinject.ConnFault{CutToServer: 48, Reset: true}, writeLoop)
+		}},
+		{faultinject.ClassConnReset, "remoteio (response stream)", func() error {
+			return remoteioRead(faultinject.ConnFault{CutToClient: 80, Reset: true})
+		}},
+	}
+}
+
+// FaultSweep runs the whole conformance matrix: every fault class at
+// three or more sites, each simulation cell twice for byte-stable
+// traces.  A non-nil error means at least one cell misclassified an
+// error, applied the wrong disposition, or produced a nondeterministic
+// trace — all regressions.
+func FaultSweep(seed int64) (*Report, error) {
+	return faultSweep(seed, false)
+}
+
+// FaultSweepSmoke is the one-cell-per-class subset wired into `make
+// check`: fast, but still crossing every error class and both live
+// protocol stacks.
+func FaultSweepSmoke(seed int64) (*Report, error) {
+	return faultSweep(seed, true)
+}
+
+func faultSweep(seed int64, smoke bool) (*Report, error) {
+	rep := &Report{
+		ID:      "fault-sweep",
+		Title:   "fault-injection conformance: class x site -> scope, disposition",
+		Headers: []string{"class", "site", "expect", "observed", "ok"},
+	}
+	if smoke {
+		rep.ID = "fault-smoke"
+	}
+	hash := fnv.New64a()
+	failures := 0
+	sites := map[faultinject.Class]map[string]bool{}
+	mark := func(class faultinject.Class, site string) {
+		if sites[class] == nil {
+			sites[class] = map[string]bool{}
+		}
+		sites[class][site] = true
+	}
+	seen := map[faultinject.Class]bool{}
+
+	for _, c := range simCells() {
+		if smoke && seen[c.class] {
+			continue
+		}
+		seen[c.class] = true
+		trace1, err := c.runSim(seed)
+		observed := lastLine(trace1)
+		if err == nil {
+			// Determinism: the identical cell must reproduce the
+			// identical trace, byte for byte.
+			trace2, err2 := c.runSim(seed)
+			if err2 != nil {
+				err = fmt.Errorf("second run: %v", err2)
+			} else if trace1 != trace2 {
+				err = fmt.Errorf("nondeterministic trace")
+			}
+		}
+		ok := "ok"
+		if err != nil {
+			ok = "FAIL: " + err.Error()
+			failures++
+		} else {
+			mark(c.class, c.site)
+		}
+		hash.Write([]byte(trace1))
+		rep.AddRow(string(c.class), c.site, c.expect.String(), observed, ok)
+	}
+	for _, c := range connCells() {
+		if smoke && seen[c.class] {
+			continue
+		}
+		seen[c.class] = true
+		trace, err := c.runConn()
+		ok := "ok"
+		if err != nil {
+			ok = "FAIL: " + err.Error()
+			failures++
+		} else {
+			mark(c.class, c.site)
+		}
+		hash.Write([]byte(trace))
+		rep.AddRow(string(c.class), c.site,
+			"network/escaping -> requeue", lastLine(trace), ok)
+	}
+
+	rep.AddNote("trace hash (seed %d): %016x", seed, hash.Sum64())
+	if !smoke {
+		for _, class := range faultinject.Classes {
+			if n := len(sites[class]); n < 3 {
+				failures++
+				rep.AddNote("COVERAGE: class %s passed at %d sites, need >= 3", class, n)
+			}
+		}
+	}
+	if failures > 0 {
+		rep.AddNote("%d failing cell(s)", failures)
+		return rep, fmt.Errorf("fault sweep: %d failing cell(s)", failures)
+	}
+	rep.AddNote("every class conformed at every site; simulation traces byte-stable across reruns")
+	return rep, nil
+}
+
+// lastLine returns the final line of a trace — the outcome summary.
+func lastLine(s string) string {
+	if i := strings.LastIndexByte(strings.TrimRight(s, "\n"), '\n'); i >= 0 {
+		return strings.TrimRight(s, "\n")[i+1:]
+	}
+	return s
+}

@@ -1,0 +1,188 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// ConnFault is the deterministic fate of every connection through a
+// Proxy.  Budgets count payload bytes forwarded in each direction;
+// the protocols behind the proxy (Chirp, remote I/O) are strict
+// request/response, so a byte offset identifies the same protocol
+// instant on every run — determinism without any reliance on timing.
+type ConnFault struct {
+	// CutToServer cuts the connection after this many bytes have
+	// been forwarded from the client toward the server; 0 = never.
+	CutToServer int64
+	// CutToClient cuts after this many bytes toward the client —
+	// mid-stream truncation of a response; 0 = never.
+	CutToClient int64
+	// Reset aborts with a TCP RST (connection reset by peer)
+	// instead of a quiet FIN.
+	Reset bool
+}
+
+// ConnFaultFor maps a connection-level fault class to the proxy
+// behavior the sweep arms: Param is the byte budget toward the
+// client (default 1 — the very first response byte).
+func ConnFaultFor(f Fault) (ConnFault, error) {
+	n := f.Param
+	if n <= 0 {
+		n = 1
+	}
+	switch f.Class {
+	case ClassConnReset:
+		return ConnFault{CutToClient: n, Reset: true}, nil
+	case ClassConnTruncate:
+		return ConnFault{CutToClient: n}, nil
+	}
+	return ConnFault{}, fmt.Errorf("class %s is not connection-level", f.Class)
+}
+
+// Proxy is a TCP relay that injects connection faults between a live
+// client and server.  Point a chirp or remoteio client at Addr and
+// every connection relays to the target until its byte budget runs
+// out, then dies by FIN or RST.  With a zero ConnFault the proxy is
+// a faithful wire.
+type Proxy struct {
+	ln     net.Listener
+	target string
+	fault  ConnFault
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	cuts   int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewProxy starts a proxy on a loopback port relaying to target.
+func NewProxy(target string, fault ConnFault) (*Proxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{
+		ln:     ln,
+		target: target,
+		fault:  fault,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address, for clients to dial.
+func (p *Proxy) Addr() string { return p.ln.Addr().String() }
+
+// Cuts reports how many connections the fault has cut.
+func (p *Proxy) Cuts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cuts
+}
+
+// Close stops the proxy and severs every relayed connection.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.ln.Close()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// track registers a live connection, or closes it if the proxy is
+// already shut down.
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		c.Close()
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		client, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		server, err := net.Dial("tcp", p.target)
+		if err != nil {
+			client.Close()
+			continue
+		}
+		if !p.track(client) || !p.track(server) {
+			client.Close()
+			server.Close()
+			continue
+		}
+		p.wg.Add(2)
+		var cutOnce sync.Once
+		cut := func() {
+			cutOnce.Do(func() {
+				p.mu.Lock()
+				p.cuts++
+				p.mu.Unlock()
+				kill(client, p.fault.Reset)
+				kill(server, p.fault.Reset)
+			})
+		}
+		go p.pipe(server, client, p.fault.CutToServer, cut)
+		go p.pipe(client, server, p.fault.CutToClient, cut)
+	}
+}
+
+// pipe relays src to dst until EOF or the byte budget is exhausted.
+// Budget exhaustion cuts the whole connection pair; a natural EOF
+// half-closes dst so the other direction can finish draining.
+func (p *Proxy) pipe(dst, src net.Conn, budget int64, cut func()) {
+	defer p.wg.Done()
+	defer p.untrack(src)
+	defer p.untrack(dst)
+	if budget > 0 {
+		if _, err := io.CopyN(dst, src, budget); err == nil {
+			cut()
+			return
+		}
+		// The stream ended before the budget; fall through as EOF.
+	} else {
+		io.Copy(dst, src)
+	}
+	if tc, ok := dst.(*net.TCPConn); ok {
+		tc.CloseWrite()
+	} else {
+		dst.Close()
+	}
+}
+
+// kill severs one connection, with an RST if reset is set: SO_LINGER
+// zero makes Close send RST instead of FIN, so the peer observes
+// "connection reset" — the abrupt teardown of a crashed server, not
+// the polite close of a finished one.
+func kill(c net.Conn, reset bool) {
+	if tc, ok := c.(*net.TCPConn); ok && reset {
+		tc.SetLinger(0)
+	}
+	c.Close()
+}

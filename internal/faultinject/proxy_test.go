@@ -1,0 +1,201 @@
+package faultinject
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/errscope/grid/internal/chirp"
+	"github.com/errscope/grid/internal/remoteio"
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+// chirpBehind starts a Chirp server and a fault proxy in front of it,
+// returning the proxy for clients to dial.
+func chirpBehind(t *testing.T, fault ConnFault) (*Proxy, *vfs.FileSystem) {
+	t.Helper()
+	fs := vfs.New()
+	srv := chirp.NewServer(&chirp.VFSBackend{FS: fs}, "ck")
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	p, err := NewProxy(addr, fault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p, fs
+}
+
+// wantNetworkEscape asserts err is the escaping network-scope
+// connection-lost error both stacks raise when the transport dies.
+func wantNetworkEscape(t *testing.T, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("operation over a cut connection succeeded")
+	}
+	se, ok := scope.AsError(err)
+	if !ok {
+		t.Fatalf("unscoped error %v", err)
+	}
+	if se.Scope != scope.ScopeNetwork || se.Kind != scope.KindEscaping || se.Code != "ConnectionLost" {
+		t.Fatalf("error = %+v, want escaping network-scope ConnectionLost", se)
+	}
+}
+
+// TestProxyPassThrough: with a zero fault the proxy is a faithful
+// wire — the whole Chirp session works through it unchanged.
+func TestProxyPassThrough(t *testing.T) {
+	p, fs := chirpBehind(t, ConnFault{})
+	c, err := chirp.Dial(p.Addr(), "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	fd, err := c.Open("/f", chirp.FlagWrite|chirp.FlagCreate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(fd, []byte("through the proxy")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CloseFD(fd); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile("/f")
+	if err != nil || !bytes.Equal(got, []byte("through the proxy")) {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if p.Cuts() != 0 {
+		t.Errorf("cuts = %d on a faithful wire", p.Cuts())
+	}
+}
+
+// TestProxyTruncateMidStream: the response stream dies quietly after
+// a byte budget — mid-stream truncation.  The client must surface an
+// escaping network-scope error, never a short read presented as
+// data.
+func TestProxyTruncateMidStream(t *testing.T) {
+	// Enough budget for the cookie handshake and the open, then the
+	// read response is cut partway.
+	p, fs := chirpBehind(t, ConnFault{CutToClient: 40})
+	if err := fs.WriteFile("/data", bytes.Repeat([]byte("x"), 256)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := chirp.Dial(p.Addr(), "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fd, err := c.Open("/data", chirp.FlagRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Read(fd, 256)
+	wantNetworkEscape(t, err)
+	if p.Cuts() != 1 {
+		t.Errorf("cuts = %d, want 1", p.Cuts())
+	}
+	// The error is sticky: the session is dead, not limping.
+	if _, err := c.Stat("/data"); err == nil {
+		t.Error("stat succeeded on a dead session")
+	}
+}
+
+// TestProxyReset: the cut arrives as a TCP RST — connection reset by
+// peer, the signature of a crashed server — and the client still
+// classifies it as an escaping network-scope failure.
+func TestProxyReset(t *testing.T) {
+	p, _ := chirpBehind(t, ConnFault{CutToClient: 40, Reset: true})
+	c, err := chirp.Dial(p.Addr(), "ck")
+	if err != nil {
+		// With a tiny budget even the handshake may die; that is
+		// still the correct classification.
+		wantNetworkEscape(t, err)
+		return
+	}
+	defer c.Close()
+	_, err = c.Open("/nope", chirp.FlagRead)
+	if err == nil {
+		_, err = c.Stat("/nope")
+	}
+	wantNetworkEscape(t, err)
+}
+
+// TestProxyCutToServer: the request direction can be cut too — the
+// server never hears the rest of the request and the client's
+// round-trip dies waiting.
+func TestProxyCutToServer(t *testing.T) {
+	p, fs := chirpBehind(t, ConnFault{CutToServer: 30, Reset: true})
+	if err := fs.WriteFile("/x", []byte("present")); err != nil {
+		t.Fatal(err)
+	}
+	c, err := chirp.Dial(p.Addr(), "ck")
+	if err != nil {
+		wantNetworkEscape(t, err)
+		return
+	}
+	defer c.Close()
+	var opErr error
+	for i := 0; i < 8; i++ {
+		if _, opErr = c.Stat("/x"); opErr != nil {
+			break
+		}
+	}
+	wantNetworkEscape(t, opErr)
+}
+
+// TestProxyRemoteIO: the remote-I/O stack behind the same proxy
+// classifies a mid-stream cut identically — escaping network scope —
+// so the shadow-side and execution-side transports agree on the
+// scope of a wire failure.
+func TestProxyRemoteIO(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.WriteFile("/in", bytes.Repeat([]byte("y"), 512)); err != nil {
+		t.Fatal(err)
+	}
+	srv := remoteio.NewServer(fs, []byte("key"))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	p, err := NewProxy(addr, ConnFault{CutToClient: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+
+	c, err := remoteio.Dial(p.Addr(), []byte("key"))
+	if err != nil {
+		wantNetworkEscape(t, err)
+		return
+	}
+	defer c.Close()
+	var opErr error
+	for i := 0; i < 8; i++ {
+		if _, opErr = c.Read("/in", 0, 512); opErr != nil {
+			break
+		}
+	}
+	wantNetworkEscape(t, opErr)
+}
+
+// TestConnFaultFor maps the connection-level classes onto proxy
+// behavior and rejects everything else.
+func TestConnFaultFor(t *testing.T) {
+	cf, err := ConnFaultFor(Fault{Class: ClassConnReset, Param: 64})
+	if err != nil || !cf.Reset || cf.CutToClient != 64 {
+		t.Errorf("reset: %+v, %v", cf, err)
+	}
+	cf, err = ConnFaultFor(Fault{Class: ClassConnTruncate})
+	if err != nil || cf.Reset || cf.CutToClient != 1 {
+		t.Errorf("truncate: %+v, %v", cf, err)
+	}
+	if _, err := ConnFaultFor(Fault{Class: ClassCrash}); err == nil {
+		t.Error("crash accepted as a connection fault")
+	}
+}

@@ -1,0 +1,304 @@
+// Package faultinject is the deterministic fault-injection engine for
+// the grid.  A Scenario names faults by (class, site, trigger); an
+// Injector arms them against a simulated pool — daemon crash and
+// restart, message drop/delay/duplication on the bus, disk and
+// permission failures in the submit and scratch file systems, and JVM
+// degradation on execution machines; a Proxy arms the two
+// connection-level classes (reset, mid-stream truncation) against the
+// live Chirp / remote-I/O stack, where a real TCP connection exists to
+// be broken.
+//
+// Everything is deterministic: given the same scenario and seed, the
+// injector fires the same faults at the same virtual instants, the
+// simulation delivers the same messages, and the injector's Log is
+// byte-identical run to run.  That determinism is what makes the
+// fault-sweep conformance harness (cmd/experiments -run fault-sweep)
+// a regression test rather than a flake generator: every error class
+// at every injection site must produce the scope classification and
+// disposition the paper mandates, and the whole trace is hashed.
+package faultinject
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Class names one kind of failure.  The set covers every boundary in
+// the paper's Figures 1–3: process and daemon death, the network
+// between daemons, the file systems at both ends, and the Java
+// execution environment itself.
+type Class string
+
+// Fault classes.
+const (
+	// ClassCrash takes a site down.  For a machine site the startd
+	// and its starter vanish mid-protocol (and restart after For);
+	// for a daemon site the daemon is partitioned — every message to
+	// or from it is lost for the window, which models a crash with a
+	// persistent-state restart: a schedd keeps its job-queue log, a
+	// matchmaker rebuilds from the periodic ads.
+	ClassCrash Class = "crash"
+	// ClassMsgDrop silently loses matching messages.
+	ClassMsgDrop Class = "msg-drop"
+	// ClassMsgDelay adds Param milliseconds (default 1000) to the
+	// delivery latency of matching messages.
+	ClassMsgDelay Class = "msg-delay"
+	// ClassMsgDup delivers Param extra copies (default 1) of
+	// matching messages.
+	ClassMsgDup Class = "msg-dup"
+	// ClassFSOffline takes a file system down entirely.
+	ClassFSOffline Class = "fs-offline"
+	// ClassDiskFull clamps a file system's quota to Param bytes
+	// (default: its current usage, i.e. full immediately).
+	ClassDiskFull Class = "disk-full"
+	// ClassPermission makes Path on the file system read-only.
+	ClassPermission Class = "permission"
+	// ClassCorruptData flips bits in the next Count (default 1)
+	// reads of Path on the file system.
+	ClassCorruptData Class = "corrupt-data"
+	// ClassHeapExhaustion clamps a machine's JVM heap to Param bytes
+	// (default 1), so any allocating job dies of OutOfMemoryError.
+	ClassHeapExhaustion Class = "heap-exhaustion"
+	// ClassMissingInstall breaks a machine's Java installation so
+	// the JVM cannot start at all.
+	ClassMissingInstall Class = "missing-installation"
+	// ClassBadLibraryPath corrupts a machine's Java standard
+	// library, so the JVM starts but the program dies loading it.
+	ClassBadLibraryPath Class = "bad-library-path"
+	// ClassConnReset aborts a live TCP connection with an RST after
+	// Param bytes (default 1) have flowed toward the client.
+	// Injected by Proxy, not by the simulation Injector.
+	ClassConnReset Class = "conn-reset"
+	// ClassConnTruncate quietly closes a live TCP connection after
+	// Param bytes toward the client — mid-stream truncation.
+	// Injected by Proxy, not by the simulation Injector.
+	ClassConnTruncate Class = "conn-truncate"
+)
+
+// Classes lists every fault class, in a fixed order the sweep
+// harness enumerates.
+var Classes = []Class{
+	ClassCrash, ClassMsgDrop, ClassMsgDelay, ClassMsgDup,
+	ClassFSOffline, ClassDiskFull, ClassPermission, ClassCorruptData,
+	ClassHeapExhaustion, ClassMissingInstall, ClassBadLibraryPath,
+	ClassConnReset, ClassConnTruncate,
+}
+
+func validClass(c Class) bool {
+	for _, k := range Classes {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ConnClass reports whether the class is connection-level — injected
+// by a Proxy on the live stack rather than by the Injector on the
+// simulation bus.
+func ConnClass(c Class) bool {
+	return c == ClassConnReset || c == ClassConnTruncate
+}
+
+// Fault is one injectable failure: a class, the site it strikes, and
+// its trigger.  The zero trigger fires at scenario-application time
+// and never recovers.
+type Fault struct {
+	Class Class
+	// Site addresses the injection point:
+	//
+	//	machine:<name>  a startd and its JVM (crash, jvm classes)
+	//	actor:<name>    a daemon on the bus (crash-as-partition);
+	//	                a trailing colon prefix-matches, so
+	//	                actor:shadow: hits every shadow
+	//	kind:<kind>     every bus message of that kind (msg classes)
+	//	<fs-key>        a file system registered in Targets (fs classes)
+	Site string
+	// Path targets a file within a file-system site (permission,
+	// corrupt-data).
+	Path string
+	// At is virtual time from scenario application to injection.
+	At time.Duration
+	// For is how long the fault lasts; 0 means forever.  Message
+	// faults deactivate, machines restart, file systems and JVMs
+	// are restored to their pre-fault configuration.
+	For time.Duration
+	// Count limits message faults to the first Count matches, and
+	// sets the read count for corrupt-data; 0 means unlimited
+	// (corrupt-data: 1).
+	Count int
+	// Param is the class-specific magnitude: delay milliseconds,
+	// duplicate copies, quota bytes, heap bytes, connection byte
+	// budget.
+	Param int64
+}
+
+// Scenario is a seeded set of faults — the unit the sweep enumerates
+// and the unit an operator writes by hand.
+type Scenario struct {
+	// Seed drives the pool the scenario runs against; equal seeds
+	// and equal faults give byte-equal traces.
+	Seed   int64
+	Faults []Fault
+}
+
+// Encode renders the scenario in its line format:
+//
+//	seed = 7
+//	fault class=crash site=machine:c001 at=5m0s for=2h0m0s
+//	fault class=permission site=submit path="/home/user/out" at=1m0s
+//
+// Fields appear in a fixed order and zero-valued trigger fields are
+// omitted, so Encode is a canonical form: Encode(Parse(Encode(s)))
+// is byte-identical to Encode(s).
+func (s Scenario) Encode() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed = %d\n", s.Seed)
+	for _, f := range s.Faults {
+		fmt.Fprintf(&b, "fault class=%s site=%s", f.Class, f.Site)
+		if f.Path != "" {
+			fmt.Fprintf(&b, " path=%s", strconv.Quote(f.Path))
+		}
+		if f.At != 0 {
+			fmt.Fprintf(&b, " at=%s", f.At)
+		}
+		if f.For != 0 {
+			fmt.Fprintf(&b, " for=%s", f.For)
+		}
+		if f.Count != 0 {
+			fmt.Fprintf(&b, " count=%d", f.Count)
+		}
+		if f.Param != 0 {
+			fmt.Fprintf(&b, " param=%d", f.Param)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Parse reads the line format produced by Encode.  Blank lines and
+// #-comments are ignored.
+func Parse(text string) (Scenario, error) {
+	var s Scenario
+	seenSeed := false
+	for i, line := range strings.Split(text, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		lineNo := i + 1
+		if k, v, ok := strings.Cut(line, "="); ok && strings.TrimSpace(k) == "seed" {
+			n, err := strconv.ParseInt(strings.TrimSpace(v), 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("line %d: bad seed %q", lineNo, strings.TrimSpace(v))
+			}
+			s.Seed = n
+			seenSeed = true
+			continue
+		}
+		rest, ok := strings.CutPrefix(line, "fault ")
+		if !ok {
+			return s, fmt.Errorf("line %d: expected \"seed = N\" or \"fault ...\", got %q", lineNo, line)
+		}
+		f, err := parseFault(rest)
+		if err != nil {
+			return s, fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		s.Faults = append(s.Faults, f)
+	}
+	if !seenSeed {
+		return s, fmt.Errorf("scenario has no \"seed = N\" line")
+	}
+	return s, nil
+}
+
+// parseFault reads the key=value fields after the "fault " keyword.
+func parseFault(rest string) (Fault, error) {
+	var f Fault
+	fields, err := splitFields(rest)
+	if err != nil {
+		return f, err
+	}
+	for _, field := range fields {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return f, fmt.Errorf("field %q is not key=value", field)
+		}
+		switch key {
+		case "class":
+			f.Class = Class(val)
+		case "site":
+			f.Site = val
+		case "path":
+			f.Path = val
+		case "at":
+			f.At, err = time.ParseDuration(val)
+		case "for":
+			f.For, err = time.ParseDuration(val)
+		case "count":
+			f.Count, err = strconv.Atoi(val)
+		case "param":
+			f.Param, err = strconv.ParseInt(val, 10, 64)
+		default:
+			return f, fmt.Errorf("unknown field %q", key)
+		}
+		if err != nil {
+			return f, fmt.Errorf("bad %s %q: %v", key, val, err)
+		}
+	}
+	if !validClass(f.Class) {
+		return f, fmt.Errorf("unknown fault class %q", f.Class)
+	}
+	if f.Site == "" {
+		return f, fmt.Errorf("fault %s has no site", f.Class)
+	}
+	if f.At < 0 || f.For < 0 || f.Count < 0 {
+		return f, fmt.Errorf("fault %s: negative trigger", f.Class)
+	}
+	return f, nil
+}
+
+// splitFields splits on spaces, honoring double-quoted values (the
+// path field quotes with strconv, so embedded spaces survive).
+func splitFields(s string) ([]string, error) {
+	var fields []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimLeft(s, " ") {
+		if q := strings.IndexByte(s, '"'); q >= 0 && q < len(s) && (strings.IndexByte(s, ' ') == -1 || q < strings.IndexByte(s, ' ')) {
+			// Field contains a quoted value: find its closing quote.
+			tail := s[q+1:]
+			end := -1
+			for j := 0; j < len(tail); j++ {
+				if tail[j] == '\\' {
+					j++
+					continue
+				}
+				if tail[j] == '"' {
+					end = j
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated quote in %q", s)
+			}
+			raw := s[:q+1+end+1]
+			key := raw[:q]
+			unq, err := strconv.Unquote(raw[q:])
+			if err != nil {
+				return nil, fmt.Errorf("bad quoted value in %q: %v", raw, err)
+			}
+			fields = append(fields, key+unq)
+			s = s[len(raw):]
+			continue
+		}
+		sp := strings.IndexByte(s, ' ')
+		if sp < 0 {
+			fields = append(fields, s)
+			break
+		}
+		fields = append(fields, s[:sp])
+		s = s[sp:]
+	}
+	return fields, nil
+}

@@ -1,0 +1,93 @@
+package faultinject
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestScenarioRoundTrip: Parse(Encode(s)) reproduces s exactly, and
+// Encode is a canonical form (re-encoding is byte-identical) — the
+// property that makes scenario files diffable regression artifacts.
+func TestScenarioRoundTrip(t *testing.T) {
+	s := Scenario{
+		Seed: 42,
+		Faults: []Fault{
+			{Class: ClassCrash, Site: "machine:c001", At: 5 * time.Minute, For: 2 * time.Hour},
+			{Class: ClassCrash, Site: "actor:matchmaker", At: time.Minute, For: 10 * time.Minute},
+			{Class: ClassMsgDrop, Site: "kind:claim-reply", Count: 3},
+			{Class: ClassMsgDelay, Site: "actor:shadow:", At: time.Second, Param: 2500},
+			{Class: ClassMsgDup, Site: "kind:job-result", Param: 2},
+			{Class: ClassFSOffline, Site: "submit", At: time.Minute, For: 4 * time.Hour},
+			{Class: ClassDiskFull, Site: "submit", Param: 4096},
+			{Class: ClassPermission, Site: "submit", Path: "/home/user/my results/out"},
+			{Class: ClassCorruptData, Site: "submit", Path: "/home/user/job0.class", Count: 2},
+			{Class: ClassHeapExhaustion, Site: "machine:big", Param: 1 << 20},
+			{Class: ClassMissingInstall, Site: "machine:big", At: time.Hour},
+			{Class: ClassBadLibraryPath, Site: "machine:big"},
+			{Class: ClassConnReset, Site: "chirp", Param: 64},
+			{Class: ClassConnTruncate, Site: "remoteio", Param: 10},
+		},
+	}
+	enc := s.Encode()
+	got, err := Parse(enc)
+	if err != nil {
+		t.Fatalf("Parse(Encode): %v\n%s", err, enc)
+	}
+	if !reflect.DeepEqual(got, s) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, s)
+	}
+	if re := got.Encode(); re != enc {
+		t.Fatalf("Encode is not canonical:\n first %q\nsecond %q", enc, re)
+	}
+}
+
+// TestScenarioParseTolerance: comments, blank lines, and surrounding
+// whitespace are ignored.
+func TestScenarioParseTolerance(t *testing.T) {
+	text := `
+# a hand-written scenario
+seed = 7
+
+  fault class=msg-drop site=kind:advertise count=1
+# trailing comment
+`
+	s, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 7 || len(s.Faults) != 1 || s.Faults[0].Class != ClassMsgDrop {
+		t.Fatalf("parsed %+v", s)
+	}
+}
+
+// TestScenarioParseErrors: every malformed input is rejected with a
+// diagnostic naming the problem, never silently skipped.
+func TestScenarioParseErrors(t *testing.T) {
+	cases := []struct {
+		name, text, want string
+	}{
+		{"no seed", "fault class=crash site=machine:a\n", "no \"seed = N\""},
+		{"bad seed", "seed = many\n", "bad seed"},
+		{"garbage line", "seed = 1\nhello world\n", "expected"},
+		{"unknown class", "seed = 1\nfault class=gremlin site=submit\n", "unknown fault class"},
+		{"missing site", "seed = 1\nfault class=crash\n", "no site"},
+		{"unknown field", "seed = 1\nfault class=crash site=machine:a whom=me\n", "unknown field"},
+		{"bad duration", "seed = 1\nfault class=crash site=machine:a at=soon\n", "bad at"},
+		{"negative count", "seed = 1\nfault class=msg-drop site=kind:x count=-2\n", "negative"},
+		{"bare field", "seed = 1\nfault class=crash site=machine:a whee\n", "not key=value"},
+		{"unterminated quote", "seed = 1\nfault class=permission site=submit path=\"/oops\n", "unterminated quote"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.text)
+			if err == nil {
+				t.Fatalf("Parse accepted %q", c.text)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
 )
 
 // dispositionTrace renders every job's full event log at every submit
@@ -50,6 +51,107 @@ func TestDeterminismSameSeedSameTrace(t *testing.T) {
 	}
 	if runTracedPool(12, false) == a {
 		t.Error("different seeds produced identical traces; the trace is not discriminating")
+	}
+}
+
+// runUndefinedEdgePool builds a pool that stresses the matchmaker's
+// three-valued logic and its ad-expiry bookkeeping at once:
+//
+//   - jobs whose Requirements or Rank reference attributes no machine
+//     advertises (target.HasGPU, target.GPUMemory) — every candidate
+//     edge evaluates UNDEFINED, which must fail the acceptance test
+//     in the indexed fast path exactly as in the reference scan;
+//   - machines whose owner policy references an attribute jobs do not
+//     carry (my.NightShift), the machine-side UNDEFINED veto;
+//   - machines crashing and restarting at instants not aligned with
+//     the 60s negotiation cycle, so ads expire mid-cycle and the
+//     fast path's index must shrink and regrow in step with the
+//     reference scheduler's view.
+func runUndefinedEdgePool(seed int64, disableFastPath bool) string {
+	params := daemon.DefaultParams()
+	params.ChronicFailureThreshold = 2
+	params.MaxAttempts = 6
+	params.DisableMatchFastPath = disableFastPath
+	ms := UniformMachines(8, 2048)
+	// One machine vetoes anything that is not definitely a night-shift
+	// job: jobs never advertise NightShift, so the veto edge is
+	// UNDEFINED, not false.
+	ms[3].OwnerRequirements = "my.NightShift"
+	p := New(Config{Seed: seed, Params: params, Machines: ms, Schedds: 2})
+	p.StageSharedInput()
+
+	// Three job flavors, interleaved.
+	for i := 0; i < 18; i++ {
+		ad := daemon.NewJavaJobAd("user", 128)
+		switch i % 3 {
+		case 1:
+			// GPU-preferring: matches anywhere Java works, but ranks
+			// by an attribute that is UNDEFINED on every machine.
+			ad.MustSetExpr("Requirements",
+				"target.HasJava && (isundefined(target.HasGPU) || target.HasGPU)")
+			ad.MustSetExpr("Rank", "target.GPUMemory")
+		case 2:
+			// GPU-requiring: the requirement edge is UNDEFINED on
+			// every machine, so the job must stay idle forever — in
+			// both scheduler shapes.
+			ad.MustSetExpr("Requirements", "target.HasJava && target.HasGPU")
+		}
+		exe := fmt.Sprintf("/home/user/job%d.class", i)
+		if err := p.Schedd.SubmitFS.WriteFile(exe, []byte("class bytes")); err != nil {
+			exe = ""
+		}
+		p.Schedds[i%2].Submit(&daemon.Job{
+			Owner:      "user",
+			Ad:         ad,
+			Program:    jvm.WellBehaved(7 * time.Minute),
+			Executable: exe,
+		})
+	}
+
+	// Mid-cycle churn: crashes and restarts offset from the 60s
+	// negotiation beat, so ads (lifetime 150s) expire partway through
+	// a cycle sequence.
+	p.Engine.After(7*time.Minute+13*time.Second, p.Startds[0].Crash)
+	p.Engine.After(27*time.Minute+41*time.Second, p.Startds[0].Restart)
+	p.Engine.After(11*time.Minute+29*time.Second, p.Startds[5].Crash)
+	p.Engine.After(33*time.Minute+7*time.Second, p.Startds[5].Restart)
+
+	p.Run(8 * time.Hour)
+	return dispositionTrace(p)
+}
+
+// TestDeterminismUndefinedEdges pins the fast path to the reference
+// scheduler on the UNDEFINED-heavy pool, and the trace to itself
+// across reruns of one seed.
+func TestDeterminismUndefinedEdges(t *testing.T) {
+	for _, seed := range []int64{3, 17} {
+		fast := runUndefinedEdgePool(seed, false)
+		if again := runUndefinedEdgePool(seed, false); again != fast {
+			t.Fatalf("seed %d: same seed, different traces", seed)
+		}
+		slow := runUndefinedEdgePool(seed, true)
+		if fast != slow {
+			fl, sl := strings.Split(fast, "\n"), strings.Split(slow, "\n")
+			for i := range fl {
+				if i >= len(sl) || fl[i] != sl[i] {
+					t.Fatalf("seed %d: fast path diverged at line %d:\nfast: %s\nslow: %s",
+						seed, i, fl[i], sl[min(i, len(sl)-1)])
+				}
+			}
+			t.Fatalf("seed %d: fast path diverged (length %d vs %d)",
+				seed, len(fl), len(sl))
+		}
+		// The UNDEFINED requirement must strand exactly the
+		// GPU-requiring third of the jobs, never silently match them.
+		idle := 0
+		for _, line := range strings.Split(fast, "\n") {
+			if strings.Contains(line, "== ") && strings.HasSuffix(line, "idle") {
+				idle++
+			}
+		}
+		if idle != 6 {
+			t.Errorf("seed %d: %d jobs idle, want the 6 GPU-requiring ones", seed, idle)
+		}
 	}
 }
 

@@ -24,12 +24,22 @@ const (
 	// moment.  The schedd logs the error and attempts to execute the
 	// job at a new site.  The user never sees it as a result.
 	DispositionRequeue
+
+	// DispositionHold: the pool's patience is exhausted — the job
+	// burned through its attempt budget, or a daemon escalated a
+	// persistent execution-environment failure.  The job is parked
+	// with its last error for the user or an operator to inspect;
+	// nothing further happens automatically.  Hold is a policy
+	// decision layered on top of Dispose, never derived from a scope
+	// alone.
+	DispositionHold
 )
 
 var dispositionNames = [...]string{
 	DispositionComplete:     "complete",
 	DispositionUnexecutable: "unexecutable",
 	DispositionRequeue:      "requeue",
+	DispositionHold:         "hold",
 }
 
 // String returns the canonical name of the disposition.

@@ -5,14 +5,24 @@ import "testing"
 // FuzzDecodeResult ensures the result-file decoder never panics and
 // that accepted inputs re-encode/decode stably.
 func FuzzDecodeResult(f *testing.F) {
-	f.Add("status = exited\nexit_code = 0\n")
-	f.Add("status = escape\nexception = OutOfMemoryError\nscope = virtual-machine\nmessage = \"heap\"\n")
-	f.Add("status = no-result\n")
-	f.Add("# comment\n\nstatus = exception\nexception = E\nscope = program\nmessage = raw words\n")
+	f.Add("status = exited\nexit_code = 0\nend = ok\n")
+	f.Add("status = escape\nexception = OutOfMemoryError\nscope = virtual-machine\nmessage = \"heap\"\nend = ok\n")
+	f.Add("status = no-result\nend = ok\n")
+	f.Add("# comment\n\nstatus = exception\nexception = E\nscope = program\nmessage = raw words\nend = ok\n")
 	f.Add("garbage")
+	// Truncation shapes: records cut before the end marker.
+	f.Add("status = exited\n")
+	f.Add("status = exited\nexit_code = 0\nend = o")
+	f.Add("status = exception\nexception = NullPointerException\nsco")
 	f.Fuzz(func(t *testing.T, src string) {
 		r, err := DecodeResultString(src)
 		if err != nil {
+			// A rejected file must read as the environment's failure,
+			// never as a program result: that is the truncation
+			// guarantee the starter relies on.
+			if r.Status != StatusNoResult {
+				t.Fatalf("failed decode of %q returned %+v, want StatusNoResult", src, r)
+			}
 			return
 		}
 		r2, err := DecodeResultString(r.EncodeString())
@@ -21,6 +31,38 @@ func FuzzDecodeResult(f *testing.F) {
 		}
 		if r2 != r {
 			t.Fatalf("unstable round trip: %+v vs %+v", r, r2)
+		}
+	})
+}
+
+// FuzzDecodeResultTruncation drives the truncation guarantee from the
+// encoder side: every proper prefix of every valid encoding must fail
+// to decode.
+func FuzzDecodeResultTruncation(f *testing.F) {
+	f.Add(int(StatusExited), 0, "", "", "")
+	f.Add(int(StatusExited), 42, "", "", "")
+	f.Add(int(StatusException), 1, "NullPointerException", "program", "at Main.java:17")
+	f.Add(int(StatusEscape), 1, "OutOfMemoryError", "virtual-machine", "heap 64MB")
+	f.Fuzz(func(t *testing.T, status, exit int, exception, scopeName, message string) {
+		r := Result{Status: ResultStatus(status), ExitCode: exit, Exception: exception, Message: message}
+		if s, err := ParseScope(scopeName); err == nil {
+			r.Scope = s
+		}
+		enc := r.EncodeString()
+		if _, err := DecodeResultString(enc); err != nil {
+			// Not every fuzzed Result encodes to a decodable file
+			// (e.g. an out-of-range status); truncating an invalid
+			// file proves nothing.
+			return
+		}
+		// Cutting only the final newline leaves the end marker line
+		// complete, so the record is genuinely intact; every earlier
+		// cut must be rejected.
+		for cut := 0; cut < len(enc)-1; cut++ {
+			got, err := DecodeResultString(enc[:cut])
+			if err == nil {
+				t.Fatalf("prefix %q of %q decoded cleanly as %+v", enc[:cut], enc, got)
+			}
 		}
 	})
 }

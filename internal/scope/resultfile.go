@@ -91,7 +91,15 @@ func (r *Result) Err() error {
 		e := New(ScopeProgram, r.Exception, "%s", r.Message)
 		return e
 	case StatusEscape:
-		e := New(r.Scope, r.Exception, "%s", r.Message)
+		// A record carrying no usable scope (hand-written or damaged)
+		// must not default to a narrow reading: the wrapper reported
+		// an environmental escape, so the widest safe attribution is
+		// the execution environment itself.
+		s := r.Scope
+		if s == ScopeNone || !s.Valid() {
+			s = ScopeRemoteResource
+		}
+		e := New(s, r.Exception, "%s", r.Message)
 		e.Kind = KindEscaping
 		return e
 	default:
@@ -129,6 +137,15 @@ func ResultFromError(exitCode int, err error) Result {
 // spirit of the ClassAd-adjacent formats Condor uses for its
 // persistent state.  It is deliberately trivial to parse so that even
 // a crippled environment can produce one.
+//
+// The final line is always the end-of-record marker "end = ok".  A
+// starter that crashes mid-write — or a scratch disk that fills —
+// leaves a file without the marker, and the decoder rejects it, so a
+// half-written "status = exited" can never be read as a clean program
+// exit attributed to the job.
+
+// endMarker terminates every well-formed result file.
+const endMarker = "ok"
 
 // Encode writes the result file representation of r to w.
 func (r *Result) Encode(w io.Writer) error {
@@ -144,6 +161,7 @@ func (r *Result) Encode(w io.Writer) error {
 	if r.Message != "" {
 		fmt.Fprintf(bw, "message = %s\n", strconv.Quote(r.Message))
 	}
+	fmt.Fprintf(bw, "end = %s\n", endMarker)
 	return bw.Flush()
 }
 
@@ -156,13 +174,20 @@ func (r *Result) EncodeString() string {
 
 // DecodeResult parses a result file.  Unknown keys are ignored for
 // forward compatibility; missing keys take zero values.  A file that
-// cannot be parsed at all yields an error — the starter then treats
-// the attempt as StatusNoResult.
+// cannot be parsed — or that lacks the trailing "end = ok" marker and
+// is therefore truncation-evident — yields an error; the starter then
+// treats the attempt as StatusNoResult, an escaping error of
+// remote-resource scope, never a program result charged to the job.
+// The failure Result returned alongside any error is StatusNoResult,
+// so even a caller that ignores the error cannot read a half-written
+// file as a clean exit.
 func DecodeResult(rd io.Reader) (Result, error) {
+	noResult := Result{Status: StatusNoResult}
 	var r Result
 	sc := bufio.NewScanner(rd)
 	line := 0
 	seenStatus := false
+	seenEnd := false
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -171,7 +196,7 @@ func DecodeResult(rd io.Reader) (Result, error) {
 		}
 		key, value, ok := strings.Cut(text, "=")
 		if !ok {
-			return r, fmt.Errorf("scope: result file line %d: no '=' in %q", line, text)
+			return noResult, fmt.Errorf("scope: result file line %d: no '=' in %q", line, text)
 		}
 		key = strings.TrimSpace(key)
 		value = strings.TrimSpace(value)
@@ -179,14 +204,14 @@ func DecodeResult(rd io.Reader) (Result, error) {
 		case "status":
 			st, err := ParseResultStatus(value)
 			if err != nil {
-				return r, fmt.Errorf("scope: result file line %d: %w", line, err)
+				return noResult, fmt.Errorf("scope: result file line %d: %w", line, err)
 			}
 			r.Status = st
 			seenStatus = true
 		case "exit_code":
 			n, err := strconv.Atoi(value)
 			if err != nil {
-				return r, fmt.Errorf("scope: result file line %d: bad exit_code %q", line, value)
+				return noResult, fmt.Errorf("scope: result file line %d: bad exit_code %q", line, value)
 			}
 			r.ExitCode = n
 		case "exception":
@@ -194,7 +219,7 @@ func DecodeResult(rd io.Reader) (Result, error) {
 		case "scope":
 			s, err := ParseScope(value)
 			if err != nil {
-				return r, fmt.Errorf("scope: result file line %d: %w", line, err)
+				return noResult, fmt.Errorf("scope: result file line %d: %w", line, err)
 			}
 			r.Scope = s
 		case "message":
@@ -204,13 +229,26 @@ func DecodeResult(rd io.Reader) (Result, error) {
 				msg = value
 			}
 			r.Message = msg
+		case "end":
+			if value != endMarker {
+				return noResult, fmt.Errorf("scope: result file line %d: corrupt end marker %q", line, value)
+			}
+			seenEnd = true
+		}
+		if seenEnd {
+			// Anything past the marker is debris from a later,
+			// interrupted rewrite; the sealed record stands.
+			break
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return r, fmt.Errorf("scope: reading result file: %w", err)
+		return noResult, fmt.Errorf("scope: reading result file: %w", err)
 	}
 	if !seenStatus {
-		return r, fmt.Errorf("scope: result file missing status")
+		return noResult, fmt.Errorf("scope: result file missing status")
+	}
+	if !seenEnd {
+		return noResult, fmt.Errorf("scope: result file truncated: no end-of-record marker")
 	}
 	return r, nil
 }

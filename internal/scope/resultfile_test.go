@@ -58,7 +58,7 @@ func TestResultRoundTripProperty(t *testing.T) {
 }
 
 func TestDecodeTolerance(t *testing.T) {
-	in := "# a comment\n\nstatus = exited\nexit_code = 3\nfuture_key = whatever\n"
+	in := "# a comment\n\nstatus = exited\nexit_code = 3\nfuture_key = whatever\nend = ok\n"
 	r, err := DecodeResultString(in)
 	if err != nil {
 		t.Fatal(err)
@@ -69,7 +69,7 @@ func TestDecodeTolerance(t *testing.T) {
 }
 
 func TestDecodeUnquotedMessage(t *testing.T) {
-	r, err := DecodeResultString("status = escape\nexception = X\nscope = job\nmessage = plain words\n")
+	r, err := DecodeResultString("status = escape\nexception = X\nscope = job\nmessage = plain words\nend = ok\n")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +86,62 @@ func TestDecodeErrors(t *testing.T) {
 		"status exited\n",                // no '='
 		"status = exited\nexit_code=x\n", // bad exit code
 		"status = exited\nscope = mars\n",
+		"status = exited\n",               // truncated: no end marker
+		"status = exited\nexit_code = 0",  // truncated mid-record
+		"status = exited\nend = maybe\n",  // corrupt end marker
+		"end = ok\n",                      // marker but no status
+		"status = exception\nexception =", // crashed mid-write
 	}
 	for _, in := range cases {
-		if _, err := DecodeResultString(in); err == nil {
+		r, err := DecodeResultString(in)
+		if err == nil {
 			t.Errorf("DecodeResultString(%q) should fail", in)
 		}
+		if r.Status != StatusNoResult {
+			t.Errorf("DecodeResultString(%q) failure result = %+v, want StatusNoResult", in, r)
+		}
+	}
+}
+
+// TestDecodeTruncation is the regression for the misattribution bug:
+// every proper prefix of a valid result file must fail to decode, and
+// the failure must read as the execution environment's error
+// (remote-resource scope via StatusNoResult), never as a program
+// result charged to the job.
+func TestDecodeTruncation(t *testing.T) {
+	full := []Result{
+		{Status: StatusExited, ExitCode: 0},
+		{Status: StatusExited, ExitCode: 7},
+		{Status: StatusException, Exception: "NullPointerException", Scope: ScopeProgram, Message: "at Main.java:3"},
+		{Status: StatusEscape, Exception: "OutOfMemoryError", Scope: ScopeVirtualMachine, Message: "heap"},
+	}
+	for _, res := range full {
+		enc := res.EncodeString()
+		// The last cut position is excluded: losing only the final
+		// newline leaves the end marker itself complete, and the
+		// record is in fact intact.
+		for cut := 0; cut < len(enc)-1; cut++ {
+			r, err := DecodeResultString(enc[:cut])
+			if err == nil {
+				t.Fatalf("prefix %q of %q decoded without error", enc[:cut], enc)
+			}
+			ferr := r.Err()
+			if ScopeOf(ferr) < ScopeRemoteResource || KindOf(ferr) != KindEscaping {
+				t.Fatalf("prefix %q: failure error %v not an escaping remote-resource error", enc[:cut], ferr)
+			}
+		}
+	}
+}
+
+// TestDecodeDebrisAfterMarker: a sealed record followed by a later,
+// interrupted rewrite still reads as the sealed record.
+func TestDecodeDebrisAfterMarker(t *testing.T) {
+	r, err := DecodeResultString("status = exited\nexit_code = 4\nend = ok\nstatus = exce")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != StatusExited || r.ExitCode != 4 {
+		t.Errorf("got %+v", r)
 	}
 }
 
@@ -121,6 +172,14 @@ func TestResultErr(t *testing.T) {
 	se, _ = AsError(err)
 	if se.Scope != ScopeRemoteResource || se.Kind != KindEscaping {
 		t.Errorf("no result: %+v", se)
+	}
+
+	// An escape record carrying no usable scope is attributed to the
+	// execution environment, not defaulted narrower.
+	err = (&Result{Status: StatusEscape, Exception: "X"}).Err()
+	se, _ = AsError(err)
+	if se.Scope != ScopeRemoteResource || se.Kind != KindEscaping {
+		t.Errorf("scopeless escape: %+v", se)
 	}
 }
 

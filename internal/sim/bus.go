@@ -39,6 +39,25 @@ type LatencyFunc func(from, to string) time.Duration
 // failure is indeterminate until time passes).
 type DropFunc func(m Message) bool
 
+// Fault is the in-transit fate a FaultFunc assigns to one message:
+// silently lost, delayed beyond the modeled latency, delivered more
+// than once, or any combination.  The zero value is normal delivery.
+type Fault struct {
+	// Drop loses the message; the sender learns nothing.
+	Drop bool
+	// Delay is added to the modeled latency.
+	Delay time.Duration
+	// Duplicates is how many extra copies arrive, each after the
+	// same total latency; receivers must be idempotent, as over a
+	// real network that retransmitted.
+	Duplicates int
+}
+
+// FaultFunc decides the in-transit fate of each message.  It is the
+// bus's fault-injection point: deterministic given the same message
+// sequence, since the bus consults it synchronously at send time.
+type FaultFunc func(m Message) Fault
+
 // Bus delivers messages between named actors through the engine's
 // event queue, applying the latency and loss models.
 type Bus struct {
@@ -46,11 +65,13 @@ type Bus struct {
 	actors  map[string]Actor
 	latency LatencyFunc
 	drop    DropFunc
+	fault   FaultFunc
 	// Trace, if non-nil, observes every message at send time along
 	// with its fate.
-	Trace func(m Message, delivered bool)
-	sent  uint64
-	lost  uint64
+	Trace      func(m Message, delivered bool)
+	sent       uint64
+	lost       uint64
+	duplicated uint64
 }
 
 // NewBus creates a bus on the engine with constant latency.
@@ -67,6 +88,10 @@ func (b *Bus) SetLatencyFunc(f LatencyFunc) { b.latency = f }
 
 // SetDropFunc installs a loss model; nil restores lossless delivery.
 func (b *Bus) SetDropFunc(f DropFunc) { b.drop = f }
+
+// SetFaultFunc installs a fault-injection model consulted for every
+// message after the loss model; nil restores faithful delivery.
+func (b *Bus) SetFaultFunc(f FaultFunc) { b.fault = f }
 
 // Register attaches an actor under a unique name.  Registering a
 // duplicate name panics — silent replacement of a live daemon would
@@ -95,6 +120,9 @@ func (b *Bus) Sent() uint64 { return b.sent }
 // that addressed a dead actor.
 func (b *Bus) Lost() uint64 { return b.lost }
 
+// Duplicated reports how many extra copies the fault model delivered.
+func (b *Bus) Duplicated() uint64 { return b.duplicated }
+
 // Send queues a message for delivery.  Delivery occurs after the
 // modeled latency; a dropped message or an unknown destination is
 // counted as lost and the sender is not informed.
@@ -108,8 +136,19 @@ func (b *Bus) Send(from, to, kind string, body any) {
 		}
 		return
 	}
-	d := b.latency(from, to)
-	b.eng.After(d, func() {
+	var f Fault
+	if b.fault != nil {
+		f = b.fault(m)
+	}
+	if f.Drop {
+		b.lost++
+		if b.Trace != nil {
+			b.Trace(m, false)
+		}
+		return
+	}
+	d := b.latency(from, to) + f.Delay
+	deliver := func() {
 		a, ok := b.actors[to]
 		if !ok {
 			b.lost++
@@ -122,7 +161,12 @@ func (b *Bus) Send(from, to, kind string, body any) {
 			b.Trace(m, true)
 		}
 		a.Receive(m)
-	})
+	}
+	b.eng.After(d, deliver)
+	for i := 0; i < f.Duplicates; i++ {
+		b.duplicated++
+		b.eng.After(d, deliver)
+	}
 }
 
 // Engine returns the engine the bus schedules on.

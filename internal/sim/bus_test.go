@@ -151,3 +151,69 @@ func TestBusLookupAndMessageString(t *testing.T) {
 		t.Error("Engine()")
 	}
 }
+
+func TestBusFaultFunc(t *testing.T) {
+	e := New(1)
+	b := NewBus(e, 10*time.Millisecond)
+	var got []Message
+	var at []Time
+	b.Register("b", ActorFunc(func(m Message) {
+		got = append(got, m)
+		at = append(at, e.Now())
+	}))
+	b.SetFaultFunc(func(m Message) Fault {
+		switch m.Kind {
+		case "drop":
+			return Fault{Drop: true}
+		case "delay":
+			return Fault{Delay: 40 * time.Millisecond}
+		case "dup":
+			return Fault{Duplicates: 2}
+		}
+		return Fault{}
+	})
+	b.Send("a", "b", "drop", nil)
+	b.Send("a", "b", "delay", nil)
+	b.Send("a", "b", "dup", nil)
+	b.Send("a", "b", "plain", nil)
+	e.Run()
+	// drop: lost. delay: at 50ms. dup: three copies at 10ms. plain: at 10ms.
+	if b.Lost() != 1 || b.Duplicated() != 2 {
+		t.Fatalf("lost=%d duplicated=%d", b.Lost(), b.Duplicated())
+	}
+	var kinds []string
+	for _, m := range got {
+		kinds = append(kinds, m.Kind)
+	}
+	if len(got) != 5 {
+		t.Fatalf("deliveries = %v", kinds)
+	}
+	for i, m := range got {
+		switch m.Kind {
+		case "delay":
+			if at[i] != Time(50*time.Millisecond) {
+				t.Errorf("delay delivered at %v", at[i])
+			}
+		default:
+			if at[i] != Time(10*time.Millisecond) {
+				t.Errorf("%s delivered at %v", m.Kind, at[i])
+			}
+		}
+	}
+	dups := 0
+	for _, k := range kinds {
+		if k == "dup" {
+			dups++
+		}
+	}
+	if dups != 3 {
+		t.Errorf("dup copies = %d, want 3", dups)
+	}
+	// Clearing the fault model restores faithful delivery.
+	b.SetFaultFunc(nil)
+	b.Send("a", "b", "drop", nil)
+	e.Run()
+	if got[len(got)-1].Kind != "drop" {
+		t.Error("fault model still active after SetFaultFunc(nil)")
+	}
+}
