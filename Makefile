@@ -4,11 +4,13 @@ GO ?= go
 # get the race detector.
 RACE_PKGS = ./internal/chirp/... ./internal/remoteio/... ./internal/live/... ./internal/faultinject/...
 
-.PHONY: check vet build test race fault-smoke fault-sweep bench bench-matchmaker
+.PHONY: check vet build test race cover fault-smoke fault-sweep bench bench-matchmaker bench-obs trace
 
 ## check: the full gate — vet, build, race-test the concurrent
-## packages, the whole suite, then the fault-injection smoke matrix.
-check: vet build race test fault-smoke
+## packages, the whole suite with per-package coverage (including the
+## golden-trace regression suite and the internal/obs coverage floor),
+## then the fault-injection smoke matrix.
+check: vet build race cover fault-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,6 +23,25 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+## cover: the whole suite with a per-package coverage summary, written
+## to cover.txt.  The tracing layer is the regression suite's
+## foundation, so internal/obs must stay at or above 85% coverage.
+OBS_PKG = github.com/errscope/grid/internal/obs
+cover:
+	$(GO) test -cover ./... | tee cover.txt
+	@awk -v pkg="$(OBS_PKG)" ' \
+		$$2 == pkg { \
+			for (i = 1; i <= NF; i++) if ($$i == "coverage:") { \
+				found = 1; c = $$(i+1); sub(/%/, "", c); \
+				if (c + 0 < 85) { \
+					printf "FAIL: %s coverage %s%% is below the 85%% floor\n", pkg, c; \
+					exit 1; \
+				} \
+				printf "%s coverage %s%% (floor: 85%%)\n", pkg, c; \
+			} \
+		} \
+		END { if (!found) { printf "FAIL: no coverage reported for %s\n", pkg; exit 1 } }' cover.txt
 
 ## fault-smoke: one fault-injection cell per error class; exits
 ## non-zero on any misclassification.
@@ -40,3 +61,14 @@ bench:
 ## BENCH_matchmaker.json.
 bench-matchmaker:
 	$(GO) run ./cmd/experiments -run bench-matchmaker
+
+## bench-obs: the tracing overhead harness (matchmaker and shadow hot
+## paths under off/nop/recorder tracers); writes BENCH_obs.json.
+bench-obs:
+	$(GO) run ./cmd/experiments -run bench-obs
+
+## trace: regenerate the canonical per-class propagation traces under
+## traces/ (the committed goldens live in
+## internal/experiments/testdata/traces).
+trace:
+	$(GO) run ./cmd/experiments -run trace

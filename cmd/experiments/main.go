@@ -10,7 +10,7 @@
 //
 // Experiment ids: figure1, figure2, figure3, figure4, naive,
 // blackhole, mounts, migration, crashes, principles,
-// bench-matchmaker, fault-sweep, fault-smoke.
+// bench-matchmaker, bench-obs, fault-sweep, fault-smoke, trace.
 package main
 
 import (
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/errscope/grid/internal/experiments"
@@ -33,6 +34,10 @@ func main() {
 		jobs     = flag.Int("jobs", 100, "jobs in pool experiments")
 		benchOut = flag.String("bench-out", "BENCH_matchmaker.json",
 			"output path for bench-matchmaker rows")
+		benchObsOut = flag.String("bench-obs-out", "BENCH_obs.json",
+			"output path for bench-obs rows")
+		traceOut = flag.String("trace-out", "traces",
+			"directory for per-class JSONL traces from the trace experiment")
 	)
 	flag.Parse()
 
@@ -90,12 +95,43 @@ func main() {
 			rep.AddNote("wrote %s", *benchOut)
 			return rep, nil
 		}, "matchmaker fast-path micro-benchmarks (writes BENCH_matchmaker.json)"},
+		{"bench-obs", func() (*experiments.Report, error) {
+			rows, rep := experiments.BenchObs()
+			data, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(*benchObsOut, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			rep.AddNote("wrote %s", *benchObsOut)
+			return rep, nil
+		}, "tracing overhead micro-benchmarks (writes BENCH_obs.json)"},
 		{"fault-sweep", func() (*experiments.Report, error) {
 			return experiments.FaultSweep(*seed)
 		}, "fault-injection conformance: every error class at >= 3 sites"},
 		{"fault-smoke", func() (*experiments.Report, error) {
 			return experiments.FaultSweepSmoke(*seed)
 		}, "fault-injection smoke subset (one site per class)"},
+		{"trace", func() (*experiments.Report, error) {
+			rep, traces, err := experiments.Traces(*seed)
+			if err != nil {
+				return rep, err
+			}
+			if *traceOut != "" {
+				if err := os.MkdirAll(*traceOut, 0o755); err != nil {
+					return rep, err
+				}
+				for class, jsonl := range traces {
+					path := filepath.Join(*traceOut, class+".jsonl")
+					if err := os.WriteFile(path, []byte(jsonl), 0o644); err != nil {
+						return rep, err
+					}
+				}
+				rep.AddNote("wrote %d traces under %s/", len(traces), *traceOut)
+			}
+			return rep, nil
+		}, "error-propagation traces per fault class (writes traces/*.jsonl)"},
 	}
 
 	if *list {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/scope"
 	"github.com/errscope/grid/internal/vfs"
 )
@@ -25,6 +26,12 @@ type Client struct {
 	r    *bufio.Reader
 	w    *bufio.Writer
 	dead error // sticky escaping error once the transport fails
+
+	// Trace, when non-nil and enabled, receives an error event the
+	// first time the transport fails; TraceJob tags it.  Set both
+	// before issuing requests.
+	Trace    obs.Tracer
+	TraceJob int64
 }
 
 // Dial connects to a Chirp proxy and authenticates with the cookie.
@@ -63,10 +70,26 @@ func (c *Client) Close() error {
 // fail records and returns a sticky transport error.
 func (c *Client) fail(err error) error {
 	esc := scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+	first := c.dead == nil
 	c.dead = esc
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
+	}
+	if first && c.Trace != nil && c.Trace.Enabled() {
+		// One origin event per connection death; later calls return
+		// the sticky error without re-reporting.
+		c.Trace.Emit(obs.Event{
+			T:      time.Now().UnixNano(),
+			Comp:   "chirp-client",
+			Kind:   obs.KindError,
+			Job:    c.TraceJob,
+			Code:   CodeConnectionLost,
+			Scope:  scope.ScopeNetwork.String(),
+			EKind:  "escaping",
+			Detail: esc.Error(),
+		})
+		c.Trace.Count("chirp.transport_failures", 1)
 	}
 	return esc
 }

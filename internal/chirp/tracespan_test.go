@@ -1,0 +1,95 @@
+package chirp_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/errscope/grid/internal/chirp"
+	"github.com/errscope/grid/internal/faultinject"
+	"github.com/errscope/grid/internal/obs"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+// TestConcurrentTransportFailureSpans kills several traced client
+// connections at once and checks the recorded spans as a sorted,
+// time-free set.  Goroutine scheduling makes the emit order of the
+// events nondeterministic, so any assertion on raw event order is
+// flaky by construction; SortedSpanSet is the canonical comparison
+// form for concurrent live-stack recordings.
+func TestConcurrentTransportFailureSpans(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.WriteFile("/data", bytes.Repeat([]byte("x"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	srv := chirp.NewServer(&chirp.VFSBackend{FS: fs}, "ck")
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 8
+	rec := obs.NewRecorder()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			px, err := faultinject.NewProxy(addr, faultinject.ConnFault{CutToClient: 64})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer px.Close()
+			c, err := chirp.Dial(px.Addr(), "ck")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			c.Trace = rec
+			c.TraceJob = int64(i + 1)
+			fd, err := c.Open("/data", chirp.FlagRead)
+			if err != nil {
+				return // the cut may land before open completes; still traced
+			}
+			for n := 0; n < 64; n++ {
+				if _, err := c.Read(fd, 4096); err != nil {
+					return
+				}
+			}
+			errs[i] = fmt.Errorf("client %d survived the cut connection", i)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := rec.SortedSpanSet()
+	want := make([]string, 0, clients)
+	for i := 1; i <= clients; i++ {
+		want = append(want, fmt.Sprintf(
+			"job=%d origin=chirp-client ConnectionLost network/escaping -> network disp= hops=chirp-client ConnectionLost network/escaping",
+			i))
+	}
+	// want is built in job order; jobs 1..8 sort lexically in this
+	// range, matching SortedSpanSet's ordering.
+	if len(got) != len(want) {
+		t.Fatalf("spans = %d, want %d:\n%v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("span[%d]:\n got  %s\n want %s", i, got[i], want[i])
+		}
+	}
+	if n := rec.Counter("chirp.transport_failures"); n != clients {
+		t.Errorf("transport_failures = %d, want %d (one per connection death)", n, clients)
+	}
+}

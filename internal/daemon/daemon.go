@@ -20,6 +20,7 @@ package daemon
 import (
 	"time"
 
+	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/scope"
 )
 
@@ -158,7 +159,14 @@ type Params struct {
 	// identical traces either way; the determinism regression tests
 	// compare the two.
 	DisableMatchFastPath bool
+	// Trace receives structured error-propagation events and metrics
+	// from every daemon (see package obs).  Nil disables tracing at
+	// zero allocation cost on the hot paths.
+	Trace obs.Tracer
 }
+
+// tracer resolves the configured tracer, substituting the no-op.
+func (p Params) tracer() obs.Tracer { return obs.Or(p.Trace) }
 
 // DefaultParams returns the parameters used throughout the paper's
 // experiments.
@@ -191,4 +199,21 @@ const (
 // holdErr builds the error recorded when a job exhausts MaxAttempts.
 func holdErr(last error) error {
 	return scope.Escape(scope.ScopePool, "AttemptsExhausted", last)
+}
+
+// errorEvent builds the trace event for a scoped error observed at a
+// component.  Only call it behind Tracer.Enabled: the detail string
+// allocates.
+func errorEvent(t int64, comp string, job JobID, err error) obs.Event {
+	ev := obs.Event{T: t, Comp: comp, Kind: obs.KindError, Job: int64(job)}
+	if se, ok := scope.AsError(err); ok {
+		ev.Code = se.Code
+		ev.Scope = se.Scope.String()
+		ev.EKind = se.Kind.String()
+		ev.Detail = se.Error()
+	} else if err != nil {
+		ev.Code = "unscoped"
+		ev.Detail = err.Error()
+	}
+	return ev
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/sim"
 )
 
@@ -60,11 +61,24 @@ func (j *Job) EventLog() string {
 	return sb.String()
 }
 
-// logEvent appends to the job's event log.
+// logEvent appends to the job's event log and mirrors the entry into
+// the trace as a state event, so traces interleave the schedd's
+// user-facing decisions with the error hops between them.
 func (s *Schedd) logEvent(j *Job, kind EventKind, format string, args ...any) {
+	detail := fmt.Sprintf(format, args...)
 	j.Events = append(j.Events, JobEvent{
 		At:     s.bus.Now(),
 		Kind:   kind,
-		Detail: fmt.Sprintf(format, args...),
+		Detail: detail,
 	})
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{
+			T:      int64(s.bus.Now()),
+			Comp:   s.name,
+			Kind:   obs.KindState,
+			Job:    int64(j.ID),
+			Code:   string(kind),
+			Detail: detail,
+		})
+	}
 }

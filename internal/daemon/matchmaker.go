@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/sim"
 )
 
@@ -22,6 +23,7 @@ import (
 type Matchmaker struct {
 	bus    Runtime
 	params Params
+	tr     obs.Tracer
 
 	machines     map[string]*machineEntry
 	machineNames []string  // sorted; the deterministic scan order
@@ -96,6 +98,7 @@ func NewMatchmaker(bus Runtime, params Params) *Matchmaker {
 	m := &Matchmaker{
 		bus:         bus,
 		params:      params,
+		tr:          params.tracer(),
 		machines:    make(map[string]*machineEntry),
 		index:       newAttrIndex(),
 		jobs:        make(map[jobKey]*jobEntry),
@@ -240,6 +243,14 @@ func (m *Matchmaker) removeJob(key jobKey) {
 // notify the schedd.
 func (m *Matchmaker) negotiate() {
 	m.Cycles++
+	m.tr.Count("matchmaker.cycles", 1)
+	var cycleStart time.Time
+	if m.tr.Enabled() {
+		// Wall clock, deliberately: the virtual clock never advances
+		// inside a cycle, and the _wall_ns suffix keeps this histogram
+		// out of deterministic exports.
+		cycleStart = time.Now()
+	}
 	m.expireMachines()
 
 	// Fair share: owners are served in ascending order of accumulated
@@ -277,6 +288,7 @@ func (m *Matchmaker) negotiate() {
 				// caused this.  One notification per advertisement.
 				j.noMatchSent = true
 				m.NoMatches++
+				m.tr.Count("matchmaker.no_matches", 1)
 				m.bus.Send(MatchmakerName, j.key.schedd, kindNoMatch,
 					noMatchMsg{Job: j.key.job})
 			}
@@ -284,6 +296,7 @@ func (m *Matchmaker) negotiate() {
 		}
 		best.matched = true
 		m.MatchesMade++
+		m.tr.Count("matchmaker.matches", 1)
 		m.usage[j.owner]++
 		m.removeJob(j.key)
 		m.bus.Send(MatchmakerName, j.key.schedd, kindMatchNotify, matchNotifyMsg{
@@ -295,6 +308,10 @@ func (m *Matchmaker) negotiate() {
 	// Provisional matches expire when the startd re-advertises; a
 	// machine that was matched but never claimed becomes visible
 	// again on its next ad.
+	if m.tr.Enabled() {
+		m.tr.Observe("matchmaker.cycle_wall_ns", int64(time.Since(cycleStart)))
+		m.tr.Observe("matchmaker.cycle_jobs", int64(len(jobs)))
+	}
 }
 
 // expireMachines drops ads from machines that have gone silent.  At

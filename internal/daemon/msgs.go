@@ -153,3 +153,21 @@ type jobEvictedMsg struct {
 	Job           JobID
 	CheckpointCPU time.Duration
 }
+
+// TracedJob implements obs.JobTagged on every message body that
+// concerns one job, so the bus can attribute message events without
+// knowing daemon types.  Periodic advertisements and the starter's
+// first contact (which does not yet know the job) stay untagged and
+// therefore untraced.
+func (m matchNotifyMsg) TracedJob() int64  { return int64(m.Job) }
+func (m noMatchMsg) TracedJob() int64      { return int64(m.Job) }
+func (m claimRequestMsg) TracedJob() int64 { return int64(m.Job) }
+func (m claimReplyMsg) TracedJob() int64   { return int64(m.Job) }
+func (m activateMsg) TracedJob() int64     { return int64(m.Job) }
+func (m jobDetailsMsg) TracedJob() int64   { return int64(m.Job) }
+func (m fetchAbortMsg) TracedJob() int64   { return int64(m.Job) }
+func (m jobResultMsg) TracedJob() int64    { return int64(m.Job) }
+func (m jobFinalMsg) TracedJob() int64     { return int64(m.Job) }
+func (m releaseClaimMsg) TracedJob() int64 { return int64(m.Job) }
+func (m checkpointMsg) TracedJob() int64   { return int64(m.Job) }
+func (m jobEvictedMsg) TracedJob() int64   { return int64(m.Job) }

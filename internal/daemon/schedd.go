@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/scope"
 	"github.com/errscope/grid/internal/sim"
 	"github.com/errscope/grid/internal/vfs"
@@ -38,6 +39,7 @@ type Schedd struct {
 	bus    Runtime
 	params Params
 	name   string
+	tr     obs.Tracer
 
 	// SubmitFS is the submit machine's file system, served to
 	// running jobs by their shadows.
@@ -69,6 +71,7 @@ func NewSchedd(bus Runtime, params Params, name string) *Schedd {
 		bus:             bus,
 		params:          params,
 		name:            name,
+		tr:              params.tracer(),
 		SubmitFS:        vfs.New(),
 		jobs:            make(map[JobID]*Job),
 		machineFailures: make(map[string]int),
@@ -367,11 +370,22 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 		err = f.Reported.Err()
 	}
 
+	if err != nil && s.tr.Enabled() {
+		// The schedd is the last hop: record the error as it arrived
+		// before disposing of it.
+		s.tr.Emit(errorEvent(int64(s.bus.Now()), s.name, j.ID, err))
+	}
+
 	disp := scope.DisposeError(err)
 	switch disp {
 	case scope.DispositionComplete:
 		j.State = JobCompleted
 		j.Finished = s.bus.Now()
+		s.tr.Count("schedd.disposition.complete", 1)
+		if s.tr.Enabled() {
+			s.tr.Emit(s.dispositionEvent(j, "complete", err))
+			s.tr.Observe("job.turnaround_ns", int64(j.Finished.Sub(j.Submitted)))
+		}
 		s.logEvent(j, EventCompleted, "%s on %s", f.Reported.Status, f.Machine)
 		s.machineFailures[f.Machine] = 0
 		leak := false
@@ -390,6 +404,10 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 		j.State = JobUnexecutable
 		j.Finished = s.bus.Now()
 		j.FinalErr = err
+		s.tr.Count("schedd.disposition.unexecutable", 1)
+		if s.tr.Enabled() {
+			s.tr.Emit(s.dispositionEvent(j, "unexecutable", err))
+		}
 		s.logEvent(j, EventUnexecutable, "%v", err)
 		s.Reports = append(s.Reports, UserReport{
 			Job:         j.ID,
@@ -399,6 +417,7 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 
 	default: // requeue
 		s.Requeues++
+		s.tr.Count("schedd.requeues", 1)
 		switch {
 		case f.Evicted:
 			s.logEvent(j, EventEvicted, "owner reclaimed %s (checkpoint %v)",
@@ -427,6 +446,10 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 			} else {
 				j.FinalErr = holdErr(err)
 			}
+			s.tr.Count("schedd.disposition.hold", 1)
+			if s.tr.Enabled() {
+				s.tr.Emit(s.dispositionEvent(j, "hold", j.FinalErr))
+			}
 			s.logEvent(j, EventHeld, "%v", j.FinalErr)
 			s.Reports = append(s.Reports, UserReport{
 				Job:         j.ID,
@@ -434,6 +457,9 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 				Err:         j.FinalErr,
 			})
 			return
+		}
+		if s.tr.Enabled() {
+			s.tr.Emit(s.dispositionEvent(j, "requeue", err))
 		}
 		// Log and attempt to execute the program at a new site.
 		s.bus.After(s.params.RequeueBackoff, func() {
@@ -443,6 +469,22 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 			}
 		})
 	}
+}
+
+// dispositionEvent records the schedd's final decision on an error,
+// closing that error's span.  Only call it behind tr.Enabled.
+func (s *Schedd) dispositionEvent(j *Job, disp string, err error) obs.Event {
+	ev := obs.Event{
+		T:    int64(s.bus.Now()),
+		Comp: s.name,
+		Kind: obs.KindDisposition,
+		Job:  int64(j.ID),
+		Code: disp,
+	}
+	if se, ok := scope.AsError(err); ok {
+		ev.Scope = se.Scope.String()
+	}
+	return ev
 }
 
 // FailureCount exposes the chronic-failure table, for tests.

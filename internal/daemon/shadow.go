@@ -5,6 +5,7 @@ import (
 
 	"github.com/errscope/grid/internal/javaio"
 	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/scope"
 	"github.com/errscope/grid/internal/sim"
 	"github.com/errscope/grid/internal/vfs"
@@ -23,6 +24,7 @@ type Shadow struct {
 	params Params
 	name   string
 	schedd string
+	tr     obs.Tracer
 
 	job        JobID
 	universe   string
@@ -51,6 +53,7 @@ func newShadow(bus Runtime, params Params, name, schedd string, job *Job, submit
 		params:         params,
 		name:           name,
 		schedd:         schedd,
+		tr:             params.tracer(),
 		job:            job.ID,
 		universe:       job.Universe,
 		program:        job.Program,
@@ -224,7 +227,21 @@ func (sh *Shadow) fetchError(err error) {
 	// Keep waiting (hard mount, or patience remaining), backing off
 	// exponentially up to the cap.
 	sh.Retries++
-	sh.bus.After(sh.retryDelay(), sh.tryFetch)
+	delay := sh.retryDelay()
+	sh.tr.Count("shadow.retries", 1)
+	if sh.tr.Enabled() {
+		sh.tr.Observe("shadow.backoff_ns", int64(delay))
+		sh.tr.Emit(obs.Event{
+			T:     int64(sh.bus.Now()),
+			Comp:  sh.name,
+			Kind:  obs.KindRetry,
+			Job:   int64(sh.job),
+			Code:  se.Code,
+			Scope: se.Scope.String(),
+			Value: int64(delay),
+		})
+	}
+	sh.bus.After(delay, sh.tryFetch)
 }
 
 // retryDelay computes the capped exponential backoff for the current
@@ -282,6 +299,21 @@ func (sh *Shadow) finish(report jobFinalMsg) {
 		return
 	}
 	sh.finished = true
+	if sh.tr.Enabled() {
+		// One hop per error the shadow forwards; a clean result emits
+		// nothing, keeping clean completions span-free.
+		now := int64(sh.bus.Now())
+		switch {
+		case report.FetchError != nil:
+			sh.tr.Emit(errorEvent(now, sh.name, sh.job, report.FetchError))
+		case report.LostContact != nil:
+			sh.tr.Emit(errorEvent(now, sh.name, sh.job, report.LostContact))
+		default:
+			if err := report.Reported.Err(); err != nil {
+				sh.tr.Emit(errorEvent(now, sh.name, sh.job, err))
+			}
+		}
+	}
 	if report.FetchError != nil || report.LostContact != nil {
 		if sh.starter != "" {
 			sh.bus.Send(sh.name, sh.starter, kindFetchAbort, fetchAbortMsg{Job: sh.job})

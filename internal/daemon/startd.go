@@ -6,6 +6,7 @@ import (
 
 	"github.com/errscope/grid/internal/classad"
 	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/sim"
 	"github.com/errscope/grid/internal/vfs"
 )
@@ -64,6 +65,7 @@ type Startd struct {
 	bus    Runtime
 	params Params
 	cfg    MachineConfig
+	tr     obs.Tracer
 
 	machine *jvm.Machine
 	// hasJava is what the startd actually advertises, after the
@@ -109,6 +111,7 @@ func NewStartd(bus Runtime, params Params, cfg MachineConfig) *Startd {
 		bus:     bus,
 		params:  params,
 		cfg:     cfg,
+		tr:      params.tracer(),
 		machine: jvm.New(cfg.JVM),
 	}
 	s.hasJava = cfg.AdvertiseJava
@@ -184,6 +187,12 @@ func (s *Startd) Evict() {
 		s.starterObj = nil
 	}
 	s.Evictions++
+	s.tr.Count("startd.evictions", 1)
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{T: int64(s.bus.Now()), Comp: s.cfg.Name,
+			Kind: obs.KindState, Job: int64(s.claimedJob), Code: "evicted",
+			Detail: "owner reclaimed the machine"})
+	}
 	s.state = StartdOwner
 	s.claimedBy = ""
 	s.claimedJob = 0
@@ -207,6 +216,11 @@ func (s *Startd) Crash() {
 		return
 	}
 	s.crashed = true
+	s.tr.Count("startd.crashes", 1)
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{T: int64(s.bus.Now()), Comp: s.cfg.Name,
+			Kind: obs.KindState, Job: int64(s.claimedJob), Code: "crashed"})
+	}
 	s.bus.Unregister(s.cfg.Name)
 	if s.starter != "" {
 		s.bus.Unregister(s.starter)
@@ -227,6 +241,10 @@ func (s *Startd) Restart() {
 	s.state = StartdUnclaimed
 	s.claimedBy = ""
 	s.claimedJob = 0
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{T: int64(s.bus.Now()), Comp: s.cfg.Name,
+			Kind: obs.KindState, Code: "restarted"})
+	}
 	s.bus.Register(s.cfg.Name, s)
 	s.advertise()
 }
@@ -297,6 +315,7 @@ func (s *Startd) Receive(msg sim.Message) {
 func (s *Startd) handleClaim(req claimRequestMsg) {
 	deny := func(reason string) {
 		s.ClaimsDenied++
+		s.tr.Count("startd.claims_denied", 1)
 		s.bus.Send(s.cfg.Name, req.Schedd, kindClaimReply,
 			claimReplyMsg{Job: req.Job, Granted: false, Reason: reason})
 	}
@@ -312,6 +331,7 @@ func (s *Startd) handleClaim(req claimRequestMsg) {
 	s.claimedBy = req.Schedd
 	s.claimedJob = req.Job
 	s.ClaimsGranted++
+	s.tr.Count("startd.claims_granted", 1)
 	s.bus.Send(s.cfg.Name, req.Schedd, kindClaimReply,
 		claimReplyMsg{Job: req.Job, Granted: true})
 }

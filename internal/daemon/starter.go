@@ -93,7 +93,12 @@ func (st *Starter) execute(det jobDetailsMsg) {
 	st.resume = det.ResumeCPU
 	st.startedAt = st.bus.Now()
 
-	w := &wrapper.Wrapper{}
+	tr := st.params.tracer()
+	w := &wrapper.Wrapper{
+		Trace:    tr,
+		TraceJob: int64(st.job),
+		TraceNow: func() int64 { return int64(st.bus.Now()) },
+	}
 	exec := w.RunFrom(machine, det.Program, det.IO, st.scratch, det.ResumeCPU)
 	st.execCPU = exec.CPU
 
@@ -104,6 +109,14 @@ func (st *Starter) execute(det jobDetailsMsg) {
 		// The original design: the starter relies entirely on the
 		// exit code of the JVM as an indicator of program success.
 		reported = wrapper.RawExitInterpretation(exec)
+	}
+	if tr.Enabled() {
+		if err := reported.Err(); err != nil {
+			// The starter's reading of the attempt — under ModeNaive
+			// this can differ from the wrapper's ground truth, and the
+			// divergence is visible in the span's hops.
+			tr.Emit(errorEvent(int64(st.bus.Now()), st.name, st.job, err))
+		}
 	}
 
 	// Standard Universe: ship periodic checkpoints to the shadow.

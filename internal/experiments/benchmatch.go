@@ -7,6 +7,7 @@ import (
 
 	"github.com/errscope/grid/internal/classad"
 	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/sim"
 )
 
@@ -40,14 +41,16 @@ func (benchSink) Receive(sim.Message) {}
 // benchPool builds an engine, bus, and matchmaker with the periodic
 // cycle pushed out of the measurement window, plus machine ads for a
 // pool of the given size (every eighth machine lacks Java, as in the
-// BestMatchN micro-benchmark).
-func benchPool(size int, disableFastPath bool) (*sim.Engine, *daemon.Matchmaker, []*classad.Ad) {
+// BestMatchN micro-benchmark).  tr is the tracer under test (nil for
+// tracing compiled in but unconfigured).
+func benchPool(size int, disableFastPath bool, tr obs.Tracer) (*sim.Engine, *daemon.Matchmaker, []*classad.Ad) {
 	eng := sim.New(1)
 	bus := sim.NewBus(eng, 0)
 	params := daemon.DefaultParams()
 	params.NegotiationInterval = 1000 * time.Hour
 	params.MachineAdLifetime = 10000 * time.Hour
 	params.DisableMatchFastPath = disableFastPath
+	params.Trace = tr
 	m := daemon.NewMatchmaker(bus, params)
 	bus.Register("schedd", benchSink{})
 	machineAds := make([]*classad.Ad, size)
@@ -90,7 +93,7 @@ func BenchMatchmaker(sizes []int) ([]BenchMatchRow, *Report) {
 			arm := arm
 			res := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
-				eng, m, machineAds := benchPool(size, arm.slow)
+				eng, m, machineAds := benchPool(size, arm.slow, nil)
 				jobAds := make([]*classad.Ad, size)
 				for i := range jobAds {
 					jobAds[i] = daemon.NewJavaJobAd(fmt.Sprintf("u%d", i%4), 128)
@@ -116,7 +119,7 @@ func BenchMatchmaker(sizes []int) ([]BenchMatchRow, *Report) {
 		}
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
-			_, m, _ := benchPool(size, false)
+			_, m, _ := benchPool(size, false, nil)
 			// Jobs whose Requirements no machine can meet: the queue
 			// sits, and every cycle walks it without matching.
 			for i := 0; i < size; i++ {

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/obs"
+	"github.com/errscope/grid/internal/pool"
+)
+
+// BenchObsRow is one measured (hot path, tracer) configuration, the
+// unit of BENCH_obs.json.
+type BenchObsRow struct {
+	// Path is the hot path under measurement: "matchmaker-steady"
+	// (one idle negotiation cycle per op) or "shadow-retry" (one
+	// whole simulated outage with ~16 fetch retries per op).
+	Path string `json:"path"`
+	// Tracer is the arm: "off" (nil, tracing unconfigured), "nop"
+	// (the explicit no-op tracer), or "recorder" (full recording).
+	Tracer      string  `json:"tracer"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// obsArms returns the three tracer arms.  The claim under test: off
+// and nop cost the same as before tracing existed (the matchmaker's
+// steady cycle stays at zero allocations), and only the recorder
+// pays for what it records.
+func obsArms() []struct {
+	name string
+	mk   func() obs.Tracer
+} {
+	return []struct {
+		name string
+		mk   func() obs.Tracer
+	}{
+		{"off", func() obs.Tracer { return nil }},
+		{"nop", func() obs.Tracer { return obs.Nop }},
+		{"recorder", func() obs.Tracer { return obs.NewRecorder() }},
+	}
+}
+
+// BenchObs measures the tracing layer's overhead on the two hot paths
+// the acceptance criteria name, across the three tracer arms.
+func BenchObs() ([]BenchObsRow, *Report) {
+	rep := &Report{
+		ID:      "bench-obs",
+		Title:   "tracing overhead: hot paths x {off, nop, recorder}",
+		Headers: []string{"path", "tracer", "ns/op", "B/op", "allocs/op"},
+	}
+	var rows []BenchObsRow
+
+	const poolSize = 128
+	for _, arm := range obsArms() {
+		arm := arm
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			_, m, _ := benchPool(poolSize, false, arm.mk())
+			for i := 0; i < poolSize; i++ {
+				ad := daemon.NewJavaJobAd(fmt.Sprintf("u%d", i%4), 1<<40)
+				m.AdvertiseJob("schedd", daemon.JobID(i+1), ad)
+			}
+			m.Negotiate() // warm the scratch slices
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				m.Negotiate()
+			}
+			b.StopTimer()
+			if m.MatchesMade != 0 {
+				b.Fatal("steady state matched")
+			}
+		})
+		rows = append(rows, BenchObsRow{
+			Path: "matchmaker-steady", Tracer: arm.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+
+	for _, arm := range obsArms() {
+		arm := arm
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for n := 0; n < b.N; n++ {
+				params := daemon.DefaultParams()
+				params.Mount.Kind = daemon.MountHard
+				params.Mount.RetryInterval = 30 * time.Second
+				params.Mount.MaxRetryInterval = 30 * time.Second
+				params.ResultTimeout = 0
+				params.Trace = arm.mk()
+				p := pool.New(pool.Config{Seed: 1, Params: params,
+					Machines: []daemon.MachineConfig{{Name: "m", AdvertiseJava: true}}})
+				p.Schedd.SubmitFS.SetOffline(true)
+				p.SubmitJava(1, func(int) *jvm.Program { return jvm.WellBehaved(time.Minute) })
+				// ~16 backoff-paced fetch retries before the outage ends.
+				p.Engine.After(8*time.Minute+30*time.Second, func() {
+					p.Schedd.SubmitFS.SetOffline(false)
+				})
+				p.Run(2 * time.Hour)
+				if !p.AllTerminal() {
+					b.Fatal("job did not finish")
+				}
+			}
+		})
+		rows = append(rows, BenchObsRow{
+			Path: "shadow-retry", Tracer: arm.name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+
+	for _, r := range rows {
+		rep.AddRow(r.Path, r.Tracer,
+			fmt.Sprintf("%.0f", r.NsPerOp),
+			fmt.Sprintf("%d", r.BytesPerOp),
+			fmt.Sprintf("%d", r.AllocsPerOp))
+	}
+	rep.AddNote("matchmaker-steady: one idle cycle per op, %d unmatchable jobs; off and nop must stay at 0 allocs/op", poolSize)
+	rep.AddNote("shadow-retry: one simulated submit-side outage per op (~16 fetch retries); off vs nop delta ~0 is the claim")
+	return rows, rep
+}

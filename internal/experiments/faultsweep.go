@@ -11,6 +11,7 @@ import (
 	"github.com/errscope/grid/internal/daemon"
 	"github.com/errscope/grid/internal/faultinject"
 	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/pool"
 	"github.com/errscope/grid/internal/remoteio"
 	"github.com/errscope/grid/internal/scope"
@@ -88,11 +89,13 @@ func errSig(err error) string {
 
 // runSim executes one cell and returns its canonical trace: the
 // injector log followed by a single outcome line.  Identical traces
-// across runs are the determinism contract.
-func (c simCell) runSim(seed int64) (string, error) {
+// across runs are the determinism contract.  A non-nil tr receives
+// the structured propagation trace (see the trace experiment).
+func (c simCell) runSim(seed int64, tr obs.Tracer) (string, error) {
 	params := daemon.DefaultParams()
 	params.ResultTimeout = 30 * time.Minute
 	params.ChronicFailureThreshold = 1
+	params.Trace = tr
 	if c.tune != nil {
 		c.tune(&params)
 	}
@@ -702,12 +705,12 @@ func faultSweep(seed int64, smoke bool) (*Report, error) {
 			continue
 		}
 		seen[c.class] = true
-		trace1, err := c.runSim(seed)
+		trace1, err := c.runSim(seed, nil)
 		observed := lastLine(trace1)
 		if err == nil {
 			// Determinism: the identical cell must reproduce the
 			// identical trace, byte for byte.
-			trace2, err2 := c.runSim(seed)
+			trace2, err2 := c.runSim(seed, nil)
 			if err2 != nil {
 				err = fmt.Errorf("second run: %v", err2)
 			} else if trace1 != trace2 {

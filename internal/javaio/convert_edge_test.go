@@ -1,0 +1,150 @@
+package javaio
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+// Edge cases of the library's error translation (Section 4's table):
+// scope widening for narrow transport faults, preservation of wider
+// scopes, the name map's corners, and the transport adapters.
+
+func TestConvertNilIsNil(t *testing.T) {
+	if err := New(nil).Convert(nil); err != nil {
+		t.Fatalf("Convert(nil) = %v", err)
+	}
+}
+
+// readErr builds a library whose transport always fails a read with
+// the given error, and returns the converted error.
+func readErr(t *testing.T, lib func(Transport) *Library, err error) *scope.Error {
+	t.Helper()
+	l := lib(TransportFunc{
+		ReadFn: func(string, int64, int) ([]byte, error) { return nil, err },
+	})
+	_, cerr := l.Read("/f", 0, 1)
+	se, _ := scope.AsError(cerr)
+	if se == nil {
+		t.Fatalf("conversion lost the error: %v", cerr)
+	}
+	return se
+}
+
+func TestNarrowEscapeWidensToProcess(t *testing.T) {
+	// A dead connection is network scope — narrower than program — but
+	// it invalidates the process's whole I/O mechanism, so the library
+	// must widen it (a scope may never narrow, Section 3.3).
+	in := scope.Escape(scope.ScopeNetwork, "ConnectionLost", errors.New("broken pipe"))
+	se := readErr(t, New, in)
+	if se.Kind != scope.KindEscaping {
+		t.Errorf("kind = %v", se.Kind)
+	}
+	if se.Scope != scope.ScopeProcess {
+		t.Errorf("scope = %v, want process", se.Scope)
+	}
+	if se.Code != ErrConnectionTimedOut {
+		t.Errorf("code = %q", se.Code)
+	}
+}
+
+func TestWideEscapeKeepsScope(t *testing.T) {
+	// An offline home file system is local-resource scope; the library
+	// must pass that scope through untouched.
+	in := scope.Escape(scope.ScopeLocalResource, "FileSystemOffline", errors.New("nfs down"))
+	se := readErr(t, New, in)
+	if se.Scope != scope.ScopeLocalResource || se.Code != ErrHomeFSOffline {
+		t.Errorf("converted = %+v", se)
+	}
+}
+
+func TestUnknownEscapeCodeKeptVerbatim(t *testing.T) {
+	// An escaping code outside the name map travels under its own
+	// name; inventing a generic label would destroy information.
+	in := scope.Escape(scope.ScopeRemoteResource, "TotallyNovelFault", errors.New("?"))
+	se := readErr(t, New, in)
+	if se.Code != "TotallyNovelFault" || se.Scope != scope.ScopeRemoteResource {
+		t.Errorf("converted = %+v", se)
+	}
+}
+
+func TestFileExistsPresentsAsNameError(t *testing.T) {
+	// A create-exclusive collision fits the interface's expectations
+	// and presents as the name-lookup exception.
+	in := scope.New(scope.ScopeFile, "FileExists", "already there")
+	se := readErr(t, New, in)
+	if se.Kind != scope.KindExplicit || se.Code != ExcFileNotFound || se.Scope != scope.ScopeProgram {
+		t.Errorf("converted = %+v", se)
+	}
+}
+
+func TestExplicitWideScopeEscapes(t *testing.T) {
+	// An error marked explicit by a lower layer but carrying a scope
+	// wider than program cannot be a program exception: the corrected
+	// library routes it through the escaping channel.
+	in := scope.New(scope.ScopeLocalResource, "DiskFull", "quota on the submit machine")
+	se := readErr(t, New, in)
+	if se.Kind != scope.KindEscaping {
+		t.Errorf("wide explicit error must escape: %+v", se)
+	}
+	if !se.Scope.Contains(scope.ScopeLocalResource) {
+		t.Errorf("scope = %v", se.Scope)
+	}
+}
+
+func TestGenericModeFlattensPlainError(t *testing.T) {
+	// Generic mode turns even an unclassified transport explosion into
+	// the generic explicit exception — the original design's flaw.
+	se := readErr(t, NewGeneric, errors.New("socket exploded"))
+	if se.Kind != scope.KindExplicit || se.Code != ExcIOException || se.Scope != scope.ScopeProgram {
+		t.Errorf("generic conversion = %+v", se)
+	}
+}
+
+func TestWriteErrorsConvertLikeReads(t *testing.T) {
+	l := New(TransportFunc{
+		WriteFn: func(string, int64, []byte) (int, error) {
+			return 0, scope.Escape(scope.ScopeLocalResource, "FileSystemOffline", errors.New("down"))
+		},
+	})
+	_, err := l.Write("/f", 0, []byte("x"))
+	se, _ := scope.AsError(err)
+	if se == nil || se.Code != ErrHomeFSOffline || se.Kind != scope.KindEscaping {
+		t.Errorf("write conversion = %v", err)
+	}
+}
+
+func TestVFSTransportAutoCreate(t *testing.T) {
+	fs := vfs.New()
+
+	// Without AutoCreate, writing a missing file is a name error the
+	// program sees as an explicit exception.
+	plain := New(&VFSTransport{FS: fs})
+	_, err := plain.Write("/new", 0, []byte("x"))
+	se, _ := scope.AsError(err)
+	if se == nil || se.Code != ExcFileNotFound || se.Kind != scope.KindExplicit {
+		t.Fatalf("write without AutoCreate = %v", err)
+	}
+
+	// With AutoCreate the write creates the file, mirroring the Chirp
+	// path's create-on-open.
+	auto := New(&VFSTransport{FS: fs, AutoCreate: true})
+	if _, err := auto.Write("/new", 0, []byte("x")); err != nil {
+		t.Fatalf("AutoCreate write: %v", err)
+	}
+	data, _ := fs.ReadFile("/new")
+	if string(data) != "x" {
+		t.Errorf("content = %q", data)
+	}
+
+	// AutoCreate only papers over the missing file; other failures
+	// still surface (offline stays an escaping local-resource error).
+	fs.SetOffline(true)
+	_, err = auto.Write("/new", 0, []byte("y"))
+	se, _ = scope.AsError(err)
+	if se == nil || se.Code != ErrHomeFSOffline {
+		t.Errorf("offline AutoCreate write = %v", err)
+	}
+}

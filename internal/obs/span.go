@@ -1,0 +1,94 @@
+package obs
+
+import "fmt"
+
+// Span is one error's journey through the system: where it
+// originated, how it was classified, which components it visited, and
+// what the schedd finally did about it.  One job attempt that fails
+// produces one span; a job retried three times produces three.
+type Span struct {
+	// Job identifies the job the error belongs to.
+	Job int64 `json:"job"`
+	// Origin is the component that first observed the error.
+	Origin string `json:"origin"`
+	// Code, Scope, and EKind classify the error at its origin.
+	Code  string `json:"code"`
+	Scope string `json:"scope"`
+	EKind string `json:"ekind,omitempty"`
+	// FinalScope is the scope of the last hop before disposition —
+	// widening en route is the paper's Section 3.3 in action.
+	FinalScope string `json:"final_scope,omitempty"`
+	// Disposition is the schedd's decision closing the span
+	// (complete, unexecutable, requeue, hold); empty for a span still
+	// open when the recording ended (e.g. a live transport error that
+	// never reaches a schedd).
+	Disposition string `json:"disposition,omitempty"`
+	// Hops lists every error observation in order, rendered as
+	// "component code scope/kind".
+	Hops []string `json:"hops"`
+	// Start and End bracket the span: origin instant to disposition
+	// instant, in the emitter's nanoseconds.  LatencyNS is their
+	// difference — the propagation latency the paper never had the
+	// instrumentation to measure.
+	Start     int64 `json:"start"`
+	End       int64 `json:"end"`
+	LatencyNS int64 `json:"latency_ns"`
+}
+
+// AssembleSpans folds an event stream into spans.  An error event
+// opens a span for its job (or extends the open one); a disposition
+// event closes it.  Spans are returned in close order, with any spans
+// still open at the end appended in open order.
+func AssembleSpans(events []Event) []Span {
+	open := make(map[int64]*Span)
+	// openOrder keeps leftover spans deterministic.
+	var openOrder []int64
+	var out []Span
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case KindError:
+			sp := open[ev.Job]
+			if sp == nil {
+				sp = &Span{
+					Job:    ev.Job,
+					Origin: ev.Comp,
+					Code:   ev.Code,
+					Scope:  ev.Scope,
+					EKind:  ev.EKind,
+					Start:  ev.T,
+				}
+				open[ev.Job] = sp
+				openOrder = append(openOrder, ev.Job)
+			}
+			sp.Hops = append(sp.Hops,
+				fmt.Sprintf("%s %s %s/%s", ev.Comp, ev.Code, ev.Scope, ev.EKind))
+			sp.FinalScope = ev.Scope
+			sp.End = ev.T
+		case KindDisposition:
+			sp := open[ev.Job]
+			if sp == nil {
+				// A clean completion: no error ever opened a span.
+				continue
+			}
+			sp.Disposition = ev.Code
+			if ev.Scope != "" {
+				sp.FinalScope = ev.Scope
+			}
+			sp.End = ev.T
+			sp.LatencyNS = sp.End - sp.Start
+			out = append(out, *sp)
+			delete(open, ev.Job)
+		}
+	}
+	for _, job := range openOrder {
+		// openOrder may list a job more than once when a closed span
+		// was followed by a new error; consume each open span once.
+		if sp := open[job]; sp != nil {
+			sp.LatencyNS = sp.End - sp.Start
+			out = append(out, *sp)
+			delete(open, job)
+		}
+	}
+	return out
+}

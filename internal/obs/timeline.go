@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Timeline renders the events concerning one job as a human-readable
+// trace, one line per event, in emit order.  Times are shown as
+// offsets from zero (virtual time in the simulation), so a timeline
+// reads like the job's biography:
+//
+//	5m0.015s     bus          msg          claim-request schedd->big
+//	35m2.062s    jvm          error        JVMStartError virtual-machine/escaping ...
+//	35m2.067s    schedd       disposition  requeue remote-resource
+//
+// Job 0 selects events not attributed to any job.
+func Timeline(events []Event, job int64) string {
+	var sb strings.Builder
+	for _, ev := range events {
+		if ev.Job != job {
+			continue
+		}
+		writeTimelineLine(&sb, ev)
+	}
+	return sb.String()
+}
+
+// Timeline renders the recorder's events for one job.
+func (r *Recorder) Timeline(job int64) string {
+	return Timeline(r.Events(), job)
+}
+
+func writeTimelineLine(sb *strings.Builder, ev Event) {
+	fmt.Fprintf(sb, "%-12s %-16s %-12s %s", time.Duration(ev.T), ev.Comp, ev.Kind, ev.Code)
+	if ev.Scope != "" {
+		fmt.Fprintf(sb, " %s", ev.Scope)
+		if ev.EKind != "" {
+			fmt.Fprintf(sb, "/%s", ev.EKind)
+		}
+	}
+	if ev.Detail != "" {
+		fmt.Fprintf(sb, " %s", ev.Detail)
+	}
+	if ev.Value != 0 {
+		fmt.Fprintf(sb, " value=%d", ev.Value)
+	}
+	sb.WriteByte('\n')
+}

@@ -50,6 +50,9 @@ func New(cfg Config) *Pool {
 	}
 	eng := sim.New(cfg.Seed)
 	bus := sim.NewBus(eng, cfg.MsgLatency)
+	// The bus shares the daemons' tracer, so message fates interleave
+	// with daemon events in one recording.
+	bus.Obs = cfg.Params.Trace
 	p := &Pool{
 		Engine:     eng,
 		Bus:        bus,

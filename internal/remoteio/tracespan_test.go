@@ -1,0 +1,86 @@
+package remoteio
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/errscope/grid/internal/faultinject"
+	"github.com/errscope/grid/internal/obs"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+// TestConcurrentTransportFailureSpans is the remoteio twin of the
+// chirp test: several traced shadow channels die at once, and the
+// recording is checked as a sorted span set rather than by event
+// order, which goroutine scheduling would make flaky.
+func TestConcurrentTransportFailureSpans(t *testing.T) {
+	fs := vfs.New()
+	if err := fs.WriteFile("/data", bytes.Repeat([]byte("x"), 4096)); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(fs, testKey)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	const clients = 6
+	rec := obs.NewRecorder()
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			px, err := faultinject.NewProxy(addr, faultinject.ConnFault{CutToClient: 96})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer px.Close()
+			c, err := Dial(px.Addr(), testKey)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer c.Close()
+			c.Trace = rec
+			c.TraceJob = int64(i + 1)
+			for n := 0; n < 64; n++ {
+				if _, err := c.Read("/data", 0, 4096); err != nil {
+					return
+				}
+			}
+			errs[i] = fmt.Errorf("client %d survived the cut connection", i)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := rec.SortedSpanSet()
+	want := make([]string, 0, clients)
+	for i := 1; i <= clients; i++ {
+		want = append(want, fmt.Sprintf(
+			"job=%d origin=remoteio-client ConnectionLost network/escaping -> network disp= hops=remoteio-client ConnectionLost network/escaping",
+			i))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("spans = %d, want %d:\n%v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("span[%d]:\n got  %s\n want %s", i, got[i], want[i])
+		}
+	}
+	if n := rec.Counter("remoteio.transport_failures"); n != clients {
+		t.Errorf("transport_failures = %d, want %d (one per connection death)", n, clients)
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"github.com/errscope/grid/internal/obs"
 )
 
 // Message is one unit of communication between actors on the Bus.
@@ -68,7 +70,11 @@ type Bus struct {
 	fault   FaultFunc
 	// Trace, if non-nil, observes every message at send time along
 	// with its fate.
-	Trace      func(m Message, delivered bool)
+	Trace func(m Message, delivered bool)
+	// Obs, if non-nil, receives structured message events for bodies
+	// that implement obs.JobTagged (periodic ads and internal notices
+	// stay out of traces) plus bus traffic counters.
+	Obs        obs.Tracer
 	sent       uint64
 	lost       uint64
 	duplicated uint64
@@ -123,17 +129,45 @@ func (b *Bus) Lost() uint64 { return b.lost }
 // Duplicated reports how many extra copies the fault model delivered.
 func (b *Bus) Duplicated() uint64 { return b.duplicated }
 
+// observe emits a structured event for a job-tagged message.  The
+// Enabled guard keeps the disabled path to one interface call with no
+// event construction.
+func (b *Bus) observe(m Message, fate string) {
+	if b.Obs == nil || !b.Obs.Enabled() {
+		return
+	}
+	tagged, ok := m.Body.(obs.JobTagged)
+	if !ok {
+		return
+	}
+	b.Obs.Emit(obs.Event{
+		T:      int64(b.eng.Now()),
+		Comp:   "bus",
+		Kind:   fate,
+		Job:    tagged.TracedJob(),
+		Code:   m.Kind,
+		Detail: m.From + "->" + m.To,
+	})
+}
+
 // Send queues a message for delivery.  Delivery occurs after the
 // modeled latency; a dropped message or an unknown destination is
 // counted as lost and the sender is not informed.
 func (b *Bus) Send(from, to, kind string, body any) {
 	m := Message{From: from, To: to, Kind: kind, Body: body}
 	b.sent++
+	if b.Obs != nil {
+		b.Obs.Count("bus.sent", 1)
+	}
 	if b.drop != nil && b.drop(m) {
 		b.lost++
 		if b.Trace != nil {
 			b.Trace(m, false)
 		}
+		if b.Obs != nil {
+			b.Obs.Count("bus.lost", 1)
+		}
+		b.observe(m, obs.KindMsgLost)
 		return
 	}
 	var f Fault
@@ -145,8 +179,13 @@ func (b *Bus) Send(from, to, kind string, body any) {
 		if b.Trace != nil {
 			b.Trace(m, false)
 		}
+		if b.Obs != nil {
+			b.Obs.Count("bus.lost", 1)
+		}
+		b.observe(m, obs.KindMsgLost)
 		return
 	}
+	b.observe(m, obs.KindMsg)
 	d := b.latency(from, to) + f.Delay
 	deliver := func() {
 		a, ok := b.actors[to]
@@ -155,6 +194,10 @@ func (b *Bus) Send(from, to, kind string, body any) {
 			if b.Trace != nil {
 				b.Trace(m, false)
 			}
+			if b.Obs != nil {
+				b.Obs.Count("bus.lost", 1)
+			}
+			b.observe(m, obs.KindMsgLost)
 			return
 		}
 		if b.Trace != nil {

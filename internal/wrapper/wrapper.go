@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/scope"
 	"github.com/errscope/grid/internal/vfs"
 )
@@ -34,6 +35,21 @@ type Wrapper struct {
 	Classifier *scope.Classifier
 	// ResultPath overrides DefaultResultPath when non-empty.
 	ResultPath string
+	// Trace, when non-nil and enabled, receives the error's origin
+	// event (the JVM's thrown exception) and the wrapper's
+	// classification of it — the first two hops of every error span.
+	// TraceJob tags the events; TraceNow supplies timestamps (nil
+	// falls back to zero, for callers outside any clock).
+	Trace    obs.Tracer
+	TraceJob int64
+	TraceNow func() int64
+}
+
+func (w *Wrapper) traceNow() int64 {
+	if w.TraceNow != nil {
+		return w.TraceNow()
+	}
+	return 0
 }
 
 func (w *Wrapper) classifier() *scope.Classifier {
@@ -68,12 +84,46 @@ func (w *Wrapper) Run(m *jvm.Machine, prog *jvm.Program, io jvm.FileOps, scratch
 func (w *Wrapper) RunFrom(m *jvm.Machine, prog *jvm.Program, io jvm.FileOps, scratch *vfs.FileSystem, resume time.Duration) *jvm.Execution {
 	exec := m.ExecuteFrom(prog, io, resume)
 
+	if exec.Thrown != nil && w.Trace != nil && w.Trace.Enabled() {
+		// Origin event: the error as the JVM surfaced it, before any
+		// classification.
+		th := exec.Thrown
+		ekind := "explicit"
+		if th.Escaping {
+			ekind = "escaping"
+		}
+		w.Trace.Emit(obs.Event{
+			T:      w.traceNow(),
+			Comp:   "jvm",
+			Kind:   obs.KindError,
+			Job:    w.TraceJob,
+			Code:   th.Name,
+			Scope:  th.Scope.String(),
+			EKind:  ekind,
+			Detail: th.Message,
+		})
+	}
+
 	if exec.Thrown != nil && exec.Thrown.Name == "JVMStartError" {
 		// The wrapper never got control: no result file.
 		return exec
 	}
 
 	res := w.Classify(exec)
+	if res.Status != scope.StatusExited && w.Trace != nil && w.Trace.Enabled() {
+		// Classification event: the scope the wrapper assigned, which
+		// may widen the JVM's own reading (Section 3.3).
+		w.Trace.Emit(obs.Event{
+			T:      w.traceNow(),
+			Comp:   "wrapper",
+			Kind:   obs.KindError,
+			Job:    w.TraceJob,
+			Code:   res.Exception,
+			Scope:  res.Scope.String(),
+			EKind:  res.Status.String(),
+			Detail: res.Message,
+		})
+	}
 	// Write the result file.  Failure to write it is itself an
 	// environmental failure; the wrapper can do nothing but exit,
 	// and the starter will see the absent/partial file as NoResult.
