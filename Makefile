@@ -4,13 +4,14 @@ GO ?= go
 # get the race detector.
 RACE_PKGS = ./internal/chirp/... ./internal/remoteio/... ./internal/live/... ./internal/faultinject/...
 
-.PHONY: check vet build test race cover fault-smoke fault-sweep bench bench-matchmaker bench-obs trace
+.PHONY: check vet build test race cover journal-smoke fault-smoke fault-sweep bench bench-matchmaker bench-obs trace
 
 ## check: the full gate — vet, build, race-test the concurrent
 ## packages, the whole suite with per-package coverage (including the
 ## golden-trace regression suite and the internal/obs coverage floor),
-## then the fault-injection smoke matrix.
-check: vet build race cover fault-smoke
+## the write-ahead-journal race smoke, then the fault-injection smoke
+## matrix.
+check: vet build race cover journal-smoke fault-smoke
 
 vet:
 	$(GO) vet ./...
@@ -42,6 +43,12 @@ cover:
 			} \
 		} \
 		END { if (!found) { printf "FAIL: no coverage reported for %s\n", pkg; exit 1 } }' cover.txt
+
+## journal-smoke: the schedd write-ahead journal under the race
+## detector — concurrent append/compact/replay plus the torn-tail and
+## fuzz-seeded decode tests.
+journal-smoke:
+	$(GO) test -race -count=1 ./internal/journal/
 
 ## fault-smoke: one fault-injection cell per error class; exits
 ## non-zero on any misclassification.

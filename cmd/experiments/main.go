@@ -9,7 +9,7 @@
 //	experiments -all -seed 7 -jobs 200 -machines 40
 //
 // Experiment ids: figure1, figure2, figure3, figure4, naive,
-// blackhole, mounts, migration, crashes, principles,
+// blackhole, mounts, migration, crashes, crash-recovery, principles,
 // bench-matchmaker, bench-obs, fault-sweep, fault-smoke, trace.
 package main
 
@@ -80,6 +80,9 @@ func main() {
 			return experiments.Crashes(*seed, *machines, *jobs, 0.25,
 				[]time.Duration{30 * time.Minute, 2 * time.Hour, 12 * time.Hour}), nil
 		}, "Section 5: silent machine crashes discovered by time"},
+		{"crash-recovery", func() (*experiments.Report, error) {
+			return experiments.CrashRecovery(*seed)
+		}, "submit-side durability: schedd crash at every phase, journal recovery"},
 		{"principles", func() (*experiments.Report, error) {
 			return experiments.Principles(), nil
 		}, "the four principles, violated and obeyed"},

@@ -141,6 +141,23 @@ type Params struct {
 	// ad without refresh; a crashed machine disappears from
 	// matchmaking when its last ad expires.
 	MachineAdLifetime time.Duration
+	// JobAdLifetime is how long the matchmaker trusts a job ad
+	// without refresh.  Live schedds refresh idle jobs every
+	// AdInterval, so only a dead schedd's requests age out — the
+	// matchmaker-side half of submit-side crash recovery.  Zero
+	// selects the machine-ad default.
+	JobAdLifetime time.Duration
+	// LeaseInterval is how often a shadow renews the claim lease on
+	// its job's execution machine.  Zero disables renewal (leases
+	// then expire unconditionally if LeaseDuration is set).
+	LeaseInterval time.Duration
+	// LeaseDuration is how long a startd honours a claim without a
+	// renewal before concluding the submit side has vanished: the
+	// starter reports ShadowVanished, the job's CPU is released, and
+	// the machine returns to the pool.  Zero disables claim leases —
+	// an orphaned starter then runs to completion, the failure mode
+	// this protocol exists to prevent.
+	LeaseDuration time.Duration
 	// RequeueBackoff spaces retries of a requeued job.
 	RequeueBackoff time.Duration
 	// MaxFetchRetries bounds the shadow's fetch retries within one
@@ -182,6 +199,9 @@ func DefaultParams() Params {
 		ClaimTimeout:        2 * time.Minute,
 		ResultTimeout:       12 * time.Hour,
 		MachineAdLifetime:   150 * time.Second,
+		JobAdLifetime:       150 * time.Second,
+		LeaseInterval:       2 * time.Minute,
+		LeaseDuration:       5 * time.Minute,
 		RequeueBackoff:      10 * time.Second,
 		CheckpointInterval:  10 * time.Minute,
 		// Generous enough that no sane outage hits it (with backoff,

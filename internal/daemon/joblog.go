@@ -31,6 +31,13 @@ const (
 	// left unmatchable: a chronically failing machine is a better
 	// bet than starvation.
 	EventAvoidanceRelaxed EventKind = "avoidance-relaxed"
+	// EventShadowVanished records a running job whose shadow died with
+	// a crashed schedd: the attempt is closed with a local-resource
+	// error and the job is requeued with no blame on the machine.
+	EventShadowVanished EventKind = "shadow-vanished"
+	// EventRecovered records a job rebuilt from the schedd's
+	// write-ahead journal after a crash.
+	EventRecovered    EventKind = "recovered"
 	EventCompleted    EventKind = "completed"
 	EventUnexecutable EventKind = "unexecutable"
 	EventHeld         EventKind = "held"

@@ -49,6 +49,10 @@ type Matchmaker struct {
 	MatchesMade int
 	// AdsExpired counts machine ads dropped for silence.
 	AdsExpired int
+	// JobAdsExpired counts job requests dropped for silence: a live
+	// schedd refreshes its idle jobs every AdInterval, so these are
+	// the requests of a dead schedd aging out of the pool.
+	JobAdsExpired int
 	// PrefilterSkips counts (job, machine) pairs rejected by the
 	// constant pre-filter without full Requirements evaluation.
 	PrefilterSkips int
@@ -79,6 +83,10 @@ type jobEntry struct {
 	// advertisement, keeping a steady-state cycle allocation-free;
 	// each schedd re-advertise re-arms it.
 	noMatchSent bool
+	// expires is the request's lifetime; a schedd that stops
+	// refreshing (it crashed) has its requests age out rather than
+	// matching machines to a submitter that no longer exists.
+	expires sim.Time
 }
 
 // jobOwner extracts the requesting user from the job ad, falling back
@@ -194,6 +202,7 @@ func compareJobEntries(a, b *jobEntry) int {
 // Jobs are always the self side of a match, so only their compiled
 // Requirements and pre-filter are needed — no attribute table.
 func (m *Matchmaker) upsertJob(key jobKey, ad *classad.Ad) {
+	expires := m.bus.Now().Add(m.jobAdLifetime())
 	if old, ok := m.jobs[key]; ok {
 		// Refresh in place; owner may change if the ad changed.
 		if newOwner := jobOwner(key, ad); newOwner != old.owner {
@@ -202,11 +211,12 @@ func (m *Matchmaker) upsertJob(key jobKey, ad *classad.Ad) {
 			old.ad = ad
 			old.pre = classad.RequirementsPrefilter(ad)
 			old.noMatchSent = false
+			old.expires = expires
 			return
 		}
 	}
 	j := &jobEntry{key: key, ad: ad, owner: jobOwner(key, ad),
-		pre: classad.RequirementsPrefilter(ad)}
+		pre: classad.RequirementsPrefilter(ad), expires: expires}
 	m.jobs[key] = j
 	q := m.ownerQueues[j.owner]
 	if len(q) == 0 {
@@ -252,6 +262,7 @@ func (m *Matchmaker) negotiate() {
 		cycleStart = time.Now()
 	}
 	m.expireMachines()
+	m.expireJobs()
 
 	// Fair share: owners are served in ascending order of accumulated
 	// matches, interleaved round-robin, so neither a busy submit
@@ -331,6 +342,34 @@ func (m *Matchmaker) expireMachines() {
 		m.AdsExpired++
 	}
 	m.nameScratch = expired[:0]
+}
+
+// jobAdLifetime resolves the configured job-request lifetime, falling
+// back to the machine-ad default.
+func (m *Matchmaker) jobAdLifetime() time.Duration {
+	if m.params.JobAdLifetime > 0 {
+		return m.params.JobAdLifetime
+	}
+	return 150 * time.Second
+}
+
+// expireJobs drops requests whose schedd has stopped refreshing them.
+// The iteration follows the deterministic owner/queue order, never the
+// jobs map.
+func (m *Matchmaker) expireJobs() {
+	now := m.bus.Now()
+	var expired []jobKey
+	for _, o := range m.ownerNames {
+		for _, j := range m.ownerQueues[o] {
+			if now > j.expires {
+				expired = append(expired, j.key)
+			}
+		}
+	}
+	for _, key := range expired {
+		m.removeJob(key)
+		m.JobAdsExpired++
+	}
 }
 
 // findBest returns the best unmatched machine for the job, or nil.

@@ -25,6 +25,7 @@ const (
 	kindReleaseClaim = "release-claim" // schedd/shadow -> startd
 	kindCheckpoint   = "checkpoint"    // starter -> shadow
 	kindJobEvicted   = "job-evicted"   // starter -> shadow
+	kindLeaseRenew   = "lease-renew"   // shadow -> startd (claim keep-alive)
 )
 
 // advertiseMsg refreshes an ad at the matchmaker.
@@ -139,6 +140,15 @@ type jobFinalMsg struct {
 
 // releaseClaimMsg returns a machine to the unclaimed state.
 type releaseClaimMsg struct{ Job JobID }
+
+// leaseRenewMsg is the shadow's periodic keep-alive for its job's
+// claim: the startd extends the lease on receipt.  When renewals stop
+// — the schedd and its shadows crashed — the lease expires and the
+// execute side discovers the submit side is gone.  Like periodic ads,
+// lease traffic is deliberately not job-tagged: it is liveness plumbing,
+// not error propagation, and tagging it would drown traces in
+// heartbeats.
+type leaseRenewMsg struct{ Job JobID }
 
 // checkpointMsg ships a Standard Universe job's progress to the
 // shadow, where it survives the execution machine.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/journal"
 	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/scope"
 	"github.com/errscope/grid/internal/sim"
@@ -50,18 +51,37 @@ type Schedd struct {
 	nextID JobID
 
 	shadowSeq int
+	// shadows tracks the live shadow of each running job, so a schedd
+	// crash can take its children down with it.
+	shadows map[JobID]*Shadow
 	// machineFailures counts consecutive failures per machine for
 	// the chronic-failure avoidance policy.
 	machineFailures map[string]int
 
+	// wal is the write-ahead journal: every queue transition is
+	// appended before it is acted on, so the queue survives a crash
+	// of this process (see scheddjournal.go).
+	wal *journal.Journal
+	// walAppends counts entries since the last compaction.
+	walAppends int
+	// crashed marks a schedd that is down; epoch invalidates timers
+	// (claim timeouts, requeue backoffs) armed before a crash.
+	crashed bool
+	epoch   int
+	// stopAds cancels the periodic idle-job advertisement ticker.
+	stopAds func()
+
 	// Reports collects what users were shown, in completion order.
 	Reports []UserReport
 
-	// Metrics.
+	// Metrics.  MatchesReceived/MatchesDeclined/ClaimsFailed are
+	// transient counters and do not survive a crash; Requeues is
+	// recomputed from the journal, and Recoveries counts restarts.
 	MatchesReceived int
 	MatchesDeclined int
 	ClaimsFailed    int
 	Requeues        int
+	Recoveries      int
 }
 
 // NewSchedd creates, registers, and starts a schedd with its own
@@ -74,10 +94,12 @@ func NewSchedd(bus Runtime, params Params, name string) *Schedd {
 		tr:              params.tracer(),
 		SubmitFS:        vfs.New(),
 		jobs:            make(map[JobID]*Job),
+		shadows:         make(map[JobID]*Shadow),
 		machineFailures: make(map[string]int),
+		wal:             journal.New(),
 	}
 	bus.Register(name, s)
-	bus.Every(params.AdInterval, s.advertiseIdle)
+	s.stopAds = bus.Every(params.AdInterval, s.advertiseIdle)
 	return s
 }
 
@@ -94,6 +116,7 @@ func (s *Schedd) Submit(job *Job) JobID {
 	// Compile Requirements/Rank once up front: every periodic
 	// advertise copies this ad, and copies inherit the caches.
 	job.Ad.Precompile()
+	s.journalAppend(recSubmit(job))
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	s.logEvent(job, EventSubmitted, "owner %s", job.Owner)
@@ -254,6 +277,7 @@ func (s *Schedd) handleNoMatch(m noMatchMsg) {
 		// to relax.
 		return
 	}
+	s.journalAppend(recEvent("relax", j.ID, s.bus.Now()))
 	j.avoidanceRelaxed = true
 	s.logEvent(j, EventAvoidanceRelaxed,
 		"idle %v with no compatible machine; matching chronic machines again",
@@ -280,6 +304,7 @@ func (s *Schedd) handleMatch(m matchNotifyMsg) {
 		s.advertiseJob(j)
 		return
 	}
+	s.journalAppend(recMatch(j.ID, s.bus.Now(), m.Machine))
 	j.State = JobMatched
 	j.claimSeq++
 	seq := j.claimSeq
@@ -294,8 +319,13 @@ func (s *Schedd) handleMatch(m matchNotifyMsg) {
 	// — must not strand the job in the matched state.  The silence
 	// is discovered by time, not by a message (Section 5).
 	if s.params.ClaimTimeout > 0 {
+		epoch := s.epoch
 		s.bus.After(s.params.ClaimTimeout, func() {
-			if j.State == JobMatched && j.claimSeq == seq {
+			// The epoch check disarms timers that straddled a crash:
+			// after recovery the queue holds rebuilt Job values, and a
+			// pre-crash closure's pointer no longer speaks for them.
+			if s.epoch == epoch && j.State == JobMatched && j.claimSeq == seq {
+				s.journalAppend(recEvent("claim-timeout", j.ID, s.bus.Now()))
 				s.ClaimsFailed++
 				j.State = JobIdle
 				s.logEvent(j, EventClaimTimeout, "no reply from %s within %v",
@@ -315,12 +345,14 @@ func (s *Schedd) receiveClaim(from string, r claimReplyMsg) {
 	}
 	j.claimSeq++ // the reply arrived; disarm the claim timeout
 	if !r.Granted {
+		s.journalAppend(recEvent("claim-denied", j.ID, s.bus.Now()))
 		s.ClaimsFailed++
 		j.State = JobIdle
 		s.logEvent(j, EventClaimDenied, "%s: %s", from, r.Reason)
 		s.advertiseJob(j)
 		return
 	}
+	s.journalAppend(recExec(j.ID, s.bus.Now(), from))
 	j.State = JobRunning
 	j.avoidanceRelaxed = false // the next idle spell re-arms avoidance
 	s.logEvent(j, EventExecuting, "machine %s", from)
@@ -330,19 +362,39 @@ func (s *Schedd) receiveClaim(from string, r claimReplyMsg) {
 	})
 	s.shadowSeq++
 	shadowName := fmt.Sprintf("shadow:%s:%d", s.name, s.shadowSeq)
-	newShadow(s.bus, s.params, shadowName, s.name, j, s.SubmitFS, from)
+	s.shadows[j.ID] = newShadow(s.bus, s.params, shadowName, s.name, j, s.SubmitFS, from)
 	s.bus.Send(s.name, from, kindActivate, activateMsg{Job: j.ID, Shadow: shadowName})
 }
 
-// handleFinal applies the schedd's last-line-of-defense policy.
-func (s *Schedd) handleFinal(f jobFinalMsg) {
-	j, ok := s.jobs[f.Job]
-	if !ok || j.State != JobRunning {
-		return
+// finalError derives the error the schedd disposes of from a final
+// report, in the precedence order of the live protocol.
+func finalError(f jobFinalMsg) error {
+	switch {
+	case f.Evicted:
+		// Eviction is policy, not error: the owner reclaimed the
+		// machine.  Requeue with no blame attached.
+		return scope.New(scope.ScopeRemoteResource, "Evicted",
+			"the machine owner reclaimed %s", f.Machine)
+	case f.FetchError != nil:
+		return f.FetchError
+	case f.LostContact != nil:
+		return f.LostContact
+	default:
+		return f.Reported.Err()
 	}
+}
+
+// applyFinal applies the queue mutations of a final report: the
+// attempt closure, the checkpoint, the disposition, the blame table,
+// and the user report.  It is shared by the live handler and journal
+// replay, so it must not touch the bus, the tracer, or the per-job
+// event log — replay regenerates state, not telemetry.  A requeue
+// disposition leaves the job in JobRunning: the live path schedules
+// the requeue backoff, and replay's recovery normalization requeues.
+func (s *Schedd) applyFinal(j *Job, f jobFinalMsg, err error, now sim.Time) scope.Disposition {
 	att := j.LastAttempt()
 	if att != nil {
-		att.End = s.bus.Now()
+		att.End = now
 		att.Reported = f.Reported
 		att.True = f.True
 		att.CPU = f.CPU
@@ -355,38 +407,11 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 		j.CheckpointCPU = f.CheckpointCPU
 	}
 
-	var err error
-	switch {
-	case f.Evicted:
-		// Eviction is policy, not error: the owner reclaimed the
-		// machine.  Requeue with no blame attached.
-		err = scope.New(scope.ScopeRemoteResource, "Evicted",
-			"the machine owner reclaimed %s", f.Machine)
-	case f.FetchError != nil:
-		err = f.FetchError
-	case f.LostContact != nil:
-		err = f.LostContact
-	default:
-		err = f.Reported.Err()
-	}
-
-	if err != nil && s.tr.Enabled() {
-		// The schedd is the last hop: record the error as it arrived
-		// before disposing of it.
-		s.tr.Emit(errorEvent(int64(s.bus.Now()), s.name, j.ID, err))
-	}
-
 	disp := scope.DisposeError(err)
 	switch disp {
 	case scope.DispositionComplete:
 		j.State = JobCompleted
-		j.Finished = s.bus.Now()
-		s.tr.Count("schedd.disposition.complete", 1)
-		if s.tr.Enabled() {
-			s.tr.Emit(s.dispositionEvent(j, "complete", err))
-			s.tr.Observe("job.turnaround_ns", int64(j.Finished.Sub(j.Submitted)))
-		}
-		s.logEvent(j, EventCompleted, "%s on %s", f.Reported.Status, f.Machine)
+		j.Finished = now
 		s.machineFailures[f.Machine] = 0
 		leak := false
 		if trueErr := f.True.Err(); trueErr != nil &&
@@ -402,21 +427,77 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 
 	case scope.DispositionUnexecutable:
 		j.State = JobUnexecutable
-		j.Finished = s.bus.Now()
+		j.Finished = now
 		j.FinalErr = err
-		s.tr.Count("schedd.disposition.unexecutable", 1)
-		if s.tr.Enabled() {
-			s.tr.Emit(s.dispositionEvent(j, "unexecutable", err))
-		}
-		s.logEvent(j, EventUnexecutable, "%v", err)
 		s.Reports = append(s.Reports, UserReport{
 			Job:         j.ID,
 			Disposition: disp,
 			Err:         err,
 		})
 
-	default: // requeue
+	default: // requeue, possibly hardened into a hold
 		s.Requeues++
+		// Blame the machine for its own failures — including going
+		// silent — but not for submit-side fetch problems or for its
+		// owner's legitimate return.
+		if f.FetchError == nil && !f.Evicted && f.Machine != "" {
+			s.machineFailures[f.Machine]++
+		}
+		if f.Hold || len(j.Attempts) >= s.params.MaxAttempts {
+			j.State = JobHeld
+			j.Finished = now
+			if f.Hold {
+				// The shadow already escalated; its error names the
+				// exhausted execution environment.
+				j.FinalErr = err
+			} else {
+				j.FinalErr = holdErr(err)
+			}
+			s.Reports = append(s.Reports, UserReport{
+				Job:         j.ID,
+				Disposition: scope.DispositionHold,
+				Err:         j.FinalErr,
+			})
+		}
+	}
+	return disp
+}
+
+// handleFinal applies the schedd's last-line-of-defense policy.
+func (s *Schedd) handleFinal(f jobFinalMsg) {
+	j, ok := s.jobs[f.Job]
+	if !ok || j.State != JobRunning {
+		return
+	}
+	now := s.bus.Now()
+	s.journalAppend(recFinal(f, now))
+	delete(s.shadows, f.Job) // the shadow retires with its report
+
+	err := finalError(f)
+	if err != nil && s.tr.Enabled() {
+		// The schedd is the last hop: record the error as it arrived
+		// before disposing of it.
+		s.tr.Emit(errorEvent(int64(now), s.name, j.ID, err))
+	}
+
+	disp := s.applyFinal(j, f, err, now)
+	switch disp {
+	case scope.DispositionComplete:
+		s.tr.Count("schedd.disposition.complete", 1)
+		if s.tr.Enabled() {
+			s.tr.Emit(s.dispositionEvent(j, "complete", err))
+			s.tr.Observe("job.turnaround_ns", int64(j.Finished.Sub(j.Submitted)))
+		}
+		s.logEvent(j, EventCompleted, "%s on %s", f.Reported.Status, f.Machine)
+
+	case scope.DispositionUnexecutable:
+		s.tr.Count("schedd.disposition.unexecutable", 1)
+		if s.tr.Enabled() {
+			s.tr.Emit(s.dispositionEvent(j, "unexecutable", err))
+		}
+		s.logEvent(j, EventUnexecutable, "%v", err)
+
+	default: // requeue
 		s.tr.Count("schedd.requeues", 1)
 		switch {
 		case f.Evicted:
@@ -430,40 +511,23 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 			s.logEvent(j, EventRequeued, "%s scope error at %s",
 				scope.ScopeOf(err), f.Machine)
 		}
-		// Blame the machine for its own failures — including going
-		// silent — but not for submit-side fetch problems or for its
-		// owner's legitimate return.
-		if f.FetchError == nil && !f.Evicted && f.Machine != "" {
-			s.machineFailures[f.Machine]++
-		}
-		if f.Hold || len(j.Attempts) >= s.params.MaxAttempts {
-			j.State = JobHeld
-			j.Finished = s.bus.Now()
-			if f.Hold {
-				// The shadow already escalated; its error names the
-				// exhausted execution environment.
-				j.FinalErr = err
-			} else {
-				j.FinalErr = holdErr(err)
-			}
+		if j.State == JobHeld {
 			s.tr.Count("schedd.disposition.hold", 1)
 			if s.tr.Enabled() {
 				s.tr.Emit(s.dispositionEvent(j, "hold", j.FinalErr))
 			}
 			s.logEvent(j, EventHeld, "%v", j.FinalErr)
-			s.Reports = append(s.Reports, UserReport{
-				Job:         j.ID,
-				Disposition: scope.DispositionHold,
-				Err:         j.FinalErr,
-			})
 			return
 		}
 		if s.tr.Enabled() {
 			s.tr.Emit(s.dispositionEvent(j, "requeue", err))
 		}
-		// Log and attempt to execute the program at a new site.
+		// Log and attempt to execute the program at a new site.  The
+		// epoch check keeps a pre-crash backoff from resurrecting a
+		// stale Job value after recovery rebuilt the queue.
+		epoch := s.epoch
 		s.bus.After(s.params.RequeueBackoff, func() {
-			if j.State == JobRunning {
+			if s.epoch == epoch && j.State == JobRunning {
 				j.State = JobIdle
 				s.advertiseJob(j)
 			}

@@ -1,0 +1,763 @@
+package daemon
+
+// Submit-side crash durability (Section 4: the schedd is the job
+// queue's home, and the queue must outlive the process).  Every queue
+// transition is appended to a write-ahead journal before it is acted
+// on; Crash tears the process down mid-flight, and Recover rebuilds
+// the queue by replaying the journal, requeueing jobs whose shadows
+// died with the schedd.
+//
+// The journal holds one text record per transition, and the periodic
+// compaction folds the applied prefix into a snapshot of the whole
+// queue.  Both are key=value lines with Go-quoted strings, so a torn
+// tail truncates at a record boundary (package journal) and a record
+// never splits across frames.
+//
+// Deliberately not persisted: per-job event logs and the transient
+// counters (MatchesReceived, MatchesDeclined, ClaimsFailed) — they
+// are telemetry about the dead process, not queue state — and the
+// claim sequence numbers, whose timers died with the process and are
+// fenced off by the epoch check on recovery.
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/errscope/grid/internal/classad"
+	"github.com/errscope/grid/internal/journal"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/obs"
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/sim"
+)
+
+// walCompactEvery bounds journal growth: after this many appended
+// records the log is folded into a snapshot before the next append.
+const walCompactEvery = 64
+
+// Journal exposes the schedd's write-ahead journal — the durable
+// storage a recovery replays.  Tests and fault injectors read it from
+// the "disk" of a crashed schedd.
+func (s *Schedd) Journal() *journal.Journal { return s.wal }
+
+// Crashed reports whether the schedd is currently down.
+func (s *Schedd) Crashed() bool { return s.crashed }
+
+// journalAppend writes one record ahead of the transition it
+// describes.  Compaction runs before the append: every record already
+// in the log has been applied to the queue, so the snapshot of the
+// current queue plus the new record is the complete history.
+func (s *Schedd) journalAppend(rec string) {
+	if s.walAppends >= walCompactEvery {
+		s.wal.Compact(s.snapshot(), nil)
+		s.walAppends = 0
+	}
+	s.wal.Append([]byte(rec))
+	s.walAppends++
+}
+
+// Crash takes the schedd process down: the advertisement ticker
+// stops, pending timers are fenced off by the epoch bump, the shadows
+// — child processes — die silently, and the actor leaves the bus.
+// The journal survives; it is the disk, not the process.
+func (s *Schedd) Crash() {
+	if s.crashed {
+		return
+	}
+	s.crashed = true
+	s.epoch++
+	if s.stopAds != nil {
+		s.stopAds()
+		s.stopAds = nil
+	}
+	s.tr.Count("schedd.crashes", 1)
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{T: int64(s.bus.Now()), Comp: s.name,
+			Kind: obs.KindState, Code: "crashed"})
+	}
+	// The execute side is not informed: running machines discover the
+	// loss when the claim lease expires with no shadow to renew it.
+	ids := make([]JobID, 0, len(s.shadows))
+	for id := range s.shadows {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	for _, id := range ids {
+		s.shadows[id].kill()
+	}
+	clear(s.shadows)
+	s.bus.Unregister(s.name)
+}
+
+// Recover restarts a crashed schedd from a journal — its own by
+// default, or an explicit one standing in for the recovered disk.
+// The queue is rebuilt by replaying the snapshot and every surviving
+// record; jobs that were in flight when the process died are closed
+// out with a local-resource ShadowDied error and requeued.
+func (s *Schedd) Recover(from *journal.Journal) error {
+	if !s.crashed {
+		return fmt.Errorf("schedd %s: recover without a crash", s.name)
+	}
+	if from == nil {
+		from = s.wal
+	}
+	r := from.Replay()
+
+	s.wal = from
+	s.walAppends = len(r.Entries)
+	s.jobs = make(map[JobID]*Job)
+	s.order = nil
+	s.nextID = 0
+	s.shadowSeq = 0
+	s.shadows = make(map[JobID]*Shadow)
+	s.machineFailures = make(map[string]int)
+	s.Reports = nil
+	s.Requeues = 0
+	s.MatchesReceived, s.MatchesDeclined, s.ClaimsFailed = 0, 0, 0
+
+	if len(r.Snapshot) > 0 {
+		if err := s.applySnapshot(r.Snapshot); err != nil {
+			return fmt.Errorf("schedd %s: snapshot: %w", s.name, err)
+		}
+	}
+	for i, e := range r.Entries {
+		if err := s.applyEntry(e); err != nil {
+			return fmt.Errorf("schedd %s: record %d: %w", s.name, i, err)
+		}
+	}
+
+	s.crashed = false
+	s.bus.Register(s.name, s)
+	s.stopAds = s.bus.Every(s.params.AdInterval, s.advertiseIdle)
+	s.Recoveries++
+	s.tr.Count("schedd.recoveries", 1)
+	now := s.bus.Now()
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{T: int64(now), Comp: s.name, Kind: obs.KindRecovery,
+			Value: int64(r.Records),
+			Detail: fmt.Sprintf("replayed %d records, %d snapshot bytes, %d torn bytes dropped",
+				r.Records, len(r.Snapshot), r.Truncated)})
+	}
+
+	// Normalize the rebuilt queue: any non-terminal job lost whatever
+	// was serving it (shadow, claim, matchmaker entry) with the
+	// process, so it restarts from idle.  The normalization itself is
+	// journaled so a second crash replays to the same place.
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State.Terminal() {
+			continue
+		}
+		open := j.LastAttempt() != nil && j.LastAttempt().End == 0
+		s.journalAppend(recEvent("recover", j.ID, now))
+		s.normalizeJob(j, now)
+		if open {
+			// The shadow died mid-attempt.  The machine is blameless —
+			// the submit side failed — so the chronic-failure table is
+			// untouched.
+			died := j.LastAttempt().LostContact
+			if s.tr.Enabled() {
+				s.tr.Emit(errorEvent(int64(now), s.name, j.ID, died))
+			}
+			s.logEvent(j, EventShadowVanished, "%v", died)
+		}
+		s.logEvent(j, EventRecovered, "queue rebuilt from journal")
+		s.advertiseJob(j)
+	}
+	return nil
+}
+
+// normalizeJob requeues one non-terminal job after recovery: an open
+// attempt is closed with the ShadowDied error, and the job returns to
+// idle.  Replay of a recover record applies the same function.
+func (s *Schedd) normalizeJob(j *Job, at sim.Time) {
+	if att := j.LastAttempt(); att != nil && att.End == 0 {
+		att.End = at
+		att.LostContact = shadowDiedErr(s.name)
+	}
+	if !j.State.Terminal() {
+		j.State = JobIdle
+	}
+}
+
+// shadowDiedErr is the error charged to an attempt orphaned by a
+// schedd crash: the loss is on the submit side's local resources, and
+// it escaped the dead process rather than being raised by it.
+func shadowDiedErr(schedd string) *scope.Error {
+	e := scope.New(scope.ScopeLocalResource, "ShadowDied",
+		"the schedd crashed and took the job's shadow with it")
+	e.Kind = scope.KindEscaping
+	return e.WithOrigin(schedd)
+}
+
+// --- record encoding -------------------------------------------------
+
+func recSubmit(j *Job) string {
+	ad := ""
+	if j.Ad != nil {
+		ad = j.Ad.String()
+	}
+	return fmt.Sprintf("op=submit id=%d at=%d owner=%s universe=%s exe=%s ad=%s prog=%s",
+		j.ID, int64(j.Submitted), strconv.Quote(j.Owner), strconv.Quote(j.Universe),
+		strconv.Quote(j.Executable), strconv.Quote(ad),
+		strconv.Quote(jvm.EncodeProgram(j.Program)))
+}
+
+func recMatch(id JobID, at sim.Time, machine string) string {
+	return fmt.Sprintf("op=match id=%d at=%d machine=%s",
+		id, int64(at), strconv.Quote(machine))
+}
+
+func recExec(id JobID, at sim.Time, machine string) string {
+	return fmt.Sprintf("op=exec id=%d at=%d machine=%s",
+		id, int64(at), strconv.Quote(machine))
+}
+
+// recEvent covers the transitions that carry no payload beyond the
+// job and the instant: claim-timeout, claim-denied, relax, recover.
+func recEvent(op string, id JobID, at sim.Time) string {
+	return fmt.Sprintf("op=%s id=%d at=%d", op, id, int64(at))
+}
+
+func recFinal(f jobFinalMsg, at sim.Time) string {
+	return fmt.Sprintf("op=final id=%d at=%d machine=%s cpu=%d ckpt=%d evicted=%t hold=%t fetch=%s lost=%s rep=%s tru=%s",
+		f.Job, int64(at), strconv.Quote(f.Machine), int64(f.CPU), int64(f.CheckpointCPU),
+		f.Evicted, f.Hold,
+		strconv.Quote(encodeScopedErr(f.FetchError)),
+		strconv.Quote(encodeScopedErr(f.LostContact)),
+		strconv.Quote(f.Reported.EncodeString()),
+		strconv.Quote(f.True.EncodeString()))
+}
+
+// encodeScopedErr flattens an error for the journal.  The cause chain
+// is collapsed into the effective message, so the round-tripped error
+// prints the identical Error() string and keeps its scope, kind,
+// code, and origin — everything disposition and reporting read.
+func encodeScopedErr(err error) string {
+	if err == nil {
+		return ""
+	}
+	se, ok := scope.AsError(err)
+	if !ok {
+		se = scope.New(scope.ScopeOf(err), "UnscopedError", "%v", err)
+	}
+	msg := se.Message
+	if msg == "" && se.Cause != nil {
+		msg = se.Cause.Error()
+	}
+	return strings.Join([]string{
+		se.Scope.String(), se.Kind.String(), se.Code, se.Origin, msg}, "|")
+}
+
+func decodeScopedErr(enc string) (error, error) {
+	if enc == "" {
+		return nil, nil
+	}
+	parts := strings.SplitN(enc, "|", 5)
+	if len(parts) != 5 {
+		return nil, fmt.Errorf("malformed error %q", enc)
+	}
+	sc, err := scope.ParseScope(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	k, err := scope.ParseKind(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	return &scope.Error{Scope: sc, Kind: k, Code: parts[2],
+		Origin: parts[3], Message: parts[4]}, nil
+}
+
+// --- record replay ---------------------------------------------------
+
+// applyEntry replays one journal record against the queue.  Records
+// are facts, not requests: they were written ahead of transitions
+// that then happened, so they apply unconditionally.
+func (s *Schedd) applyEntry(payload []byte) error {
+	kv, err := scanKV(string(payload))
+	if err != nil {
+		return err
+	}
+	id, err := parseInt64(kv, "id")
+	if err != nil {
+		return err
+	}
+	at, err := parseInt64(kv, "at")
+	if err != nil {
+		return err
+	}
+	op := kv["op"]
+	if op == "submit" {
+		return s.replaySubmit(JobID(id), sim.Time(at), kv)
+	}
+	j, ok := s.jobs[JobID(id)]
+	if !ok {
+		return fmt.Errorf("%s record for unknown job %d", op, id)
+	}
+	switch op {
+	case "match":
+		j.State = JobMatched
+	case "claim-timeout", "claim-denied":
+		j.State = JobIdle
+	case "exec":
+		machine, err := unquoted(kv, "machine")
+		if err != nil {
+			return err
+		}
+		j.State = JobRunning
+		j.avoidanceRelaxed = false
+		j.Attempts = append(j.Attempts, Attempt{Machine: machine, Start: sim.Time(at)})
+	case "relax":
+		j.avoidanceRelaxed = true
+	case "final":
+		f, err := decodeFinal(JobID(id), kv)
+		if err != nil {
+			return err
+		}
+		s.applyFinal(j, f, finalError(f), sim.Time(at))
+	case "recover":
+		s.normalizeJob(j, sim.Time(at))
+	default:
+		return fmt.Errorf("unknown record op %q", op)
+	}
+	return nil
+}
+
+func (s *Schedd) replaySubmit(id JobID, at sim.Time, kv map[string]string) error {
+	j := &Job{ID: id, State: JobIdle, Submitted: at}
+	var err error
+	if j.Owner, err = unquoted(kv, "owner"); err != nil {
+		return err
+	}
+	if j.Universe, err = unquoted(kv, "universe"); err != nil {
+		return err
+	}
+	if j.Executable, err = unquoted(kv, "exe"); err != nil {
+		return err
+	}
+	adSrc, err := unquoted(kv, "ad")
+	if err != nil {
+		return err
+	}
+	if adSrc != "" {
+		if j.Ad, err = classad.Parse(adSrc); err != nil {
+			return fmt.Errorf("job %d ad: %w", id, err)
+		}
+		j.Ad.Precompile()
+	}
+	progSrc, err := unquoted(kv, "prog")
+	if err != nil {
+		return err
+	}
+	if j.Program, err = jvm.ParseProgram(progSrc); err != nil {
+		return fmt.Errorf("job %d program: %w", id, err)
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	if id > s.nextID {
+		s.nextID = id
+	}
+	return nil
+}
+
+func decodeFinal(id JobID, kv map[string]string) (jobFinalMsg, error) {
+	f := jobFinalMsg{Job: id}
+	var err error
+	if f.Machine, err = unquoted(kv, "machine"); err != nil {
+		return f, err
+	}
+	cpu, err := parseInt64(kv, "cpu")
+	if err != nil {
+		return f, err
+	}
+	ckpt, err := parseInt64(kv, "ckpt")
+	if err != nil {
+		return f, err
+	}
+	f.CPU, f.CheckpointCPU = durationNS(cpu), durationNS(ckpt)
+	if f.Evicted, err = parseBool(kv, "evicted"); err != nil {
+		return f, err
+	}
+	if f.Hold, err = parseBool(kv, "hold"); err != nil {
+		return f, err
+	}
+	fetch, err := unquoted(kv, "fetch")
+	if err != nil {
+		return f, err
+	}
+	if f.FetchError, err = decodeScopedErr(fetch); err != nil {
+		return f, err
+	}
+	lost, err := unquoted(kv, "lost")
+	if err != nil {
+		return f, err
+	}
+	if f.LostContact, err = decodeScopedErr(lost); err != nil {
+		return f, err
+	}
+	rep, err := unquoted(kv, "rep")
+	if err != nil {
+		return f, err
+	}
+	if f.Reported, err = scope.DecodeResultString(rep); err != nil {
+		return f, fmt.Errorf("reported result: %w", err)
+	}
+	tru, err := unquoted(kv, "tru")
+	if err != nil {
+		return f, err
+	}
+	if f.True, err = scope.DecodeResultString(tru); err != nil {
+		return f, fmt.Errorf("true result: %w", err)
+	}
+	return f, nil
+}
+
+// --- snapshot --------------------------------------------------------
+
+// snapshot serializes the whole queue: one header line, the
+// chronic-failure table, then per job its attempts, then the user
+// reports.  Line order is the replay order.
+func (s *Schedd) snapshot() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "schedd nextID=%d requeues=%d recoveries=%d\n",
+		s.nextID, s.Requeues, s.Recoveries)
+	machines := make([]string, 0, len(s.machineFailures))
+	for m, n := range s.machineFailures {
+		if n != 0 {
+			machines = append(machines, m)
+		}
+	}
+	sort.Strings(machines)
+	for _, m := range machines {
+		fmt.Fprintf(&b, "failure machine=%s count=%d\n",
+			strconv.Quote(m), s.machineFailures[m])
+	}
+	for _, id := range s.order {
+		j := s.jobs[id]
+		ad := ""
+		if j.Ad != nil {
+			ad = j.Ad.String()
+		}
+		fmt.Fprintf(&b, "job id=%d owner=%s universe=%s exe=%s ad=%s prog=%s state=%s ckpt=%d relaxed=%t submitted=%d finished=%d finalerr=%s\n",
+			j.ID, strconv.Quote(j.Owner), strconv.Quote(j.Universe),
+			strconv.Quote(j.Executable), strconv.Quote(ad),
+			strconv.Quote(jvm.EncodeProgram(j.Program)),
+			j.State, int64(j.CheckpointCPU), j.avoidanceRelaxed,
+			int64(j.Submitted), int64(j.Finished),
+			strconv.Quote(encodeScopedErr(j.FinalErr)))
+		for i := range j.Attempts {
+			a := &j.Attempts[i]
+			fmt.Fprintf(&b, "attempt id=%d machine=%s start=%d end=%d cpu=%d evicted=%t fetch=%s lost=%s rep=%s tru=%s\n",
+				j.ID, strconv.Quote(a.Machine), int64(a.Start), int64(a.End),
+				int64(a.CPU), a.Evicted,
+				strconv.Quote(encodeScopedErr(a.FetchError)),
+				strconv.Quote(encodeScopedErr(a.LostContact)),
+				strconv.Quote(a.Reported.EncodeString()),
+				strconv.Quote(a.True.EncodeString()))
+		}
+	}
+	for _, r := range s.Reports {
+		fmt.Fprintf(&b, "report job=%d disp=%s result=%s err=%s leak=%t\n",
+			r.Job, r.Disposition,
+			strconv.Quote(r.Result.EncodeString()),
+			strconv.Quote(encodeScopedErr(r.Err)), r.IncidentalLeak)
+	}
+	return []byte(b.String())
+}
+
+func (s *Schedd) applySnapshot(data []byte) error {
+	var cur *Job
+	for ln, line := range strings.Split(string(data), "\n") {
+		if line == "" {
+			continue
+		}
+		kind, rest, _ := strings.Cut(line, " ")
+		kv, err := scanKV(rest)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		switch kind {
+		case "schedd":
+			if v, err := parseInt64(kv, "nextID"); err != nil {
+				return err
+			} else {
+				s.nextID = JobID(v)
+			}
+			if v, err := parseInt64(kv, "requeues"); err != nil {
+				return err
+			} else {
+				s.Requeues = int(v)
+			}
+			if v, err := parseInt64(kv, "recoveries"); err != nil {
+				return err
+			} else {
+				s.Recoveries = int(v)
+			}
+		case "failure":
+			m, err := unquoted(kv, "machine")
+			if err != nil {
+				return err
+			}
+			n, err := parseInt64(kv, "count")
+			if err != nil {
+				return err
+			}
+			s.machineFailures[m] = int(n)
+		case "job":
+			if cur, err = s.snapshotJob(kv); err != nil {
+				return fmt.Errorf("line %d: %w", ln+1, err)
+			}
+		case "attempt":
+			if cur == nil {
+				return fmt.Errorf("line %d: attempt before job", ln+1)
+			}
+			if err := snapshotAttempt(cur, kv); err != nil {
+				return fmt.Errorf("line %d: %w", ln+1, err)
+			}
+		case "report":
+			if err := s.snapshotReport(kv); err != nil {
+				return fmt.Errorf("line %d: %w", ln+1, err)
+			}
+		default:
+			return fmt.Errorf("line %d: unknown snapshot line %q", ln+1, kind)
+		}
+	}
+	return nil
+}
+
+func (s *Schedd) snapshotJob(kv map[string]string) (*Job, error) {
+	id, err := parseInt64(kv, "id")
+	if err != nil {
+		return nil, err
+	}
+	if err := s.replaySubmit(JobID(id), 0, kv); err != nil {
+		return nil, err
+	}
+	j := s.jobs[JobID(id)]
+	if j.State, err = parseJobState(kv["state"]); err != nil {
+		return nil, err
+	}
+	ckpt, err := parseInt64(kv, "ckpt")
+	if err != nil {
+		return nil, err
+	}
+	j.CheckpointCPU = durationNS(ckpt)
+	if j.avoidanceRelaxed, err = parseBool(kv, "relaxed"); err != nil {
+		return nil, err
+	}
+	sub, err := parseInt64(kv, "submitted")
+	if err != nil {
+		return nil, err
+	}
+	fin, err := parseInt64(kv, "finished")
+	if err != nil {
+		return nil, err
+	}
+	j.Submitted, j.Finished = sim.Time(sub), sim.Time(fin)
+	fe, err := unquoted(kv, "finalerr")
+	if err != nil {
+		return nil, err
+	}
+	if j.FinalErr, err = decodeScopedErr(fe); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func snapshotAttempt(j *Job, kv map[string]string) error {
+	var a Attempt
+	var err error
+	if a.Machine, err = unquoted(kv, "machine"); err != nil {
+		return err
+	}
+	start, err := parseInt64(kv, "start")
+	if err != nil {
+		return err
+	}
+	end, err := parseInt64(kv, "end")
+	if err != nil {
+		return err
+	}
+	cpu, err := parseInt64(kv, "cpu")
+	if err != nil {
+		return err
+	}
+	a.Start, a.End, a.CPU = sim.Time(start), sim.Time(end), durationNS(cpu)
+	if a.Evicted, err = parseBool(kv, "evicted"); err != nil {
+		return err
+	}
+	fetch, err := unquoted(kv, "fetch")
+	if err != nil {
+		return err
+	}
+	if a.FetchError, err = decodeScopedErr(fetch); err != nil {
+		return err
+	}
+	lost, err := unquoted(kv, "lost")
+	if err != nil {
+		return err
+	}
+	if a.LostContact, err = decodeScopedErr(lost); err != nil {
+		return err
+	}
+	rep, err := unquoted(kv, "rep")
+	if err != nil {
+		return err
+	}
+	if a.Reported, err = scope.DecodeResultString(rep); err != nil {
+		return err
+	}
+	tru, err := unquoted(kv, "tru")
+	if err != nil {
+		return err
+	}
+	if a.True, err = scope.DecodeResultString(tru); err != nil {
+		return err
+	}
+	j.Attempts = append(j.Attempts, a)
+	return nil
+}
+
+func (s *Schedd) snapshotReport(kv map[string]string) error {
+	var r UserReport
+	job, err := parseInt64(kv, "job")
+	if err != nil {
+		return err
+	}
+	r.Job = JobID(job)
+	if r.Disposition, err = parseDisposition(kv["disp"]); err != nil {
+		return err
+	}
+	res, err := unquoted(kv, "result")
+	if err != nil {
+		return err
+	}
+	if r.Result, err = scope.DecodeResultString(res); err != nil {
+		return err
+	}
+	enc, err := unquoted(kv, "err")
+	if err != nil {
+		return err
+	}
+	if r.Err, err = decodeScopedErr(enc); err != nil {
+		return err
+	}
+	if r.IncidentalLeak, err = parseBool(kv, "leak"); err != nil {
+		return err
+	}
+	s.Reports = append(s.Reports, r)
+	return nil
+}
+
+// --- parsing helpers -------------------------------------------------
+
+// scanKV splits one record line into key=value pairs.  Values are
+// either bare tokens (numbers, names) or Go-quoted strings that may
+// contain spaces, quotes, and newlines.
+func scanKV(line string) (map[string]string, error) {
+	kv := make(map[string]string)
+	for i := 0; i < len(line); {
+		if line[i] == ' ' {
+			i++
+			continue
+		}
+		eq := strings.IndexByte(line[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("no '=' in %q", line[i:])
+		}
+		key := line[i : i+eq]
+		i += eq + 1
+		var val string
+		if i < len(line) && line[i] == '"' {
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == '"' {
+					break
+				}
+				j++
+			}
+			if j >= len(line) {
+				return nil, fmt.Errorf("unterminated quote for %q", key)
+			}
+			val = line[i : j+1]
+			i = j + 1
+		} else {
+			end := strings.IndexByte(line[i:], ' ')
+			if end < 0 {
+				end = len(line) - i
+			}
+			val = line[i : i+end]
+			i += end
+		}
+		kv[key] = val
+	}
+	return kv, nil
+}
+
+func unquoted(kv map[string]string, key string) (string, error) {
+	raw, ok := kv[key]
+	if !ok {
+		return "", fmt.Errorf("missing field %q", key)
+	}
+	v, err := strconv.Unquote(raw)
+	if err != nil {
+		return "", fmt.Errorf("field %q: %w", key, err)
+	}
+	return v, nil
+}
+
+func parseInt64(kv map[string]string, key string) (int64, error) {
+	raw, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("missing field %q", key)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("field %q: %w", key, err)
+	}
+	return v, nil
+}
+
+func parseBool(kv map[string]string, key string) (bool, error) {
+	raw, ok := kv[key]
+	if !ok {
+		return false, fmt.Errorf("missing field %q", key)
+	}
+	v, err := strconv.ParseBool(raw)
+	if err != nil {
+		return false, fmt.Errorf("field %q: %w", key, err)
+	}
+	return v, nil
+}
+
+func durationNS(n int64) time.Duration { return time.Duration(n) }
+
+func parseJobState(name string) (JobState, error) {
+	for i, n := range jobStateNames {
+		if n == name {
+			return JobState(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown job state %q", name)
+}
+
+func parseDisposition(name string) (scope.Disposition, error) {
+	for _, d := range []scope.Disposition{
+		scope.DispositionComplete, scope.DispositionUnexecutable,
+		scope.DispositionRequeue, scope.DispositionHold,
+	} {
+		if d.String() == name {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown disposition %q", name)
+}

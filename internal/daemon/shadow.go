@@ -38,6 +38,8 @@ type Shadow struct {
 	inOutage    bool
 	starter     string
 	finished    bool
+	// stopLease cancels the claim-lease renewal ticker.
+	stopLease func()
 	// lastCheckpoint is the freshest progress the starter shipped;
 	// it survives the execution machine.
 	lastCheckpoint time.Duration
@@ -76,6 +78,18 @@ func newShadow(bus Runtime, params Params, name, schedd string, job *Job, submit
 		sh.tolerance = params.Mount.SoftTimeout
 	}
 	bus.Register(name, sh)
+	// Claim lease: renew the machine's claim periodically for as long
+	// as this shadow lives.  The renewals are the submit side's pulse;
+	// when the schedd crashes and takes its shadows down, they stop,
+	// and the startd's lease expiry releases the machine.
+	if params.LeaseInterval > 0 {
+		sh.stopLease = bus.Every(params.LeaseInterval, func() {
+			if sh.finished {
+				return
+			}
+			sh.bus.Send(sh.name, sh.machine, kindLeaseRenew, leaseRenewMsg{Job: sh.job})
+		})
+	}
 	// Activation timeout: if no starter ever contacts this shadow —
 	// the machine died or was reclaimed between the claim grant and
 	// the activation — the silence must not strand the job.  The
@@ -292,6 +306,21 @@ func (sh *Shadow) handleResult(res jobResultMsg) {
 	})
 }
 
+// kill takes the shadow down with its crashing schedd: no final
+// report, no cleanup protocol — the process simply ceases to exist.
+// The execute side discovers the loss through lease expiry.
+func (sh *Shadow) kill() {
+	if sh.finished {
+		return
+	}
+	sh.finished = true
+	if sh.stopLease != nil {
+		sh.stopLease()
+		sh.stopLease = nil
+	}
+	sh.bus.Unregister(sh.name)
+}
+
 // finish sends the final report, releases resources, and retires the
 // shadow.
 func (sh *Shadow) finish(report jobFinalMsg) {
@@ -299,6 +328,10 @@ func (sh *Shadow) finish(report jobFinalMsg) {
 		return
 	}
 	sh.finished = true
+	if sh.stopLease != nil {
+		sh.stopLease()
+		sh.stopLease = nil
+	}
 	if sh.tr.Enabled() {
 		// One hop per error the shadow forwards; a clean result emits
 		// nothing, keeping clean completions span-free.

@@ -80,6 +80,13 @@ type Startd struct {
 	starterObj *Starter
 	crashed    bool
 
+	// claimGen invalidates lease timers from earlier claims; each
+	// grant and each claim end bumps it.
+	claimGen int
+	// leaseExpiry is when the current claim's lease runs out; every
+	// renewal from the shadow pushes it forward.
+	leaseExpiry sim.Time
+
 	// adCache holds the machine ad per (claimed, hasJava) shape —
 	// the only dynamic inputs of buildAd.  Re-advertising the same
 	// immutable ad object lets the matchmaker skip re-indexing and
@@ -93,6 +100,9 @@ type Startd struct {
 	CPUDelivered  time.Duration
 	SelfTestFail  bool
 	Evictions     int
+	// LeasesExpired counts claims released because renewals stopped —
+	// each one is an orphaned claim the lease protocol reclaimed.
+	LeasesExpired int
 }
 
 // NewStartd creates, registers, and starts the startd for a machine.
@@ -196,6 +206,7 @@ func (s *Startd) Evict() {
 	s.state = StartdOwner
 	s.claimedBy = ""
 	s.claimedJob = 0
+	s.claimGen++
 }
 
 // OwnerLeft returns the machine to the pool after owner use.
@@ -241,6 +252,7 @@ func (s *Startd) Restart() {
 	s.state = StartdUnclaimed
 	s.claimedBy = ""
 	s.claimedJob = 0
+	s.claimGen++
 	if s.tr.Enabled() {
 		s.tr.Emit(obs.Event{T: int64(s.bus.Now()), Comp: s.cfg.Name,
 			Kind: obs.KindState, Code: "restarted"})
@@ -305,7 +317,59 @@ func (s *Startd) Receive(msg sim.Message) {
 		s.handleRelease(body)
 	case starterDoneMsg:
 		s.handleStarterDone(body)
+	case leaseRenewMsg:
+		s.handleLeaseRenew(body)
 	}
+}
+
+// handleLeaseRenew extends the current claim's lease: the shadow is
+// alive, so the submit side still stands behind the claim.
+func (s *Startd) handleLeaseRenew(m leaseRenewMsg) {
+	if s.params.LeaseDuration <= 0 || m.Job != s.claimedJob {
+		return
+	}
+	if s.state != StartdClaimed && s.state != StartdRunning {
+		return
+	}
+	s.leaseExpiry = s.bus.Now().Add(s.params.LeaseDuration)
+}
+
+// armLease starts the lease clock for a freshly granted claim.  The
+// expiry check re-arms itself for as long as renewals keep pushing the
+// deadline out; a bumped claimGen retires it.
+func (s *Startd) armLease() {
+	if s.params.LeaseDuration <= 0 {
+		return
+	}
+	s.leaseExpiry = s.bus.Now().Add(s.params.LeaseDuration)
+	gen := s.claimGen
+	s.bus.After(s.params.LeaseDuration, func() { s.checkLease(gen) })
+}
+
+// checkLease fires at the lease deadline.  A renewed lease re-arms the
+// check for the new deadline; an expired one means the submit side
+// vanished — the starter (if any) learns its shadow is gone, the job's
+// CPU is released, and the machine returns to the pool.
+func (s *Startd) checkLease(gen int) {
+	if s.crashed || gen != s.claimGen {
+		return
+	}
+	now := s.bus.Now()
+	if now < s.leaseExpiry {
+		s.bus.After(s.leaseExpiry.Sub(now), func() { s.checkLease(gen) })
+		return
+	}
+	s.LeasesExpired++
+	s.tr.Count("startd.leases_expired", 1)
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{T: int64(now), Comp: s.cfg.Name,
+			Kind: obs.KindState, Job: int64(s.claimedJob), Code: "lease-expired",
+			Detail: "no renewal within the lease period; releasing the claim"})
+	}
+	if s.starterObj != nil {
+		s.starterObj.shadowVanished()
+	}
+	s.teardown()
 }
 
 // handleClaim verifies the owner's policy and the machine's own
@@ -330,6 +394,8 @@ func (s *Startd) handleClaim(req claimRequestMsg) {
 	s.state = StartdClaimed
 	s.claimedBy = req.Schedd
 	s.claimedJob = req.Job
+	s.claimGen++
+	s.armLease()
 	s.ClaimsGranted++
 	s.tr.Count("startd.claims_granted", 1)
 	s.bus.Send(s.cfg.Name, req.Schedd, kindClaimReply,
@@ -388,6 +454,7 @@ func (s *Startd) teardown() {
 	s.state = StartdUnclaimed
 	s.claimedBy = ""
 	s.claimedJob = 0
+	s.claimGen++
 	// Re-advertise immediately: an idle machine returns to the pool
 	// without waiting for the next ad interval.  (For a black-hole
 	// machine this is exactly what makes it so hungry.)

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/scope"
 	"github.com/errscope/grid/internal/sim"
 	"github.com/errscope/grid/internal/vfs"
 	"github.com/errscope/grid/internal/wrapper"
@@ -180,6 +181,28 @@ func (st *Starter) evict() {
 		Job:           st.job,
 		CheckpointCPU: checkpoint,
 	})
+}
+
+// shadowVanished ends the attempt when the claim lease expires with no
+// renewal: the shadow — and with it the whole submit side — is gone.
+// From the execute side the prolonged silence invalidates the remote
+// peer, so the network-scope condition is widened to remote-resource
+// scope (Section 5: time turns a quiet channel into a dead partner).
+// There is nobody left to report to; the job's CPU is simply released
+// instead of burning for a submitter that no longer exists.
+func (st *Starter) shadowVanished() {
+	if st.done {
+		return
+	}
+	tr := st.params.tracer()
+	if tr.Enabled() {
+		silence := scope.New(scope.ScopeNetwork, "ShadowSilent",
+			"claim lease expired with no renewal from %s", st.shadow)
+		silence.Kind = scope.KindEscaping
+		err := silence.Widen(scope.ScopeRemoteResource, "ShadowVanished")
+		tr.Emit(errorEvent(int64(st.bus.Now()), st.name, st.job, err))
+	}
+	st.finish()
 }
 
 // finish marks the starter done and stops its checkpoint ticker.

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+// TestCrashRecovery runs the full phase sweep: the schedd dies at
+// six lifecycle instants, recovers from its journal, and every job
+// must reach the baseline disposition.  CrashRecovery returns an
+// error on any divergence, so the test is mostly a pass/fail gate;
+// the row-count check pins the six phases plus baseline.
+func TestCrashRecovery(t *testing.T) {
+	rep, err := CrashRecovery(42)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, rep.Format())
+	}
+	if len(rep.Rows) != 7 {
+		t.Errorf("rows = %d, want baseline + 6 phases\n%s", len(rep.Rows), rep.Format())
+	}
+	for _, row := range rep.Rows {
+		if row[len(row)-1] != "ok" {
+			t.Errorf("phase %s: %s", row[0], row[len(row)-1])
+		}
+	}
+}
+
+// TestCrashRecoverySeedIndependent: the durability contract is not a
+// property of one lucky seed.
+func TestCrashRecoverySeedIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extra seeds in -short mode")
+	}
+	for _, seed := range []int64{7, 1234} {
+		if rep, err := CrashRecovery(seed); err != nil {
+			t.Errorf("seed %d: %v\n%s", seed, err, rep.Format())
+		}
+	}
+}

@@ -524,6 +524,65 @@ func simCells() []simCell {
 			},
 			expect: completed(rr, scope.KindEscaping, 2, "big"),
 		},
+		// --- schedd crash: idle, mid-execution, result in flight --
+		// A real process death, not a partition: shadows and timers
+		// die, and the restart replays the write-ahead journal.
+		{
+			class: faultinject.ClassScheddCrash, site: "schedd:schedd (idle, pre-match)",
+			faults:   "fault class=schedd-crash site=schedd:schedd at=30s for=2m0s\n",
+			machines: bigSmall,
+			// The crash destroys nothing but time: the journal restores
+			// the idle job, and its single attempt runs post-recovery.
+			expect: completed(scope.ScopeNone, 0, 1, ""),
+		},
+		{
+			class: faultinject.ClassScheddCrash, site: "schedd:schedd (mid-execution)",
+			faults:   "fault class=schedd-crash site=schedd:schedd at=1m30s for=2m0s\n",
+			machines: bigSmall,
+			prog:     func(int) *jvm.Program { return jvm.WellBehaved(20 * time.Minute) },
+			// The shadow dies with the schedd mid-attempt: recovery
+			// closes the attempt with the local-resource ShadowDied and
+			// requeues; the orphaned claim on big is still inside its
+			// lease, so the retry lands on small while big's lease
+			// expiry frees the abandoned slot.
+			expect: completed(scope.ScopeLocalResource, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassScheddCrash, site: "schedd:schedd (result in flight)",
+			faults:   "fault class=schedd-crash site=schedd:schedd at=2m1s for=2m0s\n",
+			machines: bigSmall,
+			// The starter's report finds no shadow to receive it; the
+			// journal knows only that the attempt never concluded, so
+			// the recovered schedd runs the job again.
+			expect: completed(scope.ScopeLocalResource, scope.KindEscaping, 2, ""),
+		},
+		// --- lease expiry: the execute side orphan-detects ---------
+		{
+			class: faultinject.ClassLeaseExpiry, site: "kind:lease-renew (first claim orphaned)",
+			faults:   "fault class=lease-expiry site=kind:lease-renew at=4m0s for=10m0s\n",
+			machines: bigSmall,
+			prog:     func(int) *jvm.Program { return jvm.WellBehaved(20 * time.Minute) },
+			// The startd concludes the submit side is dead and releases
+			// the claim; the shadow's own result timeout then widens the
+			// silence to remote-resource scope and the job retries.
+			expect: completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassLeaseExpiry, site: "actor:shadow: (every shadow muted)",
+			faults:   "fault class=lease-expiry site=actor:shadow: at=4m0s for=10m0s\n",
+			machines: bigSmall,
+			prog:     func(int) *jvm.Program { return jvm.WellBehaved(20 * time.Minute) },
+			expect:   completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassLeaseExpiry, site: "kind:lease-renew (one renewal lost, lease survives)",
+			faults:   "fault class=lease-expiry site=kind:lease-renew at=2m30s for=2m0s\n",
+			machines: bigSmall,
+			prog:     func(int) *jvm.Program { return jvm.WellBehaved(20 * time.Minute) },
+			// LeaseDuration covers more than two renewal intervals, so a
+			// single lost pulse must not kill a healthy claim.
+			expect: completed(scope.ScopeNone, 0, 1, ""),
+		},
 	}
 }
 

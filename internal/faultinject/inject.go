@@ -18,6 +18,9 @@ type Targets struct {
 	// Startds maps machine name to startd, for machine crash/restart
 	// and JVM degradation.
 	Startds map[string]*daemon.Startd
+	// Schedds maps schedd name to schedd, for schedd crash and
+	// journal-replay recovery.
+	Schedds map[string]*daemon.Schedd
 	// FileSystems maps site keys to file systems, for the fs fault
 	// classes.  PoolTargets registers each schedd's submit file
 	// system as "submit", "submit1", ...
@@ -30,10 +33,14 @@ func PoolTargets(p *pool.Pool) Targets {
 		Engine:      p.Engine,
 		Bus:         p.Bus,
 		Startds:     make(map[string]*daemon.Startd, len(p.Startds)),
+		Schedds:     make(map[string]*daemon.Schedd, len(p.Schedds)),
 		FileSystems: make(map[string]*vfs.FileSystem, len(p.Schedds)),
 	}
 	for _, sd := range p.Startds {
 		t.Startds[sd.Name()] = sd
+	}
+	for _, s := range p.Schedds {
+		t.Schedds[s.Name()] = s
 	}
 	for i, s := range p.Schedds {
 		key := "submit"
@@ -146,6 +153,23 @@ func (in *Injector) check(f Fault) error {
 			return fmt.Errorf("no machine %q", name)
 		}
 		return nil
+	case ClassScheddCrash:
+		name, ok := strings.CutPrefix(f.Site, "schedd:")
+		if !ok {
+			return fmt.Errorf("schedd-crash site must be schedd:<name>")
+		}
+		if _, ok := in.t.Schedds[name]; !ok {
+			return fmt.Errorf("no schedd %q", name)
+		}
+		return nil
+	case ClassLeaseExpiry:
+		if in.t.Bus == nil {
+			return fmt.Errorf("no bus")
+		}
+		if !strings.HasPrefix(f.Site, "kind:") && !strings.HasPrefix(f.Site, "actor:") {
+			return fmt.Errorf("lease-expiry site must be kind:<kind> or actor:<name>")
+		}
+		return nil
 	}
 	return fmt.Errorf("unhandled class")
 }
@@ -177,6 +201,23 @@ func (in *Injector) schedule(f Fault) {
 		in.scheduleFS(f)
 	case ClassHeapExhaustion, ClassMissingInstall, ClassBadLibraryPath:
 		in.scheduleJVM(f)
+	case ClassScheddCrash:
+		name := strings.TrimPrefix(f.Site, "schedd:")
+		s := in.t.Schedds[name]
+		in.t.Engine.After(f.At, func() {
+			in.note("crash %s", f.Site)
+			s.Crash()
+		})
+		if f.For > 0 {
+			in.t.Engine.After(f.At+f.For, func() {
+				in.note("recover %s", f.Site)
+				if err := s.Recover(nil); err != nil {
+					in.note("recover %s: %v", f.Site, err)
+				}
+			})
+		}
+	case ClassLeaseExpiry:
+		in.armRule(f)
 	}
 }
 
@@ -289,6 +330,12 @@ func (in *Injector) busFault(m sim.Message) sim.Fault {
 		if !r.active || r.remaining == 0 || !siteMatches(r.f.Site, m) {
 			continue
 		}
+		// A lease-expiry rule targets only the renewal pulse, whatever
+		// actor its site matched; other traffic must pass before the
+		// rule's match budget is spent.
+		if r.f.Class == ClassLeaseExpiry && m.Kind != "lease-renew" {
+			continue
+		}
 		if r.remaining > 0 {
 			r.remaining--
 			if r.remaining == 0 {
@@ -296,7 +343,7 @@ func (in *Injector) busFault(m sim.Message) sim.Fault {
 			}
 		}
 		switch r.f.Class {
-		case ClassCrash, ClassMsgDrop:
+		case ClassCrash, ClassMsgDrop, ClassLeaseExpiry:
 			out.Drop = true
 		case ClassMsgDelay:
 			d := time.Duration(r.f.Param) * time.Millisecond

@@ -67,6 +67,17 @@ const (
 	// ClassBadLibraryPath corrupts a machine's Java standard
 	// library, so the JVM starts but the program dies loading it.
 	ClassBadLibraryPath Class = "bad-library-path"
+	// ClassScheddCrash kills a schedd process mid-protocol: its
+	// shadows die with it, its timers are lost, and after For it
+	// restarts by replaying its write-ahead journal (site
+	// schedd:<name>).  Unlike ClassCrash's actor partition, this is a
+	// real process death — transient state is destroyed and only the
+	// journal survives.
+	ClassScheddCrash Class = "schedd-crash"
+	// ClassLeaseExpiry silently drops claim-lease renewals matching
+	// the site, so the execute side concludes the submit side is dead
+	// and releases the claim even though the shadow still runs.
+	ClassLeaseExpiry Class = "lease-expiry"
 	// ClassConnReset aborts a live TCP connection with an RST after
 	// Param bytes (default 1) have flowed toward the client.
 	// Injected by Proxy, not by the simulation Injector.
@@ -83,6 +94,7 @@ var Classes = []Class{
 	ClassCrash, ClassMsgDrop, ClassMsgDelay, ClassMsgDup,
 	ClassFSOffline, ClassDiskFull, ClassPermission, ClassCorruptData,
 	ClassHeapExhaustion, ClassMissingInstall, ClassBadLibraryPath,
+	ClassScheddCrash, ClassLeaseExpiry,
 	ClassConnReset, ClassConnTruncate,
 }
 

@@ -1,0 +1,62 @@
+package jvm
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+func TestProgramCodecRoundTrip(t *testing.T) {
+	progs := []*Program{
+		nil,
+		WellBehaved(time.Minute),
+		ExitWith(3, 250*time.Millisecond),
+		NullPointer(),
+		MemoryHog(64 << 20),
+		CorruptImage(),
+		ReadsInput("/home/user/in.dat", 4096),
+		{
+			Class: "Spaced Out",
+			Steps: []Step{
+				Compute{Duration: time.Second},
+				Allocate{Bytes: 1024},
+				Free{Bytes: 512},
+				Throw{Exception: "IOException", Message: `quoted "path" and spaces`, Scope: scope.ScopeRemoteResource},
+				IOWrite{Path: "/tmp/out file", Offset: 9, Data: []byte("bytes with \n newline")},
+				Exit{Code: -1},
+			},
+		},
+	}
+	for i, p := range progs {
+		enc := EncodeProgram(p)
+		got, err := ParseProgram(enc)
+		if err != nil {
+			t.Fatalf("prog %d: parse %q: %v", i, enc, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Fatalf("prog %d: round trip changed program:\n got %#v\nwant %#v", i, got, p)
+		}
+		// Determinism: encoding is byte-stable.
+		if enc2 := EncodeProgram(got); enc2 != enc {
+			t.Fatalf("prog %d: unstable encoding:\n%q\n%q", i, enc, enc2)
+		}
+	}
+}
+
+func TestProgramCodecRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"not a program",
+		"program class=Main corrupt=maybe\n",
+		"program class=Main corrupt=false\nwarp factor=9\n",
+		"program class=Main corrupt=false\ncompute dur=abc\n",
+		"program class=Main corrupt=false\nthrow exception=\"E\" message=\"m\" scope=nope\n",
+		"program class=\"Main corrupt=false\n", // unterminated quote
+	}
+	for _, src := range bad {
+		if p, err := ParseProgram(src); err == nil {
+			t.Fatalf("parse %q succeeded: %#v", src, p)
+		}
+	}
+}

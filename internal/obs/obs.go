@@ -38,6 +38,10 @@ const (
 	// KindRetry is one retry decision (e.g. a shadow fetch retry),
 	// with the backoff recorded in Value.
 	KindRetry = "retry"
+	// KindRecovery is a daemon rebuilding its state from durable
+	// storage after a crash — e.g. the schedd replaying its write-ahead
+	// journal.  Value carries the number of journal records replayed.
+	KindRecovery = "recovery"
 )
 
 // Event is one traced observation.  The zero value of every field is

@@ -146,6 +146,12 @@ type Metrics struct {
 	Evictions int
 	Requeues  int
 
+	// Recoveries counts schedd restarts that replayed the journal.
+	Recoveries int
+	// LeaseExpiries counts claims released by the execute side after
+	// the submit side stopped renewing.
+	LeaseExpiries int
+
 	// Goodput is CPU consumed by attempts that yielded a program
 	// result; Badput is CPU burned by attempts that did not.
 	Goodput time.Duration
@@ -186,12 +192,16 @@ func (p *Pool) Metrics() Metrics {
 	var jobs []*daemon.Job
 	for _, s := range p.Schedds {
 		m.Requeues += s.Requeues
+		m.Recoveries += s.Recoveries
 		jobs = append(jobs, s.Jobs()...)
 		for _, rep := range s.Reports {
 			if rep.IncidentalLeak {
 				m.IncidentalLeaks++
 			}
 		}
+	}
+	for _, sd := range p.Startds {
+		m.LeaseExpiries += sd.LeasesExpired
 	}
 	for _, j := range jobs {
 		m.Jobs++
