@@ -4,17 +4,30 @@ GO ?= go
 # get the race detector.
 RACE_PKGS = ./internal/chirp/... ./internal/remoteio/... ./internal/live/... ./internal/faultinject/...
 
-.PHONY: check vet build test race cover journal-smoke fault-smoke fault-sweep bench bench-matchmaker bench-obs trace
+.PHONY: check vet determinism-grep build test race cover journal-smoke fault-smoke fault-sweep pool-smoke bench bench-matchmaker bench-obs bench-pool trace
 
-## check: the full gate — vet, build, race-test the concurrent
-## packages, the whole suite with per-package coverage (including the
-## golden-trace regression suite and the internal/obs coverage floor),
-## the write-ahead-journal race smoke, then the fault-injection smoke
-## matrix.
-check: vet build race cover journal-smoke fault-smoke
+## check: the full gate — vet, the determinism grep, build, race-test
+## the concurrent packages, the whole suite with per-package coverage
+## (including the golden-trace regression suite and the internal/obs
+## coverage floor), the write-ahead-journal race smoke, the
+## fault-injection smoke matrix, then the small-shape pool-throughput
+## smoke.
+check: vet determinism-grep build race cover journal-smoke fault-smoke pool-smoke
 
 vet:
 	$(GO) vet ./...
+
+## determinism-grep: the simulated daemons and the engine must never
+## read the wall clock or the global math/rand state outside tests —
+## one stray time.Now() is enough to make same-seed traces diverge.
+## (Seeded rand.New(rand.NewSource(...)) instances are fine and do not
+## match the pattern.)
+determinism-grep:
+	@if grep -rnE 'time\.Now\(|\brand\.(Int|Float|Perm|Shuffle|Seed|Exp|Norm)' \
+		--include='*.go' --exclude='*_test.go' internal/daemon internal/sim; then \
+		echo 'FAIL: wall clock or global math/rand state in a deterministic package'; \
+		exit 1; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -60,6 +73,12 @@ fault-smoke:
 fault-sweep:
 	$(GO) run ./cmd/experiments -run fault-sweep
 
+## pool-smoke: one small pool shape end to end, optimized against the
+## pre-PR-5 reference schedd, dispositions compared byte for byte — the
+## gate that keeps the throughput work trace-equivalent.
+pool-smoke:
+	$(GO) run ./cmd/experiments -run pool-smoke
+
 ## bench: the Go benchmark suite with allocation reporting.
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -73,6 +92,13 @@ bench-matchmaker:
 ## paths under off/nop/recorder tracers); writes BENCH_obs.json.
 bench-obs:
 	$(GO) run ./cmd/experiments -run bench-obs
+
+## bench-pool: the end-to-end pool-throughput harness — full job
+## lifecycles (schedd -> matchmaker -> shadow -> startd -> starter) at
+## GridSim-like shapes, optimized and reference arms; writes
+## BENCH_pool.json.
+bench-pool:
+	$(GO) run ./cmd/experiments -run bench-pool
 
 ## trace: regenerate the canonical per-class propagation traces under
 ## traces/ (the committed goldens live in

@@ -10,7 +10,8 @@
 //
 // Experiment ids: figure1, figure2, figure3, figure4, naive,
 // blackhole, mounts, migration, crashes, crash-recovery, principles,
-// bench-matchmaker, bench-obs, fault-sweep, fault-smoke, trace.
+// bench-matchmaker, bench-obs, bench-pool, pool-smoke, fault-sweep,
+// fault-smoke, trace.
 package main
 
 import (
@@ -36,6 +37,8 @@ func main() {
 			"output path for bench-matchmaker rows")
 		benchObsOut = flag.String("bench-obs-out", "BENCH_obs.json",
 			"output path for bench-obs rows")
+		benchPoolOut = flag.String("bench-pool-out", "BENCH_pool.json",
+			"output path for bench-pool rows")
 		traceOut = flag.String("trace-out", "traces",
 			"directory for per-class JSONL traces from the trace experiment")
 	)
@@ -110,6 +113,24 @@ func main() {
 			rep.AddNote("wrote %s", *benchObsOut)
 			return rep, nil
 		}, "tracing overhead micro-benchmarks (writes BENCH_obs.json)"},
+		{"bench-pool", func() (*experiments.Report, error) {
+			rows, rep, err := experiments.BenchPool(*seed)
+			if err != nil {
+				return rep, err
+			}
+			data, err := json.MarshalIndent(rows, "", "  ")
+			if err != nil {
+				return nil, err
+			}
+			if err := os.WriteFile(*benchPoolOut, append(data, '\n'), 0o644); err != nil {
+				return nil, err
+			}
+			rep.AddNote("wrote %s", *benchPoolOut)
+			return rep, nil
+		}, "pool-scale end-to-end throughput (writes BENCH_pool.json)"},
+		{"pool-smoke", func() (*experiments.Report, error) {
+			return experiments.PoolSmoke(*seed)
+		}, "small-shape pool throughput smoke (optimized == reference gate)"},
 		{"fault-sweep", func() (*experiments.Report, error) {
 			return experiments.FaultSweep(*seed)
 		}, "fault-injection conformance: every error class at >= 3 sites"},

@@ -176,6 +176,13 @@ type Params struct {
 	// identical traces either way; the determinism regression tests
 	// compare the two.
 	DisableMatchFastPath bool
+	// DisableScheddFastPath makes the schedd run with the original
+	// pre-throughput-work shape: O(queue) idle scans, O(queue)
+	// AllTerminal, one journal append (and one fsync) per transition,
+	// and a defensive ad copy per advertisement and claim.  Same-seed
+	// runs must produce identical dispositions either way; the
+	// pool-smoke gate and the determinism tests compare the two.
+	DisableScheddFastPath bool
 	// Trace receives structured error-propagation events and metrics
 	// from every daemon (see package obs).  Nil disables tracing at
 	// zero allocation cost on the hot paths.

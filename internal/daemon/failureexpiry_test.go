@@ -1,0 +1,76 @@
+package daemon
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/jvm"
+)
+
+// TestChronicFailureTableBounded is the steady-state memory
+// regression gate: a schedd that outlives many failing machines must
+// not remember every one of them forever.  Grudges older than twice
+// ChronicRelaxAfter are swept by the periodic idle advertisement, so
+// the table (and the avoided list every idle ad carries) tracks the
+// recent past, not the full history of the pool.
+func TestChronicFailureTableBounded(t *testing.T) {
+	params := DefaultParams()
+	eng, _, schedd, _, _ := testPool(t, params, goodMachine("m1"))
+
+	// A long-lived schedd has watched 500 machines fail and vanish.
+	stamp := eng.Now()
+	for i := 0; i < 500; i++ {
+		schedd.machineFailures[fmt.Sprintf("ghost%03d", i)] =
+			failureRecord{count: params.ChronicFailureThreshold, last: stamp}
+	}
+	schedd.avoidedDirty = true
+	if got := schedd.FailureTableSize(); got != 500 {
+		t.Fatalf("table size = %d, want 500 before expiry", got)
+	}
+
+	// Well inside the TTL nothing is dropped: the grudges are live
+	// avoidance state, not garbage.
+	eng.RunFor(params.ChronicRelaxAfter)
+	if got := schedd.FailureTableSize(); got != 500 {
+		t.Fatalf("table size = %d, want 500 at ChronicRelaxAfter: expiry ran early", got)
+	}
+
+	// Past 2x ChronicRelaxAfter the sweep in the periodic idle
+	// advertisement must have emptied the table.
+	eng.RunFor(params.ChronicRelaxAfter + 2*params.AdInterval)
+	if got := schedd.FailureTableSize(); got != 0 {
+		t.Fatalf("table size = %d, want 0 after the expiry horizon", got)
+	}
+	if avoided := schedd.avoidedMachines(); len(avoided) != 0 {
+		t.Fatalf("avoided = %v, want none after expiry", avoided)
+	}
+
+	// A fresh grudge earns the full TTL from its last failure.
+	schedd.machineFailures["recent"] = failureRecord{
+		count: params.ChronicFailureThreshold, last: eng.Now()}
+	schedd.avoidedDirty = true
+	eng.RunFor(params.ChronicRelaxAfter)
+	if got := schedd.FailureTableSize(); got != 1 {
+		t.Fatalf("table size = %d, want the recent grudge kept", got)
+	}
+}
+
+// TestChronicFailureExpiryIsBackstop pins the layering: a completed
+// job clears its machine's grudge immediately (the success path),
+// while expiry only collects entries no success ever cleared.
+func TestChronicFailureExpiryIsBackstop(t *testing.T) {
+	params := DefaultParams()
+	eng, _, schedd, _, _ := testPool(t, params, goodMachine("m1"))
+
+	schedd.machineFailures["m1"] = failureRecord{count: 2, last: eng.Now()}
+	schedd.avoidedDirty = true
+	id := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+	runUntilDone(t, eng, schedd, 4*time.Hour)
+	if j := schedd.Job(id); j.State != JobCompleted {
+		t.Fatalf("state = %v, err = %v", j.State, j.FinalErr)
+	}
+	if got := schedd.FailureCount("m1"); got != 0 {
+		t.Errorf("failure count = %d, want 0: success clears the grudge without waiting for expiry", got)
+	}
+}

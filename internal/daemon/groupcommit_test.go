@@ -1,0 +1,93 @@
+package daemon
+
+import (
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/sim"
+)
+
+// matchNotifyFor hand-delivers a matchmaker notification straight
+// into the schedd, mid-instant: the journal record it triggers sits
+// in the open group-commit batch and the claim request it provokes
+// sits in the deferred outbox until the end-of-instant commit runs.
+func matchNotifyFor(s *Schedd, id JobID, machine string) {
+	s.Receive(sim.Message{
+		From: MatchmakerName,
+		To:   s.Name(),
+		Kind: kindMatchNotify,
+		Body: matchNotifyMsg{Job: id, Machine: machine,
+			MachineAd: testMachineAd(machine, 2048, true)},
+	})
+}
+
+// TestGroupCommitCrashMidBatch pins the group commit's crash
+// contract: a crash with a batch open loses only transitions nothing
+// external ever saw.  The match record was buffered, not appended,
+// and the claim request was deferred behind it, so replay returns the
+// job to idle, no startd ever heard of the claim, and the pool
+// completes the job through the normal path afterwards.
+func TestGroupCommitCrashMidBatch(t *testing.T) {
+	eng, bus, schedd, _, _ := testPool(t, DefaultParams(), goodMachine("m1"))
+	id := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+
+	appends := schedd.Journal().Appends()
+	sent := bus.Sent()
+	matchNotifyFor(schedd, id, "m1")
+	if schedd.Job(id).State != JobMatched {
+		t.Fatalf("state = %v, want matched (the transition applied in memory)", schedd.Job(id).State)
+	}
+	if got := schedd.Journal().Appends(); got != appends {
+		t.Fatalf("appends = %d, want %d: the match record must wait in the open batch", got, appends)
+	}
+	if got := bus.Sent(); got != sent {
+		t.Fatalf("sent = %d, want %d: the claim request must wait behind the commit", got, sent)
+	}
+
+	schedd.Crash()
+	if err := schedd.Recover(nil); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	j := schedd.Job(id)
+	if j == nil {
+		t.Fatal("job lost: the submit record was durable before the user ack")
+	}
+	if j.State != JobIdle || len(j.Attempts) != 0 {
+		t.Fatalf("state = %v attempts = %d, want the pre-match queue back", j.State, len(j.Attempts))
+	}
+
+	runUntilDone(t, eng, schedd, 4*time.Hour)
+	if j := schedd.Job(id); j.State != JobCompleted {
+		t.Errorf("state = %v, err = %v: the recovered job must complete normally", j.State, j.FinalErr)
+	}
+}
+
+// TestGroupCommitFlushBeforeAct is the positive control: once the
+// end-of-instant commit runs, the batched record is durable and only
+// then does the claim request leave the schedd — append-before-act,
+// batched.
+func TestGroupCommitFlushBeforeAct(t *testing.T) {
+	eng, bus, schedd, _, _ := testPool(t, DefaultParams(), goodMachine("m1"))
+	id := submitJavaJob(schedd, jvm.WellBehaved(time.Minute))
+
+	appends := schedd.Journal().Appends()
+	sent := bus.Sent()
+	matchNotifyFor(schedd, id, "m1")
+	eng.RunFor(time.Second)
+	if got := schedd.Journal().Appends(); got <= appends {
+		t.Fatalf("appends = %d, want > %d: the commit must have flushed the batch", got, appends)
+	}
+	if got := bus.Sent(); got <= sent {
+		t.Fatalf("sent = %d, want > %d: the deferred claim request must have gone out", got, sent)
+	}
+
+	runUntilDone(t, eng, schedd, 4*time.Hour)
+	j := schedd.Job(id)
+	if j.State != JobCompleted {
+		t.Fatalf("state = %v, err = %v", j.State, j.FinalErr)
+	}
+	if len(j.Attempts) != 1 || j.Attempts[0].Machine != "m1" {
+		t.Errorf("attempts = %+v, want one attempt on the hand-matched machine", j.Attempts)
+	}
+}

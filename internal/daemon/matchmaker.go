@@ -18,7 +18,9 @@ import (
 // The negotiation fast path keeps every per-cycle structure
 // incremental: machines live in a name-sorted list and an
 // attribute-value index maintained on advertise/expire; jobs live in
-// per-owner buckets kept in submission order at insert time.  A
+// per-owner buckets kept in submission order at insert time; jobs
+// with byte-identical ads share one auto-cluster, whose candidate
+// scan runs once per cycle no matter how many jobs ride it.  A
 // steady-state cycle (nothing matchable) allocates nothing.
 type Matchmaker struct {
 	bus    Runtime
@@ -32,6 +34,12 @@ type Matchmaker struct {
 	jobs        map[jobKey]*jobEntry
 	ownerQueues map[string][]*jobEntry // per owner, sorted by (schedd, job)
 	ownerNames  []string               // owners with non-empty queues, name-sorted
+
+	// clusters caches per-cycle candidate scans keyed by job-ad
+	// signature: jobs whose ads render identically are
+	// interchangeable to matchmaking, so the pool is ranked once per
+	// cluster per cycle instead of once per job (auto-clustering).
+	clusters map[string]*clusterEntry
 
 	// usage counts matches handed to each owner, the basis of the
 	// fair-share ordering.
@@ -53,9 +61,14 @@ type Matchmaker struct {
 	// schedd refreshes its idle jobs every AdInterval, so these are
 	// the requests of a dead schedd aging out of the pool.
 	JobAdsExpired int
-	// PrefilterSkips counts (job, machine) pairs rejected by the
-	// constant pre-filter without full Requirements evaluation.
+	// PrefilterSkips counts candidates rejected by the constant
+	// pre-filter without full Requirements evaluation, counted once
+	// per cluster scan (not once per job sharing the cluster).
 	PrefilterSkips int
+	// ClusterScans counts auto-cluster candidate scans: the number of
+	// times a cycle actually ranked the pool.  Jobs minus scans is
+	// the work auto-clustering saved.
+	ClusterScans int
 	// NoMatches counts no-match notifications sent for jobs
 	// compatible with zero advertised machines.
 	NoMatches int
@@ -87,6 +100,32 @@ type jobEntry struct {
 	// refreshing (it crashed) has its requests age out rather than
 	// matching machines to a submitter that no longer exists.
 	expires sim.Time
+	// sig is the rendered ad, the auto-cluster key.  Computed lazily
+	// on the first fast-path cycle and invalidated when the ad
+	// content changes, so the reference path never pays for it.
+	sig string
+}
+
+// clusterEntry caches one auto-cluster's candidate scan for the
+// current negotiation cycle.  Jobs whose ads render to the same
+// signature see the same candidates, the same Requirements verdicts,
+// and the same Rank values, so the cycle evaluates the pool once per
+// cluster and hands successive members successive machines from the
+// ranked list — HTCondor's auto-clustering.  The pick sequence is
+// exactly the per-job scan's: the scan keeps the first candidate, in
+// name order, attaining the maximum rank, which is the head of a
+// stable rank-descending sort; marking it matched makes the next
+// list element the next job's pick.
+type clusterEntry struct {
+	cycle      int  // negotiation cycle the scan below belongs to
+	next       int  // first ranked entry not yet known-matched
+	compatible bool // some advertised machine, matched or not, satisfies the ad
+	ranked     []rankedCandidate
+}
+
+type rankedCandidate struct {
+	entry *machineEntry
+	rank  float64
 }
 
 // jobOwner extracts the requesting user from the job ad, falling back
@@ -111,6 +150,7 @@ func NewMatchmaker(bus Runtime, params Params) *Matchmaker {
 		index:       newAttrIndex(),
 		jobs:        make(map[jobKey]*jobEntry),
 		ownerQueues: make(map[string][]*jobEntry),
+		clusters:    make(map[string]*clusterEntry),
 		usage:       make(map[string]int),
 	}
 	bus.Register(MatchmakerName, m)
@@ -204,12 +244,21 @@ func compareJobEntries(a, b *jobEntry) int {
 func (m *Matchmaker) upsertJob(key jobKey, ad *classad.Ad) {
 	expires := m.bus.Now().Add(m.jobAdLifetime())
 	if old, ok := m.jobs[key]; ok {
+		if old.ad == ad {
+			// The schedd re-sent the identical ad object (periodic
+			// refresh of an unchanged idle job); the compiled caches
+			// and pre-filter are still good.
+			old.noMatchSent = false
+			old.expires = expires
+			return
+		}
 		// Refresh in place; owner may change if the ad changed.
 		if newOwner := jobOwner(key, ad); newOwner != old.owner {
 			m.removeJob(key)
 		} else {
 			old.ad = ad
 			old.pre = classad.RequirementsPrefilter(ad)
+			old.sig = "" // content changed: re-cluster lazily
 			old.noMatchSent = false
 			old.expires = expires
 			return
@@ -254,13 +303,6 @@ func (m *Matchmaker) removeJob(key jobKey) {
 func (m *Matchmaker) negotiate() {
 	m.Cycles++
 	m.tr.Count("matchmaker.cycles", 1)
-	var cycleStart time.Time
-	if m.tr.Enabled() {
-		// Wall clock, deliberately: the virtual clock never advances
-		// inside a cycle, and the _wall_ns suffix keeps this histogram
-		// out of deterministic exports.
-		cycleStart = time.Now()
-	}
 	m.expireMachines()
 	m.expireJobs()
 
@@ -310,17 +352,23 @@ func (m *Matchmaker) negotiate() {
 		m.tr.Count("matchmaker.matches", 1)
 		m.usage[j.owner]++
 		m.removeJob(j.key)
+		// The machine ad travels by reference: ads are immutable once
+		// advertised (a startd re-advertises a fresh object on every
+		// state change), so the claim protocol can read it without a
+		// per-match deep copy.
 		m.bus.Send(MatchmakerName, j.key.schedd, kindMatchNotify, matchNotifyMsg{
 			Job:       j.key.job,
 			Machine:   best.name,
-			MachineAd: best.ad.Copy(),
+			MachineAd: best.ad,
 		})
 	}
 	// Provisional matches expire when the startd re-advertises; a
 	// machine that was matched but never claimed becomes visible
-	// again on its next ad.
+	// again on its next ad.  Cycle cost is measured by the bench-pool
+	// and bench-matchmaker harnesses on the wall clock outside the
+	// deterministic path; in here only virtual-clock facts are
+	// observed.
 	if m.tr.Enabled() {
-		m.tr.Observe("matchmaker.cycle_wall_ns", int64(time.Since(cycleStart)))
 		m.tr.Observe("matchmaker.cycle_jobs", int64(len(jobs)))
 	}
 }
@@ -373,15 +421,17 @@ func (m *Matchmaker) expireJobs() {
 }
 
 // findBest returns the best unmatched machine for the job, or nil.
-// The fast path narrows candidates through the equality index, skips
-// constant-incompatible pairs via the pre-filter, and evaluates
-// Requirements through the compiled handles; the slow path is the
-// reference full scan with AST evaluation, kept for equivalence and
-// determinism regression tests.
+// The fast path resolves the job's auto-cluster — candidates narrowed
+// through the equality index, constant-incompatible pairs skipped via
+// the pre-filter, Requirements and Rank evaluated once per cluster
+// through the compiled handles — and pops the best machine not yet
+// handed out this cycle.  The slow path is the reference full scan
+// with AST evaluation, kept for equivalence and determinism
+// regression tests.
 func (m *Matchmaker) findBest(j *jobEntry, fast bool) *machineEntry {
-	var best *machineEntry
-	bestRank := 0.0
 	if !fast {
+		var best *machineEntry
+		bestRank := 0.0
 		for _, name := range m.machineNames {
 			entry := m.machines[name]
 			if entry.matched || !classad.MatchSlow(j.ad, entry.ad) {
@@ -395,8 +445,49 @@ func (m *Matchmaker) findBest(j *jobEntry, fast bool) *machineEntry {
 		}
 		return best
 	}
+	c := m.cluster(j)
+	for c.next < len(c.ranked) {
+		if entry := c.ranked[c.next].entry; !entry.matched {
+			return entry
+		}
+		c.next++
+	}
+	return nil
+}
+
+// cluster returns the job's auto-cluster scan state, building it on
+// the cluster's first touch in a cycle.  Rebuilds reuse the ranked
+// slice, so a steady-state cycle stays allocation-free.
+func (m *Matchmaker) cluster(j *jobEntry) *clusterEntry {
+	if j.sig == "" {
+		j.sig = j.ad.String()
+	}
+	c, ok := m.clusters[j.sig]
+	if !ok {
+		if len(m.clusters) >= 2*len(m.jobs)+16 {
+			// Mostly signatures of long-departed jobs: reset rather
+			// than grow without bound.
+			clear(m.clusters)
+		}
+		c = &clusterEntry{cycle: -1}
+		m.clusters[j.sig] = c
+	}
+	if c.cycle == m.Cycles {
+		return c
+	}
+	c.cycle = m.Cycles
+	c.next = 0
+	c.compatible = false
+	c.ranked = c.ranked[:0]
+	m.ClusterScans++
 	for _, entry := range m.candidates(j) {
 		if entry.matched {
+			// Handed out before this scan: invisible to findBest, but
+			// anyCompatible must still count it.
+			if !c.compatible && classad.AdmitsAll(j.pre, entry.table) &&
+				classad.Match(j.ad, entry.ad) {
+				c.compatible = true
+			}
 			continue
 		}
 		if !classad.AdmitsAll(j.pre, entry.table) {
@@ -406,13 +497,24 @@ func (m *Matchmaker) findBest(j *jobEntry, fast bool) *machineEntry {
 		if !classad.Match(j.ad, entry.ad) {
 			continue
 		}
-		r := classad.Rank(j.ad, entry.ad)
-		if best == nil || r > bestRank {
-			best = entry
-			bestRank = r
-		}
+		c.compatible = true
+		c.ranked = append(c.ranked,
+			rankedCandidate{entry: entry, rank: classad.Rank(j.ad, entry.ad)})
 	}
-	return best
+	// Stable: equal ranks keep candidate (name) order.  Ranks are
+	// never NaN — arithmetic errors such as division by zero evaluate
+	// to the error value, which coerces to rank 0 — so the comparator
+	// is a strict weak order.
+	slices.SortStableFunc(c.ranked, func(a, b rankedCandidate) int {
+		switch {
+		case a.rank > b.rank:
+			return -1
+		case a.rank < b.rank:
+			return 1
+		}
+		return 0
+	})
+	return c
 }
 
 // anyCompatible reports whether any advertised machine — including
@@ -428,15 +530,10 @@ func (m *Matchmaker) anyCompatible(j *jobEntry, fast bool) bool {
 		}
 		return false
 	}
-	for _, entry := range m.candidates(j) {
-		if !classad.AdmitsAll(j.pre, entry.table) {
-			continue
-		}
-		if classad.Match(j.ad, entry.ad) {
-			return true
-		}
-	}
-	return false
+	// findBest already resolved the cluster this cycle (anyCompatible
+	// is only consulted after it returned nil), so this is a cached
+	// flag, not a scan.
+	return m.cluster(j).compatible
 }
 
 // candidates selects the machines worth considering for the job: the

@@ -50,13 +50,37 @@ type Schedd struct {
 	order  []JobID
 	nextID JobID
 
+	// fast selects the throughput path: the idle-job index, the
+	// non-terminal counter, shared precompiled ads, and write-ahead
+	// group commit.  The reference arm (Params.DisableScheddFastPath)
+	// keeps the original O(queue) scans and one-append-per-record
+	// journal so determinism tests can compare the two.
+	fast bool
+
+	// idleOrder and idlePos index the idle jobs in the order they
+	// became idle, with tombstoned (zero) slots compacted lazily, so
+	// the periodic advertisement walks O(idle) entries instead of the
+	// whole queue.
+	idleOrder []JobID
+	idlePos   map[JobID]int
+	idleStale int
+	// nonTerminal counts jobs not yet in a final state; AllTerminal —
+	// polled every scheduling step — reads it in O(1).
+	nonTerminal int
+
 	shadowSeq int
 	// shadows tracks the live shadow of each running job, so a schedd
 	// crash can take its children down with it.
 	shadows map[JobID]*Shadow
-	// machineFailures counts consecutive failures per machine for
-	// the chronic-failure avoidance policy.
-	machineFailures map[string]int
+	// machineFailures tracks consecutive failures per machine for the
+	// chronic-failure avoidance policy, with the instant of the last
+	// failure so stale grudges can expire (see expireFailures).
+	machineFailures map[string]failureRecord
+	// avoidedCache is the sorted avoided-machine list, rebuilt only
+	// when the failure table changes; every idle advertisement reads
+	// it.
+	avoidedCache []string
+	avoidedDirty bool
 
 	// wal is the write-ahead journal: every queue transition is
 	// appended before it is acted on, so the queue survives a crash
@@ -64,6 +88,13 @@ type Schedd struct {
 	wal *journal.Journal
 	// walAppends counts entries since the last compaction.
 	walAppends int
+	// Group commit (fast path): walBuf holds the records of the open
+	// batch, outbox the sends deferred until those records are
+	// durable, and commitArmed whether the commit event is scheduled
+	// for the end of the current instant.
+	walBuf      [][]byte
+	outbox      []pendingSend
+	commitArmed bool
 	// crashed marks a schedd that is down; epoch invalidates timers
 	// (claim timeouts, requeue backoffs) armed before a crash.
 	crashed bool
@@ -84,6 +115,21 @@ type Schedd struct {
 	Recoveries      int
 }
 
+// failureRecord is one machine's entry in the chronic-failure table:
+// the consecutive-failure count and when the streak was last
+// extended.
+type failureRecord struct {
+	count int
+	last  sim.Time
+}
+
+// pendingSend is one outgoing message deferred behind the open
+// journal batch.
+type pendingSend struct {
+	to, kind string
+	body     any
+}
+
 // NewSchedd creates, registers, and starts a schedd with its own
 // submit-side file system.
 func NewSchedd(bus Runtime, params Params, name string) *Schedd {
@@ -92,10 +138,13 @@ func NewSchedd(bus Runtime, params Params, name string) *Schedd {
 		params:          params,
 		name:            name,
 		tr:              params.tracer(),
+		fast:            !params.DisableScheddFastPath,
 		SubmitFS:        vfs.New(),
 		jobs:            make(map[JobID]*Job),
+		idlePos:         make(map[JobID]int),
 		shadows:         make(map[JobID]*Shadow),
-		machineFailures: make(map[string]int),
+		machineFailures: make(map[string]failureRecord),
+		avoidedDirty:    true,
 		wal:             journal.New(),
 	}
 	bus.Register(name, s)
@@ -114,14 +163,84 @@ func (s *Schedd) Submit(job *Job) JobID {
 	job.State = JobIdle
 	job.Submitted = s.bus.Now()
 	// Compile Requirements/Rank once up front: every periodic
-	// advertise copies this ad, and copies inherit the caches.
+	// advertise shares (or copies) this ad, and copies inherit the
+	// caches.
 	job.Ad.Precompile()
 	s.journalAppend(recSubmit(job))
-	s.jobs[job.ID] = job
-	s.order = append(s.order, job.ID)
+	s.addJob(job)
 	s.logEvent(job, EventSubmitted, "owner %s", job.Owner)
 	s.advertiseJob(job)
+	// Submission is acknowledged to the user, so its record must be
+	// durable before Submit returns; an open batch is flushed now
+	// rather than at the end of the instant.
+	s.commitWAL(s.epoch)
 	return job.ID
+}
+
+// addJob registers a job in the queue maps and the derived indexes.
+// Both Submit and journal replay funnel through it.
+func (s *Schedd) addJob(j *Job) {
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	if !j.State.Terminal() {
+		s.nonTerminal++
+	}
+	if j.State == JobIdle {
+		s.idleAdd(j.ID)
+	}
+}
+
+// setState moves a job between states, keeping the idle index and the
+// non-terminal count consistent.  Every state transition — live or
+// replayed — goes through here.
+func (s *Schedd) setState(j *Job, st JobState) {
+	if j.State == st {
+		return
+	}
+	if j.State == JobIdle {
+		s.idleRemove(j.ID)
+	}
+	if st == JobIdle {
+		s.idleAdd(j.ID)
+	}
+	if !j.State.Terminal() && st.Terminal() {
+		s.nonTerminal--
+	}
+	j.State = st
+}
+
+// idleAdd appends a job to the idle index.
+func (s *Schedd) idleAdd(id JobID) {
+	if _, ok := s.idlePos[id]; ok {
+		return
+	}
+	s.idlePos[id] = len(s.idleOrder)
+	s.idleOrder = append(s.idleOrder, id)
+}
+
+// idleRemove tombstones a job's slot; compaction happens lazily on
+// the next advertisement pass, never mid-iteration.
+func (s *Schedd) idleRemove(id JobID) {
+	pos, ok := s.idlePos[id]
+	if !ok {
+		return
+	}
+	delete(s.idlePos, id)
+	s.idleOrder[pos] = 0 // job ids start at 1
+	s.idleStale++
+}
+
+// compactIdle squeezes the tombstones out of the idle index.
+func (s *Schedd) compactIdle() {
+	live := s.idleOrder[:0]
+	for _, id := range s.idleOrder {
+		if id != 0 {
+			s.idlePos[id] = len(live)
+			live = append(live, id)
+		}
+	}
+	s.idleOrder = live
+	s.idleStale = 0
 }
 
 // Job returns the job with the given id.
@@ -138,6 +257,9 @@ func (s *Schedd) Jobs() []*Job {
 
 // AllTerminal reports whether every job reached a final state.
 func (s *Schedd) AllTerminal() bool {
+	if s.fast {
+		return s.nonTerminal == 0
+	}
 	for _, j := range s.jobs {
 		if !j.State.Terminal() {
 			return false
@@ -147,27 +269,68 @@ func (s *Schedd) AllTerminal() bool {
 }
 
 func (s *Schedd) advertiseIdle() {
-	for _, id := range s.order {
-		if j := s.jobs[id]; j.State == JobIdle {
-			s.advertiseJob(j)
+	s.expireFailures()
+	if !s.fast {
+		for _, id := range s.order {
+			if j := s.jobs[id]; j.State == JobIdle {
+				s.advertiseJob(j)
+			}
+		}
+		return
+	}
+	if s.idleStale > 0 && s.idleStale >= len(s.idleOrder)/2 {
+		s.compactIdle()
+	}
+	for _, id := range s.idleOrder {
+		if id == 0 {
+			continue
+		}
+		s.advertiseJob(s.jobs[id])
+	}
+}
+
+// expireFailures forgets machines whose failure streak last grew more
+// than twice ChronicRelaxAfter ago.  Without expiry the table (and
+// the avoided list every idle ad carries) grows with every machine
+// that ever failed, for the life of the schedd.  The bound is
+// deliberately looser than the relax deadline: a job starved by
+// avoidance gets the targeted remedy — relaxation, with its logged
+// event — at ChronicRelaxAfter, and only strictly later does the
+// table-wide backstop drop the stale grudge itself.  A zero
+// ChronicRelaxAfter disables expiry along with relaxation.
+func (s *Schedd) expireFailures() {
+	ttl := 2 * s.params.ChronicRelaxAfter
+	if ttl <= 0 || len(s.machineFailures) == 0 {
+		return
+	}
+	now := s.bus.Now()
+	for machine, rec := range s.machineFailures {
+		if now.Sub(rec.last) >= ttl {
+			delete(s.machineFailures, machine)
+			s.avoidedDirty = true
 		}
 	}
 }
 
 // avoidedMachines lists the machines the chronic-failure policy
-// currently excludes, sorted for deterministic ads.
+// currently excludes, sorted for deterministic ads.  The list is
+// cached between failure-table changes: every idle job's every
+// advertisement reads it.
 func (s *Schedd) avoidedMachines() []string {
 	if s.params.ChronicFailureThreshold <= 0 {
 		return nil
 	}
-	var avoided []string
-	for machine, n := range s.machineFailures {
-		if n >= s.params.ChronicFailureThreshold {
-			avoided = append(avoided, machine)
+	if s.avoidedDirty {
+		s.avoidedCache = s.avoidedCache[:0]
+		for machine, rec := range s.machineFailures {
+			if rec.count >= s.params.ChronicFailureThreshold {
+				s.avoidedCache = append(s.avoidedCache, machine)
+			}
 		}
+		slices.Sort(s.avoidedCache)
+		s.avoidedDirty = false
 	}
-	slices.Sort(avoided)
-	return avoided
+	return s.avoidedCache
 }
 
 // relaxed reports whether the avoidance constraint is currently
@@ -184,8 +347,20 @@ func (s *Schedd) idleFor(j *Job) time.Duration {
 	return s.bus.Now().Sub(since)
 }
 
+// send routes one outgoing message, deferring it while a journal
+// batch is open: a message is an externally visible action, and the
+// append-before-act discipline requires the records justifying it to
+// be durable first.  With no batch open it is a plain bus send.
+func (s *Schedd) send(to, kind string, body any) {
+	if s.commitArmed {
+		s.outbox = append(s.outbox, pendingSend{to: to, kind: kind, body: body})
+		return
+	}
+	s.bus.Send(s.name, to, kind, body)
+}
+
 func (s *Schedd) advertiseJob(j *Job) {
-	s.bus.Send(s.name, MatchmakerName, kindAdvertise, advertiseMsg{
+	s.send(MatchmakerName, kindAdvertise, advertiseMsg{
 		Kind:   "job",
 		Name:   fmt.Sprintf("%s#%d", s.name, j.ID),
 		Schedd: s.name,
@@ -197,7 +372,7 @@ func (s *Schedd) advertiseJob(j *Job) {
 // withdrawJob removes the job's request from the matchmaker so stale
 // advertisements cannot produce matches for jobs no longer idle.
 func (s *Schedd) withdrawJob(j *Job) {
-	s.bus.Send(s.name, MatchmakerName, kindAdvertise, advertiseMsg{
+	s.send(MatchmakerName, kindAdvertise, advertiseMsg{
 		Kind:   "job",
 		Name:   fmt.Sprintf("%s#%d", s.name, j.ID),
 		Schedd: s.name,
@@ -212,16 +387,22 @@ func (s *Schedd) withdrawJob(j *Job) {
 // repeated failures.  Extending Requirements is the ClassAd idiom for
 // schedd-side policy.
 func (s *Schedd) effectiveAd(j *Job) *classad.Ad {
-	ad := j.Ad.Copy()
-	if s.relaxed(j) {
-		// The constraint starved this job; a chronic machine is
-		// better than no machine.
-		return ad
+	var avoided []string
+	if !s.relaxed(j) {
+		avoided = s.avoidedMachines()
 	}
-	avoided := s.avoidedMachines()
 	if len(avoided) == 0 {
-		return ad
+		// Nothing to strengthen.  The precompiled ad is immutable
+		// from here on — evaluation touches only its memo caches — so
+		// the fast path shares it instead of copying per
+		// advertisement, and the matchmaker recognizes the pointer
+		// and skips re-indexing.
+		if s.fast {
+			return j.Ad
+		}
+		return j.Ad.Copy()
 	}
+	ad := j.Ad.Copy()
 	var list strings.Builder
 	list.WriteString("{")
 	for i, m := range avoided {
@@ -294,7 +475,7 @@ func (s *Schedd) handleMatch(m matchNotifyMsg) {
 		return
 	}
 	if s.params.ChronicFailureThreshold > 0 &&
-		s.machineFailures[m.Machine] >= s.params.ChronicFailureThreshold &&
+		s.machineFailures[m.Machine].count >= s.params.ChronicFailureThreshold &&
 		!s.relaxed(j) {
 		// "A complementary approach would be to enhance the schedd
 		// with logic to detect and avoid hosts with chronic
@@ -305,15 +486,19 @@ func (s *Schedd) handleMatch(m matchNotifyMsg) {
 		return
 	}
 	s.journalAppend(recMatch(j.ID, s.bus.Now(), m.Machine))
-	j.State = JobMatched
+	s.setState(j, JobMatched)
 	j.claimSeq++
 	seq := j.claimSeq
 	s.logEvent(j, EventMatched, "machine %s", m.Machine)
 	s.withdrawJob(j)
-	s.bus.Send(s.name, m.Machine, kindClaimRequest, claimRequestMsg{
+	jobAd := j.Ad
+	if !s.fast {
+		jobAd = j.Ad.Copy()
+	}
+	s.send(m.Machine, kindClaimRequest, claimRequestMsg{
 		Job:    j.ID,
 		Schedd: s.name,
-		JobAd:  j.Ad.Copy(),
+		JobAd:  jobAd,
 	})
 	// Claim timeout: a startd that never answers — dead, partitioned
 	// — must not strand the job in the matched state.  The silence
@@ -327,7 +512,7 @@ func (s *Schedd) handleMatch(m matchNotifyMsg) {
 			if s.epoch == epoch && j.State == JobMatched && j.claimSeq == seq {
 				s.journalAppend(recEvent("claim-timeout", j.ID, s.bus.Now()))
 				s.ClaimsFailed++
-				j.State = JobIdle
+				s.setState(j, JobIdle)
 				s.logEvent(j, EventClaimTimeout, "no reply from %s within %v",
 					m.Machine, s.params.ClaimTimeout)
 				s.advertiseJob(j)
@@ -347,13 +532,13 @@ func (s *Schedd) receiveClaim(from string, r claimReplyMsg) {
 	if !r.Granted {
 		s.journalAppend(recEvent("claim-denied", j.ID, s.bus.Now()))
 		s.ClaimsFailed++
-		j.State = JobIdle
+		s.setState(j, JobIdle)
 		s.logEvent(j, EventClaimDenied, "%s: %s", from, r.Reason)
 		s.advertiseJob(j)
 		return
 	}
 	s.journalAppend(recExec(j.ID, s.bus.Now(), from))
-	j.State = JobRunning
+	s.setState(j, JobRunning)
 	j.avoidanceRelaxed = false // the next idle spell re-arms avoidance
 	s.logEvent(j, EventExecuting, "machine %s", from)
 	j.Attempts = append(j.Attempts, Attempt{
@@ -363,7 +548,7 @@ func (s *Schedd) receiveClaim(from string, r claimReplyMsg) {
 	s.shadowSeq++
 	shadowName := fmt.Sprintf("shadow:%s:%d", s.name, s.shadowSeq)
 	s.shadows[j.ID] = newShadow(s.bus, s.params, shadowName, s.name, j, s.SubmitFS, from)
-	s.bus.Send(s.name, from, kindActivate, activateMsg{Job: j.ID, Shadow: shadowName})
+	s.send(from, kindActivate, activateMsg{Job: j.ID, Shadow: shadowName})
 }
 
 // finalError derives the error the schedd disposes of from a final
@@ -410,9 +595,12 @@ func (s *Schedd) applyFinal(j *Job, f jobFinalMsg, err error, now sim.Time) scop
 	disp := scope.DisposeError(err)
 	switch disp {
 	case scope.DispositionComplete:
-		j.State = JobCompleted
+		s.setState(j, JobCompleted)
 		j.Finished = now
-		s.machineFailures[f.Machine] = 0
+		if _, ok := s.machineFailures[f.Machine]; ok {
+			delete(s.machineFailures, f.Machine)
+			s.avoidedDirty = true
+		}
 		leak := false
 		if trueErr := f.True.Err(); trueErr != nil &&
 			scope.ScopeOf(trueErr) > scope.ScopeProgram {
@@ -426,7 +614,7 @@ func (s *Schedd) applyFinal(j *Job, f jobFinalMsg, err error, now sim.Time) scop
 		})
 
 	case scope.DispositionUnexecutable:
-		j.State = JobUnexecutable
+		s.setState(j, JobUnexecutable)
 		j.Finished = now
 		j.FinalErr = err
 		s.Reports = append(s.Reports, UserReport{
@@ -441,10 +629,14 @@ func (s *Schedd) applyFinal(j *Job, f jobFinalMsg, err error, now sim.Time) scop
 		// silent — but not for submit-side fetch problems or for its
 		// owner's legitimate return.
 		if f.FetchError == nil && !f.Evicted && f.Machine != "" {
-			s.machineFailures[f.Machine]++
+			rec := s.machineFailures[f.Machine]
+			rec.count++
+			rec.last = now
+			s.machineFailures[f.Machine] = rec
+			s.avoidedDirty = true
 		}
 		if f.Hold || len(j.Attempts) >= s.params.MaxAttempts {
-			j.State = JobHeld
+			s.setState(j, JobHeld)
 			j.Finished = now
 			if f.Hold {
 				// The shadow already escalated; its error names the
@@ -528,7 +720,7 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 		epoch := s.epoch
 		s.bus.After(s.params.RequeueBackoff, func() {
 			if s.epoch == epoch && j.State == JobRunning {
-				j.State = JobIdle
+				s.setState(j, JobIdle)
 				s.advertiseJob(j)
 			}
 		})
@@ -552,4 +744,8 @@ func (s *Schedd) dispositionEvent(j *Job, disp string, err error) obs.Event {
 }
 
 // FailureCount exposes the chronic-failure table, for tests.
-func (s *Schedd) FailureCount(machine string) int { return s.machineFailures[machine] }
+func (s *Schedd) FailureCount(machine string) int { return s.machineFailures[machine].count }
+
+// FailureTableSize exposes how many machines the chronic-failure
+// table currently remembers, for the memory-bound regression test.
+func (s *Schedd) FailureTableSize() int { return len(s.machineFailures) }

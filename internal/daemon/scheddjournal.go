@@ -48,16 +48,78 @@ func (s *Schedd) Journal() *journal.Journal { return s.wal }
 func (s *Schedd) Crashed() bool { return s.crashed }
 
 // journalAppend writes one record ahead of the transition it
-// describes.  Compaction runs before the append: every record already
-// in the log has been applied to the queue, so the snapshot of the
-// current queue plus the new record is the complete history.
+// describes.  The reference arm appends (and, on a real disk, syncs)
+// immediately; the fast path buffers the record into the open batch
+// and schedules the group commit for the end of the current instant,
+// deferring every outgoing send behind it (see commitWAL).
 func (s *Schedd) journalAppend(rec string) {
-	if s.walAppends >= walCompactEvery {
-		s.wal.Compact(s.snapshot(), nil)
-		s.walAppends = 0
+	if !s.fast {
+		// Compaction runs before the append: every record already in
+		// the log has been applied to the queue, so the snapshot of
+		// the current queue plus the new record is the complete
+		// history.
+		if s.walAppends >= walCompactEvery {
+			s.wal.Compact(s.snapshot(), nil)
+			s.walAppends = 0
+		}
+		s.wal.Append([]byte(rec))
+		s.walAppends++
+		return
 	}
-	s.wal.Append([]byte(rec))
-	s.walAppends++
+	s.walBuf = append(s.walBuf, []byte(rec))
+	if !s.commitArmed {
+		s.commitArmed = true
+		epoch := s.epoch
+		// After(0) fires at the current instant but after every event
+		// already queued for it — in particular after the rest of
+		// this negotiation cycle's deliveries — so one commit batches
+		// the whole cycle's transitions.
+		s.bus.After(0, func() { s.commitWAL(epoch) })
+	}
+}
+
+// compactEvery is the adaptive compaction threshold: at least the
+// historic walCompactEvery, but grown with queue size.  A fixed
+// threshold makes a big pool re-serialize its whole queue every 64
+// transitions — O(queue²) journal work over a run — while a
+// proportional one keeps compaction amortized O(1) per transition.
+func (s *Schedd) compactEvery() int {
+	if n := 2 * len(s.jobs); n > walCompactEvery {
+		return n
+	}
+	return walCompactEvery
+}
+
+// commitWAL closes the open batch.  The buffered records become
+// durable as one batched append — or are folded into a fresh snapshot
+// when the log is due for compaction: every buffered record describes
+// a transition already applied to the in-memory queue, so the
+// snapshot subsumes the batch.  Only then do the deferred sends go
+// out, in order.  The epoch fence drops commits armed before a crash:
+// the buffer and outbox are process memory, and losing them at a
+// crash is exactly the semantics the group-commit crash test pins.
+func (s *Schedd) commitWAL(epoch int) {
+	if s.crashed || epoch != s.epoch {
+		return
+	}
+	s.commitArmed = false
+	if len(s.walBuf) > 0 {
+		if s.walAppends+len(s.walBuf) >= s.compactEvery() {
+			s.wal.Compact(s.snapshot(), nil)
+			s.walAppends = 0
+		} else {
+			s.wal.AppendBatch(s.walBuf)
+			s.walAppends += len(s.walBuf)
+		}
+		clear(s.walBuf)
+		s.walBuf = s.walBuf[:0]
+	}
+	for i := range s.outbox {
+		p := s.outbox[i]
+		s.outbox[i] = pendingSend{}
+		s.bus.Send(s.name, p.to, p.kind, p.body)
+	}
+	s.outbox = s.outbox[:0]
 }
 
 // Crash takes the schedd process down: the advertisement ticker
@@ -70,6 +132,15 @@ func (s *Schedd) Crash() {
 	}
 	s.crashed = true
 	s.epoch++
+	// The open group-commit batch is process memory: records not yet
+	// appended, and the sends that were waiting on them, die with the
+	// process.  Nothing externally visible happened for them — that
+	// is the whole point of deferring the sends.
+	s.commitArmed = false
+	clear(s.walBuf)
+	s.walBuf = s.walBuf[:0]
+	clear(s.outbox)
+	s.outbox = s.outbox[:0]
 	if s.stopAds != nil {
 		s.stopAds()
 		s.stopAds = nil
@@ -114,7 +185,10 @@ func (s *Schedd) Recover(from *journal.Journal) error {
 	s.nextID = 0
 	s.shadowSeq = 0
 	s.shadows = make(map[JobID]*Shadow)
-	s.machineFailures = make(map[string]int)
+	s.machineFailures = make(map[string]failureRecord)
+	s.avoidedCache, s.avoidedDirty = nil, true
+	s.idleOrder, s.idleStale, s.nonTerminal = nil, 0, 0
+	s.idlePos = make(map[JobID]int)
 	s.Reports = nil
 	s.Requeues = 0
 	s.MatchesReceived, s.MatchesDeclined, s.ClaimsFailed = 0, 0, 0
@@ -168,6 +242,9 @@ func (s *Schedd) Recover(from *journal.Journal) error {
 		s.logEvent(j, EventRecovered, "queue rebuilt from journal")
 		s.advertiseJob(j)
 	}
+	// Recovery is complete only when its normalization records are on
+	// disk; flush the batch before handing the queue back.
+	s.commitWAL(s.epoch)
 	return nil
 }
 
@@ -180,7 +257,7 @@ func (s *Schedd) normalizeJob(j *Job, at sim.Time) {
 		att.LostContact = shadowDiedErr(s.name)
 	}
 	if !j.State.Terminal() {
-		j.State = JobIdle
+		s.setState(j, JobIdle)
 	}
 }
 
@@ -301,15 +378,15 @@ func (s *Schedd) applyEntry(payload []byte) error {
 	}
 	switch op {
 	case "match":
-		j.State = JobMatched
+		s.setState(j, JobMatched)
 	case "claim-timeout", "claim-denied":
-		j.State = JobIdle
+		s.setState(j, JobIdle)
 	case "exec":
 		machine, err := unquoted(kv, "machine")
 		if err != nil {
 			return err
 		}
-		j.State = JobRunning
+		s.setState(j, JobRunning)
 		j.avoidanceRelaxed = false
 		j.Attempts = append(j.Attempts, Attempt{Machine: machine, Start: sim.Time(at)})
 	case "relax":
@@ -357,8 +434,7 @@ func (s *Schedd) replaySubmit(id JobID, at sim.Time, kv map[string]string) error
 	if j.Program, err = jvm.ParseProgram(progSrc); err != nil {
 		return fmt.Errorf("job %d program: %w", id, err)
 	}
-	s.jobs[id] = j
-	s.order = append(s.order, id)
+	s.addJob(j)
 	if id > s.nextID {
 		s.nextID = id
 	}
@@ -427,15 +503,16 @@ func (s *Schedd) snapshot() []byte {
 	fmt.Fprintf(&b, "schedd nextID=%d requeues=%d recoveries=%d\n",
 		s.nextID, s.Requeues, s.Recoveries)
 	machines := make([]string, 0, len(s.machineFailures))
-	for m, n := range s.machineFailures {
-		if n != 0 {
+	for m, rec := range s.machineFailures {
+		if rec.count != 0 {
 			machines = append(machines, m)
 		}
 	}
 	sort.Strings(machines)
 	for _, m := range machines {
-		fmt.Fprintf(&b, "failure machine=%s count=%d\n",
-			strconv.Quote(m), s.machineFailures[m])
+		rec := s.machineFailures[m]
+		fmt.Fprintf(&b, "failure machine=%s count=%d last=%d\n",
+			strconv.Quote(m), rec.count, int64(rec.last))
 	}
 	for _, id := range s.order {
 		j := s.jobs[id]
@@ -507,7 +584,16 @@ func (s *Schedd) applySnapshot(data []byte) error {
 			if err != nil {
 				return err
 			}
-			s.machineFailures[m] = int(n)
+			rec := failureRecord{count: int(n)}
+			if _, ok := kv["last"]; ok { // absent in pre-expiry logs
+				last, err := parseInt64(kv, "last")
+				if err != nil {
+					return err
+				}
+				rec.last = sim.Time(last)
+			}
+			s.machineFailures[m] = rec
+			s.avoidedDirty = true
 		case "job":
 			if cur, err = s.snapshotJob(kv); err != nil {
 				return fmt.Errorf("line %d: %w", ln+1, err)
@@ -539,9 +625,11 @@ func (s *Schedd) snapshotJob(kv map[string]string) (*Job, error) {
 		return nil, err
 	}
 	j := s.jobs[JobID(id)]
-	if j.State, err = parseJobState(kv["state"]); err != nil {
+	st, err := parseJobState(kv["state"])
+	if err != nil {
 		return nil, err
 	}
+	s.setState(j, st)
 	ckpt, err := parseInt64(kv, "ckpt")
 	if err != nil {
 		return nil, err

@@ -1,0 +1,214 @@
+package experiments
+
+// The pool-scale throughput harness: full job lifecycles — submit,
+// negotiate, claim, shadow/starter execution, disposition — at
+// GridSim-like shapes, with the schedd throughput path (idle-job
+// index, journal group commit, shared ads) measured against the
+// pre-optimization reference arm (DisableScheddFastPath).  Wall-clock
+// timing is confined to this harness; the simulation itself never
+// reads the wall clock.  Every dual-arm shape is also a conformance
+// check: the two arms must produce byte-identical job dispositions,
+// or the speedup is disqualified — an optimization that widens any
+// error's scope or changes any outcome is a bug, not a win.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/pool"
+)
+
+// BenchPoolRow is one measured (shape, arm) pool run, the unit of
+// BENCH_pool.json.
+type BenchPoolRow struct {
+	// Shape names the pool geometry.
+	Shape    string `json:"shape"`
+	Machines int    `json:"machines"`
+	Jobs     int    `json:"jobs"`
+	// Arm is "optimized" (the default schedd) or "reference"
+	// (DisableScheddFastPath: O(queue) scans, one append per record,
+	// fixed compaction threshold, defensive ad copies).
+	Arm string `json:"arm"`
+	// WallMS is the end-to-end wall-clock time: pool construction,
+	// submission, and the run to the last disposition.
+	WallMS float64 `json:"wall_ms"`
+	// JobsPerSec is completed jobs per wall-clock second — the
+	// headline end-to-end throughput number.
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	// SimMinutes is the virtual time the workload needed.
+	SimMinutes float64 `json:"sim_minutes"`
+	Completed  int     `json:"completed"`
+	// Messages is total bus traffic for the run.
+	Messages uint64 `json:"messages"`
+	// JournalAppends/JournalCompactions expose the write-ahead
+	// journal's work.  The adaptive threshold collapses the
+	// compaction count; appends can be lower on the optimized arm
+	// because a batch that crosses the compaction threshold is folded
+	// into the snapshot instead of appended (the snapshot subsumes
+	// the already-applied records), never because a record was lost —
+	// the dual-arm disposition comparison is the referee for that.
+	JournalAppends     int `json:"journal_appends"`
+	JournalCompactions int `json:"journal_compactions"`
+	// SpeedupVsReference is set on optimized rows whose shape also
+	// ran the reference arm: reference wall time over optimized wall
+	// time.
+	SpeedupVsReference float64 `json:"speedup_vs_reference,omitempty"`
+}
+
+// poolShape is one benchmark geometry.
+type poolShape struct {
+	name     string
+	machines int
+	jobs     int
+	// bothArms runs the reference arm too.
+	bothArms bool
+}
+
+// benchPoolShapes are the published BENCH_pool.json geometries.
+// Every shape runs both arms so the largest shape always carries a
+// recorded pre-optimization baseline.  The reference arm's journal
+// re-serializes the whole queue every 64 transitions — O(queue²) work
+// over a run — so its wall time grows with the square of the job
+// count; the large shape is therefore machine-heavy (the full 10k
+// machines, one wave of jobs) rather than job-heavy.  The optimized
+// arm alone goes much further: see the xl capability run quoted in
+// BENCHMARKS.md (10240 machines, 102400 jobs).
+func benchPoolShapes() []poolShape {
+	return []poolShape{
+		{"small", 256, 1024, true},
+		{"medium", 1024, 8192, true},
+		{"large", 10240, 10240, true},
+	}
+}
+
+// runPoolShape drives one full workload through one pool and returns
+// the measured row plus the disposition trace for cross-arm
+// comparison.
+func runPoolShape(seed int64, shape poolShape, reference bool) (BenchPoolRow, string) {
+	params := daemon.DefaultParams()
+	params.DisableScheddFastPath = reference
+	arm := "optimized"
+	if reference {
+		arm = "reference"
+	}
+
+	start := time.Now()
+	p := pool.New(pool.Config{
+		Seed:     seed,
+		Params:   params,
+		Machines: pool.UniformMachines(shape.machines, 2048),
+	})
+	p.SubmitJava(shape.jobs, pool.UniformCompute(5*time.Minute))
+	simDur := p.Run(7 * 24 * time.Hour)
+	wall := time.Since(start)
+
+	m := p.Metrics()
+	row := BenchPoolRow{
+		Shape:              shape.name,
+		Machines:           shape.machines,
+		Jobs:               shape.jobs,
+		Arm:                arm,
+		WallMS:             float64(wall.Microseconds()) / 1e3,
+		SimMinutes:         simDur.Minutes(),
+		Completed:          m.Completed,
+		Messages:           m.MessagesSent,
+		JournalAppends:     p.Schedd.Journal().Appends(),
+		JournalCompactions: p.Schedd.Journal().Compactions(),
+	}
+	if wall > 0 {
+		row.JobsPerSec = float64(m.Completed) / wall.Seconds()
+	}
+	return row, poolDispositions(p)
+}
+
+// poolDispositions renders every job's full event log in a fixed
+// order — the byte-exact record of what the pool decided and when.
+func poolDispositions(p *pool.Pool) string {
+	var sb strings.Builder
+	for _, s := range p.Schedds {
+		for _, j := range s.Jobs() {
+			fmt.Fprintf(&sb, "== %s job %d %s\n", s.Name(), j.ID, j.State)
+			sb.WriteString(j.EventLog())
+		}
+	}
+	return sb.String()
+}
+
+// BenchPool measures end-to-end pool throughput at every published
+// shape and returns the rows plus a report.  Dual-arm shapes fail the
+// run if the arms' dispositions diverge by a byte.
+func BenchPool(seed int64) ([]BenchPoolRow, *Report, error) {
+	rep := &Report{
+		ID:    "bench-pool",
+		Title: "pool-scale throughput: full lifecycles, optimized vs reference schedd",
+		Headers: []string{"shape", "machines", "jobs", "arm", "wall ms",
+			"jobs/s", "appends", "compactions", "speedup"},
+	}
+	var rows []BenchPoolRow
+	for _, shape := range benchPoolShapes() {
+		var refRow BenchPoolRow
+		var refTrace string
+		if shape.bothArms {
+			refRow, refTrace = runPoolShape(seed, shape, true)
+			rows = append(rows, refRow)
+		}
+		optRow, optTrace := runPoolShape(seed, shape, false)
+		if optRow.Completed != shape.jobs {
+			return rows, rep, fmt.Errorf("shape %s: %d of %d jobs completed",
+				shape.name, optRow.Completed, shape.jobs)
+		}
+		if shape.bothArms {
+			if refTrace != optTrace {
+				return rows, rep, fmt.Errorf(
+					"shape %s: optimized and reference dispositions diverge", shape.name)
+			}
+			if optRow.WallMS > 0 {
+				optRow.SpeedupVsReference = refRow.WallMS / optRow.WallMS
+			}
+		}
+		rows = append(rows, optRow)
+	}
+	for _, r := range rows {
+		speedup := "-"
+		if r.SpeedupVsReference > 0 {
+			speedup = fmt.Sprintf("%.1fx", r.SpeedupVsReference)
+		}
+		rep.AddRow(r.Shape, fmt.Sprintf("%d", r.Machines), fmt.Sprintf("%d", r.Jobs),
+			r.Arm, fmt.Sprintf("%.0f", r.WallMS), fmt.Sprintf("%.0f", r.JobsPerSec),
+			fmt.Sprintf("%d", r.JournalAppends), fmt.Sprintf("%d", r.JournalCompactions),
+			speedup)
+	}
+	rep.AddNote("every shape byte-compared optimized vs reference dispositions: equal")
+	return rows, rep, nil
+}
+
+// PoolSmoke is the make-check gate: one small shape end to end in
+// both arms, dispositions compared byte for byte.  It keeps the
+// throughput work honest on every commit without the cost of the full
+// benchmark.
+func PoolSmoke(seed int64) (*Report, error) {
+	rep := &Report{
+		ID:      "pool-smoke",
+		Title:   "pool throughput smoke: small shape, optimized == reference",
+		Headers: []string{"shape", "arm", "jobs", "completed", "sim min", "dispositions"},
+	}
+	shape := poolShape{name: "smoke", machines: 64, jobs: 256, bothArms: true}
+	refRow, refTrace := runPoolShape(seed, shape, true)
+	optRow, optTrace := runPoolShape(seed, shape, false)
+	verdict := "equal"
+	var err error
+	if refTrace != optTrace {
+		verdict = "DIVERGED"
+		err = fmt.Errorf("pool-smoke: optimized and reference dispositions diverge")
+	}
+	if optRow.Completed != shape.jobs {
+		err = fmt.Errorf("pool-smoke: %d of %d jobs completed", optRow.Completed, shape.jobs)
+	}
+	for _, r := range []BenchPoolRow{refRow, optRow} {
+		rep.AddRow(shape.name, r.Arm, fmt.Sprintf("%d", r.Jobs),
+			fmt.Sprintf("%d", r.Completed), fmt.Sprintf("%.0f", r.SimMinutes), verdict)
+	}
+	return rep, err
+}

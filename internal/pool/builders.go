@@ -10,12 +10,21 @@ import (
 )
 
 // UniformMachines builds n healthy machines named c000..c(n-1), all
-// advertising working Java.
+// advertising working Java.  The zero-padding widens with n so names
+// stay in lexicographic order: the matchmaker keeps machines in a
+// name-sorted list, and in-order arrival makes every insert an append
+// instead of an O(n) mid-list shift — the difference between linear
+// and quadratic pool construction at 10k machines.  Pools of up to
+// 1000 machines keep the historic three-digit names.
 func UniformMachines(n int, memoryMB int64) []daemon.MachineConfig {
+	width := 3
+	for limit := 1000; n > limit; limit *= 10 {
+		width++
+	}
 	out := make([]daemon.MachineConfig, n)
 	for i := range out {
 		out[i] = daemon.MachineConfig{
-			Name:          fmt.Sprintf("c%03d", i),
+			Name:          fmt.Sprintf("c%0*d", width, i),
 			Memory:        memoryMB,
 			AdvertiseJava: true,
 		}

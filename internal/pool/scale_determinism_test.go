@@ -1,0 +1,75 @@
+package pool
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+)
+
+// run4kPool drives a pool-scale uniform workload — 4096 machines, one
+// full wave of jobs — through a complete lifecycle and returns the
+// disposition trace.  This is the shape where the throughput
+// optimizations (idle-job index, journal group commit, shared ads,
+// auto-clustered negotiation) all engage at once; the tests below pin
+// that none of them trades determinism for speed.
+func run4kPool(seed int64, referenceSchedd bool) string {
+	params := daemon.DefaultParams()
+	params.DisableScheddFastPath = referenceSchedd
+	p := New(Config{
+		Seed:     seed,
+		Params:   params,
+		Machines: UniformMachines(4096, 2048),
+	})
+	p.SubmitJava(4096, UniformCompute(5*time.Minute))
+	p.Run(24 * time.Hour)
+	return dispositionTrace(p)
+}
+
+// TestDeterminism4kMachinePool is the scale gate the bench-pool work
+// answers to: at 4096 machines, two seeds each run twice must produce
+// byte-identical event logs and dispositions, and every job must
+// reach a terminal state.
+func TestDeterminism4kMachinePool(t *testing.T) {
+	for _, seed := range []int64{5, 19} {
+		a := run4kPool(seed, false)
+		b := run4kPool(seed, false)
+		if a != b {
+			al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+			for i := range al {
+				if i >= len(bl) || al[i] != bl[i] {
+					t.Fatalf("seed %d: rerun diverged at line %d:\nA: %s\nB: %s",
+						seed, i, al[i], bl[min(i, len(bl)-1)])
+				}
+			}
+			t.Fatalf("seed %d: rerun diverged (length %d vs %d)", seed, len(al), len(bl))
+		}
+		completed := strings.Count(a, "completed")
+		if completed < 4096 {
+			t.Errorf("seed %d: %d of 4096 jobs completed", seed, completed)
+		}
+	}
+}
+
+// TestScheddFastPath4kMatchesReference compares the optimized schedd
+// (indexed queue, group-committed journal, shared ads) against the
+// pre-optimization reference arm at the 4k shape: the throughput work
+// must change no decision, so the traces are byte-identical.
+func TestScheddFastPath4kMatchesReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reference schedd arm at 4k machines is slow")
+	}
+	fast := run4kPool(5, false)
+	slow := run4kPool(5, true)
+	if fast != slow {
+		fl, sl := strings.Split(fast, "\n"), strings.Split(slow, "\n")
+		for i := range fl {
+			if i >= len(sl) || fl[i] != sl[i] {
+				t.Fatalf("schedd fast path diverged at line %d:\nfast: %s\nreference: %s",
+					i, fl[i], sl[min(i, len(sl)-1)])
+			}
+		}
+		t.Fatalf("schedd fast path diverged (length %d vs %d)", len(fl), len(sl))
+	}
+}

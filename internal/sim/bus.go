@@ -78,6 +78,58 @@ type Bus struct {
 	sent       uint64
 	lost       uint64
 	duplicated uint64
+
+	// freeDeliveries recycles in-flight delivery records, so a
+	// steady-state message costs no closure or capture allocation —
+	// the bus-side extension of the engine's event pool.
+	freeDeliveries []*delivery
+}
+
+// delivery is one scheduled message arrival.  The run field is bound
+// to deliver exactly once, when the record is first allocated, so
+// recycled deliveries schedule with zero new closures.
+type delivery struct {
+	bus *Bus
+	msg Message
+	run func()
+}
+
+func (b *Bus) getDelivery(m Message) *delivery {
+	if n := len(b.freeDeliveries); n > 0 {
+		d := b.freeDeliveries[n-1]
+		b.freeDeliveries[n-1] = nil
+		b.freeDeliveries = b.freeDeliveries[:n-1]
+		d.msg = m
+		return d
+	}
+	d := &delivery{bus: b, msg: m}
+	d.run = d.deliver
+	return d
+}
+
+// deliver hands the message to its target.  The record is recycled
+// before the actor runs, mirroring the engine's event recycling, so
+// sends made from inside Receive can reuse it immediately.
+func (d *delivery) deliver() {
+	b, m := d.bus, d.msg
+	d.msg = Message{} // drop the body reference while pooled
+	b.freeDeliveries = append(b.freeDeliveries, d)
+	a, ok := b.actors[m.To]
+	if !ok {
+		b.lost++
+		if b.Trace != nil {
+			b.Trace(m, false)
+		}
+		if b.Obs != nil {
+			b.Obs.Count("bus.lost", 1)
+		}
+		b.observe(m, obs.KindMsgLost)
+		return
+	}
+	if b.Trace != nil {
+		b.Trace(m, true)
+	}
+	a.Receive(m)
 }
 
 // NewBus creates a bus on the engine with constant latency.
@@ -187,28 +239,12 @@ func (b *Bus) Send(from, to, kind string, body any) {
 	}
 	b.observe(m, obs.KindMsg)
 	d := b.latency(from, to) + f.Delay
-	deliver := func() {
-		a, ok := b.actors[to]
-		if !ok {
-			b.lost++
-			if b.Trace != nil {
-				b.Trace(m, false)
-			}
-			if b.Obs != nil {
-				b.Obs.Count("bus.lost", 1)
-			}
-			b.observe(m, obs.KindMsgLost)
-			return
-		}
-		if b.Trace != nil {
-			b.Trace(m, true)
-		}
-		a.Receive(m)
-	}
-	b.eng.After(d, deliver)
+	b.eng.After(d, b.getDelivery(m).run)
 	for i := 0; i < f.Duplicates; i++ {
+		// Each copy needs its own record: a delivery recycles itself
+		// the moment it runs.
 		b.duplicated++
-		b.eng.After(d, deliver)
+		b.eng.After(d, b.getDelivery(m).run)
 	}
 }
 
