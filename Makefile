@@ -1,9 +1,5 @@
 GO ?= go
 
-# Packages whose protocols run on real goroutines and sockets; they
-# get the race detector.
-RACE_PKGS = ./internal/chirp/... ./internal/remoteio/... ./internal/live/... ./internal/faultinject/...
-
 .PHONY: check vet determinism-grep build test race cover journal-smoke fault-smoke fault-sweep pool-smoke bench bench-matchmaker bench-obs bench-pool trace
 
 ## check: the full gate — vet, the determinism grep, build, race-test
@@ -35,8 +31,11 @@ build:
 test:
 	$(GO) test ./...
 
+## race: the whole suite under the race detector.  The parallel engine
+## runs same-instant events on a worker pool, so every package — not
+## just the live socket paths — must be race-clean.
 race:
-	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race ./...
 
 ## cover: the whole suite with a per-package coverage summary, written
 ## to cover.txt.  The tracing layer is the regression suite's
@@ -73,9 +72,11 @@ fault-smoke:
 fault-sweep:
 	$(GO) run ./cmd/experiments -run fault-sweep
 
-## pool-smoke: one small pool shape end to end, optimized against the
-## pre-PR-5 reference schedd, dispositions compared byte for byte — the
-## gate that keeps the throughput work trace-equivalent.
+## pool-smoke: one small pool shape end to end in three arms — the
+## pre-PR-5 reference schedd, the optimized serial schedd, and the
+## parallel engine at workers>1 — dispositions compared byte for byte,
+## plus a golden-trace spot check of one fault cell on the parallel
+## engine.  The gate that keeps the throughput work trace-equivalent.
 pool-smoke:
 	$(GO) run ./cmd/experiments -run pool-smoke
 

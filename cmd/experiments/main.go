@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"github.com/errscope/grid/internal/experiments"
@@ -33,6 +34,8 @@ func main() {
 		seed     = flag.Int64("seed", 42, "simulation seed")
 		machines = flag.Int("machines", 20, "machines in pool experiments")
 		jobs     = flag.Int("jobs", 100, "jobs in pool experiments")
+		workers  = flag.Int("workers", runtime.GOMAXPROCS(0),
+			"engine workers for the parallel bench arm (<=1 disables it)")
 		benchOut = flag.String("bench-out", "BENCH_matchmaker.json",
 			"output path for bench-matchmaker rows")
 		benchObsOut = flag.String("bench-obs-out", "BENCH_obs.json",
@@ -114,7 +117,7 @@ func main() {
 			return rep, nil
 		}, "tracing overhead micro-benchmarks (writes BENCH_obs.json)"},
 		{"bench-pool", func() (*experiments.Report, error) {
-			rows, rep, err := experiments.BenchPool(*seed)
+			rows, rep, err := experiments.BenchPool(*seed, *workers)
 			if err != nil {
 				return rep, err
 			}
@@ -130,7 +133,7 @@ func main() {
 		}, "pool-scale end-to-end throughput (writes BENCH_pool.json)"},
 		{"pool-smoke", func() (*experiments.Report, error) {
 			return experiments.PoolSmoke(*seed)
-		}, "small-shape pool throughput smoke (optimized == reference gate)"},
+		}, "small-shape pool throughput smoke (reference == optimized == parallel gate)"},
 		{"fault-sweep", func() (*experiments.Report, error) {
 			return experiments.FaultSweep(*seed)
 		}, "fault-injection conformance: every error class at >= 3 sites"},

@@ -18,9 +18,15 @@ import (
 // build the caches eagerly, which also makes subsequent concurrent
 // read-only evaluation safe.
 type Ad struct {
-	names []string       // insertion order, original spelling
-	exprs []Expr         // parallel to names
-	index map[string]int // lower-case name -> slice position
+	names []string // insertion order, original spelling
+	lower []string // parallel to names, lower-cased
+	exprs []Expr   // parallel to names
+	// index maps lower-case name -> slice position, but is only
+	// materialized once the ad outgrows adIndexSmall attributes: the
+	// daemons build thousands of short-lived ~10-attribute ads per
+	// run, and for those a linear scan over interned strings beats a
+	// map's hashing and its construction cost.
+	index map[string]int
 
 	// version counts mutations; the memo caches below carry the
 	// version they were built at and are ignored once stale.
@@ -31,11 +37,37 @@ type Ad struct {
 	rank    *Compiled // compiled Rank; nil = attribute absent
 	tblVer  uint64
 	tbl     *AttrTable
+	strVer  uint64
+	str     string // memoized String rendering
 }
 
-// NewAd creates an empty ClassAd.
+// adIndexSmall is the attribute count up to which an ad resolves
+// names by linear scan instead of a map.
+const adIndexSmall = 16
+
+// NewAd creates an empty ClassAd.  The attribute slices are reserved
+// for a typical daemon ad up front, so building one pays three
+// allocations instead of a growth ladder per slice.
 func NewAd() *Ad {
-	return &Ad{index: make(map[string]int)}
+	return &Ad{
+		names: make([]string, 0, 8),
+		lower: make([]string, 0, 8),
+		exprs: make([]Expr, 0, 8),
+	}
+}
+
+// pos resolves an already lower-cased name to its slice position.
+func (a *Ad) pos(lower string) (int, bool) {
+	if a.index != nil {
+		i, ok := a.index[lower]
+		return i, ok
+	}
+	for i, l := range a.lower {
+		if l == lower {
+			return i, true
+		}
+	}
+	return 0, false
 }
 
 // Len returns the number of attributes.
@@ -53,12 +85,21 @@ func (a *Ad) Names() []string {
 func (a *Ad) Set(name string, e Expr) {
 	a.version++
 	key := strings.ToLower(name)
-	if i, ok := a.index[key]; ok {
+	if i, ok := a.pos(key); ok {
 		a.exprs[i] = e
 		return
 	}
-	a.index[key] = len(a.names)
+	if a.index != nil {
+		a.index[key] = len(a.names)
+	} else if len(a.names) >= adIndexSmall {
+		a.index = make(map[string]int, len(a.names)+1)
+		for i, l := range a.lower {
+			a.index[l] = i
+		}
+		a.index[key] = len(a.names)
+	}
 	a.names = append(a.names, name)
+	a.lower = append(a.lower, key)
 	a.exprs = append(a.exprs, e)
 }
 
@@ -100,7 +141,7 @@ func (a *Ad) Lookup(name string) (Expr, bool) {
 	if a == nil {
 		return nil, false
 	}
-	i, ok := a.index[strings.ToLower(name)]
+	i, ok := a.pos(strings.ToLower(name))
 	if !ok {
 		return nil, false
 	}
@@ -114,7 +155,7 @@ func (a *Ad) lookupLower(lower string) (Expr, bool) {
 	if a == nil {
 		return nil, false
 	}
-	i, ok := a.index[lower]
+	i, ok := a.pos(lower)
 	if !ok {
 		return nil, false
 	}
@@ -125,16 +166,19 @@ func (a *Ad) lookupLower(lower string) (Expr, bool) {
 func (a *Ad) Delete(name string) {
 	a.version++
 	key := strings.ToLower(name)
-	i, ok := a.index[key]
+	i, ok := a.pos(key)
 	if !ok {
 		return
 	}
 	a.names = append(a.names[:i], a.names[i+1:]...)
+	a.lower = append(a.lower[:i], a.lower[i+1:]...)
 	a.exprs = append(a.exprs[:i], a.exprs[i+1:]...)
-	delete(a.index, key)
-	for k, j := range a.index {
-		if j > i {
-			a.index[k] = j - 1
+	if a.index != nil {
+		delete(a.index, key)
+		for k, j := range a.index {
+			if j > i {
+				a.index[k] = j - 1
+			}
 		}
 	}
 }
@@ -145,8 +189,8 @@ func (a *Ad) Delete(name string) {
 func (a *Ad) Copy() *Ad {
 	cp := &Ad{
 		names: make([]string, len(a.names)),
+		lower: make([]string, len(a.lower)),
 		exprs: make([]Expr, len(a.exprs)),
-		index: make(map[string]int, len(a.index)),
 
 		version: a.version,
 		reqVer:  a.reqVer,
@@ -155,11 +199,17 @@ func (a *Ad) Copy() *Ad {
 		rank:    a.rank,
 		tblVer:  a.tblVer,
 		tbl:     a.tbl,
+		strVer:  a.strVer,
+		str:     a.str,
 	}
 	copy(cp.names, a.names)
+	copy(cp.lower, a.lower)
 	copy(cp.exprs, a.exprs)
-	for k, v := range a.index {
-		cp.index[k] = v
+	if a.index != nil {
+		cp.index = make(map[string]int, len(a.index))
+		for k, v := range a.index {
+			cp.index[k] = v
+		}
 	}
 	return cp
 }
@@ -202,6 +252,7 @@ func (a *Ad) Precompile() {
 	a.requirementsCompiled()
 	a.rankCompiled()
 	a.Table()
+	_ = a.String()
 }
 
 // requirementsCompiled returns the memoized compiled Requirements
@@ -238,18 +289,29 @@ func (a *Ad) rankCompiled() (*Compiled, bool) {
 	return a.rank, a.rank != nil
 }
 
-// String renders the ad in bracketed ClassAd syntax.
+// String renders the ad in bracketed ClassAd syntax.  The rendering
+// is memoized per version — journaling and match clustering both read
+// it on their hot paths — and Precompile fills it eagerly, so shared
+// precompiled ads stay read-only under concurrent String calls.
 func (a *Ad) String() string {
+	if a.strVer == a.version+1 {
+		return a.str
+	}
 	var sb strings.Builder
+	sb.Grow(16 + 24*len(a.names))
 	sb.WriteString("[ ")
 	for i, name := range a.names {
 		if i > 0 {
 			sb.WriteString("; ")
 		}
-		fmt.Fprintf(&sb, "%s = %s", name, a.exprs[i])
+		sb.WriteString(name)
+		sb.WriteString(" = ")
+		sb.WriteString(a.exprs[i].String())
 	}
 	sb.WriteString(" ]")
-	return sb.String()
+	a.str = sb.String()
+	a.strVer = a.version + 1
+	return a.str
 }
 
 // equalTo compares two ads structurally: same attribute set (by
@@ -261,17 +323,16 @@ func (a *Ad) equalTo(b *Ad) bool {
 	if len(a.names) != len(b.names) {
 		return false
 	}
-	akeys := make([]string, 0, len(a.index))
-	for k := range a.index {
-		akeys = append(akeys, k)
-	}
+	akeys := make([]string, len(a.lower))
+	copy(akeys, a.lower)
 	slices.Sort(akeys)
 	for _, k := range akeys {
-		bi, ok := b.index[k]
+		ai, _ := a.pos(k)
+		bi, ok := b.pos(k)
 		if !ok {
 			return false
 		}
-		if a.exprs[a.index[k]].String() != b.exprs[bi].String() {
+		if a.exprs[ai].String() != b.exprs[bi].String() {
 			return false
 		}
 	}

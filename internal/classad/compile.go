@@ -489,7 +489,7 @@ func (a *Ad) Table() *AttrTable {
 		Consts:  make(map[string]Value, len(a.exprs)),
 		Dynamic: make(map[string]bool),
 	}
-	for lower, i := range a.index {
+	for i, lower := range a.lower {
 		if lit, ok := a.exprs[i].(*literalExpr); ok {
 			t.Consts[lower] = lit.v
 		} else {

@@ -53,6 +53,16 @@ func (p *parser) describeTok() string {
 	}
 }
 
+// MustParseExpr is ParseExpr that panics on error; intended for
+// statically known expressions parsed once and shared across ads.
+func MustParseExpr(src string) Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
 // ParseExpr parses a single ClassAd expression and requires that the
 // whole input is consumed.
 func ParseExpr(src string) (Expr, error) {

@@ -111,6 +111,19 @@ type Job struct {
 	// Submitted and Finished bracket the job's queue residency.
 	Submitted sim.Time
 	Finished  sim.Time
+
+	// identEnc caches the journal encoding of the immutable identity
+	// fields (owner, universe, exe, ad, prog) — rendered once instead
+	// of per snapshot (see Job.identLine).
+	identEnc []byte
+	// attEnc/attEncN cache the journal encoding of frozen attempts:
+	// every attempt before the last, plus the last once it is closed
+	// and the job terminal.  applyFinal and normalizeJob only ever
+	// touch the open last attempt, so cached lines cannot go stale.
+	attEnc  []byte
+	attEncN int
+	// refName caches the schedd#id advertisement name.
+	refName string
 }
 
 // LastAttempt returns the most recent attempt, or nil.
@@ -134,6 +147,15 @@ func (j *Job) OutageTolerance() time.Duration {
 	return 0
 }
 
+// The constructor ads below bind these pre-parsed expressions instead
+// of re-parsing the same constant sources per job; Expr is immutable
+// after parsing, so one AST is safely shared by every ad.
+var (
+	javaJobRequirements   = classad.MustParseExpr("target.HasJava && target.Memory >= my.ImageSize")
+	memoryJobRequirements = classad.MustParseExpr("target.Memory >= my.ImageSize")
+	memoryRank            = classad.MustParseExpr("target.Memory")
+)
+
 // NewJavaJobAd builds the typical ad a Java Universe job submits:
 // image size, owner, and requirements that the target machine
 // advertise a working Java.
@@ -142,8 +164,8 @@ func NewJavaJobAd(owner string, imageSizeMB int64) *classad.Ad {
 	ad.SetString("Universe", "java")
 	ad.SetString("Owner", owner)
 	ad.SetInt("ImageSize", imageSizeMB)
-	ad.MustSetExpr("Requirements", "target.HasJava && target.Memory >= my.ImageSize")
-	ad.MustSetExpr("Rank", "target.Memory")
+	ad.Set("Requirements", javaJobRequirements)
+	ad.Set("Rank", memoryRank)
 	return ad
 }
 
@@ -155,8 +177,8 @@ func NewStandardJobAd(owner string, imageSizeMB int64) *classad.Ad {
 	ad.SetString("Universe", "standard")
 	ad.SetString("Owner", owner)
 	ad.SetInt("ImageSize", imageSizeMB)
-	ad.MustSetExpr("Requirements", "target.Memory >= my.ImageSize")
-	ad.MustSetExpr("Rank", "target.Memory")
+	ad.Set("Requirements", memoryJobRequirements)
+	ad.Set("Rank", memoryRank)
 	return ad
 }
 
@@ -168,7 +190,7 @@ func NewVanillaJobAd(owner string, imageSizeMB int64) *classad.Ad {
 	ad.SetString("Universe", "vanilla")
 	ad.SetString("Owner", owner)
 	ad.SetInt("ImageSize", imageSizeMB)
-	ad.MustSetExpr("Requirements", "target.Memory >= my.ImageSize")
-	ad.MustSetExpr("Rank", "target.Memory")
+	ad.Set("Requirements", memoryJobRequirements)
+	ad.Set("Rank", memoryRank)
 	return ad
 }

@@ -30,10 +30,17 @@ type Matchmaker struct {
 	machines     map[string]*machineEntry
 	machineNames []string  // sorted; the deterministic scan order
 	index        attrIndex // constant-attribute value index
+	// absentMachines counts expired entries still occupying the map,
+	// the name list, and the index; when they reach half the map the
+	// structures are rebuilt in one pass (see machineEntry.absent).
+	absentMachines int
 
 	jobs        map[jobKey]*jobEntry
 	ownerQueues map[string][]*jobEntry // per owner, sorted by (schedd, job)
 	ownerNames  []string               // owners with non-empty queues, name-sorted
+	// deadJobs counts tombstoned queue slots awaiting the per-cycle
+	// compaction (see jobEntry.dead).
+	deadJobs int
 
 	// clusters caches per-cycle candidate scans keyed by job-ad
 	// signature: jobs whose ads render identically are
@@ -80,6 +87,15 @@ type machineEntry struct {
 	table   *classad.AttrTable // snapshot backing the index entries
 	matched bool               // provisionally handed out this cycle
 	expires sim.Time           // ad lifetime; a silent machine vanishes
+	// absent marks an expired machine.  The entry stays in the sorted
+	// name list and the attribute index — scans skip it — because a
+	// machine that goes quiet while running a job re-advertises on
+	// completion, and physically removing and re-inserting it in every
+	// 10k-entry sorted bucket is O(pool) memmove per transition.  When
+	// absents reach half the map, one O(pool) rebuild reclaims them
+	// all, so removal is O(1) amortized and occupancy stays within 2x
+	// of the live pool.
+	absent bool
 }
 
 type jobKey struct {
@@ -104,6 +120,13 @@ type jobEntry struct {
 	// on the first fast-path cycle and invalidated when the ad
 	// content changes, so the reference path never pays for it.
 	sig string
+	// dead marks a withdrawn request still occupying its slot in the
+	// owner queue.  Removal tombstones instead of deleting because a
+	// single-owner workload keeps thousands of jobs in one sorted
+	// queue, and eager slices.Delete is O(queue) memmove per match;
+	// the negotiation cycle compacts every queue once before using it,
+	// so scans never observe a tombstone.
+	dead bool
 }
 
 // clusterEntry caches one auto-cluster's candidate scan for the
@@ -142,6 +165,7 @@ func jobOwner(key jobKey, ad *classad.Ad) string {
 // NewMatchmaker creates and registers the matchmaker on the bus and
 // starts its negotiation cycle.
 func NewMatchmaker(bus Runtime, params Params) *Matchmaker {
+	bus = affinity(bus, MatchmakerName)
 	m := &Matchmaker{
 		bus:         bus,
 		params:      params,
@@ -188,6 +212,12 @@ func (m *Matchmaker) upsertMachine(name string, ad *classad.Ad, expires sim.Time
 	if entry, ok := m.machines[name]; ok {
 		entry.expires = expires
 		entry.matched = false
+		if entry.absent {
+			// An expired machine came back before its slot was
+			// reclaimed: revive in place, no list or index motion.
+			entry.absent = false
+			m.absentMachines--
+		}
 		if entry.ad == ad {
 			// The startd re-sent the identical ad object (they cache
 			// theirs per state); nothing to re-index.
@@ -209,18 +239,45 @@ func (m *Matchmaker) upsertMachine(name string, ad *classad.Ad, expires sim.Time
 	m.index.add(entry)
 }
 
-// removeMachine drops a machine from the map, the sorted list, and
-// the attribute index.
+// removeMachine drops a machine: the entry is tombstoned where it
+// stands and the map, sorted list, and index are rebuilt in one pass
+// once tombstones reach half the map.  Scans skip absent entries, so
+// the machine is invisible immediately; only the memory lingers.
 func (m *Matchmaker) removeMachine(name string) {
 	entry, ok := m.machines[name]
-	if !ok {
+	if !ok || entry.absent {
 		return
 	}
-	delete(m.machines, name)
-	if pos, found := slices.BinarySearch(m.machineNames, name); found {
-		m.machineNames = slices.Delete(m.machineNames, pos, pos+1)
+	entry.absent = true
+	m.absentMachines++
+	if 2*m.absentMachines >= len(m.machines) {
+		m.compactMachines()
 	}
-	m.index.remove(entry)
+}
+
+// compactMachines reclaims every absent entry: the name list is
+// filtered in place and the attribute index rebuilt from the surviving
+// entries.  Adding machines in name order appends at the tail of every
+// bucket, so the rebuild is linear in surviving index entries.
+func (m *Matchmaker) compactMachines() {
+	kept := m.machineNames[:0]
+	for _, name := range m.machineNames {
+		e := m.machines[name]
+		if e.absent {
+			delete(m.machines, name)
+			continue
+		}
+		kept = append(kept, name)
+	}
+	for i := len(kept); i < cap(kept) && i < len(m.machineNames); i++ {
+		m.machineNames[i] = ""
+	}
+	m.machineNames = kept
+	m.index = newAttrIndex()
+	for _, name := range kept {
+		m.index.add(m.machines[name])
+	}
+	m.absentMachines = 0
 }
 
 // compareJobEntries orders jobs within an owner bucket by submission
@@ -272,29 +329,62 @@ func (m *Matchmaker) upsertJob(key jobKey, ad *classad.Ad) {
 		pos, _ := slices.BinarySearch(m.ownerNames, j.owner)
 		m.ownerNames = slices.Insert(m.ownerNames, pos, j.owner)
 	}
-	pos, _ := slices.BinarySearchFunc(q, j, compareJobEntries)
+	pos, found := slices.BinarySearchFunc(q, j, compareJobEntries)
+	if found && q[pos].dead {
+		// The same job was withdrawn and re-advertised within one
+		// cycle (failed claim); its tombstone sits exactly where the
+		// new entry sorts, so revive the slot instead of shifting the
+		// queue.  A live entry can never be found here — it would have
+		// matched in m.jobs above.
+		q[pos] = j
+		m.deadJobs--
+		return
+	}
 	m.ownerQueues[j.owner] = slices.Insert(q, pos, j)
 }
 
-// removeJob withdraws a job request, dropping empty owner buckets.
+// removeJob withdraws a job request.  The entry is tombstoned in its
+// queue slot — scans skip it, and the next cycle's compaction reclaims
+// it along with any owner bucket it leaves empty.
 func (m *Matchmaker) removeJob(key jobKey) {
 	j, ok := m.jobs[key]
 	if !ok {
 		return
 	}
 	delete(m.jobs, key)
-	q := m.ownerQueues[j.owner]
-	if pos, found := slices.BinarySearchFunc(q, j, compareJobEntries); found {
-		q = slices.Delete(q, pos, pos+1)
+	j.dead = true
+	m.deadJobs++
+}
+
+// compactJobQueues filters every owner queue in place, dropping
+// tombstones and the owners they empty.  Runs once per negotiation
+// cycle, before the queues are read, so the round-robin and the
+// expiry scan only ever see live entries in their original order.
+func (m *Matchmaker) compactJobQueues() {
+	if m.deadJobs == 0 {
+		return
 	}
-	if len(q) == 0 {
-		delete(m.ownerQueues, j.owner)
-		if pos, found := slices.BinarySearch(m.ownerNames, j.owner); found {
-			m.ownerNames = slices.Delete(m.ownerNames, pos, pos+1)
+	kept := m.ownerNames[:0]
+	for _, o := range m.ownerNames {
+		q := m.ownerQueues[o]
+		live := q[:0]
+		for _, j := range q {
+			if !j.dead {
+				live = append(live, j)
+			}
 		}
-	} else {
-		m.ownerQueues[j.owner] = q
+		for i := len(live); i < len(q); i++ {
+			q[i] = nil // release the tombstoned entries
+		}
+		if len(live) == 0 {
+			delete(m.ownerQueues, o)
+			continue
+		}
+		m.ownerQueues[o] = live
+		kept = append(kept, o)
 	}
+	m.ownerNames = kept
+	m.deadJobs = 0
 }
 
 // negotiate runs one matchmaking cycle: for each waiting job, in a
@@ -305,6 +395,7 @@ func (m *Matchmaker) negotiate() {
 	m.tr.Count("matchmaker.cycles", 1)
 	m.expireMachines()
 	m.expireJobs()
+	m.compactJobQueues()
 
 	// Fair share: owners are served in ascending order of accumulated
 	// matches, interleaved round-robin, so neither a busy submit
@@ -381,7 +472,7 @@ func (m *Matchmaker) expireMachines() {
 	now := m.bus.Now()
 	expired := m.nameScratch[:0]
 	for _, name := range m.machineNames {
-		if now > m.machines[name].expires {
+		if e := m.machines[name]; !e.absent && now > e.expires {
 			expired = append(expired, name)
 		}
 	}
@@ -409,7 +500,7 @@ func (m *Matchmaker) expireJobs() {
 	var expired []jobKey
 	for _, o := range m.ownerNames {
 		for _, j := range m.ownerQueues[o] {
-			if now > j.expires {
+			if !j.dead && now > j.expires {
 				expired = append(expired, j.key)
 			}
 		}
@@ -434,7 +525,7 @@ func (m *Matchmaker) findBest(j *jobEntry, fast bool) *machineEntry {
 		bestRank := 0.0
 		for _, name := range m.machineNames {
 			entry := m.machines[name]
-			if entry.matched || !classad.MatchSlow(j.ad, entry.ad) {
+			if entry.absent || entry.matched || !classad.MatchSlow(j.ad, entry.ad) {
 				continue
 			}
 			r := classad.RankSlow(j.ad, entry.ad)
@@ -481,6 +572,9 @@ func (m *Matchmaker) cluster(j *jobEntry) *clusterEntry {
 	c.ranked = c.ranked[:0]
 	m.ClusterScans++
 	for _, entry := range m.candidates(j) {
+		if entry.absent {
+			continue
+		}
 		if entry.matched {
 			// Handed out before this scan: invisible to findBest, but
 			// anyCompatible must still count it.
@@ -524,7 +618,7 @@ func (m *Matchmaker) cluster(j *jobEntry) *clusterEntry {
 func (m *Matchmaker) anyCompatible(j *jobEntry, fast bool) bool {
 	if !fast {
 		for _, name := range m.machineNames {
-			if classad.MatchSlow(j.ad, m.machines[name].ad) {
+			if e := m.machines[name]; !e.absent && classad.MatchSlow(j.ad, e.ad) {
 				return true
 			}
 		}
@@ -599,8 +693,9 @@ func (m *Matchmaker) AdvertiseJob(schedd string, job JobID, ad *classad.Ad) {
 	m.upsertJob(jobKey{schedd: schedd, job: job}, ad)
 }
 
-// MachineCount reports the machines currently advertised, for tests.
-func (m *Matchmaker) MachineCount() int { return len(m.machines) }
+// MachineCount reports the machines currently advertised (absent
+// entries awaiting reclamation excluded), for tests.
+func (m *Matchmaker) MachineCount() int { return len(m.machines) - m.absentMachines }
 
 // PendingJobs reports the job requests currently queued, for tests.
 func (m *Matchmaker) PendingJobs() int { return len(m.jobs) }

@@ -34,4 +34,22 @@ type Runtime interface {
 	Every(period time.Duration, fn func()) (stop func())
 }
 
-var _ Runtime = (*sim.Bus)(nil)
+var (
+	_ Runtime = (*sim.Bus)(nil)
+	_ Runtime = (*sim.ScopedBus)(nil)
+)
+
+// affinity returns a runtime scoped to the named actor when the
+// substrate supports shard affinity (the simulator's bus and its
+// scoped views), and the runtime unchanged otherwise (the live
+// runtime).  Scoping is what lets the parallel engine run daemons of
+// different shards concurrently within one virtual instant; on a
+// serial engine a scoped runtime behaves identically to the bus.
+func affinity(rt Runtime, owner string) Runtime {
+	if s, ok := rt.(interface {
+		Scoped(owner string) *sim.ScopedBus
+	}); ok {
+		return s.Scoped(owner)
+	}
+	return rt
+}

@@ -95,6 +95,12 @@ type Schedd struct {
 	walBuf      [][]byte
 	outbox      []pendingSend
 	commitArmed bool
+	// snapBuf is the reused snapshot assembly buffer; reportEnc and
+	// reportEncN cache the encoded prefix of Reports, which is
+	// append-only between recoveries.
+	snapBuf    []byte
+	reportEnc  []byte
+	reportEncN int
 	// crashed marks a schedd that is down; epoch invalidates timers
 	// (claim timeouts, requeue backoffs) armed before a crash.
 	crashed bool
@@ -133,6 +139,7 @@ type pendingSend struct {
 // NewSchedd creates, registers, and starts a schedd with its own
 // submit-side file system.
 func NewSchedd(bus Runtime, params Params, name string) *Schedd {
+	bus = affinity(bus, name)
 	s := &Schedd{
 		bus:             bus,
 		params:          params,
@@ -359,10 +366,19 @@ func (s *Schedd) send(to, kind string, body any) {
 	s.bus.Send(s.name, to, kind, body)
 }
 
+// jobRefName returns the job's advertisement name, rendered once and
+// cached on the job (it is advertised and withdrawn many times).
+func (s *Schedd) jobRefName(j *Job) string {
+	if j.refName == "" {
+		j.refName = s.name + "#" + strconv.Itoa(int(j.ID))
+	}
+	return j.refName
+}
+
 func (s *Schedd) advertiseJob(j *Job) {
 	s.send(MatchmakerName, kindAdvertise, advertiseMsg{
 		Kind:   "job",
-		Name:   fmt.Sprintf("%s#%d", s.name, j.ID),
+		Name:   s.jobRefName(j),
 		Schedd: s.name,
 		Job:    j.ID,
 		Ad:     s.effectiveAd(j),
@@ -374,7 +390,7 @@ func (s *Schedd) advertiseJob(j *Job) {
 func (s *Schedd) withdrawJob(j *Job) {
 	s.send(MatchmakerName, kindAdvertise, advertiseMsg{
 		Kind:   "job",
-		Name:   fmt.Sprintf("%s#%d", s.name, j.ID),
+		Name:   s.jobRefName(j),
 		Schedd: s.name,
 		Job:    j.ID,
 		Ad:     nil,

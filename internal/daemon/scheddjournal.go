@@ -52,7 +52,7 @@ func (s *Schedd) Crashed() bool { return s.crashed }
 // immediately; the fast path buffers the record into the open batch
 // and schedules the group commit for the end of the current instant,
 // deferring every outgoing send behind it (see commitWAL).
-func (s *Schedd) journalAppend(rec string) {
+func (s *Schedd) journalAppend(rec []byte) {
 	if !s.fast {
 		// Compaction runs before the append: every record already in
 		// the log has been applied to the queue, so the snapshot of
@@ -62,11 +62,11 @@ func (s *Schedd) journalAppend(rec string) {
 			s.wal.Compact(s.snapshot(), nil)
 			s.walAppends = 0
 		}
-		s.wal.Append([]byte(rec))
+		s.wal.Append(rec)
 		s.walAppends++
 		return
 	}
-	s.walBuf = append(s.walBuf, []byte(rec))
+	s.walBuf = append(s.walBuf, rec)
 	if !s.commitArmed {
 		s.commitArmed = true
 		epoch := s.epoch
@@ -83,8 +83,11 @@ func (s *Schedd) journalAppend(rec string) {
 // threshold makes a big pool re-serialize its whole queue every 64
 // transitions — O(queue²) journal work over a run — while a
 // proportional one keeps compaction amortized O(1) per transition.
+// The multiplier trades recovery replay length against snapshot
+// traffic; at 4x the run-long journal cost stays O(1) per transition
+// with half the 2x multiplier's snapshot bytes.
 func (s *Schedd) compactEvery() int {
-	if n := 2 * len(s.jobs); n > walCompactEvery {
+	if n := 4 * len(s.jobs); n > walCompactEvery {
 		return n
 	}
 	return walCompactEvery
@@ -190,6 +193,7 @@ func (s *Schedd) Recover(from *journal.Journal) error {
 	s.idleOrder, s.idleStale, s.nonTerminal = nil, 0, 0
 	s.idlePos = make(map[JobID]int)
 	s.Reports = nil
+	s.reportEnc, s.reportEncN = s.reportEnc[:0], 0
 	s.Requeues = 0
 	s.MatchesReceived, s.MatchesDeclined, s.ClaimsFailed = 0, 0, 0
 
@@ -273,41 +277,100 @@ func shadowDiedErr(schedd string) *scope.Error {
 
 // --- record encoding -------------------------------------------------
 
-func recSubmit(j *Job) string {
-	ad := ""
-	if j.Ad != nil {
-		ad = j.Ad.String()
+// identLine returns — building it on first use — the encoding of the
+// job's immutable identity fields, shared by the submit record and
+// every snapshot line: "owner=.. universe=.. exe=.. ad=.. prog=..".
+// Owner, Universe, Executable, Ad, and Program never change after
+// submission (recovery builds a fresh Job), so the rendered ad and the
+// quoting work are paid once per job instead of once per snapshot.
+func (j *Job) identLine() []byte {
+	if j.identEnc == nil {
+		ad := ""
+		if j.Ad != nil {
+			ad = j.Ad.String()
+		}
+		b := append(make([]byte, 0, 96+len(ad)), "owner="...)
+		b = scope.AppendQuote(b, j.Owner)
+		b = append(b, " universe="...)
+		b = scope.AppendQuote(b, j.Universe)
+		b = append(b, " exe="...)
+		b = scope.AppendQuote(b, j.Executable)
+		b = append(b, " ad="...)
+		b = scope.AppendQuote(b, ad)
+		b = append(b, " prog="...)
+		b = scope.AppendQuote(b, jvm.EncodeProgram(j.Program))
+		j.identEnc = b
 	}
-	return fmt.Sprintf("op=submit id=%d at=%d owner=%s universe=%s exe=%s ad=%s prog=%s",
-		j.ID, int64(j.Submitted), strconv.Quote(j.Owner), strconv.Quote(j.Universe),
-		strconv.Quote(j.Executable), strconv.Quote(ad),
-		strconv.Quote(jvm.EncodeProgram(j.Program)))
+	return j.identEnc
 }
 
-func recMatch(id JobID, at sim.Time, machine string) string {
-	return fmt.Sprintf("op=match id=%d at=%d machine=%s",
-		id, int64(at), strconv.Quote(machine))
+func recSubmit(j *Job) []byte {
+	ident := j.identLine()
+	b := append(make([]byte, 0, 40+len(ident)), "op=submit id="...)
+	b = strconv.AppendInt(b, int64(j.ID), 10)
+	b = append(b, " at="...)
+	b = strconv.AppendInt(b, int64(j.Submitted), 10)
+	b = append(b, ' ')
+	b = append(b, ident...)
+	return b
 }
 
-func recExec(id JobID, at sim.Time, machine string) string {
-	return fmt.Sprintf("op=exec id=%d at=%d machine=%s",
-		id, int64(at), strconv.Quote(machine))
+func recMachineOp(op string, id JobID, at sim.Time, machine string) []byte {
+	b := append(make([]byte, 0, 48+len(machine)), "op="...)
+	b = append(b, op...)
+	b = append(b, " id="...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, " at="...)
+	b = strconv.AppendInt(b, int64(at), 10)
+	b = append(b, " machine="...)
+	b = scope.AppendQuote(b, machine)
+	return b
+}
+
+func recMatch(id JobID, at sim.Time, machine string) []byte {
+	return recMachineOp("match", id, at, machine)
+}
+
+func recExec(id JobID, at sim.Time, machine string) []byte {
+	return recMachineOp("exec", id, at, machine)
 }
 
 // recEvent covers the transitions that carry no payload beyond the
 // job and the instant: claim-timeout, claim-denied, relax, recover.
-func recEvent(op string, id JobID, at sim.Time) string {
-	return fmt.Sprintf("op=%s id=%d at=%d", op, id, int64(at))
+func recEvent(op string, id JobID, at sim.Time) []byte {
+	b := append(make([]byte, 0, 40), "op="...)
+	b = append(b, op...)
+	b = append(b, " id="...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, " at="...)
+	b = strconv.AppendInt(b, int64(at), 10)
+	return b
 }
 
-func recFinal(f jobFinalMsg, at sim.Time) string {
-	return fmt.Sprintf("op=final id=%d at=%d machine=%s cpu=%d ckpt=%d evicted=%t hold=%t fetch=%s lost=%s rep=%s tru=%s",
-		f.Job, int64(at), strconv.Quote(f.Machine), int64(f.CPU), int64(f.CheckpointCPU),
-		f.Evicted, f.Hold,
-		strconv.Quote(encodeScopedErr(f.FetchError)),
-		strconv.Quote(encodeScopedErr(f.LostContact)),
-		strconv.Quote(f.Reported.EncodeString()),
-		strconv.Quote(f.True.EncodeString()))
+func recFinal(f jobFinalMsg, at sim.Time) []byte {
+	b := append(make([]byte, 0, 256), "op=final id="...)
+	b = strconv.AppendInt(b, int64(f.Job), 10)
+	b = append(b, " at="...)
+	b = strconv.AppendInt(b, int64(at), 10)
+	b = append(b, " machine="...)
+	b = scope.AppendQuote(b, f.Machine)
+	b = append(b, " cpu="...)
+	b = strconv.AppendInt(b, int64(f.CPU), 10)
+	b = append(b, " ckpt="...)
+	b = strconv.AppendInt(b, int64(f.CheckpointCPU), 10)
+	b = append(b, " evicted="...)
+	b = strconv.AppendBool(b, f.Evicted)
+	b = append(b, " hold="...)
+	b = strconv.AppendBool(b, f.Hold)
+	b = append(b, " fetch="...)
+	b = scope.AppendQuote(b, encodeScopedErr(f.FetchError))
+	b = append(b, " lost="...)
+	b = scope.AppendQuote(b, encodeScopedErr(f.LostContact))
+	b = append(b, " rep="...)
+	b = scope.AppendQuote(b, f.Reported.EncodeString())
+	b = append(b, " tru="...)
+	b = scope.AppendQuote(b, f.True.EncodeString())
+	return b
 }
 
 // encodeScopedErr flattens an error for the journal.  The cause chain
@@ -497,11 +560,28 @@ func decodeFinal(id JobID, kv map[string]string) (jobFinalMsg, error) {
 
 // snapshot serializes the whole queue: one header line, the
 // chronic-failure table, then per job its attempts, then the user
-// reports.  Line order is the replay order.
+// reports.  Line order is the replay order.  The assembly buffer is
+// reused across snapshots and the immutable pieces — job identity
+// lines, frozen attempts, already-written reports — come from caches,
+// so each compaction pays only for the state that changed since the
+// last one.  The returned slice aliases the reused buffer; callers
+// (journal framing) copy it before the next snapshot.
 func (s *Schedd) snapshot() []byte {
-	var b strings.Builder
-	fmt.Fprintf(&b, "schedd nextID=%d requeues=%d recoveries=%d\n",
-		s.nextID, s.Requeues, s.Recoveries)
+	if cap(s.snapBuf) < 256*len(s.jobs) {
+		// First snapshot at this queue size: reserve roughly a full
+		// serialization up front so the build doubles a handful of
+		// times instead of re-copying megabytes under append's damped
+		// growth factor.
+		s.snapBuf = make([]byte, 0, 256*len(s.jobs))
+	}
+	b := s.snapBuf[:0]
+	b = append(b, "schedd nextID="...)
+	b = strconv.AppendInt(b, int64(s.nextID), 10)
+	b = append(b, " requeues="...)
+	b = strconv.AppendInt(b, int64(s.Requeues), 10)
+	b = append(b, " recoveries="...)
+	b = strconv.AppendInt(b, int64(s.Recoveries), 10)
+	b = append(b, '\n')
 	machines := make([]string, 0, len(s.machineFailures))
 	for m, rec := range s.machineFailures {
 		if rec.count != 0 {
@@ -511,40 +591,103 @@ func (s *Schedd) snapshot() []byte {
 	sort.Strings(machines)
 	for _, m := range machines {
 		rec := s.machineFailures[m]
-		fmt.Fprintf(&b, "failure machine=%s count=%d last=%d\n",
-			strconv.Quote(m), rec.count, int64(rec.last))
+		b = append(b, "failure machine="...)
+		b = scope.AppendQuote(b, m)
+		b = append(b, " count="...)
+		b = strconv.AppendInt(b, int64(rec.count), 10)
+		b = append(b, " last="...)
+		b = strconv.AppendInt(b, int64(rec.last), 10)
+		b = append(b, '\n')
 	}
 	for _, id := range s.order {
 		j := s.jobs[id]
-		ad := ""
-		if j.Ad != nil {
-			ad = j.Ad.String()
-		}
-		fmt.Fprintf(&b, "job id=%d owner=%s universe=%s exe=%s ad=%s prog=%s state=%s ckpt=%d relaxed=%t submitted=%d finished=%d finalerr=%s\n",
-			j.ID, strconv.Quote(j.Owner), strconv.Quote(j.Universe),
-			strconv.Quote(j.Executable), strconv.Quote(ad),
-			strconv.Quote(jvm.EncodeProgram(j.Program)),
-			j.State, int64(j.CheckpointCPU), j.avoidanceRelaxed,
-			int64(j.Submitted), int64(j.Finished),
-			strconv.Quote(encodeScopedErr(j.FinalErr)))
-		for i := range j.Attempts {
-			a := &j.Attempts[i]
-			fmt.Fprintf(&b, "attempt id=%d machine=%s start=%d end=%d cpu=%d evicted=%t fetch=%s lost=%s rep=%s tru=%s\n",
-				j.ID, strconv.Quote(a.Machine), int64(a.Start), int64(a.End),
-				int64(a.CPU), a.Evicted,
-				strconv.Quote(encodeScopedErr(a.FetchError)),
-				strconv.Quote(encodeScopedErr(a.LostContact)),
-				strconv.Quote(a.Reported.EncodeString()),
-				strconv.Quote(a.True.EncodeString()))
-		}
+		b = append(b, "job id="...)
+		b = strconv.AppendInt(b, int64(j.ID), 10)
+		b = append(b, ' ')
+		b = append(b, j.identLine()...)
+		b = append(b, " state="...)
+		b = append(b, j.State.String()...)
+		b = append(b, " ckpt="...)
+		b = strconv.AppendInt(b, int64(j.CheckpointCPU), 10)
+		b = append(b, " relaxed="...)
+		b = strconv.AppendBool(b, j.avoidanceRelaxed)
+		b = append(b, " submitted="...)
+		b = strconv.AppendInt(b, int64(j.Submitted), 10)
+		b = append(b, " finished="...)
+		b = strconv.AppendInt(b, int64(j.Finished), 10)
+		b = append(b, " finalerr="...)
+		b = scope.AppendQuote(b, encodeScopedErr(j.FinalErr))
+		b = append(b, '\n')
+		b = j.appendAttempts(b)
 	}
-	for _, r := range s.Reports {
-		fmt.Fprintf(&b, "report job=%d disp=%s result=%s err=%s leak=%t\n",
-			r.Job, r.Disposition,
-			strconv.Quote(r.Result.EncodeString()),
-			strconv.Quote(encodeScopedErr(r.Err)), r.IncidentalLeak)
+	if s.reportEncN > len(s.Reports) {
+		// Reports were reset (recovery rebuilds them); re-encode.
+		s.reportEnc, s.reportEncN = s.reportEnc[:0], 0
 	}
-	return []byte(b.String())
+	for ; s.reportEncN < len(s.Reports); s.reportEncN++ {
+		s.reportEnc = appendReport(s.reportEnc, &s.Reports[s.reportEncN])
+	}
+	b = append(b, s.reportEnc...)
+	s.snapBuf = b
+	return b
+}
+
+// appendAttempts writes the job's attempt lines: the frozen prefix
+// from the cache, the still-mutable tail fresh.  An attempt freezes
+// when a later attempt exists (applyFinal and normalizeJob only touch
+// the last), or when it is closed and the job is terminal.
+func (j *Job) appendAttempts(b []byte) []byte {
+	for j.attEncN < len(j.Attempts) {
+		a := &j.Attempts[j.attEncN]
+		if j.attEncN == len(j.Attempts)-1 && !(a.End != 0 && j.State.Terminal()) {
+			break
+		}
+		j.attEnc = appendAttempt(j.attEnc, j.ID, a)
+		j.attEncN++
+	}
+	b = append(b, j.attEnc...)
+	for i := j.attEncN; i < len(j.Attempts); i++ {
+		b = appendAttempt(b, j.ID, &j.Attempts[i])
+	}
+	return b
+}
+
+func appendAttempt(b []byte, id JobID, a *Attempt) []byte {
+	b = append(b, "attempt id="...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, " machine="...)
+	b = scope.AppendQuote(b, a.Machine)
+	b = append(b, " start="...)
+	b = strconv.AppendInt(b, int64(a.Start), 10)
+	b = append(b, " end="...)
+	b = strconv.AppendInt(b, int64(a.End), 10)
+	b = append(b, " cpu="...)
+	b = strconv.AppendInt(b, int64(a.CPU), 10)
+	b = append(b, " evicted="...)
+	b = strconv.AppendBool(b, a.Evicted)
+	b = append(b, " fetch="...)
+	b = scope.AppendQuote(b, encodeScopedErr(a.FetchError))
+	b = append(b, " lost="...)
+	b = scope.AppendQuote(b, encodeScopedErr(a.LostContact))
+	b = append(b, " rep="...)
+	b = scope.AppendQuote(b, a.Reported.EncodeString())
+	b = append(b, " tru="...)
+	b = scope.AppendQuote(b, a.True.EncodeString())
+	return append(b, '\n')
+}
+
+func appendReport(b []byte, r *UserReport) []byte {
+	b = append(b, "report job="...)
+	b = strconv.AppendInt(b, int64(r.Job), 10)
+	b = append(b, " disp="...)
+	b = append(b, r.Disposition.String()...)
+	b = append(b, " result="...)
+	b = scope.AppendQuote(b, r.Result.EncodeString())
+	b = append(b, " err="...)
+	b = scope.AppendQuote(b, encodeScopedErr(r.Err))
+	b = append(b, " leak="...)
+	b = strconv.AppendBool(b, r.IncidentalLeak)
+	return append(b, '\n')
 }
 
 func (s *Schedd) applySnapshot(data []byte) error {

@@ -50,6 +50,7 @@ type Shadow struct {
 
 // newShadow creates and registers the per-job shadow.
 func newShadow(bus Runtime, params Params, name, schedd string, job *Job, submitFS *vfs.FileSystem, machine string) *Shadow {
+	bus = affinity(bus, name)
 	sh := &Shadow{
 		bus:            bus,
 		params:         params,

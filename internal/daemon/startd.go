@@ -117,6 +117,7 @@ func NewStartd(bus Runtime, params Params, cfg MachineConfig) *Startd {
 	if cfg.Memory == 0 {
 		cfg.Memory = 1024
 	}
+	bus = affinity(bus, cfg.Name)
 	s := &Startd{
 		bus:     bus,
 		params:  params,

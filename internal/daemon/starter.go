@@ -44,6 +44,7 @@ type Starter struct {
 }
 
 func newStarter(bus Runtime, params Params, name string, startd *Startd, job JobID, shadow string) *Starter {
+	bus = affinity(bus, name)
 	scratch := vfs.New()
 	if startd.cfg.ScratchPrep != nil {
 		startd.cfg.ScratchPrep(scratch)

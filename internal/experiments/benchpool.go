@@ -13,6 +13,8 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
@@ -27,10 +29,21 @@ type BenchPoolRow struct {
 	Shape    string `json:"shape"`
 	Machines int    `json:"machines"`
 	Jobs     int    `json:"jobs"`
-	// Arm is "optimized" (the default schedd) or "reference"
-	// (DisableScheddFastPath: O(queue) scans, one append per record,
-	// fixed compaction threshold, defensive ad copies).
+	// Arm is "optimized" (the default schedd, serial engine),
+	// "reference" (DisableScheddFastPath: O(queue) scans, one append
+	// per record, fixed compaction threshold, defensive ad copies), or
+	// "parallel" (the default schedd on the sharded engine).
 	Arm string `json:"arm"`
+	// Workers is the engine's intra-instant concurrency for the run (1
+	// means serial); GOMAXPROCS records the host parallelism actually
+	// available, so the perf trajectory distinguishes algorithmic wins
+	// from hardware.
+	Workers    int `json:"workers"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+	// GCPercent is the collector setting for the timed region; -1
+	// means the run was timed with GC deferred (batch discipline, heap
+	// collected between runs), the same for every arm.
+	GCPercent int `json:"gc_percent"`
 	// WallMS is the end-to-end wall-clock time: pool construction,
 	// submission, and the run to the last disposition.
 	WallMS float64 `json:"wall_ms"`
@@ -55,6 +68,9 @@ type BenchPoolRow struct {
 	// ran the reference arm: reference wall time over optimized wall
 	// time.
 	SpeedupVsReference float64 `json:"speedup_vs_reference,omitempty"`
+	// SpeedupVsOptimized is set on parallel rows: the serial optimized
+	// arm's wall time over the parallel arm's.
+	SpeedupVsOptimized float64 `json:"speedup_vs_optimized,omitempty"`
 }
 
 // poolShape is one benchmark geometry.
@@ -85,24 +101,41 @@ func benchPoolShapes() []poolShape {
 
 // runPoolShape drives one full workload through one pool and returns
 // the measured row plus the disposition trace for cross-arm
-// comparison.
-func runPoolShape(seed int64, shape poolShape, reference bool) (BenchPoolRow, string) {
+// comparison.  workers > 1 selects the parallel engine.
+func runPoolShape(seed int64, shape poolShape, reference bool, workers int) (BenchPoolRow, string) {
 	params := daemon.DefaultParams()
 	params.DisableScheddFastPath = reference
 	arm := "optimized"
-	if reference {
+	switch {
+	case reference:
 		arm = "reference"
+	case workers > 1:
+		arm = "parallel"
+	}
+	if workers < 1 {
+		workers = 1
 	}
 
+	// The timed region runs with the collector deferred — the batch
+	// discipline for short bounded runs.  One pool run allocates a few
+	// hundred megabytes at the largest published shape, the heap is
+	// collected between runs so no arm inherits a predecessor's
+	// garbage, and the policy is identical for every arm, so cross-arm
+	// ratios measure the scheduling pipeline rather than collector
+	// pacing.  Each row records the setting.
+	prevGC := debug.SetGCPercent(-1)
 	start := time.Now()
 	p := pool.New(pool.Config{
 		Seed:     seed,
 		Params:   params,
 		Machines: pool.UniformMachines(shape.machines, 2048),
+		Workers:  workers,
 	})
 	p.SubmitJava(shape.jobs, pool.UniformCompute(5*time.Minute))
 	simDur := p.Run(7 * 24 * time.Hour)
 	wall := time.Since(start)
+	debug.SetGCPercent(prevGC)
+	runtime.GC()
 
 	m := p.Metrics()
 	row := BenchPoolRow{
@@ -110,6 +143,9 @@ func runPoolShape(seed int64, shape poolShape, reference bool) (BenchPoolRow, st
 		Machines:           shape.machines,
 		Jobs:               shape.jobs,
 		Arm:                arm,
+		Workers:            workers,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		GCPercent:          -1,
 		WallMS:             float64(wall.Microseconds()) / 1e3,
 		SimMinutes:         simDur.Minutes(),
 		Completed:          m.Completed,
@@ -137,13 +173,21 @@ func poolDispositions(p *pool.Pool) string {
 }
 
 // BenchPool measures end-to-end pool throughput at every published
-// shape and returns the rows plus a report.  Dual-arm shapes fail the
-// run if the arms' dispositions diverge by a byte.
-func BenchPool(seed int64) ([]BenchPoolRow, *Report, error) {
+// shape and returns the rows plus a report.  Every shape runs three
+// arms — reference, optimized (serial), parallel (workers-sharded
+// engine) — and fails the run if any two arms' dispositions diverge
+// by a byte.
+func BenchPool(seed int64, workers int) ([]BenchPoolRow, *Report, error) {
+	if workers < 2 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 2 {
+			workers = 2
+		}
+	}
 	rep := &Report{
 		ID:    "bench-pool",
-		Title: "pool-scale throughput: full lifecycles, optimized vs reference schedd",
-		Headers: []string{"shape", "machines", "jobs", "arm", "wall ms",
+		Title: "pool-scale throughput: full lifecycles, reference vs optimized vs parallel",
+		Headers: []string{"shape", "machines", "jobs", "arm", "workers", "wall ms",
 			"jobs/s", "appends", "compactions", "speedup"},
 	}
 	var rows []BenchPoolRow
@@ -151,10 +195,10 @@ func BenchPool(seed int64) ([]BenchPoolRow, *Report, error) {
 		var refRow BenchPoolRow
 		var refTrace string
 		if shape.bothArms {
-			refRow, refTrace = runPoolShape(seed, shape, true)
+			refRow, refTrace = runPoolShape(seed, shape, true, 1)
 			rows = append(rows, refRow)
 		}
-		optRow, optTrace := runPoolShape(seed, shape, false)
+		optRow, optTrace := runPoolShape(seed, shape, false, 1)
 		if optRow.Completed != shape.jobs {
 			return rows, rep, fmt.Errorf("shape %s: %d of %d jobs completed",
 				shape.name, optRow.Completed, shape.jobs)
@@ -169,46 +213,91 @@ func BenchPool(seed int64) ([]BenchPoolRow, *Report, error) {
 			}
 		}
 		rows = append(rows, optRow)
+		parRow, parTrace := runPoolShape(seed, shape, false, workers)
+		if parTrace != optTrace {
+			return rows, rep, fmt.Errorf(
+				"shape %s: parallel and serial dispositions diverge", shape.name)
+		}
+		if parRow.WallMS > 0 {
+			parRow.SpeedupVsOptimized = optRow.WallMS / parRow.WallMS
+			if refRow.WallMS > 0 {
+				parRow.SpeedupVsReference = refRow.WallMS / parRow.WallMS
+			}
+		}
+		rows = append(rows, parRow)
 	}
 	for _, r := range rows {
 		speedup := "-"
-		if r.SpeedupVsReference > 0 {
+		switch {
+		case r.SpeedupVsOptimized > 0:
+			speedup = fmt.Sprintf("%.1fx vs opt", r.SpeedupVsOptimized)
+		case r.SpeedupVsReference > 0:
 			speedup = fmt.Sprintf("%.1fx", r.SpeedupVsReference)
 		}
 		rep.AddRow(r.Shape, fmt.Sprintf("%d", r.Machines), fmt.Sprintf("%d", r.Jobs),
-			r.Arm, fmt.Sprintf("%.0f", r.WallMS), fmt.Sprintf("%.0f", r.JobsPerSec),
+			r.Arm, fmt.Sprintf("%d", r.Workers),
+			fmt.Sprintf("%.0f", r.WallMS), fmt.Sprintf("%.0f", r.JobsPerSec),
 			fmt.Sprintf("%d", r.JournalAppends), fmt.Sprintf("%d", r.JournalCompactions),
 			speedup)
 	}
-	rep.AddNote("every shape byte-compared optimized vs reference dispositions: equal")
+	rep.AddNote("every shape byte-compared dispositions across all arms: equal")
+	rep.AddNote("GOMAXPROCS=%d", runtime.GOMAXPROCS(0))
+	rep.AddNote("timed regions run with GC deferred (SetGCPercent(-1)); heap collected between runs; identical policy for all arms")
 	return rows, rep, nil
 }
 
 // PoolSmoke is the make-check gate: one small shape end to end in
-// both arms, dispositions compared byte for byte.  It keeps the
-// throughput work honest on every commit without the cost of the full
-// benchmark.
+// three arms — reference, optimized, and the parallel engine at
+// workers > 1 — with dispositions compared byte for byte, plus a
+// golden-trace spot check of one canonical fault cell on the parallel
+// engine.  It keeps the throughput work honest on every commit
+// without the cost of the full benchmark.
 func PoolSmoke(seed int64) (*Report, error) {
 	rep := &Report{
 		ID:      "pool-smoke",
-		Title:   "pool throughput smoke: small shape, optimized == reference",
-		Headers: []string{"shape", "arm", "jobs", "completed", "sim min", "dispositions"},
+		Title:   "pool throughput smoke: small shape, reference == optimized == parallel",
+		Headers: []string{"shape", "arm", "workers", "jobs", "completed", "sim min", "dispositions"},
 	}
+	const smokeWorkers = 4
 	shape := poolShape{name: "smoke", machines: 64, jobs: 256, bothArms: true}
-	refRow, refTrace := runPoolShape(seed, shape, true)
-	optRow, optTrace := runPoolShape(seed, shape, false)
+	refRow, refTrace := runPoolShape(seed, shape, true, 1)
+	optRow, optTrace := runPoolShape(seed, shape, false, 1)
+	parRow, parTrace := runPoolShape(seed, shape, false, smokeWorkers)
 	verdict := "equal"
 	var err error
 	if refTrace != optTrace {
 		verdict = "DIVERGED"
 		err = fmt.Errorf("pool-smoke: optimized and reference dispositions diverge")
 	}
+	if parTrace != optTrace {
+		verdict = "DIVERGED"
+		err = fmt.Errorf("pool-smoke: parallel and serial dispositions diverge")
+	}
 	if optRow.Completed != shape.jobs {
 		err = fmt.Errorf("pool-smoke: %d of %d jobs completed", optRow.Completed, shape.jobs)
 	}
-	for _, r := range []BenchPoolRow{refRow, optRow} {
-		rep.AddRow(shape.name, r.Arm, fmt.Sprintf("%d", r.Jobs),
+	for _, r := range []BenchPoolRow{refRow, optRow, parRow} {
+		rep.AddRow(shape.name, r.Arm, fmt.Sprintf("%d", r.Workers), fmt.Sprintf("%d", r.Jobs),
 			fmt.Sprintf("%d", r.Completed), fmt.Sprintf("%.0f", r.SimMinutes), verdict)
+	}
+	if err == nil {
+		// One canonical fault cell on the parallel engine against the
+		// serial export: the golden-trace spot check.
+		cells := canonicalSimCells()
+		if len(cells) > 0 {
+			serialJSONL, _, serr := cells[0].simTrace(seed, 0)
+			parJSONL, _, perr := cells[0].simTrace(seed, smokeWorkers)
+			switch {
+			case serr != nil:
+				err = fmt.Errorf("pool-smoke trace cell: %v", serr)
+			case perr != nil:
+				err = fmt.Errorf("pool-smoke parallel trace cell: %v", perr)
+			case serialJSONL != parJSONL:
+				err = fmt.Errorf("pool-smoke: parallel golden trace diverged from serial")
+			default:
+				rep.AddNote("golden-trace spot check (%s) serial == parallel", cells[0].class)
+			}
+		}
 	}
 	return rep, err
 }

@@ -91,7 +91,9 @@ func errSig(err error) string {
 // injector log followed by a single outcome line.  Identical traces
 // across runs are the determinism contract.  A non-nil tr receives
 // the structured propagation trace (see the trace experiment).
-func (c simCell) runSim(seed int64, tr obs.Tracer) (string, error) {
+// workers > 1 runs the cell on the parallel engine, which must change
+// no byte of the trace.
+func (c simCell) runSim(seed int64, tr obs.Tracer, workers int) (string, error) {
 	params := daemon.DefaultParams()
 	params.ResultTimeout = 30 * time.Minute
 	params.ChronicFailureThreshold = 1
@@ -99,7 +101,7 @@ func (c simCell) runSim(seed int64, tr obs.Tracer) (string, error) {
 	if c.tune != nil {
 		c.tune(&params)
 	}
-	p := pool.New(pool.Config{Seed: seed, Params: params, Machines: c.machines()})
+	p := pool.New(pool.Config{Seed: seed, Params: params, Machines: c.machines(), Workers: workers})
 	in := faultinject.New(faultinject.PoolTargets(p))
 	sc, err := faultinject.Parse(fmt.Sprintf("seed = %d\n%s", seed, c.faults))
 	if err != nil {
@@ -764,16 +766,26 @@ func faultSweep(seed int64, smoke bool) (*Report, error) {
 			continue
 		}
 		seen[c.class] = true
-		trace1, err := c.runSim(seed, nil)
+		trace1, err := c.runSim(seed, nil, 0)
 		observed := lastLine(trace1)
 		if err == nil {
 			// Determinism: the identical cell must reproduce the
 			// identical trace, byte for byte.
-			trace2, err2 := c.runSim(seed, nil)
+			trace2, err2 := c.runSim(seed, nil, 0)
 			if err2 != nil {
 				err = fmt.Errorf("second run: %v", err2)
 			} else if trace1 != trace2 {
 				err = fmt.Errorf("nondeterministic trace")
+			}
+		}
+		if err == nil {
+			// Parallel equivalence: the sharded engine must reproduce
+			// the serial trace, byte for byte.
+			trace3, err3 := c.runSim(seed, nil, 4)
+			if err3 != nil {
+				err = fmt.Errorf("parallel run: %v", err3)
+			} else if trace1 != trace3 {
+				err = fmt.Errorf("parallel engine diverged from serial trace")
 			}
 		}
 		ok := "ok"

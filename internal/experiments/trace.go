@@ -40,10 +40,11 @@ func canonicalSimCells() []simCell {
 // simTrace runs one canonical cell under a fresh recorder and returns
 // the exported JSONL plus the recorder (for timelines).  The export is
 // not normalized: virtual time is deterministic and belongs in the
-// golden bytes.
-func (c simCell) simTrace(seed int64) (string, *obs.Recorder, error) {
+// golden bytes.  workers > 1 runs the cell on the parallel engine,
+// which must reproduce the same bytes.
+func (c simCell) simTrace(seed int64, workers int) (string, *obs.Recorder, error) {
 	rec := obs.NewRecorder()
-	if _, err := c.runSim(seed, rec); err != nil {
+	if _, err := c.runSim(seed, rec, workers); err != nil {
 		return "", nil, err
 	}
 	return rec.JSONL(obs.ExportOptions{}), rec, nil
@@ -131,10 +132,10 @@ func Traces(seed int64) (*Report, map[string]string, error) {
 	var jvmJob int64
 
 	for _, c := range canonicalSimCells() {
-		jsonl, rec, err := c.simTrace(seed)
+		jsonl, rec, err := c.simTrace(seed, 0)
 		det := "yes"
 		if err == nil {
-			jsonl2, _, err2 := c.simTrace(seed)
+			jsonl2, _, err2 := c.simTrace(seed, 0)
 			switch {
 			case err2 != nil:
 				err = fmt.Errorf("second run: %v", err2)

@@ -66,6 +66,35 @@ func TestGoldenTraces(t *testing.T) {
 	}
 }
 
+// TestGoldenTracesParallel runs every canonical simulation cell on the
+// parallel engine and compares its export against the committed golden
+// bytes: sharded execution must not move, drop, or reorder a single
+// trace line.  (The connection classes are live-TCP scenarios with no
+// simulation engine, so only the sim cells apply.)
+func TestGoldenTracesParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden traces run full sweep cells")
+	}
+	dir := filepath.Join("testdata", "traces")
+	for _, c := range canonicalSimCells() {
+		c := c
+		t.Run(string(c.class), func(t *testing.T) {
+			got, _, err := c.simTrace(goldenSeed, 4)
+			if err != nil {
+				t.Fatalf("parallel simTrace: %v", err)
+			}
+			want, err := os.ReadFile(filepath.Join(dir, string(c.class)+".jsonl"))
+			if err != nil {
+				t.Fatalf("missing golden trace: %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("parallel trace for %s diverged from golden bytes at seed %d\n%s",
+					c.class, goldenSeed, diffHint(string(want), got))
+			}
+		})
+	}
+}
+
 // diffHint locates the first differing line of two JSONL exports, a
 // far better failure message than two multi-kilobyte dumps.
 func diffHint(want, got string) string {

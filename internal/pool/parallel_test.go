@@ -1,0 +1,78 @@
+package pool
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/obs"
+)
+
+// runWorkersPool runs the failure-rich determinism pool with the given
+// engine concurrency and returns the disposition trace and the full
+// structured recording — the two artifacts the parallel engine must
+// reproduce byte for byte.
+func runWorkersPool(seed int64, workers int) (disp, jsonl string, m Metrics) {
+	params := daemon.DefaultParams()
+	params.ChronicFailureThreshold = 3
+	params.MaxAttempts = 10
+	rec := obs.NewRecorder()
+	params.Trace = rec
+	ms := Misconfigure(UniformMachines(10, 2048), 3, BreakBadLibraryPath, false)
+	p := New(Config{Seed: seed, Params: params, Machines: ms, Schedds: 2, Workers: workers})
+	p.StageSharedInput()
+	p.SubmitJava(30, MixedWorkload(seed, 10*time.Minute))
+	p.Run(48 * time.Hour)
+	return dispositionTrace(p), rec.JSONL(obs.ExportOptions{}), p.Metrics()
+}
+
+func firstDivergence(t *testing.T, what, serial, parallel string) {
+	t.Helper()
+	sl, pl := strings.Split(serial, "\n"), strings.Split(parallel, "\n")
+	for i := range sl {
+		if i >= len(pl) || sl[i] != pl[i] {
+			got := "<EOF>"
+			if i < len(pl) {
+				got = pl[i]
+			}
+			t.Fatalf("%s diverged at line %d:\nserial:   %s\nparallel: %s", what, i, sl[i], got)
+		}
+	}
+	t.Fatalf("%s diverged: parallel output longer (%d vs %d lines)", what, len(pl), len(sl))
+}
+
+// TestParallelByteEqualTraces is the tentpole's referee: the parallel
+// engine at several worker counts must reproduce the serial engine's
+// job dispositions and structured JSONL export byte for byte.
+func TestParallelByteEqualTraces(t *testing.T) {
+	for _, seed := range []int64{11, 42} {
+		serialDisp, serialObs, serialM := runWorkersPool(seed, 1)
+		for _, w := range []int{2, 4, 8} {
+			disp, jsonl, m := runWorkersPool(seed, w)
+			if disp != serialDisp {
+				firstDivergence(t, "dispositions", serialDisp, disp)
+			}
+			if jsonl != serialObs {
+				firstDivergence(t, "obs JSONL", serialObs, jsonl)
+			}
+			if m != serialM {
+				t.Fatalf("seed %d workers %d: metrics diverged:\nserial:   %+v\nparallel: %+v", seed, w, serialM, m)
+			}
+		}
+	}
+}
+
+// TestParallelRunToRunStable pins the parallel engine to itself: two
+// runs with identical configuration must agree even though goroutine
+// interleavings differ.
+func TestParallelRunToRunStable(t *testing.T) {
+	a, aObs, _ := runWorkersPool(7, 4)
+	b, bObs, _ := runWorkersPool(7, 4)
+	if a != b {
+		firstDivergence(t, "dispositions", a, b)
+	}
+	if aObs != bObs {
+		firstDivergence(t, "obs JSONL", aObs, bObs)
+	}
+}

@@ -29,6 +29,13 @@ type Config struct {
 	Schedds int
 	// MsgLatency is the one-way bus latency (default 5ms).
 	MsgLatency time.Duration
+	// Workers is the engine's intra-instant concurrency: same-instant
+	// events of different daemons run on this many goroutines, with a
+	// barrier at every instant boundary.  Values <= 1 keep the engine
+	// strictly serial.  Traces, dispositions, and exports are byte-equal
+	// across settings — parallelism is an execution detail, never an
+	// observable one.
+	Workers int
 }
 
 // Pool is an assembled simulation.
@@ -49,14 +56,27 @@ func New(cfg Config) *Pool {
 		cfg.MsgLatency = 5 * time.Millisecond
 	}
 	eng := sim.New(cfg.Seed)
+	eng.SetWorkers(cfg.Workers)
 	bus := sim.NewBus(eng, cfg.MsgLatency)
 	// The bus shares the daemons' tracer, so message fates interleave
 	// with daemon events in one recording.
 	bus.Obs = cfg.Params.Trace
+	// With a parallel engine, each daemon's tracer is bound to its
+	// shard so emissions made inside a wave are staged and replayed in
+	// serial order at the barrier.  The serial engine skips the wrapper
+	// — it would be a pure passthrough on the hot path.
+	scoped := func(owner string) daemon.Params {
+		if cfg.Workers <= 1 {
+			return cfg.Params
+		}
+		pp := cfg.Params
+		pp.Trace = eng.ShardTracer(owner, pp.Trace)
+		return pp
+	}
 	p := &Pool{
 		Engine:     eng,
 		Bus:        bus,
-		Matchmaker: daemon.NewMatchmaker(bus, cfg.Params),
+		Matchmaker: daemon.NewMatchmaker(bus, scoped(daemon.MatchmakerName)),
 	}
 	n := cfg.Schedds
 	if n <= 0 {
@@ -67,11 +87,11 @@ func New(cfg Config) *Pool {
 		if i > 0 {
 			name = fmt.Sprintf("schedd%d", i)
 		}
-		p.Schedds = append(p.Schedds, daemon.NewSchedd(bus, cfg.Params, name))
+		p.Schedds = append(p.Schedds, daemon.NewSchedd(bus, scoped(name), name))
 	}
 	p.Schedd = p.Schedds[0]
 	for _, mc := range cfg.Machines {
-		p.Startds = append(p.Startds, daemon.NewStartd(bus, cfg.Params, mc))
+		p.Startds = append(p.Startds, daemon.NewStartd(bus, scoped(mc.Name), mc))
 	}
 	return p
 }

@@ -1,0 +1,28 @@
+package pool
+
+import (
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+)
+
+// TestParallelSegmentsExercised guards against the parallel plumbing
+// silently degenerating into single-shard segments: a busy pool must
+// present real intra-instant parallelism to the worker pool.
+func TestParallelSegmentsExercised(t *testing.T) {
+	params := daemon.DefaultParams()
+	p := New(Config{Seed: 42, Params: params, Machines: UniformMachines(32, 2048), Workers: 4})
+	p.StageSharedInput()
+	p.SubmitJava(64, MixedWorkload(42, 5*time.Minute))
+	p.Run(24 * time.Hour)
+	segs, shards := p.Engine.SegmentStats()
+	if segs == 0 {
+		t.Fatal("no parallel segments ran")
+	}
+	mean := float64(shards) / float64(segs)
+	t.Logf("segments=%d shardExecs=%d mean parallelism=%.2f", segs, shards, mean)
+	if mean < 1.5 {
+		t.Errorf("mean segment parallelism %.2f; expected >= 1.5 on a 32-machine pool", mean)
+	}
+}

@@ -1,7 +1,6 @@
 package scope
 
 import (
-	"bufio"
 	"fmt"
 	"io"
 	"strconv"
@@ -147,29 +146,84 @@ func ResultFromError(exitCode int, err error) Result {
 // endMarker terminates every well-formed result file.
 const endMarker = "ok"
 
-// Encode writes the result file representation of r to w.
-func (r *Result) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	fmt.Fprintf(bw, "status = %s\n", r.Status)
-	fmt.Fprintf(bw, "exit_code = %d\n", r.ExitCode)
+// AppendQuote is strconv.AppendQuote specialized for the common case
+// of the simulator's encoders — printable ASCII with occasional
+// quotes, backslashes, and newlines.  Output is byte-identical to
+// strconv.AppendQuote; anything outside the fast cases defers to it.
+func AppendQuote(b []byte, s string) []byte {
+	n := len(b)
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c < 0x7f {
+			if c == '"' || c == '\\' {
+				b = append(b, s[start:i]...)
+				b = append(b, '\\', c)
+				start = i + 1
+			}
+			continue
+		}
+		switch c {
+		case '\n':
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'n')
+			start = i + 1
+		case '\t':
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 't')
+			start = i + 1
+		case '\r':
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'r')
+			start = i + 1
+		default:
+			// Non-ASCII or an exotic control: hand the whole string
+			// to strconv for the full escaping rules.
+			return strconv.AppendQuote(b[:n], s)
+		}
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// AppendEncoded appends the result file representation of r to b and
+// returns the extended slice — the allocation-free core of Encode.
+func (r *Result) AppendEncoded(b []byte) []byte {
+	b = append(b, "status = "...)
+	b = append(b, r.Status.String()...)
+	b = append(b, "\nexit_code = "...)
+	b = strconv.AppendInt(b, int64(r.ExitCode), 10)
+	b = append(b, '\n')
 	if r.Exception != "" {
-		fmt.Fprintf(bw, "exception = %s\n", r.Exception)
+		b = append(b, "exception = "...)
+		b = append(b, r.Exception...)
+		b = append(b, '\n')
 	}
 	if r.Scope != ScopeNone {
-		fmt.Fprintf(bw, "scope = %s\n", r.Scope)
+		b = append(b, "scope = "...)
+		b = append(b, r.Scope.String()...)
+		b = append(b, '\n')
 	}
 	if r.Message != "" {
-		fmt.Fprintf(bw, "message = %s\n", strconv.Quote(r.Message))
+		b = append(b, "message = "...)
+		b = AppendQuote(b, r.Message)
+		b = append(b, '\n')
 	}
-	fmt.Fprintf(bw, "end = %s\n", endMarker)
-	return bw.Flush()
+	b = append(b, "end = "...)
+	b = append(b, endMarker...)
+	return append(b, '\n')
+}
+
+// Encode writes the result file representation of r to w.
+func (r *Result) Encode(w io.Writer) error {
+	_, err := w.Write(r.AppendEncoded(make([]byte, 0, 96)))
+	return err
 }
 
 // EncodeString returns the result file contents as a string.
 func (r *Result) EncodeString() string {
-	var sb strings.Builder
-	_ = r.Encode(&sb)
-	return sb.String()
+	return string(r.AppendEncoded(make([]byte, 0, 96)))
 }
 
 // DecodeResult parses a result file.  Unknown keys are ignored for
@@ -182,15 +236,31 @@ func (r *Result) EncodeString() string {
 // so even a caller that ignores the error cannot read a half-written
 // file as a clean exit.
 func DecodeResult(rd io.Reader) (Result, error) {
+	data, err := io.ReadAll(rd)
+	if err != nil {
+		return Result{Status: StatusNoResult}, fmt.Errorf("scope: reading result file: %w", err)
+	}
+	return DecodeResultString(string(data))
+}
+
+// DecodeResultString parses a result file held in a string, line by
+// line with no intermediate reader or scanner — the hot path for the
+// simulated starters, which hold the file bytes already.
+func DecodeResultString(s string) (Result, error) {
 	noResult := Result{Status: StatusNoResult}
 	var r Result
-	sc := bufio.NewScanner(rd)
 	line := 0
 	seenStatus := false
 	seenEnd := false
-	for sc.Scan() {
+	for len(s) > 0 && !seenEnd {
+		var raw string
+		if i := strings.IndexByte(s, '\n'); i >= 0 {
+			raw, s = s[:i], s[i+1:]
+		} else {
+			raw, s = s, ""
+		}
 		line++
-		text := strings.TrimSpace(sc.Text())
+		text := strings.TrimSpace(raw)
 		if text == "" || strings.HasPrefix(text, "#") {
 			continue
 		}
@@ -235,14 +305,9 @@ func DecodeResult(rd io.Reader) (Result, error) {
 			}
 			seenEnd = true
 		}
-		if seenEnd {
-			// Anything past the marker is debris from a later,
-			// interrupted rewrite; the sealed record stands.
-			break
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return noResult, fmt.Errorf("scope: reading result file: %w", err)
+		// Anything past the marker is debris from a later,
+		// interrupted rewrite; the sealed record stands — the loop
+		// condition stops at seenEnd.
 	}
 	if !seenStatus {
 		return noResult, fmt.Errorf("scope: result file missing status")
@@ -251,9 +316,4 @@ func DecodeResult(rd io.Reader) (Result, error) {
 		return noResult, fmt.Errorf("scope: result file truncated: no end-of-record marker")
 	}
 	return r, nil
-}
-
-// DecodeResultString parses a result file held in a string.
-func DecodeResultString(s string) (Result, error) {
-	return DecodeResult(strings.NewReader(s))
 }

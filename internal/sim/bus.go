@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"github.com/errscope/grid/internal/obs"
@@ -74,9 +75,13 @@ type Bus struct {
 	// Obs, if non-nil, receives structured message events for bodies
 	// that implement obs.JobTagged (periodic ads and internal notices
 	// stay out of traces) plus bus traffic counters.
-	Obs        obs.Tracer
+	Obs obs.Tracer
+	// sent and duplicated are touched only by sendNow, which runs
+	// single-threaded (serially, or at the wave barrier); lost is also
+	// incremented by deliveries executing concurrently inside a wave,
+	// so it is atomic.
 	sent       uint64
-	lost       uint64
+	lost       atomic.Uint64
 	duplicated uint64
 
 	// freeDeliveries recycles in-flight delivery records, so a
@@ -112,11 +117,15 @@ func (b *Bus) getDelivery(m Message) *delivery {
 // sends made from inside Receive can reuse it immediately.
 func (d *delivery) deliver() {
 	b, m := d.bus, d.msg
+	if ctx := b.eng.activeCtxByOwner(m.To); ctx != nil {
+		d.deliverWave(ctx, m)
+		return
+	}
 	d.msg = Message{} // drop the body reference while pooled
 	b.freeDeliveries = append(b.freeDeliveries, d)
 	a, ok := b.actors[m.To]
 	if !ok {
-		b.lost++
+		b.lost.Add(1)
 		if b.Trace != nil {
 			b.Trace(m, false)
 		}
@@ -128,6 +137,40 @@ func (d *delivery) deliver() {
 	}
 	if b.Trace != nil {
 		b.Trace(m, true)
+	}
+	a.Receive(m)
+}
+
+// deliverWave is deliver while a parallel wave is running: the record
+// retires through the shard's staging list (the bus free list is
+// single-threaded state), the actor lookup consults the shard's
+// registry overlay before the frozen base map, and trace and obs
+// emissions are staged so the barrier replays them in serial order.
+func (d *delivery) deliverWave(ctx *shardCtx, m Message) {
+	b := d.bus
+	// Retire the record into the shard's staging list (the bus free
+	// list itself is single-threaded state); the barrier repools it.
+	d.msg = Message{}
+	ctx.freeDel = append(ctx.freeDel, d)
+	a, ok := b.actors[m.To]
+	if ctx.overlay != nil {
+		if ov, hit := ctx.overlay[m.To]; hit {
+			a, ok = ov, ov != nil
+		}
+	}
+	if !ok {
+		b.lost.Add(1)
+		if b.Trace != nil {
+			ctx.stageBusTrace(b, m, false)
+		}
+		if b.Obs != nil {
+			ctx.stageCount(b.Obs, "bus.lost", 1)
+		}
+		b.observeWave(ctx, m, obs.KindMsgLost)
+		return
+	}
+	if b.Trace != nil {
+		ctx.stageBusTrace(b, m, true)
 	}
 	a.Receive(m)
 }
@@ -153,8 +196,14 @@ func (b *Bus) SetFaultFunc(f FaultFunc) { b.fault = f }
 
 // Register attaches an actor under a unique name.  Registering a
 // duplicate name panics — silent replacement of a live daemon would
-// make traces lie.
-func (b *Bus) Register(name string, a Actor) {
+// make traces lie.  Register must not run during a parallel wave;
+// daemons register through their scoped runtime, which stages the
+// change.
+func (b *Bus) Register(name string, a Actor) { b.registerNow(name, a) }
+
+// registerNow is the single-threaded registration body, also the
+// replay target for registrations staged during a wave.
+func (b *Bus) registerNow(name string, a Actor) {
 	if _, ok := b.actors[name]; ok {
 		panic(fmt.Sprintf("sim: duplicate actor %q", name))
 	}
@@ -176,7 +225,7 @@ func (b *Bus) Sent() uint64 { return b.sent }
 
 // Lost reports the number of messages the loss model discarded or
 // that addressed a dead actor.
-func (b *Bus) Lost() uint64 { return b.lost }
+func (b *Bus) Lost() uint64 { return b.lost.Load() }
 
 // Duplicated reports how many extra copies the fault model delivered.
 func (b *Bus) Duplicated() uint64 { return b.duplicated }
@@ -202,17 +251,55 @@ func (b *Bus) observe(m Message, fate string) {
 	})
 }
 
+// observeWave stages the structured event instead of emitting it, so
+// the barrier replays it in serial order.
+func (b *Bus) observeWave(ctx *shardCtx, m Message, fate string) {
+	if b.Obs == nil || !b.Obs.Enabled() {
+		return
+	}
+	tagged, ok := m.Body.(obs.JobTagged)
+	if !ok {
+		return
+	}
+	ctx.stageEmit(b.Obs, obs.Event{
+		T:      int64(b.eng.Now()),
+		Comp:   "bus",
+		Kind:   fate,
+		Job:    tagged.TracedJob(),
+		Code:   m.Kind,
+		Detail: m.From + "->" + m.To,
+	})
+}
+
 // Send queues a message for delivery.  Delivery occurs after the
 // modeled latency; a dropped message or an unknown destination is
 // counted as lost and the sender is not informed.
+//
+// During a parallel wave the send is staged on the sender's shard and
+// the whole body — loss model, fault model, counters, trace — runs at
+// the barrier in the exact position the serial engine would have run
+// it, which keeps stateful fault injectors deterministic.
 func (b *Bus) Send(from, to, kind string, body any) {
 	m := Message{From: from, To: to, Kind: kind, Body: body}
+	if ctx := b.eng.activeCtxByOwner(from); ctx != nil {
+		ctx.stageSend(b, m)
+		return
+	}
+	if b.eng.waveActive {
+		panic(fmt.Sprintf("sim: Send from %q outside its shard during a parallel wave", from))
+	}
+	b.sendNow(m)
+}
+
+// sendNow is the single-threaded send body: the serial Send, and the
+// replay target for sends staged during a wave.
+func (b *Bus) sendNow(m Message) {
 	b.sent++
 	if b.Obs != nil {
 		b.Obs.Count("bus.sent", 1)
 	}
 	if b.drop != nil && b.drop(m) {
-		b.lost++
+		b.lost.Add(1)
 		if b.Trace != nil {
 			b.Trace(m, false)
 		}
@@ -227,7 +314,7 @@ func (b *Bus) Send(from, to, kind string, body any) {
 		f = b.fault(m)
 	}
 	if f.Drop {
-		b.lost++
+		b.lost.Add(1)
 		if b.Trace != nil {
 			b.Trace(m, false)
 		}
@@ -238,13 +325,19 @@ func (b *Bus) Send(from, to, kind string, body any) {
 		return
 	}
 	b.observe(m, obs.KindMsg)
-	d := b.latency(from, to) + f.Delay
-	b.eng.After(d, b.getDelivery(m).run)
+	// Deliveries run on the destination's shard, so same-instant
+	// deliveries to different daemons may execute concurrently.
+	shard := b.eng.ShardID(ShardKey(m.To))
+	d := b.latency(m.From, m.To) + f.Delay
+	if d < 0 {
+		d = 0
+	}
+	b.eng.afterScoped(shard, Time(d), b.getDelivery(m).run)
 	for i := 0; i < f.Duplicates; i++ {
 		// Each copy needs its own record: a delivery recycles itself
 		// the moment it runs.
 		b.duplicated++
-		b.eng.After(d, b.getDelivery(m).run)
+		b.eng.afterScoped(shard, Time(d), b.getDelivery(m).run)
 	}
 }
 

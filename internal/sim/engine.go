@@ -12,9 +12,9 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -40,36 +40,129 @@ type event struct {
 	at    Time
 	seq   uint64 // insertion order; breaks ties deterministically
 	fn    func()
-	index int    // heap index, -1 when removed
+	index int    // heap index; -1 removed/popped, stagedIndex pending barrier insert
 	gen   uint64 // incarnation counter for Timer validity
+
+	// shard is the affinity key of the callback: events of different
+	// shards may execute concurrently within one virtual instant.
+	// Shard globalShard (0) is exclusive — it runs alone, with a
+	// barrier on either side.
+	shard int32
+	// skip marks a same-instant event cancelled after it was popped
+	// into the current wave; done marks it executed.  Both are
+	// meaningful only inside one wave and reset on recycle.
+	skip bool
+	done bool
+	// cancelStaged marks a cancel already staged against the event in
+	// the current wave, so a second Cancel reports false like the
+	// serial engine's double cancel.
+	cancelStaged bool
 }
 
+// stagedIndex marks an event created during a parallel wave and not
+// yet inserted into the heap; the barrier assigns its seq and inserts
+// it in deterministic order.
+const stagedIndex = -2
+
+// eventHeap is a 4-ary min-heap ordered by (at, seq).  It is
+// monomorphic — no container/heap interface dispatch — because Step
+// and At dominate the engine's CPU profile.  The arity and the
+// internal layout are free to differ from container/heap's binary
+// heap without affecting any trace: (at, seq) keys are unique, so the
+// sequence of popped minimums is the same for every valid heap.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// heapArity is the node width: wider nodes mean fewer levels, so pops
+// touch fewer cache lines on the large queues a big pool builds.
+const heapArity = 4
+
+func (h eventHeap) less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) {
+
+func (h eventHeap) swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
 	h[i].index = i
 	h[j].index = j
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+
+// down sifts i toward the leaves within h[:n] and reports whether it
+// moved.
+func (h eventHeap) down(i, n int) bool {
+	i0 := i
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(c, min) {
+				min = c
+			}
+		}
+		if !h.less(min, i) {
+			break
+		}
+		h.swap(i, min)
+		i = min
+	}
+	return i > i0
+}
+
+func (h *eventHeap) push(e *event) {
+	q := append(*h, e)
+	e.index = len(q) - 1
+	q.up(e.index)
+	*h = q
+}
+
+// popMin removes and returns the earliest event.
+func (h *eventHeap) popMin() *event {
+	q := *h
+	n := len(q) - 1
+	q.swap(0, n)
+	q.down(0, n)
+	e := q[n]
+	q[n] = nil
 	e.index = -1
-	*h = old[:n-1]
+	*h = q[:n]
+	return e
+}
+
+// remove deletes the event at heap index i and returns it.
+func (h *eventHeap) remove(i int) *event {
+	q := *h
+	n := len(q) - 1
+	if i != n {
+		q.swap(i, n)
+		if !q.down(i, n) {
+			q.up(i)
+		}
+	}
+	e := q[n]
+	q[n] = nil
+	e.index = -1
+	*h = q[:n]
 	return e
 }
 
@@ -78,22 +171,73 @@ func (h *eventHeap) Pop() any {
 // and all concurrency in the simulated system is expressed as
 // interleaved events.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	rng     *rand.Rand
-	stopped bool
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	seed   int64
+	// stopped is atomic because Stop may be called from a worker
+	// goroutine during a parallel instant.
+	stopped atomic.Bool
 	// free is the event free list; fired and cancelled events are
 	// recycled here instead of returning to the garbage collector.
+	// Its length is capped at maxFreeEvents so a scheduling burst
+	// cannot pin event memory for the rest of the run.
 	free []*event
 	// processed counts executed events, for tests and metrics.
 	processed uint64
+
+	// workers is the concurrency of one virtual instant; <= 1 keeps
+	// the engine strictly serial.
+	workers int
+	// shardNames interns shard keys to dense ids; index 0 is the
+	// exclusive global shard.
+	shardNames []string
+	shardIDs   map[string]int32
+	shardRngs  []*rand.Rand
+	// wave state (see parallel.go).
+	waveActive bool
+	ctxs       []*shardCtx
+	waveBuf    []*event
+	segCtxBuf  []*shardCtx
+	fxBuf      []effect
+	posBuf     []int
+	// segs / segShards count parallel segments and the shard
+	// executions they contained, for parallelism diagnostics.
+	segs      uint64
+	segShards uint64
 }
+
+// maxFreeEvents caps the event free list.  Beyond the cap, recycled
+// events return to the garbage collector: the pool exists to make the
+// steady state allocation-free, not to hold the high-water mark of a
+// burst forever.  The cap accommodates a pool-scale fleet — one
+// in-flight timer per simulated machine — at ~80 bytes per struct.
+const maxFreeEvents = 65536
 
 // New creates an engine whose random source is seeded with seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	e := &Engine{
+		rng:        rand.New(rand.NewSource(seed)),
+		seed:       seed,
+		shardNames: []string{""},
+		shardIDs:   map[string]int32{"": globalShard},
+		shardRngs:  []*rand.Rand{nil},
+		ctxs:       []*shardCtx{nil},
+	}
+	return e
 }
+
+// SetWorkers sets the number of workers that may execute same-instant
+// events of different shards concurrently.  Values <= 1 keep the
+// engine strictly serial; the default is serial.  Call before Run —
+// switching modes between instants is safe, switching inside one is
+// not.
+func (e *Engine) SetWorkers(n int) { e.workers = n }
+
+// Workers reports the configured instant concurrency (0 or 1 means
+// serial).
+func (e *Engine) Workers() int { return e.workers }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -119,22 +263,76 @@ type Timer struct {
 }
 
 // Cancel removes the event if it has not yet fired.  It reports
-// whether the event was still pending.
+// whether the event was still pending.  Cancel must not be called
+// from inside a parallel instant — daemon code cancels through its
+// scoped runtime, which routes to cancelFrom with the caller's shard.
 func (t *Timer) Cancel() bool {
 	if t == nil || t.ev == nil || t.gen != t.ev.gen || t.ev.index < 0 {
 		return false
 	}
-	heap.Remove(&t.eng.events, t.ev.index)
+	t.eng.events.remove(t.ev.index)
 	t.eng.recycle(t.ev)
 	return true
 }
 
+// cancelFrom is Cancel as issued by an event running on the given
+// shard, safe during a parallel instant.  Outside a wave it is
+// exactly Cancel.  Inside a wave:
+//
+//   - a future event still in the heap is cancel-staged; the barrier
+//     removes it in deterministic order (heap state is frozen during
+//     the wave);
+//   - an event scheduled earlier in this wave and not yet inserted is
+//     cancel-staged the same way — the barrier still consumes its seq
+//     before removing it, exactly as the serial engine would;
+//   - a same-instant event already popped into the wave succeeds only
+//     from its own shard and only before it runs (a skip mark); from
+//     any other shard the cancel deterministically reports false,
+//     whether or not the target has run — cross-shard cancellation of
+//     a same-instant event is inherently racy and this engine refuses
+//     to let the race decide.
+func (t *Timer) cancelFrom(shard int32) bool {
+	if t == nil || t.ev == nil || t.gen != t.ev.gen {
+		return false
+	}
+	e := t.eng
+	if !e.waveActive {
+		return t.Cancel()
+	}
+	ev := t.ev
+	switch {
+	case ev.index >= 0, ev.index == stagedIndex:
+		if ev.cancelStaged {
+			return false
+		}
+		ctx := e.activeCtx(shard)
+		if ctx == nil {
+			return false
+		}
+		ev.cancelStaged = true
+		ctx.stageCancel(ev, t.gen)
+		return true
+	default: // popped into the current wave
+		if ev.shard != shard || ev.done || ev.skip {
+			return false
+		}
+		ev.skip = true
+		return true
+	}
+}
+
 // recycle returns a removed event to the free list under a new
-// incarnation.
+// incarnation.  The free list is capped: a burst's overflow goes back
+// to the garbage collector.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
 	ev.gen++
-	e.free = append(e.free, ev)
+	ev.skip = false
+	ev.done = false
+	ev.cancelStaged = false
+	if len(e.free) < maxFreeEvents {
+		e.free = append(e.free, ev)
+	}
 }
 
 // At schedules fn to run at virtual time at, returning a cancel
@@ -142,6 +340,13 @@ func (e *Engine) recycle(ev *event) {
 // allocation-free in steady state.  Scheduling into the past panics:
 // it would violate causality and silently reorder the trace.
 func (e *Engine) At(at Time, fn func()) Timer {
+	return e.atShard(globalShard, at, fn)
+}
+
+// atShard is At with an explicit shard affinity.  It must not run
+// concurrently with a wave (callers inside a wave stage through
+// afterScoped instead).
+func (e *Engine) atShard(shard int32, at Time, fn func()) Timer {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
 	}
@@ -156,8 +361,9 @@ func (e *Engine) At(at Time, fn func()) Timer {
 	} else {
 		ev = &event{at: at, seq: e.seq, fn: fn}
 	}
+	ev.shard = shard
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.push(ev)
 	return Timer{eng: e, ev: ev, gen: ev.gen}
 }
 
@@ -177,20 +383,21 @@ func (e *Engine) Every(period time.Duration, fn func()) (stop func()) {
 		panic("sim: Every requires a positive period")
 	}
 	stopped := false
-	var schedule func()
 	var current Timer
-	schedule = func() {
-		current = e.After(period, func() {
-			if stopped {
-				return
-			}
-			fn()
-			if !stopped {
-				schedule()
-			}
-		})
+	// One closure serves every tick: re-arming passes the same func
+	// value back to the scheduler, so a long-lived periodic timer
+	// allocates nothing per period.
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			current = e.After(period, tick)
+		}
 	}
-	schedule()
+	current = e.After(period, tick)
 	return func() {
 		stopped = true
 		current.Cancel()
@@ -206,7 +413,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(*event)
+	ev := e.events.popMin()
 	e.now = ev.at
 	fn := ev.fn
 	e.recycle(ev)
@@ -217,16 +424,24 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the queue is empty or Stop is called.
 func (e *Engine) Run() {
-	e.stopped = false
-	for !e.stopped && e.Step() {
+	if e.workers > 1 {
+		e.runParallel(maxTime, false)
+		return
+	}
+	e.stopped.Store(false)
+	for !e.stopped.Load() && e.Step() {
 	}
 }
 
 // RunUntil executes events with time ≤ deadline, then sets the clock
 // to the deadline (if it is later than the last event).
 func (e *Engine) RunUntil(deadline Time) {
-	e.stopped = false
-	for !e.stopped {
+	if e.workers > 1 {
+		e.runParallel(deadline, true)
+		return
+	}
+	e.stopped.Store(false)
+	for !e.stopped.Load() {
 		if len(e.events) == 0 {
 			break
 		}
@@ -247,8 +462,11 @@ func (e *Engine) RunUntil(deadline Time) {
 // RunFor advances the simulation d from the current time.
 func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
 
-// Stop halts Run/RunUntil after the current event completes.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop halts Run/RunUntil after the current event completes.  During
+// a parallel instant the stop takes effect at the next shard barrier:
+// the running segment completes, its effects are merged, and the
+// remaining same-instant events return to the heap unrun.
+func (e *Engine) Stop() { e.stopped.Store(true) }
 
 func (e *Engine) peek() *event {
 	if len(e.events) == 0 {

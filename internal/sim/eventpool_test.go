@@ -67,6 +67,30 @@ func TestCancelRecyclesEvent(t *testing.T) {
 	eng.Run()
 }
 
+// TestFreeListBounded pins the cap on the event free list: after a
+// scheduling burst far above maxFreeEvents drains, the pool holds at
+// most maxFreeEvents structs — the burst's high-water mark returns to
+// the garbage collector instead of staying pinned for the run.
+func TestFreeListBounded(t *testing.T) {
+	eng := New(1)
+	const burst = 4 * maxFreeEvents
+	for i := 0; i < burst; i++ {
+		eng.At(Time(i), func() {})
+	}
+	eng.Run()
+	if got := len(eng.free); got > maxFreeEvents {
+		t.Errorf("free list holds %d events after a %d-event burst, cap is %d",
+			got, burst, maxFreeEvents)
+	}
+	// The cap must not break recycling: the next schedule still draws
+	// from the pool.
+	tm := eng.After(time.Millisecond, func() {})
+	if tm.ev == nil || tm.ev.index < 0 {
+		t.Fatal("schedule after burst did not produce a live event")
+	}
+	eng.Run()
+}
+
 // TestSteadyStateScheduleAllocFree pins the free list's purpose: a
 // schedule-fire cycle in steady state touches no allocator.
 func TestSteadyStateScheduleAllocFree(t *testing.T) {

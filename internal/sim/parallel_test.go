@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waveLog collects entries from events that all run on one shard, so
+// appends are sequential within the wave and reads happen after Run.
+type waveLog struct {
+	mu      sync.Mutex
+	entries []string
+}
+
+func (l *waveLog) add(s string) {
+	l.mu.Lock()
+	l.entries = append(l.entries, s)
+	l.mu.Unlock()
+}
+
+// TestParallelScheduleAtNowMidInstant pins the instant-boundary rule:
+// an event scheduled at Now() from inside a parallel wave runs in the
+// same virtual instant, in a later wave, before any later-time event —
+// exactly the serial heap order.
+func TestParallelScheduleAtNowMidInstant(t *testing.T) {
+	run := func(workers int) []string {
+		e := New(1)
+		e.SetWorkers(workers)
+		a := e.ShardID("a")
+		b := e.ShardID("b")
+		var log waveLog
+		e.atShard(a, 100, func() {
+			log.add("a@100")
+			e.afterScoped(a, 0, func() {
+				log.add(fmt.Sprintf("a-follow@%d", e.Now()))
+			})
+		})
+		e.atShard(b, 100, func() { log.add("b@100") })
+		e.At(101, func() { log.add("g@101") })
+		e.Run()
+		return log.entries
+	}
+	serial := run(1)
+	parallel := run(4)
+	want := []string{"a@100", "b@100", "a-follow@100", "g@101"}
+	for i, w := range want {
+		if serial[i] != w {
+			t.Fatalf("serial order: got %v, want %v", serial, want)
+		}
+		if parallel[i] != w {
+			t.Fatalf("parallel order: got %v, want %v", parallel, want)
+		}
+	}
+}
+
+// TestParallelCancelSameInstant pins the cancellation rules inside a
+// wave: a shard may cancel its own not-yet-run same-instant event
+// (serial semantics), while a cross-shard cancel of a same-instant
+// event deterministically fails — the outcome must not depend on which
+// shard's goroutine happened to run first.
+func TestParallelCancelSameInstant(t *testing.T) {
+	e := New(1)
+	e.SetWorkers(4)
+	a := e.ShardID("a")
+	b := e.ShardID("b")
+
+	var aVictimRan, bVictimRan bool
+	var ownOK, crossOK bool
+	// Shard a's first event cancels shard a's second event: same shard,
+	// not yet run, must succeed and suppress it.
+	var aVictim Timer
+	e.atShard(a, 100, func() { ownOK = aVictim.cancelFrom(a) })
+	aVictim = e.atShard(a, 100, func() { aVictimRan = true })
+	// Shard a also tries to cancel shard b's same-instant event: the
+	// engine refuses cross-shard same-instant cancellation, so the
+	// victim runs regardless of goroutine timing.
+	bVictim := e.atShard(b, 100, func() { bVictimRan = true })
+	e.atShard(a, 100, func() { crossOK = bVictim.cancelFrom(a) })
+
+	e.Run()
+	if !ownOK || aVictimRan {
+		t.Errorf("same-shard cancel: ok=%v victimRan=%v, want true/false", ownOK, aVictimRan)
+	}
+	if crossOK || !bVictimRan {
+		t.Errorf("cross-shard cancel: ok=%v victimRan=%v, want false/true", crossOK, bVictimRan)
+	}
+}
+
+// TestParallelCancelFutureFromWave checks that cancelling a future
+// event from inside a wave is staged and consumes serial semantics:
+// the first cancel succeeds, a second cancel of the same timer in the
+// same wave reports false, and the event never fires.
+func TestParallelCancelFutureFromWave(t *testing.T) {
+	e := New(1)
+	e.SetWorkers(4)
+	a := e.ShardID("a")
+	var ran bool
+	victim := e.atShard(a, 200, func() { ran = true })
+	var first, second bool
+	e.atShard(a, 100, func() {
+		first = victim.cancelFrom(a)
+		second = victim.cancelFrom(a)
+	})
+	e.Run()
+	if !first || second || ran {
+		t.Errorf("staged cancel: first=%v second=%v ran=%v, want true/false/false", first, second, ran)
+	}
+}
+
+// TestParallelStopDuringInstant pins Stop's barrier granularity: a
+// Stop issued from inside a parallel wave lets the running segment
+// finish, pushes the remaining same-instant events back unrun, and a
+// subsequent Run resumes them deterministically.
+func TestParallelStopDuringInstant(t *testing.T) {
+	e := New(1)
+	e.SetWorkers(4)
+	a := e.ShardID("a")
+	b := e.ShardID("b")
+	var log waveLog
+	e.atShard(a, 100, func() { log.add("a") })
+	e.atShard(b, 100, func() {
+		log.add("b-stop")
+		e.Stop()
+	})
+	// A global event at the same instant but after the parallel
+	// segment: the stop lands at the segment barrier, so it must not
+	// run until the engine is resumed.
+	e.At(100, func() { log.add("g") })
+	e.At(101, func() { log.add("later") })
+	e.Run()
+	if e.Now() != 100 {
+		t.Fatalf("clock after stop = %v, want 100", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending after stop = %d, want 2 (global + later)", e.Pending())
+	}
+	if len(log.entries) != 2 {
+		t.Fatalf("events before stop = %v, want the two segment events", log.entries)
+	}
+	e.Run()
+	want := []string{"g", "later"}
+	for i, w := range want {
+		if got := log.entries[2+i]; got != w {
+			t.Fatalf("resume order: got %v, want %v after the segment", log.entries, want)
+		}
+	}
+}
+
+// TestParallelScopedEvery checks that a scoped periodic timer keeps
+// its shard affinity across re-arms and that its stop function works
+// from inside a wave.
+func TestParallelScopedEvery(t *testing.T) {
+	e := New(1)
+	e.SetWorkers(4)
+	bus := NewBus(e, time.Millisecond)
+	sb := bus.Scoped("m1")
+	var ticks int
+	var stop func()
+	stop = sb.Every(10*time.Millisecond, func() {
+		ticks++
+		if ticks == 3 {
+			stop()
+		}
+	})
+	e.RunUntil(Time(100 * time.Millisecond))
+	if ticks != 3 {
+		t.Fatalf("ticks = %d, want 3 (stopped from inside its own event)", ticks)
+	}
+}

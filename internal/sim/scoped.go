@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// ScopedBus is the bus as seen by one daemon: every schedule carries
+// the daemon's shard affinity, and during a parallel wave every
+// externally visible action — send, register, timer — is staged on
+// that shard instead of touching shared engine state.  It implements
+// the daemon package's Runtime interface, so daemons acquire affinity
+// without code changes beyond construction.
+type ScopedBus struct {
+	b     *Bus
+	shard int32
+	owner string
+}
+
+// Scoped returns a runtime scoped to the named actor's shard.  The
+// shard key derives from the name ("shadow:schedd1:5" shares schedd1's
+// shard); a key never seen before is interned, which is only legal
+// outside a parallel wave — new top-level shards come into existence
+// at pool construction, while sub-daemons spawned mid-wave reuse their
+// parent's already-interned key.
+func (b *Bus) Scoped(owner string) *ScopedBus {
+	key := ShardKey(owner)
+	var id int32
+	if b.eng.waveActive {
+		var ok bool
+		id, ok = b.eng.shardIDOf(key)
+		if !ok {
+			panic(fmt.Sprintf("sim: shard %q first scoped during a parallel wave", key))
+		}
+	} else {
+		id = b.eng.ShardID(key)
+	}
+	return &ScopedBus{b: b, shard: id, owner: owner}
+}
+
+// Scoped derives a runtime for a sub-actor; it shares this runtime's
+// bus and resolves the sub-actor's shard (normally the same one).
+func (s *ScopedBus) Scoped(owner string) *ScopedBus { return s.b.Scoped(owner) }
+
+// Bus returns the underlying bus.
+func (s *ScopedBus) Bus() *Bus { return s.b }
+
+// Send queues a message, staging it on this runtime's shard while a
+// wave is running.
+func (s *ScopedBus) Send(from, to, kind string, body any) {
+	m := Message{From: from, To: to, Kind: kind, Body: body}
+	if ctx := s.b.eng.activeCtx(s.shard); ctx != nil {
+		ctx.stageSend(s.b, m)
+		return
+	}
+	if s.b.eng.waveActive {
+		panic(fmt.Sprintf("sim: %q sending outside its shard during a parallel wave", s.owner))
+	}
+	s.b.sendNow(m)
+}
+
+// Register attaches an actor; during a wave the registration is
+// staged and visible immediately to this shard through its overlay.
+func (s *ScopedBus) Register(name string, a Actor) {
+	if ctx := s.b.eng.activeCtx(s.shard); ctx != nil {
+		ctx.stageRegister(s.b, name, a)
+		return
+	}
+	s.b.Register(name, a)
+}
+
+// Unregister detaches the named actor, staging during a wave.
+func (s *ScopedBus) Unregister(name string) {
+	if ctx := s.b.eng.activeCtx(s.shard); ctx != nil {
+		ctx.stageUnregister(s.b, name)
+		return
+	}
+	s.b.Unregister(name)
+}
+
+// Now returns the current virtual time.
+func (s *ScopedBus) Now() Time { return s.b.eng.Now() }
+
+// After schedules fn after d on this runtime's shard and returns a
+// cancel function that is itself wave-safe.
+func (s *ScopedBus) After(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	t := s.b.eng.afterScoped(s.shard, Time(d), fn)
+	shard := s.shard
+	return func() { t.cancelFrom(shard) }
+}
+
+// Every schedules fn at the period on this runtime's shard until the
+// returned stop function is called.  It mirrors Engine.Every, but
+// each re-arm keeps the shard affinity.
+func (s *ScopedBus) Every(period time.Duration, fn func()) (stop func()) {
+	if period <= 0 {
+		panic("sim: Every requires a positive period")
+	}
+	eng := s.b.eng
+	shard := s.shard
+	stopped := false
+	var current Timer
+	// One closure serves every tick: re-arming passes the same func
+	// value back to the scheduler, so a long-lived periodic timer
+	// allocates nothing per period.
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if !stopped {
+			current = eng.afterScoped(shard, Time(period), tick)
+		}
+	}
+	current = eng.afterScoped(shard, Time(period), tick)
+	return func() {
+		stopped = true
+		current.cancelFrom(shard)
+	}
+}
