@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check vet determinism-grep build test race cover journal-smoke fault-smoke fault-sweep pool-smoke bench bench-matchmaker bench-obs bench-pool trace
+.PHONY: check vet determinism-grep build test race cover journal-smoke wire-smoke fault-smoke fault-sweep pool-smoke bench bench-matchmaker bench-obs bench-pool bench-wire trace
 
 ## check: the full gate — vet, the determinism grep, build, race-test
 ## the concurrent packages, the whole suite with per-package coverage
 ## (including the golden-trace regression suite and the internal/obs
-## coverage floor), the write-ahead-journal race smoke, the
-## fault-injection smoke matrix, then the small-shape pool-throughput
-## smoke.
-check: vet determinism-grep build race cover journal-smoke fault-smoke pool-smoke
+## coverage floor), the write-ahead-journal race smoke, the wire-codec
+## and transport smoke, the fault-injection smoke matrix, then the
+## small-shape pool-throughput smoke.
+check: vet determinism-grep build race cover journal-smoke wire-smoke fault-smoke pool-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +20,7 @@ vet:
 ## match the pattern.)
 determinism-grep:
 	@if grep -rnE 'time\.Now\(|\brand\.(Int|Float|Perm|Shuffle|Seed|Exp|Norm)' \
-		--include='*.go' --exclude='*_test.go' internal/daemon internal/sim; then \
+		--include='*.go' --exclude='*_test.go' internal/daemon internal/sim internal/wire; then \
 		echo 'FAIL: wall clock or global math/rand state in a deterministic package'; \
 		exit 1; \
 	fi
@@ -62,6 +62,13 @@ cover:
 journal-smoke:
 	$(GO) test -race -count=1 ./internal/journal/
 
+## wire-smoke: the frame codec, AEAD session, and both protocol
+## stacks' binary/secure modes under the race detector — the fuzz seed
+## corpus, the truncation-at-every-offset sweep, the replay and tamper
+## tests, and encrypted live round trips.
+wire-smoke:
+	$(GO) test -race -count=1 ./internal/wire/ ./internal/chirp/ ./internal/remoteio/
+
 ## fault-smoke: one fault-injection cell per error class; exits
 ## non-zero on any misclassification.
 fault-smoke:
@@ -100,6 +107,13 @@ bench-obs:
 ## BENCH_pool.json.
 bench-pool:
 	$(GO) run ./cmd/experiments -run bench-pool
+
+## bench-wire: the wire-transport harness — live loopback round trips
+## for chirp and remoteio in text, binary, and encrypted modes; fails
+## if any binary arm is slower than its text baseline; writes
+## BENCH_wire.json.
+bench-wire:
+	$(GO) run ./cmd/experiments -run bench-wire
 
 ## trace: regenerate the canonical per-class propagation traces under
 ## traces/ (the committed goldens live in

@@ -1,0 +1,261 @@
+package chirp
+
+import (
+	"bufio"
+	"io"
+	"net"
+
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/wire"
+)
+
+// The binary server side.  The framing is self-delimiting (every
+// request is one checksummed frame), so unlike the text protocol a
+// malformed request can never desynchronize the stream: the server
+// replies with a function-scope error and keeps the session.
+
+// serveBinary handles one framed connection; r already holds the
+// peeked first byte.
+func (s *Server) serveBinary(conn net.Conn, r *bufio.Reader) {
+	sess := wire.NewSession(r, conn, wire.Config{
+		Secret: []byte(s.secret),
+		AuthFailure: func() *scope.Error {
+			return scope.New(scope.ScopeProcess, CodeNotAuthed, "bad cookie")
+		},
+	})
+	defer sess.Release()
+	if err := sess.ServerHandshake(); err != nil {
+		s.logErr(err)
+		return
+	}
+	st := &session{files: make(map[int]File), pos: make(map[int]int64), nextFD: 3}
+	defer func() {
+		for _, f := range st.files {
+			f.Close()
+		}
+	}()
+	var resp []byte
+	for {
+		cmd, pl, err := sess.ReadMsg()
+		if err != nil {
+			if err != io.EOF {
+				s.logErr(err)
+			}
+			return
+		}
+		quit, err := s.handleBin(st, sess, cmd, pl, &resp)
+		if err != nil {
+			s.logErr(err)
+			return
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// binErr sends a scoped error response frame.
+func binErr(sess *wire.Session, err error) error {
+	return sess.WriteError(err, CodeBackend, scope.ScopeLocalResource)
+}
+
+func binBadRequest(sess *wire.Session, format string, args ...any) error {
+	return binErr(sess, scope.New(scope.ScopeFunction, CodeBadRequest, format, args...))
+}
+
+// handleBin processes one request frame.  The returned error is fatal
+// to the connection (the response write failed); protocol-level
+// refusals are answered in-band.
+func (s *Server) handleBin(st *session, sess *wire.Session, cmd byte, pl []byte, resp *[]byte) (quit bool, fatal error) {
+	cur := wire.NewCursor(pl)
+	switch cmd {
+	case binQuit:
+		return true, sess.WriteMsg(wire.CmdOK)
+
+	case binOpen:
+		flags := OpenFlags(cur.U8())
+		path := cur.RestString()
+		if !cur.OK() {
+			return false, binBadRequest(sess, "open: short payload")
+		}
+		f, err := s.backend.Open(path, flags)
+		if err != nil {
+			return false, binErr(sess, err)
+		}
+		fd := st.nextFD
+		st.nextFD++
+		st.files[fd] = f
+		if flags&FlagAppend != 0 {
+			if size, serr := f.Size(); serr == nil {
+				st.pos[fd] = size
+			}
+		} else {
+			st.pos[fd] = 0
+		}
+		*resp = wire.AppendU32((*resp)[:0], uint32(fd))
+		return false, sess.WriteMsg(wire.CmdOK, *resp)
+
+	case binClose:
+		fd, f, errResp := st.lookupBinFD(&cur)
+		if errResp != nil {
+			return false, binErr(sess, errResp)
+		}
+		delete(st.files, fd)
+		delete(st.pos, fd)
+		if err := f.Close(); err != nil {
+			return false, binErr(sess, err)
+		}
+		return false, sess.WriteMsg(wire.CmdOK)
+
+	case binRead, binPRead:
+		fd, f, errResp := st.lookupBinFD(&cur)
+		if errResp != nil {
+			return false, binErr(sess, errResp)
+		}
+		length := int(cur.U32())
+		offset := st.pos[fd]
+		if cmd == binPRead {
+			offset = cur.I64()
+		}
+		if !cur.Done() || length < 0 || length > maxDataLen {
+			return false, binBadRequest(sess, "read: bad arguments")
+		}
+		data, err := f.ReadAt(offset, length)
+		if err != nil {
+			return false, binErr(sess, err)
+		}
+		if cmd == binRead {
+			st.pos[fd] = offset + int64(len(data))
+		}
+		return false, sess.WriteMsg(wire.CmdOK, data)
+
+	case binWrite:
+		fd, f, errResp := st.lookupBinFD(&cur)
+		if errResp != nil {
+			return false, binErr(sess, errResp)
+		}
+		data := cur.Rest()
+		offset := st.pos[fd]
+		n, err := f.WriteAt(offset, data)
+		if err != nil {
+			return false, binErr(sess, err)
+		}
+		st.pos[fd] = offset + int64(n)
+		*resp = wire.AppendU32((*resp)[:0], uint32(n))
+		return false, sess.WriteMsg(wire.CmdOK, *resp)
+
+	case binPWrite:
+		_, f, errResp := st.lookupBinFD(&cur)
+		if errResp != nil {
+			return false, binErr(sess, errResp)
+		}
+		offset := cur.I64()
+		data := cur.Rest()
+		if !cur.OK() {
+			return false, binBadRequest(sess, "pwrite: short payload")
+		}
+		n, err := f.WriteAt(offset, data)
+		if err != nil {
+			return false, binErr(sess, err)
+		}
+		*resp = wire.AppendU32((*resp)[:0], uint32(n))
+		return false, sess.WriteMsg(wire.CmdOK, *resp)
+
+	case binSeek:
+		fd, f, errResp := st.lookupBinFD(&cur)
+		if errResp != nil {
+			return false, binErr(sess, errResp)
+		}
+		whence := int(cur.U8())
+		off := cur.I64()
+		if !cur.Done() {
+			return false, binBadRequest(sess, "lseek: bad arguments")
+		}
+		var base int64
+		switch whence {
+		case SeekSet:
+			base = 0
+		case SeekCur:
+			base = st.pos[fd]
+		case SeekEnd:
+			size, err := f.Size()
+			if err != nil {
+				return false, binErr(sess, err)
+			}
+			base = size
+		default:
+			return false, binBadRequest(sess, "bad whence %d", whence)
+		}
+		pos := base + off
+		if pos < 0 {
+			return false, binBadRequest(sess, "negative seek position")
+		}
+		st.pos[fd] = pos
+		*resp = wire.AppendI64((*resp)[:0], pos)
+		return false, sess.WriteMsg(wire.CmdOK, *resp)
+
+	case binUnlink:
+		if err := s.backend.Unlink(cur.RestString()); err != nil {
+			return false, binErr(sess, err)
+		}
+		return false, sess.WriteMsg(wire.CmdOK)
+
+	case binRename:
+		oldPath := cur.Str()
+		newPath := cur.RestString()
+		if !cur.OK() {
+			return false, binBadRequest(sess, "rename: short payload")
+		}
+		if err := s.backend.Rename(oldPath, newPath); err != nil {
+			return false, binErr(sess, err)
+		}
+		return false, sess.WriteMsg(wire.CmdOK)
+
+	case binStat:
+		info, err := s.backend.Stat(cur.RestString())
+		if err != nil {
+			return false, binErr(sess, err)
+		}
+		out := wire.AppendI64((*resp)[:0], info.Size)
+		out = append(out, roByte(info.ReadOnly))
+		out = append(out, info.Path...)
+		*resp = out
+		return false, sess.WriteMsg(wire.CmdOK, out)
+
+	case binGetdir:
+		infos, err := s.backend.List(cur.RestString())
+		if err != nil {
+			return false, binErr(sess, err)
+		}
+		out := wire.AppendU32((*resp)[:0], uint32(len(infos)))
+		for _, info := range infos {
+			out = wire.AppendI64(out, info.Size)
+			out = append(out, roByte(info.ReadOnly))
+			out = wire.AppendStr(out, info.Path)
+		}
+		*resp = out
+		return false, sess.WriteMsg(wire.CmdOK, out)
+	}
+	return false, binBadRequest(sess, "unknown command %#x", cmd)
+}
+
+func roByte(ro bool) byte {
+	if ro {
+		return 1
+	}
+	return 0
+}
+
+// lookupBinFD reads and resolves a descriptor argument; a nil File
+// with a non-nil error means "answer with this and keep the session".
+func (st *session) lookupBinFD(cur *wire.Cursor) (int, File, error) {
+	fd := int(cur.U32())
+	if !cur.OK() {
+		return 0, nil, scope.New(scope.ScopeFunction, CodeBadRequest, "missing fd")
+	}
+	f, ok := st.files[fd]
+	if !ok {
+		return 0, nil, scope.New(scope.ScopeFunction, CodeBadFD, "fd %d not open", fd)
+	}
+	return fd, f, nil
+}

@@ -2,6 +2,7 @@ package chirp
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -13,6 +14,7 @@ import (
 	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/scope"
 	"github.com/errscope/grid/internal/vfs"
+	"github.com/errscope/grid/internal/wire"
 )
 
 // Client is the I/O-library side of the Chirp protocol.  All methods
@@ -27,6 +29,10 @@ type Client struct {
 	w    *bufio.Writer
 	dead error // sticky escaping error once the transport fails
 
+	mode      wire.Mode
+	sess      *wire.Session // nil in text mode
+	ioTimeout time.Duration
+
 	// Trace, when non-nil and enabled, receives an error event the
 	// first time the transport fails; TraceJob tags it.  Set both
 	// before issuing requests.
@@ -34,21 +40,120 @@ type Client struct {
 	TraceJob int64
 }
 
+// DialOptions parameterize a client connection.
+type DialOptions struct {
+	// Timeout bounds the TCP connect; 0 means 10s.
+	Timeout time.Duration
+	// IOTimeout bounds each request round trip (write + read).  0
+	// means 10s; negative disables deadlines.  An expired deadline
+	// surfaces as an escaping network-scope RequestTimeout error.
+	IOTimeout time.Duration
+	// Mode selects the transport: ModeText (default, the legacy line
+	// protocol), ModeBinary (framed, checksummed), or ModeSecure
+	// (framed and encrypted; the cookie is never transmitted).
+	Mode wire.Mode
+	// RekeyAfter bounds the sealed frames per direction in ModeSecure;
+	// 0 means no budget.
+	RekeyAfter uint64
+}
+
+func (o DialOptions) connectTimeout() time.Duration {
+	if o.Timeout == 0 {
+		return 10 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o DialOptions) ioTimeout() time.Duration {
+	if o.IOTimeout == 0 {
+		return 10 * time.Second
+	}
+	if o.IOTimeout < 0 {
+		return 0
+	}
+	return o.IOTimeout
+}
+
+// checkCookie rejects cookies that cannot travel safely: a newline or
+// carriage return would terminate the text frame early, and a quote
+// would splice into the quoted argument.  Quote would escape all
+// three, but a secret that needs escaping is a secret that some other
+// implementation will mis-frame, so they are rejected at the edge
+// (function scope: the caller's argument is bad, nothing was sent).
+func checkCookie(cookie string) error {
+	if strings.ContainsAny(cookie, "\n\r\"") {
+		return scope.New(scope.ScopeFunction, CodeBadRequest,
+			"cookie contains newline or quote characters")
+	}
+	return nil
+}
+
 // Dial connects to a Chirp proxy and authenticates with the cookie.
 func Dial(addr, cookie string) (*Client, error) {
-	return DialTimeout(addr, cookie, 10*time.Second)
+	return DialOpts(addr, cookie, DialOptions{})
 }
 
 // DialTimeout is Dial with a connection timeout.
 func DialTimeout(addr, cookie string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialOpts(addr, cookie, DialOptions{Timeout: timeout})
+}
+
+// DialMode is Dial with a transport mode.
+func DialMode(addr, cookie string, mode wire.Mode) (*Client, error) {
+	return DialOpts(addr, cookie, DialOptions{Mode: mode})
+}
+
+// DialOpts connects with full options.
+func DialOpts(addr, cookie string, o DialOptions) (*Client, error) {
+	if err := checkCookie(cookie); err != nil {
+		return nil, err
+	}
+	conn, err := net.DialTimeout("tcp", addr, o.connectTimeout())
 	if err != nil {
 		return nil, scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
 	}
-	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
-	if _, _, err := c.roundTrip(fmt.Sprintf("cookie %s\n", quoteArg(cookie)), 0); err != nil {
+	c, err := NewClient(conn, cookie, o)
+	if err != nil {
 		conn.Close()
 		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient authenticates over an established connection (used by
+// benchmarks and tests that construct their own sockets).
+func NewClient(conn net.Conn, cookie string, o DialOptions) (*Client, error) {
+	if err := checkCookie(cookie); err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:      conn,
+		r:         bufio.NewReader(conn),
+		w:         bufio.NewWriter(conn),
+		mode:      o.Mode,
+		ioTimeout: o.ioTimeout(),
+	}
+	if o.Mode == wire.ModeText {
+		if _, _, err := c.roundTrip(fmt.Sprintf("cookie %s\n", quoteArg(cookie)), 0); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	c.sess = wire.NewSession(c.r, conn, wire.Config{
+		Mode:       o.Mode,
+		Secret:     []byte(cookie),
+		RekeyAfter: o.RekeyAfter,
+	})
+	c.arm()
+	err := c.sess.ClientHandshake()
+	c.disarm()
+	if err != nil {
+		if se, ok := scope.AsError(err); ok && se.Scope != scope.ScopeNetwork {
+			// The server's explicit refusal (bad cookie), not
+			// transport trouble: pass it through untouched.
+			return nil, se
+		}
+		return nil, scope.Escape(scope.ScopeNetwork, "", err)
 	}
 	return c, nil
 }
@@ -60,16 +165,47 @@ func (c *Client) Close() error {
 	if c.conn == nil {
 		return nil
 	}
-	fmt.Fprint(c.w, "quit\n")
-	c.w.Flush()
+	if c.sess != nil {
+		_ = c.sess.WriteMsg(binQuit) // best effort
+		c.sess.Release()
+		c.sess = nil
+	} else {
+		fmt.Fprint(c.w, "quit\n")
+		c.w.Flush()
+	}
 	err := c.conn.Close()
 	c.conn = nil
 	return err
 }
 
-// fail records and returns a sticky transport error.
+// arm sets the per-request I/O deadline; disarm clears it.  Without a
+// deadline a hung peer stalls the round trip — and the shadow behind
+// it — forever.
+func (c *Client) arm() {
+	if c.ioTimeout > 0 && c.conn != nil {
+		c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
+	}
+}
+
+func (c *Client) disarm() {
+	if c.ioTimeout > 0 && c.conn != nil {
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// fail records and returns a sticky transport error.  A scoped cause
+// (a frame-layer fault: checksum, MAC, replay, key expiry) keeps its
+// code and escapes; a deadline expiry becomes RequestTimeout; any
+// other cause is a lost connection.
 func (c *Client) fail(err error) error {
-	esc := scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+	code := CodeConnectionLost
+	var ne net.Error
+	if _, ok := scope.AsError(err); ok {
+		code = "" // Escape adopts the cause's code and widens its scope
+	} else if errors.As(err, &ne) && ne.Timeout() {
+		code = CodeRequestTimeout
+	}
+	esc := scope.Escape(scope.ScopeNetwork, code, err)
 	first := c.dead == nil
 	c.dead = esc
 	if c.conn != nil {
@@ -84,9 +220,9 @@ func (c *Client) fail(err error) error {
 			Comp:   "chirp-client",
 			Kind:   obs.KindError,
 			Job:    c.TraceJob,
-			Code:   CodeConnectionLost,
-			Scope:  scope.ScopeNetwork.String(),
-			EKind:  "escaping",
+			Code:   esc.Code,
+			Scope:  esc.Scope.String(),
+			EKind:  esc.Kind.String(),
 			Detail: esc.Error(),
 		})
 		c.Trace.Count("chirp.transport_failures", 1)
@@ -106,6 +242,8 @@ func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (val
 	if c.conn == nil {
 		return "", nil, scope.New(scope.ScopeFunction, CodeBadRequest, "client closed")
 	}
+	c.arm()
+	defer c.disarm()
 	if _, err := io.WriteString(c.w, request); err != nil {
 		return "", nil, c.fail(err)
 	}
@@ -122,15 +260,13 @@ func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (val
 		return "", nil, c.fail(err)
 	}
 	line = strings.TrimRight(line, "\r\n")
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		return "", nil, c.fail(fmt.Errorf("empty response"))
-	}
-	switch fields[0] {
+	verb, rest, _ := strings.Cut(line, " ")
+	switch verb {
 	case "ok":
-		value = strings.Join(fields[1:], " ")
+		value = rest
 		if wantData > 0 {
-			n, convErr := strconv.Atoi(fields[1])
+			lenField, _, _ := strings.Cut(rest, " ")
+			n, convErr := strconv.Atoi(lenField)
 			if convErr != nil || n < 0 || n > maxDataLen {
 				return "", nil, c.fail(fmt.Errorf("bad data length %q", line))
 			}
@@ -141,7 +277,9 @@ func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (val
 		}
 		return value, data, nil
 	case "error":
-		se, decErr := decodeErrorLine(fields[1:])
+		// Decode from the raw remainder: the quoted message may
+		// contain consecutive spaces that field-splitting would eat.
+		se, decErr := decodeErrorLine(rest)
 		if decErr != nil {
 			return "", nil, c.fail(decErr)
 		}
@@ -151,90 +289,9 @@ func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (val
 	}
 }
 
-// Open opens a remote file and returns its descriptor.
-func (c *Client) Open(path string, flags OpenFlags) (int, error) {
-	v, _, err := c.roundTrip(fmt.Sprintf("open %s %s\n", quoteArg(path), flags), 0)
-	if err != nil {
-		return -1, err
-	}
-	fd, convErr := strconv.Atoi(v)
-	if convErr != nil {
-		return -1, c.fail(fmt.Errorf("bad open response %q", v))
-	}
-	return fd, nil
-}
-
-// CloseFD closes a remote descriptor.
-func (c *Client) CloseFD(fd int) error {
-	_, _, err := c.roundTrip(fmt.Sprintf("close %d\n", fd), 0)
-	return err
-}
-
-// Read reads up to length bytes from the descriptor's current offset.
-func (c *Client) Read(fd, length int) ([]byte, error) {
-	_, data, err := c.roundTrip(fmt.Sprintf("read %d %d\n", fd, length), length)
-	return data, err
-}
-
-// PRead reads up to length bytes at the given offset.
-func (c *Client) PRead(fd, length int, offset int64) ([]byte, error) {
-	_, data, err := c.roundTrip(fmt.Sprintf("pread %d %d %d\n", fd, length, offset), length)
-	return data, err
-}
-
-// Write writes data at the descriptor's current offset.
-func (c *Client) Write(fd int, data []byte) (int, error) {
-	v, _, err := c.roundTrip(fmt.Sprintf("write %d %d\n", fd, len(data)), 0, data)
-	if err != nil {
-		return 0, err
-	}
-	n, convErr := strconv.Atoi(v)
-	if convErr != nil {
-		return 0, c.fail(fmt.Errorf("bad write response %q", v))
-	}
-	return n, nil
-}
-
-// PWrite writes data at the given offset.
-func (c *Client) PWrite(fd int, data []byte, offset int64) (int, error) {
-	v, _, err := c.roundTrip(fmt.Sprintf("pwrite %d %d %d\n", fd, len(data), offset), 0, data)
-	if err != nil {
-		return 0, err
-	}
-	n, convErr := strconv.Atoi(v)
-	if convErr != nil {
-		return 0, c.fail(fmt.Errorf("bad pwrite response %q", v))
-	}
-	return n, nil
-}
-
-// Seek repositions the descriptor and returns the new offset.
-func (c *Client) Seek(fd int, offset int64, whence int) (int64, error) {
-	v, _, err := c.roundTrip(fmt.Sprintf("lseek %d %d %d\n", fd, offset, whence), 0)
-	if err != nil {
-		return 0, err
-	}
-	pos, convErr := strconv.ParseInt(v, 10, 64)
-	if convErr != nil {
-		return 0, c.fail(fmt.Errorf("bad lseek response %q", v))
-	}
-	return pos, nil
-}
-
-// Unlink removes a remote file.
-func (c *Client) Unlink(path string) error {
-	_, _, err := c.roundTrip(fmt.Sprintf("unlink %s\n", quoteArg(path)), 0)
-	return err
-}
-
-// Rename moves a remote file.
-func (c *Client) Rename(oldPath, newPath string) error {
-	_, _, err := c.roundTrip(fmt.Sprintf("rename %s %s\n", quoteArg(oldPath), quoteArg(newPath)), 0)
-	return err
-}
-
-// List enumerates remote files under a prefix.
-func (c *Client) List(prefix string) ([]vfs.Info, error) {
+// roundTripBin sends one framed request and returns the response
+// payload (copied out of the session buffer).  Callers hold no lock.
+func (c *Client) roundTripBin(cmd byte, parts ...[]byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dead != nil {
@@ -243,6 +300,235 @@ func (c *Client) List(prefix string) ([]vfs.Info, error) {
 	if c.conn == nil {
 		return nil, scope.New(scope.ScopeFunction, CodeBadRequest, "client closed")
 	}
+	c.arm()
+	defer c.disarm()
+	if err := c.sess.WriteMsg(cmd, parts...); err != nil {
+		return nil, c.fail(err)
+	}
+	rcmd, pl, err := c.sess.ReadMsg()
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	switch rcmd {
+	case wire.CmdOK:
+		return append([]byte(nil), pl...), nil
+	case wire.CmdErr:
+		se, decErr := wire.DecodeErrorPayload(pl)
+		if decErr != nil {
+			return nil, c.fail(decErr)
+		}
+		return nil, se
+	default:
+		return nil, c.fail(fmt.Errorf("bad response frame %#x", rcmd))
+	}
+}
+
+// binary reports whether the client speaks frames.
+func (c *Client) binary() bool { return c.mode != wire.ModeText }
+
+// Open opens a remote file and returns its descriptor.
+func (c *Client) Open(path string, flags OpenFlags) (int, error) {
+	if c.binary() {
+		pl, err := c.roundTripBin(binOpen, []byte{byte(flags)}, []byte(path))
+		if err != nil {
+			return -1, err
+		}
+		cur := wire.NewCursor(pl)
+		fd := cur.U32()
+		if !cur.Done() {
+			return -1, c.failLocked(fmt.Errorf("bad open response (%d bytes)", len(pl)))
+		}
+		return int(fd), nil
+	}
+	v, _, err := c.roundTrip(fmt.Sprintf("open %s %s\n", quoteArg(path), flags), 0)
+	if err != nil {
+		return -1, err
+	}
+	fd, convErr := strconv.Atoi(v)
+	if convErr != nil {
+		return -1, c.failLocked(fmt.Errorf("bad open response %q", v))
+	}
+	return fd, nil
+}
+
+// failLocked is fail for callers outside the round-trip lock.
+func (c *Client) failLocked(err error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fail(err)
+}
+
+// CloseFD closes a remote descriptor.
+func (c *Client) CloseFD(fd int) error {
+	if c.binary() {
+		_, err := c.roundTripBin(binClose, wire.AppendU32(nil, uint32(fd)))
+		return err
+	}
+	_, _, err := c.roundTrip(fmt.Sprintf("close %d\n", fd), 0)
+	return err
+}
+
+// Read reads up to length bytes from the descriptor's current offset.
+func (c *Client) Read(fd, length int) ([]byte, error) {
+	if c.binary() {
+		arg := wire.AppendU32(wire.AppendU32(nil, uint32(fd)), uint32(length))
+		return c.roundTripBin(binRead, arg)
+	}
+	_, data, err := c.roundTrip(fmt.Sprintf("read %d %d\n", fd, length), length)
+	return data, err
+}
+
+// PRead reads up to length bytes at the given offset.
+func (c *Client) PRead(fd, length int, offset int64) ([]byte, error) {
+	if c.binary() {
+		arg := wire.AppendI64(wire.AppendU32(wire.AppendU32(nil, uint32(fd)), uint32(length)), offset)
+		return c.roundTripBin(binPRead, arg)
+	}
+	_, data, err := c.roundTrip(fmt.Sprintf("pread %d %d %d\n", fd, length, offset), length)
+	return data, err
+}
+
+// decodeCount unpacks a u32 response payload.
+func (c *Client) decodeCount(pl []byte, what string) (int, error) {
+	cur := wire.NewCursor(pl)
+	n := cur.U32()
+	if !cur.Done() {
+		return 0, c.failLocked(fmt.Errorf("bad %s response (%d bytes)", what, len(pl)))
+	}
+	return int(n), nil
+}
+
+// Write writes data at the descriptor's current offset.
+func (c *Client) Write(fd int, data []byte) (int, error) {
+	if c.binary() {
+		pl, err := c.roundTripBin(binWrite, wire.AppendU32(nil, uint32(fd)), data)
+		if err != nil {
+			return 0, err
+		}
+		return c.decodeCount(pl, "write")
+	}
+	v, _, err := c.roundTrip(fmt.Sprintf("write %d %d\n", fd, len(data)), 0, data)
+	if err != nil {
+		return 0, err
+	}
+	n, convErr := strconv.Atoi(v)
+	if convErr != nil {
+		return 0, c.failLocked(fmt.Errorf("bad write response %q", v))
+	}
+	return n, nil
+}
+
+// PWrite writes data at the given offset.
+func (c *Client) PWrite(fd int, data []byte, offset int64) (int, error) {
+	if c.binary() {
+		arg := wire.AppendI64(wire.AppendU32(nil, uint32(fd)), offset)
+		pl, err := c.roundTripBin(binPWrite, arg, data)
+		if err != nil {
+			return 0, err
+		}
+		return c.decodeCount(pl, "pwrite")
+	}
+	v, _, err := c.roundTrip(fmt.Sprintf("pwrite %d %d %d\n", fd, len(data), offset), 0, data)
+	if err != nil {
+		return 0, err
+	}
+	n, convErr := strconv.Atoi(v)
+	if convErr != nil {
+		return 0, c.failLocked(fmt.Errorf("bad pwrite response %q", v))
+	}
+	return n, nil
+}
+
+// Seek repositions the descriptor and returns the new offset.
+func (c *Client) Seek(fd int, offset int64, whence int) (int64, error) {
+	if c.binary() {
+		arg := wire.AppendI64(append(wire.AppendU32(nil, uint32(fd)), byte(whence)), offset)
+		pl, err := c.roundTripBin(binSeek, arg)
+		if err != nil {
+			return 0, err
+		}
+		cur := wire.NewCursor(pl)
+		pos := cur.I64()
+		if !cur.Done() {
+			return 0, c.failLocked(fmt.Errorf("bad lseek response (%d bytes)", len(pl)))
+		}
+		return pos, nil
+	}
+	v, _, err := c.roundTrip(fmt.Sprintf("lseek %d %d %d\n", fd, offset, whence), 0)
+	if err != nil {
+		return 0, err
+	}
+	pos, convErr := strconv.ParseInt(v, 10, 64)
+	if convErr != nil {
+		return 0, c.failLocked(fmt.Errorf("bad lseek response %q", v))
+	}
+	return pos, nil
+}
+
+// Unlink removes a remote file.
+func (c *Client) Unlink(path string) error {
+	if c.binary() {
+		_, err := c.roundTripBin(binUnlink, []byte(path))
+		return err
+	}
+	_, _, err := c.roundTrip(fmt.Sprintf("unlink %s\n", quoteArg(path)), 0)
+	return err
+}
+
+// Rename moves a remote file.
+func (c *Client) Rename(oldPath, newPath string) error {
+	if c.binary() {
+		_, err := c.roundTripBin(binRename, wire.AppendStr(nil, oldPath), []byte(newPath))
+		return err
+	}
+	_, _, err := c.roundTrip(fmt.Sprintf("rename %s %s\n", quoteArg(oldPath), quoteArg(newPath)), 0)
+	return err
+}
+
+// decodeInfo unpacks a stat-shaped payload region.
+func decodeInfo(cur *wire.Cursor, rest bool) vfs.Info {
+	size := cur.I64()
+	ro := cur.U8()
+	var p string
+	if rest {
+		p = cur.RestString()
+	} else {
+		p = cur.Str()
+	}
+	return vfs.Info{Path: p, Size: size, ReadOnly: ro != 0}
+}
+
+// List enumerates remote files under a prefix.
+func (c *Client) List(prefix string) ([]vfs.Info, error) {
+	if c.binary() {
+		pl, err := c.roundTripBin(binGetdir, []byte(prefix))
+		if err != nil {
+			return nil, err
+		}
+		cur := wire.NewCursor(pl)
+		n := int(cur.U32())
+		if !cur.OK() || n < 0 || n > 1<<20 {
+			return nil, c.failLocked(fmt.Errorf("bad getdir response (%d bytes)", len(pl)))
+		}
+		out := make([]vfs.Info, 0, n)
+		for i := 0; i < n; i++ {
+			out = append(out, decodeInfo(&cur, false))
+		}
+		if !cur.Done() {
+			return nil, c.failLocked(fmt.Errorf("bad getdir entries (%d bytes)", len(pl)))
+		}
+		return out, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return nil, c.dead
+	}
+	if c.conn == nil {
+		return nil, scope.New(scope.ScopeFunction, CodeBadRequest, "client closed")
+	}
+	c.arm()
+	defer c.disarm()
 	if _, err := fmt.Fprintf(c.w, "getdir %s\n", quoteArg(prefix)); err != nil {
 		return nil, c.fail(err)
 	}
@@ -253,23 +539,21 @@ func (c *Client) List(prefix string) ([]vfs.Info, error) {
 	if err != nil {
 		return nil, c.fail(err)
 	}
-	fields := strings.Fields(strings.TrimRight(line, "\r\n"))
-	if len(fields) == 0 {
-		return nil, c.fail(fmt.Errorf("empty response"))
-	}
-	if fields[0] == "error" {
-		se, decErr := decodeErrorLine(fields[1:])
+	line = strings.TrimRight(line, "\r\n")
+	verb, rest, _ := strings.Cut(line, " ")
+	if verb == "error" {
+		se, decErr := decodeErrorLine(rest)
 		if decErr != nil {
 			return nil, c.fail(decErr)
 		}
 		return nil, se
 	}
-	if fields[0] != "ok" || len(fields) != 2 {
+	if verb != "ok" || strings.Contains(rest, " ") {
 		return nil, c.fail(fmt.Errorf("bad getdir response %q", line))
 	}
-	n, convErr := strconv.Atoi(fields[1])
+	n, convErr := strconv.Atoi(rest)
 	if convErr != nil || n < 0 || n > 1<<20 {
-		return nil, c.fail(fmt.Errorf("bad getdir count %q", fields[1]))
+		return nil, c.fail(fmt.Errorf("bad getdir count %q", rest))
 	}
 	out := make([]vfs.Info, 0, n)
 	for i := 0; i < n; i++ {
@@ -294,19 +578,31 @@ func (c *Client) List(prefix string) ([]vfs.Info, error) {
 
 // Stat describes a remote file.
 func (c *Client) Stat(path string) (vfs.Info, error) {
+	if c.binary() {
+		pl, err := c.roundTripBin(binStat, []byte(path))
+		if err != nil {
+			return vfs.Info{}, err
+		}
+		cur := wire.NewCursor(pl)
+		info := decodeInfo(&cur, true)
+		if !cur.Done() {
+			return vfs.Info{}, c.failLocked(fmt.Errorf("bad stat response (%d bytes)", len(pl)))
+		}
+		return info, nil
+	}
 	v, _, err := c.roundTrip(fmt.Sprintf("stat %s\n", quoteArg(path)), 0)
 	if err != nil {
 		return vfs.Info{}, err
 	}
 	fields := strings.Fields(v)
 	if len(fields) < 3 {
-		return vfs.Info{}, c.fail(fmt.Errorf("bad stat response %q", v))
+		return vfs.Info{}, c.failLocked(fmt.Errorf("bad stat response %q", v))
 	}
 	size, err1 := strconv.ParseInt(fields[0], 10, 64)
 	ro, err2 := strconv.Atoi(fields[1])
 	p, err3 := unquoteArg(strings.Join(fields[2:], " "))
 	if err1 != nil || err2 != nil || err3 != nil {
-		return vfs.Info{}, c.fail(fmt.Errorf("bad stat response %q", v))
+		return vfs.Info{}, c.failLocked(fmt.Errorf("bad stat response %q", v))
 	}
 	return vfs.Info{Path: p, Size: size, ReadOnly: ro != 0}, nil
 }

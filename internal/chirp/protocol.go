@@ -51,6 +51,31 @@ const (
 const (
 	CodeConnectionLost = "ConnectionLost"
 	CodeProtocolError  = "ProtocolError"
+	// CodeRequestTimeout marks a request whose I/O deadline expired:
+	// the connection may be healthy or hung, the client cannot tell,
+	// so the condition escapes with network scope like any other
+	// transport failure.
+	CodeRequestTimeout = "RequestTimeout"
+)
+
+// Binary protocol command bytes (wire.ModeBinary / wire.ModeSecure).
+// All are >= 0x80, which is how a server distinguishes a binary
+// client's first frame from a text client's first line.  Responses use
+// the shared wire.CmdOK / wire.CmdErr frames.
+const (
+	binOpen   byte = 0x90 // flags u8, path rest        -> fd u32
+	binClose  byte = 0x91 // fd u32
+	binRead   byte = 0x92 // fd u32, len u32            -> data
+	binPRead  byte = 0x93 // fd u32, len u32, off i64   -> data
+	binWrite  byte = 0x94 // fd u32, data rest          -> n u32
+	binPWrite byte = 0x95 // fd u32, off i64, data rest -> n u32
+	binSeek   byte = 0x96 // fd u32, whence u8, off i64 -> pos i64
+	binUnlink byte = 0x97 // path rest
+	binRename byte = 0x98 // old str, new rest
+	binStat   byte = 0x99 // path rest -> size i64, ro u8, path rest
+	binGetdir byte = 0x9A // prefix rest -> count u32, then per entry
+	//                       size i64, ro u8, path str
+	binQuit byte = 0x9F
 )
 
 // Contract returns the explicit error interface of the Chirp protocol.
@@ -142,9 +167,11 @@ func encodeError(err error) string {
 	return wire.EncodeError(err, CodeBackend, scope.ScopeLocalResource)
 }
 
-// decodeErrorLine parses the fields after the "error" verb.
-func decodeErrorLine(fields []string) (*scope.Error, error) {
-	return wire.DecodeError(fields)
+// decodeErrorLine parses the raw remainder of a wire line after the
+// "error " verb.  It must receive the unsplit bytes: quoted messages
+// may contain consecutive spaces.
+func decodeErrorLine(rest string) (*scope.Error, error) {
+	return wire.DecodeError(rest)
 }
 
 // quoteArg encodes a path or string argument for the wire (no spaces

@@ -119,6 +119,13 @@ type session struct {
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
 	r := bufio.NewReader(conn)
+	// A binary client's first byte is a session message type (always
+	// >= 0x80); a text client's first byte is a lowercase verb.  One
+	// peeked byte selects the protocol, with no bytes consumed.
+	if first, err := r.Peek(1); err == nil && first[0] >= 0x80 {
+		s.serveBinary(conn, r)
+		return
+	}
 	w := bufio.NewWriter(conn)
 	sess := &session{files: make(map[int]File), pos: make(map[int]int64), nextFD: 3}
 	defer func() {

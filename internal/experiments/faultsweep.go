@@ -16,6 +16,7 @@ import (
 	"github.com/errscope/grid/internal/remoteio"
 	"github.com/errscope/grid/internal/scope"
 	"github.com/errscope/grid/internal/vfs"
+	"github.com/errscope/grid/internal/wire"
 	"github.com/errscope/grid/internal/wrapper"
 )
 
@@ -588,44 +589,75 @@ func simCells() []simCell {
 	}
 }
 
-// connCell is one live-stack sweep cell: a real client/server pair
-// with a fault proxy between them.  The conformance demand is always
-// the same — the transport failure surfaces as an escaping
+// connExpect is the classification a live-stack cell must observe:
+// the scope, kind, and error code of the surfaced failure, and its
+// fate under Dispose.
+type connExpect struct {
+	scope scope.Scope
+	kind  scope.Kind
+	code  string
+	disp  scope.Disposition
+}
+
+func (e connExpect) String() string {
+	return fmt.Sprintf("%s/%s/%s -> %s", e.scope, e.kind, e.code, e.disp)
+}
+
+// lostExpect is the classic transport contract: an escaping
 // network-scope ConnectionLost, the indeterminate-scope signal that
-// forces the caller to widen (Section 5) — and its disposition under
-// Dispose is retry (requeue), never a program result.
+// forces the caller to widen (Section 5), with disposition retry
+// (requeue), never a program result.
+func lostExpect() connExpect {
+	return connExpect{scope.ScopeNetwork, scope.KindEscaping, "ConnectionLost", scope.DispositionRequeue}
+}
+
+// connCell is one live-stack sweep cell: a real client/server pair
+// with a fault proxy between them.  A zero want defaults to
+// lostExpect; the frame-level classes demand their own codes
+// (ChecksumMismatch, TruncatedFrame, MACFailure, ReplayedFrame,
+// KeyExpired), each still disposed as a retry.
 type connCell struct {
 	class faultinject.Class
 	site  string
 	run   func() error // returns the observed transport error
+	want  connExpect
+}
+
+func (c connCell) expect() connExpect {
+	if c.want.code == "" {
+		return lostExpect()
+	}
+	return c.want
 }
 
 // runConn executes a connection cell, asserting classification and
 // returning the canonical trace line.
 func (c connCell) runConn() (string, error) {
+	want := c.expect()
 	err := c.run()
 	sig := errSig(err)
 	trace := fmt.Sprintf("%s %s -> %s", c.class, c.site, sig)
 	if err == nil {
-		return trace, fmt.Errorf("operation over the cut connection succeeded")
+		return trace, fmt.Errorf("operation over the faulted connection succeeded")
 	}
 	se, ok := scope.AsError(err)
 	if !ok {
 		return trace, fmt.Errorf("unscoped transport error: %v", err)
 	}
-	if se.Scope != scope.ScopeNetwork || se.Kind != scope.KindEscaping || se.Code != "ConnectionLost" {
-		return trace, fmt.Errorf("classified %s/%s/%s, want network/escaping/ConnectionLost",
-			se.Scope, se.Kind, se.Code)
+	if se.Scope != want.scope || se.Kind != want.kind || se.Code != want.code {
+		return trace, fmt.Errorf("classified %s/%s/%s, want %s/%s/%s",
+			se.Scope, se.Kind, se.Code, want.scope, want.kind, want.code)
 	}
-	if d := scope.DisposeError(se); d != scope.DispositionRequeue {
-		return trace, fmt.Errorf("disposition %v, want %v (retry elsewhere)", d, scope.DispositionRequeue)
+	if d := scope.DisposeError(se); d != want.disp {
+		return trace, fmt.Errorf("disposition %v, want %v (retry elsewhere)", d, want.disp)
 	}
 	return trace, nil
 }
 
-// chirpThrough runs op over a chirp session dialed through a fault
-// proxy and returns the first transport error observed.
-func chirpThrough(fault faultinject.ConnFault, op func(c *chirp.Client) error) error {
+// chirpThroughMode runs op over a chirp session in the given wire
+// mode, dialed through a fault proxy, and returns the first transport
+// error observed.  rekey caps the client's sealed-frame budget.
+func chirpThroughMode(mode wire.Mode, rekey uint64, fault faultinject.ConnFault, op func(c *chirp.Client) error) error {
 	fs := vfs.New()
 	if err := fs.WriteFile("/data", bytes.Repeat([]byte("x"), 4096)); err != nil {
 		return err
@@ -641,7 +673,38 @@ func chirpThrough(fault faultinject.ConnFault, op func(c *chirp.Client) error) e
 		return err
 	}
 	defer px.Close()
-	c, err := chirp.Dial(px.Addr(), "ck")
+	c, err := chirp.DialOpts(px.Addr(), "ck", chirp.DialOptions{Mode: mode, RekeyAfter: rekey})
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	return op(c)
+}
+
+// chirpThrough is chirpThroughMode on the classic text protocol.
+func chirpThrough(fault faultinject.ConnFault, op func(c *chirp.Client) error) error {
+	return chirpThroughMode(wire.ModeText, 0, fault, op)
+}
+
+// remoteioThrough is the remote-I/O twin of chirpThroughMode.
+func remoteioThrough(mode wire.Mode, rekey uint64, fault faultinject.ConnFault, op func(c *remoteio.Client) error) error {
+	fs := vfs.New()
+	if err := fs.WriteFile("/in", bytes.Repeat([]byte("y"), 4096)); err != nil {
+		return err
+	}
+	srv := remoteio.NewServer(fs, []byte("key"))
+	srv.Mode = mode
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	px, err := faultinject.NewProxy(addr, fault)
+	if err != nil {
+		return err
+	}
+	defer px.Close()
+	c, err := remoteio.DialOpts(px.Addr(), []byte("key"), remoteio.DialOptions{Mode: mode, RekeyAfter: rekey})
 	if err != nil {
 		return err
 	}
@@ -675,27 +738,7 @@ func connCells() []connCell {
 		}
 		return nil
 	}
-	remoteioRead := func(fault faultinject.ConnFault) error {
-		fs := vfs.New()
-		if err := fs.WriteFile("/in", bytes.Repeat([]byte("y"), 4096)); err != nil {
-			return err
-		}
-		srv := remoteio.NewServer(fs, []byte("key"))
-		addr, err := srv.Listen("127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		defer srv.Close()
-		px, err := faultinject.NewProxy(addr, fault)
-		if err != nil {
-			return err
-		}
-		defer px.Close()
-		c, err := remoteio.Dial(px.Addr(), []byte("key"))
-		if err != nil {
-			return err
-		}
-		defer c.Close()
+	rioReadLoop := func(c *remoteio.Client) error {
 		for i := 0; i < 16; i++ {
 			if _, err := c.Read("/in", 0, 4096); err != nil {
 				return err
@@ -703,25 +746,142 @@ func connCells() []connCell {
 		}
 		return nil
 	}
+	remoteioRead := func(fault faultinject.ConnFault) error {
+		return remoteioThrough(wire.ModeText, 0, fault, rioReadLoop)
+	}
+	netErr := func(code string) connExpect {
+		return connExpect{scope.ScopeNetwork, scope.KindEscaping, code, scope.DispositionRequeue}
+	}
+	keyErr := func(kind scope.Kind) connExpect {
+		return connExpect{scope.ScopeLocalResource, kind, wire.CodeKeyExpired, scope.DispositionRequeue}
+	}
+	// Server→client frame indices on the binary wire: binary mode is
+	// authOK(1), open-resp(2), read-resp(3) for chirp and authOK(1),
+	// read-resp(2) for remoteio; secure mode spends two handshake
+	// frames first — helloAck(1), proofAck(2) — shifting each RPC
+	// response up by one.
 	return []connCell{
-		{faultinject.ClassConnTruncate, "chirp (response stream)", func() error {
+		{class: faultinject.ClassConnTruncate, site: "chirp (response stream)", run: func() error {
 			return chirpThrough(faultinject.ConnFault{CutToClient: 64}, readLoop)
 		}},
-		{faultinject.ClassConnTruncate, "chirp (handshake)", func() error {
+		{class: faultinject.ClassConnTruncate, site: "chirp (handshake)", run: func() error {
 			return chirpThrough(faultinject.ConnFault{CutToClient: 3}, readLoop)
 		}},
-		{faultinject.ClassConnTruncate, "remoteio (response stream)", func() error {
+		{class: faultinject.ClassConnTruncate, site: "remoteio (response stream)", run: func() error {
 			return remoteioRead(faultinject.ConnFault{CutToClient: 80})
 		}},
-		{faultinject.ClassConnReset, "chirp (response stream)", func() error {
+		{class: faultinject.ClassConnReset, site: "chirp (response stream)", run: func() error {
 			return chirpThrough(faultinject.ConnFault{CutToClient: 64, Reset: true}, readLoop)
 		}},
-		{faultinject.ClassConnReset, "chirp (request stream)", func() error {
+		{class: faultinject.ClassConnReset, site: "chirp (request stream)", run: func() error {
 			return chirpThrough(faultinject.ConnFault{CutToServer: 48, Reset: true}, writeLoop)
 		}},
-		{faultinject.ClassConnReset, "remoteio (response stream)", func() error {
+		{class: faultinject.ClassConnReset, site: "remoteio (response stream)", run: func() error {
 			return remoteioRead(faultinject.ConnFault{CutToClient: 80, Reset: true})
 		}},
+
+		// --- frame-corrupt: one flipped byte, caught by the frame
+		// checksum on the binary wire -------------------------------
+		{class: faultinject.ClassFrameCorrupt, site: "chirp binary (read response)",
+			want: netErr(wire.CodeChecksumMismatch), run: func() error {
+				return chirpThroughMode(wire.ModeBinary, 0, faultinject.ConnFault{CorruptFrame: 3}, readLoop)
+			}},
+		{class: faultinject.ClassFrameCorrupt, site: "chirp binary (open response)",
+			want: netErr(wire.CodeChecksumMismatch), run: func() error {
+				return chirpThroughMode(wire.ModeBinary, 0, faultinject.ConnFault{CorruptFrame: 2}, readLoop)
+			}},
+		{class: faultinject.ClassFrameCorrupt, site: "remoteio binary (read response)",
+			want: netErr(wire.CodeChecksumMismatch), run: func() error {
+				return remoteioThrough(wire.ModeBinary, 0, faultinject.ConnFault{CorruptFrame: 2}, rioReadLoop)
+			}},
+
+		// --- frame-truncate: a frame cut inside its header ---------
+		{class: faultinject.ClassFrameTruncate, site: "chirp binary (read response)",
+			want: netErr(wire.CodeTruncatedFrame), run: func() error {
+				return chirpThroughMode(wire.ModeBinary, 0, faultinject.ConnFault{TruncateFrame: 3}, readLoop)
+			}},
+		{class: faultinject.ClassFrameTruncate, site: "chirp secure (sealed read response)",
+			want: netErr(wire.CodeTruncatedFrame), run: func() error {
+				return chirpThroughMode(wire.ModeSecure, 0, faultinject.ConnFault{TruncateFrame: 4}, readLoop)
+			}},
+		{class: faultinject.ClassFrameTruncate, site: "remoteio binary (read response)",
+			want: netErr(wire.CodeTruncatedFrame), run: func() error {
+				return remoteioThrough(wire.ModeBinary, 0, faultinject.ConnFault{TruncateFrame: 2}, rioReadLoop)
+			}},
+
+		// --- mac-failure: the corruption repairs the frame checksum,
+		// so only the AEAD layer of the secure session catches it ---
+		{class: faultinject.ClassMACFailure, site: "chirp secure (read response)",
+			want: netErr(wire.CodeMACFailure), run: func() error {
+				return chirpThroughMode(wire.ModeSecure, 0,
+					faultinject.ConnFault{CorruptFrame: 4, FixChecksum: true}, readLoop)
+			}},
+		{class: faultinject.ClassMACFailure, site: "chirp secure (open response)",
+			want: netErr(wire.CodeMACFailure), run: func() error {
+				return chirpThroughMode(wire.ModeSecure, 0,
+					faultinject.ConnFault{CorruptFrame: 3, FixChecksum: true}, readLoop)
+			}},
+		{class: faultinject.ClassMACFailure, site: "remoteio secure (read response)",
+			want: netErr(wire.CodeMACFailure), run: func() error {
+				return remoteioThrough(wire.ModeSecure, 0,
+					faultinject.ConnFault{CorruptFrame: 3, FixChecksum: true}, rioReadLoop)
+			}},
+
+		// --- frame-replay: the duplicate answers nothing; the
+		// sequence counter rejects it when the next response is due -
+		{class: faultinject.ClassFrameReplay, site: "chirp secure (read response)",
+			want: netErr(wire.CodeReplayedFrame), run: func() error {
+				return chirpThroughMode(wire.ModeSecure, 0, faultinject.ConnFault{ReplayFrame: 4}, readLoop)
+			}},
+		{class: faultinject.ClassFrameReplay, site: "chirp binary (read response)",
+			want: netErr(wire.CodeReplayedFrame), run: func() error {
+				return chirpThroughMode(wire.ModeBinary, 0, faultinject.ConnFault{ReplayFrame: 3}, readLoop)
+			}},
+		{class: faultinject.ClassFrameReplay, site: "remoteio secure (read response)",
+			want: netErr(wire.CodeReplayedFrame), run: func() error {
+				return remoteioThrough(wire.ModeSecure, 0, faultinject.ConnFault{ReplayFrame: 3}, rioReadLoop)
+			}},
+
+		// --- key-expiry: the sealed-frame budget runs out.  The
+		// client-side budget escapes from the refusal point; the
+		// server-side budget is an explicit in-band refusal.  Both are
+		// local-resource scope — the channel's security state, not the
+		// network — and both dispose as a retry.
+		{class: faultinject.ClassKeyExpiry, site: "chirp secure (client budget)",
+			want: keyErr(scope.KindEscaping), run: func() error {
+				// Sealed sends: proof(1), open(2), read(3); the next
+				// read refuses locally.
+				return chirpThroughMode(wire.ModeSecure, 3, faultinject.ConnFault{}, readLoop)
+			}},
+		{class: faultinject.ClassKeyExpiry, site: "remoteio secure (client budget)",
+			want: keyErr(scope.KindEscaping), run: func() error {
+				return remoteioThrough(wire.ModeSecure, 3, faultinject.ConnFault{}, rioReadLoop)
+			}},
+		{class: faultinject.ClassKeyExpiry, site: "remoteio secure (server-side expiry)",
+			want: keyErr(scope.KindExplicit), run: func() error {
+				fs := vfs.New()
+				if err := fs.WriteFile("/in", bytes.Repeat([]byte("y"), 256)); err != nil {
+					return err
+				}
+				srv := remoteio.NewServer(fs, []byte("key"))
+				srv.Mode = wire.ModeSecure
+				addr, err := srv.Listen("127.0.0.1:0")
+				if err != nil {
+					return err
+				}
+				defer srv.Close()
+				c, err := remoteio.DialMode(addr, []byte("key"), wire.ModeSecure)
+				if err != nil {
+					return err
+				}
+				defer c.Close()
+				if _, err := c.Read("/in", 0, 64); err != nil {
+					return err
+				}
+				srv.ExpireSessionKeys()
+				_, err = c.Read("/in", 0, 64)
+				return err
+			}},
 	}
 }
 
@@ -812,8 +972,7 @@ func faultSweep(seed int64, smoke bool) (*Report, error) {
 			mark(c.class, c.site)
 		}
 		hash.Write([]byte(trace))
-		rep.AddRow(string(c.class), c.site,
-			"network/escaping -> requeue", lastLine(trace), ok)
+		rep.AddRow(string(c.class), c.site, c.expect().String(), lastLine(trace), ok)
 	}
 
 	rep.AddNote("trace hash (seed %d): %016x", seed, hash.Sum64())

@@ -9,6 +9,7 @@ import (
 	"github.com/errscope/grid/internal/faultinject"
 	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/vfs"
+	"github.com/errscope/grid/internal/wire"
 )
 
 // The tracing experiment: one canonical error-propagation trace per
@@ -51,27 +52,29 @@ func (c simCell) simTrace(seed int64, workers int) (string, *obs.Recorder, error
 }
 
 // connTraceCell is a live-stack trace scenario: a real Chirp session
-// through a byte-budget fault proxy, with the recorder on the client
-// side only (server-side event counts vary with socket timing).  The
-// export is normalized — wall clocks and OS error text have no place
-// in golden bytes.
+// through a fault proxy, with the recorder on the client side only
+// (server-side event counts vary with socket timing).  The export is
+// normalized — wall clocks and OS error text have no place in golden
+// bytes.
 type connTraceCell struct {
 	class faultinject.Class
+	mode  wire.Mode
+	rekey uint64
 	fault faultinject.ConnFault
 }
 
-func (c connTraceCell) connTrace() (string, error) {
+func (c connTraceCell) connTrace() (string, *obs.Recorder, error) {
 	rec := obs.NewRecorder()
-	err := chirpTraced(c.fault, rec)
+	err := chirpTraced(c.mode, c.rekey, c.fault, rec)
 	if err == nil {
-		return "", fmt.Errorf("operation over the cut connection succeeded")
+		return "", nil, fmt.Errorf("operation over the faulted connection succeeded")
 	}
-	return rec.JSONL(obs.ExportOptions{Normalize: true}), nil
+	return rec.JSONL(obs.ExportOptions{Normalize: true}), rec, nil
 }
 
 // chirpTraced reads through a fault proxy with a traced client until
 // the transport dies, returning the first transport error.
-func chirpTraced(fault faultinject.ConnFault, rec *obs.Recorder) error {
+func chirpTraced(mode wire.Mode, rekey uint64, fault faultinject.ConnFault, rec *obs.Recorder) error {
 	fs := vfs.New()
 	if err := fs.WriteFile("/data", bytes.Repeat([]byte("x"), 4096)); err != nil {
 		return err
@@ -87,7 +90,7 @@ func chirpTraced(fault faultinject.ConnFault, rec *obs.Recorder) error {
 		return err
 	}
 	defer px.Close()
-	c, err := chirp.Dial(px.Addr(), "ck")
+	c, err := chirp.DialOpts(px.Addr(), "ck", chirp.DialOptions{Mode: mode, RekeyAfter: rekey})
 	if err != nil {
 		return err
 	}
@@ -107,11 +110,21 @@ func chirpTraced(fault faultinject.ConnFault, rec *obs.Recorder) error {
 }
 
 // connTraceCells lists the canonical live scenarios, one per
-// connection fault class.
+// connection fault class.  Frame indices follow the server→client
+// accounting: binary mode is authOK(1), open-resp(2), read-resp(3);
+// secure mode spends helloAck(1) and proofAck(2) first, so the read
+// response is frame 4.
 func connTraceCells() []connTraceCell {
 	return []connTraceCell{
-		{faultinject.ClassConnTruncate, faultinject.ConnFault{CutToClient: 64}},
-		{faultinject.ClassConnReset, faultinject.ConnFault{CutToClient: 64, Reset: true}},
+		{faultinject.ClassConnTruncate, wire.ModeText, 0, faultinject.ConnFault{CutToClient: 64}},
+		{faultinject.ClassConnReset, wire.ModeText, 0, faultinject.ConnFault{CutToClient: 64, Reset: true}},
+		{faultinject.ClassFrameCorrupt, wire.ModeBinary, 0, faultinject.ConnFault{CorruptFrame: 3}},
+		{faultinject.ClassFrameTruncate, wire.ModeBinary, 0, faultinject.ConnFault{TruncateFrame: 3}},
+		{faultinject.ClassMACFailure, wire.ModeSecure, 0, faultinject.ConnFault{CorruptFrame: 4, FixChecksum: true}},
+		{faultinject.ClassFrameReplay, wire.ModeSecure, 0, faultinject.ConnFault{ReplayFrame: 4}},
+		// Key expiry is armed by the session budget, not the proxy:
+		// proof(1), open(2), read(3), then the next read refuses.
+		{faultinject.ClassKeyExpiry, wire.ModeSecure, 3, faultinject.ConnFault{}},
 	}
 }
 
@@ -159,10 +172,11 @@ func Traces(seed int64) (*Report, map[string]string, error) {
 	}
 
 	for _, c := range connTraceCells() {
-		jsonl, err := c.connTrace()
+		site := fmt.Sprintf("chirp (live TCP, %s)", c.mode)
+		jsonl, rec, err := c.connTrace()
 		det := "yes"
 		if err == nil {
-			jsonl2, err2 := c.connTrace()
+			jsonl2, _, err2 := c.connTrace()
 			switch {
 			case err2 != nil:
 				err = fmt.Errorf("second run: %v", err2)
@@ -172,11 +186,13 @@ func Traces(seed int64) (*Report, map[string]string, error) {
 		}
 		if err != nil {
 			failures++
-			rep.AddRow(string(c.class), "chirp (live TCP)", "-", "-", "-", "FAIL: "+err.Error())
+			rep.AddRow(string(c.class), site, "-", "-", "-", "FAIL: "+err.Error())
 			continue
 		}
-		rep.AddRow(string(c.class), "chirp (live TCP)", "-", "1",
-			"chirp-client network/escaping (open)", det)
+		spans := rec.Spans()
+		rep.AddRow(string(c.class), site,
+			fmt.Sprint(len(rec.Events())), fmt.Sprint(len(spans)),
+			spanSummary(spans), det)
 		out[string(c.class)] = jsonl
 	}
 

@@ -1,10 +1,14 @@
 package faultinject
 
 import (
+	"bufio"
+	"encoding/binary"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+
+	"github.com/errscope/grid/internal/wire"
 )
 
 // ConnFault is the deterministic fate of every connection through a
@@ -22,11 +26,37 @@ type ConnFault struct {
 	// Reset aborts with a TCP RST (connection reset by peer)
 	// instead of a quiet FIN.
 	Reset bool
+
+	// The frame faults parse the binary wire toward the client and
+	// target the N-th whole frame (1-based).  Setting any of them
+	// switches the to-client direction to a frame-aware relay; they
+	// are meaningless on a text-protocol stream.
+
+	// CorruptFrame flips one payload byte of the N-th frame (the
+	// command byte when the payload is empty); the frame checksum
+	// catches the damage unless FixChecksum repairs it.
+	CorruptFrame int64
+	// FixChecksum recomputes the frame checksum after CorruptFrame's
+	// bit flip, so the damage penetrates the codec and is only caught
+	// by the AEAD layer of a secure session — a MAC failure.
+	FixChecksum bool
+	// TruncateFrame forwards only a header prefix of the N-th frame,
+	// then cuts the connection — a frame cut mid-flight.
+	TruncateFrame int64
+	// ReplayFrame delivers the N-th frame twice; the receiver's
+	// sequence counter rejects the duplicate.
+	ReplayFrame int64
+}
+
+// frameAware reports whether any frame-level fault is armed.
+func (f ConnFault) frameAware() bool {
+	return f.CorruptFrame > 0 || f.TruncateFrame > 0 || f.ReplayFrame > 0
 }
 
 // ConnFaultFor maps a connection-level fault class to the proxy
 // behavior the sweep arms: Param is the byte budget toward the
-// client (default 1 — the very first response byte).
+// client for the stream classes, or the 1-based frame index for the
+// frame classes (default 1 — the very first response byte or frame).
 func ConnFaultFor(f Fault) (ConnFault, error) {
 	n := f.Param
 	if n <= 0 {
@@ -37,6 +67,16 @@ func ConnFaultFor(f Fault) (ConnFault, error) {
 		return ConnFault{CutToClient: n, Reset: true}, nil
 	case ClassConnTruncate:
 		return ConnFault{CutToClient: n}, nil
+	case ClassFrameCorrupt:
+		return ConnFault{CorruptFrame: n}, nil
+	case ClassFrameTruncate:
+		return ConnFault{TruncateFrame: n}, nil
+	case ClassMACFailure:
+		return ConnFault{CorruptFrame: n, FixChecksum: true}, nil
+	case ClassFrameReplay:
+		return ConnFault{ReplayFrame: n}, nil
+	case ClassKeyExpiry:
+		return ConnFault{}, fmt.Errorf("class %s is armed by the session key budget, not the proxy", f.Class)
 	}
 	return ConnFault{}, fmt.Errorf("class %s is not connection-level", f.Class)
 }
@@ -149,7 +189,11 @@ func (p *Proxy) acceptLoop() {
 			})
 		}
 		go p.pipe(server, client, p.fault.CutToServer, cut)
-		go p.pipe(client, server, p.fault.CutToClient, cut)
+		if p.fault.frameAware() {
+			go p.framePipe(client, server, p.fault, cut)
+		} else {
+			go p.pipe(client, server, p.fault.CutToClient, cut)
+		}
 	}
 }
 
@@ -169,6 +213,77 @@ func (p *Proxy) pipe(dst, src net.Conn, budget int64, cut func()) {
 	} else {
 		io.Copy(dst, src)
 	}
+	halfClose(dst)
+}
+
+// maxProxyFrame bounds how large a frame the relay will buffer; a
+// longer length field means the stream is not the binary wire, and
+// the relay falls back to raw copying.
+const maxProxyFrame = 1 << 26
+
+// framePipe relays src to dst one wire frame at a time, injecting the
+// armed frame fault at its 1-based index.  Frames are cmd(1) seq(2)
+// len(4) payload(len) checksum(4); anything that does not parse as a
+// frame is relayed raw from that point on.
+func (p *Proxy) framePipe(dst, src net.Conn, f ConnFault, cut func()) {
+	defer p.wg.Done()
+	defer p.untrack(src)
+	defer p.untrack(dst)
+	br := bufio.NewReader(src)
+	var idx int64
+	for {
+		hdr := make([]byte, 7)
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			halfClose(dst)
+			return
+		}
+		n := int64(binary.BigEndian.Uint32(hdr[3:7]))
+		if n > maxProxyFrame {
+			// Not a frame we can buffer; give up on injection and
+			// relay the rest of the stream faithfully.
+			dst.Write(hdr)
+			io.Copy(dst, br)
+			halfClose(dst)
+			return
+		}
+		frame := make([]byte, 7+n+4)
+		copy(frame, hdr)
+		if _, err := io.ReadFull(br, frame[7:]); err != nil {
+			// Upstream died mid-frame; forward what arrived.
+			dst.Write(frame[:7])
+			halfClose(dst)
+			return
+		}
+		idx++
+		switch idx {
+		case f.TruncateFrame:
+			// Forward the command byte and sequence but cut inside the
+			// length field: the reader sees a partial frame, never a
+			// clean EOF.
+			dst.Write(frame[:5])
+			cut()
+			return
+		case f.CorruptFrame:
+			pos := 7
+			if n == 0 {
+				pos = 0
+			}
+			frame[pos] ^= 0x20
+			if f.FixChecksum {
+				binary.BigEndian.PutUint32(frame[7+n:], wire.Checksum(frame[:7+n]))
+			}
+		case f.ReplayFrame:
+			if _, err := dst.Write(frame); err != nil {
+				return
+			}
+		}
+		if _, err := dst.Write(frame); err != nil {
+			return
+		}
+	}
+}
+
+func halfClose(dst net.Conn) {
 	if tc, ok := dst.(*net.TCPConn); ok {
 		tc.CloseWrite()
 	} else {

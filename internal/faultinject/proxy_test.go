@@ -8,6 +8,7 @@ import (
 	"github.com/errscope/grid/internal/remoteio"
 	"github.com/errscope/grid/internal/scope"
 	"github.com/errscope/grid/internal/vfs"
+	"github.com/errscope/grid/internal/wire"
 )
 
 // chirpBehind starts a Chirp server and a fault proxy in front of it,
@@ -195,7 +196,137 @@ func TestConnFaultFor(t *testing.T) {
 	if err != nil || cf.Reset || cf.CutToClient != 1 {
 		t.Errorf("truncate: %+v, %v", cf, err)
 	}
+	cf, err = ConnFaultFor(Fault{Class: ClassFrameCorrupt, Param: 3})
+	if err != nil || cf.CorruptFrame != 3 || cf.FixChecksum {
+		t.Errorf("frame-corrupt: %+v, %v", cf, err)
+	}
+	cf, err = ConnFaultFor(Fault{Class: ClassMACFailure, Param: 4})
+	if err != nil || cf.CorruptFrame != 4 || !cf.FixChecksum {
+		t.Errorf("mac-failure: %+v, %v", cf, err)
+	}
+	cf, err = ConnFaultFor(Fault{Class: ClassFrameTruncate})
+	if err != nil || cf.TruncateFrame != 1 {
+		t.Errorf("frame-truncate: %+v, %v", cf, err)
+	}
+	cf, err = ConnFaultFor(Fault{Class: ClassFrameReplay, Param: 2})
+	if err != nil || cf.ReplayFrame != 2 {
+		t.Errorf("frame-replay: %+v, %v", cf, err)
+	}
+	if _, err := ConnFaultFor(Fault{Class: ClassKeyExpiry}); err == nil {
+		t.Error("key-expiry accepted as a proxy fault; it is session-armed")
+	}
 	if _, err := ConnFaultFor(Fault{Class: ClassCrash}); err == nil {
 		t.Error("crash accepted as a connection fault")
 	}
+}
+
+// wantWireEscape asserts err escaped with network scope and the given
+// wire error code — the classification every frame-level fault must
+// surface as.
+func wantWireEscape(t *testing.T, err error, code string) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("operation over a damaged frame succeeded")
+	}
+	se, ok := scope.AsError(err)
+	if !ok {
+		t.Fatalf("unscoped error %v", err)
+	}
+	if se.Scope != scope.ScopeNetwork || se.Kind != scope.KindEscaping || se.Code != code {
+		t.Fatalf("error = %+v, want escaping network-scope %s", se, code)
+	}
+}
+
+// TestProxyFrameCorrupt: one flipped payload byte in a binary-mode
+// response frame.  The frame checksum catches it and the client
+// surfaces an escaping network-scope ChecksumMismatch.
+func TestProxyFrameCorrupt(t *testing.T) {
+	// Server→client frames in binary mode: authOK(1), open-resp(2),
+	// read-resp(3).  Corrupt the read response.
+	p, fs := chirpBehind(t, ConnFault{CorruptFrame: 3})
+	if err := fs.WriteFile("/data", bytes.Repeat([]byte("x"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := chirp.DialMode(p.Addr(), "ck", wire.ModeBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fd, err := c.Open("/data", chirp.FlagRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Read(fd, 64)
+	wantWireEscape(t, err, wire.CodeChecksumMismatch)
+}
+
+// TestProxyFrameTruncate: the response frame is cut inside its header.
+// The reader sees a partial frame, never a clean EOF, and classifies
+// it as TruncatedFrame.
+func TestProxyFrameTruncate(t *testing.T) {
+	p, fs := chirpBehind(t, ConnFault{TruncateFrame: 3})
+	if err := fs.WriteFile("/data", bytes.Repeat([]byte("x"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := chirp.DialMode(p.Addr(), "ck", wire.ModeBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fd, err := c.Open("/data", chirp.FlagRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Read(fd, 64)
+	wantWireEscape(t, err, wire.CodeTruncatedFrame)
+	if p.Cuts() != 1 {
+		t.Errorf("cuts = %d, want 1", p.Cuts())
+	}
+}
+
+// TestProxyMACFailure: the corruption repairs the frame checksum, so
+// it penetrates the codec untouched and only the AEAD layer of the
+// secure session catches it — a MAC failure, not a checksum mismatch.
+func TestProxyMACFailure(t *testing.T) {
+	// Secure-mode server→client frames: helloAck(1), proofAck(2),
+	// open-resp(3), read-resp(4).
+	p, fs := chirpBehind(t, ConnFault{CorruptFrame: 4, FixChecksum: true})
+	if err := fs.WriteFile("/data", bytes.Repeat([]byte("x"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := chirp.DialMode(p.Addr(), "ck", wire.ModeSecure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fd, err := c.Open("/data", chirp.FlagRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Read(fd, 64)
+	wantWireEscape(t, err, wire.CodeMACFailure)
+}
+
+// TestProxyFrameReplay: the read response is delivered twice.  The
+// original answers its request; the duplicate is rejected by the
+// sequence counter when the next response is expected.
+func TestProxyFrameReplay(t *testing.T) {
+	p, fs := chirpBehind(t, ConnFault{ReplayFrame: 4})
+	if err := fs.WriteFile("/data", bytes.Repeat([]byte("x"), 64)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := chirp.DialMode(p.Addr(), "ck", wire.ModeSecure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	fd, err := c.Open("/data", chirp.FlagRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(fd, 64); err != nil {
+		t.Fatalf("original frame should still answer its request: %v", err)
+	}
+	_, err = c.Stat("/data")
+	wantWireEscape(t, err, wire.CodeReplayedFrame)
 }

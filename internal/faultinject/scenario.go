@@ -86,6 +86,28 @@ const (
 	// Param bytes toward the client — mid-stream truncation.
 	// Injected by Proxy, not by the simulation Injector.
 	ClassConnTruncate Class = "conn-truncate"
+	// ClassFrameCorrupt flips one payload byte in the Param-th frame
+	// (default 1) toward the client on the binary wire; the frame
+	// checksum catches it.  Injected by Proxy.
+	ClassFrameCorrupt Class = "frame-corrupt"
+	// ClassFrameTruncate forwards only the header of the Param-th
+	// frame toward the client, then cuts the connection — a frame cut
+	// mid-flight.  Injected by Proxy.
+	ClassFrameTruncate Class = "frame-truncate"
+	// ClassMACFailure flips one payload byte in the Param-th frame
+	// toward the client and repairs the frame checksum, so the
+	// corruption penetrates to the AEAD layer of a secure session and
+	// fails the MAC.  Injected by Proxy.
+	ClassMACFailure Class = "mac-failure"
+	// ClassFrameReplay delivers the Param-th frame toward the client
+	// twice; the session's sequence counter rejects the second copy.
+	// Injected by Proxy.
+	ClassFrameReplay Class = "frame-replay"
+	// ClassKeyExpiry exhausts a secure session's sealed-frame budget
+	// (client-side RekeyAfter or the server's ExpireSessionKeys hook)
+	// — a deterministic frame-count budget, never wall time.  Armed
+	// by the session configuration, not by Proxy or Injector.
+	ClassKeyExpiry Class = "key-expiry"
 )
 
 // Classes lists every fault class, in a fixed order the sweep
@@ -96,6 +118,8 @@ var Classes = []Class{
 	ClassHeapExhaustion, ClassMissingInstall, ClassBadLibraryPath,
 	ClassScheddCrash, ClassLeaseExpiry,
 	ClassConnReset, ClassConnTruncate,
+	ClassFrameCorrupt, ClassFrameTruncate, ClassMACFailure,
+	ClassFrameReplay, ClassKeyExpiry,
 }
 
 func validClass(c Class) bool {
@@ -108,10 +132,16 @@ func validClass(c Class) bool {
 }
 
 // ConnClass reports whether the class is connection-level — injected
-// by a Proxy on the live stack rather than by the Injector on the
-// simulation bus.
+// on the live stack (by a Proxy, or for key expiry by the session
+// configuration) rather than by the Injector on the simulation bus.
 func ConnClass(c Class) bool {
-	return c == ClassConnReset || c == ClassConnTruncate
+	switch c {
+	case ClassConnReset, ClassConnTruncate,
+		ClassFrameCorrupt, ClassFrameTruncate, ClassMACFailure,
+		ClassFrameReplay, ClassKeyExpiry:
+		return true
+	}
+	return false
 }
 
 // Fault is one injectable failure: a class, the site it strikes, and

@@ -28,6 +28,10 @@ func TestScenarioRoundTrip(t *testing.T) {
 			{Class: ClassBadLibraryPath, Site: "machine:big"},
 			{Class: ClassConnReset, Site: "chirp", Param: 64},
 			{Class: ClassConnTruncate, Site: "remoteio", Param: 10},
+			{Class: ClassFrameCorrupt, Site: "chirp", Param: 3},
+			{Class: ClassMACFailure, Site: "remoteio", Param: 4},
+			{Class: ClassFrameReplay, Site: "chirp", Param: 4},
+			{Class: ClassKeyExpiry, Site: "remoteio", Param: 3},
 		},
 	}
 	enc := s.Encode()

@@ -1,0 +1,182 @@
+package remoteio
+
+import (
+	"testing"
+
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/vfs"
+	"github.com/errscope/grid/internal/wire"
+)
+
+func startShadowMode(t *testing.T, mode wire.Mode) (*vfs.FileSystem, *Server, string) {
+	t.Helper()
+	fs := vfs.New()
+	srv := NewServer(fs, testKey)
+	srv.Mode = mode
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return fs, srv, addr
+}
+
+func dialShadowBin(t *testing.T, addr string, mode wire.Mode) *Client {
+	t.Helper()
+	c, err := DialMode(addr, testKey, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func testShadowAllOps(t *testing.T, fs *vfs.FileSystem, c *Client) {
+	t.Helper()
+	fs.WriteFile("/in file", []byte("shadow  payload"))
+
+	if data, err := c.Read("/in file", 0, 6); err != nil || string(data) != "shadow" {
+		t.Fatalf("read = %q, %v", data, err)
+	}
+	if data, err := c.Read("/in file", 8, 100); err != nil || string(data) != "payload" {
+		t.Fatalf("read2 = %q, %v", data, err)
+	}
+	if err := c.Create("/out"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Write("/out", 0, []byte("abcdef")); err != nil || n != 6 {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if err := c.Truncate("/out"); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Write("/out", 0, []byte("xy")); err != nil || n != 2 {
+		t.Fatalf("rewrite = %d, %v", n, err)
+	}
+	info, err := c.Stat("/out")
+	if err != nil || info.Size != 2 || info.Path != "/out" {
+		t.Fatalf("stat = %+v, %v", info, err)
+	}
+	infos, err := c.List("/")
+	if err != nil || len(infos) != 2 {
+		t.Fatalf("list = %+v, %v", infos, err)
+	}
+	// Consecutive spaces survive the binary encoding.
+	if infos[0].Path != "/in file" && infos[1].Path != "/in file" {
+		t.Fatalf("paths = %+v", infos)
+	}
+	if err := c.Rename("/out", "/moved to"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unlink("/moved to"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit vfs errors cross the framed wire with their scope.
+	_, err = c.Read("/absent", 0, 4)
+	se, ok := scope.AsError(err)
+	if !ok || se.Code != vfs.CodeFileNotFound || se.Scope != scope.ScopeFile {
+		t.Fatalf("read missing = %v", err)
+	}
+}
+
+func TestBinaryShadowAllOps(t *testing.T) {
+	fs, _, addr := startShadowMode(t, wire.ModeBinary)
+	testShadowAllOps(t, fs, dialShadowBin(t, addr, wire.ModeBinary))
+}
+
+func TestSecureShadowAllOps(t *testing.T) {
+	fs, _, addr := startShadowMode(t, wire.ModeSecure)
+	testShadowAllOps(t, fs, dialShadowBin(t, addr, wire.ModeSecure))
+}
+
+func TestBinaryShadowWrongKey(t *testing.T) {
+	for _, mode := range []wire.Mode{wire.ModeBinary, wire.ModeSecure} {
+		_, _, addr := startShadowMode(t, mode)
+		_, err := DialMode(addr, []byte("wrong key"), mode)
+		if err == nil {
+			t.Fatalf("%s: wrong key accepted", mode)
+		}
+		se, ok := scope.AsError(err)
+		if !ok || se.Code != CodeAuthFailed || se.Scope != scope.ScopeLocalResource {
+			t.Errorf("%s: wrong key error = %v", mode, err)
+		}
+	}
+}
+
+func TestBinaryCredentialExpiry(t *testing.T) {
+	fs, srv, addr := startShadowMode(t, wire.ModeSecure)
+	fs.WriteFile("/f", []byte("data"))
+	c := dialShadowBin(t, addr, wire.ModeSecure)
+	if _, err := c.Read("/f", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	srv.ExpireCredentials()
+	_, err := c.Read("/f", 0, 4)
+	se, ok := scope.AsError(err)
+	if !ok || se.Code != CodeCredentialsExpired || se.Scope != scope.ScopeLocalResource || se.Kind != scope.KindExplicit {
+		t.Fatalf("expired = %v", err)
+	}
+	srv.RenewCredentials()
+	if _, err := c.Read("/f", 0, 4); err != nil {
+		t.Fatalf("renewal did not restore service: %v", err)
+	}
+}
+
+// TestServerSessionKeyExpiry covers the server-side key budget: the
+// RPC is refused explicitly with KeyExpired at local-resource scope,
+// the session survives, and renewal restores it.
+func TestServerSessionKeyExpiry(t *testing.T) {
+	fs, srv, addr := startShadowMode(t, wire.ModeSecure)
+	fs.WriteFile("/f", []byte("data"))
+	c := dialShadowBin(t, addr, wire.ModeSecure)
+	if _, err := c.Read("/f", 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	srv.ExpireSessionKeys()
+	_, err := c.Read("/f", 0, 4)
+	se, ok := scope.AsError(err)
+	if !ok || se.Code != wire.CodeKeyExpired || se.Scope != scope.ScopeLocalResource || se.Kind != scope.KindExplicit {
+		t.Fatalf("key expiry = %v", err)
+	}
+	srv.RenewSessionKeys()
+	if _, err := c.Read("/f", 0, 4); err != nil {
+		t.Fatalf("renewal did not restore service: %v", err)
+	}
+}
+
+// TestClientSessionKeyExpiry covers the client-side budget on the
+// remoteio channel, classified like an expired credential.
+func TestClientSessionKeyExpiry(t *testing.T) {
+	fs, _, addr := startShadowMode(t, wire.ModeSecure)
+	fs.WriteFile("/f", []byte("data"))
+	c, err := DialOpts(addr, testKey, DialOptions{Mode: wire.ModeSecure, RekeyAfter: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Sealed sends: proof(1), read(2), read(3) = budget; the next
+	// refuses locally.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Read("/f", 0, 4); err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+	}
+	_, err = c.Read("/f", 0, 4)
+	se, ok := scope.AsError(err)
+	if !ok || se.Code != wire.CodeKeyExpired || se.Scope != scope.ScopeLocalResource || se.Kind != scope.KindEscaping {
+		t.Fatalf("key expiry = %v", err)
+	}
+}
+
+func TestBinaryErrorMessageWithConsecutiveSpaces(t *testing.T) {
+	fs, _, addr := startShadowMode(t, wire.ModeBinary)
+	fs.WriteFile("/ro", []byte("x"))
+	fs.SetReadOnly("/ro", true)
+	c := dialShadowBin(t, addr, wire.ModeBinary)
+	_, err := c.Write("/ro", 0, []byte("y"))
+	se, ok := scope.AsError(err)
+	if !ok || se.Code != vfs.CodeAccessDenied {
+		t.Fatalf("write ro = %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package remoteio
 import (
 	"bufio"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -28,6 +29,10 @@ type Client struct {
 	w    *bufio.Writer
 	dead error
 
+	mode      wire.Mode
+	sess      *wire.Session // nil in text mode
+	ioTimeout time.Duration
+
 	// Trace, when non-nil and enabled, receives an error event the
 	// first time the transport fails; TraceJob tags it.  Set both
 	// before issuing requests.
@@ -35,38 +40,114 @@ type Client struct {
 	TraceJob int64
 }
 
+// DialOptions parameterize a client connection.  The mode must match
+// the server's: unlike Chirp, the text server speaks first (the
+// challenge), so the transport cannot be sniffed from the client's
+// opening bytes.
+type DialOptions struct {
+	// Timeout bounds the TCP connect; 0 means 10s.
+	Timeout time.Duration
+	// IOTimeout bounds each request round trip.  0 means 10s;
+	// negative disables deadlines.  Expiry surfaces as an escaping
+	// network-scope RequestTimeout error.
+	IOTimeout time.Duration
+	// Mode selects the transport; it must match the server's Mode.
+	Mode wire.Mode
+	// RekeyAfter bounds sealed frames per direction in ModeSecure.
+	RekeyAfter uint64
+}
+
+func (o DialOptions) connectTimeout() time.Duration {
+	if o.Timeout == 0 {
+		return 10 * time.Second
+	}
+	return o.Timeout
+}
+
+func (o DialOptions) ioTimeout() time.Duration {
+	if o.IOTimeout == 0 {
+		return 10 * time.Second
+	}
+	if o.IOTimeout < 0 {
+		return 0
+	}
+	return o.IOTimeout
+}
+
 // Dial connects and authenticates with the shared key.
 func Dial(addr string, key []byte) (*Client, error) {
-	return DialTimeout(addr, key, 10*time.Second)
+	return DialOpts(addr, key, DialOptions{})
 }
 
 // DialTimeout is Dial with a connection timeout.
 func DialTimeout(addr string, key []byte, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	return DialOpts(addr, key, DialOptions{Timeout: timeout})
+}
+
+// DialMode is Dial with a transport mode.
+func DialMode(addr string, key []byte, mode wire.Mode) (*Client, error) {
+	return DialOpts(addr, key, DialOptions{Mode: mode})
+}
+
+// DialOpts connects with full options.
+func DialOpts(addr string, key []byte, o DialOptions) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, o.connectTimeout())
 	if err != nil {
 		return nil, scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
 	}
-	c := &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}
-
-	line, err := c.r.ReadString('\n')
+	c, err := NewClient(conn, key, o)
 	if err != nil {
 		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// NewClient authenticates over an established connection (used by
+// benchmarks and tests that construct their own sockets).
+func NewClient(conn net.Conn, key []byte, o DialOptions) (*Client, error) {
+	c := &Client{
+		conn:      conn,
+		r:         bufio.NewReader(conn),
+		w:         bufio.NewWriter(conn),
+		mode:      o.Mode,
+		ioTimeout: o.ioTimeout(),
+	}
+	if o.Mode != wire.ModeText {
+		c.sess = wire.NewSession(c.r, conn, wire.Config{
+			Mode:       o.Mode,
+			Secret:     key,
+			RekeyAfter: o.RekeyAfter,
+		})
+		c.arm()
+		err := c.sess.ClientHandshake()
+		c.disarm()
+		if err != nil {
+			if se, ok := scope.AsError(err); ok && se.Scope != scope.ScopeNetwork {
+				return nil, se // the server's explicit refusal
+			}
+			return nil, scope.Escape(scope.ScopeNetwork, "", err)
+		}
+		return c, nil
+	}
+
+	c.arm()
+	line, err := c.r.ReadString('\n')
+	c.disarm()
+	if err != nil {
 		return nil, scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
 	}
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) != 2 || fields[0] != "challenge" {
-		conn.Close()
 		return nil, scope.Escape(scope.ScopeNetwork, CodeConnectionLost,
 			fmt.Errorf("bad challenge %q", line))
 	}
 	nonce, err := hex.DecodeString(fields[1])
 	if err != nil {
-		conn.Close()
 		return nil, scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
 	}
 	mac := authenticate(key, nonce)
 	if _, _, err := c.roundTrip(fmt.Sprintf("auth %s\n", hex.EncodeToString(mac)), 0); err != nil {
-		conn.Close()
 		return nil, err
 	}
 	return c, nil
@@ -79,15 +160,44 @@ func (c *Client) Close() error {
 	if c.conn == nil {
 		return nil
 	}
-	fmt.Fprint(c.w, "quit\n")
-	c.w.Flush()
+	if c.sess != nil {
+		_ = c.sess.WriteMsg(rioQuit) // best effort
+		c.sess.Release()
+		c.sess = nil
+	} else {
+		fmt.Fprint(c.w, "quit\n")
+		c.w.Flush()
+	}
 	err := c.conn.Close()
 	c.conn = nil
 	return err
 }
 
+// arm sets the per-request I/O deadline; disarm clears it.
+func (c *Client) arm() {
+	if c.ioTimeout > 0 && c.conn != nil {
+		c.conn.SetDeadline(time.Now().Add(c.ioTimeout))
+	}
+}
+
+func (c *Client) disarm() {
+	if c.ioTimeout > 0 && c.conn != nil {
+		c.conn.SetDeadline(time.Time{})
+	}
+}
+
+// fail records and returns a sticky transport error.  A scoped cause
+// (a frame-layer fault) keeps its code and escapes; a deadline expiry
+// becomes RequestTimeout; anything else is a lost connection.
 func (c *Client) fail(err error) error {
-	esc := scope.Escape(scope.ScopeNetwork, CodeConnectionLost, err)
+	code := CodeConnectionLost
+	var ne net.Error
+	if _, ok := scope.AsError(err); ok {
+		code = "" // Escape adopts the cause's code and widens its scope
+	} else if errors.As(err, &ne) && ne.Timeout() {
+		code = CodeRequestTimeout
+	}
+	esc := scope.Escape(scope.ScopeNetwork, code, err)
 	first := c.dead == nil
 	c.dead = esc
 	if c.conn != nil {
@@ -102,14 +212,21 @@ func (c *Client) fail(err error) error {
 			Comp:   "remoteio-client",
 			Kind:   obs.KindError,
 			Job:    c.TraceJob,
-			Code:   CodeConnectionLost,
-			Scope:  scope.ScopeNetwork.String(),
-			EKind:  "escaping",
+			Code:   esc.Code,
+			Scope:  esc.Scope.String(),
+			EKind:  esc.Kind.String(),
 			Detail: esc.Error(),
 		})
 		c.Trace.Count("remoteio.transport_failures", 1)
 	}
 	return esc
+}
+
+// failLocked is fail for callers outside the round-trip lock.
+func (c *Client) failLocked(err error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fail(err)
 }
 
 func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (string, []byte, error) {
@@ -121,6 +238,8 @@ func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (str
 	if c.conn == nil {
 		return "", nil, scope.New(scope.ScopeFunction, CodeBadRequest, "client closed")
 	}
+	c.arm()
+	defer c.disarm()
 	if _, err := io.WriteString(c.w, request); err != nil {
 		return "", nil, c.fail(err)
 	}
@@ -136,16 +255,14 @@ func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (str
 	if err != nil {
 		return "", nil, c.fail(err)
 	}
-	fields := strings.Fields(strings.TrimRight(line, "\r\n"))
-	if len(fields) == 0 {
-		return "", nil, c.fail(fmt.Errorf("empty response"))
-	}
-	switch fields[0] {
+	line = strings.TrimRight(line, "\r\n")
+	verb, rest, _ := strings.Cut(line, " ")
+	switch verb {
 	case "ok":
-		value := strings.Join(fields[1:], " ")
 		var data []byte
 		if wantData > 0 {
-			n, convErr := strconv.Atoi(fields[1])
+			lenField, _, _ := strings.Cut(rest, " ")
+			n, convErr := strconv.Atoi(lenField)
 			if convErr != nil || n < 0 || n > maxDataLen {
 				return "", nil, c.fail(fmt.Errorf("bad data length %q", line))
 			}
@@ -154,9 +271,11 @@ func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (str
 				return "", nil, c.fail(err)
 			}
 		}
-		return value, data, nil
+		return rest, data, nil
 	case "error":
-		se, decErr := wire.DecodeError(fields[1:])
+		// Decode from the raw remainder: the quoted message may
+		// contain consecutive spaces that field-splitting would eat.
+		se, decErr := wire.DecodeError(rest)
 		if decErr != nil {
 			return "", nil, c.fail(decErr)
 		}
@@ -166,51 +285,9 @@ func (c *Client) roundTrip(request string, wantData int, payload ...[]byte) (str
 	}
 }
 
-// Read reads up to length bytes of path at offset.
-func (c *Client) Read(path string, offset int64, length int) ([]byte, error) {
-	_, data, err := c.roundTrip(fmt.Sprintf("read %s %d %d\n", wire.Quote(path), offset, length), length)
-	return data, err
-}
-
-// Write writes data to path at offset.
-func (c *Client) Write(path string, offset int64, data []byte) (int, error) {
-	v, _, err := c.roundTrip(fmt.Sprintf("write %s %d %d\n", wire.Quote(path), offset, len(data)), 0, data)
-	if err != nil {
-		return 0, err
-	}
-	n, convErr := strconv.Atoi(v)
-	if convErr != nil {
-		return 0, c.fail(fmt.Errorf("bad write response %q", v))
-	}
-	return n, nil
-}
-
-// Create makes an empty file.
-func (c *Client) Create(path string) error {
-	_, _, err := c.roundTrip(fmt.Sprintf("create %s\n", wire.Quote(path)), 0)
-	return err
-}
-
-// Truncate empties a file.
-func (c *Client) Truncate(path string) error {
-	_, _, err := c.roundTrip(fmt.Sprintf("trunc %s\n", wire.Quote(path)), 0)
-	return err
-}
-
-// Unlink removes a file.
-func (c *Client) Unlink(path string) error {
-	_, _, err := c.roundTrip(fmt.Sprintf("unlink %s\n", wire.Quote(path)), 0)
-	return err
-}
-
-// Rename moves a file.
-func (c *Client) Rename(oldPath, newPath string) error {
-	_, _, err := c.roundTrip(fmt.Sprintf("rename %s %s\n", wire.Quote(oldPath), wire.Quote(newPath)), 0)
-	return err
-}
-
-// List enumerates files under a prefix.
-func (c *Client) List(prefix string) ([]vfs.Info, error) {
+// roundTripBin sends one framed request and returns the response
+// payload (copied out of the session buffer).
+func (c *Client) roundTripBin(cmd byte, parts ...[]byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.dead != nil {
@@ -219,6 +296,130 @@ func (c *Client) List(prefix string) ([]vfs.Info, error) {
 	if c.conn == nil {
 		return nil, scope.New(scope.ScopeFunction, CodeBadRequest, "client closed")
 	}
+	c.arm()
+	defer c.disarm()
+	if err := c.sess.WriteMsg(cmd, parts...); err != nil {
+		return nil, c.fail(err)
+	}
+	rcmd, pl, err := c.sess.ReadMsg()
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	switch rcmd {
+	case wire.CmdOK:
+		return append([]byte(nil), pl...), nil
+	case wire.CmdErr:
+		se, decErr := wire.DecodeErrorPayload(pl)
+		if decErr != nil {
+			return nil, c.fail(decErr)
+		}
+		return nil, se
+	default:
+		return nil, c.fail(fmt.Errorf("bad response frame %#x", rcmd))
+	}
+}
+
+func (c *Client) binary() bool { return c.mode != wire.ModeText }
+
+// Read reads up to length bytes of path at offset.
+func (c *Client) Read(path string, offset int64, length int) ([]byte, error) {
+	if c.binary() {
+		arg := wire.AppendU32(wire.AppendI64(nil, offset), uint32(length))
+		return c.roundTripBin(rioRead, arg, []byte(path))
+	}
+	_, data, err := c.roundTrip(fmt.Sprintf("read %s %d %d\n", wire.Quote(path), offset, length), length)
+	return data, err
+}
+
+// Write writes data to path at offset.
+func (c *Client) Write(path string, offset int64, data []byte) (int, error) {
+	if c.binary() {
+		arg := wire.AppendStr(wire.AppendI64(nil, offset), path)
+		pl, err := c.roundTripBin(rioWrite, arg, data)
+		if err != nil {
+			return 0, err
+		}
+		cur := wire.NewCursor(pl)
+		n := cur.U32()
+		if !cur.Done() {
+			return 0, c.failLocked(fmt.Errorf("bad write response (%d bytes)", len(pl)))
+		}
+		return int(n), nil
+	}
+	v, _, err := c.roundTrip(fmt.Sprintf("write %s %d %d\n", wire.Quote(path), offset, len(data)), 0, data)
+	if err != nil {
+		return 0, err
+	}
+	n, convErr := strconv.Atoi(v)
+	if convErr != nil {
+		return 0, c.failLocked(fmt.Errorf("bad write response %q", v))
+	}
+	return n, nil
+}
+
+// pathOp runs one path-only RPC in either transport.
+func (c *Client) pathOp(cmd byte, verb, path string) error {
+	if c.binary() {
+		_, err := c.roundTripBin(cmd, []byte(path))
+		return err
+	}
+	_, _, err := c.roundTrip(fmt.Sprintf("%s %s\n", verb, wire.Quote(path)), 0)
+	return err
+}
+
+// Create makes an empty file.
+func (c *Client) Create(path string) error { return c.pathOp(rioCreate, "create", path) }
+
+// Truncate empties a file.
+func (c *Client) Truncate(path string) error { return c.pathOp(rioTrunc, "trunc", path) }
+
+// Unlink removes a file.
+func (c *Client) Unlink(path string) error { return c.pathOp(rioUnlink, "unlink", path) }
+
+// Rename moves a file.
+func (c *Client) Rename(oldPath, newPath string) error {
+	if c.binary() {
+		_, err := c.roundTripBin(rioRename, wire.AppendStr(nil, oldPath), []byte(newPath))
+		return err
+	}
+	_, _, err := c.roundTrip(fmt.Sprintf("rename %s %s\n", wire.Quote(oldPath), wire.Quote(newPath)), 0)
+	return err
+}
+
+// List enumerates files under a prefix.
+func (c *Client) List(prefix string) ([]vfs.Info, error) {
+	if c.binary() {
+		pl, err := c.roundTripBin(rioList, []byte(prefix))
+		if err != nil {
+			return nil, err
+		}
+		cur := wire.NewCursor(pl)
+		n := int(cur.U32())
+		if !cur.OK() || n < 0 || n > 1<<20 {
+			return nil, c.failLocked(fmt.Errorf("bad list response (%d bytes)", len(pl)))
+		}
+		out := make([]vfs.Info, 0, n)
+		for i := 0; i < n; i++ {
+			size := cur.I64()
+			ro := cur.U8()
+			p := cur.Str()
+			out = append(out, vfs.Info{Path: p, Size: size, ReadOnly: ro != 0})
+		}
+		if !cur.Done() {
+			return nil, c.failLocked(fmt.Errorf("bad list entries (%d bytes)", len(pl)))
+		}
+		return out, nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead != nil {
+		return nil, c.dead
+	}
+	if c.conn == nil {
+		return nil, scope.New(scope.ScopeFunction, CodeBadRequest, "client closed")
+	}
+	c.arm()
+	defer c.disarm()
 	if _, err := fmt.Fprintf(c.w, "list %s\n", wire.Quote(prefix)); err != nil {
 		return nil, c.fail(err)
 	}
@@ -229,23 +430,21 @@ func (c *Client) List(prefix string) ([]vfs.Info, error) {
 	if err != nil {
 		return nil, c.fail(err)
 	}
-	fields := strings.Fields(strings.TrimRight(line, "\r\n"))
-	if len(fields) == 0 {
-		return nil, c.fail(fmt.Errorf("empty response"))
-	}
-	if fields[0] == "error" {
-		se, decErr := wire.DecodeError(fields[1:])
+	line = strings.TrimRight(line, "\r\n")
+	verb, rest, _ := strings.Cut(line, " ")
+	if verb == "error" {
+		se, decErr := wire.DecodeError(rest)
 		if decErr != nil {
 			return nil, c.fail(decErr)
 		}
 		return nil, se
 	}
-	if fields[0] != "ok" || len(fields) != 2 {
+	if verb != "ok" || strings.Contains(rest, " ") {
 		return nil, c.fail(fmt.Errorf("bad list response %q", line))
 	}
-	n, convErr := strconv.Atoi(fields[1])
+	n, convErr := strconv.Atoi(rest)
 	if convErr != nil || n < 0 || n > 1<<20 {
-		return nil, c.fail(fmt.Errorf("bad list count %q", fields[1]))
+		return nil, c.fail(fmt.Errorf("bad list count %q", rest))
 	}
 	out := make([]vfs.Info, 0, n)
 	for i := 0; i < n; i++ {
@@ -270,19 +469,33 @@ func (c *Client) List(prefix string) ([]vfs.Info, error) {
 
 // Stat describes a file.
 func (c *Client) Stat(path string) (vfs.Info, error) {
+	if c.binary() {
+		pl, err := c.roundTripBin(rioStat, []byte(path))
+		if err != nil {
+			return vfs.Info{}, err
+		}
+		cur := wire.NewCursor(pl)
+		size := cur.I64()
+		ro := cur.U8()
+		p := cur.RestString()
+		if !cur.Done() {
+			return vfs.Info{}, c.failLocked(fmt.Errorf("bad stat response (%d bytes)", len(pl)))
+		}
+		return vfs.Info{Path: p, Size: size, ReadOnly: ro != 0}, nil
+	}
 	v, _, err := c.roundTrip(fmt.Sprintf("stat %s\n", wire.Quote(path)), 0)
 	if err != nil {
 		return vfs.Info{}, err
 	}
 	fields := strings.Fields(v)
 	if len(fields) < 3 {
-		return vfs.Info{}, c.fail(fmt.Errorf("bad stat response %q", v))
+		return vfs.Info{}, c.failLocked(fmt.Errorf("bad stat response %q", v))
 	}
 	size, err1 := strconv.ParseInt(fields[0], 10, 64)
 	ro, err2 := strconv.Atoi(fields[1])
 	p, err3 := wire.Unquote(strings.Join(fields[2:], " "))
 	if err1 != nil || err2 != nil || err3 != nil {
-		return vfs.Info{}, c.fail(fmt.Errorf("bad stat response %q", v))
+		return vfs.Info{}, c.failLocked(fmt.Errorf("bad stat response %q", v))
 	}
 	return vfs.Info{Path: p, Size: size, ReadOnly: ro != 0}, nil
 }

@@ -42,6 +42,24 @@ const (
 	CodeBadRequest         = "BadRequest"
 	CodeShadowError        = "ShadowError"
 	CodeConnectionLost     = "ConnectionLost"
+	// CodeRequestTimeout marks a request whose I/O deadline expired;
+	// like a lost connection it escapes with network scope.
+	CodeRequestTimeout = "RequestTimeout"
+)
+
+// Binary RPC command bytes (wire.ModeBinary / wire.ModeSecure), all
+// >= 0x80.  Responses use the shared wire.CmdOK / wire.CmdErr frames.
+const (
+	rioRead   byte = 0xB0 // off i64, len u32, path rest -> data
+	rioWrite  byte = 0xB1 // off i64, path str, data rest -> n u32
+	rioCreate byte = 0xB2 // path rest
+	rioTrunc  byte = 0xB3 // path rest
+	rioUnlink byte = 0xB4 // path rest
+	rioStat   byte = 0xB5 // path rest -> size i64, ro u8, path rest
+	rioList   byte = 0xB6 // prefix rest -> count u32, then per entry
+	//                       size i64, ro u8, path str
+	rioRename byte = 0xB7 // old str, new rest
+	rioQuit   byte = 0xBF
 )
 
 // maxDataLen bounds one RPC payload.
@@ -69,12 +87,18 @@ type Server struct {
 	fs  *vfs.FileSystem
 	key []byte
 
-	mu       sync.Mutex
-	listener net.Listener
-	conns    map[net.Conn]struct{}
-	closed   bool
-	expired  bool
-	wg       sync.WaitGroup
+	// Mode selects the transport for every connection; set it before
+	// Listen.  The text server speaks first (the challenge), so the
+	// protocol cannot be sniffed per connection as Chirp does.
+	Mode wire.Mode
+
+	mu          sync.Mutex
+	listener    net.Listener
+	conns       map[net.Conn]struct{}
+	closed      bool
+	expired     bool
+	expiredKeys bool
+	wg          sync.WaitGroup
 }
 
 // NewServer creates a shadow file service over fs, authenticated by
@@ -103,6 +127,29 @@ func (s *Server) credentialsExpired() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.expired
+}
+
+// ExpireSessionKeys simulates the secure session's key budget running
+// out on the server side: every subsequent framed RPC fails with
+// KeyExpired at local-resource scope until RenewSessionKeys.  It is
+// deterministic — a flag, never wall time.
+func (s *Server) ExpireSessionKeys() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expiredKeys = true
+}
+
+// RenewSessionKeys restores the session keys.
+func (s *Server) RenewSessionKeys() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expiredKeys = false
+}
+
+func (s *Server) sessionKeysExpired() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.expiredKeys
 }
 
 // Listen starts the service and returns the bound address.
@@ -163,6 +210,10 @@ func errLine(w *bufio.Writer, err error) {
 
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
+	if s.Mode != wire.ModeText {
+		s.serveBinary(conn)
+		return
+	}
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+// Binary argument packing for the frame payloads: fixed-width
+// big-endian integers and length-prefixed strings, replacing the text
+// layer's Sprintf/Fields/Atoi round trip.
+
+// AppendU16 appends a big-endian uint16.
+func AppendU16(dst []byte, v uint16) []byte {
+	return binary.BigEndian.AppendUint16(dst, v)
+}
+
+// AppendU32 appends a big-endian uint32.
+func AppendU32(dst []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(dst, v)
+}
+
+// AppendI64 appends a big-endian two's-complement int64.
+func AppendI64(dst []byte, v int64) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(v))
+}
+
+// AppendStr appends a string with a uint16 length prefix.
+func AppendStr(dst []byte, s string) []byte {
+	dst = AppendU16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+// Cursor decodes a packed payload.  Reads past the end set a sticky
+// error flag instead of panicking; callers check OK (or Done) once at
+// the end, keeping handler code linear.
+type Cursor struct {
+	b   []byte
+	bad bool
+}
+
+// NewCursor wraps a payload for decoding.
+func NewCursor(b []byte) Cursor { return Cursor{b: b} }
+
+func (c *Cursor) take(n int) []byte {
+	if c.bad || len(c.b) < n {
+		c.bad = true
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+// U8 reads one byte.
+func (c *Cursor) U8() byte {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a big-endian uint16.
+func (c *Cursor) U16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+// U32 reads a big-endian uint32.
+func (c *Cursor) U32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+// I64 reads a big-endian two's-complement int64.
+func (c *Cursor) I64() int64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b))
+}
+
+// Str reads a uint16-length-prefixed string.
+func (c *Cursor) Str() string {
+	n := c.U16()
+	b := c.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Rest returns everything remaining, consuming it.
+func (c *Cursor) Rest() []byte {
+	out := c.b
+	c.b = nil
+	return out
+}
+
+// RestString returns the remainder as a string, consuming it.
+func (c *Cursor) RestString() string { return string(c.Rest()) }
+
+// OK reports whether every read so far was in bounds.
+func (c *Cursor) OK() bool { return !c.bad }
+
+// Done reports whether the payload decoded cleanly and completely.
+func (c *Cursor) Done() bool { return !c.bad && len(c.b) == 0 }
+
+// EncodeErrorPayload packs a scoped error for an error frame:
+//
+//	scope(1) kind(1) code(str) message(str)
+//
+// the binary twin of EncodeError.  A plain error is presented at the
+// fallback code and scope, kind explicit.
+func EncodeErrorPayload(err error, fallbackCode string, fallbackScope scope.Scope) []byte {
+	se, ok := scope.AsError(err)
+	if !ok {
+		se = scope.New(fallbackScope, fallbackCode, "%v", err)
+	}
+	msg := se.Message
+	if msg == "" && se.Cause != nil {
+		msg = se.Cause.Error()
+	}
+	dst := make([]byte, 0, 4+len(se.Code)+len(msg))
+	dst = append(dst, byte(se.Scope), byte(se.Kind))
+	dst = AppendStr(dst, se.Code)
+	dst = AppendStr(dst, msg)
+	return dst
+}
+
+// DecodeErrorPayload unpacks an error frame's payload.
+func DecodeErrorPayload(b []byte) (*scope.Error, error) {
+	cur := NewCursor(b)
+	sc := scope.Scope(cur.U8())
+	kind := scope.Kind(cur.U8())
+	code := cur.Str()
+	msg := cur.Str()
+	if !cur.Done() || !sc.Valid() || code == "" ||
+		kind < scope.KindImplicit || kind > scope.KindEscaping {
+		return nil, fmt.Errorf("wire: malformed error payload (%d bytes)", len(b))
+	}
+	e := scope.New(sc, code, "%s", msg)
+	e.Kind = kind
+	return e, nil
+}

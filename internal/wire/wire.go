@@ -34,18 +34,29 @@ func EncodeError(err error, fallbackCode string, fallbackScope scope.Scope) stri
 	return fmt.Sprintf("error %s %s %s\n", se.Code, se.Scope, strconv.Quote(msg))
 }
 
-// DecodeError parses the fields following the "error" verb of a wire
-// line into a scoped error.
-func DecodeError(fields []string) (*scope.Error, error) {
-	if len(fields) < 3 {
-		return nil, fmt.Errorf("wire: malformed error response %q", strings.Join(fields, " "))
+// DecodeError parses the remainder of a wire error line — everything
+// after the "error " verb, with or without the trailing newline — into
+// a scoped error.
+//
+// The quoted message must be cut from the raw line, not rebuilt from
+// whitespace-split fields: strconv.Quote does not escape spaces, so a
+// message containing consecutive spaces survives only if the bytes
+// between the quotes reach Unquote untouched.
+func DecodeError(rest string) (*scope.Error, error) {
+	rest = strings.TrimRight(rest, "\r\n")
+	code, rest, ok := strings.Cut(rest, " ")
+	if !ok || code == "" {
+		return nil, fmt.Errorf("wire: malformed error response %q", code+rest)
 	}
-	code := fields[0]
-	sc, err := scope.ParseScope(fields[1])
+	scopeName, quoted, ok := strings.Cut(rest, " ")
+	if !ok {
+		return nil, fmt.Errorf("wire: malformed error response %q", code+" "+rest)
+	}
+	sc, err := scope.ParseScope(scopeName)
 	if err != nil {
 		return nil, fmt.Errorf("wire: bad scope in error response: %w", err)
 	}
-	msg, err := strconv.Unquote(strings.Join(fields[2:], " "))
+	msg, err := strconv.Unquote(quoted)
 	if err != nil {
 		return nil, fmt.Errorf("wire: bad message in error response: %w", err)
 	}

@@ -9,14 +9,20 @@ import (
 	"github.com/errscope/grid/internal/scope"
 )
 
-func TestEncodeDecodeScopedError(t *testing.T) {
-	in := scope.New(scope.ScopeLocalResource, "CredentialsExpiredError", "ticket lapsed at 03:00")
-	line := EncodeError(in, "Fallback", scope.ScopeProcess)
+// errRest strips the "error " verb and trailing newline from an
+// encoded line, yielding what a protocol client hands to DecodeError.
+func errRest(t *testing.T, line string) string {
+	t.Helper()
 	if !strings.HasPrefix(line, "error ") || !strings.HasSuffix(line, "\n") {
 		t.Fatalf("line = %q", line)
 	}
-	fields := strings.Fields(strings.TrimSpace(line))[1:]
-	out, err := DecodeError(fields)
+	return strings.TrimSuffix(strings.TrimPrefix(line, "error "), "\n")
+}
+
+func TestEncodeDecodeScopedError(t *testing.T) {
+	in := scope.New(scope.ScopeLocalResource, "CredentialsExpiredError", "ticket lapsed at 03:00")
+	line := EncodeError(in, "Fallback", scope.ScopeProcess)
+	out, err := DecodeError(errRest(t, line))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -27,8 +33,7 @@ func TestEncodeDecodeScopedError(t *testing.T) {
 
 func TestEncodePlainErrorUsesFallback(t *testing.T) {
 	line := EncodeError(errors.New("boom"), "BackendError", scope.ScopeLocalResource)
-	fields := strings.Fields(strings.TrimSpace(line))[1:]
-	out, err := DecodeError(fields)
+	out, err := DecodeError(errRest(t, line))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,16 +54,38 @@ func TestEncodeUsesCauseTextWhenMessageEmpty(t *testing.T) {
 }
 
 func TestDecodeErrors(t *testing.T) {
-	cases := [][]string{
-		{},
-		{"Code"},
-		{"Code", "file"},
-		{"Code", "galaxy", `"msg"`},
-		{"Code", "file", `unquoted`},
+	cases := []string{
+		"",
+		"Code",
+		"Code file",
+		`Code galaxy "msg"`,
+		"Code file unquoted",
+		`Code file "msg" trailing`,
 	}
-	for _, fields := range cases {
-		if _, err := DecodeError(fields); err == nil {
-			t.Errorf("DecodeError(%v) should fail", fields)
+	for _, rest := range cases {
+		if _, err := DecodeError(rest); err == nil {
+			t.Errorf("DecodeError(%q) should fail", rest)
+		}
+	}
+}
+
+// TestConsecutiveSpacesRoundTrip is the regression test for the field
+// rejoin bug: strconv.Quote leaves runs of spaces unescaped, so any
+// whitespace-split-and-rejoin between Encode and Decode collapsed them.
+func TestConsecutiveSpacesRoundTrip(t *testing.T) {
+	for _, msg := range []string{
+		"two  spaces",
+		"   leading and trailing   ",
+		"a \t b  c  d",
+		"columns:   aligned   like   ls",
+	} {
+		in := scope.New(scope.ScopeNetwork, "ConnectionLost", "%s", msg)
+		out, err := DecodeError(errRest(t, EncodeError(in, "F", scope.ScopeProcess)))
+		if err != nil {
+			t.Fatalf("msg %q: %v", msg, err)
+		}
+		if out.Message != msg {
+			t.Errorf("msg %q decoded as %q", msg, out.Message)
 		}
 	}
 }
@@ -69,13 +96,35 @@ func TestMessageRoundTripProperty(t *testing.T) {
 		sc := scopes[int(scopeSeed)%len(scopes)]
 		code := "C" + strings.Repeat("x", int(codeSeed)%8)
 		in := scope.New(sc, code, "%s", msg)
-		fields := strings.Fields(strings.TrimSpace(EncodeError(in, "F", scope.ScopeProcess)))[1:]
-		out, err := DecodeError(fields)
+		line := EncodeError(in, "F", scope.ScopeProcess)
+		rest := strings.TrimSuffix(strings.TrimPrefix(line, "error "), "\n")
+		out, err := DecodeError(rest)
 		return err == nil && out.Code == code && out.Scope == sc && out.Message == msg
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
 		t.Error(err)
 	}
+}
+
+func FuzzErrorRoundTrip(f *testing.F) {
+	f.Add("plain")
+	f.Add("two  spaces")
+	f.Add("   ")
+	f.Add("tab\tnewline\nquote\"backslash\\")
+	f.Add("日本  語")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, msg string) {
+		in := scope.New(scope.ScopeJob, "FuzzCode", "%s", msg)
+		line := EncodeError(in, "F", scope.ScopeProcess)
+		rest := strings.TrimSuffix(strings.TrimPrefix(line, "error "), "\n")
+		out, err := DecodeError(rest)
+		if err != nil {
+			t.Fatalf("decode %q: %v", line, err)
+		}
+		if out.Message != msg || out.Code != "FuzzCode" || out.Scope != scope.ScopeJob {
+			t.Fatalf("round trip %q -> %+v", msg, out)
+		}
+	})
 }
 
 func TestQuoteUnquote(t *testing.T) {
