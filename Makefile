@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: check vet determinism-grep build test race cover journal-smoke wire-smoke fault-smoke fault-sweep pool-smoke bench bench-matchmaker bench-obs bench-pool bench-wire trace
+.PHONY: check vet determinism-grep build test race cover journal-smoke wire-smoke fault-smoke fault-sweep pool-smoke flock-smoke bench bench-matchmaker bench-obs bench-pool bench-wire trace
 
 ## check: the full gate — vet, the determinism grep, build, race-test
 ## the concurrent packages, the whole suite with per-package coverage
-## (including the golden-trace regression suite and the internal/obs
-## coverage floor), the write-ahead-journal race smoke, the wire-codec
-## and transport smoke, the fault-injection smoke matrix, then the
-## small-shape pool-throughput smoke.
-check: vet determinism-grep build race cover journal-smoke wire-smoke fault-smoke pool-smoke
+## (including the golden-trace regression suite and the per-package
+## coverage floors), the write-ahead-journal race smoke, the wire-codec
+## and transport smoke, the fault-injection smoke matrix, the
+## small-shape pool-throughput smoke, then the federation smoke.
+check: vet determinism-grep build race cover journal-smoke wire-smoke fault-smoke pool-smoke flock-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,23 +38,37 @@ race:
 	$(GO) test -race ./...
 
 ## cover: the whole suite with a per-package coverage summary, written
-## to cover.txt.  The tracing layer is the regression suite's
-## foundation, so internal/obs must stay at or above 85% coverage.
-OBS_PKG = github.com/errscope/grid/internal/obs
+## to cover.txt.  The test run's exit status is captured explicitly —
+## a plain pipe into tee would swallow a failing suite, because the
+## recipe shell is plain sh with no pipefail.  Every package in
+## COVER_PKGS is a regression-suite foundation (the tracing layer, the
+## write-ahead journal, the wire codec) and must stay at or above the
+## COVER_FLOOR.
+COVER_PKGS = \
+	github.com/errscope/grid/internal/obs \
+	github.com/errscope/grid/internal/journal \
+	github.com/errscope/grid/internal/wire
+COVER_FLOOR = 85
 cover:
-	$(GO) test -cover ./... | tee cover.txt
-	@awk -v pkg="$(OBS_PKG)" ' \
-		$$2 == pkg { \
-			for (i = 1; i <= NF; i++) if ($$i == "coverage:") { \
-				found = 1; c = $$(i+1); sub(/%/, "", c); \
-				if (c + 0 < 85) { \
-					printf "FAIL: %s coverage %s%% is below the 85%% floor\n", pkg, c; \
-					exit 1; \
+	@$(GO) test -cover ./... > cover.txt 2>&1; status=$$?; \
+	cat cover.txt; \
+	if [ $$status -ne 0 ]; then \
+		echo "FAIL: go test -cover exited $$status"; exit $$status; \
+	fi
+	@for pkg in $(COVER_PKGS); do \
+		awk -v pkg="$$pkg" -v floor="$(COVER_FLOOR)" ' \
+			$$2 == pkg { \
+				for (i = 1; i <= NF; i++) if ($$i == "coverage:") { \
+					found = 1; c = $$(i+1); sub(/%/, "", c); \
+					if (c + 0 < floor) { \
+						printf "FAIL: %s coverage %s%% is below the %s%% floor\n", pkg, c, floor; \
+						exit 1; \
+					} \
+					printf "%s coverage %s%% (floor: %s%%)\n", pkg, c, floor; \
 				} \
-				printf "%s coverage %s%% (floor: 85%%)\n", pkg, c; \
 			} \
-		} \
-		END { if (!found) { printf "FAIL: no coverage reported for %s\n", pkg; exit 1 } }' cover.txt
+			END { if (!found) { printf "FAIL: no coverage reported for %s\n", pkg; exit 1 } }' cover.txt || exit 1; \
+	done
 
 ## journal-smoke: the schedd write-ahead journal under the race
 ## detector — concurrent append/compact/replay plus the torn-tail and
@@ -78,6 +92,14 @@ fault-smoke:
 ## every injection site.
 fault-sweep:
 	$(GO) run ./cmd/experiments -run fault-sweep
+
+## flock-smoke: one small federated shape end to end — every home job
+## must flock to a peer pool to finish — serial, rerun, and parallel
+## arms byte-compared, plus the peer-pool-death zero-loss cell on both
+## engines.  The gate that keeps federation deterministic and its
+## failure semantics scoped.
+flock-smoke:
+	$(GO) run ./cmd/experiments -run flock-smoke
 
 ## pool-smoke: one small pool shape end to end in three arms — the
 ## pre-PR-5 reference schedd, the optimized serial schedd, and the

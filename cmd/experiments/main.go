@@ -11,7 +11,7 @@
 // Experiment ids: figure1, figure2, figure3, figure4, naive,
 // blackhole, mounts, migration, crashes, crash-recovery, principles,
 // bench-matchmaker, bench-obs, bench-pool, bench-wire, pool-smoke,
-// fault-sweep, fault-smoke, trace.
+// flock-smoke, fault-sweep, fault-smoke, trace.
 package main
 
 import (
@@ -153,6 +153,9 @@ func main() {
 		{"pool-smoke", func() (*experiments.Report, error) {
 			return experiments.PoolSmoke(*seed)
 		}, "small-shape pool throughput smoke (reference == optimized == parallel gate)"},
+		{"flock-smoke", func() (*experiments.Report, error) {
+			return experiments.FlockSmoke(*seed)
+		}, "federation smoke: flocked jobs complete, serial == rerun == parallel, peer-death zero loss"},
 		{"fault-sweep", func() (*experiments.Report, error) {
 			return experiments.FaultSweep(*seed)
 		}, "fault-injection conformance: every error class at >= 3 sites"},

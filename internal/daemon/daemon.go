@@ -176,6 +176,28 @@ type Params struct {
 	// identical traces either way; the determinism regression tests
 	// compare the two.
 	DisableMatchFastPath bool
+	// Matchmaker names this pool's negotiator.  Empty selects the
+	// historic single-pool name ("matchmaker"); a federation gives
+	// each pool's negotiator a distinct name so N pools can share one
+	// bus.
+	Matchmaker string
+	// Flockd names this pool's flock coordinator, the daemon a
+	// starved schedd asks for a peer pool.  Empty disables flocking
+	// even when FlockTo is set.
+	Flockd string
+	// FlockTo lists peer-pool negotiators in flocking order: a job
+	// that starves at level k is offered to the first live negotiator
+	// at index >= k.  Empty disables flocking.
+	FlockTo []string
+	// FlockAfter is how long a job must starve — idle with a standing
+	// no-match — before the schedd asks the flock coordinator for a
+	// peer pool.  Zero disables flocking.
+	FlockAfter time.Duration
+	// FlockPingInterval is how often the flock coordinator probes
+	// peer negotiators for liveness; zero selects AdInterval.  A peer
+	// silent for three intervals is considered dead and is skipped
+	// when granting.
+	FlockPingInterval time.Duration
 	// DisableScheddFastPath makes the schedd run with the original
 	// pre-throughput-work shape: O(queue) idle scans, O(queue)
 	// AllTerminal, one journal append (and one fsync) per transition,
@@ -191,6 +213,29 @@ type Params struct {
 
 // tracer resolves the configured tracer, substituting the no-op.
 func (p Params) tracer() obs.Tracer { return obs.Or(p.Trace) }
+
+// matchmaker resolves the home negotiator's actor name.
+func (p Params) matchmaker() string {
+	if p.Matchmaker != "" {
+		return p.Matchmaker
+	}
+	return MatchmakerName
+}
+
+// flocking reports whether the flock state machine is configured at
+// all; with it off the schedd sends no flock traffic and arms no
+// flock timers, so single-pool runs are byte-identical to history.
+func (p Params) flocking() bool {
+	return p.Flockd != "" && p.FlockAfter > 0 && len(p.FlockTo) > 0
+}
+
+// flockPingInterval resolves the coordinator's probe period.
+func (p Params) flockPingInterval() time.Duration {
+	if p.FlockPingInterval > 0 {
+		return p.FlockPingInterval
+	}
+	return p.AdInterval
+}
 
 // DefaultParams returns the parameters used throughout the paper's
 // experiments.

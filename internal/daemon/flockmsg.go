@@ -1,0 +1,194 @@
+package daemon
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/errscope/grid/internal/scope"
+)
+
+// The flock negotiation codec.  A flock decision is the one message
+// that crosses pool-administration boundaries, so — like the scenario
+// and journal formats — it travels as a canonical text record rather
+// than a process-local struct: one line, fixed field order, Go-quoted
+// strings.  Canonical means ParseFlockMsg(EncodeFlockMsg(m)) == m and
+// EncodeFlockMsg(ParseFlockMsg(s)) == s for every accepted s, the
+// property the fuzz test pins.  A truncated or corrupted line is a
+// parse error the receiving schedd scopes as a network failure — the
+// reply is damaged, not the job.
+//
+//	flock grant job=7 level=2 negotiator="mm-p2"
+//	flock deny job=7 reason="no live peer pool"
+
+// FlockOp is the decision a flock reply carries.
+type FlockOp string
+
+// Flock reply operations.
+const (
+	// FlockGrant names a live peer negotiator the job may flock to.
+	FlockGrant FlockOp = "grant"
+	// FlockDeny reports that no peer at or past the requested level
+	// is alive; the job should return home.
+	FlockDeny FlockOp = "deny"
+)
+
+// FlockMsg is one decoded flock decision.
+type FlockMsg struct {
+	Op  FlockOp
+	Job JobID
+	// Level is the flocking level granted: the 1-based index into the
+	// configured peer order of the negotiator below.  Grant only.
+	Level int
+	// Negotiator is the peer negotiator's actor name.  Grant only.
+	Negotiator string
+	// Reason explains a deny.
+	Reason string
+}
+
+// EncodeFlockMsg renders the canonical one-line encoding.
+func EncodeFlockMsg(m FlockMsg) string {
+	var sb strings.Builder
+	sb.WriteString("flock ")
+	sb.WriteString(string(m.Op))
+	sb.WriteString(" job=")
+	sb.WriteString(strconv.Itoa(int(m.Job)))
+	switch m.Op {
+	case FlockGrant:
+		sb.WriteString(" level=")
+		sb.WriteString(strconv.Itoa(m.Level))
+		sb.WriteString(" negotiator=")
+		sb.WriteString(strconv.Quote(m.Negotiator))
+	case FlockDeny:
+		sb.WriteString(" reason=")
+		sb.WriteString(strconv.Quote(m.Reason))
+	}
+	return sb.String()
+}
+
+// ParseFlockMsg decodes one flock decision, strictly: exact field
+// order, single spaces, Go-quoted strings.  Anything else — above
+// all, a line cut short in transit — is an error.
+func ParseFlockMsg(s string) (FlockMsg, error) {
+	var m FlockMsg
+	rest, ok := strings.CutPrefix(s, "flock ")
+	if !ok {
+		return m, fmt.Errorf("flock: not a flock record: %q", s)
+	}
+	op, rest, ok := strings.Cut(rest, " ")
+	if !ok {
+		return m, fmt.Errorf("flock: truncated after op %q", op)
+	}
+	m.Op = FlockOp(op)
+	job, err := cutIntField(&rest, "job", true)
+	if err != nil {
+		return m, err
+	}
+	if job < 0 {
+		return m, fmt.Errorf("flock: negative job %d", job)
+	}
+	m.Job = JobID(job)
+	switch m.Op {
+	case FlockGrant:
+		level, err := cutIntField(&rest, "level", true)
+		if err != nil {
+			return m, err
+		}
+		if level < 1 {
+			return m, fmt.Errorf("flock: grant level %d out of range", level)
+		}
+		m.Level = level
+		if m.Negotiator, err = cutQuotedField(&rest, "negotiator"); err != nil {
+			return m, err
+		}
+		if m.Negotiator == "" {
+			return m, fmt.Errorf("flock: grant names no negotiator")
+		}
+	case FlockDeny:
+		if m.Reason, err = cutQuotedField(&rest, "reason"); err != nil {
+			return m, err
+		}
+	default:
+		return m, fmt.Errorf("flock: unknown op %q", op)
+	}
+	if rest != "" {
+		return m, fmt.Errorf("flock: trailing garbage %q", rest)
+	}
+	return m, nil
+}
+
+// cutIntField consumes "key=<int>" (and, when more fields follow, the
+// single space after it) from the front of *rest.
+func cutIntField(rest *string, key string, more bool) (int, error) {
+	r, ok := strings.CutPrefix(*rest, key+"=")
+	if !ok {
+		return 0, fmt.Errorf("flock: expected %s= at %q", key, *rest)
+	}
+	var raw string
+	if more {
+		raw, r, ok = strings.Cut(r, " ")
+		if !ok {
+			return 0, fmt.Errorf("flock: truncated after %s", key)
+		}
+	} else {
+		raw, r = r, ""
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("flock: field %s: %w", key, err)
+	}
+	// Reject non-canonical spellings ("+2", "007") that Atoi accepts:
+	// they would re-encode differently and break the round trip.
+	if raw != strconv.Itoa(v) {
+		return 0, fmt.Errorf("flock: non-canonical %s=%q", key, raw)
+	}
+	*rest = r
+	return v, nil
+}
+
+// cutQuotedField consumes a trailing `key="..."` Go-quoted field.
+func cutQuotedField(rest *string, key string) (string, error) {
+	r, ok := strings.CutPrefix(*rest, key+"=")
+	if !ok {
+		return "", fmt.Errorf("flock: expected %s= at %q", key, *rest)
+	}
+	v, err := strconv.Unquote(r)
+	if err != nil {
+		return "", fmt.Errorf("flock: field %s: %w", key, err)
+	}
+	// Canonical quoting only: Unquote accepts spellings (`...`,
+	// "\x41") that Quote would not emit.
+	if r != strconv.Quote(v) {
+		return "", fmt.Errorf("flock: non-canonical %s=%s", key, r)
+	}
+	*rest = ""
+	return v, nil
+}
+
+// flockReplyErr scopes a damaged flock reply: the network delivered
+// bytes that do not parse, so the loss is the reply's, not the job's
+// — the schedd keeps the job where it is and asks again.
+func flockReplyErr(cause error) *scope.Error {
+	e := scope.New(scope.ScopeNetwork, "FlockReplyCorrupt",
+		"flock reply did not survive transit: %v", cause)
+	e.Kind = scope.KindEscaping
+	return e
+}
+
+// TruncateFlockReply returns the body with its flock payload cut to
+// at most n bytes, for fault injection; non-flock bodies pass through
+// unchanged.  Exported so the fault injector can damage the payload
+// without knowing the daemon's message types.
+func TruncateFlockReply(body any, n int) any {
+	m, ok := body.(flockReplyMsg)
+	if !ok {
+		return body
+	}
+	if n < 0 {
+		n = 0
+	}
+	if n < len(m.Payload) {
+		m.Payload = m.Payload[:n]
+	}
+	return m
+}

@@ -106,6 +106,22 @@ type Job struct {
 	// Params.ChronicRelaxAfter with zero compatible machines); the
 	// next attempt re-arms the constraint.
 	avoidanceRelaxed bool
+	// Flock state (see Schedd.maybeFlock): flockedTo names the peer
+	// negotiator the job is currently advertised at ("" = home), and
+	// flockLevel its 1-based position in the configured peer order.
+	// Every attempt and every recovery resets the job to home — the
+	// remote advertisement is exactly what a peer-pool failure
+	// invalidates, never the job.
+	flockedTo  string
+	flockLevel int
+	// flockedAt is the instant of the last flock transition, pacing
+	// escalation to the next peer.
+	flockedAt sim.Time
+	// flockPending marks an outstanding coordinator query;
+	// flockPendingAt lets a lost reply expire instead of wedging the
+	// job at its current level forever.
+	flockPending   bool
+	flockPendingAt sim.Time
 	// FinalErr is the error (if any) accompanying a terminal state.
 	FinalErr error
 	// Submitted and Finished bracket the job's queue residency.

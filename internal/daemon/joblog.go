@@ -37,10 +37,16 @@ const (
 	EventShadowVanished EventKind = "shadow-vanished"
 	// EventRecovered records a job rebuilt from the schedd's
 	// write-ahead journal after a crash.
-	EventRecovered    EventKind = "recovered"
-	EventCompleted    EventKind = "completed"
-	EventUnexecutable EventKind = "unexecutable"
-	EventHeld         EventKind = "held"
+	EventRecovered EventKind = "recovered"
+	// EventFlocked records a starved job leaving for a peer pool's
+	// negotiator; EventFlockReturned records it coming home after the
+	// peer order was exhausted or the remote advertisement was
+	// invalidated.
+	EventFlocked       EventKind = "flocked"
+	EventFlockReturned EventKind = "flock-returned"
+	EventCompleted     EventKind = "completed"
+	EventUnexecutable  EventKind = "unexecutable"
+	EventHeld          EventKind = "held"
 )
 
 // JobEvent is one entry of a job's event log.

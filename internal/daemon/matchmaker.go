@@ -25,6 +25,7 @@ import (
 type Matchmaker struct {
 	bus    Runtime
 	params Params
+	name   string
 	tr     obs.Tracer
 
 	machines     map[string]*machineEntry
@@ -41,6 +42,13 @@ type Matchmaker struct {
 	// deadJobs counts tombstoned queue slots awaiting the per-cycle
 	// compaction (see jobEntry.dead).
 	deadJobs int
+	// foreignJobs counts live flocked-in requests; when zero, the
+	// hierarchical partition of the cycle's job list is skipped
+	// entirely and a single-pool cycle is byte-identical to history.
+	foreignJobs int
+	// foreignScratch is reused by the per-cycle hierarchical
+	// partition.
+	foreignScratch []*jobEntry
 
 	// clusters caches per-cycle candidate scans keyed by job-ad
 	// signature: jobs whose ads render identically are
@@ -79,6 +87,9 @@ type Matchmaker struct {
 	// NoMatches counts no-match notifications sent for jobs
 	// compatible with zero advertised machines.
 	NoMatches int
+	// ForeignMatches counts matches handed to flocked-in jobs — work
+	// this pool did for its peers.
+	ForeignMatches int
 }
 
 type machineEntry struct {
@@ -127,6 +138,11 @@ type jobEntry struct {
 	// the negotiation cycle compacts every queue once before using it,
 	// so scans never observe a tombstone.
 	dead bool
+	// foreign marks a flocked-in request from a peer pool's schedd.
+	// Hierarchical negotiation serves these strictly after the home
+	// pool's own jobs: a pool shares its idle machines, never its
+	// users' priority.
+	foreign bool
 }
 
 // clusterEntry caches one auto-cluster's candidate scan for the
@@ -165,10 +181,12 @@ func jobOwner(key jobKey, ad *classad.Ad) string {
 // NewMatchmaker creates and registers the matchmaker on the bus and
 // starts its negotiation cycle.
 func NewMatchmaker(bus Runtime, params Params) *Matchmaker {
-	bus = affinity(bus, MatchmakerName)
+	name := params.matchmaker()
+	bus = affinity(bus, name)
 	m := &Matchmaker{
 		bus:         bus,
 		params:      params,
+		name:        name,
 		tr:          params.tracer(),
 		machines:    make(map[string]*machineEntry),
 		index:       newAttrIndex(),
@@ -177,17 +195,29 @@ func NewMatchmaker(bus Runtime, params Params) *Matchmaker {
 		clusters:    make(map[string]*clusterEntry),
 		usage:       make(map[string]int),
 	}
-	bus.Register(MatchmakerName, m)
+	bus.Register(name, m)
 	bus.Every(params.NegotiationInterval, m.negotiate)
 	return m
 }
 
+// Name returns the negotiator's actor name.
+func (m *Matchmaker) Name() string { return m.name }
+
 // Receive implements sim.Actor.
 func (m *Matchmaker) Receive(msg sim.Message) {
-	ad, ok := msg.Body.(advertiseMsg)
-	if !ok {
-		return // unknown traffic is not the matchmaker's to interpret
+	switch body := msg.Body.(type) {
+	case advertiseMsg:
+		m.receiveAd(body)
+	case flockPingMsg:
+		// A peer pool's flock coordinator probes for liveness; answer
+		// by name so a partitioned negotiator goes silent rather than
+		// wrong.
+		m.bus.Send(m.name, msg.From, kindFlockPong,
+			flockPongMsg{From: m.name, Seq: body.Seq})
 	}
+}
+
+func (m *Matchmaker) receiveAd(ad advertiseMsg) {
 	switch ad.Kind {
 	case "machine":
 		lifetime := m.params.MachineAdLifetime
@@ -201,7 +231,7 @@ func (m *Matchmaker) Receive(msg sim.Message) {
 			m.removeJob(key) // schedd withdraws the request
 			return
 		}
-		m.upsertJob(key, ad.Ad)
+		m.upsertJob(key, ad.Ad, ad.Flocked)
 	}
 }
 
@@ -298,7 +328,7 @@ func compareJobEntries(a, b *jobEntry) int {
 // upsertJob installs or refreshes a job request in its owner bucket.
 // Jobs are always the self side of a match, so only their compiled
 // Requirements and pre-filter are needed — no attribute table.
-func (m *Matchmaker) upsertJob(key jobKey, ad *classad.Ad) {
+func (m *Matchmaker) upsertJob(key jobKey, ad *classad.Ad, foreign bool) {
 	expires := m.bus.Now().Add(m.jobAdLifetime())
 	if old, ok := m.jobs[key]; ok {
 		if old.ad == ad {
@@ -322,7 +352,10 @@ func (m *Matchmaker) upsertJob(key jobKey, ad *classad.Ad) {
 		}
 	}
 	j := &jobEntry{key: key, ad: ad, owner: jobOwner(key, ad),
-		pre: classad.RequirementsPrefilter(ad), expires: expires}
+		pre: classad.RequirementsPrefilter(ad), expires: expires, foreign: foreign}
+	if foreign {
+		m.foreignJobs++
+	}
 	m.jobs[key] = j
 	q := m.ownerQueues[j.owner]
 	if len(q) == 0 {
@@ -354,6 +387,9 @@ func (m *Matchmaker) removeJob(key jobKey) {
 	delete(m.jobs, key)
 	j.dead = true
 	m.deadJobs++
+	if j.foreign {
+		m.foreignJobs--
+	}
 }
 
 // compactJobQueues filters every owner queue in place, dropping
@@ -421,6 +457,26 @@ func (m *Matchmaker) negotiate() {
 	}
 	m.jobScratch = jobs
 
+	// Hierarchical negotiation: the fair-share interleave above is
+	// stably partitioned so every home-pool job is served before any
+	// flocked-in foreign one — a pool donates idle machines to its
+	// peers, never its own users' priority.  With no foreign jobs the
+	// partition is skipped and the cycle is byte-identical to the
+	// single-pool scheduler.
+	if m.foreignJobs > 0 {
+		foreign := m.foreignScratch[:0]
+		local := jobs[:0]
+		for _, j := range jobs {
+			if j.foreign {
+				foreign = append(foreign, j)
+			} else {
+				local = append(local, j)
+			}
+		}
+		m.foreignScratch = foreign
+		jobs = append(local, foreign...)
+	}
+
 	fast := !m.params.DisableMatchFastPath
 	for _, j := range jobs {
 		best := m.findBest(j, fast)
@@ -433,13 +489,16 @@ func (m *Matchmaker) negotiate() {
 				j.noMatchSent = true
 				m.NoMatches++
 				m.tr.Count("matchmaker.no_matches", 1)
-				m.bus.Send(MatchmakerName, j.key.schedd, kindNoMatch,
+				m.bus.Send(m.name, j.key.schedd, kindNoMatch,
 					noMatchMsg{Job: j.key.job})
 			}
 			continue
 		}
 		best.matched = true
 		m.MatchesMade++
+		if j.foreign {
+			m.ForeignMatches++
+		}
 		m.tr.Count("matchmaker.matches", 1)
 		m.usage[j.owner]++
 		m.removeJob(j.key)
@@ -447,7 +506,7 @@ func (m *Matchmaker) negotiate() {
 		// advertised (a startd re-advertises a fresh object on every
 		// state change), so the claim protocol can read it without a
 		// per-match deep copy.
-		m.bus.Send(MatchmakerName, j.key.schedd, kindMatchNotify, matchNotifyMsg{
+		m.bus.Send(m.name, j.key.schedd, kindMatchNotify, matchNotifyMsg{
 			Job:       j.key.job,
 			Machine:   best.name,
 			MachineAd: best.ad,
@@ -690,7 +749,7 @@ func (m *Matchmaker) AdvertiseMachine(name string, ad *classad.Ad) {
 // AdvertiseJob installs or refreshes a job request directly, for
 // benchmarks and tests that drive the matchmaker without the bus.
 func (m *Matchmaker) AdvertiseJob(schedd string, job JobID, ad *classad.Ad) {
-	m.upsertJob(jobKey{schedd: schedd, job: job}, ad)
+	m.upsertJob(jobKey{schedd: schedd, job: job}, ad, false)
 }
 
 // MachineCount reports the machines currently advertised (absent

@@ -26,6 +26,10 @@ const (
 	kindCheckpoint   = "checkpoint"    // starter -> shadow
 	kindJobEvicted   = "job-evicted"   // starter -> shadow
 	kindLeaseRenew   = "lease-renew"   // shadow -> startd (claim keep-alive)
+	kindFlockPing    = "flock-ping"    // flockd -> peer matchmaker (liveness probe)
+	kindFlockPong    = "flock-pong"    // peer matchmaker -> flockd
+	kindFlockQuery   = "flock-query"   // schedd -> flockd (starved job wants a peer)
+	kindFlockReply   = "flock-reply"   // flockd -> schedd (encoded grant or deny)
 )
 
 // advertiseMsg refreshes an ad at the matchmaker.
@@ -38,6 +42,9 @@ type advertiseMsg struct {
 	Schedd string
 	Job    JobID
 	Ad     *classad.Ad
+	// Flocked marks a job advertised to a peer pool's negotiator:
+	// hierarchical negotiation serves it after the pool's own jobs.
+	Flocked bool
 }
 
 // matchNotifyMsg tells a schedd about a compatible machine.
@@ -164,6 +171,40 @@ type jobEvictedMsg struct {
 	CheckpointCPU time.Duration
 }
 
+// flockPingMsg is the flock coordinator's periodic liveness probe to
+// a peer negotiator; like lease renewals it is liveness plumbing and
+// deliberately not job-tagged.
+type flockPingMsg struct {
+	From string
+	Seq  int64
+}
+
+// flockPongMsg is a negotiator's answer to a flock ping.
+type flockPongMsg struct {
+	From string
+	Seq  int64
+}
+
+// flockQueryMsg asks the flock coordinator for a peer pool willing to
+// negotiate for a starved job: "find me a live negotiator at flocking
+// level >= Level".
+type flockQueryMsg struct {
+	Job    JobID
+	Schedd string
+	Level  int
+}
+
+// flockReplyMsg carries the coordinator's decision back to the
+// schedd.  The decision itself — grant or deny — travels as the
+// flock-codec text payload (see flockmsg.go), the one part of the
+// protocol that crosses pool-administration boundaries in the real
+// system; a truncated or corrupt payload is therefore a first-class
+// fault the schedd must scope, not a programming error.
+type flockReplyMsg struct {
+	Job     JobID
+	Payload string
+}
+
 // TracedJob implements obs.JobTagged on every message body that
 // concerns one job, so the bus can attribute message events without
 // knowing daemon types.  Periodic advertisements and the starter's
@@ -181,3 +222,5 @@ func (m jobFinalMsg) TracedJob() int64     { return int64(m.Job) }
 func (m releaseClaimMsg) TracedJob() int64 { return int64(m.Job) }
 func (m checkpointMsg) TracedJob() int64   { return int64(m.Job) }
 func (m jobEvictedMsg) TracedJob() int64   { return int64(m.Job) }
+func (m flockQueryMsg) TracedJob() int64   { return int64(m.Job) }
+func (m flockReplyMsg) TracedJob() int64   { return int64(m.Job) }

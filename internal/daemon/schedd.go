@@ -119,6 +119,12 @@ type Schedd struct {
 	ClaimsFailed    int
 	Requeues        int
 	Recoveries      int
+	// Flock metrics: queries sent to the coordinator, departures to a
+	// peer negotiator, returns home, and replies dropped as corrupt.
+	FlockQueries     int
+	FlockDepartures  int
+	FlockReturns     int
+	FlockReplyErrors int
 }
 
 // failureRecord is one machine's entry in the chronic-failure table:
@@ -281,6 +287,7 @@ func (s *Schedd) advertiseIdle() {
 		for _, id := range s.order {
 			if j := s.jobs[id]; j.State == JobIdle {
 				s.advertiseJob(j)
+				s.rescueFlocked(j)
 			}
 		}
 		return
@@ -292,7 +299,23 @@ func (s *Schedd) advertiseIdle() {
 		if id == 0 {
 			continue
 		}
-		s.advertiseJob(s.jobs[id])
+		j := s.jobs[id]
+		s.advertiseJob(j)
+		s.rescueFlocked(j)
+	}
+}
+
+// rescueFlocked re-runs the flock decision for a job advertised at a
+// peer negotiator.  A live peer that cannot match the job says so
+// with a no-match, and handleNoMatch escalates; a *dead* peer says
+// nothing at all, so without this periodic check a flocked job would
+// wait on a silent pool forever.  The silence is discovered by time,
+// not by a message (Section 5): maybeFlock's pacing clock fires a
+// FlockAfter after the departure, and the coordinator — whose pings
+// have meanwhile outed the dead peer — redirects or recalls the job.
+func (s *Schedd) rescueFlocked(j *Job) {
+	if j.flockedTo != "" {
+		s.maybeFlock(j)
 	}
 }
 
@@ -375,25 +398,36 @@ func (s *Schedd) jobRefName(j *Job) string {
 	return j.refName
 }
 
+// matchmakerFor returns the negotiator currently serving the job: the
+// peer it flocked to, or the home pool's own matchmaker.
+func (s *Schedd) matchmakerFor(j *Job) string {
+	if j.flockedTo != "" {
+		return j.flockedTo
+	}
+	return s.params.matchmaker()
+}
+
 func (s *Schedd) advertiseJob(j *Job) {
-	s.send(MatchmakerName, kindAdvertise, advertiseMsg{
-		Kind:   "job",
-		Name:   s.jobRefName(j),
-		Schedd: s.name,
-		Job:    j.ID,
-		Ad:     s.effectiveAd(j),
+	s.send(s.matchmakerFor(j), kindAdvertise, advertiseMsg{
+		Kind:    "job",
+		Name:    s.jobRefName(j),
+		Schedd:  s.name,
+		Job:     j.ID,
+		Ad:      s.effectiveAd(j),
+		Flocked: j.flockedTo != "",
 	})
 }
 
-// withdrawJob removes the job's request from the matchmaker so stale
-// advertisements cannot produce matches for jobs no longer idle.
+// withdrawJob removes the job's request from its current negotiator so
+// stale advertisements cannot produce matches for jobs no longer idle.
 func (s *Schedd) withdrawJob(j *Job) {
-	s.send(MatchmakerName, kindAdvertise, advertiseMsg{
-		Kind:   "job",
-		Name:   s.jobRefName(j),
-		Schedd: s.name,
-		Job:    j.ID,
-		Ad:     nil,
+	s.send(s.matchmakerFor(j), kindAdvertise, advertiseMsg{
+		Kind:    "job",
+		Name:    s.jobRefName(j),
+		Schedd:  s.name,
+		Job:     j.ID,
+		Ad:      nil,
+		Flocked: j.flockedTo != "",
 	})
 }
 
@@ -446,6 +480,8 @@ func (s *Schedd) Receive(msg sim.Message) {
 		s.handleNoMatch(body)
 	case claimReplyMsg:
 		s.receiveClaim(msg.From, body)
+	case flockReplyMsg:
+		s.handleFlockReply(body)
 	case jobFinalMsg:
 		s.handleFinal(body)
 	}
@@ -461,25 +497,123 @@ func (s *Schedd) Receive(msg sim.Message) {
 // user must eventually see.  An idle spell in a busy-but-healthy
 // pool never trips this: contention resolves in minutes, and freed
 // machines re-advertise compatible ads long before the deadline.
+//
+// When relaxation is not the remedy — nothing of ours to relax, or
+// the job is starving even relaxed — the same starvation signal feeds
+// flocking: a job the whole local pool cannot run is offered to a
+// peer pool instead (maybeFlock).
 func (s *Schedd) handleNoMatch(m noMatchMsg) {
 	j, ok := s.jobs[m.Job]
-	if !ok || j.State != JobIdle || s.relaxed(j) {
+	if !ok || j.State != JobIdle {
 		return
 	}
-	if s.params.ChronicRelaxAfter <= 0 || s.idleFor(j) < s.params.ChronicRelaxAfter {
+	if !s.relaxed(j) &&
+		s.params.ChronicRelaxAfter > 0 &&
+		s.idleFor(j) >= s.params.ChronicRelaxAfter &&
+		len(s.avoidedMachines()) > 0 {
+		s.journalAppend(recEvent("relax", j.ID, s.bus.Now()))
+		j.avoidanceRelaxed = true
+		s.logEvent(j, EventAvoidanceRelaxed,
+			"idle %v with no compatible machine; matching chronic machines again",
+			s.idleFor(j))
+		s.advertiseJob(j)
 		return
 	}
-	if len(s.avoidedMachines()) == 0 {
-		// The job is unmatchable on its own terms; nothing of ours
-		// to relax.
+	s.maybeFlock(j)
+}
+
+// maybeFlock asks the flock coordinator for a peer pool once local
+// matching has demonstrably starved the job: it is idle past
+// FlockAfter and the negotiator serving it reports zero compatible
+// machines.  Queries are paced to one per FlockAfter, and each asks
+// for the level past the job's current one, so repeated starvation
+// walks the configured peer order instead of hammering the first
+// entry.
+func (s *Schedd) maybeFlock(j *Job) {
+	if !s.params.flocking() || j.State != JobIdle {
 		return
 	}
-	s.journalAppend(recEvent("relax", j.ID, s.bus.Now()))
-	j.avoidanceRelaxed = true
-	s.logEvent(j, EventAvoidanceRelaxed,
-		"idle %v with no compatible machine; matching chronic machines again",
-		s.idleFor(j))
-	s.advertiseJob(j)
+	now := s.bus.Now()
+	// The pacing clock runs from the last query, answered or not: a
+	// lost flock-reply therefore delays the job one period instead of
+	// wedging it mid-handshake forever.
+	if j.flockPendingAt > 0 && now.Sub(j.flockPendingAt) < s.params.FlockAfter {
+		return
+	}
+	j.flockPending = false
+	if s.idleFor(j) < s.params.FlockAfter {
+		return
+	}
+	j.flockPending = true
+	j.flockPendingAt = now
+	s.FlockQueries++
+	s.tr.Count("schedd.flock.queries", 1)
+	s.send(s.params.Flockd, kindFlockQuery, flockQueryMsg{
+		Job: j.ID, Schedd: s.name, Level: j.flockLevel + 1})
+}
+
+// handleFlockReply applies the coordinator's decision.  A reply that
+// fails to parse — truncated or corrupted on the one wire that
+// crosses pool-administration boundaries — is a scoped network error:
+// it invalidates this exchange and nothing else.  The job keeps its
+// current advertisement, the error is traced and counted, and the
+// pacing clock retries the query a FlockAfter later.
+func (s *Schedd) handleFlockReply(r flockReplyMsg) {
+	j, ok := s.jobs[r.Job]
+	if !ok || !j.flockPending {
+		return
+	}
+	j.flockPending = false
+	m, err := ParseFlockMsg(r.Payload)
+	if err != nil {
+		s.FlockReplyErrors++
+		s.tr.Count("schedd.flock.reply_errors", 1)
+		if s.tr.Enabled() {
+			s.tr.Emit(errorEvent(int64(s.bus.Now()), s.name, j.ID, err))
+		}
+		return
+	}
+	if j.State != JobIdle || m.Job != j.ID {
+		return
+	}
+	now := s.bus.Now()
+	switch m.Op {
+	case FlockGrant:
+		s.journalAppend(recFlock(j.ID, now, m.Level, m.Negotiator))
+		s.withdrawJob(j) // from the negotiator that starved it
+		j.flockedTo = m.Negotiator
+		j.flockLevel = m.Level
+		j.flockedAt = now
+		s.FlockDepartures++
+		s.tr.Count("schedd.flock.departures", 1)
+		s.logEvent(j, EventFlocked, "to %s (level %d)", m.Negotiator, m.Level)
+		s.advertiseJob(j)
+	case FlockDeny:
+		if j.flockedTo == "" {
+			return // already home; the pacing clock retries later
+		}
+		s.journalAppend(recFlock(j.ID, now, 0, ""))
+		s.withdrawJob(j) // from the peer that no longer serves it
+		j.flockedTo = ""
+		j.flockLevel = 0
+		j.flockedAt = now
+		s.FlockReturns++
+		s.tr.Count("schedd.flock.returns", 1)
+		s.logEvent(j, EventFlockReturned, "%s", m.Reason)
+		s.advertiseJob(j)
+	}
+}
+
+// resetFlock returns a job's flock state to home.  Every attempt and
+// every recovery does this: what flocking moves is the job's
+// advertisement, and an attempt or a crash invalidates exactly that
+// remote arrangement — never the job itself.
+func (s *Schedd) resetFlock(j *Job) {
+	j.flockedTo = ""
+	j.flockLevel = 0
+	j.flockedAt = 0
+	j.flockPending = false
+	j.flockPendingAt = 0
 }
 
 // handleMatch claims the machine the matchmaker proposed, unless the
@@ -556,6 +690,7 @@ func (s *Schedd) receiveClaim(from string, r claimReplyMsg) {
 	s.journalAppend(recExec(j.ID, s.bus.Now(), from))
 	s.setState(j, JobRunning)
 	j.avoidanceRelaxed = false // the next idle spell re-arms avoidance
+	s.resetFlock(j)            // every attempt restarts the job at home
 	s.logEvent(j, EventExecuting, "machine %s", from)
 	j.Attempts = append(j.Attempts, Attempt{
 		Machine: from,

@@ -17,7 +17,10 @@ package daemon
 // counters (MatchesReceived, MatchesDeclined, ClaimsFailed) — they
 // are telemetry about the dead process, not queue state — and the
 // claim sequence numbers, whose timers died with the process and are
-// fenced off by the epoch check on recovery.
+// fenced off by the epoch check on recovery.  Flock state is
+// journaled (flock records) but never snapshotted: recovery resets
+// every job to its home pool (normalizeJob), because the remote
+// advertisement is exactly what a crash invalidates.
 
 import (
 	"fmt"
@@ -260,6 +263,10 @@ func (s *Schedd) normalizeJob(j *Job, at sim.Time) {
 		att.End = at
 		att.LostContact = shadowDiedErr(s.name)
 	}
+	// A flock arrangement — an advertisement standing at a peer
+	// negotiator — died with the process; the rebuilt job starts over
+	// from its home pool.
+	s.resetFlock(j)
 	if !j.State.Terminal() {
 		s.setState(j, JobIdle)
 	}
@@ -333,6 +340,21 @@ func recMatch(id JobID, at sim.Time, machine string) []byte {
 
 func recExec(id JobID, at sim.Time, machine string) []byte {
 	return recMachineOp("exec", id, at, machine)
+}
+
+// recFlock records a flock transition: the job's advertisement moved
+// to the peer negotiator `to` at 1-based `level`, or came home again
+// (level 0, empty to).
+func recFlock(id JobID, at sim.Time, level int, to string) []byte {
+	b := append(make([]byte, 0, 56+len(to)), "op=flock id="...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, " at="...)
+	b = strconv.AppendInt(b, int64(at), 10)
+	b = append(b, " level="...)
+	b = strconv.AppendInt(b, int64(level), 10)
+	b = append(b, " to="...)
+	b = scope.AppendQuote(b, to)
+	return b
 }
 
 // recEvent covers the transitions that carry no payload beyond the
@@ -451,9 +473,21 @@ func (s *Schedd) applyEntry(payload []byte) error {
 		}
 		s.setState(j, JobRunning)
 		j.avoidanceRelaxed = false
+		s.resetFlock(j)
 		j.Attempts = append(j.Attempts, Attempt{Machine: machine, Start: sim.Time(at)})
 	case "relax":
 		j.avoidanceRelaxed = true
+	case "flock":
+		level, err := parseInt64(kv, "level")
+		if err != nil {
+			return err
+		}
+		to, err := unquoted(kv, "to")
+		if err != nil {
+			return err
+		}
+		j.flockedTo, j.flockLevel = to, int(level)
+		j.flockedAt = sim.Time(at)
 	case "final":
 		f, err := decodeFinal(JobID(id), kv)
 		if err != nil {

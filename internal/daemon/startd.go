@@ -300,7 +300,7 @@ func (s *Startd) advertise() {
 	if s.cfg.PeriodicSelfTest {
 		s.runSelfTest()
 	}
-	s.bus.Send(s.cfg.Name, MatchmakerName, kindAdvertise, advertiseMsg{
+	s.bus.Send(s.cfg.Name, s.params.matchmaker(), kindAdvertise, advertiseMsg{
 		Kind: "machine",
 		Name: s.cfg.Name,
 		Ad:   s.buildAd(),

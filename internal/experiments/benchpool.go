@@ -99,6 +99,100 @@ func benchPoolShapes() []poolShape {
 	}
 }
 
+// fedBenchShape is one federated benchmark geometry: a starved home
+// pool whose whole workload must flock, plus a large peer pool with
+// its own local load competing for the same machines.
+type fedBenchShape struct {
+	name string
+	// peerPools is the number of capable peer pools past the home one.
+	peerPools int
+	// peerMachines is each peer pool's machine count.
+	peerMachines int
+	// homeJobs all flock (the home machines are too small for them);
+	// peerJobs run locally at the first peer.
+	homeJobs, peerJobs int
+}
+
+func (s fedBenchShape) machines() int { return 16 + s.peerPools*s.peerMachines }
+func (s fedBenchShape) jobs() int     { return s.homeJobs + s.peerJobs }
+
+// fedBenchShapes are the published federated geometries.
+func fedBenchShapes() []fedBenchShape {
+	return []fedBenchShape{
+		{"fed-2pool", 1, 256, 512, 512},
+		{"fed-3pool", 2, 256, 1024, 512},
+	}
+}
+
+// runFedShape drives one federated workload and returns the measured
+// row plus the disposition trace for cross-arm comparison.
+func runFedShape(seed int64, shape fedBenchShape, workers int) (BenchPoolRow, string) {
+	params := daemon.DefaultParams()
+	arm := "optimized"
+	if workers > 1 {
+		arm = "parallel"
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pools := []pool.FedPoolConfig{{
+		Name: "p1",
+		// Too small for the standard 128MB job ad: every home job
+		// starves locally and flocks.
+		Machines: pool.UniformMachines(16, 64),
+	}}
+	for i := 0; i < shape.peerPools; i++ {
+		name := fmt.Sprintf("p%d", i+2)
+		pools[0].FlockTo = append(pools[0].FlockTo, name)
+		pools = append(pools, pool.FedPoolConfig{
+			Name: name, Machines: pool.UniformMachines(shape.peerMachines, 2048)})
+	}
+
+	prevGC := debug.SetGCPercent(-1)
+	start := time.Now()
+	fed := pool.NewFederation(pool.FederationConfig{
+		Seed:       seed,
+		Params:     params,
+		Pools:      pools,
+		FlockAfter: 2 * time.Minute,
+		Workers:    workers,
+	})
+	fed.Pool("p1").SubmitJava(shape.homeJobs, pool.UniformCompute(5*time.Minute))
+	fed.Pool("p2").SubmitJava(shape.peerJobs, pool.UniformCompute(5*time.Minute))
+	simDur := fed.Run(7 * 24 * time.Hour)
+	wall := time.Since(start)
+	debug.SetGCPercent(prevGC)
+	runtime.GC()
+
+	m := fed.Metrics()
+	appends, compactions := 0, 0
+	for _, p := range fed.Pools {
+		for _, s := range p.Schedds {
+			appends += s.Journal().Appends()
+			compactions += s.Journal().Compactions()
+		}
+	}
+	row := BenchPoolRow{
+		Shape:              shape.name,
+		Machines:           shape.machines(),
+		Jobs:               shape.jobs(),
+		Arm:                arm,
+		Workers:            workers,
+		GOMAXPROCS:         runtime.GOMAXPROCS(0),
+		GCPercent:          -1,
+		WallMS:             float64(wall.Microseconds()) / 1e3,
+		SimMinutes:         simDur.Minutes(),
+		Completed:          m.Completed,
+		Messages:           m.MessagesSent,
+		JournalAppends:     appends,
+		JournalCompactions: compactions,
+	}
+	if wall > 0 {
+		row.JobsPerSec = float64(m.Completed) / wall.Seconds()
+	}
+	return row, fedDispositions(fed)
+}
+
 // runPoolShape drives one full workload through one pool and returns
 // the measured row plus the disposition trace for cross-arm
 // comparison.  workers > 1 selects the parallel engine.
@@ -223,6 +317,26 @@ func BenchPool(seed int64, workers int) ([]BenchPoolRow, *Report, error) {
 			if refRow.WallMS > 0 {
 				parRow.SpeedupVsReference = refRow.WallMS / parRow.WallMS
 			}
+		}
+		rows = append(rows, parRow)
+	}
+	// The federated shapes: every home job crosses a pool boundary to
+	// run, and the serial and parallel engines must still agree on
+	// every disposition byte.
+	for _, shape := range fedBenchShapes() {
+		optRow, optTrace := runFedShape(seed, shape, 1)
+		if optRow.Completed != shape.jobs() {
+			return rows, rep, fmt.Errorf("shape %s: %d of %d jobs completed",
+				shape.name, optRow.Completed, shape.jobs())
+		}
+		rows = append(rows, optRow)
+		parRow, parTrace := runFedShape(seed, shape, workers)
+		if parTrace != optTrace {
+			return rows, rep, fmt.Errorf(
+				"shape %s: parallel and serial dispositions diverge", shape.name)
+		}
+		if parRow.WallMS > 0 {
+			parRow.SpeedupVsOptimized = optRow.WallMS / parRow.WallMS
 		}
 		rows = append(rows, parRow)
 	}

@@ -146,7 +146,13 @@ func (c simCell) runSim(seed int64, tr obs.Tracer, workers int) (string, error) 
 
 // verify checks the cell's expectation against the finished pool.
 func (c simCell) verify(p *pool.Pool, j *daemon.Job) error {
-	e := c.expect
+	return verifyOutcome(c.expect, j, p.Schedd.Reports)
+}
+
+// verifyOutcome checks one expectation against a finished job and the
+// reports its home schedd surfaced — shared by the single-pool and
+// the federated cells.
+func verifyOutcome(e sweepExpect, j *daemon.Job, reports []daemon.UserReport) error {
 	if j.State != e.state {
 		return fmt.Errorf("state = %v (err %v), want %v", j.State, j.FinalErr, e.state)
 	}
@@ -155,10 +161,10 @@ func (c simCell) verify(p *pool.Pool, j *daemon.Job) error {
 	} else if e.maxAttempts > 0 && n > e.maxAttempts {
 		return fmt.Errorf("attempts = %d, want <= %d", n, e.maxAttempts)
 	}
-	if len(p.Schedd.Reports) != 1 {
-		return fmt.Errorf("reports = %d, want exactly 1", len(p.Schedd.Reports))
+	if len(reports) != 1 {
+		return fmt.Errorf("reports = %d, want exactly 1", len(reports))
 	}
-	if got := p.Schedd.Reports[0].Disposition; got != e.disp {
+	if got := reports[0].Disposition; got != e.disp {
 		return fmt.Errorf("disposition = %v, want %v", got, e.disp)
 	}
 	if e.firstScope == scope.ScopeNone {
@@ -942,6 +948,39 @@ func faultSweep(seed int64, smoke bool) (*Report, error) {
 			// Parallel equivalence: the sharded engine must reproduce
 			// the serial trace, byte for byte.
 			trace3, err3 := c.runSim(seed, nil, 4)
+			if err3 != nil {
+				err = fmt.Errorf("parallel run: %v", err3)
+			} else if trace1 != trace3 {
+				err = fmt.Errorf("parallel engine diverged from serial trace")
+			}
+		}
+		ok := "ok"
+		if err != nil {
+			ok = "FAIL: " + err.Error()
+			failures++
+		} else {
+			mark(c.class, c.site)
+		}
+		hash.Write([]byte(trace1))
+		rep.AddRow(string(c.class), c.site, c.expect.String(), observed, ok)
+	}
+	for _, c := range fedCells() {
+		if smoke && seen[c.class] {
+			continue
+		}
+		seen[c.class] = true
+		trace1, err := c.runFed(seed, nil, 0)
+		observed := lastLine(trace1)
+		if err == nil {
+			trace2, err2 := c.runFed(seed, nil, 0)
+			if err2 != nil {
+				err = fmt.Errorf("second run: %v", err2)
+			} else if trace1 != trace2 {
+				err = fmt.Errorf("nondeterministic trace")
+			}
+		}
+		if err == nil {
+			trace3, err3 := c.runFed(seed, nil, 4)
 			if err3 != nil {
 				err = fmt.Errorf("parallel run: %v", err3)
 			} else if trace1 != trace3 {

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/faultinject"
+	"github.com/errscope/grid/internal/pool"
+)
+
+// FlockSmoke is the make-check gate for pool federation: one small
+// multi-pool shape whose home jobs can only finish by flocking, run
+// serial, rerun, and on the parallel engine with the full event-log
+// trace byte-compared across all three — the determinism contract
+// extended to the federated world — plus the canonical
+// peer-pool-death cell asserting the zero-loss requeue semantics on
+// both engines.
+func FlockSmoke(seed int64) (*Report, error) {
+	rep := &Report{
+		ID:      "flock-smoke",
+		Title:   "federation smoke: flocked jobs complete; serial == rerun == parallel",
+		Headers: []string{"arm", "pools", "jobs", "completed", "departures", "foreign matches", "dispositions"},
+	}
+	const smokeWorkers = 4
+
+	run := func(workers int) (*pool.Federation, string) {
+		fed := pool.NewFederation(pool.FederationConfig{
+			Seed:       seed,
+			Params:     daemon.DefaultParams(),
+			FlockAfter: 2 * time.Minute,
+			Workers:    workers,
+			Pools: []pool.FedPoolConfig{
+				{Name: "p1", Machines: pool.UniformMachines(2, 64), FlockTo: []string{"p2", "p3"}},
+				{Name: "p2", Machines: pool.UniformMachines(4, 2048), FlockTo: []string{"p1"}},
+				{Name: "p3", Machines: pool.UniformMachines(2, 2048)},
+			},
+		})
+		// Home jobs are unmatchable at home (64MB machines, 128MB ads);
+		// p2's own load is seed-varied so the trace discriminates seeds.
+		fed.Pool("p1").SubmitJava(8, pool.UniformCompute(5*time.Minute))
+		_ = fed.Pool("p2").Schedd.SubmitFS.WriteFile("/home/user/shared.dat", make([]byte, 4096))
+		fed.Pool("p2").SubmitJava(4, pool.MixedWorkload(seed, 5*time.Minute))
+		fed.Run(24 * time.Hour)
+		return fed, fedDispositions(fed)
+	}
+
+	fed, serial := run(0)
+	_, rerun := run(0)
+	_, par := run(smokeWorkers)
+
+	var err error
+	verdict := "equal"
+	if serial != rerun {
+		verdict = "DIVERGED"
+		err = fmt.Errorf("flock-smoke: rerun dispositions diverge from the first run")
+	}
+	if par != serial {
+		verdict = "DIVERGED"
+		err = fmt.Errorf("flock-smoke: parallel dispositions diverge from serial")
+	}
+
+	m := fed.Metrics()
+	fm := fed.FlockMetrics()
+	if err == nil {
+		switch {
+		case !fed.AllTerminal():
+			err = fmt.Errorf("flock-smoke: federation did not drain (%d unfinished)", m.Unfinished)
+		case m.Completed != 12:
+			err = fmt.Errorf("flock-smoke: %d of 12 jobs completed", m.Completed)
+		case fm.Departures == 0 || fm.Grants == 0 || fm.ForeignMatches == 0:
+			err = fmt.Errorf("flock-smoke: flocking never engaged: %+v", fm)
+		}
+	}
+	for _, arm := range []string{"serial", "rerun", "parallel"} {
+		rep.AddRow(arm, "3", "12", fmt.Sprint(m.Completed),
+			fmt.Sprint(fm.Departures), fmt.Sprint(fm.ForeignMatches), verdict)
+	}
+
+	if err == nil {
+		// The acceptance cell: a peer pool dies under a flocked,
+		// running job, and the job must requeue at home and complete
+		// elsewhere — zero loss, on both engines, byte-equal.
+		for _, c := range canonicalFedCells() {
+			if c.class != faultinject.ClassPeerPoolCrash {
+				continue
+			}
+			st, serr := c.runFed(seed, nil, 0)
+			pt, perr := c.runFed(seed, nil, smokeWorkers)
+			switch {
+			case serr != nil:
+				err = fmt.Errorf("flock-smoke peer-death cell: %v", serr)
+			case perr != nil:
+				err = fmt.Errorf("flock-smoke parallel peer-death cell: %v", perr)
+			case st != pt:
+				err = fmt.Errorf("flock-smoke: peer-death cell diverged between engines")
+			default:
+				rep.AddNote("peer-pool-death zero-loss cell (%s) serial == parallel: %s",
+					c.site, lastLine(st))
+			}
+		}
+	}
+	return rep, err
+}
+
+// fedDispositions renders every job's full event log at every submit
+// point of every pool, in a fixed order — the byte-exact record of
+// what the federation decided and when.
+func fedDispositions(f *pool.Federation) string {
+	var sb strings.Builder
+	for _, p := range f.Pools {
+		for _, s := range p.Schedds {
+			for _, j := range s.Jobs() {
+				fmt.Fprintf(&sb, "== %s job %d %s\n", s.Name(), j.ID, j.State)
+				sb.WriteString(j.EventLog())
+			}
+		}
+	}
+	return sb.String()
+}

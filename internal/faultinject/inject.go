@@ -25,6 +25,16 @@ type Targets struct {
 	// classes.  PoolTargets registers each schedd's submit file
 	// system as "submit", "submit1", ...
 	FileSystems map[string]*vfs.FileSystem
+	// Pools maps a federated pool's name to its membership, for the
+	// pool-site fault classes (peer-negotiator-crash, peer-pool-crash).
+	// FederationTargets fills it; single-pool targets leave it nil.
+	Pools map[string]PoolMembers
+}
+
+// PoolMembers names the actors a pool-site fault strikes.
+type PoolMembers struct {
+	Matchmaker string
+	Machines   []string
 }
 
 // PoolTargets derives the standard targets from an assembled pool.
@@ -48,6 +58,35 @@ func PoolTargets(p *pool.Pool) Targets {
 			key = fmt.Sprintf("submit%d", i)
 		}
 		t.FileSystems[key] = s.SubmitFS
+	}
+	return t
+}
+
+// FederationTargets derives the injectable surfaces of an assembled
+// federation: every pool's machines and schedds flattened into the
+// standard maps (names are already pool-prefixed), each schedd's
+// submit file system registered as "submit-<schedd name>", and the
+// pool membership table the pool-site fault classes address.
+func FederationTargets(f *pool.Federation) Targets {
+	t := Targets{
+		Engine:      f.Engine,
+		Bus:         f.Bus,
+		Startds:     make(map[string]*daemon.Startd),
+		Schedds:     make(map[string]*daemon.Schedd),
+		FileSystems: make(map[string]*vfs.FileSystem),
+		Pools:       make(map[string]PoolMembers, len(f.Pools)),
+	}
+	for _, p := range f.Pools {
+		pm := PoolMembers{Matchmaker: p.Matchmaker.Name()}
+		for _, sd := range p.Startds {
+			t.Startds[sd.Name()] = sd
+			pm.Machines = append(pm.Machines, sd.Name())
+		}
+		for _, s := range p.Schedds {
+			t.Schedds[s.Name()] = s
+			t.FileSystems["submit-"+s.Name()] = s.SubmitFS
+		}
+		t.Pools[p.Name] = pm
 	}
 	return t
 }
@@ -170,6 +209,26 @@ func (in *Injector) check(f Fault) error {
 			return fmt.Errorf("lease-expiry site must be kind:<kind> or actor:<name>")
 		}
 		return nil
+	case ClassPeerNegotiatorCrash, ClassPeerPoolCrash:
+		name, ok := strings.CutPrefix(f.Site, "pool:")
+		if !ok {
+			return fmt.Errorf("%s site must be pool:<name>", f.Class)
+		}
+		if _, ok := in.t.Pools[name]; !ok {
+			return fmt.Errorf("no federated pool %q", name)
+		}
+		if in.t.Bus == nil {
+			return fmt.Errorf("no bus to partition")
+		}
+		return nil
+	case ClassFlockReplyTruncate:
+		if in.t.Bus == nil {
+			return fmt.Errorf("no bus")
+		}
+		if !strings.HasPrefix(f.Site, "kind:") && !strings.HasPrefix(f.Site, "actor:") {
+			return fmt.Errorf("flock-reply-truncate site must be kind:<kind> or actor:<name>")
+		}
+		return nil
 	}
 	return fmt.Errorf("unhandled class")
 }
@@ -217,6 +276,34 @@ func (in *Injector) schedule(f Fault) {
 			})
 		}
 	case ClassLeaseExpiry:
+		in.armRule(f)
+	case ClassPeerNegotiatorCrash:
+		// The negotiator is partitioned, not deleted: ads, pings, and
+		// queries to it vanish in flight, and it rebuilds from the
+		// periodic ads when the window closes.
+		pm := in.t.Pools[strings.TrimPrefix(f.Site, "pool:")]
+		fr := f
+		fr.Site = "actor:" + pm.Matchmaker
+		in.armRule(fr)
+	case ClassPeerPoolCrash:
+		pm := in.t.Pools[strings.TrimPrefix(f.Site, "pool:")]
+		fr := f
+		fr.Site = "actor:" + pm.Matchmaker
+		in.armRule(fr)
+		for _, name := range pm.Machines {
+			sd := in.t.Startds[name]
+			in.t.Engine.After(f.At, func() {
+				in.note("crash machine:%s", sd.Name())
+				sd.Crash()
+			})
+			if f.For > 0 {
+				in.t.Engine.After(f.At+f.For, func() {
+					in.note("restart machine:%s", sd.Name())
+					sd.Restart()
+				})
+			}
+		}
+	case ClassFlockReplyTruncate:
 		in.armRule(f)
 	}
 }
@@ -336,6 +423,11 @@ func (in *Injector) busFault(m sim.Message) sim.Fault {
 		if r.f.Class == ClassLeaseExpiry && m.Kind != "lease-renew" {
 			continue
 		}
+		// Likewise a flock-reply-truncate rule cuts only the flock
+		// codec's wire, even when its site is an actor.
+		if r.f.Class == ClassFlockReplyTruncate && m.Kind != "flock-reply" {
+			continue
+		}
 		if r.remaining > 0 {
 			r.remaining--
 			if r.remaining == 0 {
@@ -343,8 +435,21 @@ func (in *Injector) busFault(m sim.Message) sim.Fault {
 			}
 		}
 		switch r.f.Class {
-		case ClassCrash, ClassMsgDrop, ClassLeaseExpiry:
+		case ClassCrash, ClassMsgDrop, ClassLeaseExpiry,
+			ClassPeerNegotiatorCrash, ClassPeerPoolCrash:
 			out.Drop = true
+		case ClassFlockReplyTruncate:
+			n := int(r.f.Param)
+			if n <= 0 {
+				n = 12 // mid-line: cuts "flock grant ..." inside a field
+			}
+			prev := out.Mutate
+			out.Mutate = func(body any) any {
+				if prev != nil {
+					body = prev(body)
+				}
+				return daemon.TruncateFlockReply(body, n)
+			}
 		case ClassMsgDelay:
 			d := time.Duration(r.f.Param) * time.Millisecond
 			if d <= 0 {

@@ -108,10 +108,30 @@ const (
 	// — a deterministic frame-count budget, never wall time.  Armed
 	// by the session configuration, not by Proxy or Injector.
 	ClassKeyExpiry Class = "key-expiry"
+	// ClassPeerNegotiatorCrash partitions a federated pool's
+	// matchmaker (site pool:<name>): flock pings go unanswered, jobs
+	// advertised there get no negotiation, and the silence is
+	// discovered by time — the coordinator's liveness window and the
+	// schedds' pacing clocks — never by a message.
+	ClassPeerNegotiatorCrash Class = "peer-negotiator-crash"
+	// ClassPeerPoolCrash takes a whole federated pool down (site
+	// pool:<name>): the matchmaker is partitioned and every machine
+	// crashes mid-protocol.  A job flocked there loses only its remote
+	// claim — a remote-resource-scope error that requeues it at home
+	// with zero loss.  After For the machines restart and the
+	// partition lifts.
+	ClassPeerPoolCrash Class = "peer-pool-crash"
+	// ClassFlockReplyTruncate truncates the flock-codec payload of
+	// matching flock-reply messages to Param bytes (default 12) — the
+	// one wire that crosses pool-administration boundaries, cut
+	// mid-line.  The schedd scopes the parse failure as a network
+	// error confined to that exchange.
+	ClassFlockReplyTruncate Class = "flock-reply-truncate"
 )
 
 // Classes lists every fault class, in a fixed order the sweep
-// harness enumerates.
+// harness enumerates.  New classes append: the order is part of the
+// golden-trace contract.
 var Classes = []Class{
 	ClassCrash, ClassMsgDrop, ClassMsgDelay, ClassMsgDup,
 	ClassFSOffline, ClassDiskFull, ClassPermission, ClassCorruptData,
@@ -120,6 +140,7 @@ var Classes = []Class{
 	ClassConnReset, ClassConnTruncate,
 	ClassFrameCorrupt, ClassFrameTruncate, ClassMACFailure,
 	ClassFrameReplay, ClassKeyExpiry,
+	ClassPeerNegotiatorCrash, ClassPeerPoolCrash, ClassFlockReplyTruncate,
 }
 
 func validClass(c Class) bool {

@@ -206,11 +206,17 @@ func (m Metrics) MeanTurnaround() time.Duration {
 
 // Metrics collects the summary for the current state.
 func (p *Pool) Metrics() Metrics {
+	return collectMetrics(p.Bus, p.Schedds, p.Startds)
+}
+
+// collectMetrics builds the summary from any set of schedds and
+// startds — one pool's, or a whole federation's.
+func collectMetrics(bus *sim.Bus, schedds []*daemon.Schedd, startds []*daemon.Startd) Metrics {
 	var m Metrics
-	m.MessagesSent = p.Bus.Sent()
-	m.MessagesLost = p.Bus.Lost()
+	m.MessagesSent = bus.Sent()
+	m.MessagesLost = bus.Lost()
 	var jobs []*daemon.Job
-	for _, s := range p.Schedds {
+	for _, s := range schedds {
 		m.Requeues += s.Requeues
 		m.Recoveries += s.Recoveries
 		jobs = append(jobs, s.Jobs()...)
@@ -220,7 +226,7 @@ func (p *Pool) Metrics() Metrics {
 			}
 		}
 	}
-	for _, sd := range p.Startds {
+	for _, sd := range startds {
 		m.LeaseExpiries += sd.LeasesExpired
 	}
 	for _, j := range jobs {

@@ -54,6 +54,11 @@ type Fault struct {
 	// same total latency; receivers must be idempotent, as over a
 	// real network that retransmitted.
 	Duplicates int
+	// Mutate, if non-nil, replaces the message body in transit —
+	// modeling truncation or corruption on the wire.  It runs
+	// synchronously at send time (determinism) and must not retain or
+	// modify the original body, only return a replacement.
+	Mutate func(body any) any
 }
 
 // FaultFunc decides the in-transit fate of each message.  It is the
@@ -323,6 +328,9 @@ func (b *Bus) sendNow(m Message) {
 		}
 		b.observe(m, obs.KindMsgLost)
 		return
+	}
+	if f.Mutate != nil {
+		m.Body = f.Mutate(m.Body)
 	}
 	b.observe(m, obs.KindMsg)
 	// Deliveries run on the destination's shard, so same-instant
