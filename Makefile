@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet determinism-grep build test race cover journal-smoke wire-smoke fault-smoke fault-sweep pool-smoke flock-smoke bench bench-matchmaker bench-obs bench-pool bench-wire trace
+.PHONY: check vet determinism-grep build test race cover journal-smoke wire-smoke fault-smoke fault-sweep pool-smoke flock-smoke churn-smoke checkpoint-sweep bench bench-matchmaker bench-obs bench-pool bench-wire trace
 
 ## check: the full gate — vet, the determinism grep, build, race-test
 ## the concurrent packages, the whole suite with per-package coverage
 ## (including the golden-trace regression suite and the per-package
 ## coverage floors), the write-ahead-journal race smoke, the wire-codec
 ## and transport smoke, the fault-injection smoke matrix, the
-## small-shape pool-throughput smoke, then the federation smoke.
-check: vet determinism-grep build race cover journal-smoke wire-smoke fault-smoke pool-smoke flock-smoke
+## small-shape pool-throughput smoke, the federation smoke, then the
+## machine-churn determinism smoke.
+check: vet determinism-grep build race cover journal-smoke wire-smoke fault-smoke pool-smoke flock-smoke churn-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,7 +48,8 @@ race:
 COVER_PKGS = \
 	github.com/errscope/grid/internal/obs \
 	github.com/errscope/grid/internal/journal \
-	github.com/errscope/grid/internal/wire
+	github.com/errscope/grid/internal/wire \
+	github.com/errscope/grid/internal/faultinject
 COVER_FLOOR = 85
 cover:
 	@$(GO) test -cover ./... > cover.txt 2>&1; status=$$?; \
@@ -100,6 +102,18 @@ fault-sweep:
 ## failure semantics scoped.
 flock-smoke:
 	$(GO) run ./cmd/experiments -run flock-smoke
+
+## churn-smoke: a churned pool of checkpointing standard jobs run on
+## the serial and parallel engines — dispositions compared byte for
+## byte, every job must complete, and every eviction must stay scoped
+## to the claim.  The gate that keeps machine churn deterministic.
+churn-smoke:
+	$(GO) run ./cmd/experiments -run churn-smoke
+
+## checkpoint-sweep: the checkpoint-interval overhead-vs-rework curve
+## under machine churn; writes checkpoint_sweep.json.
+checkpoint-sweep:
+	$(GO) run ./cmd/experiments -run checkpoint-sweep
 
 ## pool-smoke: one small pool shape end to end in three arms — the
 ## pre-PR-5 reference schedd, the optimized serial schedd, and the

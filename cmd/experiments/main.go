@@ -11,7 +11,8 @@
 // Experiment ids: figure1, figure2, figure3, figure4, naive,
 // blackhole, mounts, migration, crashes, crash-recovery, principles,
 // bench-matchmaker, bench-obs, bench-pool, bench-wire, pool-smoke,
-// flock-smoke, fault-sweep, fault-smoke, trace.
+// flock-smoke, churn-smoke, checkpoint-sweep, fault-sweep,
+// fault-smoke, trace.
 package main
 
 import (
@@ -48,6 +49,8 @@ func main() {
 			"round-trips per bench-wire arm")
 		traceOut = flag.String("trace-out", "traces",
 			"directory for per-class JSONL traces from the trace experiment")
+		ckptOut = flag.String("checkpoint-sweep-out", "checkpoint_sweep.json",
+			"output path for checkpoint-sweep rows")
 	)
 	flag.Parse()
 
@@ -156,6 +159,24 @@ func main() {
 		{"flock-smoke", func() (*experiments.Report, error) {
 			return experiments.FlockSmoke(*seed)
 		}, "federation smoke: flocked jobs complete, serial == rerun == parallel, peer-death zero loss"},
+		{"churn-smoke", func() (*experiments.Report, error) {
+			return experiments.ChurnSmoke(*seed)
+		}, "machine-churn smoke: churned standard jobs complete, serial == rerun == parallel"},
+		{"checkpoint-sweep", func() (*experiments.Report, error) {
+			rows, rep, err := experiments.CheckpointSweep(*seed)
+			if err != nil {
+				return rep, err
+			}
+			data, jerr := json.MarshalIndent(rows, "", "  ")
+			if jerr != nil {
+				return nil, jerr
+			}
+			if jerr := os.WriteFile(*ckptOut, append(data, '\n'), 0o644); jerr != nil {
+				return nil, jerr
+			}
+			rep.AddNote("wrote %s", *ckptOut)
+			return rep, nil
+		}, "checkpoint interval vs churn: the Garba overhead-vs-rework curve (writes checkpoint_sweep.json)"},
 		{"fault-sweep", func() (*experiments.Report, error) {
 			return experiments.FaultSweep(*seed)
 		}, "fault-injection conformance: every error class at >= 3 sites"},

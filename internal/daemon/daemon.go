@@ -170,6 +170,29 @@ type Params struct {
 	// CheckpointInterval is how often a Standard Universe starter
 	// ships a checkpoint to the shadow; 0 disables checkpointing.
 	CheckpointInterval time.Duration
+	// CheckpointOverhead is the wall-clock cost the execution machine
+	// pays per checkpoint taken — time the program does not progress
+	// while its state is written out.  Zero (the default) makes
+	// checkpoints free, the historic behaviour; a positive overhead
+	// creates the Garba tradeoff the checkpoint-sweep experiment
+	// measures: short intervals waste time checkpointing, long ones
+	// waste rework on eviction.
+	CheckpointOverhead time.Duration
+	// Preemption enables Rank-based preemption: the matchmaker may
+	// match a job to a *claimed* machine when the newcomer's Rank
+	// strictly beats the incumbent's, and the startd then vacates the
+	// incumbent (shipping a final checkpoint within
+	// VacateGracePeriod) and transfers the claim.  Off by default —
+	// claimed machines never advertise and are invisible to
+	// negotiation, the historic behaviour.
+	Preemption bool
+	// VacateGracePeriod is how long a preempted claim's incumbent has
+	// to ship a final checkpoint before the claim transfers anyway.
+	// When the grace window is too short for the checkpoint to ship,
+	// the incumbent loses everything since its last periodic
+	// checkpoint — the preempt-grace-expiry fault class.  Zero
+	// selects 30s.
+	VacateGracePeriod time.Duration
 	// DisableMatchFastPath makes the matchmaker negotiate with the
 	// uncompiled reference evaluator and no candidate index — the
 	// original scheduler shape.  Same-seed runs must produce
@@ -235,6 +258,14 @@ func (p Params) flockPingInterval() time.Duration {
 		return p.FlockPingInterval
 	}
 	return p.AdInterval
+}
+
+// vacateGrace resolves the preemption grace window.
+func (p Params) vacateGrace() time.Duration {
+	if p.VacateGracePeriod > 0 {
+		return p.VacateGracePeriod
+	}
+	return 30 * time.Second
 }
 
 // DefaultParams returns the parameters used throughout the paper's

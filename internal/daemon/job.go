@@ -70,6 +70,9 @@ type Attempt struct {
 	LostContact error
 	// Evicted marks an attempt ended by the machine owner's return.
 	Evicted bool
+	// Preempted qualifies Evicted: the attempt ended because a
+	// higher-Rank job took the claim, not because the owner returned.
+	Preempted bool
 }
 
 // Job is one queued job: its ClassAd, its simulated program, and its

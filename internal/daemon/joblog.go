@@ -25,6 +25,8 @@ const (
 	EventFetchFailed  EventKind = "fetch-failed"
 	EventLostContact  EventKind = "lost-contact"
 	EventEvicted      EventKind = "evicted"
+	EventPreempted    EventKind = "preempted"
+	EventCheckpointed EventKind = "checkpointed"
 	EventRequeued     EventKind = "requeued"
 	// EventAvoidanceRelaxed records the schedd dropping the
 	// chronic-failure constraint for a job that the constraint had

@@ -98,6 +98,13 @@ type machineEntry struct {
 	table   *classad.AttrTable // snapshot backing the index entries
 	matched bool               // provisionally handed out this cycle
 	expires sim.Time           // ad lifetime; a silent machine vanishes
+	// claimed marks a machine advertising in the Claimed state —
+	// visible only under preemption, and only to jobs whose Rank
+	// strictly beats curRank, the incumbent's Rank the startd put in
+	// the ad.  Extracted once at upsert so the per-cycle scans pay a
+	// field read, not an attribute evaluation.
+	claimed bool
+	curRank float64
 	// absent marks an expired machine.  The entry stays in the sorted
 	// name list and the attribute index — scans skip it — because a
 	// machine that goes quiet while running a job re-advertises on
@@ -165,6 +172,29 @@ type clusterEntry struct {
 type rankedCandidate struct {
 	entry *machineEntry
 	rank  float64
+}
+
+// machineClaimState reads the advertised claim state: whether the
+// machine is claimed and, if so, the incumbent's Rank.  Historically
+// only unclaimed machines advertised, so entries without the
+// attributes are simply unclaimed.
+func machineClaimState(ad *classad.Ad) (bool, float64) {
+	st, _ := ad.EvalAttr("State", nil).StringValue()
+	if st != "Claimed" {
+		return false, 0
+	}
+	r, _ := ad.EvalAttr("CurrentRank", nil).RealValue()
+	return true, r
+}
+
+// preemptable reports whether a job offering rank r may take a
+// machine: an unclaimed machine always, a claimed one only under
+// preemption and only by strictly outranking the incumbent.
+func (m *Matchmaker) preemptable(e *machineEntry, r float64) bool {
+	if !e.claimed {
+		return true
+	}
+	return m.params.Preemption && r > e.curRank
 }
 
 // jobOwner extracts the requesting user from the job ad, falling back
@@ -257,12 +287,14 @@ func (m *Matchmaker) upsertMachine(name string, ad *classad.Ad, expires sim.Time
 		m.index.remove(entry)
 		entry.ad = ad
 		entry.table = ad.Table()
+		entry.claimed, entry.curRank = machineClaimState(ad)
 		m.index.add(entry)
 		return
 	}
 	ad.Precompile()
 	table := ad.Table()
 	entry := &machineEntry{name: name, ad: ad, table: table, expires: expires}
+	entry.claimed, entry.curRank = machineClaimState(ad)
 	m.machines[name] = entry
 	pos, _ := slices.BinarySearch(m.machineNames, name)
 	m.machineNames = slices.Insert(m.machineNames, pos, name)
@@ -588,6 +620,9 @@ func (m *Matchmaker) findBest(j *jobEntry, fast bool) *machineEntry {
 				continue
 			}
 			r := classad.RankSlow(j.ad, entry.ad)
+			if !m.preemptable(entry, r) {
+				continue
+			}
 			if best == nil || r > bestRank {
 				best = entry
 				bestRank = r
@@ -638,7 +673,8 @@ func (m *Matchmaker) cluster(j *jobEntry) *clusterEntry {
 			// Handed out before this scan: invisible to findBest, but
 			// anyCompatible must still count it.
 			if !c.compatible && classad.AdmitsAll(j.pre, entry.table) &&
-				classad.Match(j.ad, entry.ad) {
+				classad.Match(j.ad, entry.ad) &&
+				m.preemptable(entry, classad.Rank(j.ad, entry.ad)) {
 				c.compatible = true
 			}
 			continue
@@ -650,9 +686,14 @@ func (m *Matchmaker) cluster(j *jobEntry) *clusterEntry {
 		if !classad.Match(j.ad, entry.ad) {
 			continue
 		}
+		r := classad.Rank(j.ad, entry.ad)
+		if !m.preemptable(entry, r) {
+			// A claimed machine the job cannot outbid stays invisible,
+			// exactly as when claimed machines did not advertise.
+			continue
+		}
 		c.compatible = true
-		c.ranked = append(c.ranked,
-			rankedCandidate{entry: entry, rank: classad.Rank(j.ad, entry.ad)})
+		c.ranked = append(c.ranked, rankedCandidate{entry: entry, rank: r})
 	}
 	// Stable: equal ranks keep candidate (name) order.  Ranks are
 	// never NaN — arithmetic errors such as division by zero evaluate
@@ -677,7 +718,8 @@ func (m *Matchmaker) cluster(j *jobEntry) *clusterEntry {
 func (m *Matchmaker) anyCompatible(j *jobEntry, fast bool) bool {
 	if !fast {
 		for _, name := range m.machineNames {
-			if e := m.machines[name]; !e.absent && classad.MatchSlow(j.ad, e.ad) {
+			if e := m.machines[name]; !e.absent && classad.MatchSlow(j.ad, e.ad) &&
+				m.preemptable(e, classad.RankSlow(j.ad, e.ad)) {
 				return true
 			}
 		}

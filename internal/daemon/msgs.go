@@ -24,7 +24,9 @@ const (
 	kindJobFinal     = "job-final"     // shadow -> schedd
 	kindReleaseClaim = "release-claim" // schedd/shadow -> startd
 	kindCheckpoint   = "checkpoint"    // starter -> shadow
+	kindCkptCommit   = "ckpt-commit"   // shadow -> schedd (journal the checkpoint)
 	kindJobEvicted   = "job-evicted"   // starter -> shadow
+	kindClaimVacated = "claim-vacated" // startd -> schedd (claim gone before a starter ran)
 	kindLeaseRenew   = "lease-renew"   // shadow -> startd (claim keep-alive)
 	kindFlockPing    = "flock-ping"    // flockd -> peer matchmaker (liveness probe)
 	kindFlockPong    = "flock-pong"    // peer matchmaker -> flockd
@@ -140,6 +142,9 @@ type jobFinalMsg struct {
 	// Evicted marks an owner-reclaimed machine: requeue with no
 	// blame attached to anyone.
 	Evicted bool
+	// Preempted qualifies Evicted: the claim was not reclaimed by
+	// the owner but transferred to a higher-Rank job.
+	Preempted bool
 	// CheckpointCPU is the progress preserved across the failure or
 	// eviction, to resume from at the next site.
 	CheckpointCPU time.Duration
@@ -158,8 +163,21 @@ type releaseClaimMsg struct{ Job JobID }
 type leaseRenewMsg struct{ Job JobID }
 
 // checkpointMsg ships a Standard Universe job's progress to the
-// shadow, where it survives the execution machine.
+// shadow, where it survives the execution machine.  The progress
+// itself travels as the checkpoint-codec text payload (see
+// ckptmsg.go): the checkpoint crosses the pool boundary, so a payload
+// damaged in transit is a first-class fault the shadow must scope —
+// reject the record, keep the previous checkpoint — not a programming
+// error.
 type checkpointMsg struct {
+	Job     JobID
+	Payload string
+}
+
+// ckptCommitMsg asks the schedd to make a validated checkpoint
+// durable: journal it through the WAL so a restart — even on a
+// different machine, even after a schedd crash — resumes from it.
+type ckptCommitMsg struct {
 	Job JobID
 	CPU time.Duration
 }
@@ -169,6 +187,20 @@ type checkpointMsg struct {
 type jobEvictedMsg struct {
 	Job           JobID
 	CheckpointCPU time.Duration
+	// Preempted distinguishes a higher-Rank claim transfer from an
+	// owner reclaim.
+	Preempted bool
+}
+
+// claimVacatedMsg tells the schedd that a claim it held disappeared
+// before (or without) a starter running — an eviction or preemption
+// caught the machine in the Claimed state, so there is no starter to
+// report through.  The schedd routes it to the job's shadow.
+type claimVacatedMsg struct {
+	Job           JobID
+	Machine       string
+	CheckpointCPU time.Duration
+	Preempted     bool
 }
 
 // flockPingMsg is the flock coordinator's periodic liveness probe to
@@ -221,6 +253,8 @@ func (m jobResultMsg) TracedJob() int64    { return int64(m.Job) }
 func (m jobFinalMsg) TracedJob() int64     { return int64(m.Job) }
 func (m releaseClaimMsg) TracedJob() int64 { return int64(m.Job) }
 func (m checkpointMsg) TracedJob() int64   { return int64(m.Job) }
+func (m ckptCommitMsg) TracedJob() int64   { return int64(m.Job) }
 func (m jobEvictedMsg) TracedJob() int64   { return int64(m.Job) }
+func (m claimVacatedMsg) TracedJob() int64 { return int64(m.Job) }
 func (m flockQueryMsg) TracedJob() int64   { return int64(m.Job) }
 func (m flockReplyMsg) TracedJob() int64   { return int64(m.Job) }

@@ -482,9 +482,50 @@ func (s *Schedd) Receive(msg sim.Message) {
 		s.receiveClaim(msg.From, body)
 	case flockReplyMsg:
 		s.handleFlockReply(body)
+	case ckptCommitMsg:
+		s.handleCkptCommit(body)
+	case claimVacatedMsg:
+		s.handleClaimVacated(body)
 	case jobFinalMsg:
 		s.handleFinal(body)
 	}
+}
+
+// handleCkptCommit journals a checkpoint the shadow validated and
+// advances the job's durable resume point.  The append-before-act
+// discipline makes the checkpoint survive a schedd crash: recovery
+// replays the record, and the next attempt — on any machine — resumes
+// from the committed CPU instead of from scratch.
+func (s *Schedd) handleCkptCommit(m ckptCommitMsg) {
+	j, ok := s.jobs[m.Job]
+	if !ok || j.State != JobRunning || m.CPU <= j.CheckpointCPU {
+		return
+	}
+	s.journalAppend(recCkpt(j.ID, s.bus.Now(), m.CPU))
+	j.CheckpointCPU = m.CPU
+	s.logEvent(j, EventCheckpointed, "committed %v", m.CPU)
+}
+
+// handleClaimVacated closes an attempt whose machine vacated while the
+// claim was seated but no starter was running — evicted between the
+// grant and the activation, or preempted before the job details
+// arrived.  The report is routed through the job's live shadow so the
+// attempt closes exactly once, by the same path a running eviction
+// takes.
+func (s *Schedd) handleClaimVacated(m claimVacatedMsg) {
+	j, ok := s.jobs[m.Job]
+	if !ok || j.State != JobRunning {
+		return
+	}
+	sh := s.shadows[m.Job]
+	if sh == nil || sh.machine != m.Machine {
+		return
+	}
+	sh.handleEvicted(jobEvictedMsg{
+		Job:           m.Job,
+		CheckpointCPU: m.CheckpointCPU,
+		Preempted:     m.Preempted,
+	})
 }
 
 // handleNoMatch reacts to the matchmaker finding zero compatible
@@ -706,6 +747,12 @@ func (s *Schedd) receiveClaim(from string, r claimReplyMsg) {
 // report, in the precedence order of the live protocol.
 func finalError(f jobFinalMsg) error {
 	switch {
+	case f.Evicted && f.Preempted:
+		// Preemption is policy too: a higher-Rank job displaced this
+		// one.  The condition invalidates the claim and nothing wider —
+		// remote-resource scope, requeue, no blame.
+		return scope.New(scope.ScopeRemoteResource, "Preempted",
+			"a higher-Rank job preempted the claim on %s", f.Machine)
 	case f.Evicted:
 		// Eviction is policy, not error: the owner reclaimed the
 		// machine.  Requeue with no blame attached.
@@ -737,6 +784,7 @@ func (s *Schedd) applyFinal(j *Job, f jobFinalMsg, err error, now sim.Time) scop
 		att.FetchError = f.FetchError
 		att.LostContact = f.LostContact
 		att.Evicted = f.Evicted
+		att.Preempted = f.Preempted
 	}
 
 	if f.CheckpointCPU > j.CheckpointCPU {
@@ -843,6 +891,9 @@ func (s *Schedd) handleFinal(f jobFinalMsg) {
 	default: // requeue
 		s.tr.Count("schedd.requeues", 1)
 		switch {
+		case f.Evicted && f.Preempted:
+			s.logEvent(j, EventPreempted, "displaced from %s by a higher-Rank job (checkpoint %v)",
+				f.Machine, j.CheckpointCPU)
 		case f.Evicted:
 			s.logEvent(j, EventEvicted, "owner reclaimed %s (checkpoint %v)",
 				f.Machine, j.CheckpointCPU)

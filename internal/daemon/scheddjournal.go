@@ -357,6 +357,19 @@ func recFlock(id JobID, at sim.Time, level int, to string) []byte {
 	return b
 }
 
+// recCkpt records a committed checkpoint: the job can resume from cpu
+// nanoseconds of delivered work on any machine, even after a schedd
+// crash.
+func recCkpt(id JobID, at sim.Time, cpu time.Duration) []byte {
+	b := append(make([]byte, 0, 56), "op=ckpt id="...)
+	b = strconv.AppendInt(b, int64(id), 10)
+	b = append(b, " at="...)
+	b = strconv.AppendInt(b, int64(at), 10)
+	b = append(b, " cpu="...)
+	b = strconv.AppendInt(b, int64(cpu), 10)
+	return b
+}
+
 // recEvent covers the transitions that carry no payload beyond the
 // job and the instant: claim-timeout, claim-denied, relax, recover.
 func recEvent(op string, id JobID, at sim.Time) []byte {
@@ -382,6 +395,9 @@ func recFinal(f jobFinalMsg, at sim.Time) []byte {
 	b = strconv.AppendInt(b, int64(f.CheckpointCPU), 10)
 	b = append(b, " evicted="...)
 	b = strconv.AppendBool(b, f.Evicted)
+	if f.Preempted { // written only when set, so pre-preemption logs replay byte-identically
+		b = append(b, " pre=true"...)
+	}
 	b = append(b, " hold="...)
 	b = strconv.AppendBool(b, f.Hold)
 	b = append(b, " fetch="...)
@@ -477,6 +493,14 @@ func (s *Schedd) applyEntry(payload []byte) error {
 		j.Attempts = append(j.Attempts, Attempt{Machine: machine, Start: sim.Time(at)})
 	case "relax":
 		j.avoidanceRelaxed = true
+	case "ckpt":
+		cpu, err := parseInt64(kv, "cpu")
+		if err != nil {
+			return err
+		}
+		if d := durationNS(cpu); d > j.CheckpointCPU {
+			j.CheckpointCPU = d
+		}
 	case "flock":
 		level, err := parseInt64(kv, "level")
 		if err != nil {
@@ -555,6 +579,11 @@ func decodeFinal(id JobID, kv map[string]string) (jobFinalMsg, error) {
 	f.CPU, f.CheckpointCPU = durationNS(cpu), durationNS(ckpt)
 	if f.Evicted, err = parseBool(kv, "evicted"); err != nil {
 		return f, err
+	}
+	if _, ok := kv["pre"]; ok { // absent in pre-preemption logs
+		if f.Preempted, err = parseBool(kv, "pre"); err != nil {
+			return f, err
+		}
 	}
 	if f.Hold, err = parseBool(kv, "hold"); err != nil {
 		return f, err
@@ -699,6 +728,9 @@ func appendAttempt(b []byte, id JobID, a *Attempt) []byte {
 	b = strconv.AppendInt(b, int64(a.CPU), 10)
 	b = append(b, " evicted="...)
 	b = strconv.AppendBool(b, a.Evicted)
+	if a.Preempted {
+		b = append(b, " pre=true"...)
+	}
 	b = append(b, " fetch="...)
 	b = scope.AppendQuote(b, encodeScopedErr(a.FetchError))
 	b = append(b, " lost="...)
@@ -855,6 +887,11 @@ func snapshotAttempt(j *Job, kv map[string]string) error {
 	a.Start, a.End, a.CPU = sim.Time(start), sim.Time(end), durationNS(cpu)
 	if a.Evicted, err = parseBool(kv, "evicted"); err != nil {
 		return err
+	}
+	if _, ok := kv["pre"]; ok { // absent in pre-preemption logs
+		if a.Preempted, err = parseBool(kv, "pre"); err != nil {
+			return err
+		}
 	}
 	fetch, err := unquoted(kv, "fetch")
 	if err != nil {

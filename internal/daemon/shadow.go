@@ -122,9 +122,7 @@ func (sh *Shadow) Receive(msg sim.Message) {
 	case jobResultMsg:
 		sh.handleResult(body)
 	case checkpointMsg:
-		if body.CPU > sh.lastCheckpoint {
-			sh.lastCheckpoint = body.CPU
-		}
+		sh.handleCheckpoint(body)
 	case jobEvictedMsg:
 		sh.handleEvicted(body)
 	}
@@ -282,8 +280,42 @@ func (sh *Shadow) retryDelay() time.Duration {
 	return d
 }
 
-// handleEvicted requeues an owner-reclaimed attempt, carrying the
-// final checkpoint home.
+// handleCheckpoint validates one checkpoint record from the starter
+// and, when it advances the job's progress, commits it through the
+// schedd's journal so the checkpoint survives not just the execution
+// machine but the schedd process too.  A record whose CRC does not
+// hold, or that names a different job, is rejected: the damage is the
+// record's (network scope), never the job's, and the previous
+// committed checkpoint still stands.
+func (sh *Shadow) handleCheckpoint(m checkpointMsg) {
+	if sh.finished {
+		return
+	}
+	job, cpu, err := ParseCheckpoint(m.Payload)
+	if err == nil && job != sh.job {
+		err = scope.New(scope.ScopeNetwork, "CheckpointMisrouted",
+			"checkpoint names job %d, shadow serves job %d", job, sh.job)
+	}
+	if err != nil {
+		sh.tr.Count("shadow.ckpt_rejected", 1)
+		if sh.tr.Enabled() {
+			sh.tr.Emit(errorEvent(int64(sh.bus.Now()), sh.name, sh.job,
+				ckptCorruptErr(err)))
+		}
+		return
+	}
+	if cpu <= sh.lastCheckpoint {
+		return
+	}
+	sh.lastCheckpoint = cpu
+	sh.bus.Send(sh.name, sh.schedd, kindCkptCommit, ckptCommitMsg{
+		Job: sh.job,
+		CPU: cpu,
+	})
+}
+
+// handleEvicted requeues an owner-reclaimed (or preempted) attempt,
+// carrying the final checkpoint home.
 func (sh *Shadow) handleEvicted(ev jobEvictedMsg) {
 	if ev.CheckpointCPU > sh.lastCheckpoint {
 		sh.lastCheckpoint = ev.CheckpointCPU
@@ -292,6 +324,7 @@ func (sh *Shadow) handleEvicted(ev jobEvictedMsg) {
 		Job:           sh.job,
 		Machine:       sh.machine,
 		Evicted:       true,
+		Preempted:     ev.Preempted,
 		CheckpointCPU: sh.lastCheckpoint,
 	})
 }

@@ -87,6 +87,19 @@ type Startd struct {
 	// renewal from the shadow pushes it forward.
 	leaseExpiry sim.Time
 
+	// Preemption state (Params.Preemption).  incumbentRank is the Rank
+	// the current claim's job scored on this machine — the bar a
+	// challenger must strictly beat.  pendingClaim holds the winning
+	// challenger's request while the incumbent vacates; vacating marks
+	// the grace window in progress (the machine stops advertising, so
+	// a second challenger cannot pile on).
+	incumbentRank float64
+	pendingClaim  *claimRequestMsg
+	vacating      bool
+	// vacateGraceOverride replaces Params.VacateGracePeriod on this
+	// machine, for fault injection (preempt-grace-expiry).
+	vacateGraceOverride time.Duration
+
 	// adCache holds the machine ad per (claimed, hasJava) shape —
 	// the only dynamic inputs of buildAd.  Re-advertising the same
 	// immutable ad object lets the matchmaker skip re-indexing and
@@ -100,6 +113,8 @@ type Startd struct {
 	CPUDelivered  time.Duration
 	SelfTestFail  bool
 	Evictions     int
+	// Preemptions counts claims transferred to a higher-Rank job.
+	Preemptions int
 	// LeasesExpired counts claims released because renewals stopped —
 	// each one is an orphaned claim the lease protocol reclaimed.
 	LeasesExpired int
@@ -190,12 +205,32 @@ func (s *Startd) Evict() {
 	if s.crashed || s.state == StartdOwner {
 		return
 	}
+	if s.pendingClaim != nil {
+		// A challenger was waiting out the incumbent's grace window;
+		// the owner's return beats both jobs.
+		s.bus.Send(s.cfg.Name, s.pendingClaim.Schedd, kindClaimReply,
+			claimReplyMsg{Job: s.pendingClaim.Job, Granted: false,
+				Reason: "owner reclaimed the machine"})
+		s.pendingClaim = nil
+	}
+	s.vacating = false
 	if s.state == StartdRunning && s.starterObj != nil {
 		// Synchronous: the startd signals its own child process.
 		s.starterObj.evict()
 		s.bus.Unregister(s.starter)
 		s.starter = ""
 		s.starterObj = nil
+	} else if s.state == StartdClaimed && s.claimedJob != 0 && s.claimedBy != "" {
+		// The claim was granted but no starter runs yet — there is no
+		// child to report through, so tell the submit side directly.
+		// Without this notice the shadow would sit on its activation
+		// timeout while the claim's lease ran out, and the job would
+		// requeue hours late for an eviction the machine knew about
+		// instantly.
+		s.bus.Send(s.cfg.Name, s.claimedBy, kindClaimVacated, claimVacatedMsg{
+			Job:     s.claimedJob,
+			Machine: s.cfg.Name,
+		})
 	}
 	s.Evictions++
 	s.tr.Count("startd.evictions", 1)
@@ -253,6 +288,8 @@ func (s *Startd) Restart() {
 	s.state = StartdUnclaimed
 	s.claimedBy = ""
 	s.claimedJob = 0
+	s.pendingClaim = nil
+	s.vacating = false
 	s.claimGen++
 	if s.tr.Enabled() {
 		s.tr.Emit(obs.Event{T: int64(s.bus.Now()), Comp: s.cfg.Name,
@@ -291,10 +328,26 @@ func (s *Startd) runSelfTest() {
 	}
 }
 
-// advertise refreshes the machine ad at the matchmaker; only
-// unclaimed machines are offered.
+// advertise refreshes the machine ad at the matchmaker.  Unclaimed
+// machines are always offered; a claimed machine is invisible to
+// negotiation unless preemption is on, in which case it advertises a
+// fresh ad carrying CurrentRank — the incumbent's Rank, the bar a
+// challenger must strictly beat.  A machine mid-vacate stays silent:
+// its claim is already spoken for.
 func (s *Startd) advertise() {
-	if s.crashed || s.state != StartdUnclaimed {
+	if s.crashed {
+		return
+	}
+	if s.state != StartdUnclaimed {
+		if !s.params.Preemption || s.vacating ||
+			(s.state != StartdClaimed && s.state != StartdRunning) {
+			return
+		}
+		s.bus.Send(s.cfg.Name, s.params.matchmaker(), kindAdvertise, advertiseMsg{
+			Kind: "machine",
+			Name: s.cfg.Name,
+			Ad:   s.buildClaimedAd(),
+		})
 		return
 	}
 	if s.cfg.PeriodicSelfTest {
@@ -305,6 +358,16 @@ func (s *Startd) advertise() {
 		Name: s.cfg.Name,
 		Ad:   s.buildAd(),
 	})
+}
+
+// buildClaimedAd renders the preemption-mode ad of a claimed machine.
+// Unlike buildAd it is not cached: CurrentRank varies per claim, and
+// the matchmaker treats each fresh object as a content change anyway.
+func (s *Startd) buildClaimedAd() *classad.Ad {
+	ad := s.buildAd().Copy()
+	ad.SetReal("CurrentRank", s.incumbentRank)
+	ad.Precompile()
+	return ad
 }
 
 // Receive implements sim.Actor.
@@ -385,6 +448,25 @@ func (s *Startd) handleClaim(req claimRequestMsg) {
 			claimReplyMsg{Job: req.Job, Granted: false, Reason: reason})
 	}
 	if s.state != StartdUnclaimed {
+		// Rank-based preemption: a claimed machine entertains a
+		// challenger whose Rank strictly beats the incumbent's.  The
+		// reply is deferred — the challenger is answered when the claim
+		// actually transfers, after the incumbent's vacate window.
+		if s.params.Preemption && s.pendingClaim == nil &&
+			(s.state == StartdClaimed || s.state == StartdRunning) &&
+			classad.Match(s.buildAd(), req.JobAd) &&
+			classad.Rank(req.JobAd, s.buildAd()) > s.incumbentRank {
+			r := req
+			s.pendingClaim = &r
+			if s.tr.Enabled() {
+				s.tr.Emit(obs.Event{T: int64(s.bus.Now()), Comp: s.cfg.Name,
+					Kind: obs.KindState, Job: int64(s.claimedJob), Code: "preempt-notice",
+					Detail: fmt.Sprintf("job %d from %s outranks the incumbent; vacating",
+						req.Job, req.Schedd)})
+			}
+			s.beginVacate()
+			return
+		}
 		deny("machine already claimed")
 		return
 	}
@@ -395,6 +477,7 @@ func (s *Startd) handleClaim(req claimRequestMsg) {
 	s.state = StartdClaimed
 	s.claimedBy = req.Schedd
 	s.claimedJob = req.Job
+	s.incumbentRank = classad.Rank(req.JobAd, s.buildAd())
 	s.claimGen++
 	s.armLease()
 	s.ClaimsGranted++
@@ -402,6 +485,85 @@ func (s *Startd) handleClaim(req claimRequestMsg) {
 	s.bus.Send(s.cfg.Name, req.Schedd, kindClaimReply,
 		claimReplyMsg{Job: req.Job, Granted: true})
 }
+
+// beginVacate opens the incumbent's grace window.  Shipping the final
+// checkpoint costs StartupOverhead of machine time (state transfer is
+// the same data motion as job start); a grace window at least that
+// long ends with a clean checkpointed handoff at the moment the
+// checkpoint is away, while a shorter one expires first and the
+// incumbent forfeits everything since its last periodic checkpoint.
+func (s *Startd) beginVacate() {
+	s.vacating = true
+	grace := s.params.vacateGrace()
+	if s.vacateGraceOverride > 0 {
+		grace = s.vacateGraceOverride
+	}
+	ship := s.params.StartupOverhead
+	clean := grace >= ship
+	delay := grace
+	if clean {
+		delay = ship
+	}
+	gen := s.claimGen
+	s.bus.After(delay, func() { s.completeVacate(gen, clean) })
+}
+
+// completeVacate ends the incumbent's attempt at the close of the
+// grace window and hands the claim to the waiting challenger.  The
+// claimGen fence retires the timer if the claim already ended some
+// other way (natural completion, eviction, lease expiry) — teardown
+// transfers the pending claim itself in those cases.
+func (s *Startd) completeVacate(gen int, clean bool) {
+	if s.crashed || gen != s.claimGen || s.pendingClaim == nil {
+		return
+	}
+	s.Preemptions++
+	s.tr.Count("startd.preemptions", 1)
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{T: int64(s.bus.Now()), Comp: s.cfg.Name,
+			Kind: obs.KindState, Job: int64(s.claimedJob), Code: "preempted",
+			Detail: fmt.Sprintf("claim transferred to job %d (clean checkpoint: %v)",
+				s.pendingClaim.Job, clean)})
+	}
+	if s.starterObj != nil {
+		// Synchronous, like Evict: the startd signals its own child.
+		s.starterObj.vacate(clean)
+		s.bus.Unregister(s.starter)
+		s.starter = ""
+		s.starterObj = nil
+	} else if s.claimedJob != 0 && s.claimedBy != "" {
+		// No starter yet: tell the submit side directly.
+		s.bus.Send(s.cfg.Name, s.claimedBy, kindClaimVacated, claimVacatedMsg{
+			Job:       s.claimedJob,
+			Machine:   s.cfg.Name,
+			Preempted: true,
+		})
+	}
+	s.transferClaim()
+}
+
+// transferClaim seats the pending challenger on the machine: the
+// claim protocol resumes exactly where a fresh grant would, with the
+// deferred claim reply finally sent.
+func (s *Startd) transferClaim() {
+	req := *s.pendingClaim
+	s.pendingClaim = nil
+	s.vacating = false
+	s.state = StartdClaimed
+	s.claimedBy = req.Schedd
+	s.claimedJob = req.Job
+	s.claimGen++
+	s.incumbentRank = classad.Rank(req.JobAd, s.buildAd())
+	s.armLease()
+	s.ClaimsGranted++
+	s.tr.Count("startd.claims_granted", 1)
+	s.bus.Send(s.cfg.Name, req.Schedd, kindClaimReply,
+		claimReplyMsg{Job: req.Job, Granted: true})
+}
+
+// SetVacateGrace overrides the pool-wide vacate grace window on this
+// machine, for fault injection (preempt-grace-expiry).
+func (s *Startd) SetVacateGrace(d time.Duration) { s.vacateGraceOverride = d }
 
 // handleActivate spawns a starter for the claimed job.
 func (s *Startd) handleActivate(act activateMsg) {
@@ -456,6 +618,13 @@ func (s *Startd) teardown() {
 	s.claimedBy = ""
 	s.claimedJob = 0
 	s.claimGen++
+	if s.pendingClaim != nil {
+		// The incumbent left on its own during the grace window; the
+		// challenger takes the claim without waiting out the vacate.
+		s.transferClaim()
+		return
+	}
+	s.vacating = false
 	// Re-advertise immediately: an idle machine returns to the pool
 	// without waiting for the next ad interval.  (For a black-hole
 	// machine this is exactly what makes it so hungry.)

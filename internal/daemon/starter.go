@@ -121,20 +121,26 @@ func (st *Starter) execute(det jobDetailsMsg) {
 		}
 	}
 
-	// Standard Universe: ship periodic checkpoints to the shadow.
+	// Standard Universe: ship periodic checkpoints to the shadow, as
+	// canonical ckpt records (see ckptmsg.go) — the payload crosses
+	// the pool boundary and the shadow validates its CRC.
 	if st.universe == "standard" && st.params.CheckpointInterval > 0 {
 		st.stopTicker = st.bus.Every(st.params.CheckpointInterval, func() {
 			if st.done || st.startd.crashed {
 				return
 			}
+			cpu := st.resume + st.progressed()
 			st.bus.Send(st.name, st.shadow, kindCheckpoint, checkpointMsg{
-				Job: st.job,
-				CPU: st.resume + st.progressed(),
+				Job:     st.job,
+				Payload: EncodeCheckpoint(st.job, cpu),
 			})
 		})
 	}
 
 	elapsed := st.params.StartupOverhead + exec.CPU
+	if k := st.checkpointsTaken(exec.CPU); k > 0 {
+		elapsed += time.Duration(k) * st.params.CheckpointOverhead
+	}
 	st.bus.After(elapsed, func() {
 		if st.done || st.startd.crashed {
 			// A crashed machine reports nothing; the shadow's
@@ -153,9 +159,40 @@ func (st *Starter) execute(det jobDetailsMsg) {
 	})
 }
 
-// progressed returns the CPU this attempt has delivered so far.
+// checkpointsTaken solves for the number of checkpoints an attempt of
+// the given CPU pays for before it completes.  Each checkpoint stalls
+// the program for CheckpointOverhead, and the stalls push the
+// completion past later checkpoint ticks, which add their own stalls;
+// the count is the fixed point of that recurrence.  The iteration
+// converges only when the overhead is smaller than the interval — an
+// overhead that long means the machine does nothing but checkpoint,
+// so the bound caps the count rather than spinning.
+func (st *Starter) checkpointsTaken(cpu time.Duration) int {
+	o, iv := st.params.CheckpointOverhead, st.params.CheckpointInterval
+	if st.universe != "standard" || iv <= 0 || o <= 0 {
+		return 0
+	}
+	k := 0
+	for range 64 {
+		total := st.params.StartupOverhead + cpu + time.Duration(k)*o
+		k2 := int(total / iv)
+		if k2 <= k {
+			break
+		}
+		k = k2
+	}
+	return k
+}
+
+// progressed returns the CPU this attempt has delivered so far: wall
+// time since the startup overhead, minus the stalls already paid for
+// checkpoints taken.
 func (st *Starter) progressed() time.Duration {
-	elapsed := st.bus.Now().Sub(st.startedAt) - st.params.StartupOverhead
+	wall := st.bus.Now().Sub(st.startedAt)
+	elapsed := wall - st.params.StartupOverhead
+	if o, iv := st.params.CheckpointOverhead, st.params.CheckpointInterval; o > 0 && iv > 0 && st.universe == "standard" {
+		elapsed -= time.Duration(wall/iv) * o
+	}
 	if elapsed < 0 {
 		return 0
 	}
@@ -181,6 +218,28 @@ func (st *Starter) evict() {
 	st.bus.Send(st.name, st.shadow, kindJobEvicted, jobEvictedMsg{
 		Job:           st.job,
 		CheckpointCPU: checkpoint,
+	})
+}
+
+// vacate is called synchronously by the startd when a higher-Rank
+// claim preempts this one.  With a clean handoff — the grace window
+// was long enough to ship a final checkpoint — a Standard Universe
+// job leaves with its progress; an expired window forfeits everything
+// back to the last periodic checkpoint (the shadow keeps the max it
+// has committed).
+func (st *Starter) vacate(clean bool) {
+	if st.done {
+		return
+	}
+	var checkpoint time.Duration
+	if clean && st.universe == "standard" {
+		checkpoint = st.resume + st.progressed()
+	}
+	st.finish()
+	st.bus.Send(st.name, st.shadow, kindJobEvicted, jobEvictedMsg{
+		Job:           st.job,
+		CheckpointCPU: checkpoint,
+		Preempted:     true,
 	})
 }
 

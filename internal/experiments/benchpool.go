@@ -80,6 +80,10 @@ type poolShape struct {
 	jobs     int
 	// bothArms runs the reference arm too.
 	bothArms bool
+	// churn, if non-nil, runs the shape on a dynamic machine
+	// population: owners reclaim and release machines on a seeded
+	// schedule while the workload drains.
+	churn *pool.ChurnConfig
 }
 
 // benchPoolShapes are the published BENCH_pool.json geometries.
@@ -93,9 +97,23 @@ type poolShape struct {
 // BENCHMARKS.md (10240 machines, 102400 jobs).
 func benchPoolShapes() []poolShape {
 	return []poolShape{
-		{"small", 256, 1024, true},
-		{"medium", 1024, 8192, true},
-		{"large", 10240, 10240, true},
+		{name: "small", machines: 256, jobs: 1024, bothArms: true},
+		{name: "medium", machines: 1024, jobs: 8192, bothArms: true},
+		{name: "large", machines: 10240, jobs: 10240, bothArms: true},
+		// The churn arm: the small shape on an idle-workstation pool
+		// whose owners come and go mid-run.  Evicted jobs requeue and
+		// the shape must still drain completely, byte-equal across
+		// arms — churn is a workload property, never a nondeterminism
+		// source.
+		{name: "small-churn", machines: 256, jobs: 1024, bothArms: true,
+			// The up-phases are short enough that departures land while
+			// the workload is still draining (the whole shape needs only
+			// ~half an hour of virtual time).
+			churn: &pool.ChurnConfig{
+				Horizon:  2 * time.Hour,
+				MeanUp:   10 * time.Minute,
+				Downtime: 15 * time.Minute,
+			}},
 	}
 }
 
@@ -224,6 +242,7 @@ func runPoolShape(seed int64, shape poolShape, reference bool, workers int) (Ben
 		Params:   params,
 		Machines: pool.UniformMachines(shape.machines, 2048),
 		Workers:  workers,
+		Churn:    shape.churn,
 	})
 	p.SubmitJava(shape.jobs, pool.UniformCompute(5*time.Minute))
 	simDur := p.Run(7 * 24 * time.Hour)

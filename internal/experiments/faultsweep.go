@@ -62,12 +62,26 @@ type simCell struct {
 	tune     func(*daemon.Params)
 	setup    func(p *pool.Pool)
 	prog     func(i int) *jvm.Program
+	// standard submits the job in the Standard Universe (checkpointing
+	// relinked binary) instead of the Java Universe.
+	standard bool
 	limit    time.Duration
 	expect   sweepExpect
 }
 
-// attemptErr extracts the error that classified one attempt.
+// attemptErr extracts the error that classified one attempt, in the
+// precedence order of the schedd's finalError: eviction (and its
+// preemption qualifier) is policy, surfaced as an explicit
+// remote-resource condition scoped to the claim.
 func attemptErr(a daemon.Attempt) error {
+	if a.Evicted {
+		if a.Preempted {
+			return scope.New(scope.ScopeRemoteResource, "Preempted",
+				"a higher-Rank job preempted the claim on %s", a.Machine)
+		}
+		return scope.New(scope.ScopeRemoteResource, "Evicted",
+			"the machine owner reclaimed %s", a.Machine)
+	}
 	if a.FetchError != nil {
 		return a.FetchError
 	}
@@ -122,7 +136,12 @@ func (c simCell) runSim(seed int64, tr obs.Tracer, workers int) (string, error) 
 	if limit == 0 {
 		limit = 24 * time.Hour
 	}
-	ids := p.SubmitJava(1, prog)
+	var ids []daemon.JobID
+	if c.standard {
+		ids = p.SubmitStandard(1, prog)
+	} else {
+		ids = p.SubmitJava(1, prog)
+	}
 	p.Run(limit)
 
 	j := p.Schedd.Job(ids[0])
@@ -161,10 +180,19 @@ func verifyOutcome(e sweepExpect, j *daemon.Job, reports []daemon.UserReport) er
 	} else if e.maxAttempts > 0 && n > e.maxAttempts {
 		return fmt.Errorf("attempts = %d, want <= %d", n, e.maxAttempts)
 	}
-	if len(reports) != 1 {
-		return fmt.Errorf("reports = %d, want exactly 1", len(reports))
+	// Cells with companion jobs (the preemption cells submit a
+	// challenger) surface one report per job; only the job under
+	// verification counts.
+	var mine []daemon.UserReport
+	for _, r := range reports {
+		if r.Job == j.ID {
+			mine = append(mine, r)
+		}
 	}
-	if got := reports[0].Disposition; got != e.disp {
+	if len(mine) != 1 {
+		return fmt.Errorf("reports for job %d = %d, want exactly 1", j.ID, len(mine))
+	}
+	if got := mine[0].Disposition; got != e.disp {
 		return fmt.Errorf("disposition = %v, want %v", got, e.disp)
 	}
 	if e.firstScope == scope.ScopeNone {
@@ -592,7 +620,188 @@ func simCells() []simCell {
 			// single lost pulse must not kill a healthy claim.
 			expect: completed(scope.ScopeNone, 0, 1, ""),
 		},
+		// --- eviction-mid-checkpoint: the owner returns.  The vacate
+		// ships a final checkpoint, so the requeued attempt resumes;
+		// the eviction itself is explicit remote-resource policy, not
+		// machine blame.
+		{
+			class: faultinject.ClassEvictMidCkpt, site: "machine:big (owner works for two hours)",
+			faults:   "fault class=eviction-mid-checkpoint site=machine:big at=25m0s for=2h0m0s\n",
+			machines: bigSmall,
+			standard: true,
+			prog:     standard45,
+			expect:   completed(rr, scope.KindExplicit, 2, "small"),
+		},
+		{
+			class: faultinject.ClassEvictMidCkpt, site: "machine:big (owner keeps the machine)",
+			faults:   "fault class=eviction-mid-checkpoint site=machine:big at=25m0s\n",
+			machines: bigSmall,
+			standard: true,
+			prog:     standard45,
+			expect:   completed(rr, scope.KindExplicit, 2, "small"),
+		},
+		{
+			class: faultinject.ClassEvictMidCkpt, site: "machine:big (brief owner visit, pre-checkpoint)",
+			faults:   "fault class=eviction-mid-checkpoint site=machine:big at=5m0s for=30s\n",
+			machines: bigSmall,
+			standard: true,
+			prog:     standard45,
+			expect:   completed(rr, scope.KindExplicit, 2, ""),
+		},
+		// --- restart-different-machine: a silent crash loses the
+		// machine but not the journaled checkpoints; the job resumes
+		// wherever the matchmaker puts it next.
+		{
+			class: faultinject.ClassRestartElsewhere, site: "machine:big (resume from mid-run checkpoint)",
+			faults:   "fault class=restart-different-machine site=machine:big at=25m0s for=2h0m0s\n",
+			machines: bigSmall,
+			standard: true,
+			tune:     resultTimeout50,
+			prog:     standard45,
+			limit:    48 * time.Hour,
+			expect:   completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassRestartElsewhere, site: "machine:big (lost before the first checkpoint)",
+			faults:   "fault class=restart-different-machine site=machine:big at=5m0s for=2h0m0s\n",
+			machines: bigSmall,
+			standard: true,
+			tune:     resultTimeout50,
+			prog:     standard45,
+			limit:    48 * time.Hour,
+			expect:   completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassRestartElsewhere, site: "machine:big (no elsewhere: resumes on the restarted machine)",
+			faults:   "fault class=restart-different-machine site=machine:big at=25m0s for=30m0s\n",
+			machines: only("big", bigSmall),
+			standard: true,
+			// The restart lands after the shadow's discovery; with no
+			// blame and no other machine, the requeued job waits for the
+			// reboot and resumes where it crashed.
+			tune: func(p *daemon.Params) {
+				resultTimeout50(p)
+				p.ChronicFailureThreshold = 0
+			},
+			prog:   standard45,
+			limit:  48 * time.Hour,
+			expect: completed(rr, scope.KindEscaping, 2, "big"),
+		},
+		// --- corrupt-checkpoint: the CRC rejects damaged records, so
+		// corruption costs rework, never correctness; the vacate path
+		// carries its checkpoint out of band and is immune.
+		{
+			class: faultinject.ClassCorruptCkpt, site: "kind:checkpoint (every record, machine lost)",
+			faults: "fault class=corrupt-checkpoint site=kind:checkpoint at=1ms\n" +
+				"fault class=crash site=machine:big at=25m0s\n",
+			machines: bigSmall,
+			standard: true,
+			tune:     resultTimeout50,
+			prog:     standard45,
+			limit:    48 * time.Hour,
+			expect:   completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassCorruptCkpt, site: "kind:checkpoint (one record, next commit stands)",
+			faults: "fault class=corrupt-checkpoint site=kind:checkpoint at=1ms count=1\n" +
+				"fault class=crash site=machine:big at=25m0s\n",
+			machines: bigSmall,
+			standard: true,
+			tune:     resultTimeout50,
+			prog:     standard45,
+			limit:    48 * time.Hour,
+			expect:   completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		{
+			class: faultinject.ClassCorruptCkpt, site: "kind:checkpoint (vacate path immune)",
+			faults: "fault class=corrupt-checkpoint site=kind:checkpoint at=1ms\n" +
+				"fault class=eviction-mid-checkpoint site=machine:big at=25m0s for=2h0m0s\n",
+			machines: bigSmall,
+			standard: true,
+			prog:     standard45,
+			expect:   completed(rr, scope.KindExplicit, 2, "small"),
+		},
+		// --- preempt-grace-expiry: a higher-Rank challenger takes the
+		// pool's only machine.  The incumbent's first attempt ends as
+		// an explicit remote-resource preemption; how much work it
+		// keeps depends on whether the grace window still covers the
+		// final checkpoint transfer.
+		{
+			class: faultinject.ClassPreemptGrace, site: "machine:big (grace below the transfer time)",
+			faults:   "fault class=preempt-grace-expiry site=machine:big at=1m0s\n",
+			machines: only("big", bigSmall),
+			standard: true,
+			tune:     preemptionOn,
+			prog:     func(int) *jvm.Program { return jvm.WellBehaved(90 * time.Minute) },
+			setup:    func(p *pool.Pool) { submitChallenger(p, 45*time.Minute, 30*time.Minute, "10000") },
+			limit:    48 * time.Hour,
+			expect:   completed(rr, scope.KindExplicit, 2, "big"),
+		},
+		{
+			class: faultinject.ClassPreemptGrace, site: "machine:big (grace still covers the handoff)",
+			faults:   "fault class=preempt-grace-expiry site=machine:big at=1m0s param=60000\n",
+			machines: only("big", bigSmall),
+			standard: true,
+			tune:     preemptionOn,
+			prog:     func(int) *jvm.Program { return jvm.WellBehaved(90 * time.Minute) },
+			setup:    func(p *pool.Pool) { submitChallenger(p, 45*time.Minute, 30*time.Minute, "10000") },
+			limit:    48 * time.Hour,
+			expect:   completed(rr, scope.KindExplicit, 2, "big"),
+		},
+		{
+			class: faultinject.ClassPreemptGrace, site: "machine:big (sub-second grace, coarse checkpoints)",
+			faults:   "fault class=preempt-grace-expiry site=machine:big at=1m0s param=500\n",
+			machines: only("big", bigSmall),
+			standard: true,
+			tune: func(p *daemon.Params) {
+				preemptionOn(p)
+				p.CheckpointInterval = 15 * time.Minute
+			},
+			prog:   func(int) *jvm.Program { return jvm.WellBehaved(90 * time.Minute) },
+			setup:  func(p *pool.Pool) { submitChallenger(p, 45*time.Minute, 30*time.Minute, "10000") },
+			limit:  48 * time.Hour,
+			expect: completed(rr, scope.KindExplicit, 2, "big"),
+		},
 	}
+}
+
+// standard45 is the canonical checkpointing workload of the
+// robustness cells: 45 minutes of compute in the Standard Universe,
+// checkpointed every 10 minutes under the default parameters.
+func standard45(int) *jvm.Program { return jvm.WellBehaved(45 * time.Minute) }
+
+// resultTimeout50 stretches the shadow's result timeout past the
+// 45-minute standard workload, so a healthy attempt is never falsely
+// declared vanished while a crashed one still is.
+func resultTimeout50(p *daemon.Params) { p.ResultTimeout = 50 * time.Minute }
+
+// preemptionOn enables Rank preemption and disables the result
+// timeout: the preemption cells run a 90-minute incumbent, far past
+// the sweep's default 30-minute timeout, and every loss they test is
+// announced, never silent.
+func preemptionOn(p *daemon.Params) {
+	p.Preemption = true
+	p.ResultTimeout = 0
+}
+
+// submitChallenger schedules a second Standard Universe job at the
+// given virtual time whose constant Rank outbids the default
+// memory-rank of any machine — the contender the preemption cells
+// need.
+func submitChallenger(p *pool.Pool, at, d time.Duration, rank string) {
+	p.Engine.After(at, func() {
+		exe := "/home/user/challenger.exe"
+		_ = p.Schedd.SubmitFS.WriteFile(exe, []byte("relinked binary"))
+		ad := daemon.NewStandardJobAd("user", 128)
+		ad.MustSetExpr("Rank", rank)
+		p.Schedd.Submit(&daemon.Job{
+			Owner:      "user",
+			Universe:   "standard",
+			Ad:         ad,
+			Program:    jvm.WellBehaved(d),
+			Executable: exe,
+		})
+	})
 }
 
 // connExpect is the classification a live-stack cell must observe:

@@ -229,6 +229,23 @@ func (in *Injector) check(f Fault) error {
 			return fmt.Errorf("flock-reply-truncate site must be kind:<kind> or actor:<name>")
 		}
 		return nil
+	case ClassEvictMidCkpt, ClassRestartElsewhere, ClassPreemptGrace:
+		name, ok := strings.CutPrefix(f.Site, "machine:")
+		if !ok {
+			return fmt.Errorf("%s site must be machine:<name>", f.Class)
+		}
+		if _, ok := in.t.Startds[name]; !ok {
+			return fmt.Errorf("no machine %q", name)
+		}
+		return nil
+	case ClassCorruptCkpt:
+		if in.t.Bus == nil {
+			return fmt.Errorf("no bus")
+		}
+		if !strings.HasPrefix(f.Site, "kind:") && !strings.HasPrefix(f.Site, "actor:") {
+			return fmt.Errorf("corrupt-checkpoint site must be kind:<kind> or actor:<name>")
+		}
+		return nil
 	}
 	return fmt.Errorf("unhandled class")
 }
@@ -304,6 +321,42 @@ func (in *Injector) schedule(f Fault) {
 			}
 		}
 	case ClassFlockReplyTruncate:
+		in.armRule(f)
+	case ClassEvictMidCkpt:
+		sd := in.t.Startds[strings.TrimPrefix(f.Site, "machine:")]
+		in.t.Engine.After(f.At, func() {
+			in.note("evict %s", f.Site)
+			sd.Evict()
+		})
+		if f.For > 0 {
+			in.t.Engine.After(f.At+f.For, func() {
+				in.note("owner-left %s", f.Site)
+				sd.OwnerLeft()
+			})
+		}
+	case ClassRestartElsewhere:
+		sd := in.t.Startds[strings.TrimPrefix(f.Site, "machine:")]
+		in.t.Engine.After(f.At, func() {
+			in.note("crash %s", f.Site)
+			sd.Crash()
+		})
+		if f.For > 0 {
+			in.t.Engine.After(f.At+f.For, func() {
+				in.note("restart %s", f.Site)
+				sd.Restart()
+			})
+		}
+	case ClassPreemptGrace:
+		sd := in.t.Startds[strings.TrimPrefix(f.Site, "machine:")]
+		in.t.Engine.After(f.At, func() {
+			grace := time.Duration(f.Param) * time.Millisecond
+			if grace <= 0 {
+				grace = time.Millisecond
+			}
+			in.note("shrink-grace %s to %s", f.Site, grace)
+			sd.SetVacateGrace(grace)
+		})
+	case ClassCorruptCkpt:
 		in.armRule(f)
 	}
 }
@@ -428,6 +481,11 @@ func (in *Injector) busFault(m sim.Message) sim.Fault {
 		if r.f.Class == ClassFlockReplyTruncate && m.Kind != "flock-reply" {
 			continue
 		}
+		// And a corrupt-checkpoint rule damages only checkpoint
+		// payloads.
+		if r.f.Class == ClassCorruptCkpt && m.Kind != "checkpoint" {
+			continue
+		}
 		if r.remaining > 0 {
 			r.remaining--
 			if r.remaining == 0 {
@@ -449,6 +507,18 @@ func (in *Injector) busFault(m sim.Message) sim.Fault {
 					body = prev(body)
 				}
 				return daemon.TruncateFlockReply(body, n)
+			}
+		case ClassCorruptCkpt:
+			n := int(r.f.Param)
+			if n <= 0 {
+				n = 9 // inside the job= digits: syntax and CRC both break
+			}
+			prev := out.Mutate
+			out.Mutate = func(body any) any {
+				if prev != nil {
+					body = prev(body)
+				}
+				return daemon.CorruptCheckpoint(body, n)
 			}
 		case ClassMsgDelay:
 			d := time.Duration(r.f.Param) * time.Millisecond

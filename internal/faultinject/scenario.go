@@ -127,6 +127,27 @@ const (
 	// mid-line.  The schedd scopes the parse failure as a network
 	// error confined to that exchange.
 	ClassFlockReplyTruncate Class = "flock-reply-truncate"
+	// ClassEvictMidCkpt has a machine's owner return between the
+	// job's periodic checkpoints (site machine:<name>): the eviction
+	// forfeits the progress since the last commit but nothing more.
+	// After For the owner leaves and the machine rejoins the pool.
+	ClassEvictMidCkpt Class = "eviction-mid-checkpoint"
+	// ClassCorruptCkpt flips one byte (index Param, default 9) of each
+	// matching checkpoint payload in transit.  The shadow's CRC check
+	// rejects the record — a network-scope error confined to that
+	// record — and the previous committed checkpoint still stands.
+	ClassCorruptCkpt Class = "corrupt-checkpoint"
+	// ClassRestartElsewhere crashes a running job's machine (site
+	// machine:<name>) and restarts it after For: the job's journaled
+	// checkpoints let it resume on a different machine with rework
+	// bounded by the checkpoint interval.
+	ClassRestartElsewhere Class = "restart-different-machine"
+	// ClassPreemptGrace shrinks a machine's vacate grace window to
+	// Param milliseconds (default 1) at time At (site machine:<name>),
+	// so a later preemption expires the window before the final
+	// checkpoint ships and the incumbent falls back to its last
+	// periodic commit.
+	ClassPreemptGrace Class = "preempt-grace-expiry"
 )
 
 // Classes lists every fault class, in a fixed order the sweep
@@ -141,6 +162,7 @@ var Classes = []Class{
 	ClassFrameCorrupt, ClassFrameTruncate, ClassMACFailure,
 	ClassFrameReplay, ClassKeyExpiry,
 	ClassPeerNegotiatorCrash, ClassPeerPoolCrash, ClassFlockReplyTruncate,
+	ClassEvictMidCkpt, ClassCorruptCkpt, ClassRestartElsewhere, ClassPreemptGrace,
 }
 
 func validClass(c Class) bool {

@@ -47,6 +47,11 @@ type FederationConfig struct {
 	MsgLatency time.Duration
 	// Workers is the engine's intra-instant concurrency (see Config).
 	Workers int
+	// Churn, if non-nil, applies deterministic machine churn to every
+	// member pool's machines from one seeded schedule (see
+	// ChurnConfig): federated pools built of idle workstations churn
+	// exactly like single ones.
+	Churn *ChurnConfig
 }
 
 // FedPool is one assembled member pool.
@@ -132,6 +137,13 @@ func NewFederation(cfg FederationConfig) *Federation {
 			mc.Name = pc.Name + "-" + mc.Name
 			fp.Startds = append(fp.Startds, daemon.NewStartd(bus, scoped(pp, mc.Name), mc))
 		}
+	}
+	if cfg.Churn != nil && cfg.Churn.MeanUp > 0 {
+		var all []*daemon.Startd
+		for _, fp := range fed.Pools {
+			all = append(all, fp.Startds...)
+		}
+		scheduleChurn(eng, all, *cfg.Churn, cfg.Seed)
 	}
 	return fed
 }

@@ -7,6 +7,7 @@ package pool
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"github.com/errscope/grid/internal/daemon"
@@ -36,6 +37,60 @@ type Config struct {
 	// across settings — parallelism is an execution detail, never an
 	// observable one.
 	Workers int
+	// Churn, if non-nil, makes the machine population dynamic: owners
+	// reclaim and release their machines on a seeded schedule, as on
+	// the idle-workstation pools the paper ran on.
+	Churn *ChurnConfig
+}
+
+// ChurnConfig describes deterministic machine churn: every machine
+// alternates between serving the pool and being away, with per-machine
+// phases drawn from a seeded generator — equal seeds give equal
+// schedules, so churned runs replay byte-equal like everything else.
+type ChurnConfig struct {
+	// Seed drives the schedule; 0 borrows the pool seed.
+	Seed int64
+	// Horizon bounds the schedule: no departure is generated at or
+	// after it.
+	Horizon time.Duration
+	// MeanUp is the average time a machine serves between departures;
+	// each actual up-phase is uniform in [0.5, 1.5) of it.
+	MeanUp time.Duration
+	// Downtime is how long each departure lasts.
+	Downtime time.Duration
+	// Crash makes departures silent machine crashes (discovered by
+	// timeouts) instead of polite owner-return evictions.
+	Crash bool
+}
+
+// scheduleChurn lays out every machine's departures and returns up
+// front, as plain engine timers: the schedule is part of the
+// experiment's definition, not of its execution, so parallel runs see
+// the identical sequence.
+func scheduleChurn(eng *sim.Engine, startds []*daemon.Startd, cfg ChurnConfig, seed int64) {
+	if cfg.Seed != 0 {
+		seed = cfg.Seed
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for _, sd := range startds {
+		sd := sd
+		t := time.Duration(0)
+		for {
+			up := time.Duration((0.5 + rng.Float64()) * float64(cfg.MeanUp))
+			t += up
+			if cfg.Horizon > 0 && t >= cfg.Horizon {
+				break
+			}
+			if cfg.Crash {
+				eng.After(t, sd.Crash)
+				eng.After(t+cfg.Downtime, sd.Restart)
+			} else {
+				eng.After(t, sd.Evict)
+				eng.After(t+cfg.Downtime, sd.OwnerLeft)
+			}
+			t += cfg.Downtime
+		}
+	}
 }
 
 // Pool is an assembled simulation.
@@ -93,6 +148,9 @@ func New(cfg Config) *Pool {
 	for _, mc := range cfg.Machines {
 		p.Startds = append(p.Startds, daemon.NewStartd(bus, scoped(mc.Name), mc))
 	}
+	if cfg.Churn != nil && cfg.Churn.MeanUp > 0 {
+		scheduleChurn(eng, p.Startds, *cfg.Churn, cfg.Seed)
+	}
 	return p
 }
 
@@ -104,6 +162,28 @@ func (p *Pool) AllTerminal() bool {
 		}
 	}
 	return true
+}
+
+// SubmitStandard queues n Standard Universe jobs — re-linked binaries
+// with transparent checkpointing — staging each executable on the
+// submit-side file system.
+func (p *Pool) SubmitStandard(n int, build func(i int) *jvm.Program) []daemon.JobID {
+	ids := make([]daemon.JobID, 0, n)
+	for i := 0; i < n; i++ {
+		exe := fmt.Sprintf("/home/user/job%d.exe", i)
+		if err := p.Schedd.SubmitFS.WriteFile(exe, []byte("relinked binary")); err != nil {
+			exe = ""
+		}
+		job := &daemon.Job{
+			Owner:      "user",
+			Universe:   "standard",
+			Ad:         daemon.NewStandardJobAd("user", 128),
+			Program:    build(i),
+			Executable: exe,
+		}
+		ids = append(ids, p.Schedd.Submit(job))
+	}
+	return ids
 }
 
 // SubmitJava queues n Java jobs whose programs come from the builder,
@@ -164,7 +244,9 @@ type Metrics struct {
 	LostContacts int
 	// Evictions counts attempts ended by a machine owner's return.
 	Evictions int
-	Requeues  int
+	// Preemptions counts claims transferred to a higher-Rank job.
+	Preemptions int
+	Requeues    int
 
 	// Recoveries counts schedd restarts that replayed the journal.
 	Recoveries int
@@ -228,6 +310,7 @@ func collectMetrics(bus *sim.Bus, schedds []*daemon.Schedd, startds []*daemon.St
 	}
 	for _, sd := range startds {
 		m.LeaseExpiries += sd.LeasesExpired
+		m.Preemptions += sd.Preemptions
 	}
 	for _, j := range jobs {
 		m.Jobs++
