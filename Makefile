@@ -1,15 +1,15 @@
 GO ?= go
 
-.PHONY: check vet determinism-grep build test race cover journal-smoke wire-smoke fault-smoke fault-sweep pool-smoke flock-smoke churn-smoke checkpoint-sweep bench bench-matchmaker bench-obs bench-pool bench-wire trace
+.PHONY: check vet determinism-grep build test race cover journal-smoke wire-smoke fault-smoke fault-sweep pool-smoke flock-smoke churn-smoke ops-smoke checkpoint-sweep bench bench-matchmaker bench-obs bench-pool bench-wire trace
 
 ## check: the full gate — vet, the determinism grep, build, race-test
 ## the concurrent packages, the whole suite with per-package coverage
 ## (including the golden-trace regression suite and the per-package
 ## coverage floors), the write-ahead-journal race smoke, the wire-codec
 ## and transport smoke, the fault-injection smoke matrix, the
-## small-shape pool-throughput smoke, the federation smoke, then the
-## machine-churn determinism smoke.
-check: vet determinism-grep build race cover journal-smoke wire-smoke fault-smoke pool-smoke flock-smoke churn-smoke
+## small-shape pool-throughput smoke, the federation smoke, the
+## machine-churn determinism smoke, then the ops-plane smoke.
+check: vet determinism-grep build race cover journal-smoke wire-smoke fault-smoke pool-smoke flock-smoke churn-smoke ops-smoke
 
 vet:
 	$(GO) vet ./...
@@ -21,7 +21,7 @@ vet:
 ## match the pattern.)
 determinism-grep:
 	@if grep -rnE 'time\.Now\(|\brand\.(Int|Float|Perm|Shuffle|Seed|Exp|Norm)' \
-		--include='*.go' --exclude='*_test.go' internal/daemon internal/sim internal/wire; then \
+		--include='*.go' --exclude='*_test.go' internal/daemon internal/sim internal/wire internal/monitor; then \
 		echo 'FAIL: wall clock or global math/rand state in a deterministic package'; \
 		exit 1; \
 	fi
@@ -49,7 +49,9 @@ COVER_PKGS = \
 	github.com/errscope/grid/internal/obs \
 	github.com/errscope/grid/internal/journal \
 	github.com/errscope/grid/internal/wire \
-	github.com/errscope/grid/internal/faultinject
+	github.com/errscope/grid/internal/faultinject \
+	github.com/errscope/grid/internal/live \
+	github.com/errscope/grid/internal/monitor
 COVER_FLOOR = 85
 cover:
 	@$(GO) test -cover ./... > cover.txt 2>&1; status=$$?; \
@@ -109,6 +111,15 @@ flock-smoke:
 ## to the claim.  The gate that keeps machine churn deterministic.
 churn-smoke:
 	$(GO) run ./cmd/experiments -run churn-smoke
+
+## ops-smoke: the live-operations-plane gate — the same seeded
+## workload run bare and monitored (streaming subscribers, one dying
+## mid-stream, a drain issued through the admin plane, a detach),
+## serial, rerun, and parallel, with dispositions and trace export
+## byte-compared against the bare run.  The gate that keeps
+## observation and administration scoped to their own sessions.
+ops-smoke:
+	$(GO) run ./cmd/experiments -run ops-smoke
 
 ## checkpoint-sweep: the checkpoint-interval overhead-vs-rework curve
 ## under machine churn; writes checkpoint_sweep.json.

@@ -6,6 +6,12 @@
 //
 //	condor-sim -machines 50 -jobs 500 -broken 0.2 -mode scoped \
 //	           -selftest -avoid 3 -mount soft -outage 30m
+//
+// Subcommands expose the live operations plane:
+//
+//	condor-sim monitor -serve 127.0.0.1:9618     # simulate with a served monitor
+//	condor-sim monitor -connect 127.0.0.1:9618   # print a served monitor's stream
+//	condor-sim admin -connect 127.0.0.1:9618 drain c002
 package main
 
 import (
@@ -20,6 +26,14 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "monitor":
+			os.Exit(runMonitor(os.Args[2:]))
+		case "admin":
+			os.Exit(runAdmin(os.Args[2:]))
+		}
+	}
 	var (
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		machines  = flag.Int("machines", 20, "number of machines")

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/monitor"
+	"github.com/errscope/grid/internal/obs"
+	"github.com/errscope/grid/internal/pool"
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/wire"
+)
+
+func parseWireMode(s string) (wire.Mode, error) {
+	switch s {
+	case "text":
+		return wire.ModeText, nil
+	case "binary":
+		return wire.ModeBinary, nil
+	case "secure":
+		return wire.ModeSecure, nil
+	}
+	return 0, fmt.Errorf("unknown wire mode %q (text|binary|secure)", s)
+}
+
+// runMonitor implements `condor-sim monitor`: run a pool simulation
+// with the ops plane attached — a refreshing status screen and,
+// with -serve, a TCP service streaming to subscribers and answering
+// admin verbs — or, with -connect, attach to a served monitor and
+// print its stream.
+func runMonitor(args []string) int {
+	fs := flag.NewFlagSet("condor-sim monitor", flag.ExitOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		machines = fs.Int("machines", 8, "number of machines")
+		jobs     = fs.Int("jobs", 24, "number of standard-universe jobs")
+		meanJob  = fs.Duration("job-length", 45*time.Minute, "mean job compute time")
+		limit    = fs.Duration("limit", 7*24*time.Hour, "virtual time limit")
+		step     = fs.Duration("step", time.Minute, "virtual time advanced per refresh")
+		refresh  = fs.Duration("refresh", 0, "wall-clock pause per step (0 runs flat out)")
+		serve    = fs.String("serve", "", "serve the ops plane on this address (e.g. 127.0.0.1:9618)")
+		connect  = fs.String("connect", "", "attach to a served monitor instead of simulating")
+		modeF    = fs.String("wire", "binary", "transport mode: text|binary|secure")
+		key      = fs.String("key", "ops", "shared ops-plane secret")
+		screen   = fs.Bool("screen", true, "redraw the status screen each step")
+	)
+	fs.Parse(args)
+	mode, err := parseWireMode(*modeF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "condor-sim monitor: %v\n", err)
+		return 2
+	}
+
+	if *connect != "" {
+		cli, err := monitor.Dial(*connect, mode, []byte(*key))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "condor-sim monitor: %v\n", err)
+			return 1
+		}
+		defer cli.Close()
+		if err := cli.Subscribe(0); err != nil {
+			fmt.Fprintf(os.Stderr, "condor-sim monitor: subscribe: %v\n", err)
+			return 1
+		}
+		for {
+			_, line, err := cli.Next()
+			if err != nil {
+				if err == io.EOF {
+					return 0
+				}
+				fmt.Fprintf(os.Stderr, "condor-sim monitor: %v\n", err)
+				return 1
+			}
+			fmt.Println(line)
+		}
+	}
+
+	rec := obs.NewRecorder()
+	params := daemon.DefaultParams()
+	params.Trace = rec
+	params.CheckpointInterval = 10 * time.Minute
+	params.CheckpointOverhead = 15 * time.Second
+	params.MaxAttempts = 100
+	p := pool.New(pool.Config{
+		Seed:     *seed,
+		Params:   params,
+		Machines: pool.UniformMachines(*machines, 2048),
+	})
+	p.SubmitStandard(*jobs, pool.UniformCompute(*meanJob))
+
+	// Admin verbs arrive on connection goroutines; the Do hook
+	// serializes them against the stepping loop so a remote drain
+	// lands between engine steps, never inside one.
+	var simMu sync.Mutex
+	mon := monitor.New(monitor.Config{
+		Name:     "ops",
+		Clock:    p.Engine,
+		Recorder: rec,
+		Metrics:  monitor.PoolMetrics(p),
+		Targets:  monitor.PoolTargets(p),
+		Do: func(fn func()) {
+			simMu.Lock()
+			defer simMu.Unlock()
+			fn()
+		},
+	})
+	if *serve != "" {
+		srv := monitor.NewServer(mon, []byte(*key))
+		srv.Mode = mode
+		addr, err := srv.Listen(*serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "condor-sim monitor: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Printf("ops plane on %s (%s)\n", addr, mode)
+	}
+
+	deadline := p.Engine.Now().Add(*limit)
+	for p.Engine.Now() < deadline && !p.AllTerminal() {
+		simMu.Lock()
+		p.Engine.RunFor(*step)
+		mon.Pump()
+		simMu.Unlock()
+		if *screen {
+			fmt.Print("\x1b[H\x1b[2J")
+			fmt.Printf("t=%-12s subscribers=%d delivered=%d dropped=%d\n\n",
+				p.Engine.Now(), mon.Subscribers(), mon.Delivered(), mon.Dropped())
+			fmt.Print(p.StatusTable())
+			fmt.Println()
+			fmt.Print(p.QueueTable())
+			fmt.Println()
+			fmt.Printf("%s\n", p.Metrics())
+			if log := mon.Log(); len(log) > 0 {
+				if len(log) > 6 {
+					log = log[len(log)-6:]
+				}
+				fmt.Println(strings.Join(log, "\n"))
+			}
+		}
+		if *refresh > 0 {
+			time.Sleep(*refresh)
+		}
+	}
+	simMu.Lock()
+	mon.Pump()
+	simMu.Unlock()
+	fmt.Printf("\ndone at t=%s\n%s\n", p.Engine.Now(), p.Metrics())
+	return 0
+}
+
+// runAdmin implements `condor-sim admin`: issue one verb against a
+// served monitor and print the detail line, or the scoped error the
+// verb escaped with.
+func runAdmin(args []string) int {
+	fs := flag.NewFlagSet("condor-sim admin", flag.ExitOnError)
+	var (
+		connect = fs.String("connect", "127.0.0.1:9618", "served ops-plane address")
+		modeF   = fs.String("wire", "binary", "transport mode: text|binary|secure")
+		key     = fs.String("key", "ops", "shared ops-plane secret")
+	)
+	fs.Parse(args)
+	rest := fs.Args()
+	if len(rest) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: condor-sim admin [flags] <drain|resume|restart|compact> <target>")
+		return 2
+	}
+	verb, target := rest[0], rest[1]
+	mode, err := parseWireMode(*modeF)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "condor-sim admin: %v\n", err)
+		return 2
+	}
+	cli, err := monitor.Dial(*connect, mode, []byte(*key))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "condor-sim admin: %v\n", err)
+		return 1
+	}
+	defer cli.Close()
+	detail, err := cli.Admin(verb, target)
+	if err != nil {
+		if se, ok := scope.AsError(err); ok {
+			fmt.Fprintf(os.Stderr, "condor-sim admin: %s %s failed in scope %s: %v\n",
+				verb, target, se.Scope, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "condor-sim admin: %v\n", err)
+		}
+		return 1
+	}
+	fmt.Println(detail)
+	return 0
+}

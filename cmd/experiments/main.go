@@ -11,7 +11,7 @@
 // Experiment ids: figure1, figure2, figure3, figure4, naive,
 // blackhole, mounts, migration, crashes, crash-recovery, principles,
 // bench-matchmaker, bench-obs, bench-pool, bench-wire, pool-smoke,
-// flock-smoke, churn-smoke, checkpoint-sweep, fault-sweep,
+// flock-smoke, churn-smoke, ops-smoke, checkpoint-sweep, fault-sweep,
 // fault-smoke, trace.
 package main
 
@@ -162,6 +162,9 @@ func main() {
 		{"churn-smoke", func() (*experiments.Report, error) {
 			return experiments.ChurnSmoke(*seed)
 		}, "machine-churn smoke: churned standard jobs complete, serial == rerun == parallel"},
+		{"ops-smoke", func() (*experiments.Report, error) {
+			return experiments.OpsSmoke(*seed)
+		}, "ops-plane smoke: monitored + administered run byte-equal to bare, serial == rerun == parallel"},
 		{"checkpoint-sweep", func() (*experiments.Report, error) {
 			rows, rep, err := experiments.CheckpointSweep(*seed)
 			if err != nil {

@@ -128,6 +128,32 @@ func (s *Schedd) commitWAL(epoch int) {
 	s.outbox = s.outbox[:0]
 }
 
+// ForceCompact folds the journal into a fresh snapshot now, without
+// waiting for the adaptive threshold — the ops-plane `compact` verb.
+// Any buffered group-commit records describe transitions already
+// applied to the in-memory queue, so the snapshot subsumes them; the
+// sends deferred behind those records still flush at the armed commit
+// (durability is only ever strengthened here, never weakened).  On a
+// crashed schedd the verb escapes to the caller as a local-resource
+// error naming the daemon it touched.
+func (s *Schedd) ForceCompact() error {
+	if s.crashed {
+		e := scope.New(scope.ScopeLocalResource, "ScheddDown",
+			"cannot compact %s: the schedd is down", s.name)
+		return e.WithOrigin(s.name)
+	}
+	s.wal.Compact(s.snapshot(), nil)
+	s.walAppends = 0
+	clear(s.walBuf)
+	s.walBuf = s.walBuf[:0]
+	if s.tr.Enabled() {
+		s.tr.Emit(obs.Event{T: int64(s.bus.Now()), Comp: s.name,
+			Kind: obs.KindState, Code: "wal-compacted",
+			Detail: "admin compact: journal folded into a snapshot"})
+	}
+	return nil
+}
+
 // Crash takes the schedd process down: the advertisement ticker
 // stops, pending timers are fenced off by the epoch bump, the shadows
 // — child processes — die silently, and the actor leaves the bus.

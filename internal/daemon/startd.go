@@ -100,6 +100,12 @@ type Startd struct {
 	// machine, for fault injection (preempt-grace-expiry).
 	vacateGraceOverride time.Duration
 
+	// Drain state (see drain.go).  A draining machine has stopped
+	// matching and is vacating its resident within the grace window; a
+	// drained machine sits idle outside the pool until Resume.
+	draining bool
+	drained  bool
+
 	// adCache holds the machine ad per (claimed, hasJava) shape —
 	// the only dynamic inputs of buildAd.  Re-advertising the same
 	// immutable ad object lets the matchmaker skip re-indexing and
@@ -118,6 +124,8 @@ type Startd struct {
 	// LeasesExpired counts claims released because renewals stopped —
 	// each one is an orphaned claim the lease protocol reclaimed.
 	LeasesExpired int
+	// Drains counts admin drain requests accepted by this machine.
+	Drains int
 }
 
 // NewStartd creates, registers, and starts the startd for a machine.
@@ -243,6 +251,12 @@ func (s *Startd) Evict() {
 	s.claimedBy = ""
 	s.claimedJob = 0
 	s.claimGen++
+	if s.draining {
+		// The owner's return emptied the machine mid-drain; the drain
+		// completes now, and the machine stays out of the pool when
+		// the owner leaves again.
+		s.finishDrain()
+	}
 }
 
 // OwnerLeft returns the machine to the pool after owner use.
@@ -290,6 +304,10 @@ func (s *Startd) Restart() {
 	s.claimedJob = 0
 	s.pendingClaim = nil
 	s.vacating = false
+	// A reboot forgets an administrative drain, like it forgets the
+	// claim: drains are runtime state, not machine configuration.
+	s.draining = false
+	s.drained = false
 	s.claimGen++
 	if s.tr.Enabled() {
 		s.tr.Emit(obs.Event{T: int64(s.bus.Now()), Comp: s.cfg.Name,
@@ -335,7 +353,9 @@ func (s *Startd) runSelfTest() {
 // challenger must strictly beat.  A machine mid-vacate stays silent:
 // its claim is already spoken for.
 func (s *Startd) advertise() {
-	if s.crashed {
+	if s.crashed || s.draining || s.drained {
+		// A draining or drained machine is out of the matchmaking
+		// game entirely; its stale ad expires at the matchmaker.
 		return
 	}
 	if s.state != StartdUnclaimed {
@@ -446,6 +466,10 @@ func (s *Startd) handleClaim(req claimRequestMsg) {
 		s.tr.Count("startd.claims_denied", 1)
 		s.bus.Send(s.cfg.Name, req.Schedd, kindClaimReply,
 			claimReplyMsg{Job: req.Job, Granted: false, Reason: reason})
+	}
+	if s.draining || s.drained {
+		deny("machine is draining")
+		return
 	}
 	if s.state != StartdUnclaimed {
 		// Rank-based preemption: a claimed machine entertains a
@@ -625,6 +649,12 @@ func (s *Startd) teardown() {
 		return
 	}
 	s.vacating = false
+	if s.draining {
+		// The resident left (naturally or vacated) while the machine
+		// was draining: the drain completes instead of re-advertising.
+		s.finishDrain()
+		return
+	}
 	// Re-advertise immediately: an idle machine returns to the pool
 	// without waiting for the next ad interval.  (For a black-hole
 	// machine this is exactly what makes it so hungry.)

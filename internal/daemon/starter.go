@@ -243,6 +243,26 @@ func (st *Starter) vacate(clean bool) {
 	})
 }
 
+// drainVacate is called synchronously by the startd when an admin
+// drain's grace window closes.  Like a preemption vacate, a clean
+// handoff ships a final checkpoint and an expired window forfeits
+// progress back to the last periodic checkpoint — but no challenger
+// took the claim, so the attempt ends Evicted, not Preempted.
+func (st *Starter) drainVacate(clean bool) {
+	if st.done {
+		return
+	}
+	var checkpoint time.Duration
+	if clean && st.universe == "standard" {
+		checkpoint = st.resume + st.progressed()
+	}
+	st.finish()
+	st.bus.Send(st.name, st.shadow, kindJobEvicted, jobEvictedMsg{
+		Job:           st.job,
+		CheckpointCPU: checkpoint,
+	})
+}
+
 // shadowVanished ends the attempt when the claim lease expires with no
 // renewal: the shadow — and with it the whole submit side — is gone.
 // From the execute side the prolonged silence invalidates the remote

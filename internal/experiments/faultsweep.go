@@ -11,6 +11,7 @@ import (
 	"github.com/errscope/grid/internal/daemon"
 	"github.com/errscope/grid/internal/faultinject"
 	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/monitor"
 	"github.com/errscope/grid/internal/obs"
 	"github.com/errscope/grid/internal/pool"
 	"github.com/errscope/grid/internal/remoteio"
@@ -67,6 +68,14 @@ type simCell struct {
 	standard bool
 	limit    time.Duration
 	expect   sweepExpect
+	// monitor, when set, attaches a streaming ops-plane monitor under
+	// this name — with one subscribed collector — and registers it as
+	// a fault-injection target for the monitor-site classes.
+	monitor string
+	// mcheck, when set, verifies the monitor's post-run state.  The
+	// pool-side expectation still applies in full: a monitor fault
+	// must never change what the pool does.
+	mcheck func(*monitor.Monitor) error
 }
 
 // attemptErr extracts the error that classified one attempt, in the
@@ -113,11 +122,32 @@ func (c simCell) runSim(seed int64, tr obs.Tracer, workers int) (string, error) 
 	params.ResultTimeout = 30 * time.Minute
 	params.ChronicFailureThreshold = 1
 	params.Trace = tr
+	// A monitored cell streams from the pool's recorder; when the
+	// sweep runs untraced, give it one so the stream carries real
+	// events.  Recording is a pure observer and changes no trace byte.
+	var rec *obs.Recorder
+	if c.monitor != "" {
+		if r, ok := tr.(*obs.Recorder); ok {
+			rec = r
+		} else {
+			rec = obs.NewRecorder()
+			params.Trace = rec
+		}
+	}
 	if c.tune != nil {
 		c.tune(&params)
 	}
 	p := pool.New(pool.Config{Seed: seed, Params: params, Machines: c.machines(), Workers: workers})
-	in := faultinject.New(faultinject.PoolTargets(p))
+	targets := faultinject.PoolTargets(p)
+	var mon *monitor.Monitor
+	if c.monitor != "" {
+		mon = monitor.Attach(p, rec, c.monitor)
+		if err := mon.Subscribe(monitor.NewCollector(), 0); err != nil {
+			return "", fmt.Errorf("subscribe: %v", err)
+		}
+		targets.Monitors = map[string]*monitor.Monitor{c.monitor: mon}
+	}
+	in := faultinject.New(targets)
 	sc, err := faultinject.Parse(fmt.Sprintf("seed = %d\n%s", seed, c.faults))
 	if err != nil {
 		return "", fmt.Errorf("scenario: %v", err)
@@ -160,7 +190,14 @@ func (c simCell) runSim(seed int64, tr obs.Tracer, workers int) (string, error) 
 		"t=%s state=%s attempts=%d first=%s final=%s on=%s disp=%s reports=%d",
 		p.Engine.Now(), j.State, len(j.Attempts), first, errSig(j.FinalErr),
 		lastMachine, disp, len(p.Schedd.Reports)))
-	return strings.Join(lines, "\n"), c.verify(p, j)
+	err = c.verify(p, j)
+	if err == nil && mon != nil {
+		mon.Pump()
+		if c.mcheck != nil {
+			err = c.mcheck(mon)
+		}
+	}
+	return strings.Join(lines, "\n"), err
 }
 
 // verify checks the cell's expectation against the finished pool.
@@ -759,6 +796,87 @@ func simCells() []simCell {
 			},
 			prog:   func(int) *jvm.Program { return jvm.WellBehaved(90 * time.Minute) },
 			setup:  func(p *pool.Pool) { submitChallenger(p, 45*time.Minute, 30*time.Minute, "10000") },
+			limit:  48 * time.Hour,
+			expect: completed(rr, scope.KindExplicit, 2, "big"),
+		},
+		// --- monitor-stream-drop: the ops plane dies mid-run.  The
+		// monitor is a pure observer, so every cell expects exactly what
+		// the same workload produces with no monitor attached at all —
+		// the scope of the loss is the subscriber sessions, never the
+		// pool, and the golden trace is the unperturbed baseline.
+		{
+			class: faultinject.ClassMonitorStreamDrop, site: "monitor:ops (subscribers dropped mid-run)",
+			faults:   "fault class=monitor-stream-drop site=monitor:ops at=10m0s\n",
+			machines: bigSmall,
+			monitor:  "ops",
+			prog:     func(int) *jvm.Program { return jvm.WellBehaved(20 * time.Minute) },
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+			mcheck: func(m *monitor.Monitor) error {
+				if m.Dropped() != 1 || m.Killed() {
+					return fmt.Errorf("dropped=%d killed=%v, want 1 subscriber dropped and the daemon alive",
+						m.Dropped(), m.Killed())
+				}
+				return nil
+			},
+		},
+		{
+			class: faultinject.ClassMonitorStreamDrop, site: "monitor:ops (daemon killed mid-run)",
+			faults:   "fault class=monitor-stream-drop site=monitor:ops at=10m0s param=1\n",
+			machines: bigSmall,
+			monitor:  "ops",
+			prog:     func(int) *jvm.Program { return jvm.WellBehaved(20 * time.Minute) },
+			expect:   completed(scope.ScopeNone, 0, 1, ""),
+			mcheck: func(m *monitor.Monitor) error {
+				if !m.Killed() {
+					return fmt.Errorf("the kill fault left the monitor alive")
+				}
+				return nil
+			},
+		},
+		{
+			class: faultinject.ClassMonitorStreamDrop, site: "monitor:ops (killed while a machine crash recovers)",
+			faults: "fault class=monitor-stream-drop site=monitor:ops at=10m0s param=1\n" +
+				"fault class=crash site=machine:big at=5m0s for=2h0m0s\n",
+			machines: bigSmall,
+			monitor:  "ops",
+			prog:     func(int) *jvm.Program { return jvm.WellBehaved(20 * time.Minute) },
+			expect:   completed(rr, scope.KindEscaping, 2, "small"),
+		},
+		// --- drain-grace-expiry: an admin drains the machine under the
+		// job.  The resident is vacated as an explicit remote-resource
+		// eviction; whether its final checkpoint ships depends on the
+		// grace the drain allows, and a drained machine rejoins the
+		// matchmaker only when the drain is lifted.
+		{
+			class: faultinject.ClassDrainGraceExpiry, site: "machine:big (grace expires below the checkpoint ship)",
+			faults:   "fault class=drain-grace-expiry site=machine:big at=25m0s\n",
+			machines: bigSmall,
+			standard: true,
+			tune:     resultTimeout50,
+			prog:     standard45,
+			limit:    48 * time.Hour,
+			expect:   completed(rr, scope.KindExplicit, 2, "small"),
+		},
+		{
+			class: faultinject.ClassDrainGraceExpiry, site: "machine:big (grace covers a clean vacate)",
+			faults:   "fault class=drain-grace-expiry site=machine:big at=25m0s param=60000\n",
+			machines: bigSmall,
+			standard: true,
+			tune:     resultTimeout50,
+			prog:     standard45,
+			limit:    48 * time.Hour,
+			expect:   completed(rr, scope.KindExplicit, 2, "small"),
+		},
+		{
+			class: faultinject.ClassDrainGraceExpiry, site: "machine:big (no elsewhere: resumes when the drain lifts)",
+			faults:   "fault class=drain-grace-expiry site=machine:big at=25m0s param=60000 for=30m0s\n",
+			machines: only("big", bigSmall),
+			standard: true,
+			tune: func(p *daemon.Params) {
+				resultTimeout50(p)
+				p.ChronicFailureThreshold = 0
+			},
+			prog:   standard45,
 			limit:  48 * time.Hour,
 			expect: completed(rr, scope.KindExplicit, 2, "big"),
 		},

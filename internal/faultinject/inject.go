@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/monitor"
 	"github.com/errscope/grid/internal/pool"
 	"github.com/errscope/grid/internal/sim"
 	"github.com/errscope/grid/internal/vfs"
@@ -29,6 +30,10 @@ type Targets struct {
 	// pool-site fault classes (peer-negotiator-crash, peer-pool-crash).
 	// FederationTargets fills it; single-pool targets leave it nil.
 	Pools map[string]PoolMembers
+	// Monitors maps an attached ops-plane monitor's name to its
+	// daemon, for the monitor-site fault classes.  Callers that
+	// attach a monitor register it here; PoolTargets leaves it nil.
+	Monitors map[string]*monitor.Monitor
 }
 
 // PoolMembers names the actors a pool-site fault strikes.
@@ -246,6 +251,24 @@ func (in *Injector) check(f Fault) error {
 			return fmt.Errorf("corrupt-checkpoint site must be kind:<kind> or actor:<name>")
 		}
 		return nil
+	case ClassMonitorStreamDrop:
+		name, ok := strings.CutPrefix(f.Site, "monitor:")
+		if !ok {
+			return fmt.Errorf("monitor-stream-drop site must be monitor:<name>")
+		}
+		if _, ok := in.t.Monitors[name]; !ok {
+			return fmt.Errorf("no monitor %q", name)
+		}
+		return nil
+	case ClassDrainGraceExpiry:
+		name, ok := strings.CutPrefix(f.Site, "machine:")
+		if !ok {
+			return fmt.Errorf("drain-grace-expiry site must be machine:<name>")
+		}
+		if _, ok := in.t.Startds[name]; !ok {
+			return fmt.Errorf("no machine %q", name)
+		}
+		return nil
 	}
 	return fmt.Errorf("unhandled class")
 }
@@ -358,6 +381,36 @@ func (in *Injector) schedule(f Fault) {
 		})
 	case ClassCorruptCkpt:
 		in.armRule(f)
+	case ClassMonitorStreamDrop:
+		mon := in.t.Monitors[strings.TrimPrefix(f.Site, "monitor:")]
+		in.t.Engine.After(f.At, func() {
+			if f.Param > 0 {
+				n := mon.Kill()
+				in.note("kill %s (%d sessions closed)", f.Site, n)
+				return
+			}
+			n := mon.DropSubscribers()
+			in.note("drop-subscribers %s (%d dropped)", f.Site, n)
+		})
+	case ClassDrainGraceExpiry:
+		sd := in.t.Startds[strings.TrimPrefix(f.Site, "machine:")]
+		in.t.Engine.After(f.At, func() {
+			grace := time.Duration(f.Param) * time.Millisecond
+			if grace <= 0 {
+				grace = time.Millisecond
+			}
+			in.note("drain %s (grace %s)", f.Site, grace)
+			sd.SetVacateGrace(grace)
+			if err := sd.Drain(); err != nil {
+				in.note("drain %s: %v", f.Site, err)
+			}
+		})
+		if f.For > 0 {
+			in.t.Engine.After(f.At+f.For, func() {
+				in.note("resume %s", f.Site)
+				sd.Resume()
+			})
+		}
 	}
 }
 

@@ -1,0 +1,129 @@
+package faultinject
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/jvm"
+	"github.com/errscope/grid/internal/monitor"
+	"github.com/errscope/grid/internal/obs"
+	"github.com/errscope/grid/internal/pool"
+)
+
+// TestInjectMonitorStreamDrop: the ops plane dies in two stages — the
+// subscribers are dropped mid-run, then the daemon itself is killed.
+// Both losses stay scoped to the monitor: the job's outcome is that of
+// an unmonitored run.
+func TestInjectMonitorStreamDrop(t *testing.T) {
+	params := daemon.DefaultParams()
+	rec := obs.NewRecorder()
+	params.Trace = rec
+	p := pool.New(pool.Config{Seed: 1, Params: params, Machines: twoMachines()})
+	mon := monitor.Attach(p, rec, "ops")
+	colA, colB := monitor.NewCollector(), monitor.NewCollector()
+	if err := mon.Subscribe(colA, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Subscribe(colB, 0); err != nil {
+		t.Fatal(err)
+	}
+	targets := PoolTargets(p)
+	targets.Monitors = map[string]*monitor.Monitor{"ops": mon}
+	in := New(targets)
+
+	sc, err := Parse(strings.Join([]string{
+		"seed = 1",
+		"fault class=monitor-stream-drop site=monitor:ops at=10m0s",
+		"fault class=monitor-stream-drop site=monitor:ops at=20m0s param=1",
+		"",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	ids := p.SubmitJava(1, func(int) *jvm.Program { return jvm.WellBehaved(30 * time.Minute) })
+	p.Run(24 * time.Hour)
+
+	j := p.Schedd.Job(ids[0])
+	if j.State != daemon.JobCompleted || len(j.Attempts) != 1 {
+		t.Fatalf("state = %v (err %v), attempts = %d; the monitor fault perturbed the pool",
+			j.State, j.FinalErr, len(j.Attempts))
+	}
+	if mon.Dropped() != 2 {
+		t.Errorf("dropped = %d, want both subscribers", mon.Dropped())
+	}
+	if !mon.Killed() {
+		t.Error("the kill fault left the monitor alive")
+	}
+	if !colA.Closed() || !colB.Closed() {
+		t.Error("dropped subscribers were not closed")
+	}
+	log := strings.Join(in.Log(), "\n")
+	if !strings.Contains(log, "10m0s drop-subscribers monitor:ops (2 dropped)") ||
+		!strings.Contains(log, "20m0s kill monitor:ops (0 sessions closed)") {
+		t.Errorf("injector log:\n%s", log)
+	}
+
+	// A monitor fault aimed at an unregistered monitor is an Apply
+	// error, not a silent no-op.
+	bad, err := Parse("seed = 1\nfault class=monitor-stream-drop site=monitor:nosuch at=1m0s\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := New(targets).Apply(bad); err == nil {
+		t.Error("an unknown monitor site applied cleanly")
+	}
+}
+
+// TestInjectDrainGraceExpiry: a drain with a generous grace vacates
+// the resident cleanly — the final checkpoint ships, the job resumes
+// elsewhere — and the drain lifts on schedule, returning the machine
+// to the matchmaker.
+func TestInjectDrainGraceExpiry(t *testing.T) {
+	params := daemon.DefaultParams()
+	params.CheckpointInterval = 10 * time.Minute
+	params.ResultTimeout = 50 * time.Minute
+	params.ChronicFailureThreshold = 1
+	p := pool.New(pool.Config{Seed: 1, Params: params, Machines: twoMachines()})
+	in := New(PoolTargets(p))
+
+	sc, err := Parse("seed = 1\nfault class=drain-grace-expiry site=machine:big at=25m0s param=60000 for=1h0m0s\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Apply(sc); err != nil {
+		t.Fatal(err)
+	}
+	ids := p.SubmitStandard(1, func(int) *jvm.Program { return jvm.WellBehaved(45 * time.Minute) })
+	p.Run(24 * time.Hour)
+
+	j := p.Schedd.Job(ids[0])
+	if j.State != daemon.JobCompleted {
+		t.Fatalf("state = %v, err = %v", j.State, j.FinalErr)
+	}
+	if len(j.Attempts) < 2 || j.Attempts[0].Machine != "big" ||
+		!j.Attempts[0].Evicted || j.Attempts[0].Preempted {
+		t.Fatalf("attempts = %+v, want an eviction (not a preemption) off big", j.Attempts)
+	}
+	if j.LastAttempt().Machine != "small" {
+		t.Errorf("finished on %s, want the undrained machine", j.LastAttempt().Machine)
+	}
+	// The 60-second grace covers the checkpoint ship: the resumed
+	// attempt keeps the pre-drain progress.
+	if j.CheckpointCPU < 20*time.Minute {
+		t.Errorf("checkpoint = %v, want the pre-drain progress", j.CheckpointCPU)
+	}
+	p.Engine.RunFor(2 * time.Hour)
+	if p.Startds[0].Drained() {
+		t.Error("machine still drained after the resume event")
+	}
+	log := strings.Join(in.Log(), "\n")
+	if !strings.Contains(log, "25m0s drain machine:big (grace 1m0s)") ||
+		!strings.Contains(log, "1h25m0s resume machine:big") {
+		t.Errorf("injector log:\n%s", log)
+	}
+}

@@ -148,6 +148,21 @@ const (
 	// checkpoint ships and the incumbent falls back to its last
 	// periodic commit.
 	ClassPreemptGrace Class = "preempt-grace-expiry"
+	// ClassMonitorStreamDrop severs the ops plane mid-stream (site
+	// monitor:<name>): every subscriber session closes at At, and with
+	// Param > 0 the monitor daemon itself is killed.  The defining
+	// property is what does NOT happen — the pool's dispositions and
+	// trace are byte-identical to an unperturbed run, because the
+	// monitor's failure scope ends at its own sessions.
+	ClassMonitorStreamDrop Class = "monitor-stream-drop"
+	// ClassDrainGraceExpiry drains a machine (site machine:<name>)
+	// after shrinking its vacate grace to Param milliseconds (default
+	// 1): the admin drain's grace window expires before the final
+	// checkpoint ships and the resident falls back to its last
+	// periodic commit, resuming elsewhere.  A Param generous enough
+	// for the checkpoint ship (clean drain) loses nothing.  After For
+	// the machine is resumed back into the pool.
+	ClassDrainGraceExpiry Class = "drain-grace-expiry"
 )
 
 // Classes lists every fault class, in a fixed order the sweep
@@ -163,6 +178,7 @@ var Classes = []Class{
 	ClassFrameReplay, ClassKeyExpiry,
 	ClassPeerNegotiatorCrash, ClassPeerPoolCrash, ClassFlockReplyTruncate,
 	ClassEvictMidCkpt, ClassCorruptCkpt, ClassRestartElsewhere, ClassPreemptGrace,
+	ClassMonitorStreamDrop, ClassDrainGraceExpiry,
 }
 
 func validClass(c Class) bool {

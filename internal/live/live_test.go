@@ -1,6 +1,7 @@
 package live
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -219,4 +220,195 @@ func TestLiveKernelScopePropagation(t *testing.T) {
 			t.Errorf("attempts = %d; the bad machine's error should requeue", len(j.Attempts))
 		}
 	})
+}
+
+// TestCloseSemantics pins the shutdown contract: Close drains nothing
+// new (enqueue after close is a no-op), Do after close returns instead
+// of hanging, a second Close is harmless, and timers firing after
+// close are discarded.
+func TestCloseSemantics(t *testing.T) {
+	r := New(0)
+	var fired atomic.Bool
+	r.After(20*time.Millisecond, func() { fired.Store(true) })
+	r.Close()
+	r.Close() // idempotent
+
+	// Do after close must not deadlock; the closure must not run.
+	ran := false
+	done := make(chan struct{})
+	go func() {
+		r.Do(func() { ran = true })
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Do after Close hung")
+	}
+	if ran {
+		t.Error("Do ran its closure on a closed runtime")
+	}
+
+	// Sends after close are accepted but never delivered.
+	r.Register("x", sim.ActorFunc(func(sim.Message) { t.Error("delivery after close") }))
+	r.Send("a", "x", "ping", nil)
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() {
+		t.Error("a timer fired its callback after close")
+	}
+}
+
+// TestEveryStopsOnClose pins that a ticker goroutine exits when the
+// runtime closes, without its stop function ever being called.
+func TestEveryStopsOnClose(t *testing.T) {
+	r := New(0)
+	var ticks atomic.Int32
+	r.Every(2*time.Millisecond, func() { ticks.Add(1) })
+	time.Sleep(20 * time.Millisecond)
+	r.Close()
+	n := ticks.Load()
+	time.Sleep(20 * time.Millisecond)
+	if got := ticks.Load(); got != n {
+		t.Errorf("ticker kept dispatching after close: %d -> %d", n, got)
+	}
+}
+
+// TestDoUnderConcurrentDispatch hammers Do from many goroutines while
+// the dispatch loop is busy with message traffic: every Do must run
+// exactly once, serialized with the handlers (the counter is guarded
+// by nothing but the loop).
+func TestDoUnderConcurrentDispatch(t *testing.T) {
+	r := New(0)
+	defer r.Close()
+	counter := 0
+	r.Register("c", sim.ActorFunc(func(sim.Message) { counter++ }))
+	const senders, dos = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Send("a", "c", "inc", nil)
+			}
+		}()
+	}
+	var doRuns atomic.Int32
+	for g := 0; g < dos; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Do(func() {
+				doRuns.Add(1)
+				counter++ // would race without loop serialization
+			})
+		}()
+	}
+	wg.Wait()
+	var got int
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		r.Do(func() { got = counter })
+		if got == senders*50+dos {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got != senders*50+dos || doRuns.Load() != dos {
+		t.Fatalf("counter = %d (want %d), do runs = %d (want %d)",
+			got, senders*50+dos, doRuns.Load(), dos)
+	}
+}
+
+// TestTimerOrdering pins that timers due at well-separated deadlines
+// dispatch in deadline order, and that Now is monotone across them.
+func TestTimerOrdering(t *testing.T) {
+	r := New(0)
+	defer r.Close()
+	var mu sync.Mutex
+	var order []int
+	var stamps []sim.Time
+	var wg sync.WaitGroup
+	delays := []time.Duration{60, 20, 40, 80, 1} // milliseconds, scrambled
+	for i, d := range delays {
+		wg.Add(1)
+		r.After(d*time.Millisecond, func() {
+			mu.Lock()
+			order = append(order, i)
+			stamps = append(stamps, r.Now())
+			mu.Unlock()
+			wg.Done()
+		})
+	}
+	wgDone := make(chan struct{})
+	go func() { wg.Wait(); close(wgDone) }()
+	select {
+	case <-wgDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timers did not all fire")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []int{4, 1, 2, 0, 3} // indexes sorted by delay
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("timer order %v, want %v", order, want)
+		}
+	}
+	for i := 1; i < len(stamps); i++ {
+		if stamps[i] < stamps[i-1] {
+			t.Fatalf("Now went backwards across timers: %v", stamps)
+		}
+	}
+}
+
+// TestRegisterDuplicatePanics pins the duplicate-actor contract.
+func TestRegisterDuplicatePanics(t *testing.T) {
+	r := New(0)
+	defer r.Close()
+	r.Register("dup", sim.ActorFunc(func(sim.Message) {}))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	r.Register("dup", sim.ActorFunc(func(sim.Message) {}))
+}
+
+// TestSendWithLatency covers the delayed-delivery path: messages
+// still arrive, on the dispatch loop, after the configured latency.
+func TestSendWithLatency(t *testing.T) {
+	r := New(5 * time.Millisecond)
+	defer r.Close()
+	var got atomic.Int32
+	r.Register("x", sim.ActorFunc(func(sim.Message) { got.Add(1) }))
+	before := time.Now()
+	r.Send("a", "x", "ping", nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 1 {
+		t.Fatal("latent message never arrived")
+	}
+	if elapsed := time.Since(before); elapsed < 5*time.Millisecond {
+		t.Errorf("message arrived in %v, before the %v latency", elapsed, 5*time.Millisecond)
+	}
+}
+
+// TestUnregisterLoses pins that a message to an unregistered actor is
+// counted lost, like a packet to a dead host.
+func TestUnregisterLoses(t *testing.T) {
+	r := New(0)
+	defer r.Close()
+	r.Register("x", sim.ActorFunc(func(sim.Message) { t.Error("dead actor got a message") }))
+	r.Unregister("x")
+	r.Send("a", "x", "ping", nil)
+	deadline := time.Now().Add(2 * time.Second)
+	for r.Lost() != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if r.Lost() != 1 {
+		t.Errorf("lost = %d, want 1", r.Lost())
+	}
 }

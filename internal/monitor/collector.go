@@ -1,0 +1,95 @@
+package monitor
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/errscope/grid/internal/obs"
+)
+
+// Collector is the in-process Sink: it decodes the stream back into
+// an obs.Recorder and a snapshot history, so a client can run the
+// same span assembly and per-job timelines over streamed data that
+// the pool runs over its own trace.  It doubles as the test double
+// for subscriber failure: a Collector built with FailAfter rejects
+// delivery after n records, exactly like a TCP peer that went away.
+type Collector struct {
+	mu     sync.Mutex
+	rec    *obs.Recorder
+	snaps  []Snapshot
+	closed bool
+
+	// failAfter < 0 never fails; otherwise Deliver errors once this
+	// many records have been accepted.
+	failAfter int64
+	accepted  int64
+}
+
+// NewCollector builds a collector that accepts the whole stream.
+func NewCollector() *Collector {
+	return &Collector{rec: obs.NewRecorder(), failAfter: -1}
+}
+
+// FailAfter builds a collector that accepts n records and then
+// refuses delivery — a subscriber dying mid-stream.
+func FailAfter(n int64) *Collector {
+	return &Collector{rec: obs.NewRecorder(), failAfter: n}
+}
+
+// Deliver implements Sink: decode the record strictly and keep it.
+func (c *Collector) Deliver(cmd byte, line string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return fmt.Errorf("monitor: collector is closed")
+	}
+	if c.failAfter >= 0 && c.accepted >= c.failAfter {
+		return fmt.Errorf("monitor: collector refused delivery after %d records", c.accepted)
+	}
+	switch cmd {
+	case cmdEvent:
+		ev, err := ParseEvent(line)
+		if err != nil {
+			return err
+		}
+		c.rec.Emit(ev)
+	case cmdMetrics:
+		snap, err := ParseSnapshot(line)
+		if err != nil {
+			return err
+		}
+		c.snaps = append(c.snaps, snap)
+	default:
+		return fmt.Errorf("monitor: collector got unknown command 0x%02x", cmd)
+	}
+	c.accepted++
+	return nil
+}
+
+// Close implements Sink.
+func (c *Collector) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}
+
+// Closed reports whether the monitor (or anyone) closed this sink.
+func (c *Collector) Closed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// Events returns the streamed events, in delivery order.
+func (c *Collector) Events() []obs.Event { return c.rec.Events() }
+
+// Recorder exposes the collector's recorder for span assembly,
+// timelines, and JSONL export of the streamed trace.
+func (c *Collector) Recorder() *obs.Recorder { return c.rec }
+
+// Snapshots returns the streamed metrics history.
+func (c *Collector) Snapshots() []Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Snapshot(nil), c.snaps...)
+}

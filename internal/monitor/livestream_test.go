@@ -1,0 +1,135 @@
+package monitor
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/errscope/grid/internal/chirp"
+	"github.com/errscope/grid/internal/live"
+	"github.com/errscope/grid/internal/obs"
+	"github.com/errscope/grid/internal/remoteio"
+	"github.com/errscope/grid/internal/vfs"
+)
+
+// lineSink records the raw streamed records — the bytes a subscriber
+// actually receives, before any client-side processing.
+type lineSink struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (k *lineSink) Deliver(cmd byte, line string) error {
+	k.mu.Lock()
+	k.lines = append(k.lines, line)
+	k.mu.Unlock()
+	return nil
+}
+
+func (k *lineSink) Close() {}
+
+func (k *lineSink) sorted() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	out := append([]string(nil), k.lines...)
+	sort.Strings(out)
+	return out
+}
+
+// liveStreamRun drives the live protocol stacks into a recorder and
+// streams it through a normalizing monitor, returning the raw record
+// lines.  Both the chirp and remoteio clients stamp their transport
+// deaths with time.Now().UnixNano() and embed ephemeral port numbers
+// in the error detail — exactly the wall data the streamed
+// normalization must strip.
+func liveStreamRun(t *testing.T) []string {
+	t.Helper()
+	rec := obs.NewRecorder()
+	rt := live.New(0)
+	defer rt.Close()
+
+	// Chirp: open a file, then lose the server mid-session.
+	fs := vfs.New()
+	fs.WriteFile("/data", []byte("payload"))
+	csrv := chirp.NewServer(&chirp.VFSBackend{FS: fs}, "ck")
+	caddr, err := csrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := chirp.Dial(caddr, "ck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Trace = rec
+	cc.TraceJob = 7
+	fd, err := cc.Open("/data", chirp.FlagRead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrv.Close()
+	if _, err := cc.Read(fd, 4); err == nil {
+		t.Fatal("read through a dead server should fail")
+	}
+	cc.Close()
+
+	// Remote I/O: same shape, second component.
+	rsrv := remoteio.NewServer(vfs.New(), []byte("key"))
+	raddr, err := rsrv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc, err := remoteio.Dial(raddr, []byte("key"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.Trace = rec
+	rc.TraceJob = 9
+	rsrv.Close()
+	if _, err := rc.Read("/x", 0, 4); err == nil {
+		t.Fatal("read through a dead server should fail")
+	}
+	rc.Close()
+
+	mon := New(Config{
+		Name: "mon", Clock: rt, Recorder: rec,
+		Normalize: true, Do: rt.Do,
+	})
+	sink := &lineSink{}
+	if err := mon.Subscribe(sink, 0); err != nil {
+		t.Fatal(err)
+	}
+	mon.Pump()
+	return sink.sorted()
+}
+
+// TestLiveStreamNormalization is the satellite bug-hunt regression:
+// the live stacks stamp events with the wall clock at emit time, so
+// only normalization applied to the *streamed* records — not just the
+// post-hoc JSONL export — makes two live runs comparable.  Two real
+// runs, with real sockets dying and real time.Now() stamps, must
+// stream byte-identical record sets.
+func TestLiveStreamNormalization(t *testing.T) {
+	a := liveStreamRun(t)
+	b := liveStreamRun(t)
+	if len(a) == 0 {
+		t.Fatal("live run streamed nothing")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("runs streamed %d vs %d records", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streamed records diverge at %d:\n%q\n%q", i, a[i], b[i])
+		}
+	}
+	// And the streamed form decodes with no wall data left in it.
+	for _, line := range a {
+		ev, err := ParseEvent(line)
+		if err != nil {
+			t.Fatalf("streamed line does not parse: %v", err)
+		}
+		if ev.T != 0 || ev.Detail != "" {
+			t.Fatalf("wall data leaked into the normalized stream: %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package monitor
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/errscope/grid/internal/pool"
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/wire"
+)
+
+var opsKey = []byte("ops-plane-secret")
+
+// TestServedStream runs the full attach/stream/admin/detach cycle
+// over a real TCP connection in each transport mode: the streamed
+// trace matches the pool's, admin verbs round-trip with their scoped
+// errors intact, and a server-side drop ends the subscription cleanly.
+func TestServedStream(t *testing.T) {
+	for _, mode := range []wire.Mode{wire.ModeText, wire.ModeBinary, wire.ModeSecure} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p, rec := testPool(12, pool.UniformMachines(2, 2048), 2)
+			mon := Attach(p, rec, "mon")
+			srv := NewServer(mon, opsKey)
+			srv.Mode = mode
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+
+			sub, err := Dial(addr, mode, opsKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer sub.Close()
+			if err := sub.Subscribe(0); err != nil {
+				t.Fatal(err)
+			}
+			for mon.Subscribers() == 0 {
+				time.Sleep(time.Millisecond)
+			}
+			col := NewCollector()
+			done := make(chan error, 1)
+			go func() { done <- sub.Collect(col) }()
+
+			adm, err := Dial(addr, mode, opsKey)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer adm.Close()
+
+			drive(p, mon, 24*time.Hour, nil)
+			mon.Pump()
+
+			// Admin verbs round-trip, including the scoped miss.
+			detail, err := adm.Admin("compact", "schedd")
+			if err != nil || !strings.Contains(detail, "compacted") {
+				t.Fatalf("compact over the wire: %q, %v", detail, err)
+			}
+			_, err = adm.Admin("drain", "nosuch")
+			se, ok := scope.AsError(err)
+			if !ok || se.Scope != scope.ScopePool || se.Code != "UnknownTarget" {
+				t.Fatalf("unknown target over the wire: %v", err)
+			}
+			_, err = adm.Admin("reboot", "c000")
+			if se, ok = scope.AsError(err); !ok || se.Code != "UnknownVerb" {
+				t.Fatalf("unknown verb over the wire: %v", err)
+			}
+
+			// The compact verb itself traced; stream the tail too.
+			mon.Pump()
+
+			// A server-side drop closes the subscriber session cleanly.
+			if n := mon.DropSubscribers(); n != 1 {
+				t.Fatalf("dropped %d subscribers, want 1", n)
+			}
+			if err := <-done; err != nil {
+				t.Fatalf("collect after drop: %v", err)
+			}
+			want := rec.Events()
+			got := col.Events()
+			if len(got) != len(want) {
+				t.Fatalf("streamed %d events, pool recorded %d", len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("event %d differs over the wire: %+v != %+v", i, got[i], want[i])
+				}
+			}
+			if len(col.Snapshots()) == 0 {
+				t.Fatal("no snapshots over the wire")
+			}
+		})
+	}
+}
+
+// TestServedAuthFailure pins the authentication error in every mode:
+// a client with the wrong key is refused before any record flows.
+func TestServedAuthFailure(t *testing.T) {
+	for _, mode := range []wire.Mode{wire.ModeText, wire.ModeBinary, wire.ModeSecure} {
+		t.Run(mode.String(), func(t *testing.T) {
+			p, rec := testPool(13, pool.UniformMachines(2, 2048), 1)
+			mon := Attach(p, rec, "mon")
+			_ = p
+			srv := NewServer(mon, opsKey)
+			srv.Mode = mode
+			addr, err := srv.Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer srv.Close()
+			cli, err := Dial(addr, mode, []byte("wrong"))
+			if err == nil {
+				cli.Close()
+				t.Fatal("a wrong key authenticated")
+			}
+		})
+	}
+}
+
+// TestKillMidStreamOverWire is the tentpole's kill guarantee, over a
+// real socket: killing the monitor daemon mid-stream closes only the
+// subscriber sessions, and the pool's dispositions are byte-identical
+// to a run that never had a monitor at all.
+func TestKillMidStreamOverWire(t *testing.T) {
+	bare := func() string {
+		p, _ := testPool(14, pool.UniformMachines(3, 2048), 4)
+		p.Run(24 * time.Hour)
+		return dispositions(p)
+	}()
+
+	p, rec := testPool(14, pool.UniformMachines(3, 2048), 4)
+	mon := Attach(p, rec, "mon")
+	srv := NewServer(mon, opsKey)
+	srv.Mode = wire.ModeBinary
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cols := make([]*Collector, 2)
+	dones := make([]chan error, 2)
+	for i := range cols {
+		cli, err := Dial(addr, wire.ModeBinary, opsKey)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cli.Close()
+		if err := cli.Subscribe(0); err != nil {
+			t.Fatal(err)
+		}
+		cols[i] = NewCollector()
+		dones[i] = make(chan error, 1)
+		go func(c *Client, col *Collector, done chan error) {
+			done <- c.Collect(col)
+		}(cli, cols[i], dones[i])
+	}
+	for mon.Subscribers() != 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	drive(p, mon, 24*time.Hour, map[time.Duration]func(){
+		45 * time.Minute: func() {
+			if n := mon.Kill(); n != 2 {
+				t.Errorf("kill closed %d sessions, want 2", n)
+			}
+		},
+	})
+	for i := range dones {
+		if err := <-dones[i]; err != nil {
+			t.Fatalf("subscriber %d did not close cleanly: %v", i, err)
+		}
+	}
+	if got := dispositions(p); got != bare {
+		t.Fatal("killing the monitor mid-stream changed the pool's dispositions")
+	}
+	if m := p.Metrics(); m.Completed != 4 {
+		t.Fatalf("workload did not complete under the kill: %+v", m)
+	}
+}

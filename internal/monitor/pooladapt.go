@@ -1,0 +1,60 @@
+package monitor
+
+import (
+	"github.com/errscope/grid/internal/daemon"
+	"github.com/errscope/grid/internal/obs"
+	"github.com/errscope/grid/internal/pool"
+)
+
+// PoolTargets indexes every daemon in the pool for admin verbs.
+func PoolTargets(p *pool.Pool) Targets {
+	t := Targets{
+		Startds: make(map[string]*daemon.Startd, len(p.Startds)),
+		Schedds: make(map[string]*daemon.Schedd, len(p.Schedds)),
+	}
+	for _, sd := range p.Startds {
+		t.Startds[sd.Name()] = sd
+	}
+	for _, s := range p.Schedds {
+		t.Schedds[s.Name()] = s
+	}
+	return t
+}
+
+// PoolMetrics adapts the pool summary into streamed snapshots stamped
+// with the pool clock.
+func PoolMetrics(p *pool.Pool) func() Snapshot {
+	return func() Snapshot {
+		m := p.Metrics()
+		return Snapshot{
+			T:            int64(p.Engine.Now()),
+			Jobs:         int64(m.Jobs),
+			Completed:    int64(m.Completed),
+			Unexecutable: int64(m.Unexecutable),
+			Held:         int64(m.Held),
+			Unfinished:   int64(m.Unfinished),
+			Attempts:     int64(m.Attempts),
+			Evictions:    int64(m.Evictions),
+			Preemptions:  int64(m.Preemptions),
+			Requeues:     int64(m.Requeues),
+			Recoveries:   int64(m.Recoveries),
+			GoodputNS:    int64(m.Goodput),
+			BadputNS:     int64(m.Badput),
+			Sent:         int64(m.MessagesSent),
+			Lost:         int64(m.MessagesLost),
+		}
+	}
+}
+
+// Attach builds a monitor over a simulated pool and the recorder its
+// params trace into — the one-call setup the experiments and the CLI
+// use.
+func Attach(p *pool.Pool, rec *obs.Recorder, name string) *Monitor {
+	return New(Config{
+		Name:     name,
+		Clock:    p.Engine,
+		Recorder: rec,
+		Metrics:  PoolMetrics(p),
+		Targets:  PoolTargets(p),
+	})
+}

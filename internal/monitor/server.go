@@ -1,0 +1,378 @@
+package monitor
+
+import (
+	"bufio"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+
+	"github.com/errscope/grid/internal/scope"
+	"github.com/errscope/grid/internal/wire"
+)
+
+// Error codes of the ops-plane channel.
+const (
+	CodeAuthFailed     = "AuthenticationFailed"
+	CodeBadRequest     = "BadRequest"
+	CodeMonitorDead    = "MonitorDead"
+	CodeConnectionLost = wire.CodeConnectionLostName
+)
+
+// Contract returns the explicit error interface of the channel: an
+// admin verb can fail at the scope of the daemon it touched, the pool
+// can disown an unknown target, and the transport can die — and the
+// caller can tell which happened.
+func Contract() *scope.Contract {
+	return scope.NewContract("monitor", scope.ScopeNetwork, CodeConnectionLost).
+		Declare(CodeBadRequest, scope.ScopeFunction).
+		Declare(CodeAuthFailed, scope.ScopeLocalResource).
+		Declare(CodeMonitorDead, scope.ScopeProcess).
+		Declare("UnknownVerb", scope.ScopePool).
+		Declare("UnknownTarget", scope.ScopePool)
+}
+
+// Server exposes one monitor over TCP.  A connection's first record
+// declares what it is: msub makes it a subscriber session (one-way,
+// server to client, until either side closes), madm makes it an admin
+// session (strict request/reply).  Serving is the monitor's business
+// only — accepting, authenticating, or losing a connection never
+// touches the pool.
+type Server struct {
+	mon *Monitor
+	key []byte
+
+	// Mode selects the transport for every connection; set before
+	// Listen.  ModeText is the legacy line protocol with
+	// challenge/response authentication; any other mode serves the
+	// framed wire.Session and accepts whichever of binary/secure the
+	// client opens with.
+	Mode wire.Mode
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer creates an ops-plane service for mon, authenticated by
+// the shared key.
+func NewServer(mon *Monitor, key []byte) *Server {
+	return &Server{mon: mon, key: append([]byte(nil), key...), conns: make(map[net.Conn]struct{})}
+}
+
+// Listen starts the service and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("monitor: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serve(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the service and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	if s.Mode != wire.ModeText {
+		s.serveSession(conn)
+		return
+	}
+	s.serveText(conn)
+}
+
+// serveSession handles one framed connection (binary or secure).
+func (s *Server) serveSession(conn net.Conn) {
+	sess := wire.NewSession(bufio.NewReader(conn), conn, wire.Config{
+		Secret: s.key,
+		AuthFailure: func() *scope.Error {
+			return scope.New(scope.ScopeLocalResource, CodeAuthFailed,
+				"monitor authentication failed")
+		},
+	})
+	defer sess.Release()
+	if sess.ServerHandshake() != nil {
+		return
+	}
+	cmd, payload, err := sess.ReadMsg()
+	if err != nil {
+		return
+	}
+	switch cmd {
+	case cmdSub:
+		from, err := ParseSub(string(payload))
+		if err != nil {
+			sess.WriteError(scope.New(scope.ScopeFunction, CodeBadRequest, "%v", err),
+				CodeBadRequest, scope.ScopeFunction)
+			return
+		}
+		// Ack before registering the sink: once subscribed, the pump
+		// goroutine owns the write half, and a concurrent ack would
+		// race it.  A refused subscription (the monitor is dead)
+		// follows the ack as an error frame in the stream.
+		if sess.WriteMsg(wire.CmdOK) != nil {
+			return
+		}
+		sink := &sessionSink{sess: sess, conn: conn}
+		if err := s.mon.Subscribe(sink, from); err != nil {
+			sess.WriteError(err, CodeMonitorDead, scope.ScopeProcess)
+			return
+		}
+		// The stream is one-way from here: the pump goroutine writes
+		// through the sink while this goroutine blocks on the read
+		// half, waiting only for the client to hang up.  The session's
+		// read and write halves are independent, so the split is safe.
+		for {
+			if _, _, err := sess.ReadMsg(); err != nil {
+				break
+			}
+		}
+		s.mon.Detach(sink)
+
+	case cmdAdmin:
+		for {
+			verb, target, err := ParseAdmin(string(payload))
+			if err != nil {
+				sess.WriteError(scope.New(scope.ScopeFunction, CodeBadRequest, "%v", err),
+					CodeBadRequest, scope.ScopeFunction)
+				return
+			}
+			detail, aerr := s.mon.Admin(verb, target)
+			if aerr != nil {
+				if sess.WriteError(aerr, CodeBadRequest, scope.ScopePool) != nil {
+					return
+				}
+			} else if sess.WriteMsg(wire.CmdOK, []byte(EncodeAdminOK(verb, target, detail))) != nil {
+				return
+			}
+			if cmd, payload, err = sess.ReadMsg(); err != nil || cmd != cmdAdmin {
+				return
+			}
+		}
+	}
+}
+
+// sessionSink adapts one framed subscriber connection to the Sink
+// interface.  Closing it closes the connection, which also unblocks
+// the serving goroutine's read.
+type sessionSink struct {
+	mu     sync.Mutex
+	sess   *wire.Session
+	conn   net.Conn
+	closed bool
+}
+
+func (k *sessionSink) Deliver(cmd byte, line string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return fmt.Errorf("monitor: subscriber session closed")
+	}
+	return k.sess.WriteMsg(cmd, []byte(line))
+}
+
+func (k *sessionSink) Close() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return
+	}
+	k.closed = true
+	k.conn.Close()
+}
+
+// serveText handles one legacy line-protocol connection: an HMAC
+// challenge/response, then the same first-record dispatch, with
+// records travelling as bare lines (their tags make the command byte
+// redundant).
+func (s *Server) serveText(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return
+	}
+	fmt.Fprintf(w, "challenge %s\n", hex.EncodeToString(nonce))
+	if w.Flush() != nil {
+		return
+	}
+	line, err := r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != 2 || fields[0] != "auth" || !s.verify(nonce, fields[1]) {
+		fmt.Fprint(w, wire.EncodeError(
+			scope.New(scope.ScopeLocalResource, CodeAuthFailed, "bad authenticator"),
+			CodeAuthFailed, scope.ScopeLocalResource))
+		w.Flush()
+		return
+	}
+	fmt.Fprint(w, "ok\n")
+	if w.Flush() != nil {
+		return
+	}
+
+	line, err = r.ReadString('\n')
+	if err != nil {
+		return
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case strings.HasPrefix(line, "msub "):
+		from, err := ParseSub(line)
+		if err != nil {
+			fmt.Fprint(w, wire.EncodeError(
+				scope.New(scope.ScopeFunction, CodeBadRequest, "%v", err),
+				CodeBadRequest, scope.ScopeFunction))
+			w.Flush()
+			return
+		}
+		// Ack before registering the sink, for the same single-writer
+		// reason as the framed path.
+		fmt.Fprint(w, "ok\n")
+		if w.Flush() != nil {
+			return
+		}
+		sink := &textSink{conn: conn, w: w}
+		if err := s.mon.Subscribe(sink, from); err != nil {
+			fmt.Fprint(w, wire.EncodeError(err, CodeMonitorDead, scope.ScopeProcess))
+			w.Flush()
+			return
+		}
+		// Block on the read half until the client hangs up; the pump
+		// writes through the sink's own lock.
+		for {
+			if _, err := r.ReadString('\n'); err != nil {
+				break
+			}
+		}
+		s.mon.Detach(sink)
+
+	case strings.HasPrefix(line, "madm "):
+		for {
+			verb, target, err := ParseAdmin(line)
+			if err != nil {
+				fmt.Fprint(w, wire.EncodeError(
+					scope.New(scope.ScopeFunction, CodeBadRequest, "%v", err),
+					CodeBadRequest, scope.ScopeFunction))
+				w.Flush()
+				return
+			}
+			detail, aerr := s.mon.Admin(verb, target)
+			if aerr != nil {
+				fmt.Fprint(w, wire.EncodeError(aerr, CodeBadRequest, scope.ScopePool))
+			} else {
+				fmt.Fprintf(w, "ok %s\n", EncodeAdminOK(verb, target, detail))
+			}
+			if w.Flush() != nil {
+				return
+			}
+			raw, err := r.ReadString('\n')
+			if err != nil {
+				return
+			}
+			line = strings.TrimSpace(raw)
+		}
+
+	default:
+		fmt.Fprint(w, wire.EncodeError(
+			scope.New(scope.ScopeFunction, CodeBadRequest, "expected msub or madm, got %q", line),
+			CodeBadRequest, scope.ScopeFunction))
+		w.Flush()
+	}
+}
+
+func (s *Server) verify(nonce []byte, mac string) bool {
+	want := authenticate(s.key, nonce)
+	got, err := hex.DecodeString(mac)
+	if err != nil {
+		return false
+	}
+	return hmac.Equal(got, want)
+}
+
+// authenticate computes the HMAC response for a nonce — the same
+// construction the remote I/O channel uses.
+func authenticate(key, nonce []byte) []byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(nonce)
+	return m.Sum(nil)
+}
+
+// textSink adapts one line-protocol subscriber to the Sink interface.
+type textSink struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	w      *bufio.Writer
+	closed bool
+}
+
+func (k *textSink) Deliver(cmd byte, line string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return fmt.Errorf("monitor: subscriber session closed")
+	}
+	if _, err := fmt.Fprintln(k.w, line); err != nil {
+		return err
+	}
+	return k.w.Flush()
+}
+
+func (k *textSink) Close() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.closed {
+		return
+	}
+	k.closed = true
+	k.conn.Close()
+}

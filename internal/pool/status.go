@@ -20,9 +20,22 @@ func (p *Pool) StatusTable() string {
 			state = "claimed"
 		case daemon.StartdRunning:
 			state = "running"
+		case daemon.StartdOwner:
+			state = "owner"
 		}
-		if sd.Crashed() {
+		// Transitional and administrative states override the claim
+		// state: a machine inside a vacate grace window is promised
+		// away (or draining), and a drained machine only looks
+		// unclaimed — it is out of the pool until resumed.
+		switch {
+		case sd.Crashed():
 			state = "down"
+		case sd.Vacating():
+			state = "vacating"
+		case sd.Draining():
+			state = "draining"
+		case sd.Drained():
+			state = "drained"
 		}
 		java := "yes"
 		notes := ""
@@ -50,7 +63,20 @@ func (p *Pool) QueueTable() string {
 			}
 			last := "-"
 			if att := j.LastAttempt(); att != nil {
+				// An attempt still in flight has no outcome yet; for a
+				// Standard Universe job it may be resuming from the
+				// best committed checkpoint rather than from scratch.
+				open := att.End == 0 && !j.State.Terminal()
 				switch {
+				case open && j.CheckpointCPU > 0:
+					last = fmt.Sprintf("resumed on %s from %s checkpoint",
+						att.Machine, j.CheckpointCPU)
+				case open:
+					last = fmt.Sprintf("started on %s", att.Machine)
+				case att.Evicted && att.Preempted:
+					last = fmt.Sprintf("preempted off %s", att.Machine)
+				case att.Evicted:
+					last = fmt.Sprintf("evicted off %s", att.Machine)
 				case att.FetchError != nil:
 					last = "fetch failed"
 				case att.LostContact != nil:

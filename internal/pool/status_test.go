@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -31,5 +32,136 @@ func TestStatusAndQueueTables(t *testing.T) {
 		if !strings.Contains(queue, want) {
 			t.Errorf("queue missing %q:\n%s", want, queue)
 		}
+	}
+}
+
+// TestQueueTableEvictionUnderChurn pins the LAST column against the
+// PR-9 attempt outcomes: an attempt ended by an owner eviction must
+// render as an eviction (it used to fall through to "exit 0 on m"),
+// and a Standard Universe attempt resuming from a checkpoint must say
+// so.  The pool runs under seeded churn, stepping the engine by hand
+// so the queue is rendered mid-flight, where those outcomes live.
+func TestQueueTableEvictionUnderChurn(t *testing.T) {
+	params := daemon.DefaultParams()
+	params.CheckpointInterval = 10 * time.Minute
+	params.CheckpointOverhead = 15 * time.Second
+	params.MaxAttempts = 100
+	p := New(Config{
+		Seed:     11,
+		Params:   params,
+		Machines: UniformMachines(4, 2048),
+		Churn: &ChurnConfig{
+			Horizon:  24 * time.Hour,
+			MeanUp:   2 * time.Hour,
+			Downtime: 30 * time.Minute,
+		},
+	})
+	p.SubmitStandard(8, UniformCompute(90*time.Minute))
+
+	sawEvicted, sawResumed := false, false
+	for range int(48 * time.Hour / time.Minute) {
+		p.Engine.RunFor(time.Minute)
+		queue := p.QueueTable()
+		for _, j := range p.Schedd.Jobs() {
+			att := j.LastAttempt()
+			if att == nil || j.State.Terminal() {
+				continue
+			}
+			if att.End != 0 && att.Evicted && !att.Preempted {
+				want := fmt.Sprintf("evicted off %s", att.Machine)
+				if !strings.Contains(queue, want) {
+					t.Fatalf("queue missing %q:\n%s", want, queue)
+				}
+				sawEvicted = true
+			}
+			if att.End == 0 && j.CheckpointCPU > 0 {
+				want := fmt.Sprintf("resumed on %s from %s checkpoint",
+					att.Machine, j.CheckpointCPU)
+				if !strings.Contains(queue, want) {
+					t.Fatalf("queue missing %q:\n%s", want, queue)
+				}
+				sawResumed = true
+			}
+		}
+		if p.AllTerminal() {
+			break
+		}
+	}
+	if !sawEvicted || !sawResumed {
+		t.Fatalf("churn exercised neither outcome (evicted=%v resumed=%v)",
+			sawEvicted, sawResumed)
+	}
+	if m := p.Metrics(); m.Unfinished != 0 {
+		t.Fatalf("pool did not drain: %s", m)
+	}
+}
+
+// TestStatusTableDrainStates drives one machine through the admin
+// drain lifecycle and pins the machine view at each step: vacating
+// inside the grace window, drained after it, unclaimed after resume.
+// Before the fix both transitional states rendered as "claimed".
+func TestStatusTableDrainStates(t *testing.T) {
+	p := New(Config{Seed: 5, Params: daemon.DefaultParams(), Machines: []daemon.MachineConfig{
+		{Name: "big", Memory: 4096, AdvertiseJava: true},
+		{Name: "small", Memory: 1024, AdvertiseJava: true},
+	}})
+	p.SubmitStandard(1, UniformCompute(90*time.Minute))
+	var big *daemon.Startd
+	for _, sd := range p.Startds {
+		if sd.Name() == "big" {
+			big = sd
+		}
+	}
+	p.Engine.After(30*time.Minute, func() {
+		if err := big.Drain(); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+
+	// The default grace (30s) covers the 2s checkpoint ship, so the
+	// vacate completes 2s after the drain begins; stop inside it.
+	p.Engine.RunFor(30*time.Minute + time.Second)
+	if !big.Draining() || !big.Vacating() {
+		t.Fatalf("big should be mid-drain (draining=%v vacating=%v)",
+			big.Draining(), big.Vacating())
+	}
+	if status := p.StatusTable(); !strings.Contains(status, "vacating") {
+		t.Errorf("status missing vacating:\n%s", status)
+	}
+
+	// Five more seconds: past the vacate (2s in) but inside the 10s
+	// requeue backoff, so the eviction is still the last outcome.
+	p.Engine.RunFor(5 * time.Second)
+	if !big.Drained() {
+		t.Fatal("big should be drained after the grace window")
+	}
+	if status := p.StatusTable(); !strings.Contains(status, "drained") {
+		t.Errorf("status missing drained:\n%s", status)
+	}
+	if queue := p.QueueTable(); !strings.Contains(queue, "evicted off big") {
+		t.Errorf("queue missing the drain eviction:\n%s", queue)
+	}
+
+	// The resident resumes from its shipped checkpoint elsewhere.
+	p.Run(48 * time.Hour)
+	m := p.Metrics()
+	if m.Completed != 1 {
+		t.Fatalf("job did not complete after the drain: %s", m)
+	}
+	j := p.Schedd.Jobs()[0]
+	if att := j.LastAttempt(); att == nil || att.Machine != "small" {
+		t.Errorf("job should have resumed on small, got %+v", att)
+	}
+	if big.Drained() {
+		if status := p.StatusTable(); !strings.Contains(status, "drained") {
+			t.Errorf("status missing drained:\n%s", status)
+		}
+	}
+	big.Resume()
+	if big.Drained() || big.Draining() {
+		t.Error("resume should clear the drain state")
+	}
+	if status := p.StatusTable(); !strings.Contains(status, "unclaimed") {
+		t.Errorf("status missing unclaimed after resume:\n%s", status)
 	}
 }
