@@ -77,9 +77,13 @@ type Config struct {
 	Do func(func())
 }
 
-// Sink receives the stream for one subscriber.  Deliver's error means
-// the subscriber is gone: the monitor closes and forgets the sink and
-// nothing else — the defining non-failure of the ops plane.
+// Sink receives the stream for one subscriber.  Deliver runs under
+// the monitor's lock, so it must not block on a slow consumer: the
+// network sinks buffer into a bounded queue drained by their own
+// writer goroutine and fail on overflow rather than let TCP
+// backpressure reach the pump.  Deliver's error means the subscriber
+// is gone: the monitor closes and forgets the sink and nothing else —
+// the defining non-failure of the ops plane.
 type Sink interface {
 	Deliver(cmd byte, line string) error
 	Close()
@@ -134,8 +138,14 @@ func (m *Monitor) Subscribe(sink Sink, from int64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.killed {
-		e := scope.New(scope.ScopeProcess, "MonitorDead",
-			"monitor %s has been killed", m.cfg.Name)
+		return m.deadErr()
+	}
+	// Mirror ParseSub's validation for in-process callers: a negative
+	// cursor (or one that does not survive the int conversion) must be
+	// refused here, not parked where the pump would slice with it.
+	if from < 0 || int64(int(from)) != from {
+		e := scope.New(scope.ScopeFunction, CodeBadRequest,
+			"subscribe from %d: cursor must be a non-negative int", from)
 		return e.WithOrigin(m.cfg.Name)
 	}
 	m.subs = append(m.subs, &subscriber{sink: sink, next: int(from)})
@@ -183,7 +193,9 @@ func (m *Monitor) Dropped() int {
 // Pump streams the recorder's new events to every subscriber, then
 // one metrics snapshot each.  A sink whose Deliver fails is closed
 // and forgotten — that subscriber's failure is scoped to its own
-// session, and the pump carries on with the rest.
+// session, and the pump carries on with the rest.  Deliver never
+// blocks on a slow consumer (see Sink), so holding the monitor's lock
+// across delivery cannot stall the pool stepping loop behind it.
 func (m *Monitor) Pump() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -288,6 +300,13 @@ func (m *Monitor) Killed() bool {
 	return m.killed
 }
 
+// deadErr is the process-scope refusal of a killed monitor.
+func (m *Monitor) deadErr() error {
+	e := scope.New(scope.ScopeProcess, "MonitorDead",
+		"monitor %s has been killed", m.cfg.Name)
+	return e.WithOrigin(m.cfg.Name)
+}
+
 // Admin runs one operator verb against the pool and returns a
 // human-readable detail line.  Failure carries the scope of the exact
 // machine or daemon the verb touched; an unknown verb or target is a
@@ -297,9 +316,7 @@ func (m *Monitor) Admin(verb, target string) (string, error) {
 	m.mu.Lock()
 	if m.killed {
 		m.mu.Unlock()
-		e := scope.New(scope.ScopeProcess, "MonitorDead",
-			"monitor %s has been killed", m.cfg.Name)
-		return "", e.WithOrigin(m.cfg.Name)
+		return "", m.deadErr()
 	}
 	run := m.cfg.Do
 	m.mu.Unlock()
@@ -308,7 +325,19 @@ func (m *Monitor) Admin(verb, target string) (string, error) {
 	}
 	var detail string
 	var err error
-	run(func() { detail, err = m.admin(verb, target) })
+	run(func() {
+		// Re-check under the lock on the pool's thread: a Kill that
+		// lands between Admin's entry check and the verb reaching the
+		// pool still refuses — a killed monitor mutates nothing.
+		m.mu.Lock()
+		dead := m.killed
+		m.mu.Unlock()
+		if dead {
+			err = m.deadErr()
+			return
+		}
+		detail, err = m.admin(verb, target)
+	})
 	m.mu.Lock()
 	if err != nil {
 		m.note("admin %s %s failed: %v", verb, target, err)

@@ -223,6 +223,51 @@ func TestKill(t *testing.T) {
 	}
 }
 
+// TestSubscribeRejectsBadCursor pins the in-process mirror of
+// ParseSub's validation: a negative cursor is refused outright rather
+// than parked where the pump would slice events[sub.next:] with it
+// and panic.
+func TestSubscribeRejectsBadCursor(t *testing.T) {
+	p, rec := testPool(11, pool.UniformMachines(2, 2048), 1)
+	mon := Attach(p, rec, "mon")
+	err := mon.Subscribe(NewCollector(), -1)
+	se, ok := scope.AsError(err)
+	if !ok || se.Scope != scope.ScopeFunction || se.Code != CodeBadRequest {
+		t.Fatalf("subscribe from -1: %v, want function-scope %s", err, CodeBadRequest)
+	}
+	if mon.Subscribers() != 0 {
+		t.Fatal("a refused subscriber was registered")
+	}
+	p.Run(time.Hour)
+	mon.Pump() // must not panic on a parked bad cursor
+}
+
+// TestAdminRefusedByConcurrentKill pins the verb/kill ordering: a
+// kill that lands after Admin's entry check but before the verb
+// reaches the pool thread still refuses the verb — a killed monitor
+// mutates nothing.
+func TestAdminRefusedByConcurrentKill(t *testing.T) {
+	p, rec := testPool(16, pool.UniformMachines(2, 2048), 1)
+	var mon *Monitor
+	mon = New(Config{
+		Name: "mon", Clock: p.Engine, Recorder: rec,
+		Metrics: PoolMetrics(p), Targets: PoolTargets(p),
+		// The kill wins the race to the pool thread.
+		Do: func(fn func()) {
+			mon.Kill()
+			fn()
+		},
+	})
+	_, err := mon.Admin("drain", p.Startds[0].Name())
+	se, ok := scope.AsError(err)
+	if !ok || se.Scope != scope.ScopeProcess || se.Code != "MonitorDead" {
+		t.Fatalf("admin under concurrent kill: %v, want process-scope MonitorDead", err)
+	}
+	if p.Startds[0].Draining() || p.Startds[0].Drained() {
+		t.Fatal("a killed monitor drained a machine")
+	}
+}
+
 // TestNormalizeStream pins the live-comparable form: streamed events
 // carry no timestamps and no free-form detail.
 func TestNormalizeStream(t *testing.T) {

@@ -1,6 +1,9 @@
 package monitor
 
 import (
+	"bufio"
+	"fmt"
+	"net"
 	"strings"
 	"testing"
 	"time"
@@ -116,6 +119,101 @@ func TestServedAuthFailure(t *testing.T) {
 				t.Fatal("a wrong key authenticated")
 			}
 		})
+	}
+}
+
+// TestDeliverNeverBlocksOnBackpressure pins the pump-stall fix: a
+// subscriber that stops reading (an unread net.Pipe — the hardest
+// possible backpressure, zero kernel buffering) never blocks Deliver.
+// The sink buffers into its bounded queue, overflows, fails, and
+// closes its connection, all without the delivering goroutine — which
+// in production holds the monitor lock inside the pool stepping
+// loop — ever touching the network.
+func TestDeliverNeverBlocksOnBackpressure(t *testing.T) {
+	server, client := net.Pipe()
+	defer client.Close()
+	w := bufio.NewWriter(server)
+	sink := newAsyncSink(server, func(_ byte, line string) error {
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+		return w.Flush()
+	})
+
+	overflowed := make(chan error, 1)
+	go func() {
+		var err error
+		for i := 0; i < 4*subscriberQueueDepth; i++ {
+			if err = sink.Deliver(cmdEvent, "rec"); err != nil {
+				break
+			}
+		}
+		overflowed <- err
+	}()
+	select {
+	case err := <-overflowed:
+		if err == nil || !strings.Contains(err.Error(), "behind") {
+			t.Fatalf("overflow error: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Deliver blocked on an unread subscriber")
+	}
+
+	// The failure is permanent and the writer goroutine exits.
+	if err := sink.Deliver(cmdEvent, "rec"); err == nil {
+		t.Fatal("a failed sink accepted delivery")
+	}
+	sink.Close()
+	select {
+	case <-sink.done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer goroutine did not exit after the overflow")
+	}
+}
+
+// TestServedBadFirstFrame pins the channel contract across
+// transports: a framed connection whose first record is neither msub
+// nor madm gets an explicit BadRequest error frame — the same refusal
+// the text path gives — not a silent close.
+func TestServedBadFirstFrame(t *testing.T) {
+	p, rec := testPool(15, pool.UniformMachines(2, 2048), 1)
+	_ = p
+	mon := Attach(p, rec, "mon")
+	srv := NewServer(mon, opsKey)
+	srv.Mode = wire.ModeBinary
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	sess := wire.NewSession(bufio.NewReader(conn), conn,
+		wire.Config{Mode: wire.ModeBinary, Secret: opsKey})
+	defer sess.Release()
+	if err := sess.ClientHandshake(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.WriteMsg(cmdEvent, []byte("noise")); err != nil {
+		t.Fatal(err)
+	}
+	cmd, payload, err := sess.ReadMsg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd != wire.CmdErr {
+		t.Fatalf("reply %#x, want CmdErr", cmd)
+	}
+	se, derr := wire.DecodeErrorPayload(payload)
+	if derr != nil {
+		t.Fatal(derr)
+	}
+	if se.Scope != scope.ScopeFunction || se.Code != CodeBadRequest {
+		t.Fatalf("refusal %v, want function-scope %s", se, CodeBadRequest)
 	}
 }
 

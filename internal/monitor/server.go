@@ -10,6 +10,7 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/errscope/grid/internal/scope"
 	"github.com/errscope/grid/internal/wire"
@@ -159,13 +160,17 @@ func (s *Server) serveSession(conn net.Conn) {
 		if sess.WriteMsg(wire.CmdOK) != nil {
 			return
 		}
-		sink := &sessionSink{sess: sess, conn: conn}
+		sink := newAsyncSink(conn, func(cmd byte, line string) error {
+			return sess.WriteMsg(cmd, []byte(line))
+		})
 		if err := s.mon.Subscribe(sink, from); err != nil {
 			sess.WriteError(err, CodeMonitorDead, scope.ScopeProcess)
+			sink.Close()
+			<-sink.done
 			return
 		}
-		// The stream is one-way from here: the pump goroutine writes
-		// through the sink while this goroutine blocks on the read
+		// The stream is one-way from here: the sink's writer goroutine
+		// owns the write half while this goroutine blocks on the read
 		// half, waiting only for the client to hang up.  The session's
 		// read and write halves are independent, so the split is safe.
 		for {
@@ -174,6 +179,11 @@ func (s *Server) serveSession(conn net.Conn) {
 			}
 		}
 		s.mon.Detach(sink)
+		sink.Close()
+		// Wait for the writer goroutine to flush and exit before the
+		// deferred Release returns the session's pooled buffers; the
+		// sink's close grace bounds the wait.
+		<-sink.done
 
 	case cmdAdmin:
 		for {
@@ -195,36 +205,147 @@ func (s *Server) serveSession(conn net.Conn) {
 				return
 			}
 		}
+
+	default:
+		// The same explicit refusal the text path gives: a first
+		// record that is neither a subscribe nor an admin request is a
+		// bad request, not a silent close.
+		sess.WriteError(scope.New(scope.ScopeFunction, CodeBadRequest,
+			"expected msub or madm, got command %#x", cmd),
+			CodeBadRequest, scope.ScopeFunction)
 	}
 }
 
-// sessionSink adapts one framed subscriber connection to the Sink
-// interface.  Closing it closes the connection, which also unblocks
-// the serving goroutine's read.
-type sessionSink struct {
-	mu     sync.Mutex
-	sess   *wire.Session
-	conn   net.Conn
-	closed bool
+// subscriberQueueDepth bounds the records buffered between the pump
+// and one network subscriber's writer goroutine.  A subscriber this
+// far behind has stopped reading; it is dropped rather than allowed
+// to push TCP backpressure back into the pump.
+const subscriberQueueDepth = 1024
+
+// closeFlushGrace bounds the final flush of a closing subscriber: a
+// peer that will not drain its tail within the grace loses it when
+// the timer closes the connection under the blocked write.  Wall
+// clock, deliberately — this is network teardown, never a simulated
+// path.
+const closeFlushGrace = 5 * time.Second
+
+// sinkRecord is one queued stream record.
+type sinkRecord struct {
+	cmd  byte
+	line string
 }
 
-func (k *sessionSink) Deliver(cmd byte, line string) error {
+// asyncSink adapts one network subscriber to the Sink interface with
+// the decoupling the ops plane's failure scope demands: Deliver
+// enqueues into a bounded queue and never touches the network, so a
+// subscriber that stops reading cannot stall the pump (and the pool
+// stepping loop serialized behind it) via TCP backpressure.  A writer
+// goroutine drains the queue; a full queue or a failed write poisons
+// the sink permanently, and the pump drops it on the next Deliver.
+type asyncSink struct {
+	write func(cmd byte, line string) error
+	conn  net.Conn
+	queue chan sinkRecord
+	stop  chan struct{}
+	done  chan struct{} // closed when the writer goroutine exits
+
+	mu     sync.Mutex
+	closed bool
+	failed error
+}
+
+func newAsyncSink(conn net.Conn, write func(cmd byte, line string) error) *asyncSink {
+	k := &asyncSink{
+		write: write,
+		conn:  conn,
+		queue: make(chan sinkRecord, subscriberQueueDepth),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go k.drain()
+	return k
+}
+
+// Deliver implements Sink without ever blocking: the record is queued
+// for the writer goroutine, and a full queue means the subscriber
+// stopped reading long ago — that subscriber fails permanently,
+// scoped to its own session.
+func (k *asyncSink) Deliver(cmd byte, line string) error {
 	k.mu.Lock()
-	defer k.mu.Unlock()
 	if k.closed {
+		k.mu.Unlock()
 		return fmt.Errorf("monitor: subscriber session closed")
 	}
-	return k.sess.WriteMsg(cmd, []byte(line))
+	if err := k.failed; err != nil {
+		k.mu.Unlock()
+		return err
+	}
+	k.mu.Unlock()
+	select {
+	case k.queue <- sinkRecord{cmd: cmd, line: line}:
+		return nil
+	default:
+		err := fmt.Errorf("monitor: subscriber fell %d records behind and was dropped",
+			subscriberQueueDepth)
+		k.fail(err)
+		// Closing the connection unblocks the writer mid-write.
+		k.conn.Close()
+		return err
+	}
 }
 
-func (k *sessionSink) Close() {
+// Close implements Sink: no new records are accepted, and the
+// connection closes once the writer flushes what the pump already
+// handed over — or when the grace expires, whichever comes first.
+// Close never blocks; the monitor calls it under its own lock.
+func (k *asyncSink) Close() {
 	k.mu.Lock()
-	defer k.mu.Unlock()
 	if k.closed {
+		k.mu.Unlock()
 		return
 	}
 	k.closed = true
-	k.conn.Close()
+	k.mu.Unlock()
+	close(k.stop)
+	time.AfterFunc(closeFlushGrace, func() { k.conn.Close() })
+}
+
+func (k *asyncSink) fail(err error) {
+	k.mu.Lock()
+	if k.failed == nil {
+		k.failed = err
+	}
+	k.mu.Unlock()
+}
+
+// drain is the writer goroutine — the only place subscriber bytes hit
+// the network.  On Close it flushes the queued tail, then closes the
+// connection, which also unblocks the serving goroutine's read.
+func (k *asyncSink) drain() {
+	defer close(k.done)
+	defer k.conn.Close()
+	for {
+		select {
+		case <-k.stop:
+			// Graceful close: a clean detach or server-side drop must
+			// not truncate what the pump already handed over.
+			for {
+				select {
+				case rec := <-k.queue:
+					if k.write(rec.cmd, rec.line) != nil {
+						return
+					}
+				default:
+					return
+				}
+			}
+		case rec := <-k.queue:
+			if err := k.write(rec.cmd, rec.line); err != nil {
+				k.fail(err)
+				return
+			}
+		}
+	}
 }
 
 // serveText handles one legacy line-protocol connection: an HMAC
@@ -281,20 +402,31 @@ func (s *Server) serveText(conn net.Conn) {
 		if w.Flush() != nil {
 			return
 		}
-		sink := &textSink{conn: conn, w: w}
+		// The record tags make the command byte redundant on this
+		// transport, so the writer ignores it.
+		sink := newAsyncSink(conn, func(_ byte, line string) error {
+			if _, err := fmt.Fprintln(w, line); err != nil {
+				return err
+			}
+			return w.Flush()
+		})
 		if err := s.mon.Subscribe(sink, from); err != nil {
 			fmt.Fprint(w, wire.EncodeError(err, CodeMonitorDead, scope.ScopeProcess))
 			w.Flush()
+			sink.Close()
+			<-sink.done
 			return
 		}
-		// Block on the read half until the client hangs up; the pump
-		// writes through the sink's own lock.
+		// Block on the read half until the client hangs up; the sink's
+		// writer goroutine owns the write half.
 		for {
 			if _, err := r.ReadString('\n'); err != nil {
 				break
 			}
 		}
 		s.mon.Detach(sink)
+		sink.Close()
+		<-sink.done
 
 	case strings.HasPrefix(line, "madm "):
 		for {
@@ -347,32 +479,3 @@ func authenticate(key, nonce []byte) []byte {
 	return m.Sum(nil)
 }
 
-// textSink adapts one line-protocol subscriber to the Sink interface.
-type textSink struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	w      *bufio.Writer
-	closed bool
-}
-
-func (k *textSink) Deliver(cmd byte, line string) error {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if k.closed {
-		return fmt.Errorf("monitor: subscriber session closed")
-	}
-	if _, err := fmt.Fprintln(k.w, line); err != nil {
-		return err
-	}
-	return k.w.Flush()
-}
-
-func (k *textSink) Close() {
-	k.mu.Lock()
-	defer k.mu.Unlock()
-	if k.closed {
-		return
-	}
-	k.closed = true
-	k.conn.Close()
-}
